@@ -1,0 +1,71 @@
+"""Beyond-paper: exact MILP co-synthesis vs. the related-work heuristics.
+
+§2 positions SOS against list scheduling and against Talukdar & Mehrotra's
+heuristic synthesis.  This bench quantifies the comparison on the paper's
+own examples: the heuristic allocation-enumeration + ETF/HLFET front versus
+the exact front, scored by coverage (fraction of exact points matched) and
+hypervolume.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.pareto import coverage, hypervolume, non_inferior
+from repro.analysis.reporting import format_table
+from repro.baselines.heuristic_synthesis import heuristic_pareto
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.examples import example1_library, example2_library
+from repro.taskgraph.examples import example1, example2
+
+
+def _compare(graph, library):
+    exact = Synthesizer(graph, library).pareto_sweep()
+    heuristic = heuristic_pareto(graph, library)
+    exact_points = [(d.cost, d.makespan) for d in exact]
+    heuristic_points = [(d.cost, d.makespan) for d in heuristic]
+    reference = (
+        max(p[0] for p in exact_points + heuristic_points) + 1,
+        max(p[1] for p in exact_points + heuristic_points) + 1,
+    )
+    return {
+        "exact": exact_points,
+        "heuristic": heuristic_points,
+        "coverage": coverage(exact_points, heuristic_points),
+        "hv_exact": hypervolume(exact_points, reference),
+        "hv_heuristic": hypervolume(heuristic_points, reference),
+    }
+
+
+def bench_heuristic_vs_exact_example1(benchmark):
+    report = run_once(benchmark, _compare, example1(), example1_library())
+    print()
+    print(format_table(
+        ["front", "points", "coverage", "hypervolume"],
+        [
+            ("exact MILP", str(report["exact"]), 1.0, round(report["hv_exact"], 2)),
+            ("heuristic", str(report["heuristic"]), round(report["coverage"], 2),
+             round(report["hv_heuristic"], 2)),
+        ],
+        title="Example 1: exact co-synthesis vs. allocation-enumeration heuristic",
+    ))
+    # The heuristic can never exceed the exact front's hypervolume.
+    assert report["hv_heuristic"] <= report["hv_exact"] + 1e-9
+    # Exact synthesis is strictly better somewhere on this instance unless
+    # the heuristic found the entire front.
+    if report["coverage"] < 1.0:
+        assert report["hv_heuristic"] < report["hv_exact"]
+
+
+def bench_heuristic_vs_exact_example2(benchmark):
+    report = run_once(benchmark, _compare, example2(), example2_library())
+    print()
+    print(format_table(
+        ["front", "points", "coverage", "hypervolume"],
+        [
+            ("exact MILP", str(report["exact"]), 1.0, round(report["hv_exact"], 2)),
+            ("heuristic", str(report["heuristic"]), round(report["coverage"], 2),
+             round(report["hv_heuristic"], 2)),
+        ],
+        title="Example 2: exact co-synthesis vs. allocation-enumeration heuristic",
+    ))
+    assert report["hv_heuristic"] <= report["hv_exact"] + 1e-9

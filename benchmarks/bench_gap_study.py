@@ -1,0 +1,39 @@
+"""Beyond-paper: aggregate exact-vs-heuristic gaps over random instances.
+
+One instance proves nothing about heuristic quality; this bench runs a
+seeded family of random layered DAGs with random heterogeneous libraries,
+measures the ETF and clustering gaps against the exact MILP optimum, and
+prints the aggregate statistics (mean/max gap, fraction solved to
+optimality by each heuristic).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.batch import default_instance_family, gap_study, summarize_gaps
+from repro.analysis.reporting import format_table
+
+
+def bench_gap_study_random_family(benchmark):
+    """10 random 7-task instances: exact vs. ETF vs. clustering."""
+    instances = default_instance_family(num_instances=10, num_tasks=7, seed=7)
+    records = run_once(benchmark, gap_study, instances)
+    summary = summarize_gaps(records)
+    print()
+    print(format_table(
+        ["instance", "tasks", "exact", "ETF", "clustering", "rows", "s"],
+        [
+            (r.instance, r.tasks, r.exact_makespan, r.etf_makespan,
+             r.clustering_makespan, r.model_constraints, round(r.solve_seconds, 2))
+            for r in records
+        ],
+        title="gap study: exact MILP vs. heuristics (random instances)",
+    ))
+    print(
+        f"\nETF: mean gap {summary.mean_etf_gap:.3f}x, max {summary.max_etf_gap:.3f}x, "
+        f"optimal on {summary.etf_optimal_fraction:.0%} of instances"
+    )
+    print(
+        f"clustering: mean gap {summary.mean_clustering_gap:.3f}x, "
+        f"max {summary.max_clustering_gap:.3f}x"
+    )
+    assert summary.mean_etf_gap >= 1.0 - 1e-9
+    assert summary.mean_clustering_gap >= 1.0 - 1e-9

@@ -1,0 +1,40 @@
+"""§4.1/§4.3 model-size statistics.
+
+The paper reports, for each experiment, the number of timing variables,
+binary variables, and constraints of the generated MILP (21/72/174 for
+Example 1; 47/225/1081 for Example 2 point-to-point; 47/153/416 for bus).
+This bench times model *generation* and prints our counts next to the
+paper's in both the §3.4-faithful and the accelerated default variants.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.formulation import SosModelBuilder
+from repro.core.options import FormulationOptions
+from repro.paper.experiments import model_size_report
+from repro.system.examples import example2_library
+from repro.system.interconnect import InterconnectStyle
+from repro.taskgraph.examples import example2
+
+
+def bench_model_generation_example2(benchmark):
+    """Time the constraint generator on the largest paper instance."""
+
+    def build():
+        options = FormulationOptions(
+            style=InterconnectStyle.POINT_TO_POINT, prune_ordered_pairs=False,
+            symmetry_breaking=False,
+        )
+        return SosModelBuilder(example2(), example2_library(), options).build()
+
+    built = benchmark(build)
+    stats = built.model.stats()
+    assert built.variables.count_timing() == 51
+    assert stats.num_constraints > 1000  # paper: 1081
+
+
+def bench_model_size_report(benchmark):
+    """Generate all six model variants and print the comparison table."""
+    report = run_once(benchmark, model_size_report)
+    print()
+    print(report)
+    assert "example1_p2p" in report

@@ -1,0 +1,63 @@
+"""Beyond-paper: solver technology then and now.
+
+The paper's runtime columns (seconds for Example 1, minutes-to-days for
+Example 2) measured Bozo/XLP on a 1991 Solbourne.  These benches measure
+our two backends on the same models: the from-scratch Bozo reimplementation
+(same algorithm class) and HiGHS (2020s technology), plus a scaling sweep
+over random task graphs.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.formulation import SosModelBuilder
+from repro.core.options import FormulationOptions
+from repro.solvers.registry import get_solver
+from repro.system.examples import example1_library
+from repro.taskgraph.examples import example1
+from repro.taskgraph.generators import layered_random
+from tests.conftest import make_library
+
+
+def _example1_model():
+    return SosModelBuilder(example1(), example1_library()).build()
+
+
+def bench_bozo_example1(benchmark):
+    """From-scratch branch-and-bound on the Example 1 model (paper: 11 s)."""
+
+    def solve():
+        return get_solver("bozo").solve(_example1_model().model)
+
+    solution = benchmark(solve)
+    assert solution.objective == pytest.approx(2.5)
+    print(f"\nBozo nodes: {solution.iterations}")
+
+
+def bench_highs_example1(benchmark):
+    """HiGHS on the identical model."""
+
+    def solve():
+        return get_solver("highs").solve(_example1_model().model)
+
+    solution = benchmark(solve)
+    assert solution.objective == pytest.approx(2.5)
+
+
+@pytest.mark.parametrize("num_tasks", [6, 9, 12])
+def bench_highs_scaling(benchmark, num_tasks):
+    """Synthesis cost growth with task-graph size (random layered DAGs)."""
+    graph = layered_random(num_tasks, 3, seed=42)
+    library = make_library(
+        {"fast": (8, {t: 1 for t in graph.subtask_names}),
+         "slow": (3, {t: 3 for t in graph.subtask_names})},
+        instances_per_type=2, remote_delay=0.5,
+    )
+
+    def solve():
+        built = SosModelBuilder(graph, library, FormulationOptions()).build()
+        return get_solver("highs").solve(built.model)
+
+    solution = run_once(benchmark, solve)
+    assert solution.status.has_solution
+    print(f"\n{num_tasks} tasks -> optimal makespan {solution.objective:g}")

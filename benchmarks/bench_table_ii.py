@@ -1,0 +1,35 @@
+"""Table II — Example 1 (four subtasks), point-to-point interconnection.
+
+Paper rows (cost, performance): (14, 2.5), (13, 3), (7, 4), (5, 7), with
+Bozo runtimes of 11-37 s per design on a 1991 Solbourne.  This bench
+re-synthesizes the full non-inferior front and asserts every row exactly.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.paper.experiments import run_table_ii
+
+
+def bench_table_ii_sweep(benchmark):
+    """Full cost-cap sweep for Example 1 (all four paper designs + one)."""
+    result = run_once(benchmark, run_table_ii)
+    show(result)
+    assert result.matches_paper, result.render()
+    points = [(row.cost, row.makespan) for row in result.rows[:4]]
+    assert points == [(14.0, 2.5), (13.0, 3.0), (7.0, 4.0), (5.0, 7.0)]
+
+
+def bench_table_ii_design1_with_bozo(benchmark):
+    """Design 1 solved by the from-scratch Bozo branch-and-bound — the same
+    solver technology the paper timed at 11 s on a 1991 Solbourne."""
+    from repro.synthesis.synthesizer import Synthesizer
+    from repro.system.examples import example1_library
+    from repro.taskgraph.examples import example1
+
+    def solve():
+        synth = Synthesizer(example1(), example1_library(), solver="bozo")
+        return synth.synthesize(minimize_secondary=False)
+
+    design = run_once(benchmark, solve)
+    print(f"\nBozo reproduces design 1: cost<=14, performance {design.makespan:g} "
+          f"(paper: 2.5 in 11 s on a Solbourne Series5e/900)")
+    assert design.makespan == 2.5

@@ -1,0 +1,19 @@
+"""Table IV — Example 2 (nine subtasks), point-to-point interconnection.
+
+Paper rows (cost, performance): (15, 5), (12, 6), (8, 7), (7, 8), (5, 15),
+with Bozo runtimes from 62 minutes to 4.5 *days* per design in 1991.  The
+bench re-synthesizes all five designs and asserts every row, every
+processor multiset, and every link count.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.paper.experiments import run_table_iv
+
+
+def bench_table_iv_sweep(benchmark):
+    """Full cost-cap sweep for Example 2 point-to-point (5 designs)."""
+    result = run_once(benchmark, run_table_iv)
+    show(result)
+    assert result.matches_paper, result.render()
+    points = [(row.cost, row.makespan) for row in result.rows]
+    assert points == [(15.0, 5.0), (12.0, 6.0), (8.0, 7.0), (7.0, 8.0), (5.0, 15.0)]

@@ -1,0 +1,18 @@
+"""Table V — Example 2 (nine subtasks), bus-style interconnection.
+
+Paper rows (cost, performance): (10, 6), (6, 7), (5, 15) — the bus saves
+link cost but its single shared medium stops the front at performance 6
+where point-to-point reaches 5 (Table IV).
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.paper.experiments import run_table_v
+
+
+def bench_table_v_sweep(benchmark):
+    """Full cost-cap sweep for Example 2 on a shared bus (3 designs)."""
+    result = run_once(benchmark, run_table_v)
+    show(result)
+    assert result.matches_paper, result.render()
+    points = [(row.cost, row.makespan) for row in result.rows]
+    assert points == [(10.0, 6.0), (6.0, 7.0), (5.0, 15.0)]

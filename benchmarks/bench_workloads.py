@@ -1,0 +1,82 @@
+"""Beyond-paper: co-synthesis on classic structured workloads.
+
+The paper's evaluation uses two hand-built graphs; downstream adoption
+means handling the literature's standard shapes.  These benches synthesize
+FFT-butterfly, Gaussian-elimination, and stencil workloads over a graded
+(Type-II) library and compare the exact optimum against the clustering and
+ETF heuristics.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.baselines.clustering import clustered_design
+from repro.baselines.heuristic_synthesis import evaluate_allocation
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.generators import speed_graded_library
+from repro.taskgraph.suites import fft_butterfly, gaussian_elimination, stencil_pipeline
+
+GRADES = ((1.0, 6.0), (2.0, 2.0))
+
+
+def _compare(graph):
+    library = speed_graded_library(graph, grades=GRADES, remote_delay=0.5)
+    exact = Synthesizer(graph, library).synthesize(minimize_secondary=False)
+    etf = evaluate_allocation(graph, library, library.instances())
+    clustered = clustered_design(graph, library)
+    return graph.name, exact, etf, clustered
+
+
+@pytest.mark.parametrize("factory,args", [
+    (fft_butterfly, (4,)),
+    (gaussian_elimination, (4,)),
+    (stencil_pipeline, (3, 3)),
+], ids=["fft4", "gauss4", "stencil3x3"])
+def bench_workload_synthesis(benchmark, factory, args):
+    """Exact MILP vs. ETF vs. clustering on one classic workload."""
+    name, exact, etf, clustered = run_once(benchmark, _compare, factory(*args))
+    print()
+    print(format_table(
+        ["method", "cost", "makespan"],
+        [
+            ("exact MILP", exact.cost, exact.makespan),
+            ("ETF heuristic", etf.cost, etf.makespan),
+            ("clustering heuristic", clustered.cost, clustered.makespan),
+        ],
+        title=f"{name}: exact vs. heuristics",
+    ))
+    assert exact.makespan <= etf.makespan + 1e-9
+    assert exact.makespan <= clustered.makespan + 1e-9
+    assert exact.violations() == []
+
+
+def bench_fft8_heuristics(benchmark):
+    """FFT-8 is MILP-hard (its dense butterfly communication couples every
+    exclusion pair; exact synthesis needs minutes) — benchmark the
+    heuristics and cross-check them against the analytic lower bound."""
+    from repro.baselines.bounds import makespan_lower_bound
+
+    graph = fft_butterfly(8)
+    library = speed_graded_library(graph, grades=GRADES, remote_delay=0.5)
+
+    def run():
+        etf = evaluate_allocation(graph, library, library.instances())
+        clustered = clustered_design(graph, library)
+        return etf, clustered
+
+    etf, clustered = run_once(benchmark, run)
+    bound = makespan_lower_bound(graph, library)
+    print()
+    print(format_table(
+        ["method", "cost", "makespan"],
+        [
+            ("analytic lower bound", None, bound),
+            ("ETF heuristic", etf.cost, etf.makespan),
+            ("clustering heuristic", clustered.cost, clustered.makespan),
+        ],
+        title="fft8: heuristics vs. lower bound",
+    ))
+    assert etf.makespan >= bound - 1e-9
+    assert clustered.makespan >= bound - 1e-9
+    assert etf.violations() == [] and clustered.violations() == []

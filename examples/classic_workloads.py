@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Co-synthesis on the classic structured workloads of the literature.
+
+Run::
+
+    python examples/classic_workloads.py
+
+Synthesizes optimal systems for a small FFT butterfly, a Gaussian
+elimination, and an iterative stencil over a two-grade (fast-expensive /
+slow-cheap) library, and compares against the clustering and ETF
+heuristics plus the analytic lower bound.
+"""
+
+from repro.analysis import format_table
+from repro.baselines import (
+    clustered_design,
+    evaluate_allocation,
+    makespan_lower_bound,
+)
+from repro.synthesis import Synthesizer
+from repro.system import speed_graded_library
+from repro.taskgraph import fft_butterfly, gaussian_elimination, stencil_pipeline
+
+
+def main() -> None:
+    workloads = (
+        fft_butterfly(4),
+        gaussian_elimination(4),
+        stencil_pipeline(3, 2),
+    )
+    rows = []
+    for graph in workloads:
+        library = speed_graded_library(
+            graph, grades=((1.0, 6.0), (2.0, 2.0)), remote_delay=0.5
+        )
+        bound = makespan_lower_bound(graph, library)
+        exact = Synthesizer(graph, library).synthesize(minimize_secondary=False)
+        etf = evaluate_allocation(graph, library, library.instances())
+        clustered = clustered_design(graph, library)
+        assert bound <= exact.makespan <= min(etf.makespan, clustered.makespan) + 1e-9
+        rows.append((graph.name, len(graph), bound, exact.makespan,
+                     etf.makespan, clustered.makespan))
+    print(format_table(
+        ["workload", "tasks", "lower bound", "exact MILP", "ETF", "clustering"],
+        rows,
+        title="Optimal vs. heuristic makespans on classic workloads",
+    ))
+    print()
+    print("exact co-synthesis meets or beats every heuristic, and every")
+    print("result sits above the Fernandez-Bussell-style analytic floor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Define, persist, and solve a custom synthesis problem.
+
+Run::
+
+    python examples/custom_problem.py
+
+Builds a robot-arm control application (sensor fusion -> kinematics ->
+trajectory -> actuation, with a safety monitor), saves the problem as the
+JSON format the ``sos`` CLI consumes, reloads it, and synthesizes with the
+§5 local-memory extension and the no-I/O-overlap variant enabled.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import (
+    FormulationOptions,
+    ProcessorType,
+    Synthesizer,
+    TaskGraph,
+    TechnologyLibrary,
+)
+from repro.taskgraph import graph_from_dict, graph_to_dict
+
+
+def build_problem():
+    graph = TaskGraph("robot_arm")
+    for name in ("imu", "vision", "fusion", "kinematics", "trajectory",
+                 "safety", "actuate"):
+        graph.add_subtask(name)
+    graph.add_external_input("imu")
+    graph.add_external_input("vision")
+    graph.connect("imu", "fusion", volume=1.0)
+    graph.connect("vision", "fusion", volume=3.0)
+    graph.connect("fusion", "kinematics", volume=1.0)
+    graph.connect("fusion", "safety", volume=1.0)
+    graph.connect("kinematics", "trajectory", volume=1.0)
+    graph.connect("trajectory", "actuate", volume=1.0)
+    graph.connect("safety", "actuate", volume=0.5)
+    graph.add_external_output("actuate")
+    graph.validate()
+
+    fpga = ProcessorType("fpga", cost=9, exec_times={
+        "imu": 1, "vision": 2, "fusion": 1, "kinematics": 2,
+    })
+    cpu = ProcessorType("cpu", cost=6, exec_times={
+        "imu": 2, "vision": 6, "fusion": 3, "kinematics": 3,
+        "trajectory": 2, "safety": 1, "actuate": 1,
+    })
+    rtu = ProcessorType("rtu", cost=2, exec_times={
+        "safety": 2, "actuate": 1, "trajectory": 5, "imu": 3,
+    })
+    library = TechnologyLibrary(
+        types=(fpga, cpu, rtu), instances_per_type=2,
+        link_cost=1.0, local_delay=0.05, remote_delay=0.5,
+    )
+    return graph, library
+
+
+def main() -> None:
+    graph, library = build_problem()
+
+    # Persist in the CLI's problem format and reload (round-trip check).
+    document = {
+        "graph": graph_to_dict(graph),
+        "library": {
+            "types": [
+                {"name": t.name, "cost": t.cost, "exec_times": dict(t.exec_times)}
+                for t in library.types
+            ],
+            "instances_per_type": 2,
+            "link_cost": library.link_cost,
+            "local_delay": library.local_delay,
+            "remote_delay": library.remote_delay,
+        },
+    }
+    path = Path(tempfile.gettempdir()) / "robot_arm_problem.json"
+    path.write_text(json.dumps(document, indent=2))
+    reloaded = graph_from_dict(json.loads(path.read_text())["graph"])
+    assert reloaded.subtask_names == graph.subtask_names
+    print(f"problem file written to {path} (usable with: sos sweep {path})")
+    print()
+
+    # Standard synthesis.
+    synth = Synthesizer(graph, library)
+    design = synth.synthesize()
+    print("=== fastest design (I/O overlap, no memory costing) ===")
+    print(design.describe())
+    print()
+
+    # §5 extensions: price local memory, forbid computation/IO overlap.
+    extended = Synthesizer(
+        graph, library,
+        options=FormulationOptions(
+            memory_model=True, memory_cost_per_unit=0.25, io_overlap=False,
+        ),
+    )
+    strict = extended.synthesize()
+    print("=== §5 variant: memory-priced, no I/O overlap ===")
+    print(strict.describe())
+    print()
+    print(
+        f"removing I/O overlap costs {strict.makespan - design.makespan:+g} "
+        "time units on this workload"
+    )
+    assert strict.makespan >= design.makespan - 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Hardware sensitivity analysis: when does multiprocessing stop paying?
+
+Run::
+
+    python examples/sensitivity_study.py
+
+§4.2 varied the workload; a designer choosing an interconnect technology
+varies the *hardware*: this example sweeps the remote transfer delay
+``D_CR`` and the link cost ``C_L`` on the paper's Example 1, locates the
+crossover points where the optimal processor count changes, and prints the
+schedule analytics (critical path, utilization) of the chosen design.
+"""
+
+from repro import Synthesizer, example1, example1_library
+from repro.analysis import (
+    find_crossovers,
+    format_table,
+    link_cost_sweep,
+    remote_delay_sweep,
+)
+from repro.schedule import critical_path, utilization_report
+
+
+def main() -> None:
+    graph, library = example1(), example1_library()
+
+    print("=== sweep: remote transfer delay D_CR ===")
+    points = remote_delay_sweep(graph, library,
+                                delays=(0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 6.0))
+    print(format_table(
+        ["D_CR", "optimal cost", "optimal T_F", "processors"],
+        [(p.value, p.cost, p.makespan, p.num_processors) for p in points],
+    ))
+    crossovers = find_crossovers(points)
+    for crossover in crossovers:
+        print(
+            f"architecture change between D_CR={crossover.below.value:g} "
+            f"({crossover.below.num_processors} procs) and "
+            f"D_CR={crossover.above.value:g} ({crossover.above.num_processors} procs)"
+        )
+    counts = [p.num_processors for p in points]
+    assert counts == sorted(counts, reverse=True), "slower links, fewer processors"
+    print()
+
+    print("=== sweep: link cost C_L (under cost cap 14) ===")
+    points = link_cost_sweep(graph, library, costs=(0.5, 1.0, 2.0, 4.0),
+                             cost_cap=14.0)
+    print(format_table(
+        ["C_L", "cost", "T_F", "processors"],
+        [(p.value, p.cost, p.makespan, p.num_processors) for p in points],
+    ))
+    print()
+
+    print("=== analytics of the nominal design (D_CR = 1) ===")
+    design = Synthesizer(graph, library).synthesize()
+    print("critical path:",
+          " -> ".join(critical_path(graph, library, design.schedule)))
+    print(format_table(
+        ["resource", "kind", "busy", "utilization"],
+        [(u.name, u.kind, u.busy, f"{u.utilization:.0%}")
+         for u in utilization_report(design.schedule)],
+    ))
+
+
+if __name__ == "__main__":
+    main()

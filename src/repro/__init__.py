@@ -1,0 +1,74 @@
+"""SOS — Synthesis of Application-Specific Heterogeneous Multiprocessor Systems.
+
+A complete, from-scratch reproduction of Prakash & Parker (ISCA 1992):
+MILP co-synthesis of the processor set, interconnect, subtask mapping, and
+static schedule of an application-specific heterogeneous multiprocessor.
+
+Quickstart::
+
+    from repro import Synthesizer, example1, example1_library
+
+    synth = Synthesizer(example1(), example1_library())
+    design = synth.synthesize()            # fastest system at any cost
+    print(design.describe())
+    print(design.gantt())
+    front = synth.pareto_sweep()           # every non-inferior system
+"""
+
+from repro.core import (
+    DesignerConstraints,
+    FormulationOptions,
+    Objective,
+    SosModelBuilder,
+    build_sos_model,
+)
+from repro.errors import (
+    InfeasibleError,
+    ReproError,
+    SolverError,
+    SynthesisError,
+    TaskGraphError,
+    ValidationError,
+)
+from repro.synthesis import Design, Synthesizer
+from repro.system import (
+    Architecture,
+    InterconnectStyle,
+    Link,
+    ProcessorInstance,
+    ProcessorType,
+    TechnologyLibrary,
+    example1_library,
+    example2_library,
+)
+from repro.taskgraph import TaskGraph, example1, example2
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignerConstraints",
+    "FormulationOptions",
+    "Objective",
+    "SosModelBuilder",
+    "build_sos_model",
+    "InfeasibleError",
+    "ReproError",
+    "SolverError",
+    "SynthesisError",
+    "TaskGraphError",
+    "ValidationError",
+    "Design",
+    "Synthesizer",
+    "Architecture",
+    "InterconnectStyle",
+    "Link",
+    "ProcessorInstance",
+    "ProcessorType",
+    "TechnologyLibrary",
+    "example1_library",
+    "example2_library",
+    "TaskGraph",
+    "example1",
+    "example2",
+    "__version__",
+]

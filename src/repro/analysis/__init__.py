@@ -1,0 +1,53 @@
+"""Analysis utilities: Pareto fronts, tradeoff studies, report formatting."""
+
+from repro.analysis.batch import (
+    GapRecord,
+    GapSummary,
+    default_instance_family,
+    gap_study,
+    summarize_gaps,
+)
+from repro.analysis.pareto import coverage, dominates, hypervolume, is_front, non_inferior
+from repro.analysis.reporting import format_cell, format_table, side_by_side, to_csv, write_csv
+from repro.analysis.sensitivity import (
+    Crossover,
+    SweepPoint,
+    find_crossovers,
+    link_cost_sweep,
+    parameter_sweep,
+    remote_delay_sweep,
+)
+from repro.analysis.tradeoffs import (
+    FrontSummary,
+    communication_scaling_study,
+    communication_to_computation_ratio,
+    execution_scaling_study,
+)
+
+__all__ = [
+    "GapRecord",
+    "GapSummary",
+    "default_instance_family",
+    "gap_study",
+    "summarize_gaps",
+    "coverage",
+    "dominates",
+    "hypervolume",
+    "is_front",
+    "non_inferior",
+    "Crossover",
+    "SweepPoint",
+    "find_crossovers",
+    "link_cost_sweep",
+    "parameter_sweep",
+    "remote_delay_sweep",
+    "format_cell",
+    "format_table",
+    "side_by_side",
+    "to_csv",
+    "write_csv",
+    "FrontSummary",
+    "communication_scaling_study",
+    "communication_to_computation_ratio",
+    "execution_scaling_study",
+]

@@ -1,0 +1,134 @@
+"""Batch studies over generated instance families.
+
+Aggregates what single-instance runs cannot show: how large the
+exact-vs-heuristic gap is *on average*, how often the heuristics find the
+true optimum, and how model size scales.  Powers ``benchmarks/
+bench_gap_study.py`` and ad-hoc explorations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.baselines.heuristic_synthesis import evaluate_allocation
+from repro.baselines.clustering import clustered_design
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.generators import random_library
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.generators import layered_random
+from repro.taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class GapRecord:
+    """Exact-vs-heuristic comparison on one instance.
+
+    Attributes:
+        instance: Instance label.
+        tasks: Subtask count.
+        exact_makespan: MILP optimum (min makespan, unlimited cost).
+        etf_makespan: ETF list-scheduling makespan on the full pool.
+        clustering_makespan: Clustering-heuristic makespan.
+        model_constraints: Constraint count of the MILP.
+        solve_seconds: Exact solve wall-clock.
+    """
+
+    instance: str
+    tasks: int
+    exact_makespan: float
+    etf_makespan: float
+    clustering_makespan: float
+    model_constraints: int
+    solve_seconds: float
+
+    @property
+    def etf_gap(self) -> float:
+        """ETF makespan as a multiple of the optimum (>= 1)."""
+        return self.etf_makespan / self.exact_makespan if self.exact_makespan else 1.0
+
+    @property
+    def clustering_gap(self) -> float:
+        return (
+            self.clustering_makespan / self.exact_makespan
+            if self.exact_makespan else 1.0
+        )
+
+
+def default_instance_family(
+    num_instances: int,
+    num_tasks: int = 7,
+    seed: int = 0,
+) -> List[Tuple[TaskGraph, TechnologyLibrary]]:
+    """Seeded random layered DAGs with random covering libraries."""
+    instances = []
+    for index in range(num_instances):
+        instance_seed = seed * 1000 + index
+        graph = layered_random(
+            num_tasks, max(2, num_tasks // 3), seed=instance_seed,
+            fractional_ports=(index % 2 == 0),
+        )
+        library = random_library(graph, seed=instance_seed, num_types=2)
+        instances.append((graph, library))
+    return instances
+
+
+def gap_study(
+    instances: Sequence[Tuple[TaskGraph, TechnologyLibrary]],
+    solver: str = "auto",
+) -> List[GapRecord]:
+    """Exact-vs-heuristic makespans across an instance family.
+
+    Every exact design is validated with the independent checker; a
+    validation failure raises (it would mean a formulation bug, not an
+    interesting data point).
+    """
+    records: List[GapRecord] = []
+    for graph, library in instances:
+        synth = Synthesizer(graph, library, solver=solver)
+        exact = synth.synthesize(minimize_secondary=False)
+        etf = evaluate_allocation(graph, library, library.instances())
+        clustered = clustered_design(graph, library)
+        assert synth.last_model is not None
+        records.append(
+            GapRecord(
+                instance=graph.name,
+                tasks=len(graph),
+                exact_makespan=exact.makespan,
+                etf_makespan=etf.makespan,
+                clustering_makespan=clustered.makespan,
+                model_constraints=synth.last_model.model.stats().num_constraints,
+                solve_seconds=exact.solve_seconds,
+            )
+        )
+    return records
+
+
+@dataclass(frozen=True)
+class GapSummary:
+    """Aggregate statistics of a gap study."""
+
+    instances: int
+    mean_etf_gap: float
+    max_etf_gap: float
+    etf_optimal_fraction: float
+    mean_clustering_gap: float
+    max_clustering_gap: float
+    mean_solve_seconds: float
+
+
+def summarize_gaps(records: Sequence[GapRecord]) -> GapSummary:
+    """Mean/max gaps and how often each heuristic matched the optimum."""
+    if not records:
+        raise ValueError("cannot summarize an empty gap study")
+    etf_gaps = [record.etf_gap for record in records]
+    clustering_gaps = [record.clustering_gap for record in records]
+    return GapSummary(
+        instances=len(records),
+        mean_etf_gap=sum(etf_gaps) / len(records),
+        max_etf_gap=max(etf_gaps),
+        etf_optimal_fraction=sum(1 for g in etf_gaps if g <= 1.0 + 1e-9) / len(records),
+        mean_clustering_gap=sum(clustering_gaps) / len(records),
+        max_clustering_gap=max(clustering_gaps),
+        mean_solve_seconds=sum(r.solve_seconds for r in records) / len(records),
+    )

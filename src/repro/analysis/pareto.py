@@ -1,0 +1,81 @@
+"""Pareto-front utilities over (cost, makespan) points.
+
+The paper calls a system *non-inferior* "if cost (performance) can not be
+improved without degrading performance (cost)" (§4.1 footnote 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Point = Tuple[float, float]  # (cost, makespan)
+
+
+def dominates(first: Point, second: Point, tol: float = 1e-9) -> bool:
+    """``first`` dominates ``second``: no worse on both axes, better on one."""
+    no_worse = first[0] <= second[0] + tol and first[1] <= second[1] + tol
+    better = first[0] < second[0] - tol or first[1] < second[1] - tol
+    return no_worse and better
+
+
+def non_inferior(points: Iterable[Point], tol: float = 1e-9) -> List[Point]:
+    """The non-inferior subset, sorted by increasing cost, deduplicated."""
+    unique: List[Point] = []
+    for point in points:
+        if not any(
+            abs(point[0] - kept[0]) <= tol and abs(point[1] - kept[1]) <= tol
+            for kept in unique
+        ):
+            unique.append(point)
+    front = [
+        point for point in unique
+        if not any(dominates(other, point, tol) for other in unique)
+    ]
+    return sorted(front)
+
+
+def is_front(points: Sequence[Point], tol: float = 1e-9) -> bool:
+    """True when no point in ``points`` dominates another."""
+    return all(
+        not dominates(first, second, tol)
+        for first in points
+        for second in points
+        if first is not second
+    )
+
+
+def hypervolume(points: Sequence[Point], reference: Point) -> float:
+    """Dominated-area indicator w.r.t. a reference (worst) corner.
+
+    Standard 2-D hypervolume: the area between the front and ``reference``.
+    Larger is better; used to compare heuristic fronts against the exact
+    MILP front in the benchmark harness.
+    """
+    front = non_inferior(points)
+    area = 0.0
+    previous_makespan = reference[1]
+    for cost, makespan in front:  # increasing cost => decreasing makespan
+        if cost > reference[0] or makespan > reference[1]:
+            continue  # outside the reference box contributes nothing
+        width = reference[0] - cost
+        height = previous_makespan - makespan
+        if height > 0:
+            area += width * height
+            previous_makespan = makespan
+    return area
+
+
+def coverage(exact: Sequence[Point], heuristic: Sequence[Point], tol: float = 1e-9) -> float:
+    """Fraction of exact-front points matched (within ``tol``) by the
+    heuristic front — 1.0 means the heuristic found the whole true front."""
+    if not exact:
+        return 1.0
+    matched = sum(
+        1
+        for point in exact
+        if any(
+            abs(point[0] - other[0]) <= tol and abs(point[1] - other[1]) <= tol
+            for other in heuristic
+        )
+    )
+    return matched / len(exact)

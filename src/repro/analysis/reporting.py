@@ -1,0 +1,77 @@
+"""Plain-text table rendering for benchmark and CLI output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: Column titles.
+        rows: Row cells (stringified with ``format_cell``).
+        title: Optional title line above the table.
+    """
+    text_rows: List[List[str]] = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cell(value: object) -> str:
+    """Stringify a table cell (floats with ``%g``, None as ``-``)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a table as CSV text (RFC-4180-style quoting)."""
+
+    def quote(cell: object) -> str:
+        text = format_cell(cell)
+        if any(ch in text for ch in ",\"\n"):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(quote(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(quote(cell) for cell in row))
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(path, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Write a CSV file (thin wrapper over :func:`to_csv`)."""
+    from pathlib import Path
+
+    Path(path).write_text(to_csv(headers, rows))
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Join two multi-line blocks horizontally (for paper-vs-measured views)."""
+    left_lines = left.splitlines() or [""]
+    right_lines = right.splitlines() or [""]
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    width = max((len(line) for line in left_lines), default=0)
+    return "\n".join(
+        f"{l.ljust(width)}{' ' * gap}{r}" for l, r in zip(left_lines, right_lines)
+    )

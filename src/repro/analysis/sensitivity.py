@@ -1,0 +1,129 @@
+"""Sensitivity analysis over hardware parameters.
+
+§4.2 varies the communication/computation ratio by scaling the *workload*;
+this module varies it from the *hardware* side — sweeping the remote
+transfer delay ``D_CR`` or the link cost ``C_L`` — and locates the
+crossover points where the optimal architecture changes shape (e.g. where
+multiprocessing stops paying off).  This is the analysis a designer runs
+before committing to an interconnect technology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.synthesis.design import Design
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter setting and the optimal design found there.
+
+    Attributes:
+        value: The swept parameter's value.
+        cost: Optimal design's total cost.
+        makespan: Optimal design's completion time.
+        num_processors: Processors in the optimal design.
+    """
+
+    value: float
+    cost: float
+    makespan: float
+    num_processors: int
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """A parameter interval across which the optimal structure changes."""
+
+    below: SweepPoint
+    above: SweepPoint
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.below.value, self.above.value)
+
+
+def parameter_sweep(
+    graph: TaskGraph,
+    make_library: Callable[[float], TechnologyLibrary],
+    values: Sequence[float],
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT,
+    cost_cap: Optional[float] = None,
+    solver: str = "auto",
+) -> List[SweepPoint]:
+    """Synthesize the optimal design at each parameter value.
+
+    Args:
+        graph: Application task graph.
+        make_library: Maps a parameter value to the library to use.
+        values: Parameter values, in sweep order.
+        style: Interconnect style.
+        cost_cap: Optional designer cost cap applied at every point.
+        solver: Solver backend.
+    """
+    points = []
+    for value in values:
+        library = make_library(value)
+        design = Synthesizer(graph, library, style=style, solver=solver).synthesize(
+            cost_cap=cost_cap
+        )
+        points.append(
+            SweepPoint(
+                value=float(value),
+                cost=design.cost,
+                makespan=design.makespan,
+                num_processors=len(design.architecture.processors),
+            )
+        )
+    return points
+
+
+def remote_delay_sweep(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    delays: Sequence[float],
+    **kwargs,
+) -> List[SweepPoint]:
+    """Sweep ``D_CR`` — the hardware-side twin of §4.2 Experiment 1."""
+    return parameter_sweep(
+        graph,
+        lambda delay: dataclasses.replace(library, remote_delay=delay),
+        delays,
+        **kwargs,
+    )
+
+
+def link_cost_sweep(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    costs: Sequence[float],
+    **kwargs,
+) -> List[SweepPoint]:
+    """Sweep ``C_L`` — when do dedicated links stop being worth buying?"""
+    return parameter_sweep(
+        graph,
+        lambda cost: dataclasses.replace(library, link_cost=cost),
+        costs,
+        **kwargs,
+    )
+
+
+def find_crossovers(points: Sequence[SweepPoint]) -> List[Crossover]:
+    """Adjacent sweep points whose optimal processor count differs.
+
+    The paper's qualitative law predicts processor counts are monotone
+    non-increasing along a growing communication parameter; each returned
+    crossover brackets one architecture change.
+    """
+    return [
+        Crossover(below=first, above=second)
+        for first, second in zip(points, points[1:])
+        if first.num_processors != second.num_processors
+    ]

@@ -1,0 +1,107 @@
+"""Tradeoff-study drivers (§4.2).
+
+The paper studies the role of inter-subtask communication by scaling
+(1) the data volumes and (2) the subtask sizes, re-synthesizing the full
+non-inferior front at each scale.  These drivers generalize that to any
+instance and any scale schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.synthesis.design import Design
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class FrontSummary:
+    """Summary of one non-inferior front at one scale factor.
+
+    Attributes:
+        factor: The scale factor applied.
+        points: ``(cost, makespan)`` of each design, fastest first.
+        processor_counts: Number of processors in each design.
+        max_processors: Largest processor count on the front.
+    """
+
+    factor: float
+    points: tuple
+    processor_counts: tuple
+
+    @property
+    def size(self) -> int:
+        return len(self.points)
+
+    @property
+    def max_processors(self) -> int:
+        return max(self.processor_counts, default=0)
+
+
+def _summarize(factor: float, front: Sequence[Design]) -> FrontSummary:
+    return FrontSummary(
+        factor=factor,
+        points=tuple((design.cost, design.makespan) for design in front),
+        processor_counts=tuple(len(design.architecture.processors) for design in front),
+    )
+
+
+def communication_scaling_study(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    factors: Sequence[float] = (1, 2, 6),
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT,
+    solver: str = "auto",
+) -> List[FrontSummary]:
+    """Experiment 1: scale every arc volume and re-synthesize the front.
+
+    The paper's finding: as communication grows relative to computation,
+    designs with fewer processors win (at factor 6, only uniprocessors
+    remain non-inferior).
+    """
+    summaries = []
+    for factor in factors:
+        scaled = graph.scaled_volumes(factor)
+        front = Synthesizer(scaled, library, style=style, solver=solver).pareto_sweep()
+        summaries.append(_summarize(factor, front))
+    return summaries
+
+
+def execution_scaling_study(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    factors: Sequence[float] = (1, 2, 3),
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT,
+    solver: str = "auto",
+) -> List[FrontSummary]:
+    """Experiment 2: scale every execution time and re-synthesize.
+
+    The paper's finding: as subtasks grow relative to communication,
+    multiprocessing pays off — the front widens and designs with more
+    processors appear (a 4-processor design at factor 3).
+    """
+    summaries = []
+    for factor in factors:
+        scaled_library = library.scaled_execution(factor)
+        front = Synthesizer(graph, scaled_library, style=style, solver=solver).pareto_sweep()
+        summaries.append(_summarize(factor, front))
+    return summaries
+
+
+def communication_to_computation_ratio(
+    graph: TaskGraph, library: TechnologyLibrary
+) -> float:
+    """Aggregate remote-communication time over best-case computation time —
+    the axis both §4.2 experiments move along."""
+    communication = sum(
+        library.transfer_delay(arc.volume, remote=True) for arc in graph.arcs
+    )
+    computation = sum(
+        min(ptype.execution_time(subtask.name) for ptype in library.capable_types(subtask.name))
+        for subtask in graph.subtasks
+    )
+    return communication / computation if computation else float("inf")

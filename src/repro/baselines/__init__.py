@@ -1,0 +1,43 @@
+"""Baseline algorithms from the related work SOS is positioned against."""
+
+from repro.baselines.bounds import (
+    cost_lower_bound,
+    lp_relaxation_bound,
+    critical_path_bound,
+    makespan_lower_bound,
+    processor_count_lower_bound,
+    work_bound,
+)
+from repro.baselines.heuristic_synthesis import (
+    evaluate_allocation,
+    heuristic_pareto,
+    pareto_filter,
+)
+from repro.baselines.clustering import cluster_tasks, clustered_design
+from repro.baselines.refinement import refine_design, refine_front
+from repro.baselines.list_scheduler import (
+    bottom_levels,
+    etf_schedule,
+    hlfet_schedule,
+    mean_execution_time,
+)
+
+__all__ = [
+    "cost_lower_bound",
+    "lp_relaxation_bound",
+    "critical_path_bound",
+    "makespan_lower_bound",
+    "processor_count_lower_bound",
+    "work_bound",
+    "evaluate_allocation",
+    "heuristic_pareto",
+    "pareto_filter",
+    "cluster_tasks",
+    "clustered_design",
+    "refine_design",
+    "refine_front",
+    "bottom_levels",
+    "etf_schedule",
+    "hlfet_schedule",
+    "mean_execution_time",
+]

@@ -1,0 +1,151 @@
+"""Communication-driven clustering baseline (Sarkar-style edge zeroing).
+
+Another constructive heuristic family from the era the paper surveys:
+first decide which subtasks should *never* be separated (clustering), then
+assign whole clusters to processors.  Our variant:
+
+1. Start with singleton clusters; walk arcs in decreasing volume and merge
+   the endpoint clusters when (a) some processor type can execute the
+   merged set and (b) a quick simulation of the cluster-respecting greedy
+   assignment does not get worse ("edge zeroing").
+2. Assign clusters to concrete instances greedily (cheapest capable
+   instance that minimizes the simulated makespan), then simulate the full
+   mapping for the final schedule.
+
+Like every baseline here, the result is validator-checked and can never
+beat the exact MILP front — which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.heuristic_synthesis import architecture_for
+from repro.errors import SimulationError, SynthesisError
+from repro.sim.simulator import simulate_mapping
+from repro.synthesis.design import Design
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+
+
+def _types_covering(library: TechnologyLibrary, tasks: Sequence[str]):
+    return [
+        ptype for ptype in library.types
+        if all(ptype.can_execute(task) for task in tasks)
+    ]
+
+
+def cluster_tasks(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    max_cluster_size: Optional[int] = None,
+) -> List[List[str]]:
+    """Edge-zeroing clustering: merge across the heaviest arcs first.
+
+    A merge is accepted only when at least one processor type can run the
+    whole merged cluster (otherwise the assignment phase could not place
+    it on a single processor).
+
+    Args:
+        graph: Task graph to cluster.
+        library: Capabilities constraining merges.
+        max_cluster_size: Optional hard cap on cluster cardinality.
+
+    Returns:
+        Clusters as lists of subtask names (ordering deterministic).
+    """
+    cluster_of: Dict[str, int] = {
+        name: index for index, name in enumerate(graph.subtask_names)
+    }
+    members: Dict[int, List[str]] = {
+        index: [name] for name, index in cluster_of.items()
+    }
+    arcs = sorted(graph.arcs, key=lambda a: (-a.volume, a.label))
+    for arc in arcs:
+        first = cluster_of[arc.producer]
+        second = cluster_of[arc.consumer]
+        if first == second:
+            continue
+        merged = members[first] + members[second]
+        if max_cluster_size is not None and len(merged) > max_cluster_size:
+            continue
+        if not _types_covering(library, merged):
+            continue
+        for task in members[second]:
+            cluster_of[task] = first
+        members[first] = merged
+        del members[second]
+    ordered = sorted(members.values(), key=lambda group: group[0])
+    return ordered
+
+
+def clustered_design(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT,
+    max_cluster_size: Optional[int] = None,
+) -> Design:
+    """Cluster, assign clusters to instances, simulate, and package.
+
+    Assignment: clusters in decreasing total-work order; each goes to the
+    capable instance minimizing the greedy-simulated makespan so far, with
+    instance cost as the tiebreak (prefer reusing bought processors).
+
+    Raises:
+        SynthesisError: If no capable instance exists for some cluster.
+    """
+    clusters = cluster_tasks(graph, library, max_cluster_size)
+    pool = library.instances()
+
+    def work(group: Sequence[str]) -> float:
+        total = 0.0
+        for task in group:
+            times = [t.execution_time(task) for t in library.capable_types(task)]
+            total += sum(times) / len(times)
+        return total
+
+    mapping: Dict[str, str] = {}
+    bought: set = set()
+    for group in sorted(clusters, key=lambda g: -work(g)):
+        candidates = [
+            inst for inst in pool
+            if all(inst.can_execute(task) for task in group)
+        ]
+        if not candidates:
+            raise SynthesisError(f"no instance can host cluster {group}")
+        best = None
+        for inst in candidates:
+            trial = dict(mapping)
+            trial.update({task: inst.name for task in group})
+            placed = [t for t in graph.topological_order() if t in trial]
+            try:
+                schedule = simulate_mapping(
+                    graph.subgraph(placed), library, trial, style=style
+                )
+            except SimulationError:
+                continue
+            extra_cost = 0.0 if inst.name in bought else inst.cost
+            key = (schedule.makespan, extra_cost, inst.name)
+            if best is None or key < best[0]:
+                best = (key, inst)
+        if best is None:
+            raise SynthesisError(f"cluster {group} could not be simulated anywhere")
+        chosen = best[1]
+        mapping.update({task: chosen.name for task in group})
+        bought.add(chosen.name)
+
+    schedule = simulate_mapping(graph, library, mapping, style=style)
+    architecture = architecture_for(schedule, pool, library, style)
+    return Design(
+        graph=graph,
+        library=library,
+        style=style,
+        architecture=architecture,
+        mapping=mapping,
+        schedule=schedule,
+        makespan=schedule.makespan,
+        cost=architecture.total_cost(),
+        solver_name="heuristic-clustering",
+        proven_optimal=False,
+    )

@@ -1,0 +1,139 @@
+"""Heuristic co-synthesis baseline (Talukdar & Mehrotra style).
+
+§2 describes the one prior synthesis effort (Mehrotra & Talukdar 1984):
+mathematical formulation, but a *heuristic, iterative* solution that
+estimates the execution time for candidate systems.  We reproduce that
+spirit as a baseline: enumerate candidate processor allocations, evaluate
+each with a fast list scheduler, and keep the non-inferior designs.  The
+benchmark harness compares this front against the exact MILP front —
+quantifying what formal synthesis buys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+from repro.schedule.schedule import Schedule
+from repro.baselines.list_scheduler import etf_schedule, hlfet_schedule
+from repro.synthesis.design import Design
+from repro.system.architecture import Architecture, Link
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorInstance
+from repro.taskgraph.graph import TaskGraph
+
+
+def architecture_for(
+    schedule: Schedule,
+    processors: Sequence[ProcessorInstance],
+    library: TechnologyLibrary,
+    style: InterconnectStyle,
+) -> Architecture:
+    """Derive the cheapest architecture supporting a heuristic schedule."""
+    used_names = set(schedule.processors())
+    used = [inst for inst in processors if inst.name in used_names]
+    links: List[Link] = []
+    if style is not InterconnectStyle.BUS:
+        links = [Link(*route) for route in schedule.routes()]
+    ring_order: Tuple[str, ...] = ()
+    if style is InterconnectStyle.RING:
+        ring_order = tuple(inst.name for inst in used)
+    return Architecture(
+        processors=used, links=links, style=style, library=library, ring_order=ring_order
+    )
+
+
+def evaluate_allocation(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    processors: Sequence[ProcessorInstance],
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT,
+    scheduler: str = "etf",
+) -> Design:
+    """Map + schedule the graph on one candidate processor allocation.
+
+    Args:
+        scheduler: ``"etf"`` or ``"hlfet"``.
+
+    Returns:
+        A :class:`Design` (marked non-optimal) with derived cost/makespan.
+    """
+    if scheduler == "etf":
+        mapping, schedule = etf_schedule(graph, library, processors, style)
+    elif scheduler == "hlfet":
+        mapping, schedule = hlfet_schedule(graph, library, processors, style)
+    else:
+        raise SynthesisError(f"unknown scheduler {scheduler!r}")
+    architecture = architecture_for(schedule, processors, library, style)
+    return Design(
+        graph=graph,
+        library=library,
+        style=style,
+        architecture=architecture,
+        mapping=mapping,
+        schedule=schedule,
+        makespan=schedule.makespan,
+        cost=architecture.total_cost(),
+        solver_name=f"heuristic-{scheduler}",
+        proven_optimal=False,
+    )
+
+
+def heuristic_pareto(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT,
+    schedulers: Sequence[str] = ("etf", "hlfet"),
+    max_allocations: int = 4096,
+) -> List[Design]:
+    """Enumerate processor allocations and keep the non-inferior designs.
+
+    Every non-empty subset of the candidate pool that covers all subtask
+    capabilities is evaluated with each scheduler (subsets beyond
+    ``max_allocations`` raise, pointing the user at a bigger budget or a
+    smaller pool).
+
+    Returns:
+        Non-inferior designs, fastest first.
+    """
+    pool = library.instances()
+    subsets = []
+    for size in range(1, len(pool) + 1):
+        subsets.extend(itertools.combinations(pool, size))
+    if len(subsets) > max_allocations:
+        raise SynthesisError(
+            f"{len(subsets)} candidate allocations exceed max_allocations="
+            f"{max_allocations}"
+        )
+    designs: List[Design] = []
+    for subset in subsets:
+        if not _covers(graph, subset):
+            continue
+        for scheduler in schedulers:
+            designs.append(evaluate_allocation(graph, library, subset, style, scheduler))
+    return pareto_filter(designs)
+
+
+def pareto_filter(designs: Sequence[Design]) -> List[Design]:
+    """Keep non-inferior designs only (deduplicated), fastest first."""
+    front: List[Design] = []
+    for candidate in designs:
+        if any(other.dominates(candidate) for other in designs):
+            continue
+        if any(
+            abs(kept.cost - candidate.cost) < 1e-9
+            and abs(kept.makespan - candidate.makespan) < 1e-9
+            for kept in front
+        ):
+            continue
+        front.append(candidate)
+    return sorted(front, key=lambda d: (d.makespan, d.cost))
+
+
+def _covers(graph: TaskGraph, processors: Sequence[ProcessorInstance]) -> bool:
+    return all(
+        any(inst.can_execute(subtask.name) for inst in processors)
+        for subtask in graph.subtasks
+    )

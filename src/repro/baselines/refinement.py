@@ -1,0 +1,119 @@
+"""Local-search refinement of heuristic designs.
+
+The task-allocation literature the paper surveys (§2) repeatedly uses
+iterative improvement on top of constructive heuristics (Chu et al.'s
+pairwise exchanges, Houstis's iterative allocation).  This module applies
+that idea to whole designs: *move* single subtasks between processors and
+*swap* subtask pairs, re-simulating each candidate, keeping strict
+improvements in (makespan, cost) lexicographic order.
+
+The refined design is still heuristic — the exact MILP front remains the
+reference — but refinement closes much of the ETF/HLFET gap at a cost of
+O(iterations · tasks · processors) simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.heuristic_synthesis import architecture_for
+from repro.errors import SimulationError
+from repro.sim.simulator import simulate_mapping
+from repro.synthesis.design import Design
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorInstance
+from repro.taskgraph.graph import TaskGraph
+
+
+def _evaluate(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    mapping: Dict[str, str],
+    style: InterconnectStyle,
+    processors: Sequence[ProcessorInstance],
+) -> Optional[Design]:
+    """Simulate a mapping; None when it is invalid (incapable processor)."""
+    try:
+        schedule = simulate_mapping(graph, library, mapping, style=style)
+    except SimulationError:
+        return None
+    architecture = architecture_for(schedule, processors, library, style)
+    return Design(
+        graph=graph,
+        library=library,
+        style=style,
+        architecture=architecture,
+        mapping=dict(mapping),
+        schedule=schedule,
+        makespan=schedule.makespan,
+        cost=architecture.total_cost(),
+        solver_name="heuristic-refined",
+        proven_optimal=False,
+    )
+
+
+def _score(design: Design) -> Tuple[float, float]:
+    return (design.makespan, design.cost)
+
+
+def refine_design(
+    design: Design,
+    max_rounds: int = 10,
+) -> Design:
+    """Improve a design by task moves and swaps until a local optimum.
+
+    Args:
+        design: Starting design (typically from
+            :func:`repro.baselines.heuristic_synthesis.evaluate_allocation`).
+        max_rounds: Full improvement passes before giving up.
+
+    Returns:
+        A design with ``(makespan, cost)`` lexicographically <= the input's.
+    """
+    graph, library, style = design.graph, design.library, design.style
+    pool = library.instances()
+    best = _evaluate(graph, library, design.mapping, style, pool)
+    if best is None:  # the input was produced differently; keep it untouched
+        return design
+    if _score(best) > _score(design):
+        # Greedy re-simulation may schedule worse than the original order
+        # did; fall back to the original as the incumbent baseline.
+        best = design
+
+    tasks = list(graph.subtask_names)
+    for _ in range(max_rounds):
+        improved = False
+        # -- single-task moves ------------------------------------------
+        for task in tasks:
+            for inst in pool:
+                if inst.name == best.mapping[task] or not inst.can_execute(task):
+                    continue
+                candidate_map = dict(best.mapping)
+                candidate_map[task] = inst.name
+                candidate = _evaluate(graph, library, candidate_map, style, pool)
+                if candidate is not None and _score(candidate) < _score(best):
+                    best = candidate
+                    improved = True
+        # -- pairwise swaps ----------------------------------------------
+        for i, first in enumerate(tasks):
+            for second in tasks[i + 1:]:
+                p_first, p_second = best.mapping[first], best.mapping[second]
+                if p_first == p_second:
+                    continue
+                candidate_map = dict(best.mapping)
+                candidate_map[first], candidate_map[second] = p_second, p_first
+                candidate = _evaluate(graph, library, candidate_map, style, pool)
+                if candidate is not None and _score(candidate) < _score(best):
+                    best = candidate
+                    improved = True
+        if not improved:
+            break
+    return best
+
+
+def refine_front(designs: Sequence[Design], max_rounds: int = 10) -> List[Design]:
+    """Refine every design and re-filter to the non-inferior subset."""
+    from repro.baselines.heuristic_synthesis import pareto_filter
+
+    return pareto_filter([refine_design(design, max_rounds) for design in designs])

@@ -1,0 +1,410 @@
+"""Command-line interface.
+
+Examples::
+
+    sos synthesize problem.json --cost-cap 13 --gantt
+    sos sweep problem.json --style bus
+    sos paper --artifact table2
+    sos info problem.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.options import FormulationOptions, Objective
+from repro.errors import ReproError
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.examples import example1_library, example2_library
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorType
+from repro.taskgraph.examples import example1, example2
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.serialization import graph_from_dict
+
+
+def load_problem(path: str) -> tuple:
+    """Load a problem file: a JSON object with ``graph`` and ``library``.
+
+    Format::
+
+        {
+          "graph": {... task-graph document ...},
+          "library": {
+            "types": [{"name": "p1", "cost": 4, "exec_times": {"S1": 1}}],
+            "instances_per_type": 2,
+            "link_cost": 1.0, "local_delay": 0.0, "remote_delay": 1.0
+          }
+        }
+
+    The built-in instances ``example1`` / ``example2`` may be named instead
+    of a path.
+    """
+    if path == "example1":
+        return example1(), example1_library()
+    if path == "example2":
+        return example2(), example2_library()
+    document = json.loads(Path(path).read_text())
+    graph = graph_from_dict(document["graph"])
+    spec = document["library"]
+    types = tuple(
+        ProcessorType(t["name"], t["cost"], t.get("exec_times", {}))
+        for t in spec["types"]
+    )
+    library = TechnologyLibrary(
+        types=types,
+        instances_per_type=spec.get("instances_per_type", 2),
+        link_cost=spec.get("link_cost", 1.0),
+        local_delay=spec.get("local_delay", 0.0),
+        remote_delay=spec.get("remote_delay", 1.0),
+        bus_cost=spec.get("bus_cost", 0.0),
+    )
+    return graph, library
+
+
+def _style(name: str) -> InterconnectStyle:
+    return {
+        "p2p": InterconnectStyle.POINT_TO_POINT,
+        "point_to_point": InterconnectStyle.POINT_TO_POINT,
+        "bus": InterconnectStyle.BUS,
+        "ring": InterconnectStyle.RING,
+    }[name]
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    """Synthesize one optimal design and print/save it."""
+    graph, library = load_problem(args.problem)
+    synth = Synthesizer(graph, library, style=_style(args.style), solver=args.solver)
+    design = synth.synthesize(
+        cost_cap=args.cost_cap,
+        deadline=args.deadline,
+        objective=Objective.MIN_COST if args.min_cost else Objective.MIN_MAKESPAN,
+    )
+    print(design.describe())
+    if args.gantt:
+        print()
+        print(design.gantt())
+    if args.output:
+        Path(args.output).write_text(json.dumps(design.to_dict(), indent=2) + "\n")
+        print(f"\ndesign written to {args.output}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Enumerate and print the full non-inferior design front."""
+    graph, library = load_problem(args.problem)
+    synth = Synthesizer(graph, library, style=_style(args.style), solver=args.solver)
+    front = synth.pareto_sweep(max_designs=args.max_designs)
+    if args.csv:
+        from repro.analysis.reporting import write_csv
+
+        write_csv(
+            args.csv,
+            ["design", "cost", "performance", "processors", "links", "solve_seconds"],
+            [
+                (
+                    index + 1, design.cost, design.makespan,
+                    " ".join(sorted(design.architecture.processor_names())),
+                    len(design.architecture.links), round(design.solve_seconds, 4),
+                )
+                for index, design in enumerate(front)
+            ],
+        )
+        print(f"front written to {args.csv}")
+    print(
+        format_table(
+            ["design", "cost", "performance", "processors", "links", "solve (s)"],
+            [
+                (
+                    index + 1,
+                    design.cost,
+                    design.makespan,
+                    ", ".join(sorted(design.architecture.processor_names())),
+                    len(design.architecture.links),
+                    round(design.solve_seconds, 3),
+                )
+                for index, design in enumerate(front)
+            ],
+            title=f"Non-inferior designs for {graph.name} ({args.style})",
+        )
+    )
+    return 0
+
+
+def cmd_paper(args: argparse.Namespace) -> int:
+    """Regenerate paper artifacts and report paper-vs-measured matches."""
+    from repro.paper import experiments
+
+    if args.report:
+        from repro.paper.report import generate_report
+
+        text = generate_report(solver=args.solver)
+        Path(args.report).write_text(text)
+        print(f"reproduction report written to {args.report}")
+        return 0 if "WITH DEVIATIONS" not in text else 1
+
+    runners = {
+        "table2": experiments.run_table_ii,
+        "table4": experiments.run_table_iv,
+        "table5": experiments.run_table_v,
+        "figure2": experiments.run_figure_2,
+        "experiment1": experiments.run_experiment_1,
+        "experiment2": experiments.run_experiment_2,
+    }
+    if args.artifact == "sizes":
+        print(experiments.model_size_report())
+        return 0
+    if args.artifact == "all":
+        names = list(runners)
+    else:
+        names = [args.artifact]
+    exit_code = 0
+    for name in names:
+        result = runners[name](solver=args.solver)
+        if result.rows:
+            print(result.render())
+        else:
+            print(f"{result.name}: {'OK' if result.matches_paper else 'DEVIATIONS'}")
+            for note in result.notes:
+                print(f"  note: {note}")
+        if result.designs and args.gantt:
+            print(result.designs[0].gantt())
+        print()
+        if not result.matches_paper:
+            exit_code = 1
+    return exit_code
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Re-check a saved design against the paper's correctness constraints."""
+    from repro.schedule.schedule import Schedule
+    from repro.schedule.validate import validate_schedule
+
+    graph, library = load_problem(args.problem)
+    document = json.loads(Path(args.design).read_text())
+    schedule = Schedule.from_dict(document["schedule"])
+    style = InterconnectStyle(document.get("style", "point_to_point"))
+    problems = validate_schedule(graph, library, schedule, style=style)
+    if problems:
+        print(f"INVALID: {len(problems)} violation(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"VALID: makespan {schedule.makespan:g}, "
+        f"{len(schedule.processors())} processors, "
+        f"{len(schedule.remote_transfers())} remote transfers"
+    )
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    """Run the heuristic co-synthesis baseline and compare with the MILP."""
+    from repro.analysis.pareto import coverage
+    from repro.baselines.heuristic_synthesis import heuristic_pareto
+    from repro.baselines.refinement import refine_front
+
+    graph, library = load_problem(args.problem)
+    style = _style(args.style)
+    front = heuristic_pareto(graph, library, style=style)
+    if args.refine:
+        front = refine_front(front)
+    rows = [
+        (design.cost, design.makespan, design.solver_name)
+        for design in front
+    ]
+    print(format_table(
+        ["cost", "performance", "method"], rows,
+        title=f"Heuristic non-inferior designs for {graph.name}",
+    ))
+    if args.compare_exact:
+        exact = Synthesizer(graph, library, style=style,
+                            solver=args.solver).pareto_sweep()
+        exact_points = [(d.cost, d.makespan) for d in exact]
+        heuristic_points = [(d.cost, d.makespan) for d in front]
+        print()
+        print(format_table(
+            ["cost", "performance"], exact_points,
+            title="Exact MILP non-inferior designs",
+        ))
+        print(f"\nheuristic coverage of the exact front: "
+              f"{coverage(exact_points, heuristic_points):.0%}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Schedule analytics of a saved design: critical path, utilization, trace."""
+    from repro.schedule.stats import (
+        communication_summary,
+        critical_path,
+        utilization_report,
+    )
+    from repro.sim.trace import format_trace
+    from repro.synthesis.io import load_design
+
+    graph, library = load_problem(args.problem)
+    design = load_design(graph, library, args.design)
+    print(f"makespan {design.makespan:g}, cost {design.cost:g}")
+    print("critical path:",
+          " -> ".join(critical_path(graph, library, design.schedule)))
+    print()
+    print(format_table(
+        ["resource", "kind", "busy", "events", "utilization"],
+        [
+            (u.name, u.kind, u.busy, u.events, f"{u.utilization:.0%}")
+            for u in utilization_report(design.schedule)
+        ],
+        title="resource utilization",
+    ))
+    summary = communication_summary(design.schedule)
+    print()
+    print(format_table(["metric", "value"], sorted(summary.items()),
+                       title="communication"))
+    if args.trace:
+        print()
+        print(format_trace(design.schedule))
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    """Emit Graphviz DOT for the task graph or a synthesized design."""
+    from repro.taskgraph.dot import design_to_dot, graph_to_dot
+
+    graph, library = load_problem(args.problem)
+    if args.design:
+        design = Synthesizer(graph, library, style=_style(args.style),
+                             solver=args.solver).synthesize(cost_cap=args.cost_cap)
+        text = design_to_dot(design)
+    else:
+        text = graph_to_dot(graph)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"DOT written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Describe a problem: pool, MILP size, bounds, per-family row counts."""
+    graph, library = load_problem(args.problem)
+    from repro.baselines.bounds import cost_lower_bound, makespan_lower_bound
+    from repro.core.formulation import SosModelBuilder
+    from repro.core.options import FormulationOptions
+
+    built = SosModelBuilder(
+        graph, library, FormulationOptions(style=_style(args.style))
+    ).build()
+    print(f"graph: {graph!r}")
+    print(f"pool: {[inst.name for inst in built.pool]}")
+    print(f"model: {built.size_report()} (horizon T_M = {built.horizon:g})")
+    print(f"makespan lower bound: {makespan_lower_bound(graph, library):g}")
+    print(f"cost lower bound: {cost_lower_bound(graph, library):g}")
+    print("constraints per family:")
+    for family, count in sorted(built.family_counts.items()):
+        print(f"  {family}: {count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``sos`` argument parser (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="sos",
+        description="SOS: MILP co-synthesis of heterogeneous multiprocessor systems "
+        "(Prakash & Parker, ISCA 1992 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("problem", help="problem JSON path, or 'example1'/'example2'")
+        p.add_argument("--style", choices=("p2p", "bus", "ring"), default="p2p")
+        p.add_argument("--solver", default="auto", help="auto|highs|bozo")
+
+    p_synth = sub.add_parser("synthesize", help="synthesize one optimal design")
+    common(p_synth)
+    p_synth.add_argument("--cost-cap", type=float, default=None)
+    p_synth.add_argument("--deadline", type=float, default=None)
+    p_synth.add_argument("--min-cost", action="store_true",
+                         help="minimize cost (default: minimize completion time)")
+    p_synth.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p_synth.add_argument("--output", help="write the design JSON here")
+    p_synth.set_defaults(func=cmd_synthesize)
+
+    p_sweep = sub.add_parser("sweep", help="enumerate all non-inferior designs")
+    common(p_sweep)
+    p_sweep.add_argument("--max-designs", type=int, default=64)
+    p_sweep.add_argument("--csv", help="also write the front to this CSV file")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_paper = sub.add_parser("paper", help="regenerate a paper table/figure")
+    p_paper.add_argument(
+        "--artifact",
+        choices=("table2", "table4", "table5", "figure2", "experiment1",
+                 "experiment2", "sizes", "all"),
+        default="all",
+    )
+    p_paper.add_argument("--solver", default="auto")
+    p_paper.add_argument("--gantt", action="store_true")
+    p_paper.add_argument("--report",
+                         help="regenerate everything into a markdown report file")
+    p_paper.set_defaults(func=cmd_paper)
+
+    p_info = sub.add_parser("info", help="describe a problem and its MILP")
+    common(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_validate = sub.add_parser(
+        "validate", help="re-check a saved design against the §3.3 constraints"
+    )
+    common(p_validate)
+    p_validate.add_argument("design", help="design JSON produced by 'synthesize --output'")
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_baseline = sub.add_parser(
+        "baseline", help="heuristic co-synthesis (allocation enumeration + list scheduling)"
+    )
+    common(p_baseline)
+    p_baseline.add_argument("--refine", action="store_true",
+                            help="apply local-search refinement")
+    p_baseline.add_argument("--compare-exact", action="store_true",
+                            help="also run the exact MILP sweep and report coverage")
+    p_baseline.set_defaults(func=cmd_baseline)
+
+    p_stats = sub.add_parser(
+        "stats", help="schedule analytics of a saved design (critical path, utilization)"
+    )
+    common(p_stats)
+    p_stats.add_argument("design", help="design JSON produced by 'synthesize --output'")
+    p_stats.add_argument("--trace", action="store_true",
+                         help="also print the chronological event trace")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_dot = sub.add_parser("dot", help="emit Graphviz DOT (task graph or design)")
+    common(p_dot)
+    p_dot.add_argument("--design", action="store_true",
+                       help="synthesize and render the system instead of the graph")
+    p_dot.add_argument("--cost-cap", type=float, default=None)
+    p_dot.add_argument("--output", help="write DOT here instead of stdout")
+    p_dot.set_defaults(func=cmd_dot)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The paper's primary contribution: the SOS MILP co-synthesis formulation."""
+
+from repro.core.designer import DesignerConstraints
+from repro.core.extraction import extract_design
+from repro.core.formulation import SosModel, SosModelBuilder, build_sos_model
+from repro.core.horizon import compute_horizon, serial_lower_bound
+from repro.core.options import FormulationOptions, Objective
+from repro.core.precedence import strong_precedence
+from repro.core.variables import SosVariables, arc_key
+
+__all__ = [
+    "DesignerConstraints",
+    "extract_design",
+    "SosModel",
+    "SosModelBuilder",
+    "build_sos_model",
+    "compute_horizon",
+    "serial_lower_bound",
+    "FormulationOptions",
+    "Objective",
+    "strong_precedence",
+    "SosVariables",
+    "arc_key",
+]

@@ -1,0 +1,193 @@
+"""Arbitrary designer constraints (§3.3.2's closing remark).
+
+    "It is easy to see that arbitrary constraints imposed by the designer
+    (within the semantics of the model) can be expressed using the timing
+    and binary variables defined in the model."
+
+This module makes that claim concrete: a :class:`DesignerConstraints`
+bundle collects the constraint kinds system designers actually impose —
+pinning, forbidding, co-location, release times, per-subtask deadlines,
+processor-count budgets — and compiles each into linear rows over the
+model's own σ/β/timing variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ModelError
+from repro.milp.expr import LinExpr
+from repro.core.formulation import SosModel
+from repro.core.variables import SosVariables
+
+
+@dataclass
+class DesignerConstraints:
+    """Designer-imposed restrictions, applied on top of a built SOS model.
+
+    Attributes:
+        pin: Force a subtask onto one processor instance
+            (``{"S3": "p3a"}`` ⇒ σ[p3a,S3] = 1).
+        forbid: Keep subtasks off processor instances
+            (``{"S1": {"p2a", "p2b"}}`` ⇒ σ = 0 rows).
+        colocate: Subtask pairs that must share a processor (γ of a
+            connecting arc forced 0; general pairs via σ equality rows).
+        separate: Subtask pairs that must NOT share a processor.
+        release: Earliest start times (``T_SS >= t``).
+        finish_by: Per-subtask completion deadlines (``T_SE <= t``).
+        max_processors: Upper bound on the number of processors bought
+            (``Σ β <= n``).
+        forbid_types: Processor *type* names that must not be used at all.
+    """
+
+    pin: Dict[str, str] = field(default_factory=dict)
+    forbid: Dict[str, Set[str]] = field(default_factory=dict)
+    colocate: List[Tuple[str, str]] = field(default_factory=list)
+    separate: List[Tuple[str, str]] = field(default_factory=list)
+    release: Dict[str, float] = field(default_factory=dict)
+    finish_by: Dict[str, float] = field(default_factory=dict)
+    max_processors: Optional[int] = None
+    forbid_types: Set[str] = field(default_factory=set)
+
+    # -- fluent builders ---------------------------------------------------
+    def pin_task(self, task: str, processor: str) -> "DesignerConstraints":
+        """Force ``task`` onto processor instance ``processor``."""
+        self.pin[task] = processor
+        return self
+
+    def forbid_task_on(self, task: str, processor: str) -> "DesignerConstraints":
+        """Keep ``task`` off processor instance ``processor``."""
+        self.forbid.setdefault(task, set()).add(processor)
+        return self
+
+    def colocate_tasks(self, first: str, second: str) -> "DesignerConstraints":
+        """Require the two subtasks to share one processor."""
+        self.colocate.append((first, second))
+        return self
+
+    def separate_tasks(self, first: str, second: str) -> "DesignerConstraints":
+        """Forbid the two subtasks from sharing a processor."""
+        self.separate.append((first, second))
+        return self
+
+    def release_at(self, task: str, time: float) -> "DesignerConstraints":
+        """Forbid ``task`` from starting before ``time``."""
+        self.release[task] = time
+        return self
+
+    def must_finish_by(self, task: str, time: float) -> "DesignerConstraints":
+        """Require ``task`` to complete no later than ``time``."""
+        self.finish_by[task] = time
+        return self
+
+    def limit_processors(self, count: int) -> "DesignerConstraints":
+        """Cap the number of processors bought (``Σ β <= count``)."""
+        self.max_processors = count
+        return self
+
+    def forbid_type(self, type_name: str) -> "DesignerConstraints":
+        """Ban a processor *type* from the system entirely."""
+        self.forbid_types.add(type_name)
+        return self
+
+    def is_empty(self) -> bool:
+        """True when no restriction has been added."""
+        return not any(
+            (self.pin, self.forbid, self.colocate, self.separate,
+             self.release, self.finish_by, self.forbid_types)
+        ) and self.max_processors is None
+
+    # -- application ---------------------------------------------------------
+    def apply(self, built: SosModel) -> None:
+        """Compile every restriction into rows of ``built.model``.
+
+        Raises:
+            ModelError: For references to unknown subtasks/processors, pins
+                onto incapable processors, or contradictory pins.
+        """
+        model = built.model
+        v = built.variables
+        tasks = set(built.graph.subtask_names)
+        pool_names = {inst.name for inst in built.pool}
+
+        def sigma_of(task: str, processor: str):
+            self._check_task(task, tasks)
+            if processor not in pool_names:
+                raise ModelError(f"unknown processor instance {processor!r}")
+            return v.sigma.get((processor, task))
+
+        for task, processor in self.pin.items():
+            sigma = sigma_of(task, processor)
+            if sigma is None:
+                raise ModelError(
+                    f"cannot pin {task} to {processor}: that processor type "
+                    f"cannot execute it"
+                )
+            model.add(LinExpr.from_term(sigma) == 1, name=f"pin[{task},{processor}]")
+
+        for task, processors in self.forbid.items():
+            for processor in sorted(processors):
+                sigma = sigma_of(task, processor)
+                if sigma is not None:  # forbidding an incapable pair is a no-op
+                    model.add(LinExpr.from_term(sigma) == 0,
+                              name=f"forbid[{task},{processor}]")
+
+        for first, second in self.colocate:
+            self._check_task(first, tasks)
+            self._check_task(second, tasks)
+            for inst in built.pool:
+                s1 = v.sigma.get((inst.name, first))
+                s2 = v.sigma.get((inst.name, second))
+                if s1 is not None and s2 is not None:
+                    model.add(s1 == LinExpr.from_term(s2),
+                              name=f"coloc[{first},{second},{inst.name}]")
+                elif (s1 is None) != (s2 is None):
+                    # Only one of the pair can run here: neither may.
+                    present = s1 if s1 is not None else s2
+                    model.add(LinExpr.from_term(present) == 0,
+                              name=f"coloc0[{first},{second},{inst.name}]")
+
+        for first, second in self.separate:
+            self._check_task(first, tasks)
+            self._check_task(second, tasks)
+            for inst in built.pool:
+                s1 = v.sigma.get((inst.name, first))
+                s2 = v.sigma.get((inst.name, second))
+                if s1 is not None and s2 is not None:
+                    model.add(s1 + s2 <= 1,
+                              name=f"sep[{first},{second},{inst.name}]")
+
+        for task, time in self.release.items():
+            self._check_task(task, tasks)
+            model.add(v.t_ss[task] >= time, name=f"release[{task}]")
+
+        for task, time in self.finish_by.items():
+            self._check_task(task, tasks)
+            model.add(v.t_se[task] <= time, name=f"finish[{task}]")
+
+        if self.max_processors is not None:
+            if self.max_processors < 1:
+                raise ModelError("max_processors must be at least 1")
+            model.add(
+                LinExpr.sum(v.beta.values()) <= self.max_processors,
+                name="max_processors",
+            )
+
+        for type_name in sorted(self.forbid_types):
+            instances = [inst for inst in built.pool if inst.ptype.name == type_name]
+            if not instances:
+                raise ModelError(f"unknown processor type {type_name!r}")
+            for inst in instances:
+                model.add(LinExpr.from_term(v.beta[inst.name]) == 0,
+                          name=f"forbid_type[{inst.name}]")
+                for task in tasks:
+                    sigma = v.sigma.get((inst.name, task))
+                    if sigma is not None:
+                        model.add(LinExpr.from_term(sigma) == 0,
+                                  name=f"forbid_type_sigma[{inst.name},{task}]")
+
+    @staticmethod
+    def _check_task(task: str, tasks: Set[str]) -> None:
+        if task not in tasks:
+            raise ModelError(f"unknown subtask {task!r} in designer constraint")

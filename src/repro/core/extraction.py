@@ -1,0 +1,131 @@
+"""Turn a MILP solution into a :class:`~repro.synthesis.design.Design`.
+
+§3.4.2: solving the model yields (1) the multiprocessor system, (2) the
+subtask schedule, and (3) detailed timing for computation and transfers.
+This module reads those three outputs back out of the variable values.
+
+The architecture is derived from what the solution *uses* (σ assignments
+and actually-remote transfers) rather than from the β/χ indicator values:
+the indicators are only lower-bounded in the model (3.3.12, 3.4.21), so
+under a cost cap a solver may legally leave a spurious indicator at 1.
+Deriving from usage always yields the cheapest architecture supporting the
+schedule, which is also what the paper's design descriptions report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.formulation import SosModel
+from repro.core.variables import arc_key
+from repro.errors import SynthesisError
+from repro.milp.solution import Solution
+from repro.schedule.events import ExecutionEvent, TransferEvent
+from repro.schedule.schedule import Schedule
+from repro.synthesis.design import Design
+from repro.system.architecture import Architecture, Link
+from repro.system.interconnect import InterconnectStyle
+
+#: Timing values are rounded to this many decimals to strip LP noise.
+_TIME_DECIMALS = 6
+
+
+def _clean(value: float) -> float:
+    rounded = round(value, _TIME_DECIMALS)
+    return 0.0 if rounded == 0 else rounded
+
+
+def extract_design(built: SosModel, solution: Solution) -> Design:
+    """Build the :class:`Design` encoded by a feasible MILP solution.
+
+    Args:
+        built: The model (with variable catalog) that was solved.
+        solution: A solution with values (OPTIMAL or FEASIBLE).
+
+    Raises:
+        SynthesisError: If the solution has no values or the σ's do not
+            form a valid one-processor-per-subtask mapping.
+    """
+    if not solution.status.has_solution:
+        raise SynthesisError(
+            f"cannot extract a design from a {solution.status.value} solution"
+        )
+    v = built.variables
+    graph, library = built.graph, built.library
+    instances = {inst.name: inst for inst in built.pool}
+
+    # -- mapping from the σ variables ---------------------------------------
+    mapping: Dict[str, str] = {}
+    for (proc, task), var in v.sigma.items():
+        if solution.rounded_value(var) >= 0.5:
+            if task in mapping:
+                raise SynthesisError(
+                    f"solution maps subtask {task} to both {mapping[task]} and {proc}"
+                )
+            mapping[task] = proc
+    missing = [s.name for s in graph.subtasks if s.name not in mapping]
+    if missing:
+        raise SynthesisError(f"solution leaves subtasks unmapped: {missing}")
+
+    # -- timed events ---------------------------------------------------------
+    executions = [
+        ExecutionEvent(
+            task=subtask.name,
+            processor=mapping[subtask.name],
+            start=_clean(solution.value(v.t_ss[subtask.name])),
+            end=_clean(solution.value(v.t_se[subtask.name])),
+        )
+        for subtask in graph.subtasks
+    ]
+    transfers: List[TransferEvent] = []
+    for arc in graph.arcs:
+        key = arc_key(arc.consumer, arc.dest.index)
+        source = mapping[arc.producer]
+        dest = mapping[arc.consumer]
+        transfers.append(
+            TransferEvent(
+                producer=arc.producer,
+                consumer=arc.consumer,
+                input_index=arc.dest.index,
+                source=source,
+                dest=dest,
+                start=_clean(solution.value(v.t_cs[key])),
+                end=_clean(solution.value(v.t_ce[key])),
+                remote=source != dest,
+                volume=arc.volume,
+            )
+        )
+    schedule = Schedule(executions=executions, transfers=transfers)
+
+    # -- architecture from usage ------------------------------------------------
+    used = sorted({name for name in mapping.values()})
+    processors = [instances[name] for name in used]
+    links: List[Link] = []
+    if built.options.style is not InterconnectStyle.BUS:
+        for route in schedule.routes():
+            links.append(Link(*route))
+    ring_order: Tuple[str, ...] = ()
+    if built.options.style is InterconnectStyle.RING:
+        ring_order = tuple(inst.name for inst in built.pool if inst.name in set(used))
+    architecture = Architecture(
+        processors=processors,
+        links=links,
+        style=built.options.style,
+        library=library,
+        ring_order=ring_order,
+    )
+
+    return Design(
+        graph=graph,
+        library=library,
+        style=built.options.style,
+        architecture=architecture,
+        mapping=mapping,
+        schedule=schedule,
+        makespan=_clean(max(e.end for e in executions)),
+        cost=architecture.total_cost(),
+        solver_name=solution.solver_name,
+        solve_seconds=solution.solve_seconds,
+        proven_optimal=solution.status.value == "optimal",
+        nodes=solution.iterations,
+    )

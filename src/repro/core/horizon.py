@@ -1,0 +1,69 @@
+"""Computation of the big-M time horizon ``T_M``.
+
+§3.4.1 only requires ``T_M`` to exceed every timing value the model can
+take.  A loose ``T_M`` makes LP relaxations weak and branch-and-bound slow,
+so we compute the tightest bound that is still *safe*: a value such that
+**every** subtask-to-processor mapping admits a schedule whose events all
+finish by ``T_M``.  Serializing everything — worst-case execution choice
+per subtask plus every transfer taken remotely, one at a time — gives such
+a schedule, so::
+
+    T_M = sum_a max_{d in P_a} D_PS(d, a)  +  sum_arcs D_CR * V
+
+remains valid under any designer cost cap (no mapping is excluded).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SystemModelError
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+
+
+def compute_horizon(graph: TaskGraph, library: TechnologyLibrary) -> float:
+    """The safe-but-tight big-M constant ``T_M`` for an instance.
+
+    Raises:
+        SystemModelError: If some subtask has no capable processor.
+    """
+    library.check_covers(graph)
+    worst_execution = 0.0
+    for subtask in graph.subtasks:
+        worst_execution += max(
+            ptype.execution_time(subtask.name)
+            for ptype in library.capable_types(subtask.name)
+        )
+    worst_communication = sum(
+        library.transfer_delay(arc.volume, remote=True) for arc in graph.arcs
+    )
+    horizon = worst_execution + worst_communication
+    if horizon <= 0:
+        # Degenerate instance (all durations zero); any positive constant works.
+        return 1.0
+    return horizon
+
+
+def serial_lower_bound(graph: TaskGraph, library: TechnologyLibrary) -> float:
+    """A trivial lower bound on ``T_F``: the best single chain of §3.1 data
+    dependences using each subtask's fastest capable processor and free
+    communication.  Used for sanity checks, never as a big-M."""
+    library.check_covers(graph)
+    best_time = {
+        subtask.name: min(
+            ptype.execution_time(subtask.name)
+            for ptype in library.capable_types(subtask.name)
+        )
+        for subtask in graph.subtasks
+    }
+    finish = {}
+    for task in graph.topological_order():
+        # With fractional ports a consumer may overlap its producer: the
+        # output exists at T_SE(p) - (1 - f_A) * dur_p and the consumer may
+        # start f_R * dur_c before it arrives.  Communication is taken free
+        # (local), which keeps this a valid lower bound for every mapping.
+        start = 0.0
+        for arc in graph.arcs_into(task):
+            available = finish[arc.producer] - (1.0 - arc.source.f_available) * best_time[arc.producer]
+            start = max(start, available - best_time[task] * arc.dest.f_required)
+        finish[task] = start + best_time[task]
+    return max(finish.values(), default=0.0)

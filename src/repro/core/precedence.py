@@ -1,0 +1,78 @@
+"""Precedence analysis used to prune redundant exclusion constraints.
+
+§3.4.1's linearization introduces a binary ordering variable (α or φ) and
+two big-M rows for *every* pair of events that might share a resource.
+Many of those pairs are already ordered by the data-flow constraints
+themselves, so their exclusion rows can never be active in a feasible
+solution; dropping them leaves the feasible set (and hence every table in
+the paper) unchanged while shrinking the search space substantially.
+
+The implication chain used here (constraints 3.3.3–3.3.8):
+
+    T_SS(a2) >= T_IA - f_R * dur(a2)       (3.3.5)
+    T_IA = T_CE >= T_CS >= T_OA            (3.3.3, 3.3.8, 3.3.7)
+    T_OA = T_SS(a1) + f_A * dur(a1)        (3.3.4)
+
+so an arc guarantees ``T_SS(consumer) >= T_SE(producer)`` exactly when its
+``f_A = 1`` and ``f_R = 0`` (the traditional data-flow semantics).  We call
+the transitive closure of such arcs *strong precedence*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.taskgraph.graph import DataArc, TaskGraph
+
+
+def strong_precedence(graph: TaskGraph) -> Dict[str, Set[str]]:
+    """``after[a]`` = subtasks that provably start after ``a`` finishes.
+
+    Only arcs with ``f_A == 1`` and ``f_R == 0`` contribute (see module
+    docstring); the result is transitively closed.
+    """
+    direct: Dict[str, Set[str]] = {name: set() for name in graph.subtask_names}
+    for arc in graph.arcs:
+        if arc.source.f_available >= 1.0 and arc.dest.f_required <= 0.0:
+            direct[arc.producer].add(arc.consumer)
+    after: Dict[str, Set[str]] = {name: set() for name in graph.subtask_names}
+    for task in reversed(graph.topological_order()):
+        closure: Set[str] = set()
+        for child in direct[task]:
+            closure.add(child)
+            closure |= after[child]
+        after[task] = closure
+    return after
+
+
+def executions_provably_ordered(
+    after: Dict[str, Set[str]], task1: str, task2: str
+) -> bool:
+    """True when the execution intervals of two subtasks cannot overlap in
+    any feasible solution (one strongly precedes the other)."""
+    return task2 in after[task1] or task1 in after[task2]
+
+
+def transfers_provably_ordered(
+    after: Dict[str, Set[str]], arc1: DataArc, arc2: DataArc
+) -> bool:
+    """True when the transfer intervals of two arcs cannot overlap.
+
+    The transfer of ``arc`` ends by ``T_SS(consumer) + f_R * dur`` (3.3.5)
+    and starts no earlier than ``T_SS(producer) + f_A * dur`` (3.3.7 + 3.3.4),
+    so arc1's transfer provably precedes arc2's when either
+
+    * arc1's consumer strongly precedes arc2's producer (then
+      ``T_CE(arc1) <= T_SE(c1) <= T_SS(p2) <= T_CS(arc2)``), or
+    * arc1's consumer *is* arc2's producer and
+      ``f_R(arc1) <= f_A(arc2)`` (both deadlines measured on the same
+      execution interval).
+    """
+
+    def ordered(first: DataArc, second: DataArc) -> bool:
+        c1, p2 = first.consumer, second.producer
+        if p2 in after[c1]:
+            return True
+        return c1 == p2 and first.dest.f_required <= second.source.f_available
+
+    return ordered(arc1, arc2) or ordered(arc2, arc1)

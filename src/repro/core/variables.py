@@ -1,0 +1,72 @@
+"""The variable catalog of a SOS model.
+
+Creates and indexes every timing and binary variable of §3.3.1, using the
+paper's own symbols in the variable names so LP dumps read like the paper:
+
+========================  =======================================
+paper symbol              variable name
+========================  =======================================
+``T_SS(S_a)``             ``T_SS[S_a]``
+``T_SE(S_a)``             ``T_SE[S_a]``
+``T_IA(i_{a,b})``         ``T_IA[a,b]``
+``T_OA(o_{a,c})``         ``T_OA[a,c]``
+``T_CS(i_{a,b})``         ``T_CS[a,b]``
+``T_CE(i_{a,b})``         ``T_CE[a,b]``
+``T_F``                   ``T_F``
+``sigma_{d,a}``           ``sigma[d,a]``
+``gamma_{a1,a2}``         ``gamma[a1->a2:b]`` (per arc)
+``delta_{d,a1,a2}``       ``delta[d,a1->a2:b]``
+``alpha_{a1,a2}``         ``alpha[a1,a2]``
+``phi_{a1,b1,a2,b2}``     ``phi[a1:b1,a2:b2]``
+``beta_d``                ``beta[d]``
+``chi_{d1,d2}``           ``chi[d1,d2]``
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.milp.expr import Var
+from repro.milp.model import Model
+
+#: Identity of a connected input port / arc: ``(consumer task, input index)``.
+ArcKey = Tuple[str, int]
+
+
+@dataclass
+class SosVariables:
+    """All decision variables of one SOS model, keyed by paper identity."""
+
+    t_ss: Dict[str, Var] = field(default_factory=dict)
+    t_se: Dict[str, Var] = field(default_factory=dict)
+    t_ia: Dict[ArcKey, Var] = field(default_factory=dict)
+    t_oa: Dict[Tuple[str, int], Var] = field(default_factory=dict)
+    t_cs: Dict[ArcKey, Var] = field(default_factory=dict)
+    t_ce: Dict[ArcKey, Var] = field(default_factory=dict)
+    t_f: Var = None  # type: ignore[assignment]
+    sigma: Dict[Tuple[str, str], Var] = field(default_factory=dict)  # (proc, task)
+    gamma: Dict[ArcKey, Var] = field(default_factory=dict)
+    delta: Dict[Tuple[str, ArcKey], Var] = field(default_factory=dict)
+    alpha: Dict[Tuple[str, str], Var] = field(default_factory=dict)
+    phi: Dict[Tuple[ArcKey, ArcKey], Var] = field(default_factory=dict)
+    beta: Dict[str, Var] = field(default_factory=dict)
+    chi: Dict[Tuple[str, str], Var] = field(default_factory=dict)
+    #: §5 memory extension: per-processor local memory size.
+    memory: Dict[str, Var] = field(default_factory=dict)
+
+    def count_binary(self) -> int:
+        """Number of 0-1 variables (the paper reports this per model)."""
+        groups = (self.sigma, self.gamma, self.delta, self.alpha, self.phi, self.beta, self.chi)
+        return sum(len(group) for group in groups)
+
+    def count_timing(self) -> int:
+        """Number of real timing variables (the paper reports this too)."""
+        groups = (self.t_ss, self.t_se, self.t_ia, self.t_oa, self.t_cs, self.t_ce)
+        return sum(len(group) for group in groups) + (1 if self.t_f is not None else 0)
+
+
+def arc_key(consumer: str, input_index: int) -> ArcKey:
+    """Normalized arc identity."""
+    return (consumer, input_index)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the SOS reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subsystems raise the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ModelError(ReproError):
+    """A MILP model was constructed or used incorrectly."""
+
+
+class SolverError(ReproError):
+    """A solver failed in a way that is not simply infeasibility."""
+
+
+class InfeasibleError(SolverError):
+    """The model was proven infeasible."""
+
+
+class UnboundedError(SolverError):
+    """The model was proven unbounded."""
+
+
+class TimeLimitError(SolverError):
+    """The solver hit its time limit before proving optimality."""
+
+
+class TaskGraphError(ReproError):
+    """A task data-flow graph violates the task-model rules."""
+
+
+class SystemModelError(ReproError):
+    """A technology library or architecture violates the system-model rules."""
+
+
+class SynthesisError(ReproError):
+    """Synthesis could not produce a design (e.g. no capable processor)."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is malformed."""
+
+
+class ValidationError(ScheduleError):
+    """A schedule violates one of the paper's correctness constraints.
+
+    The message names the violated constraint family using the paper's
+    equation numbers (e.g. ``processor-usage-exclusion (3.3.9)``).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistency (e.g. deadlock)."""

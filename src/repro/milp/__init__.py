@@ -1,0 +1,30 @@
+"""A from-scratch MILP modeling layer (variables, expressions, models).
+
+This is the reproduction's stand-in for the matrix generators the SOS
+authors wrote by hand for Bozo/XLP: a small, typed modeling API in the
+spirit of PuLP, consumed by the solver backends in :mod:`repro.solvers`.
+"""
+
+from repro.milp.constraint import Constraint, Sense
+from repro.milp.expr import INTEGRALITY_TOLERANCE, LinExpr, Var, VarType
+from repro.milp.lpreader import read_lp
+from repro.milp.lpwriter import lp_string, write_lp
+from repro.milp.model import MatrixForm, Model, ModelStats
+from repro.milp.solution import Solution, SolveStatus
+
+__all__ = [
+    "Constraint",
+    "Sense",
+    "INTEGRALITY_TOLERANCE",
+    "LinExpr",
+    "Var",
+    "VarType",
+    "read_lp",
+    "lp_string",
+    "write_lp",
+    "MatrixForm",
+    "Model",
+    "ModelStats",
+    "Solution",
+    "SolveStatus",
+]

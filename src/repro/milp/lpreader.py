@@ -1,0 +1,231 @@
+"""CPLEX-LP-format reader — the inverse of :mod:`repro.milp.lpwriter`.
+
+Supports the subset the writer emits (which is also the common core of the
+format): ``Minimize``/``Maximize``, ``Subject To``, ``Bounds``, ``Binary``,
+``General``, ``End``, with named rows, infinities, and signed coefficients.
+Round-tripping a model through write+read preserves its mathematical
+content exactly (a property test asserts this).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.milp.constraint import Sense
+from repro.milp.expr import LinExpr, VarType
+from repro.milp.model import Model
+
+_SECTIONS = {
+    "minimize": "objective",
+    "maximize": "objective",
+    "subject to": "constraints",
+    "such that": "constraints",
+    "st": "constraints",
+    "s.t.": "constraints",
+    "bounds": "bounds",
+    "binary": "binary",
+    "binaries": "binary",
+    "bin": "binary",
+    "general": "general",
+    "generals": "general",
+    "gen": "general",
+    "end": "end",
+}
+
+_TERM = re.compile(r"([+-])?\s*(\d+(?:\.\d*)?(?:[eE][+-]?\d+)?)?\s*([A-Za-z_][A-Za-z0-9_.]*)")
+_NUMBER = re.compile(r"[+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?")
+
+
+def read_lp(text: str) -> Model:
+    """Parse LP-format text into a :class:`Model`.
+
+    Raises:
+        ModelError: On malformed input.
+    """
+    model = Model("from_lp")
+    # Strip comments, join physical lines, and split into logical pieces.
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("\\")[0].strip()
+        if line:
+            lines.append(line)
+
+    section = None
+    maximize = False
+    pending: List[str] = []
+    objective_text: List[str] = []
+    constraint_texts: List[Tuple[Optional[str], str]] = []
+    bound_lines: List[str] = []
+    binary_names: List[str] = []
+    general_names: List[str] = []
+
+    def flush_constraint() -> None:
+        if pending:
+            joined = " ".join(pending)
+            name, body = _split_label(joined)
+            constraint_texts.append((name, body))
+            pending.clear()
+
+    for line in lines:
+        lowered = line.lower().rstrip(":")
+        if lowered in _SECTIONS:
+            flush_constraint()
+            section = _SECTIONS[lowered]
+            maximize = maximize or lowered == "maximize"
+            continue
+        if section == "objective":
+            objective_text.append(line)
+        elif section == "constraints":
+            pending.append(line)
+            if _has_relation(line):
+                flush_constraint()
+        elif section == "bounds":
+            bound_lines.append(line)
+        elif section == "binary":
+            binary_names.extend(line.split())
+        elif section == "general":
+            general_names.extend(line.split())
+        elif section == "end":
+            break
+        else:
+            raise ModelError(f"LP text before any section header: {line!r}")
+    flush_constraint()
+
+    if not objective_text:
+        raise ModelError("LP text has no objective section")
+
+    # Collect every variable name first (from all expressions and lists).
+    names: Dict[str, None] = {}
+    _, objective_body = _split_label(" ".join(objective_text))
+    for piece in [objective_body] + [body for _, body in constraint_texts]:
+        expression_part = re.split(r"<=|>=|=", piece)[0]
+        for match in _TERM.finditer(expression_part):
+            names.setdefault(match.group(3), None)
+    for name in binary_names + general_names:
+        names.setdefault(name, None)
+    # Variables may legally appear only in Bounds (zero everywhere else).
+    keyword = {"free", "inf", "infinity"}
+    for line in bound_lines:
+        for match in re.finditer(r"[A-Za-z_][A-Za-z0-9_.]*", line):
+            token = match.group(0)
+            if token.lower() not in keyword and not _NUMBER.fullmatch(token):
+                names.setdefault(token, None)
+
+    variables = {name: model.add_var(name) for name in names}
+
+    # Constraints.
+    for label, body in constraint_texts:
+        expr, sense, rhs = _parse_relation(body, variables)
+        from repro.milp.constraint import Constraint
+
+        model.add(Constraint(expr, sense, rhs), name=label or "")
+
+    # Objective.
+    objective = _parse_expression(objective_body, variables)
+    model.minimize(-objective if maximize else objective)
+
+    # Bounds.
+    for line in bound_lines:
+        _apply_bound(line, variables)
+
+    # Types (after bounds: binaries override to [0, 1]).
+    for name in binary_names:
+        var = variables[name]
+        var.vtype = VarType.BINARY
+        var.lb, var.ub = 0.0, 1.0
+    for name in general_names:
+        variables[name].vtype = VarType.INTEGER
+    return model
+
+
+def _split_label(text: str) -> Tuple[Optional[str], str]:
+    """Split a leading ``name:`` row label off an expression."""
+    if ":" in text:
+        label, _, rest = text.partition(":")
+        label = label.strip()
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", label):
+            return label, rest.strip()
+    return None, text.strip()
+
+
+def _has_relation(text: str) -> bool:
+    return bool(re.search(r"<=|>=|(?<![<>])=", text))
+
+
+def _parse_relation(text: str, variables: Dict[str, object]):
+    match = re.search(r"(<=|>=|=)", text)
+    if not match:
+        raise ModelError(f"constraint without relation: {text!r}")
+    sense = {"<=": Sense.LE, ">=": Sense.GE, "=": Sense.EQ}[match.group(1)]
+    left = text[: match.start()].strip()
+    right = text[match.end():].strip()
+    rhs_match = _NUMBER.fullmatch(right)
+    if not rhs_match:
+        raise ModelError(f"constraint right-hand side is not a number: {right!r}")
+    expr = _parse_expression(left, variables)
+    return expr, sense, float(right)
+
+
+def _parse_expression(text: str, variables: Dict[str, object]) -> LinExpr:
+    expr = LinExpr()
+    position = 0
+    text = text.strip()
+    if not text or text == "0":
+        return expr
+    for match in _TERM.finditer(text):
+        sign = -1.0 if match.group(1) == "-" else 1.0
+        coefficient = float(match.group(2)) if match.group(2) else 1.0
+        name = match.group(3)
+        if name not in variables:
+            raise ModelError(f"unknown variable {name!r} in expression {text!r}")
+        expr = expr + sign * coefficient * variables[name]
+        position = match.end()
+    return expr
+
+
+def _apply_bound(line: str, variables: Dict[str, object]) -> None:
+    tokens = line.replace("<=", " <= ").replace(">=", " >= ").split()
+
+    def value(token: str) -> float:
+        lowered = token.lower().lstrip("+")
+        if lowered in ("-inf", "-infinity"):
+            return -math.inf
+        if lowered in ("inf", "infinity"):
+            return math.inf
+        return float(token)
+
+    if len(tokens) == 5 and tokens[1] == "<=" and tokens[3] == "<=":
+        var = variables.get(tokens[2])
+        if var is None:
+            raise ModelError(f"bound for unknown variable {tokens[2]!r}")
+        var.lb, var.ub = value(tokens[0]), value(tokens[4])
+    elif len(tokens) == 3 and tokens[1] in ("<=", ">="):
+        if tokens[0] in variables:
+            var = variables[tokens[0]]
+            if tokens[1] == "<=":
+                var.ub = value(tokens[2])
+            else:
+                var.lb = value(tokens[2])
+        elif tokens[2] in variables:
+            var = variables[tokens[2]]
+            if tokens[1] == "<=":
+                var.lb = value(tokens[0])
+            else:
+                var.ub = value(tokens[0])
+        else:
+            raise ModelError(f"bound references unknown variable: {line!r}")
+    elif len(tokens) == 3 and tokens[1] == "=":
+        var = variables.get(tokens[0])
+        if var is None:
+            raise ModelError(f"bound for unknown variable {tokens[0]!r}")
+        var.lb = var.ub = value(tokens[2])
+    elif len(tokens) == 2 and tokens[1].lower() == "free":
+        var = variables.get(tokens[0])
+        if var is None:
+            raise ModelError(f"bound for unknown variable {tokens[0]!r}")
+        var.lb, var.ub = -math.inf, math.inf
+    else:
+        raise ModelError(f"unsupported bound line: {line!r}")

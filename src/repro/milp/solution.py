@@ -1,0 +1,95 @@
+"""Solution and status objects shared by every solver backend."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.milp.expr import INTEGRALITY_TOLERANCE, Var
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    #: A feasible incumbent exists but optimality was not proven (time limit).
+    FEASIBLE = "feasible"
+    #: No conclusion (time limit before any incumbent, numerical failure, ...).
+    UNKNOWN = "unknown"
+
+    @property
+    def has_solution(self) -> bool:
+        """True when variable values are available."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """Result of solving a model.
+
+    Attributes:
+        status: Solve outcome.
+        objective: Objective value of the returned assignment (``nan`` when
+            no assignment is available).
+        values: Variable assignment, keyed by :class:`Var`.
+        best_bound: Best proven dual bound (equals ``objective`` at optimality).
+        iterations: Simplex iterations (LP) or B&B nodes processed (MILP).
+        solve_seconds: Wall-clock time spent in the solver.
+        solver_name: Which backend produced this solution.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: Dict[Var, float] = field(default_factory=dict)
+    best_bound: float = float("nan")
+    iterations: int = 0
+    solve_seconds: float = 0.0
+    solver_name: str = ""
+
+    def value(self, var: Var) -> float:
+        """Value of one variable in this solution."""
+        return self.values[var]
+
+    def rounded_value(self, var: Var) -> float:
+        """Value with integral variables snapped to the nearest integer.
+
+        Solvers return values like ``0.9999999997`` for binaries; schedule
+        extraction uses this accessor so downstream logic sees clean 0/1.
+        """
+        value = self.values[var]
+        if var.is_integral and abs(value - round(value)) <= 1e-4:
+            return float(round(value))
+        return value
+
+    def is_integral(self, tol: float = INTEGRALITY_TOLERANCE) -> bool:
+        """True when every integral variable takes an integer value."""
+        return all(
+            abs(value - round(value)) <= tol
+            for var, value in self.values.items()
+            if var.is_integral
+        )
+
+    @property
+    def gap(self) -> float:
+        """Relative optimality gap between incumbent and bound (0 at optimality)."""
+        import math
+
+        if math.isnan(self.objective) or math.isnan(self.best_bound):
+            return float("inf")
+        denom = max(1.0, abs(self.objective))
+        return abs(self.objective - self.best_bound) / denom
+
+    def as_name_dict(self) -> Dict[str, float]:
+        """Values keyed by variable name (for serialization / debugging)."""
+        return {var.name: value for var, value in self.values.items()}
+
+
+def merge_values(*assignments: Mapping[Var, float]) -> Dict[Var, float]:
+    """Merge several partial assignments (later ones win)."""
+    merged: Dict[Var, float] = {}
+    for assignment in assignments:
+        merged.update(assignment)
+    return merged

@@ -1,0 +1,25 @@
+"""Paper-reproduction harness: expected values and experiment runners."""
+
+from repro.paper.report import generate_report
+from repro.paper.experiments import (
+    ExperimentResult,
+    model_size_report,
+    run_experiment_1,
+    run_experiment_2,
+    run_figure_2,
+    run_table_ii,
+    run_table_iv,
+    run_table_v,
+)
+
+__all__ = [
+    "generate_report",
+    "ExperimentResult",
+    "model_size_report",
+    "run_experiment_1",
+    "run_experiment_2",
+    "run_figure_2",
+    "run_table_ii",
+    "run_table_iv",
+    "run_table_v",
+]

@@ -1,0 +1,327 @@
+"""Runners that regenerate every table and figure of the paper's §4.
+
+Each runner re-synthesizes the relevant designs, compares them against the
+transcribed expectations in :mod:`repro.paper.expected`, and returns an
+:class:`ExperimentResult` that the benchmark harness prints and asserts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.analysis.tradeoffs import (
+    FrontSummary,
+    communication_scaling_study,
+    execution_scaling_study,
+)
+from repro.core.formulation import SosModelBuilder
+from repro.core.options import FormulationOptions
+from repro.paper import expected
+from repro.paper.expected import RowComparison
+from repro.synthesis.design import Design
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.examples import example1_library, example2_library
+from repro.system.interconnect import InterconnectStyle
+from repro.taskgraph.examples import example1, example2
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of regenerating one paper artifact.
+
+    Attributes:
+        name: Paper artifact id (``"Table II"``, ``"Figure 2"``, ...).
+        rows: Per-design comparisons (tables only).
+        designs: The synthesized designs, fastest first.
+        matches_paper: True when every expected value was reproduced.
+        notes: Documented deviations (extra designs, prose discrepancies).
+    """
+
+    name: str
+    rows: List[RowComparison] = field(default_factory=list)
+    designs: List[Design] = field(default_factory=list)
+    matches_paper: bool = True
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable paper-vs-measured table."""
+        table = format_table(
+            ["cost", "perf", "paper cost", "paper perf", "ours (s)", "paper (s)", "match"],
+            [
+                (
+                    row.cost,
+                    row.makespan,
+                    row.expected_cost,
+                    row.expected_makespan,
+                    round(row.runtime_seconds, 3),
+                    row.paper_runtime_seconds,
+                    "yes" if row.matches else "EXTRA",
+                )
+                for row in self.rows
+            ],
+            title=f"{self.name} — reproduced {'OK' if self.matches_paper else 'WITH DEVIATIONS'}",
+        )
+        if self.notes:
+            table += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return table
+
+
+def _compare_front(
+    name: str,
+    designs: Sequence[Design],
+    points: Sequence[Tuple[float, float]],
+    runtimes_seconds: Sequence[Optional[float]],
+    structures: Sequence[Dict[str, object]] = (),
+    extra_allowed: Sequence[Tuple[float, float]] = (),
+) -> ExperimentResult:
+    """Align a measured front with the paper's rows (paper rows first)."""
+    result = ExperimentResult(name=name, designs=list(designs))
+    expected_rows = list(points)
+    measured = list(designs)
+    for index, design in enumerate(measured):
+        if index < len(expected_rows):
+            exp_cost, exp_perf = expected_rows[index]
+            paper_runtime = runtimes_seconds[index] if index < len(runtimes_seconds) else None
+        else:
+            exp_cost = exp_perf = paper_runtime = None
+        row = RowComparison(
+            cost=design.cost,
+            makespan=design.makespan,
+            expected_cost=exp_cost,
+            expected_makespan=exp_perf,
+            runtime_seconds=design.solve_seconds,
+            paper_runtime_seconds=paper_runtime,
+        )
+        result.rows.append(row)
+        if exp_cost is not None and not row.matches:
+            result.matches_paper = False
+        if exp_cost is None:
+            point = (design.cost, design.makespan)
+            if any(
+                abs(point[0] - extra[0]) < 1e-6 and abs(point[1] - extra[1]) < 1e-6
+                for extra in extra_allowed
+            ):
+                result.notes.append(
+                    f"extra non-inferior design (cost {point[0]:g}, perf {point[1]:g}) "
+                    "beyond the paper's sweep range — documented in EXPERIMENTS.md"
+                )
+            else:
+                result.matches_paper = False
+    if len(measured) < len(expected_rows):
+        result.matches_paper = False
+        result.notes.append(
+            f"paper reports {len(expected_rows)} designs, sweep found {len(measured)}"
+        )
+    for index, structure in enumerate(structures):
+        if index >= len(measured):
+            break
+        design = measured[index]
+        types = tuple(sorted(inst.ptype.name for inst in design.architecture.processors))
+        if types != tuple(sorted(structure["types"])):
+            result.matches_paper = False
+            result.notes.append(
+                f"design {index + 1}: processor types {types} != paper {structure['types']}"
+            )
+        if len(design.architecture.links) != structure["links"]:
+            result.matches_paper = False
+            result.notes.append(
+                f"design {index + 1}: {len(design.architecture.links)} links != "
+                f"paper {structure['links']}"
+            )
+    return result
+
+
+# -- Table II -------------------------------------------------------------------
+def run_table_ii(solver: str = "auto") -> ExperimentResult:
+    """Example 1, point-to-point: the four non-inferior systems of Table II."""
+    synth = Synthesizer(example1(), example1_library(), solver=solver)
+    front = synth.pareto_sweep()
+    return _compare_front(
+        "Table II (Example 1, point-to-point)",
+        front,
+        expected.TABLE_II_POINTS,
+        expected.TABLE_II_RUNTIMES_S,
+        expected.TABLE_II_STRUCTURES,
+        extra_allowed=(expected.EXTRA_CHEAPEST_DESIGN["example1"],),
+    )
+
+
+# -- Table IV -------------------------------------------------------------------
+def run_table_iv(solver: str = "auto") -> ExperimentResult:
+    """Example 2, point-to-point: the five non-inferior systems of Table IV."""
+    synth = Synthesizer(example2(), example2_library(), solver=solver)
+    front = synth.pareto_sweep()
+    return _compare_front(
+        "Table IV (Example 2, point-to-point)",
+        front,
+        expected.TABLE_IV_POINTS,
+        tuple(60 * minutes for minutes in expected.TABLE_IV_RUNTIMES_MIN),
+        expected.TABLE_IV_STRUCTURES,
+    )
+
+
+# -- Table V --------------------------------------------------------------------
+def run_table_v(solver: str = "auto") -> ExperimentResult:
+    """Example 2, bus interconnection: the three systems of Table V."""
+    synth = Synthesizer(
+        example2(), example2_library(), style=InterconnectStyle.BUS, solver=solver
+    )
+    front = synth.pareto_sweep()
+    return _compare_front(
+        "Table V (Example 2, bus-style)",
+        front,
+        expected.TABLE_V_POINTS,
+        tuple(60 * minutes for minutes in expected.TABLE_V_RUNTIMES_MIN),
+        expected.TABLE_V_STRUCTURES,
+    )
+
+
+# -- Figure 2 -------------------------------------------------------------------
+def run_figure_2(solver: str = "auto") -> ExperimentResult:
+    """Example 1's fastest system (Figure 2): structure + full schedule."""
+    synth = Synthesizer(example1(), example1_library(), solver=solver)
+    design = synth.synthesize()
+    result = ExperimentResult(name="Figure 2 (System I for Example 1)", designs=[design])
+    spec = expected.FIGURE_2
+    checks = (
+        abs(design.makespan - spec["makespan"]) < 1e-6,
+        len(design.architecture.processors) == spec["num_processors"],
+        len(design.architecture.links) == spec["num_links"],
+        tuple(sorted(inst.ptype.name for inst in design.architecture.processors))
+        == tuple(sorted(spec["types"])),
+    )
+    result.matches_paper = all(checks)
+    shared = [
+        set(design.schedule.task_order_on(proc))
+        for proc in design.schedule.processors()
+        if len(design.schedule.task_order_on(proc)) > 1
+    ]
+    if spec["coscheduled"] not in shared:
+        # Symmetric optima exist (S2/S4 on the shared processor is one of
+        # them); note which co-scheduling the solver picked.
+        result.notes.append(
+            f"co-scheduled sets {shared} (paper shows {spec['coscheduled']}; "
+            "both are optimal)"
+        )
+    return result
+
+
+# -- §4.2 tradeoff studies -------------------------------------------------------
+def run_experiment_1(
+    solver: str = "auto", factors: Sequence[float] = (2, 6)
+) -> ExperimentResult:
+    """Experiment 1: increase the communication volumes."""
+    summaries = communication_scaling_study(
+        example1(), example1_library(), factors=factors, solver=solver
+    )
+    result = ExperimentResult(name="Experiment 1 (volumes scaled)")
+    for summary in summaries:
+        spec = expected.EXPERIMENT_1.get(int(summary.factor))
+        if spec is None:
+            continue
+        contains = spec["exact_front_contains"]
+        if not any(
+            abs(point[0] - contains[0]) < 1e-6 and abs(point[1] - contains[1]) < 1e-6
+            for point in summary.points
+        ):
+            result.matches_paper = False
+            result.notes.append(
+                f"x{summary.factor:g}: expected front point {contains} missing "
+                f"from {summary.points}"
+            )
+        if int(summary.factor) == 6:
+            if summary.max_processors != 1:
+                result.matches_paper = False
+                result.notes.append(
+                    f"x6: paper says only uniprocessors remain; found "
+                    f"{summary.max_processors}-processor designs"
+                )
+        if int(summary.factor) == 2 and summary.max_processors > 2:
+            result.notes.append(
+                "x2: exact optimization finds a non-inferior 3-processor design "
+                "(cost 14, perf 3.5) that the paper's prose calls inferior — "
+                "see EXPERIMENTS.md"
+            )
+    result.designs = []
+    result.rows = []
+    result.summaries = summaries  # type: ignore[attr-defined]
+    return result
+
+
+def run_experiment_2(
+    solver: str = "auto", factors: Sequence[float] = (2, 3)
+) -> ExperimentResult:
+    """Experiment 2: increase the subtask execution times."""
+    summaries = execution_scaling_study(
+        example1(), example1_library(), factors=factors, solver=solver
+    )
+    result = ExperimentResult(name="Experiment 2 (execution times scaled)")
+    extra = expected.EXTRA_CHEAPEST_DESIGN["example1"]
+    for summary in summaries:
+        spec = expected.EXPERIMENT_2.get(int(summary.factor))
+        if spec is None:
+            continue
+        # Exclude the beyond-paper cheapest design when comparing counts.
+        paper_scope = [point for point in summary.points if point[0] > extra[0] + 1e-9]
+        if len(paper_scope) != spec["paper_front_size"]:
+            result.matches_paper = False
+            result.notes.append(
+                f"x{summary.factor:g}: {len(paper_scope)} paper-scope designs, "
+                f"paper reports {spec['paper_front_size']}"
+            )
+        new_specs = spec.get("new_designs", ())
+        if "new_design" in spec:
+            new_specs = (spec["new_design"],) + tuple(new_specs)
+        for new in new_specs:
+            if not any(abs(point[0] - new["cost"]) < 1e-6 for point in summary.points):
+                result.matches_paper = False
+                result.notes.append(
+                    f"x{summary.factor:g}: paper's new design at cost {new['cost']} "
+                    f"not found in {summary.points}"
+                )
+    result.summaries = summaries  # type: ignore[attr-defined]
+    return result
+
+
+# -- model sizes ------------------------------------------------------------------
+def model_size_report() -> str:
+    """Compare our MILP sizes against the counts the paper reports.
+
+    Sizes are reported both with the §3.4-faithful formulation (no pruning,
+    no symmetry breaking) and with the default accelerated formulation.
+    Exact equality with the paper is not expected: the paper does not state
+    its candidate pool size or which redundant pairs Bozo's generator
+    skipped (see EXPERIMENTS.md).
+    """
+    rows = []
+    cases = (
+        ("example1_p2p", example1(), example1_library(), InterconnectStyle.POINT_TO_POINT),
+        ("example2_p2p", example2(), example2_library(), InterconnectStyle.POINT_TO_POINT),
+        ("example2_bus", example2(), example2_library(), InterconnectStyle.BUS),
+    )
+    for name, graph, library, style in cases:
+        paper_counts = expected.MODEL_SIZES[name]
+        for variant, options in (
+            ("faithful", FormulationOptions(style=style, prune_ordered_pairs=False,
+                                            symmetry_breaking=False)),
+            ("default", FormulationOptions(style=style)),
+        ):
+            built = SosModelBuilder(graph, library, options).build()
+            rows.append(
+                (
+                    name,
+                    variant,
+                    built.variables.count_timing(),
+                    built.variables.count_binary(),
+                    built.model.stats().num_constraints,
+                    f"{paper_counts[0]}/{paper_counts[1]}/{paper_counts[2]}",
+                )
+            )
+    return format_table(
+        ["model", "variant", "timing", "binary", "constraints", "paper t/b/c"],
+        rows,
+        title="MILP model sizes (ours vs. paper)",
+    )

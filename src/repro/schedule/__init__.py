@@ -1,0 +1,30 @@
+"""Schedules: timed events, independent validation, and Gantt rendering."""
+
+from repro.schedule.events import ExecutionEvent, TransferEvent
+from repro.schedule.gantt import describe_schedule, render_gantt
+from repro.schedule.schedule import Schedule
+from repro.schedule.stats import (
+    EventSlack,
+    ResourceUsage,
+    communication_summary,
+    critical_events,
+    critical_path,
+    utilization_report,
+)
+from repro.schedule.validate import check_schedule, validate_schedule
+
+__all__ = [
+    "ExecutionEvent",
+    "TransferEvent",
+    "describe_schedule",
+    "render_gantt",
+    "Schedule",
+    "EventSlack",
+    "ResourceUsage",
+    "communication_summary",
+    "critical_events",
+    "critical_path",
+    "utilization_report",
+    "check_schedule",
+    "validate_schedule",
+]

@@ -1,0 +1,97 @@
+"""Timed events of a synthesized schedule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class ExecutionEvent:
+    """One subtask occupying one processor for an uninterrupted interval.
+
+    Attributes:
+        task: Subtask name.
+        processor: Processor instance name executing it.
+        start: ``T_SS`` — execution start time.
+        end: ``T_SE`` — execution end time.
+    """
+
+    task: str
+    processor: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < -1e-9 or self.end < self.start - 1e-9:
+            raise ScheduleError(
+                f"execution of {self.task} has an invalid interval [{self.start}, {self.end}]"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "ExecutionEvent", tol: float = 1e-9) -> bool:
+        """Open-interval overlap: back-to-back events do not overlap, and a
+        zero-duration event occupies the resource for no time at all."""
+        if self.duration <= tol or other.duration <= tol:
+            return False
+        return self.start < other.end - tol and other.start < self.end - tol
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One data transfer occupying a communication resource.
+
+    Attributes:
+        producer: Producing subtask name.
+        consumer: Consuming subtask name.
+        input_index: 1-based index of the consumer's input port (``b`` in
+            ``i_{a,b}``) — identifies the arc.
+        source: Processor instance holding the producer.
+        dest: Processor instance holding the consumer.
+        start: ``T_CS`` — transfer start.
+        end: ``T_CE`` — transfer end.
+        remote: Whether the transfer crossed processors (``γ = 1``).
+        volume: Data volume moved.
+    """
+
+    producer: str
+    consumer: str
+    input_index: int
+    source: str
+    dest: str
+    start: float
+    end: float
+    remote: bool
+    volume: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < -1e-9 or self.end < self.start - 1e-9:
+            raise ScheduleError(
+                f"transfer {self.label} has an invalid interval [{self.start}, {self.end}]"
+            )
+
+    @property
+    def label(self) -> str:
+        """Paper-style data label, e.g. ``i[S3,2]``."""
+        return f"i[{self.consumer},{self.input_index}]"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def route(self) -> Tuple[str, str]:
+        """The directed processor pair this transfer travels."""
+        return (self.source, self.dest)
+
+    def overlaps(self, other: "TransferEvent", tol: float = 1e-9) -> bool:
+        """Open-interval overlap: back-to-back transfers do not overlap, and
+        an instantaneous (zero-volume or local) transfer occupies nothing."""
+        if self.duration <= tol or other.duration <= tol:
+            return False
+        return self.start < other.end - tol and other.start < self.end - tol

@@ -1,0 +1,107 @@
+"""ASCII Gantt rendering of schedules (the paper's Figure 2, in text)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.schedule.schedule import Schedule
+
+
+def render_gantt(
+    schedule: Schedule,
+    width: int = 72,
+    show_transfers: bool = True,
+) -> str:
+    """Render a schedule as an ASCII Gantt chart.
+
+    One row per processor (execution intervals) and, optionally, one row per
+    communication route (transfer intervals).  Interval labels are placed
+    inside their bars when they fit.
+
+    Args:
+        schedule: The schedule to draw.
+        width: Character width of the time axis.
+        show_transfers: Include rows for remote-transfer routes.
+
+    Returns:
+        A multi-line string.
+    """
+    span = schedule.makespan
+    if span <= 0:
+        return "(empty schedule)"
+    scale = width / span
+
+    def column(time: float) -> int:
+        return min(width, max(0, int(round(time * scale))))
+
+    rows: List[Tuple[str, List[Tuple[float, float, str]]]] = []
+    for processor in sorted(schedule.processors()):
+        intervals = [(e.start, e.end, e.task) for e in schedule.executions_on(processor)]
+        rows.append((processor, intervals))
+    if show_transfers:
+        for route in sorted(schedule.routes()):
+            events = schedule.transfers_on_route(*route)
+            intervals = [(t.start, t.end, t.label) for t in events]
+            rows.append((f"{route[0]}->{route[1]}", intervals))
+
+    label_width = max((len(label) for label, _ in rows), default=0)
+    lines = []
+    header = " " * (label_width + 2) + _axis(span, width)
+    lines.append(header)
+    for label, intervals in rows:
+        bar = [" "] * (width + 1)
+        for start, end, text in intervals:
+            left, right = column(start), column(end)
+            if right <= left:
+                right = min(width, left + 1)
+            for position in range(left, right):
+                bar[position] = "="
+            bar[left] = "|"
+            bar[min(width, right - 1)] = "|" if right - left > 1 else bar[left]
+            caption = text[: max(0, right - left - 2)]
+            for offset, char in enumerate(caption):
+                bar[left + 1 + offset] = char
+        lines.append(f"{label:<{label_width}}  {''.join(bar)}")
+    return "\n".join(lines)
+
+
+def _axis(span: float, width: int) -> str:
+    """A sparse time axis like ``0 ... 2.5``."""
+    ticks = 4
+    axis = [" "] * (width + 1)
+    for tick in range(ticks + 1):
+        time = span * tick / ticks
+        text = f"{time:g}"
+        position = min(width - len(text) + 1, int(round(width * tick / ticks)))
+        position = max(0, position)
+        for offset, char in enumerate(text):
+            if position + offset <= width:
+                axis[position + offset] = char
+    return "".join(axis)
+
+
+def describe_schedule(schedule: Schedule) -> str:
+    """A textual description in the paper's §4 design-paragraph style.
+
+    Example output::
+
+        processor p1a performs S1
+        processor p2a performs S2, S4 in that order
+        data i[S3,1] transmitted p1a->p3a during [0.5, 1.5]
+    """
+    lines: List[str] = []
+    for processor in sorted(schedule.processors()):
+        order = schedule.task_order_on(processor)
+        if len(order) == 1:
+            lines.append(f"processor {processor} performs {order[0]}")
+        else:
+            lines.append(
+                f"processor {processor} performs {', '.join(order)} in that order"
+            )
+    for transfer in schedule.remote_transfers():
+        lines.append(
+            f"data {transfer.label} transmitted {transfer.source}->{transfer.dest} "
+            f"during [{transfer.start:g}, {transfer.end:g}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""The schedule container: every timed event of a synthesized design."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.schedule.events import ExecutionEvent, TransferEvent
+
+
+@dataclass
+class Schedule:
+    """A complete static schedule (the paper's Figure 2 timing chart).
+
+    Attributes:
+        executions: One :class:`ExecutionEvent` per subtask.
+        transfers: One :class:`TransferEvent` per connected data arc.
+    """
+
+    executions: List[ExecutionEvent] = field(default_factory=list)
+    transfers: List[TransferEvent] = field(default_factory=list)
+
+    # -- queries ------------------------------------------------------------
+    def execution_of(self, task: str) -> ExecutionEvent:
+        """The execution event of ``task``."""
+        for event in self.executions:
+            if event.task == task:
+                return event
+        raise ScheduleError(f"no execution event for subtask {task!r}")
+
+    def has_task(self, task: str) -> bool:
+        """True when ``task`` has an execution event in this schedule."""
+        return any(event.task == task for event in self.executions)
+
+    def transfer_into(self, consumer: str, input_index: int) -> TransferEvent:
+        """The transfer feeding input ``i[consumer, input_index]``."""
+        for event in self.transfers:
+            if event.consumer == consumer and event.input_index == input_index:
+                return event
+        raise ScheduleError(f"no transfer event for input i[{consumer},{input_index}]")
+
+    def executions_on(self, processor: str) -> List[ExecutionEvent]:
+        """Execution events on one processor, ordered by start time."""
+        events = [e for e in self.executions if e.processor == processor]
+        return sorted(events, key=lambda e: (e.start, e.end))
+
+    def transfers_on_route(self, source: str, dest: str) -> List[TransferEvent]:
+        """Remote transfers over the directed link (source -> dest), by start."""
+        events = [
+            t for t in self.transfers
+            if t.remote and t.source == source and t.dest == dest
+        ]
+        return sorted(events, key=lambda t: (t.start, t.end))
+
+    def remote_transfers(self) -> List[TransferEvent]:
+        """All inter-processor transfers, ordered by start time."""
+        return sorted((t for t in self.transfers if t.remote), key=lambda t: (t.start, t.end))
+
+    def routes(self) -> List[Tuple[str, str]]:
+        """Distinct directed processor pairs used by remote transfers."""
+        seen: List[Tuple[str, str]] = []
+        for event in self.remote_transfers():
+            if event.route not in seen:
+                seen.append(event.route)
+        return seen
+
+    def processors(self) -> List[str]:
+        """Distinct processors that execute at least one subtask."""
+        seen: List[str] = []
+        for event in self.executions:
+            if event.processor not in seen:
+                seen.append(event.processor)
+        return seen
+
+    def task_order_on(self, processor: str) -> List[str]:
+        """Subtask names in execution order on one processor."""
+        return [event.task for event in self.executions_on(processor)]
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the task (max execution end), the paper's ``T_F``."""
+        if not self.executions:
+            return 0.0
+        return max(event.end for event in self.executions)
+
+    def busy_time(self, processor: str) -> float:
+        """Total execution time scheduled on one processor."""
+        return sum(event.duration for event in self.executions_on(processor))
+
+    def utilization(self, processor: str) -> float:
+        """Busy time divided by makespan (0 for an empty schedule)."""
+        span = self.makespan
+        return self.busy_time(processor) / span if span > 0 else 0.0
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "executions": [
+                {
+                    "task": e.task,
+                    "processor": e.processor,
+                    "start": e.start,
+                    "end": e.end,
+                }
+                for e in self.executions
+            ],
+            "transfers": [
+                {
+                    "producer": t.producer,
+                    "consumer": t.consumer,
+                    "input_index": t.input_index,
+                    "source": t.source,
+                    "dest": t.dest,
+                    "start": t.start,
+                    "end": t.end,
+                    "remote": t.remote,
+                    "volume": t.volume,
+                }
+                for t in self.transfers
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schedule":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            executions = [ExecutionEvent(**entry) for entry in data["executions"]]
+            transfers = [TransferEvent(**entry) for entry in data["transfers"]]
+        except (KeyError, TypeError) as exc:
+            raise ScheduleError(f"malformed schedule document: {exc}") from exc
+        return cls(executions=executions, transfers=transfers)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({len(self.executions)} executions, "
+            f"{len(self.transfers)} transfers, makespan={self.makespan:g})"
+        )

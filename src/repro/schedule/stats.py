@@ -1,0 +1,234 @@
+"""Schedule analytics: utilization, communication load, and critical paths.
+
+A synthesized schedule is a timed event graph; these analyses answer the
+questions a designer asks right after synthesis:
+
+* *How busy is each processor / link?* — :func:`utilization_report`
+* *Which events actually determine the completion time?* —
+  :func:`critical_events` computes per-event slack by propagating the
+  §3.3 timing relations over the realized schedule; zero-slack events form
+  the critical path, and everything else reports how much it could slip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.schedule.schedule import Schedule
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Utilization of one processor or communication route.
+
+    Attributes:
+        name: Resource label (processor instance or ``src->dst``).
+        kind: ``"processor"`` or ``"link"``.
+        busy: Total busy time.
+        events: Number of events served.
+        utilization: ``busy / makespan`` (0 for an empty schedule).
+    """
+
+    name: str
+    kind: str
+    busy: float
+    events: int
+    utilization: float
+
+
+def utilization_report(schedule: Schedule) -> List[ResourceUsage]:
+    """Per-resource utilization, processors first, then routes."""
+    span = schedule.makespan
+    report: List[ResourceUsage] = []
+    for processor in sorted(schedule.processors()):
+        busy = schedule.busy_time(processor)
+        events = len(schedule.executions_on(processor))
+        report.append(
+            ResourceUsage(
+                name=processor, kind="processor", busy=busy, events=events,
+                utilization=busy / span if span > 0 else 0.0,
+            )
+        )
+    for route in sorted(schedule.routes()):
+        events = schedule.transfers_on_route(*route)
+        busy = sum(event.duration for event in events)
+        report.append(
+            ResourceUsage(
+                name=f"{route[0]}->{route[1]}", kind="link", busy=busy,
+                events=len(events),
+                utilization=busy / span if span > 0 else 0.0,
+            )
+        )
+    return report
+
+
+def communication_summary(schedule: Schedule) -> Dict[str, float]:
+    """Aggregate transfer statistics of a schedule."""
+    remote = schedule.remote_transfers()
+    local = [t for t in schedule.transfers if not t.remote]
+    return {
+        "remote_transfers": float(len(remote)),
+        "local_transfers": float(len(local)),
+        "remote_volume": sum(t.volume for t in remote),
+        "remote_busy_time": sum(t.duration for t in remote),
+        "routes": float(len(schedule.routes())),
+    }
+
+
+@dataclass(frozen=True)
+class EventSlack:
+    """Slack of one scheduled event.
+
+    Attributes:
+        label: Subtask name (executions) or transfer label (transfers).
+        kind: ``"execution"`` or ``"transfer"``.
+        start: Scheduled start time.
+        end: Scheduled end time.
+        slack: How far the event could slip without growing the makespan
+            (given the other events' *scheduled* times and resource orders).
+        critical: ``slack == 0`` within tolerance.
+    """
+
+    label: str
+    kind: str
+    start: float
+    end: float
+    slack: float
+
+    @property
+    def critical(self) -> bool:
+        return self.slack <= 1e-9
+
+
+def critical_events(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    schedule: Schedule,
+    tol: float = 1e-9,
+) -> List[EventSlack]:
+    """Latest-start analysis of a realized schedule.
+
+    Propagates backward from the makespan through three kinds of edges:
+
+    * data edges — a transfer must end by its consumer's `f_R` deadline
+      (3.3.5) and start after its producer's `f_A` availability (3.3.4/3.3.7);
+    * processor-order edges — consecutive executions on one processor keep
+      their realized order (3.3.9);
+    * link-order edges — consecutive transfers on one route keep their
+      realized order (3.3.10).
+
+    Returns slack per event, executions first (graph order), then transfers.
+    """
+    makespan = schedule.makespan
+
+    # Latest allowed END of each execution / transfer, initialized loose.
+    latest_exec_end: Dict[str, float] = {}
+    latest_transfer_end: Dict[Tuple[str, int], float] = {}
+    durations: Dict[str, float] = {}
+    for event in schedule.executions:
+        latest_exec_end[event.task] = makespan
+        durations[event.task] = event.duration
+
+    order_successor: Dict[str, str] = {}
+    for processor in schedule.processors():
+        events = schedule.executions_on(processor)
+        for first, second in zip(events, events[1:]):
+            order_successor[first.task] = second.task
+
+    route_successor: Dict[Tuple[str, int], Tuple[str, int]] = {}
+    for route in schedule.routes():
+        events = schedule.transfers_on_route(*route)
+        for first, second in zip(events, events[1:]):
+            route_successor[(first.consumer, first.input_index)] = (
+                second.consumer, second.input_index,
+            )
+
+    transfer_events = {
+        (t.consumer, t.input_index): t for t in schedule.transfers
+    }
+
+    # Iterate to a fixed point (the event graph is acyclic, so |V| sweeps
+    # suffice; realized schedules are tiny, so simplicity wins).
+    for _ in range(len(latest_exec_end) + len(transfer_events) + 1):
+        changed = False
+        # Processor-order edges: end(first) <= start(second)_latest.
+        for first, second in order_successor.items():
+            bound = latest_exec_end[second] - durations[second]
+            if bound < latest_exec_end[first] - tol:
+                latest_exec_end[first] = bound
+                changed = True
+        # Data edges into executions: transfer end <= exec latest deadline.
+        for arc in graph.arcs:
+            key = (arc.consumer, arc.dest.index)
+            transfer = transfer_events.get(key)
+            if transfer is None:
+                continue
+            consumer_latest_start = (
+                latest_exec_end[arc.consumer] - durations[arc.consumer]
+            )
+            deadline = consumer_latest_start + arc.dest.f_required * durations[arc.consumer]
+            current = latest_transfer_end.get(key, makespan)
+            if deadline < current - tol:
+                latest_transfer_end[key] = deadline
+                changed = True
+            else:
+                latest_transfer_end.setdefault(key, current)
+            # Data edge into the producer: output availability must precede
+            # the transfer's latest start.
+            duration = transfer.duration
+            latest_start = latest_transfer_end[key] - duration
+            f_a = arc.source.f_available
+            if f_a > 0:
+                producer_bound = (
+                    latest_start
+                    + (1.0 - f_a) * durations[arc.producer]
+                )
+                # T_OA = T_SE - (1-f_A)*dur <= latest_start.
+                if producer_bound < latest_exec_end[arc.producer] - tol:
+                    latest_exec_end[arc.producer] = producer_bound
+                    changed = True
+        # Link-order edges: end(first) <= latest start(second).
+        for first_key, second_key in route_successor.items():
+            second = transfer_events[second_key]
+            bound = latest_transfer_end.get(second_key, makespan) - second.duration
+            current = latest_transfer_end.get(first_key, makespan)
+            if bound < current - tol:
+                latest_transfer_end[first_key] = bound
+                changed = True
+        if not changed:
+            break
+
+    results: List[EventSlack] = []
+    for subtask in graph.subtasks:
+        event = schedule.execution_of(subtask.name)
+        slack = max(0.0, latest_exec_end[subtask.name] - event.end)
+        results.append(
+            EventSlack(
+                label=subtask.name, kind="execution",
+                start=event.start, end=event.end, slack=round(slack, 9),
+            )
+        )
+    for transfer in schedule.transfers:
+        key = (transfer.consumer, transfer.input_index)
+        slack = max(0.0, latest_transfer_end.get(key, makespan) - transfer.end)
+        results.append(
+            EventSlack(
+                label=transfer.label, kind="transfer",
+                start=transfer.start, end=transfer.end, slack=round(slack, 9),
+            )
+        )
+    return results
+
+
+def critical_path(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    schedule: Schedule,
+) -> List[str]:
+    """Labels of zero-slack events, in start-time order."""
+    events = critical_events(graph, library, schedule)
+    return [e.label for e in sorted(events, key=lambda e: (e.start, e.end))
+            if e.critical]

@@ -1,0 +1,236 @@
+"""Independent schedule validation.
+
+This module re-checks every correctness-constraint family of the paper's
+§3.3 against a concrete schedule, *without* using the MILP machinery — it
+is a second implementation of the semantics, so a bug in the formulation
+cannot hide behind an identical bug in the checker.  Violation messages
+cite the paper's equation numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.schedule.events import ExecutionEvent, TransferEvent
+from repro.schedule.schedule import Schedule
+from repro.system.architecture import Architecture
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+
+DEFAULT_TOLERANCE = 1e-6
+
+
+def validate_schedule(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    schedule: Schedule,
+    architecture: Optional[Architecture] = None,
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT,
+    tol: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Check a schedule against the paper's correctness constraints.
+
+    Args:
+        graph: The task data-flow graph.
+        library: Processor/communication characteristics.
+        schedule: The schedule to check.
+        architecture: When given, also check structural completeness (every
+            used processor bought, every remote route backed by a link).
+        style: Interconnect style governing link-exclusion semantics.
+        tol: Absolute timing tolerance.
+
+    Returns:
+        A list of human-readable violation messages; empty means valid.
+    """
+    problems: List[str] = []
+    instances = {inst.name: inst for inst in library.instances()}
+    if architecture is not None:
+        instances.update({inst.name: inst for inst in architecture.processors})
+
+    # --- mapping / processor-selection (3.3.1) ---------------------------
+    executions: Dict[str, ExecutionEvent] = {}
+    for event in schedule.executions:
+        if event.task in executions:
+            problems.append(f"processor-selection (3.3.1): subtask {event.task} executed twice")
+            continue
+        executions[event.task] = event
+    for subtask in graph.subtasks:
+        if subtask.name not in executions:
+            problems.append(f"processor-selection (3.3.1): subtask {subtask.name} never executed")
+    for event in schedule.executions:
+        inst = instances.get(event.processor)
+        if inst is None:
+            problems.append(f"unknown processor {event.processor} executes {event.task}")
+        elif not inst.can_execute(event.task):
+            problems.append(
+                f"capability: processor {event.processor} (type {inst.ptype.name}) "
+                f"cannot execute {event.task}"
+            )
+
+    # --- execution duration (3.3.6) --------------------------------------
+    for event in schedule.executions:
+        inst = instances.get(event.processor)
+        if inst is None or not inst.can_execute(event.task):
+            continue
+        expected = inst.execution_time(event.task)
+        if abs(event.duration - expected) > tol:
+            problems.append(
+                f"subtask-execution-end (3.3.6): {event.task} on {event.processor} "
+                f"runs {event.duration:g}, expected D_PS = {expected:g}"
+            )
+
+    # --- transfers: one per connected arc, right endpoints, γ correct -----
+    transfer_of: Dict[Tuple[str, int], TransferEvent] = {}
+    for transfer in schedule.transfers:
+        key = (transfer.consumer, transfer.input_index)
+        if key in transfer_of:
+            problems.append(f"duplicate transfer for input i[{key[0]},{key[1]}]")
+        transfer_of[key] = transfer
+    for arc in graph.arcs:
+        key = arc.dest.key
+        transfer = transfer_of.get(key)
+        if transfer is None:
+            problems.append(f"missing transfer event for arc {arc.label}")
+            continue
+        if transfer.producer != arc.producer:
+            problems.append(
+                f"transfer {transfer.label} claims producer {transfer.producer}, "
+                f"graph says {arc.producer}"
+            )
+        producer_exec = executions.get(arc.producer)
+        consumer_exec = executions.get(arc.consumer)
+        if producer_exec and transfer.source != producer_exec.processor:
+            problems.append(
+                f"transfer {transfer.label} leaves {transfer.source} but "
+                f"{arc.producer} runs on {producer_exec.processor}"
+            )
+        if consumer_exec and transfer.dest != consumer_exec.processor:
+            problems.append(
+                f"transfer {transfer.label} arrives at {transfer.dest} but "
+                f"{arc.consumer} runs on {consumer_exec.processor}"
+            )
+        if producer_exec and consumer_exec:
+            is_remote = producer_exec.processor != consumer_exec.processor
+            if transfer.remote != is_remote:
+                problems.append(
+                    f"data-transfer-type (3.3.2): transfer {transfer.label} marked "
+                    f"{'remote' if transfer.remote else 'local'} but endpoints are "
+                    f"{'different' if is_remote else 'the same'} processor(s)"
+                )
+            # --- transfer duration (3.3.8) --------------------------------
+            expected = library.transfer_delay(arc.volume, remote=is_remote)
+            if abs(transfer.duration - expected) > tol:
+                problems.append(
+                    f"data-transfer-end (3.3.8): transfer {transfer.label} takes "
+                    f"{transfer.duration:g}, expected {expected:g}"
+                )
+        # --- output availability / transfer start (3.3.4, 3.3.7) ----------
+        if producer_exec:
+            available = (
+                producer_exec.start
+                + arc.source.f_available * (producer_exec.end - producer_exec.start)
+            )
+            if transfer.start < available - tol:
+                problems.append(
+                    f"data-transfer-start (3.3.7): transfer {transfer.label} starts at "
+                    f"{transfer.start:g} before output {arc.source.label} is available "
+                    f"at {available:g}"
+                )
+        # --- input availability vs execution start (3.3.3, 3.3.5) ---------
+        if consumer_exec:
+            deadline = (
+                consumer_exec.start
+                + arc.dest.f_required * (consumer_exec.end - consumer_exec.start)
+            )
+            if transfer.end > deadline + tol:
+                problems.append(
+                    f"subtask-execution-start (3.3.5): input {arc.dest.label} arrives at "
+                    f"{transfer.end:g} after its deadline {deadline:g} "
+                    f"(f_R = {arc.dest.f_required:g})"
+                )
+
+    # --- processor-usage exclusion (3.3.9) --------------------------------
+    for processor in schedule.processors():
+        events = schedule.executions_on(processor)
+        for first, second in zip(events, events[1:]):
+            if first.overlaps(second, tol=tol):
+                problems.append(
+                    f"processor-usage-exclusion (3.3.9): {first.task} "
+                    f"[{first.start:g}, {first.end:g}] and {second.task} "
+                    f"[{second.start:g}, {second.end:g}] overlap on {processor}"
+                )
+
+    # --- communication-link-usage exclusion (3.3.10) -----------------------
+    problems.extend(_check_link_exclusion(schedule, style, architecture, tol))
+
+    # --- structural completeness against the architecture ------------------
+    if architecture is not None:
+        bought = set(architecture.processor_names())
+        for processor in schedule.processors():
+            if processor not in bought:
+                problems.append(
+                    f"completeness: processor {processor} executes subtasks but was not bought"
+                )
+        if style is not InterconnectStyle.BUS:
+            for transfer in schedule.remote_transfers():
+                if not architecture.has_link(transfer.source, transfer.dest):
+                    problems.append(
+                        f"completeness (3.3.13): remote transfer {transfer.label} needs "
+                        f"link {transfer.source} -> {transfer.dest}, which was not built"
+                    )
+    return problems
+
+
+def _check_link_exclusion(
+    schedule: Schedule,
+    style: InterconnectStyle,
+    architecture: Optional[Architecture],
+    tol: float,
+) -> List[str]:
+    """No two transfers may overlap on a shared communication resource."""
+    problems: List[str] = []
+
+    def check_group(resource: str, events: List[TransferEvent]) -> None:
+        ordered = sorted(events, key=lambda t: (t.start, t.end))
+        for first, second in zip(ordered, ordered[1:]):
+            if first.overlaps(second, tol=tol):
+                problems.append(
+                    f"communication-link-usage-exclusion (3.3.10): {first.label} "
+                    f"[{first.start:g}, {first.end:g}] and {second.label} "
+                    f"[{second.start:g}, {second.end:g}] overlap on {resource}"
+                )
+
+    remote = schedule.remote_transfers()
+    if style is InterconnectStyle.BUS:
+        check_group("the bus", remote)
+    else:
+        # Point-to-point, and the nearest-neighbor ring style where each
+        # built ring segment is an exclusively-shared directed link.
+        by_route: Dict[Tuple[str, str], List[TransferEvent]] = {}
+        for transfer in remote:
+            by_route.setdefault(transfer.route, []).append(transfer)
+        for route, events in by_route.items():
+            check_group(f"link {route[0]} -> {route[1]}", events)
+    return problems
+
+
+def check_schedule(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    schedule: Schedule,
+    architecture: Optional[Architecture] = None,
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT,
+    tol: float = DEFAULT_TOLERANCE,
+) -> None:
+    """Like :func:`validate_schedule` but raises on the first problem set.
+
+    Raises:
+        ValidationError: Listing every violation found.
+    """
+    problems = validate_schedule(graph, library, schedule, architecture, style, tol)
+    if problems:
+        raise ValidationError(
+            f"schedule violates {len(problems)} constraint(s):\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,15 @@
+"""Discrete-event schedule construction and mapping simulation."""
+
+from repro.sim.machine import Timeline
+from repro.sim.simulator import Placement, ScheduleBuilder, simulate_mapping
+from repro.sim.trace import TraceRecord, format_trace, trace_schedule
+
+__all__ = [
+    "Timeline",
+    "Placement",
+    "ScheduleBuilder",
+    "simulate_mapping",
+    "TraceRecord",
+    "format_trace",
+    "trace_schedule",
+]

@@ -1,0 +1,97 @@
+"""Resource timelines for schedule construction and simulation.
+
+A :class:`Timeline` is a set of non-overlapping busy intervals on one
+exclusive resource (a processor, a point-to-point link, the bus, or a ring
+segment) supporting earliest-slot queries with optional insertion between
+existing intervals.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Timeline:
+    """Busy intervals of one exclusively-shared resource.
+
+    Intervals are half-open ``[start, end)``; touching intervals do not
+    conflict (matching the paper's overlap function L on closed intervals
+    with zero-measure intersection allowed).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._intervals: List[Tuple[float, float]] = []
+
+    @property
+    def intervals(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(self._intervals)
+
+    def earliest_slot(
+        self,
+        duration: float,
+        not_before: float = 0.0,
+        allow_insertion: bool = True,
+    ) -> float:
+        """Earliest start ``>= not_before`` where ``duration`` time fits.
+
+        Args:
+            duration: Length of the required interval (0 is always placeable).
+            not_before: Release time.
+            allow_insertion: When false, only consider starting after the
+                last busy interval (non-insertion scheduling).
+        """
+        if duration < 0:
+            raise SimulationError("slot duration must be nonnegative")
+        if not self._intervals:
+            return not_before
+        if not allow_insertion:
+            return max(not_before, self._intervals[-1][1])
+        candidate = not_before
+        for start, end in self._intervals:
+            if candidate + duration <= start + 1e-12:
+                return candidate
+            candidate = max(candidate, end)
+        return candidate
+
+    def reserve(self, start: float, duration: float) -> Tuple[float, float]:
+        """Mark ``[start, start + duration)`` busy.
+
+        Raises:
+            SimulationError: If the interval overlaps an existing one.
+        """
+        end = start + duration
+        if duration < 0 or start < -1e-12:
+            raise SimulationError(f"invalid reservation [{start}, {end}] on {self.name}")
+        if duration == 0:
+            return (start, end)
+        position = bisect.bisect_left(self._intervals, (start, end))
+        for neighbor in self._intervals[max(0, position - 1): position + 1]:
+            if start < neighbor[1] - 1e-12 and neighbor[0] < end - 1e-12:
+                raise SimulationError(
+                    f"reservation [{start:g}, {end:g}] overlaps [{neighbor[0]:g}, "
+                    f"{neighbor[1]:g}] on {self.name}"
+                )
+        self._intervals.insert(position, (start, end))
+        return (start, end)
+
+    def release_after(self, time: float) -> None:
+        """Drop reservations starting at or after ``time`` (used to undo
+        tentative placements)."""
+        self._intervals = [iv for iv in self._intervals if iv[0] < time - 1e-12]
+
+    def copy(self) -> "Timeline":
+        """An independent copy (used for tentative-placement scratch space)."""
+        fresh = Timeline(self.name)
+        fresh._intervals = list(self._intervals)
+        return fresh
+
+    def busy_until(self) -> float:
+        """End of the last busy interval (0 when idle forever)."""
+        return self._intervals[-1][1] if self._intervals else 0.0
+
+    def __repr__(self) -> str:
+        return f"Timeline({self.name!r}, {self._intervals})"

@@ -1,0 +1,71 @@
+"""Chronological event traces of schedules.
+
+A trace is the flattened, time-ordered view of a schedule — the form in
+which simulator output is usually eyeballed and diffed.  Each schedule
+event contributes a start record and an end record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One edge (start or end) of one schedule event.
+
+    Attributes:
+        time: When it happens.
+        action: ``"start"`` or ``"end"``.
+        kind: ``"execution"`` or ``"transfer"``.
+        label: Subtask name or transfer label.
+        resource: Processor name, or ``src->dst`` route (``local`` for
+            same-processor transfers).
+    """
+
+    time: float
+    action: str
+    kind: str
+    label: str
+    resource: str
+
+    def __str__(self) -> str:
+        return (
+            f"t={self.time:<8g} {self.action:<5} {self.kind:<9} "
+            f"{self.label:<12} on {self.resource}"
+        )
+
+
+def trace_schedule(schedule: Schedule) -> List[TraceRecord]:
+    """All start/end records of a schedule, time-ordered.
+
+    Ties break as: earlier time first, ends before starts (so a resource
+    handoff reads release-then-acquire), executions before transfers,
+    then label.
+    """
+    records: List[TraceRecord] = []
+    for event in schedule.executions:
+        records.append(TraceRecord(event.start, "start", "execution",
+                                   event.task, event.processor))
+        records.append(TraceRecord(event.end, "end", "execution",
+                                   event.task, event.processor))
+    for transfer in schedule.transfers:
+        resource = (
+            f"{transfer.source}->{transfer.dest}" if transfer.remote else "local"
+        )
+        records.append(TraceRecord(transfer.start, "start", "transfer",
+                                   transfer.label, resource))
+        records.append(TraceRecord(transfer.end, "end", "transfer",
+                                   transfer.label, resource))
+    return sorted(
+        records,
+        key=lambda r: (r.time, r.action != "end", r.kind != "execution", r.label),
+    )
+
+
+def format_trace(schedule: Schedule) -> str:
+    """The trace as printable text, one record per line."""
+    return "\n".join(str(record) for record in trace_schedule(schedule))

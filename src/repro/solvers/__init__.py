@@ -1,0 +1,22 @@
+"""Solver backends: a from-scratch simplex + branch-and-bound ("Bozo") and
+an independent HiGHS (scipy) cross-check, behind one interface."""
+
+from repro.solvers.base import Solver, SolverOptions
+from repro.solvers.bozo import BozoSolver
+from repro.solvers.presolve import PresolveResult, presolve
+from repro.solvers.registry import available_solvers, get_solver, register_solver
+from repro.solvers.simplex import LPResult, LPStatus, solve_lp
+
+__all__ = [
+    "Solver",
+    "SolverOptions",
+    "BozoSolver",
+    "PresolveResult",
+    "presolve",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
+    "LPResult",
+    "LPStatus",
+    "solve_lp",
+]

@@ -1,0 +1,56 @@
+"""Common solver interface shared by the from-scratch and scipy backends."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import math
+from typing import Optional
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution
+
+
+@dataclasses.dataclass
+class SolverOptions:
+    """Options understood by every backend (backends ignore what they must).
+
+    Attributes:
+        time_limit: Wall-clock budget in seconds (``inf`` = none).
+        gap_tolerance: Relative MILP gap at which the search may stop.
+        integrality_tolerance: How close to an integer an LP value must be.
+        node_limit: Maximum branch-and-bound nodes (``0`` = unlimited).
+        node_selection: ``"best_first"`` or ``"depth_first"`` (Bozo only).
+        branching: ``"most_fractional"`` or ``"pseudocost"`` (Bozo only).
+        presolve: Run bound-propagation presolve before branch and bound
+            (Bozo only; HiGHS presolves internally).
+        seed: Tie-breaking seed for randomized choices.
+        verbose: Emit progress lines to stdout.
+    """
+
+    time_limit: float = math.inf
+    gap_tolerance: float = 1e-9
+    integrality_tolerance: float = 1e-6
+    node_limit: int = 0
+    node_selection: str = "best_first"
+    branching: str = "most_fractional"
+    presolve: bool = True
+    seed: int = 0
+    verbose: bool = False
+
+
+class Solver(abc.ABC):
+    """Abstract MILP solver."""
+
+    #: Registry key (e.g. ``"bozo"``); subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, options: Optional[SolverOptions] = None) -> None:
+        self.options = options or SolverOptions()
+
+    @abc.abstractmethod
+    def solve(self, model: Model) -> Solution:
+        """Solve a model and return a :class:`Solution`."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,300 @@
+"""*Bozo* — a from-scratch branch-and-bound MILP solver.
+
+The paper solved its MILP models with Bozo, L. J. Hafer's branch-and-bound
+code layered on the commercial XLP simplex.  This module is the
+reproduction's equivalent: LP-relaxation branch and bound layered on the
+from-scratch simplex in :mod:`repro.solvers.simplex`.
+
+Features (all selectable through :class:`~repro.solvers.base.SolverOptions`):
+
+* best-first (default) or depth-first node selection,
+* most-fractional or pseudocost branching,
+* incumbent rounding/repair for near-integral LP solutions,
+* wall-clock and node limits with a FEASIBLE (incumbent, gap > 0) result.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.milp.model import MatrixForm, Model
+from repro.milp.solution import Solution, SolveStatus
+from repro.solvers.base import Solver, SolverOptions
+from repro.solvers.simplex import LPStatus, solve_lp
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node ordered by its parent LP bound."""
+
+    bound: float
+    tiebreak: int
+    lb: np.ndarray = field(compare=False)
+    ub: np.ndarray = field(compare=False)
+    depth: int = field(compare=False, default=0)
+
+
+class _Pseudocosts:
+    """Per-variable average objective degradation used for branching."""
+
+    def __init__(self, n: int) -> None:
+        self.up_sum = np.zeros(n)
+        self.up_count = np.zeros(n)
+        self.down_sum = np.zeros(n)
+        self.down_count = np.zeros(n)
+
+    def record(self, j: int, direction: str, degradation: float, fraction: float) -> None:
+        per_unit = degradation / max(fraction, 1e-9)
+        if direction == "up":
+            self.up_sum[j] += per_unit
+            self.up_count[j] += 1
+        else:
+            self.down_sum[j] += per_unit
+            self.down_count[j] += 1
+
+    def score(self, j: int, fraction: float) -> float:
+        up = self.up_sum[j] / self.up_count[j] if self.up_count[j] else 1.0
+        down = self.down_sum[j] / self.down_count[j] if self.down_count[j] else 1.0
+        # Classic product rule, guarded away from zero.
+        return max(up * (1.0 - fraction), 1e-6) * max(down * fraction, 1e-6)
+
+
+class BozoSolver(Solver):
+    """Branch-and-bound MILP solver over the from-scratch simplex."""
+
+    name = "bozo"
+
+    def solve(self, model: Model) -> Solution:
+        """Solve ``model`` to optimality (or the configured limits)."""
+        start = time.monotonic()
+        form = model.to_matrices()
+        if self.options.presolve:
+            from repro.solvers.presolve import presolve
+
+            reduction = presolve(form)
+            if reduction.proven_infeasible:
+                return Solution(
+                    SolveStatus.INFEASIBLE, iterations=0,
+                    solve_seconds=time.monotonic() - start, solver_name=self.name,
+                )
+            assert reduction.form is not None
+            form = reduction.form
+        n = form.c.shape[0]
+        integral = np.where(form.integrality)[0]
+        tol = self.options.integrality_tolerance
+
+        incumbent_x: Optional[np.ndarray] = None
+        incumbent_obj = math.inf
+        nodes_processed = 0
+        counter = itertools.count()
+        pseudo = _Pseudocosts(n)
+
+        root = _Node(-math.inf, next(counter), form.lb.copy(), form.ub.copy())
+        heap: List[_Node] = [root]
+        stack: List[_Node] = []
+        depth_first = self.options.node_selection == "depth_first"
+        if depth_first:
+            stack = [root]
+            heap = []
+
+        best_open_bound = -math.inf
+        root_unbounded = False
+
+        def pop_node() -> Optional[_Node]:
+            if depth_first:
+                return stack.pop() if stack else None
+            return heapq.heappop(heap) if heap else None
+
+        def push_node(node: _Node) -> None:
+            if depth_first:
+                stack.append(node)
+            else:
+                heapq.heappush(heap, node)
+
+        hit_limit = False
+        while True:
+            node = pop_node()
+            if node is None:
+                break
+            if node.bound >= incumbent_obj - self.options.gap_tolerance * max(1.0, abs(incumbent_obj)):
+                continue  # pruned by bound
+            if time.monotonic() - start > self.options.time_limit:
+                hit_limit = True
+                best_open_bound = min(
+                    node.bound, *(other.bound for other in (heap or stack))
+                ) if (heap or stack) else node.bound
+                break
+            if self.options.node_limit and nodes_processed >= self.options.node_limit:
+                hit_limit = True
+                break
+
+            result = solve_lp(
+                form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+                node.lb, node.ub, c0=form.c0,
+            )
+            nodes_processed += 1
+            if result.status is LPStatus.INFEASIBLE:
+                continue
+            if result.status is LPStatus.UNBOUNDED:
+                if nodes_processed == 1:
+                    root_unbounded = True
+                    break
+                continue
+            if result.status is LPStatus.ITERATION_LIMIT:
+                # Treat as unexplored; keep the parent bound so the gap stays valid.
+                continue
+
+            assert result.x is not None
+            lp_obj = result.objective
+            if nodes_processed == 1:
+                # Root node: try a rounding dive for a quick incumbent.
+                dived = self._dive(form, node.lb, node.ub, result.x, integral)
+                if dived is not None:
+                    objective = float(form.c @ dived) + form.c0
+                    if objective < incumbent_obj - 1e-12:
+                        incumbent_obj = objective
+                        incumbent_x = dived
+                        if self.options.verbose:
+                            print(f"[bozo] dive incumbent {objective:.6g}")
+            if lp_obj >= incumbent_obj - self.options.gap_tolerance * max(1.0, abs(incumbent_obj)):
+                continue
+
+            fractional = [
+                (j, result.x[j] - math.floor(result.x[j] + tol))
+                for j in integral
+                if min(result.x[j] - math.floor(result.x[j]),
+                       math.ceil(result.x[j]) - result.x[j]) > tol
+            ]
+            if not fractional:
+                x = result.x.copy()
+                x[integral] = np.round(x[integral])
+                if self._is_feasible(form, x):
+                    obj = float(form.c @ x) + form.c0
+                    if obj < incumbent_obj - 1e-12:
+                        incumbent_obj = obj
+                        incumbent_x = x
+                        if self.options.verbose:
+                            print(f"[bozo] incumbent {obj:.6g} at node {nodes_processed}")
+                continue
+
+            branch_j, fraction = self._pick_branch(fractional, result.x, pseudo)
+            value = result.x[branch_j]
+            floor_value = math.floor(value + tol)
+
+            down = _Node(lp_obj, next(counter), node.lb.copy(), node.ub.copy(), node.depth + 1)
+            down.ub[branch_j] = float(floor_value)
+            up = _Node(lp_obj, next(counter), node.lb.copy(), node.ub.copy(), node.depth + 1)
+            up.lb[branch_j] = float(floor_value + 1)
+            pseudo.record(branch_j, "down", 0.0, fraction)
+            pseudo.record(branch_j, "up", 0.0, 1.0 - fraction)
+            # Depth-first explores the "more integral" child first for quick
+            # incumbents: push the closer-to-value branch last (popped first).
+            if value - floor_value > 0.5:
+                push_node(down)
+                push_node(up)
+            else:
+                push_node(up)
+                push_node(down)
+
+        elapsed = time.monotonic() - start
+        if incumbent_x is not None:
+            status = SolveStatus.FEASIBLE if hit_limit else SolveStatus.OPTIMAL
+            bound = best_open_bound if hit_limit and best_open_bound > -math.inf else incumbent_obj
+            values = self._to_values(form, incumbent_x)
+            return Solution(
+                status=status, objective=incumbent_obj, values=values,
+                best_bound=bound, iterations=nodes_processed,
+                solve_seconds=elapsed, solver_name=self.name,
+            )
+        if root_unbounded:
+            return Solution(SolveStatus.UNBOUNDED, iterations=nodes_processed,
+                            solve_seconds=elapsed, solver_name=self.name)
+        if hit_limit:
+            return Solution(SolveStatus.UNKNOWN, iterations=nodes_processed,
+                            solve_seconds=elapsed, solver_name=self.name)
+        status = SolveStatus.INFEASIBLE
+        return Solution(status, iterations=nodes_processed,
+                        solve_seconds=elapsed, solver_name=self.name)
+
+    # -- helpers ------------------------------------------------------------
+    def _dive(
+        self,
+        form: MatrixForm,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        x: np.ndarray,
+        integral: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Rounding dive: repeatedly fix the most nearly-integral fractional
+        variable to its rounded value and re-solve the LP.  Returns a
+        feasible integral point or ``None``.  At most ``|integral|`` LP
+        solves, so the dive is cheap relative to the tree search it seeds."""
+        tol = self.options.integrality_tolerance
+        lb = lb.copy()
+        ub = ub.copy()
+        current = x
+        for _ in range(integral.shape[0]):
+            fractional = [
+                (j, current[j]) for j in integral
+                if min(current[j] - math.floor(current[j]),
+                       math.ceil(current[j]) - current[j]) > tol
+            ]
+            if not fractional:
+                candidate = current.copy()
+                candidate[integral] = np.round(candidate[integral])
+                if self._is_feasible(form, candidate):
+                    return candidate
+                return None
+            j, value = min(
+                fractional,
+                key=lambda item: min(item[1] - math.floor(item[1]),
+                                     math.ceil(item[1]) - item[1]),
+            )
+            fixed = float(round(value))
+            fixed = min(max(fixed, lb[j]), ub[j])
+            lb[j] = fixed
+            ub[j] = fixed
+            result = solve_lp(
+                form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+                lb, ub, c0=form.c0,
+            )
+            if result.status is not LPStatus.OPTIMAL or result.x is None:
+                return None
+            current = result.x
+        return None
+
+    def _pick_branch(
+        self,
+        fractional: List[Tuple[int, float]],
+        x: np.ndarray,
+        pseudo: _Pseudocosts,
+    ) -> Tuple[int, float]:
+        """Choose the variable to branch on and its fractional part."""
+        if self.options.branching == "pseudocost":
+            best = max(fractional, key=lambda item: pseudo.score(item[0], item[1]))
+            return best
+        # Most fractional: distance of the fraction from the nearest integer.
+        best = max(fractional, key=lambda item: min(item[1], 1.0 - item[1]))
+        return best
+
+    @staticmethod
+    def _is_feasible(form: MatrixForm, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Re-check a rounded candidate against the original matrices."""
+        if form.a_ub.size and np.any(form.a_ub @ x > form.b_ub + tol):
+            return False
+        if form.a_eq.size and np.any(np.abs(form.a_eq @ x - form.b_eq) > tol):
+            return False
+        if np.any(x < form.lb - tol) or np.any(x > form.ub + tol):
+            return False
+        return True
+
+    @staticmethod
+    def _to_values(form: MatrixForm, x: np.ndarray) -> Dict:
+        return {var: float(x[j]) for j, var in enumerate(form.variables)}

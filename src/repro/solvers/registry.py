@@ -1,0 +1,60 @@
+"""Solver registry: look up backends by name.
+
+``"auto"`` picks HiGHS when available (it always is in this environment,
+via scipy) and falls back to the from-scratch Bozo solver otherwise, so
+the library keeps working with no scipy installed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Type
+
+from repro.errors import SolverError
+from repro.solvers.base import Solver, SolverOptions
+
+_REGISTRY: Dict[str, Callable[[Optional[SolverOptions]], Solver]] = {}
+
+
+def register_solver(name: str, factory: Callable[[Optional[SolverOptions]], Solver]) -> None:
+    """Register a backend under ``name`` (overwrites an existing entry)."""
+    _REGISTRY[name] = factory
+
+
+def available_solvers() -> tuple:
+    """Names of all registered backends (plus ``auto``)."""
+    return tuple(sorted(_REGISTRY)) + ("auto",)
+
+
+def get_solver(name: str = "auto", options: Optional[SolverOptions] = None) -> Solver:
+    """Instantiate a solver backend.
+
+    Args:
+        name: ``"bozo"``, ``"highs"``, or ``"auto"``.
+        options: Shared solver options.
+
+    Raises:
+        SolverError: For an unknown name.
+    """
+    if name == "auto":
+        name = "highs" if "highs" in _REGISTRY else "bozo"
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver {name!r}; available: {', '.join(available_solvers())}"
+        ) from None
+    return factory(options)
+
+
+def _register_builtins() -> None:
+    from repro.solvers.bozo import BozoSolver
+
+    register_solver("bozo", lambda options: BozoSolver(options))
+    try:
+        from repro.solvers.highs import HighsSolver
+    except ImportError:  # scipy absent: from-scratch solver only
+        return
+    register_solver("highs", lambda options: HighsSolver(options))
+
+
+_register_builtins()

@@ -1,0 +1,13 @@
+"""High-level synthesis API: the facade most users interact with."""
+
+from repro.synthesis.design import Design
+from repro.synthesis.io import design_from_dict, load_design, save_design
+from repro.synthesis.synthesizer import Synthesizer
+
+__all__ = [
+    "Design",
+    "design_from_dict",
+    "load_design",
+    "save_design",
+    "Synthesizer",
+]

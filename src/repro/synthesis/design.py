@@ -1,0 +1,119 @@
+"""The result object of a synthesis run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.schedule.gantt import describe_schedule, render_gantt
+from repro.schedule.schedule import Schedule
+from repro.schedule.validate import validate_schedule
+from repro.system.architecture import Architecture
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+
+
+@dataclass
+class Design:
+    """A synthesized multiprocessor system plus its static schedule.
+
+    This is the paper's triple output (§3.4.2): the multiprocessor system
+    (processors + interconnect), the subtask schedule, and the detailed
+    timing of every computation and data transfer.
+
+    Attributes:
+        graph: The application task graph the design was synthesized for.
+        library: The technology library used.
+        style: Interconnect style.
+        architecture: Bought processors and communication structure.
+        mapping: ``subtask name -> processor instance name`` (the σ's).
+        schedule: All timed events.
+        makespan: Completion time ``T_F`` (the paper's "performance" column).
+        cost: Total system cost (processors + links).
+        solver_name: Backend that produced the MILP solution.
+        solve_seconds: Wall-clock solve time (the paper's "runtime" column).
+        proven_optimal: Whether the MILP was solved to proven optimality.
+        nodes: Branch-and-bound nodes processed.
+    """
+
+    graph: TaskGraph
+    library: TechnologyLibrary
+    style: InterconnectStyle
+    architecture: Architecture
+    mapping: Dict[str, str]
+    schedule: Schedule
+    makespan: float
+    cost: float
+    solver_name: str = ""
+    solve_seconds: float = 0.0
+    proven_optimal: bool = True
+    nodes: int = 0
+
+    # -- validation ------------------------------------------------------------
+    def violations(self) -> List[str]:
+        """Re-check this design with the independent schedule validator."""
+        return validate_schedule(
+            self.graph, self.library, self.schedule,
+            architecture=self.architecture, style=self.style,
+        )
+
+    def is_valid(self) -> bool:
+        """True when the independent validator finds no violation."""
+        return not self.violations()
+
+    # -- dominance (the paper's non-inferiority notion, §4.1 footnote) ---------
+    def dominates(self, other: "Design", tol: float = 1e-9) -> bool:
+        """True when this design is at least as good on both axes and
+        strictly better on one (lower cost, lower makespan)."""
+        no_worse = self.cost <= other.cost + tol and self.makespan <= other.makespan + tol
+        better = self.cost < other.cost - tol or self.makespan < other.makespan - tol
+        return no_worse and better
+
+    # -- presentation ------------------------------------------------------------
+    def processors_used(self) -> List[str]:
+        """Instance names actually executing subtasks."""
+        return self.schedule.processors()
+
+    def num_processors(self) -> int:
+        """Number of processors bought."""
+        return len(self.architecture.processors)
+
+    def num_links(self) -> int:
+        """Number of point-to-point links (or ring segments) built."""
+        return len(self.architecture.links)
+
+    def describe(self) -> str:
+        """Multi-line description in the paper's design-paragraph style."""
+        header = (
+            f"cost {self.cost:g}, performance {self.makespan:g} "
+            f"({'optimal' if self.proven_optimal else 'incumbent'})\n"
+            f"{self.architecture.summary()}"
+        )
+        return header + "\n" + describe_schedule(self.schedule)
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII Gantt chart of the schedule."""
+        return render_gantt(self.schedule, width=width)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary (structure, mapping, schedule, metrics)."""
+        return {
+            "graph": self.graph.name,
+            "style": self.style.value,
+            "processors": sorted(self.architecture.processor_names()),
+            "links": sorted(link.label for link in self.architecture.links),
+            "mapping": dict(self.mapping),
+            "schedule": self.schedule.to_dict(),
+            "makespan": self.makespan,
+            "cost": self.cost,
+            "solver": self.solver_name,
+            "solve_seconds": self.solve_seconds,
+            "proven_optimal": self.proven_optimal,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Design(cost={self.cost:g}, makespan={self.makespan:g}, "
+            f"processors={sorted(self.architecture.processor_names())})"
+        )

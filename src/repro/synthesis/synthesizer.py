@@ -1,0 +1,245 @@
+"""High-level synthesis driver.
+
+:class:`Synthesizer` wraps the whole SOS flow — build the §3.3 MILP, solve
+it, extract and validate the design — and implements the paper's
+experimental methodology: sweeping a designer cost cap while minimizing
+completion time to enumerate the non-inferior (Pareto) designs of §4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+from repro.core.formulation import SosModel, SosModelBuilder
+from repro.core.options import FormulationOptions, Objective
+from repro.errors import InfeasibleError, SynthesisError
+from repro.milp.solution import Solution, SolveStatus
+from repro.solvers.base import Solver, SolverOptions
+from repro.solvers.registry import get_solver
+from repro.synthesis.design import Design
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+
+
+class Synthesizer:
+    """Synthesizes optimal application-specific multiprocessor systems.
+
+    Example:
+        >>> from repro.taskgraph import example1
+        >>> from repro.system import example1_library
+        >>> synth = Synthesizer(example1(), example1_library())
+        >>> design = synth.synthesize()          # fastest system, any cost
+        >>> front = synth.pareto_sweep()         # all non-inferior systems
+
+    Args:
+        graph: Application task data-flow graph.
+        library: Technology library (processor types, delays, link cost).
+        style: Interconnect style to synthesize for.
+        solver: Backend name (``"auto"``, ``"highs"``, ``"bozo"``).
+        solver_options: Options forwarded to the backend.
+        options: Base formulation options; per-call arguments override the
+            ``cost_cap``/``deadline``/``objective`` fields.
+        constraints: Arbitrary designer constraints (§3.3.2) applied to
+            every model this synthesizer builds.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        library: TechnologyLibrary,
+        style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT,
+        solver: str = "auto",
+        solver_options: Optional[SolverOptions] = None,
+        options: Optional[FormulationOptions] = None,
+        constraints: Optional["DesignerConstraints"] = None,
+    ) -> None:
+        self.graph = graph
+        self.library = library
+        base = options or FormulationOptions()
+        self.base_options = dataclasses.replace(base, style=style)
+        self.solver_name = solver
+        self.solver_options = solver_options
+        self.constraints = constraints
+        #: Total solver wall-clock seconds spent by this synthesizer.
+        self.total_solve_seconds = 0.0
+        #: The model built by the most recent solve (for size reporting).
+        self.last_model: Optional[SosModel] = None
+
+    # -- single designs ---------------------------------------------------------
+    def synthesize(
+        self,
+        cost_cap: Optional[float] = None,
+        deadline: Optional[float] = None,
+        objective: Objective = Objective.MIN_MAKESPAN,
+        minimize_secondary: bool = True,
+        validate: bool = True,
+    ) -> Design:
+        """Produce one optimal design.
+
+        Args:
+            cost_cap: Designer constraint ``total cost <= cost_cap``.
+            deadline: Designer constraint ``T_F <= deadline``.
+            objective: Primary goal (min makespan or min cost).
+            minimize_secondary: After optimizing the primary goal, run a
+                second solve that optimizes the other axis subject to the
+                primary optimum — so a min-makespan design is also the
+                *cheapest* system achieving that makespan (this is the
+                design the paper's tables report).
+            validate: Re-check the design with the independent validator.
+
+        Raises:
+            InfeasibleError: When no system satisfies the constraints.
+            SynthesisError: On extraction/validation failures.
+        """
+        options = dataclasses.replace(
+            self.base_options,
+            cost_cap=cost_cap,
+            deadline=deadline,
+            objective=objective,
+        )
+        built, solution = self._solve(options)
+        primary_seconds = solution.solve_seconds
+
+        if minimize_secondary and objective is not Objective.WEIGHTED:
+            # A weighted optimum already encodes its tradeoff; refining it
+            # along either single axis would change the chosen point.
+            if objective is Objective.MIN_MAKESPAN:
+                refined = dataclasses.replace(
+                    options,
+                    objective=Objective.MIN_COST,
+                    deadline=self._tightened(solution.objective),
+                )
+            else:
+                cost_now = built.cost_expr.evaluate(solution.values)
+                refined = dataclasses.replace(
+                    options,
+                    objective=Objective.MIN_MAKESPAN,
+                    cost_cap=self._tightened(cost_now),
+                )
+            built, solution = self._solve(refined)
+            solution.solve_seconds += primary_seconds
+
+        # Imported here: repro.core.extraction needs the Design class, so a
+        # module-level import would be circular through the package inits.
+        from repro.core.extraction import extract_design
+        from repro.core.polish import left_shift
+
+        solution = left_shift(built, solution)
+        design = extract_design(built, solution)
+        if validate:
+            problems = design.violations()
+            if problems:
+                raise SynthesisError(
+                    "internal error: synthesized design fails independent "
+                    "validation:\n  " + "\n  ".join(problems)
+                )
+        return design
+
+    @staticmethod
+    def _tightened(value: float) -> float:
+        """A bound equal to an achieved optimum, padded for solver tolerance."""
+        return value + 1e-6 * max(1.0, abs(value))
+
+    def _solve(self, options: FormulationOptions):
+        built = SosModelBuilder(self.graph, self.library, options).build()
+        if self.constraints is not None and not self.constraints.is_empty():
+            self.constraints.apply(built)
+        self.last_model = built
+        backend = get_solver(self.solver_name, self.solver_options)
+        solution = backend.solve(built.model)
+        self.total_solve_seconds += solution.solve_seconds
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(
+                f"no feasible system exists (cost_cap={options.cost_cap}, "
+                f"deadline={options.deadline}, style={options.style.value})"
+            )
+        if not solution.status.has_solution:
+            raise SynthesisError(
+                f"solver {solution.solver_name!r} returned {solution.status.value} "
+                f"without a usable solution (try a larger time limit)"
+            )
+        return built, solution
+
+    # -- the paper's methodology: sweep the cost cap ------------------------------
+    def pareto_sweep(
+        self,
+        max_designs: int = 64,
+        cost_step: float = 1e-4,
+        validate: bool = True,
+    ) -> List[Design]:
+        """Enumerate all non-inferior designs, fastest first.
+
+        This reproduces §4's procedure ("generated by changing the
+        constraint value for the total cost of the system, and optimizing
+        the overall performance"): first synthesize the fastest system at
+        any cost, then repeatedly cap the cost just below the previous
+        design's and re-optimize, until the cap is infeasible.
+
+        Every returned design is non-inferior: each solve minimizes
+        makespan under the cap and then minimizes cost at that makespan, so
+        successive designs are strictly cheaper and strictly slower.
+
+        Args:
+            max_designs: Safety bound on the front size.
+            cost_step: How far below the previous cost the next cap sits
+                (any value smaller than the cost granularity is exact).
+            validate: Independently validate every design.
+        """
+        front: List[Design] = []
+        cap: Optional[float] = None
+        while len(front) < max_designs:
+            try:
+                design = self.synthesize(cost_cap=cap, validate=validate)
+            except InfeasibleError:
+                break
+            front.append(design)
+            cap = design.cost - cost_step
+            if cap < 0:
+                break
+        if not front:
+            raise SynthesisError("pareto sweep produced no designs (infeasible instance?)")
+        return front
+
+    def pareto_sweep_by_deadline(
+        self,
+        max_designs: int = 64,
+        time_step: float = 1e-4,
+        validate: bool = True,
+    ) -> List[Design]:
+        """Enumerate the non-inferior designs from the other axis.
+
+        The dual of :meth:`pareto_sweep`: start from the cheapest system at
+        any speed, then repeatedly demand completion strictly faster than
+        the previous design and re-minimize cost, until no system is fast
+        enough.  Returns the front cheapest-first (the reverse order of
+        :meth:`pareto_sweep`); the two sweeps find the same front, which
+        the test suite asserts.
+
+        Args:
+            max_designs: Safety bound on the front size.
+            time_step: How far below the previous makespan the next
+                deadline sits.
+            validate: Independently validate every design.
+        """
+        front: List[Design] = []
+        deadline: Optional[float] = None
+        while len(front) < max_designs:
+            try:
+                design = self.synthesize(
+                    deadline=deadline, objective=Objective.MIN_COST,
+                    validate=validate,
+                )
+            except InfeasibleError:
+                break
+            front.append(design)
+            deadline = design.makespan - time_step
+            if deadline <= 0:
+                break
+        if not front:
+            raise SynthesisError(
+                "deadline sweep produced no designs (infeasible instance?)"
+            )
+        return front

@@ -1,0 +1,22 @@
+"""System model: processors, technology libraries, interconnects, architectures."""
+
+from repro.system.architecture import Architecture, Link
+from repro.system.examples import example1_library, example2_library
+from repro.system.generators import random_library, speed_graded_library
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorInstance, ProcessorType, instance_suffix
+
+__all__ = [
+    "Architecture",
+    "Link",
+    "random_library",
+    "speed_graded_library",
+    "example1_library",
+    "example2_library",
+    "InterconnectStyle",
+    "TechnologyLibrary",
+    "ProcessorInstance",
+    "ProcessorType",
+    "instance_suffix",
+]

@@ -1,0 +1,141 @@
+"""Synthesized architectures: the structural half of a design.
+
+An :class:`Architecture` records which processor instances were bought and
+which communication resources (links / bus / ring) exist between them —
+the paper's Figure 2 box-and-arrow picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import SystemModelError
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorInstance
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional point-to-point communication link.
+
+    Attributes:
+        source: Sending processor instance name.
+        dest: Receiving processor instance name.
+    """
+
+    source: str
+    dest: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.dest:
+            raise SystemModelError(f"link from {self.source} to itself is meaningless")
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``l[p1a,p2a]`` for ``l_{1a,2a}``."""
+        return f"l[{self.source},{self.dest}]"
+
+
+@dataclass
+class Architecture:
+    """The structure of a synthesized multiprocessor system.
+
+    Attributes:
+        processors: Bought processor instances (the ``β_d = 1`` set).
+        links: Point-to-point links (the ``χ_{d1,d2} = 1`` set).  For ring
+            style these are the built nearest-neighbor ring segments; empty
+            for bus style.
+        style: Interconnect style the system was synthesized for.
+        library: The technology library it was drawn from (for costing).
+        ring_order: For ring style, the cyclic order of ``processors``.
+    """
+
+    processors: List[ProcessorInstance]
+    links: List[Link] = field(default_factory=list)
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT
+    library: Optional[TechnologyLibrary] = None
+    ring_order: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [inst.name for inst in self.processors]
+        if len(set(names)) != len(names):
+            raise SystemModelError(f"duplicate processor instances in architecture: {names}")
+        known = set(names)
+        for link in self.links:
+            if link.source not in known or link.dest not in known:
+                raise SystemModelError(f"link {link.label} references unknown processors")
+        if self.style is InterconnectStyle.BUS and self.links:
+            raise SystemModelError("bus architectures do not enumerate links")
+        if self.style is InterconnectStyle.RING and self.ring_order:
+            if set(self.ring_order) != known:
+                raise SystemModelError("ring_order must be a permutation of the processors")
+
+    # -- queries ------------------------------------------------------------
+    def processor(self, name: str) -> ProcessorInstance:
+        """The bought instance named ``name``."""
+        for inst in self.processors:
+            if inst.name == name:
+                return inst
+        raise SystemModelError(f"no processor named {name!r} in this architecture")
+
+    def processor_names(self) -> List[str]:
+        """Names of the bought instances, in purchase order."""
+        return [inst.name for inst in self.processors]
+
+    def has_link(self, source: str, dest: str) -> bool:
+        """Can ``source`` send to ``dest`` directly?
+
+        Always true between distinct bought processors for the bus style
+        (the medium is shared); point-to-point and ring require an explicit
+        link/segment.
+        """
+        if source == dest:
+            return True  # local transfers never need a link
+        known = set(self.processor_names())
+        if source not in known or dest not in known:
+            return False
+        if self.style is InterconnectStyle.BUS:
+            return True
+        return any(l.source == source and l.dest == dest for l in self.links)
+
+    def ring_hops(self, source: str, dest: str) -> Tuple[Tuple[str, str], ...]:
+        """Directed ring segments a transfer from ``source`` to ``dest`` occupies."""
+        if self.style is not InterconnectStyle.RING:
+            raise SystemModelError("ring_hops is only defined for ring architectures")
+        order = list(self.ring_order)
+        position = order.index(source)
+        hops: List[Tuple[str, str]] = []
+        while order[position] != dest:
+            nxt = (position + 1) % len(order)
+            hops.append((order[position], order[nxt]))
+            position = nxt
+        return tuple(hops)
+
+    # -- cost ------------------------------------------------------------
+    def processor_cost(self) -> float:
+        """Sum of ``C_d`` over bought processors."""
+        return sum(inst.cost for inst in self.processors)
+
+    def communication_cost(self) -> float:
+        """Link cost ``C_L * |links|`` (p2p and ring segments) or bus cost."""
+        if self.library is None:
+            raise SystemModelError("architecture has no library to price links")
+        if self.style is InterconnectStyle.BUS:
+            return self.library.bus_cost
+        return self.library.link_cost * len(self.links)
+
+    def total_cost(self) -> float:
+        """The paper's total-system-cost objective: processors + communication."""
+        return self.processor_cost() + self.communication_cost()
+
+    def summary(self) -> str:
+        """One-line description, e.g. ``{p1a, p2a} + links {l[p1a,p2a]}``."""
+        procs = ", ".join(sorted(self.processor_names()))
+        if self.style is InterconnectStyle.BUS:
+            return f"processors {{{procs}}}; shared bus"
+        links = ", ".join(sorted(link.label for link in self.links)) or "none"
+        if self.style is InterconnectStyle.RING:
+            return f"processors {{{procs}}}; ring segments {{{links}}}"
+        return f"processors {{{procs}}}; links {{{links}}}"

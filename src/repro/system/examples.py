@@ -1,0 +1,74 @@
+"""The paper's processor characteristic tables (Tables I and III)."""
+
+from __future__ import annotations
+
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorType
+
+
+def example1_library(instances_per_type: object = 2) -> TechnologyLibrary:
+    """Table I — Example 1 processor characteristics.
+
+    ===========  ====  ====  ====  ====  ====
+    Processor    Cost   S1    S2    S3    S4
+    ===========  ====  ====  ====  ====  ====
+    p1            4      1     1    12     3
+    p2            5      3     1     2     1
+    p3            2      -     3     1     -
+    ===========  ====  ====  ====  ====  ====
+
+    plus ``D_CL = 0``, ``D_CR = 1``, ``C_L = 1`` (§4.1).  The candidate
+    pool defaults to two copies of each type — Experiment 2's designs buy
+    two ``p1`` instances, so one copy is not enough.
+    """
+    p1 = ProcessorType("p1", cost=4, exec_times={"S1": 1, "S2": 1, "S3": 12, "S4": 3})
+    p2 = ProcessorType("p2", cost=5, exec_times={"S1": 3, "S2": 1, "S3": 2, "S4": 1})
+    p3 = ProcessorType("p3", cost=2, exec_times={"S2": 3, "S3": 1})
+    return TechnologyLibrary(
+        types=(p1, p2, p3),
+        instances_per_type=instances_per_type,
+        link_cost=1.0,
+        local_delay=0.0,
+        remote_delay=1.0,
+    )
+
+
+def example2_library(instances_per_type: object = 2) -> TechnologyLibrary:
+    """Table III — Example 2 processor characteristics.
+
+    ===========  ====  ====  ====  ====  ====  ====  ====  ====  ====  ====
+    Processor    Cost   S1    S2    S3    S4    S5    S6    S7    S8    S9
+    ===========  ====  ====  ====  ====  ====  ====  ====  ====  ====  ====
+    p1            4      2     2     1     1     1     1     3     -     1
+    p2            5      3     1     1     3     1     2     1     2     1
+    p3            2      1     1     2     -     3     1     4     1     3
+    ===========  ====  ====  ====  ====  ====  ====  ====  ====  ====  ====
+
+    (The ``+`` printed for (p3, S4) in the paper is read as ``-``:
+    every reported design keeps S4 off p3.)  ``D_CL = 0``, ``D_CR = 1``,
+    and for point-to-point experiments ``C_L = 1``.
+    """
+    p1 = ProcessorType(
+        "p1",
+        cost=4,
+        exec_times={"S1": 2, "S2": 2, "S3": 1, "S4": 1, "S5": 1, "S6": 1, "S7": 3, "S9": 1},
+    )
+    p2 = ProcessorType(
+        "p2",
+        cost=5,
+        exec_times={
+            "S1": 3, "S2": 1, "S3": 1, "S4": 3, "S5": 1, "S6": 2, "S7": 1, "S8": 2, "S9": 1,
+        },
+    )
+    p3 = ProcessorType(
+        "p3",
+        cost=2,
+        exec_times={"S1": 1, "S2": 1, "S3": 2, "S5": 3, "S6": 1, "S7": 4, "S8": 1, "S9": 3},
+    )
+    return TechnologyLibrary(
+        types=(p1, p2, p3),
+        instances_per_type=instances_per_type,
+        link_cost=1.0,
+        local_delay=0.0,
+        remote_delay=1.0,
+    )

@@ -1,0 +1,103 @@
+"""Random technology-library generators.
+
+Used by property tests, the scaling benchmarks, and anyone exploring how
+synthesis behaves across hardware spaces.  All generators are seeded and
+deterministic, and always produce libraries that *cover* the given task
+graph (at least one capable type per subtask).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import SystemModelError
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorType
+from repro.taskgraph.graph import TaskGraph
+
+
+def random_library(
+    graph: TaskGraph,
+    seed: int = 0,
+    num_types: int = 3,
+    instances_per_type: int = 2,
+    cost_range: Sequence[float] = (2, 9),
+    time_range: Sequence[int] = (1, 5),
+    capability_probability: float = 0.8,
+    remote_delay_choices: Sequence[float] = (0.5, 1.0),
+    local_delay_choices: Sequence[float] = (0.0,),
+    link_cost: float = 1.0,
+) -> TechnologyLibrary:
+    """A random heterogeneous library covering ``graph``.
+
+    The first type is always fully capable (guaranteeing coverage); later
+    types drop each subtask with probability ``1 - capability_probability``
+    (Type-I heterogeneity) and draw independent speeds (Type-II).
+
+    Args:
+        graph: Task graph that must be coverable.
+        seed: RNG seed; equal seeds give identical libraries.
+        num_types: Number of processor types (>= 1).
+        instances_per_type: Pool copies of each type.
+        cost_range: ``(low, high)`` integer-ish cost range.
+        time_range: ``(low, high)`` integer execution-time range.
+        capability_probability: Chance a non-first type keeps a subtask.
+        remote_delay_choices: ``D_CR`` candidates.
+        local_delay_choices: ``D_CL`` candidates.
+        link_cost: ``C_L``.
+    """
+    if num_types < 1:
+        raise SystemModelError("need at least one processor type")
+    rng = random.Random(seed)
+    tasks = graph.subtask_names
+    types = []
+    for index in range(num_types):
+        times = {}
+        for task in tasks:
+            if index == 0 or rng.random() < capability_probability:
+                times[task] = rng.randint(int(time_range[0]), int(time_range[1]))
+        if not times:  # pathological draw: keep one capability
+            times[rng.choice(list(tasks))] = rng.randint(
+                int(time_range[0]), int(time_range[1])
+            )
+        cost = rng.randint(int(cost_range[0]), int(cost_range[1]))
+        types.append(ProcessorType(f"p{index + 1}", cost, times))
+    library = TechnologyLibrary(
+        types=tuple(types),
+        instances_per_type=instances_per_type,
+        link_cost=link_cost,
+        local_delay=rng.choice(list(local_delay_choices)),
+        remote_delay=rng.choice(list(remote_delay_choices)),
+    )
+    library.check_covers(graph)
+    return library
+
+
+def speed_graded_library(
+    graph: TaskGraph,
+    grades: Sequence[Sequence[float]] = ((1.0, 8.0), (2.0, 4.0), (4.0, 2.0)),
+    instances_per_type: int = 2,
+    remote_delay: float = 1.0,
+    link_cost: float = 1.0,
+) -> TechnologyLibrary:
+    """A pure Type-II (cost-speed) library: every type runs everything.
+
+    Args:
+        graph: Task graph to cover.
+        grades: ``(execution time per subtask, cost)`` pairs, fastest first.
+    """
+    types = tuple(
+        ProcessorType(
+            f"g{index + 1}",
+            cost,
+            {task: time for task in graph.subtask_names},
+        )
+        for index, (time, cost) in enumerate(grades)
+    )
+    return TechnologyLibrary(
+        types=types,
+        instances_per_type=instances_per_type,
+        link_cost=link_cost,
+        remote_delay=remote_delay,
+    )

@@ -1,0 +1,145 @@
+"""The technology library: everything the designer supplies about hardware.
+
+A :class:`TechnologyLibrary` bundles the processor types, how many copies
+of each may be bought (the candidate pool ``P`` of §3.2), the link cost
+``C_L``, and the local/remote per-unit transfer delays ``D_CL``/``D_CR``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SystemModelError
+from repro.system.processors import ProcessorInstance, ProcessorType
+from repro.taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class TechnologyLibrary:
+    """Hardware characteristics available to the synthesizer.
+
+    Attributes:
+        types: Candidate processor types.
+        instances_per_type: Copies of each type in the candidate pool.  Two
+            suffices for every experiment in the paper (no reported design
+            uses more than two copies of any type); raise it for wider
+            graphs.  A mapping may give per-type counts.
+        link_cost: ``C_L`` — cost of creating one point-to-point link.
+        local_delay: ``D_CL`` — time per unit volume for an intra-processor
+            transfer (0 in all paper experiments).
+        remote_delay: ``D_CR`` — time per unit volume over a link/bus.
+        bus_cost: Fixed cost of the shared bus (bus style only; §4.3.2's
+            cost tables imply 0).
+    """
+
+    types: Tuple[ProcessorType, ...]
+    instances_per_type: object = 2
+    link_cost: float = 1.0
+    local_delay: float = 0.0
+    remote_delay: float = 1.0
+    bus_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.types:
+            raise SystemModelError("a technology library needs at least one processor type")
+        names = [ptype.name for ptype in self.types]
+        if len(set(names)) != len(names):
+            raise SystemModelError(f"duplicate processor type names: {names}")
+        for value, label in (
+            (self.link_cost, "link_cost"),
+            (self.local_delay, "local_delay"),
+            (self.remote_delay, "remote_delay"),
+            (self.bus_cost, "bus_cost"),
+        ):
+            if value < 0:
+                raise SystemModelError(f"{label} must be nonnegative")
+        object.__setattr__(self, "types", tuple(self.types))
+
+    # -- pool construction ---------------------------------------------------
+    def copies_of(self, ptype: ProcessorType) -> int:
+        """How many instances of ``ptype`` are in the candidate pool."""
+        if isinstance(self.instances_per_type, Mapping):
+            count = int(self.instances_per_type.get(ptype.name, 1))
+        else:
+            count = int(self.instances_per_type)
+        if count < 1:
+            raise SystemModelError(
+                f"instances_per_type for {ptype.name} must be >= 1, got {count}"
+            )
+        return count
+
+    def instances(self) -> List[ProcessorInstance]:
+        """The full candidate pool ``P``, grouped by type, ordered by ordinal."""
+        pool: List[ProcessorInstance] = []
+        for ptype in self.types:
+            for ordinal in range(self.copies_of(ptype)):
+                pool.append(ProcessorInstance(ptype, ordinal))
+        return pool
+
+    def type_by_name(self, name: str) -> ProcessorType:
+        """The processor type named ``name``."""
+        for ptype in self.types:
+            if ptype.name == name:
+                return ptype
+        raise SystemModelError(f"no processor type named {name!r}")
+
+    # -- capability queries ---------------------------------------------------
+    def capable_types(self, task: str) -> List[ProcessorType]:
+        """Types able to execute ``task`` (the type-level view of ``P_a``)."""
+        return [ptype for ptype in self.types if ptype.can_execute(task)]
+
+    def capable_instances(self, task: str) -> List[ProcessorInstance]:
+        """Instances able to execute ``task`` (the paper's set ``P_a``)."""
+        return [inst for inst in self.instances() if inst.can_execute(task)]
+
+    def check_covers(self, graph: TaskGraph) -> None:
+        """Verify every subtask has at least one capable processor.
+
+        Raises:
+            SystemModelError: Naming the first uncoverable subtask.
+        """
+        for subtask in graph.subtasks:
+            if not self.capable_types(subtask.name):
+                raise SystemModelError(
+                    f"no processor type can execute subtask {subtask.name}"
+                )
+
+    # -- transforms (paper tradeoff studies) -----------------------------------
+    def scaled_execution(self, factor: float) -> "TechnologyLibrary":
+        """Experiment 2: all ``D_PS`` entries multiplied by ``factor``."""
+        if factor <= 0:
+            raise SystemModelError("execution-time scale factor must be positive")
+        return replace(self, types=tuple(ptype.scaled(factor) for ptype in self.types))
+
+    def with_instances(self, instances_per_type: object) -> "TechnologyLibrary":
+        """A copy with a different candidate-pool size."""
+        return replace(self, instances_per_type=instances_per_type)
+
+    def auto_sized(self, graph: TaskGraph, max_copies: int = 4) -> "TechnologyLibrary":
+        """A copy whose pool is sized from the application.
+
+        A type never needs more copies than the number of subtasks it can
+        execute (extra copies are pure search-space symmetry), so the pool
+        becomes ``min(capable-subtask count, max_copies)`` per type.  A
+        valid, optimum-preserving cap would be the maximum *antichain* of
+        capable subtasks; the simpler count is an upper bound on that.
+
+        Args:
+            graph: Application the pool will serve.
+            max_copies: Hard per-type ceiling.
+        """
+        if max_copies < 1:
+            raise SystemModelError("max_copies must be at least 1")
+        sizes = {}
+        for ptype in self.types:
+            capable = sum(
+                1 for subtask in graph.subtasks if ptype.can_execute(subtask.name)
+            )
+            sizes[ptype.name] = max(1, min(capable, max_copies))
+        return replace(self, instances_per_type=sizes)
+
+    def transfer_delay(self, volume: float, remote: bool) -> float:
+        """Transfer duration for ``volume`` units (remote or local)."""
+        rate = self.remote_delay if remote else self.local_delay
+        return rate * volume

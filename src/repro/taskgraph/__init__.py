@@ -1,0 +1,37 @@
+"""Task data-flow graphs: the paper's §3.1 computation model."""
+
+from repro.taskgraph.dot import design_to_dot, graph_to_dot
+from repro.taskgraph.examples import example1, example2
+from repro.taskgraph.generators import fork_join, layered_random, pipeline, series_parallel
+from repro.taskgraph.graph import DataArc, Subtask, TaskGraph
+from repro.taskgraph.ports import InputPort, OutputPort
+from repro.taskgraph.suites import fft_butterfly, gaussian_elimination, stencil_pipeline
+from repro.taskgraph.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+__all__ = [
+    "design_to_dot",
+    "graph_to_dot",
+    "example1",
+    "example2",
+    "fork_join",
+    "layered_random",
+    "pipeline",
+    "series_parallel",
+    "DataArc",
+    "Subtask",
+    "TaskGraph",
+    "InputPort",
+    "OutputPort",
+    "fft_butterfly",
+    "gaussian_elimination",
+    "stencil_pipeline",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "save_graph",
+]

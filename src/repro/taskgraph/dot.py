@@ -1,0 +1,102 @@
+"""Graphviz DOT export for task graphs and synthesized designs.
+
+The paper communicates through two kinds of pictures: task data-flow
+graphs (Figures 1 and 3) and synthesized system diagrams (Figure 2).
+These exporters emit both as DOT text, renderable with ``dot -Tpng``.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.taskgraph.graph import TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.synthesis.design import Design
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def graph_to_dot(graph: TaskGraph) -> str:
+    """The task data-flow graph as DOT (Figure 1 / Figure 3 style).
+
+    Arc labels carry the volume and any nontrivial port fractions.
+    """
+    lines: List[str] = [f"digraph {_quote(graph.name)} {{", "  rankdir=TB;",
+                        "  node [shape=circle];"]
+    fed = {arc.dest.key for arc in graph.arcs}
+    produced = {arc.source.key for arc in graph.arcs}
+    for subtask in graph.subtasks:
+        lines.append(f"  {_quote(subtask.name)};")
+        for port in subtask.inputs:
+            if port.key not in fed:
+                anchor = f"ext_in_{subtask.name}_{port.index}"
+                label = f"i[{subtask.name},{port.index}]"
+                if port.f_required:
+                    label += f"\\nf_R={port.f_required:g}"
+                lines.append(
+                    f"  {_quote(anchor)} [shape=point, label=\"\"];"
+                )
+                lines.append(
+                    f"  {_quote(anchor)} -> {_quote(subtask.name)} "
+                    f"[label={_quote(label)}, style=dashed];"
+                )
+        for port in subtask.outputs:
+            if port.key not in produced:
+                anchor = f"ext_out_{subtask.name}_{port.index}"
+                lines.append(f"  {_quote(anchor)} [shape=point, label=\"\"];")
+                lines.append(
+                    f"  {_quote(subtask.name)} -> {_quote(anchor)} "
+                    f"[label={_quote(f'o[{subtask.name},{port.index}]')}, style=dashed];"
+                )
+    for arc in graph.arcs:
+        parts = [f"V={arc.volume:g}"]
+        if arc.source.f_available != 1.0:
+            parts.append(f"f_A={arc.source.f_available:g}")
+        if arc.dest.f_required != 0.0:
+            parts.append(f"f_R={arc.dest.f_required:g}")
+        lines.append(
+            f"  {_quote(arc.producer)} -> {_quote(arc.consumer)} "
+            f"[label={_quote(', '.join(parts))}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def design_to_dot(design: "Design") -> str:
+    """The synthesized system as DOT (Figure 2's upper half).
+
+    Processors are boxes annotated with their subtask execution order;
+    links are directed edges annotated with the transfers they carry.
+    """
+    lines: List[str] = [
+        f"digraph {_quote(design.graph.name + '_system')} {{",
+        "  rankdir=LR;",
+        "  node [shape=box];",
+    ]
+    for processor in sorted(design.architecture.processor_names()):
+        order = design.schedule.task_order_on(processor)
+        label = processor + r"\n" + " -> ".join(order) if order else processor
+        lines.append(f"  {_quote(processor)} [label={_quote(label)}];")
+    if design.architecture.links:
+        for link in sorted(design.architecture.links, key=lambda l: l.label):
+            carried = [
+                t.label
+                for t in design.schedule.transfers_on_route(link.source, link.dest)
+            ]
+            label = ", ".join(carried) if carried else "unused"
+            lines.append(
+                f"  {_quote(link.source)} -> {_quote(link.dest)} "
+                f"[label={_quote(label)}];"
+            )
+    else:
+        from repro.system.interconnect import InterconnectStyle
+
+        if design.style is InterconnectStyle.BUS and len(design.architecture.processors) > 1:
+            lines.append('  bus [shape=oval, label="shared bus"];')
+            for processor in sorted(design.architecture.processor_names()):
+                lines.append(f"  {_quote(processor)} -> bus [dir=both];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""The paper's two example task graphs.
+
+* :func:`example1` — the four-subtask graph of Figure 1, including the
+  printed ``f_R``/``f_A`` port fractions.
+* :func:`example2` — the nine-subtask graph of Figure 3.  The figure is
+  not printed in the paper text, so the DAG was reconstructed from the
+  eight design descriptions in §4.3 (every mapping, link, transfer list,
+  transfer order, and makespan in Tables IV and V is consistent with this
+  reconstruction; see DESIGN.md §2 for the derivation).
+"""
+
+from __future__ import annotations
+
+from repro.taskgraph.graph import TaskGraph
+
+
+def example1() -> TaskGraph:
+    """Figure 1: four subtasks S1..S4.
+
+    Arcs (with port fractions from the figure):
+
+    * ``o[S1,1] (f_A=0.50) -> i[S3,1] (f_R=0.25)``
+    * ``o[S1,2] (f_A=0.75) -> i[S4,1] (f_R=0.25)``
+    * ``o[S2,1] (f_A=0.50) -> i[S3,2] (f_R=0.50)``
+
+    plus external inputs ``i[S1,1]``, ``i[S2,1]``, ``i[S4,2]`` and external
+    outputs ``o[S2,2]``, ``o[S3,1]``, ``o[S4,1]``.  Port wiring between the
+    producers' two outputs and the consumers was inferred by replaying the
+    paper's Design 1/2 schedules: only ``o[S2,1]`` (available at 50%) as the
+    source of ``i[S3,2]`` reproduces Design 2's completion time of 3.
+    All volumes are 1.
+    """
+    graph = TaskGraph("example1")
+    for name in ("S1", "S2", "S3", "S4"):
+        graph.add_subtask(name)
+
+    graph.add_external_input("S1", f_required=0.25)   # i[1,1]
+    graph.add_external_input("S2", f_required=0.25)   # i[2,1]
+
+    graph.connect("S1", "S3", volume=1.0, f_available=0.50, f_required=0.25)  # o[1,1]->i[3,1]
+    graph.connect("S1", "S4", volume=1.0, f_available=0.75, f_required=0.25)  # o[1,2]->i[4,1]
+    graph.connect("S2", "S3", volume=1.0, f_available=0.50, f_required=0.50)  # o[2,1]->i[3,2]
+
+    graph.add_external_input("S4", f_required=0.50)   # i[4,2]
+    graph.add_external_output("S2", f_available=0.75)  # o[2,2]
+    graph.add_external_output("S3", f_available=0.75)  # o[3,1]
+    graph.add_external_output("S4", f_available=0.75)  # o[4,1]
+
+    graph.validate()
+    return graph
+
+
+def example2() -> TaskGraph:
+    """Figure 3 (reconstructed): nine subtasks S1..S9.
+
+    Three two-deep input chains feed three combining subtasks::
+
+        S1 -> S4 -> S7            (i[7,2]; i[7,1] is external)
+                \\-> S8 (i[8,1])
+        S2 -> S5 -> S8 (i[8,2])
+                \\-> S9 (i[9,1])
+        S3 -> S6 -> S9 (i[9,2])
+
+    §4.3 states the traditional data-flow semantics are used here: every
+    ``f_R`` is 0 (all inputs needed at start) and every ``f_A`` is 1
+    (outputs only at completion).  All volumes are 1.
+    """
+    graph = TaskGraph("example2")
+    for index in range(1, 10):
+        graph.add_subtask(f"S{index}")
+
+    for source in ("S1", "S2", "S3"):
+        graph.add_external_input(source)
+
+    graph.connect("S1", "S4")                       # i[4,1]
+    graph.connect("S2", "S5")                       # i[5,1]
+    graph.connect("S3", "S6")                       # i[6,1]
+    graph.add_external_input("S7")                  # i[7,1]
+    graph.connect("S4", "S7")                       # i[7,2]
+    graph.connect("S4", "S8")                       # i[8,1]
+    graph.connect("S5", "S8")                       # i[8,2]
+    graph.connect("S5", "S9")                       # i[9,1]
+    graph.connect("S6", "S9")                       # i[9,2]
+
+    for sink in ("S7", "S8", "S9"):
+        graph.add_external_output(sink)
+
+    graph.validate()
+    return graph

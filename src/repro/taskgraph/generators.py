@@ -1,0 +1,163 @@
+"""Synthetic task-graph generators.
+
+The paper evaluates on two hand-built graphs; downstream users (and our
+scaling benchmarks and property tests) need families of graphs with
+controllable size and shape.  All generators are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.graph import TaskGraph
+
+
+def pipeline(num_stages: int, volume: float = 1.0, name: str = "pipeline") -> TaskGraph:
+    """A linear chain ``S1 -> S2 -> ... -> Sn``."""
+    if num_stages < 1:
+        raise TaskGraphError("a pipeline needs at least one stage")
+    graph = TaskGraph(name)
+    for index in range(1, num_stages + 1):
+        graph.add_subtask(f"S{index}")
+    graph.add_external_input("S1")
+    for index in range(1, num_stages):
+        graph.connect(f"S{index}", f"S{index + 1}", volume=volume)
+    graph.add_external_output(f"S{num_stages}")
+    return graph
+
+
+def fork_join(width: int, volume: float = 1.0, name: str = "fork_join") -> TaskGraph:
+    """A fork-join diamond: source -> ``width`` parallel workers -> sink."""
+    if width < 1:
+        raise TaskGraphError("fork-join width must be at least 1")
+    graph = TaskGraph(name)
+    graph.add_subtask("fork")
+    graph.add_external_input("fork")
+    worker_names = [f"W{index}" for index in range(1, width + 1)]
+    for worker in worker_names:
+        graph.add_subtask(worker)
+        graph.connect("fork", worker, volume=volume)
+    graph.add_subtask("join")
+    for worker in worker_names:
+        graph.connect(worker, "join", volume=volume)
+    graph.add_external_output("join")
+    return graph
+
+
+def layered_random(
+    num_tasks: int,
+    num_layers: int,
+    seed: int = 0,
+    edge_probability: float = 0.5,
+    volume_range: Sequence[float] = (1.0, 4.0),
+    fractional_ports: bool = False,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """A random layered DAG (the standard scheduling-benchmark shape).
+
+    Tasks are split across ``num_layers`` layers; arcs only go from one
+    layer to a strictly later one.  Every non-first-layer task receives at
+    least one incoming arc, so the graph is connected front-to-back.
+
+    Args:
+        num_tasks: Total subtask count.
+        num_layers: Number of layers (``<= num_tasks``).
+        seed: RNG seed; equal seeds give identical graphs.
+        edge_probability: Chance of each candidate extra arc.
+        volume_range: ``(low, high)`` uniform range for arc volumes.
+        fractional_ports: When true, sample nontrivial ``f_R``/``f_A``
+            fractions (the paper's generalized data-flow semantics);
+            otherwise use the traditional 0/1 semantics.
+        name: Graph name (defaults to a seed-derived one).
+    """
+    if num_layers < 1 or num_layers > num_tasks:
+        raise TaskGraphError("need 1 <= num_layers <= num_tasks")
+    rng = random.Random(seed)
+    graph = TaskGraph(name or f"layered_{num_tasks}t_{num_layers}l_s{seed}")
+
+    layers: List[List[str]] = [[] for _ in range(num_layers)]
+    for index in range(num_tasks):
+        layer = index if index < num_layers else rng.randrange(num_layers)
+        layers[layer].append(f"S{index + 1}")
+    # Layer k of the construction above may be empty only for k >= num_tasks,
+    # which the guard excludes; every layer has at least one task.
+    for layer in layers:
+        for task in layer:
+            graph.add_subtask(task)
+
+    def sample_volume() -> float:
+        low, high = volume_range
+        return round(rng.uniform(low, high), 2)
+
+    def sample_f_required() -> float:
+        return round(rng.choice([0.0, 0.25, 0.5]) if fractional_ports else 0.0, 2)
+
+    def sample_f_available() -> float:
+        return round(rng.choice([0.5, 0.75, 1.0]) if fractional_ports else 1.0, 2)
+
+    for layer_index in range(1, num_layers):
+        for task in layers[layer_index]:
+            earlier = [t for layer in layers[:layer_index] for t in layer]
+            parents = [rng.choice(earlier)]
+            for candidate in earlier:
+                if candidate not in parents and rng.random() < edge_probability / num_layers:
+                    parents.append(candidate)
+            for parent in parents:
+                graph.connect(
+                    parent,
+                    task,
+                    volume=sample_volume(),
+                    f_available=sample_f_available(),
+                    f_required=sample_f_required(),
+                )
+
+    for task in layers[0]:
+        graph.add_external_input(task)
+    for task in graph.sinks():
+        graph.add_external_output(task)
+    graph.validate()
+    return graph
+
+
+def series_parallel(
+    depth: int,
+    seed: int = 0,
+    volume: float = 1.0,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """A recursive series-parallel DAG of roughly ``2**depth`` subtasks."""
+    rng = random.Random(seed)
+    graph = TaskGraph(name or f"sp_d{depth}_s{seed}")
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        task = f"S{counter[0]}"
+        graph.add_subtask(task)
+        return task
+
+    def build(level: int) -> tuple:
+        """Returns (entry, exit) subtask names of the sub-DAG."""
+        if level == 0:
+            task = fresh()
+            return task, task
+        if rng.random() < 0.5:  # series composition
+            first_in, first_out = build(level - 1)
+            second_in, second_out = build(level - 1)
+            graph.connect(first_out, second_in, volume=volume)
+            return first_in, second_out
+        # parallel composition with explicit fork/join
+        fork, join = fresh(), fresh()
+        for _ in range(2):
+            inner_in, inner_out = build(level - 1)
+            graph.connect(fork, inner_in, volume=volume)
+            graph.connect(inner_out, join, volume=volume)
+        return fork, join
+
+    entry, exit_ = build(depth)
+    graph.add_external_input(entry)
+    graph.add_external_output(exit_)
+    graph.validate()
+    return graph

@@ -1,0 +1,413 @@
+"""The task data-flow graph (the paper's §3.1 task model).
+
+A :class:`TaskGraph` is a directed acyclic graph of :class:`Subtask` nodes.
+Data arcs connect an :class:`~repro.taskgraph.ports.OutputPort` of the
+producer to an :class:`~repro.taskgraph.ports.InputPort` of the consumer and
+carry a data volume ``V``.  Inputs with no producing arc are *external*
+(primary) inputs, available at time zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.ports import InputPort, OutputPort
+
+
+@dataclass(frozen=True)
+class DataArc:
+    """A data transfer from ``source`` (an output port) to ``dest`` (an input port).
+
+    Attributes:
+        source: Producing output port.
+        dest: Consuming input port.
+        volume: The paper's ``V_{a1,a2}`` — data volume carried by the arc.
+    """
+
+    source: OutputPort
+    dest: InputPort
+    volume: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.volume < 0:
+            raise TaskGraphError(f"arc {self.label}: volume must be nonnegative")
+
+    @property
+    def producer(self) -> str:
+        return self.source.task
+
+    @property
+    def consumer(self) -> str:
+        return self.dest.task
+
+    @property
+    def label(self) -> str:
+        return f"{self.source.label}->{self.dest.label}"
+
+
+@dataclass
+class Subtask:
+    """A node of the task graph.
+
+    Attributes:
+        name: Unique subtask name (``S1`` ... in the paper).
+        inputs: Input ports, in index order.
+        outputs: Output ports, in index order.
+    """
+
+    name: str
+    inputs: List[InputPort] = field(default_factory=list)
+    outputs: List[OutputPort] = field(default_factory=list)
+
+    def input(self, index: int) -> InputPort:
+        """The input port with 1-based ``index``."""
+        for port in self.inputs:
+            if port.index == index:
+                return port
+        raise TaskGraphError(f"subtask {self.name} has no input {index}")
+
+    def output(self, index: int) -> OutputPort:
+        """The output port with 1-based ``index``."""
+        for port in self.outputs:
+            if port.index == index:
+                return port
+        raise TaskGraphError(f"subtask {self.name} has no output {index}")
+
+
+class TaskGraph:
+    """A task data-flow graph.
+
+    Build one incrementally::
+
+        g = TaskGraph("pipeline")
+        g.add_subtask("S1")
+        g.add_subtask("S2")
+        g.add_external_input("S1", f_required=0.25)
+        g.connect("S1", "S2", volume=2.0, f_available=0.5, f_required=0.0)
+    """
+
+    def __init__(self, name: str = "task") -> None:
+        self.name = name
+        self._subtasks: Dict[str, Subtask] = {}
+        self._arcs: List[DataArc] = []
+
+    # -- construction ------------------------------------------------------
+    def add_subtask(self, name: str) -> Subtask:
+        """Add a node; names must be unique."""
+        if name in self._subtasks:
+            raise TaskGraphError(f"duplicate subtask name {name!r}")
+        subtask = Subtask(name)
+        self._subtasks[name] = subtask
+        return subtask
+
+    def add_external_input(self, task: str, f_required: float = 0.0) -> InputPort:
+        """Add a primary input (available at time 0) to ``task``."""
+        subtask = self.subtask(task)
+        port = InputPort(task, len(subtask.inputs) + 1, f_required)
+        subtask.inputs.append(port)
+        return port
+
+    def add_external_output(self, task: str, f_available: float = 1.0) -> OutputPort:
+        """Add an output of ``task`` that leaves the system (no consumer)."""
+        subtask = self.subtask(task)
+        port = OutputPort(task, len(subtask.outputs) + 1, f_available)
+        subtask.outputs.append(port)
+        return port
+
+    def connect(
+        self,
+        producer: str,
+        consumer: str,
+        volume: float = 1.0,
+        f_available: float = 1.0,
+        f_required: float = 0.0,
+    ) -> DataArc:
+        """Create an output port on ``producer``, an input port on
+        ``consumer``, and the arc between them.
+
+        Args:
+            producer: Name of the producing subtask.
+            consumer: Name of the consuming subtask.
+            volume: Data volume ``V`` carried by the arc.
+            f_available: ``f_A`` of the new output port.
+            f_required: ``f_R`` of the new input port.
+        """
+        if producer == consumer:
+            raise TaskGraphError(f"self-loop on subtask {producer!r}")
+        src = self.subtask(producer)
+        dst = self.subtask(consumer)
+        out_port = OutputPort(producer, len(src.outputs) + 1, f_available)
+        in_port = InputPort(consumer, len(dst.inputs) + 1, f_required)
+        src.outputs.append(out_port)
+        dst.inputs.append(in_port)
+        arc = DataArc(out_port, in_port, volume)
+        self._arcs.append(arc)
+        return arc
+
+    def connect_ports(self, source: OutputPort, dest: InputPort, volume: float = 1.0) -> DataArc:
+        """Create an arc between two existing ports (must be unconsumed/unfed)."""
+        if source.key not in {p.key for p in self.subtask(source.task).outputs}:
+            raise TaskGraphError(f"unknown output port {source.label}")
+        if dest.key not in {p.key for p in self.subtask(dest.task).inputs}:
+            raise TaskGraphError(f"unknown input port {dest.label}")
+        if any(a.dest.key == dest.key for a in self._arcs):
+            raise TaskGraphError(f"input {dest.label} already has a producer")
+        if any(a.source.key == source.key for a in self._arcs):
+            raise TaskGraphError(f"output {source.label} already has a consumer")
+        if source.task == dest.task:
+            raise TaskGraphError(f"self-loop on subtask {source.task!r}")
+        arc = DataArc(source, dest, volume)
+        self._arcs.append(arc)
+        return arc
+
+    # -- access ------------------------------------------------------------
+    def subtask(self, name: str) -> Subtask:
+        """The subtask named ``name``."""
+        try:
+            return self._subtasks[name]
+        except KeyError:
+            raise TaskGraphError(f"no subtask named {name!r} in graph {self.name!r}") from None
+
+    @property
+    def subtasks(self) -> Tuple[Subtask, ...]:
+        return tuple(self._subtasks.values())
+
+    @property
+    def subtask_names(self) -> Tuple[str, ...]:
+        return tuple(self._subtasks)
+
+    @property
+    def arcs(self) -> Tuple[DataArc, ...]:
+        return tuple(self._arcs)
+
+    def arc_to(self, port: InputPort) -> Optional[DataArc]:
+        """The arc feeding an input port, or ``None`` for external inputs."""
+        for arc in self._arcs:
+            if arc.dest.key == port.key:
+                return arc
+        return None
+
+    def arcs_from(self, task: str) -> List[DataArc]:
+        """All arcs produced by ``task``."""
+        return [arc for arc in self._arcs if arc.producer == task]
+
+    def arcs_into(self, task: str) -> List[DataArc]:
+        """All arcs consumed by ``task``."""
+        return [arc for arc in self._arcs if arc.consumer == task]
+
+    def external_inputs(self, task: str) -> List[InputPort]:
+        """Input ports of ``task`` not fed by any arc."""
+        fed = {arc.dest.key for arc in self._arcs}
+        return [port for port in self.subtask(task).inputs if port.key not in fed]
+
+    def predecessors(self, task: str) -> List[str]:
+        """Distinct producers feeding ``task``, in arc order."""
+        seen: List[str] = []
+        for arc in self.arcs_into(task):
+            if arc.producer not in seen:
+                seen.append(arc.producer)
+        return seen
+
+    def successors(self, task: str) -> List[str]:
+        """Distinct consumers of ``task``'s outputs, in arc order."""
+        seen: List[str] = []
+        for arc in self.arcs_from(task):
+            if arc.consumer not in seen:
+                seen.append(arc.consumer)
+        return seen
+
+    def sources(self) -> List[str]:
+        """Subtasks with no producing predecessors."""
+        return [name for name in self._subtasks if not self.arcs_into(name)]
+
+    def sinks(self) -> List[str]:
+        """Subtasks whose outputs feed no other subtask."""
+        return [name for name in self._subtasks if not self.arcs_from(name)]
+
+    def __len__(self) -> int:
+        return len(self._subtasks)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._subtasks
+
+    # -- analysis ------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Subtask names in a topological order.
+
+        Raises:
+            TaskGraphError: If the graph has a cycle.
+        """
+        in_degree = {name: 0 for name in self._subtasks}
+        for arc in self._arcs:
+            in_degree[arc.consumer] += 1
+        ready = [name for name, degree in in_degree.items() if degree == 0]
+        order: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for arc in self.arcs_from(current):
+                in_degree[arc.consumer] -= 1
+                if in_degree[arc.consumer] == 0:
+                    ready.append(arc.consumer)
+        if len(order) != len(self._subtasks):
+            cyclic = sorted(set(self._subtasks) - set(order))
+            raise TaskGraphError(f"task graph {self.name!r} has a cycle involving {cyclic}")
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants (acyclicity, port consistency).
+
+        Raises:
+            TaskGraphError: On the first violated invariant.
+        """
+        self.topological_order()
+        for subtask in self._subtasks.values():
+            for position, port in enumerate(subtask.inputs, start=1):
+                if port.index != position or port.task != subtask.name:
+                    raise TaskGraphError(
+                        f"subtask {subtask.name}: inconsistent input port {port.label}"
+                    )
+            for position, port in enumerate(subtask.outputs, start=1):
+                if port.index != position or port.task != subtask.name:
+                    raise TaskGraphError(
+                        f"subtask {subtask.name}: inconsistent output port {port.label}"
+                    )
+        fed: set = set()
+        produced: set = set()
+        for arc in self._arcs:
+            if arc.dest.key in fed:
+                raise TaskGraphError(f"input {arc.dest.label} fed by more than one arc")
+            if arc.source.key in produced:
+                raise TaskGraphError(f"output {arc.source.label} consumed by more than one arc")
+            fed.add(arc.dest.key)
+            produced.add(arc.source.key)
+            if arc.source.task not in self._subtasks or arc.dest.task not in self._subtasks:
+                raise TaskGraphError(f"arc {arc.label} references unknown subtasks")
+
+    def depth(self) -> int:
+        """Number of subtasks on the longest chain."""
+        order = self.topological_order()
+        level = {name: 1 for name in order}
+        for name in order:
+            for arc in self.arcs_from(name):
+                level[arc.consumer] = max(level[arc.consumer], level[name] + 1)
+        return max(level.values(), default=0)
+
+    def total_volume(self) -> float:
+        """Sum of all arc volumes."""
+        return sum(arc.volume for arc in self._arcs)
+
+    def ancestors(self, task: str) -> Set[str]:
+        """All transitive producers feeding ``task`` (excluding itself)."""
+        self.subtask(task)
+        found: Set[str] = set()
+        frontier = [task]
+        while frontier:
+            current = frontier.pop()
+            for arc in self.arcs_into(current):
+                if arc.producer not in found:
+                    found.add(arc.producer)
+                    frontier.append(arc.producer)
+        return found
+
+    def descendants(self, task: str) -> Set[str]:
+        """All transitive consumers of ``task``'s outputs (excluding itself)."""
+        self.subtask(task)
+        found: Set[str] = set()
+        frontier = [task]
+        while frontier:
+            current = frontier.pop()
+            for arc in self.arcs_from(current):
+                if arc.consumer not in found:
+                    found.add(arc.consumer)
+                    frontier.append(arc.consumer)
+        return found
+
+    def longest_chain(self) -> List[str]:
+        """A longest dependence chain by subtask count (ties arbitrary)."""
+        order = self.topological_order()
+        best_length = {name: 1 for name in order}
+        best_parent: Dict[str, Optional[str]] = {name: None for name in order}
+        for name in order:
+            for arc in self.arcs_from(name):
+                if best_length[name] + 1 > best_length[arc.consumer]:
+                    best_length[arc.consumer] = best_length[name] + 1
+                    best_parent[arc.consumer] = name
+        if not order:
+            return []
+        tail = max(order, key=lambda name: best_length[name])
+        chain: List[str] = []
+        cursor: Optional[str] = tail
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = best_parent[cursor]
+        return list(reversed(chain))
+
+    def subgraph(self, tasks: Iterable[str], name: Optional[str] = None) -> "TaskGraph":
+        """The induced subgraph on ``tasks``.
+
+        Arcs with exactly one endpoint inside become external ports of the
+        inside endpoint (preserving their fractions), so the result is a
+        well-formed standalone task graph.
+
+        Raises:
+            TaskGraphError: If a named task does not exist.
+        """
+        chosen = list(dict.fromkeys(tasks))
+        for task in chosen:
+            self.subtask(task)
+        inside = set(chosen)
+        result = TaskGraph(name or f"{self.name}_sub")
+        for task in chosen:
+            result.add_subtask(task)
+        for arc in self._arcs:
+            producer_in = arc.producer in inside
+            consumer_in = arc.consumer in inside
+            if producer_in and consumer_in:
+                result.connect(
+                    arc.producer, arc.consumer, volume=arc.volume,
+                    f_available=arc.source.f_available,
+                    f_required=arc.dest.f_required,
+                )
+            elif consumer_in:
+                result.add_external_input(arc.consumer, f_required=arc.dest.f_required)
+            elif producer_in:
+                result.add_external_output(
+                    arc.producer, f_available=arc.source.f_available
+                )
+        fed = {arc.dest.key for arc in self._arcs}
+        produced = {arc.source.key for arc in self._arcs}
+        for task in chosen:
+            for port in self.subtask(task).inputs:
+                if port.key not in fed:
+                    result.add_external_input(task, f_required=port.f_required)
+            for port in self.subtask(task).outputs:
+                if port.key not in produced:
+                    result.add_external_output(task, f_available=port.f_available)
+        result.validate()
+        return result
+
+    # -- transforms (used by the paper's tradeoff studies, §4.2) ------------
+    def scaled_volumes(self, factor: float, name: Optional[str] = None) -> "TaskGraph":
+        """A copy with every arc volume multiplied by ``factor`` (Experiment 1)."""
+        copy = self.copy(name or f"{self.name}_volx{factor:g}")
+        copy._arcs = [replace(arc, volume=arc.volume * factor) for arc in copy._arcs]
+        return copy
+
+    def copy(self, name: Optional[str] = None) -> "TaskGraph":
+        """A structural copy (ports are immutable and shared)."""
+        copy = TaskGraph(name or self.name)
+        for subtask in self._subtasks.values():
+            fresh = copy.add_subtask(subtask.name)
+            fresh.inputs = list(subtask.inputs)
+            fresh.outputs = list(subtask.outputs)
+        copy._arcs = list(self._arcs)
+        return copy
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskGraph({self.name!r}: {len(self._subtasks)} subtasks, "
+            f"{len(self._arcs)} arcs)"
+        )

@@ -1,0 +1,86 @@
+"""Input/output ports of subtasks.
+
+The paper's task model (§3.1) attaches two fractional parameters to the
+ports of a subtask:
+
+* ``f_R(i_{a,b})`` — the fraction of subtask ``S_a`` that can proceed
+  *without* input ``b`` (0 = needed at the very start, the traditional
+  data-flow meaning).
+* ``f_A(o_{a,c})`` — output ``c`` becomes available once this fraction of
+  ``S_a`` has executed (1 = only at completion, the traditional meaning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TaskGraphError
+
+
+def _check_fraction(value: float, what: str) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise TaskGraphError(f"{what} must lie in [0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class InputPort:
+    """The ``b``-th input of subtask ``task`` (1-based, as in the paper).
+
+    Attributes:
+        task: Name of the consuming subtask (``a`` in ``i_{a,b}``).
+        index: 1-based input index (``b``).
+        f_required: The paper's ``f_R`` — fraction of the subtask that can
+            run before this input must have arrived.
+    """
+
+    task: str
+    index: int
+    f_required: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_fraction(self.f_required, f"f_R of input {self.label}")
+        if self.index < 1:
+            raise TaskGraphError(f"input index must be >= 1, got {self.index}")
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``i[3,2]`` for ``i_{3,2}``."""
+        return f"i[{self.task},{self.index}]"
+
+    @property
+    def key(self) -> tuple:
+        """Hashable identity ``(task, index)``."""
+        return (self.task, self.index)
+
+
+@dataclass(frozen=True)
+class OutputPort:
+    """The ``c``-th output of subtask ``task`` (1-based).
+
+    Attributes:
+        task: Name of the producing subtask (``a`` in ``o_{a,c}``).
+        index: 1-based output index (``c``).
+        f_available: The paper's ``f_A`` — fraction of the subtask that
+            must have executed before this output exists.
+    """
+
+    task: str
+    index: int
+    f_available: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_fraction(self.f_available, f"f_A of output {self.label}")
+        if self.index < 1:
+            raise TaskGraphError(f"output index must be >= 1, got {self.index}")
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``o[1,2]`` for ``o_{1,2}``."""
+        return f"o[{self.task},{self.index}]"
+
+    @property
+    def key(self) -> tuple:
+        """Hashable identity ``(task, index)``."""
+        return (self.task, self.index)

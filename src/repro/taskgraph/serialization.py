@@ -1,0 +1,139 @@
+"""JSON serialization of task graphs.
+
+The format is stable, human-editable, and *port-exact*: every input and
+output port is listed in index order, so paper-style labels like
+``i[S7,2]`` survive a round trip::
+
+    {
+      "version": 2,
+      "name": "example1",
+      "subtasks": [
+        {"name": "S1",
+         "inputs":  [{"f_required": 0.25}],
+         "outputs": [{"f_available": 0.5}, {"f_available": 0.75}]},
+        ...
+      ],
+      "arcs": [
+        {"producer": "S1", "output_index": 1,
+         "consumer": "S3", "input_index": 1, "volume": 1.0},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.ports import InputPort, OutputPort
+
+FORMAT_VERSION = 2
+
+
+def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Serialize a task graph to a JSON-compatible dict."""
+    subtasks = [
+        {
+            "name": subtask.name,
+            "inputs": [{"f_required": port.f_required} for port in subtask.inputs],
+            "outputs": [{"f_available": port.f_available} for port in subtask.outputs],
+        }
+        for subtask in graph.subtasks
+    ]
+    arcs = [
+        {
+            "producer": arc.producer,
+            "output_index": arc.source.index,
+            "consumer": arc.consumer,
+            "input_index": arc.dest.index,
+            "volume": arc.volume,
+        }
+        for arc in graph.arcs
+    ]
+    return {"version": FORMAT_VERSION, "name": graph.name, "subtasks": subtasks, "arcs": arcs}
+
+
+def graph_from_dict(data: Dict[str, Any]) -> TaskGraph:
+    """Rebuild a task graph from :func:`graph_to_dict` output.
+
+    Both the current port-exact format (version 2) and the legacy arc-only
+    format (version 1, with ``external_inputs``/``external_outputs`` and
+    per-arc fractions) are accepted.
+
+    Raises:
+        TaskGraphError: On malformed input.
+    """
+    if not isinstance(data, dict) or "subtasks" not in data or "arcs" not in data:
+        raise TaskGraphError("malformed task-graph document")
+    if data.get("version", 1) < 2 or any(
+        "external_inputs" in entry for entry in data["subtasks"]
+    ):
+        return _graph_from_legacy_dict(data)
+
+    graph = TaskGraph(str(data.get("name", "task")))
+    try:
+        for entry in data["subtasks"]:
+            subtask = graph.add_subtask(entry["name"])
+            for position, port in enumerate(entry.get("inputs", ()), start=1):
+                subtask.inputs.append(
+                    InputPort(subtask.name, position, float(port.get("f_required", 0.0)))
+                )
+            for position, port in enumerate(entry.get("outputs", ()), start=1):
+                subtask.outputs.append(
+                    OutputPort(subtask.name, position, float(port.get("f_available", 1.0)))
+                )
+        for arc in data["arcs"]:
+            source = graph.subtask(arc["producer"]).output(int(arc["output_index"]))
+            dest = graph.subtask(arc["consumer"]).input(int(arc["input_index"]))
+            graph.connect_ports(source, dest, volume=float(arc.get("volume", 1.0)))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TaskGraphError(f"malformed task-graph document: {exc}") from exc
+    graph.validate()
+    return graph
+
+
+def _graph_from_legacy_dict(data: Dict[str, Any]) -> TaskGraph:
+    """Version-1 documents: arcs carry the fractions, externals listed apart."""
+    graph = TaskGraph(str(data.get("name", "task")))
+    try:
+        for entry in data["subtasks"]:
+            graph.add_subtask(entry["name"])
+        for arc in data["arcs"]:
+            graph.connect(
+                arc["producer"],
+                arc["consumer"],
+                volume=float(arc.get("volume", 1.0)),
+                f_available=float(arc.get("f_available", 1.0)),
+                f_required=float(arc.get("f_required", 0.0)),
+            )
+        for entry in data["subtasks"]:
+            for port in entry.get("external_inputs", ()):
+                graph.add_external_input(
+                    entry["name"], f_required=float(port.get("f_required", 0.0))
+                )
+            for port in entry.get("external_outputs", ()):
+                graph.add_external_output(
+                    entry["name"], f_available=float(port.get("f_available", 1.0))
+                )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TaskGraphError(f"malformed task-graph document: {exc}") from exc
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: TaskGraph, path: Union[str, Path]) -> None:
+    """Write a task graph to a JSON file."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2) + "\n")
+
+
+def load_graph(path: Union[str, Path]) -> TaskGraph:
+    """Read a task graph from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TaskGraphError(f"invalid JSON in {path}: {exc}") from exc
+    return graph_from_dict(data)

@@ -1,0 +1,133 @@
+"""Classic structured workloads from the scheduling literature.
+
+The paper motivates SOS with DSP, robotics, and power-systems workloads
+(§1); the multiprocessor-scheduling literature it builds on (§2) evaluates
+on a small canon of structured task graphs.  This module provides
+parameterized versions of three of them — all pure DAG *shapes* with
+configurable volumes, suitable for any technology library:
+
+* :func:`fft_butterfly` — the radix-2 FFT data-flow (the canonical DSP
+  workload): log2(n) rank stages of n/2 butterflies each.
+* :func:`gaussian_elimination` — the column-sweep dependence structure of
+  LU factorization without pivoting.
+* :func:`stencil_pipeline` — an iterative nearest-neighbor stencil
+  (Laplace/Jacobi style): `width` sites times `steps` sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.graph import TaskGraph
+
+
+def fft_butterfly(num_points: int, volume: float = 1.0) -> TaskGraph:
+    """The radix-2 FFT butterfly DAG for ``num_points`` (a power of two).
+
+    Nodes ``B[r,k]`` are butterflies: rank ``r`` (0-based, ``log2(n)``
+    ranks), position ``k`` (``n/2`` per rank).  Each butterfly feeds the
+    two butterflies of the next rank that consume its outputs.
+
+    Raises:
+        TaskGraphError: If ``num_points`` is not a power of two >= 2.
+    """
+    n = num_points
+    if n < 2 or n & (n - 1):
+        raise TaskGraphError("FFT size must be a power of two >= 2")
+    ranks = n.bit_length() - 1
+    half = n // 2
+    graph = TaskGraph(f"fft{n}")
+    for rank in range(ranks):
+        for position in range(half):
+            graph.add_subtask(f"B[{rank},{position}]")
+
+    def butterfly_of(rank: int, line: int) -> str:
+        """The butterfly of ``rank`` that touches signal line ``line``.
+
+        Decimation-in-time wiring: at rank r the butterfly span is 2^r, and
+        lines are grouped in blocks of 2^(r+1); the butterfly index within
+        the rank is (block * 2^r) + offset-within-half-block.
+        """
+        span = 1 << rank
+        block = line // (span * 2)
+        offset = line % span
+        return f"B[{rank},{block * span + offset}]"
+
+    for position in range(half):
+        graph.add_external_input(f"B[0,{position}]")
+        graph.add_external_input(f"B[0,{position}]")
+    for rank in range(ranks - 1):
+        span = 1 << rank
+        for position in range(half):
+            block = position // span
+            offset = position % span
+            low_line = block * span * 2 + offset
+            high_line = low_line + span
+            producer = f"B[{rank},{position}]"
+            for line in (low_line, high_line):
+                graph.connect(producer, butterfly_of(rank + 1, line), volume=volume)
+    for position in range(half):
+        graph.add_external_output(f"B[{ranks - 1},{position}]")
+        graph.add_external_output(f"B[{ranks - 1},{position}]")
+    graph.validate()
+    return graph
+
+
+def gaussian_elimination(size: int, volume: float = 1.0) -> TaskGraph:
+    """LU-style column-sweep elimination on a ``size x size`` matrix.
+
+    Nodes: ``Piv[k]`` (pivot/normalize column ``k``) and ``Upd[k,j]``
+    (update column ``j > k`` using pivot ``k``).  Dependences:
+    ``Piv[k] -> Upd[k,j]`` and ``Upd[k,j] -> Piv[k+1]`` (for ``j = k+1``)
+    / ``Upd[k+1,j]`` (for ``j > k+1``) — the classic triangular DAG.
+
+    Raises:
+        TaskGraphError: If ``size < 2``.
+    """
+    if size < 2:
+        raise TaskGraphError("elimination size must be at least 2")
+    graph = TaskGraph(f"gauss{size}")
+    for k in range(size - 1):
+        graph.add_subtask(f"Piv[{k}]")
+        for j in range(k + 1, size):
+            graph.add_subtask(f"Upd[{k},{j}]")
+    graph.add_external_input("Piv[0]")
+    for k in range(size - 1):
+        for j in range(k + 1, size):
+            graph.connect(f"Piv[{k}]", f"Upd[{k},{j}]", volume=volume)
+            if j == k + 1:
+                if k + 1 < size - 1:
+                    graph.connect(f"Upd[{k},{j}]", f"Piv[{k + 1}]", volume=volume)
+            elif k + 1 < size - 1:
+                graph.connect(f"Upd[{k},{j}]", f"Upd[{k + 1},{j}]", volume=volume)
+    for name in graph.sinks():
+        graph.add_external_output(name)
+    graph.validate()
+    return graph
+
+
+def stencil_pipeline(width: int, steps: int, volume: float = 1.0) -> TaskGraph:
+    """An iterative nearest-neighbor stencil (Jacobi sweep).
+
+    Node ``C[t,i]`` computes site ``i`` at sweep ``t`` from sites
+    ``i-1, i, i+1`` of sweep ``t-1`` (clamped at the edges).
+
+    Raises:
+        TaskGraphError: If ``width < 1`` or ``steps < 1``.
+    """
+    if width < 1 or steps < 1:
+        raise TaskGraphError("stencil needs width >= 1 and steps >= 1")
+    graph = TaskGraph(f"stencil{width}x{steps}")
+    for t in range(steps):
+        for i in range(width):
+            graph.add_subtask(f"C[{t},{i}]")
+    for i in range(width):
+        graph.add_external_input(f"C[0,{i}]")
+    for t in range(1, steps):
+        for i in range(width):
+            for j in (i - 1, i, i + 1):
+                if 0 <= j < width:
+                    graph.connect(f"C[{t - 1},{j}]", f"C[{t},{i}]", volume=volume)
+    for i in range(width):
+        graph.add_external_output(f"C[{steps - 1},{i}]")
+    graph.validate()
+    return graph

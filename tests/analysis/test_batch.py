@@ -1,0 +1,65 @@
+"""Tests for the batch gap-study driver."""
+
+import pytest
+
+from repro.analysis.batch import (
+    GapRecord,
+    default_instance_family,
+    gap_study,
+    summarize_gaps,
+)
+
+
+class TestInstanceFamily:
+    def test_deterministic(self):
+        first = default_instance_family(3, seed=5)
+        second = default_instance_family(3, seed=5)
+        assert [g.name for g, _ in first] == [g.name for g, _ in second]
+
+    def test_all_coverable(self):
+        for graph, library in default_instance_family(4, seed=1):
+            library.check_covers(graph)
+
+    def test_requested_count(self):
+        assert len(default_instance_family(5)) == 5
+
+
+class TestGapStudy:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return gap_study(default_instance_family(3, num_tasks=5, seed=3))
+
+    def test_one_record_per_instance(self, records):
+        assert len(records) == 3
+
+    def test_heuristics_never_beat_exact(self, records):
+        for record in records:
+            assert record.etf_gap >= 1.0 - 1e-9
+            assert record.clustering_gap >= 1.0 - 1e-9
+
+    def test_model_sizes_recorded(self, records):
+        assert all(record.model_constraints > 0 for record in records)
+
+    def test_summary(self, records):
+        summary = summarize_gaps(records)
+        assert summary.instances == 3
+        assert summary.mean_etf_gap >= 1.0 - 1e-9
+        assert summary.max_etf_gap >= summary.mean_etf_gap - 1e-9
+        assert 0.0 <= summary.etf_optimal_fraction <= 1.0
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_gaps([])
+
+
+class TestGapRecord:
+    def test_gap_properties(self):
+        record = GapRecord("x", 5, exact_makespan=4.0, etf_makespan=6.0,
+                           clustering_makespan=5.0, model_constraints=10,
+                           solve_seconds=0.1)
+        assert record.etf_gap == pytest.approx(1.5)
+        assert record.clustering_gap == pytest.approx(1.25)
+
+    def test_zero_makespan_guard(self):
+        record = GapRecord("x", 1, 0.0, 0.0, 0.0, 1, 0.0)
+        assert record.etf_gap == 1.0

@@ -1,0 +1,37 @@
+"""Tests for CSV export."""
+
+import csv
+import io
+
+from repro.analysis.reporting import to_csv, write_csv
+
+
+class TestToCsv:
+    def test_simple_table(self):
+        text = to_csv(["a", "b"], [[1, 2.5], ["x", None]])
+        assert text == "a,b\n1,2.5\nx,-\n"
+
+    def test_quoting(self):
+        text = to_csv(["name"], [["hello, world"], ['say "hi"']])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["name"], ["hello, world"], ['say "hi"']]
+
+    def test_parseable_by_stdlib(self):
+        text = to_csv(["cost", "perf"], [(14, 2.5), (5, 7)])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[1] == ["14", "2.5"]
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "front.csv"
+        write_csv(path, ["cost"], [[14], [5]])
+        assert path.read_text() == "cost\n14\n5\n"
+
+    def test_front_export_round_trip(self, ex1_graph, ex1_library):
+        from repro.synthesis.synthesizer import Synthesizer
+
+        front = Synthesizer(ex1_graph, ex1_library).pareto_sweep()
+        text = to_csv(
+            ["cost", "makespan"], [(d.cost, d.makespan) for d in front]
+        )
+        rows = list(csv.reader(io.StringIO(text)))[1:]
+        assert [(float(c), float(m)) for c, m in rows][:2] == [(14.0, 2.5), (13.0, 3.0)]

@@ -1,0 +1,97 @@
+"""Tests for Pareto-front utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pareto import coverage, dominates, hypervolume, is_front, non_inferior
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_one_axis_equal(self):
+        assert dominates((1, 2), (2, 2))
+        assert dominates((2, 1), (2, 2))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((2, 2), (2, 2))
+
+    def test_incomparable(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+
+class TestNonInferior:
+    def test_table_ii_front_is_preserved(self):
+        points = [(14, 2.5), (13, 3), (7, 4), (5, 7)]
+        assert non_inferior(points) == sorted(points)
+
+    def test_dominated_points_removed(self):
+        points = [(14, 2.5), (14, 3.0), (5, 7), (6, 8)]
+        front = non_inferior(points)
+        assert (14, 3.0) not in front
+        assert (6, 8) not in front
+
+    def test_duplicates_collapsed(self):
+        assert non_inferior([(1, 1), (1, 1)]) == [(1, 1)]
+
+    def test_empty(self):
+        assert non_inferior([]) == []
+
+    def test_is_front(self):
+        assert is_front([(14, 2.5), (13, 3), (7, 4)])
+        assert not is_front([(14, 2.5), (13, 2.5)])
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume([(1, 1)], reference=(3, 3)) == pytest.approx(4.0)
+
+    def test_two_point_staircase(self):
+        # Dominated region: [1,3]x[2,3] union [2,3]x[1,3] = 2 + 2 - 1 = 3.
+        value = hypervolume([(1, 2), (2, 1)], reference=(3, 3))
+        assert value == pytest.approx(3.0)
+
+    def test_points_outside_reference_ignored(self):
+        inside = hypervolume([(1, 1)], reference=(3, 3))
+        with_outside = hypervolume([(1, 1), (5, 0.5)], reference=(3, 3))
+        assert with_outside == pytest.approx(inside)
+
+    def test_better_front_has_larger_hypervolume(self):
+        exact = [(1, 1), (2, 0.5)]
+        worse = [(2, 2), (2.5, 1.5)]
+        reference = (4, 4)
+        assert hypervolume(exact, reference) > hypervolume(worse, reference)
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        exact = [(14, 2.5), (5, 7)]
+        assert coverage(exact, [(5, 7), (14, 2.5)]) == 1.0
+
+    def test_partial_coverage(self):
+        exact = [(14, 2.5), (5, 7)]
+        assert coverage(exact, [(5, 7)]) == 0.5
+
+    def test_empty_exact_front(self):
+        assert coverage([], [(1, 1)]) == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.floats(0, 10), st.floats(0, 10)), min_size=1, max_size=15
+    )
+)
+def test_non_inferior_properties(points):
+    """The filtered set is a front, and every input is dominated-or-kept."""
+    front = non_inferior(points)
+    assert is_front(front)
+    for point in points:
+        covered = any(
+            dominates(kept, point) or
+            (abs(kept[0] - point[0]) <= 1e-9 and abs(kept[1] - point[1]) <= 1e-9)
+            for kept in front
+        )
+        assert covered

@@ -1,0 +1,47 @@
+"""Tests for report formatting."""
+
+from repro.analysis.reporting import format_cell, format_table, side_by_side
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_uses_g(self):
+        assert format_cell(2.5) == "2.5"
+        assert format_cell(3.0) == "3"
+
+    def test_string_passthrough(self):
+        assert format_cell("p1a") == "p1a"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Title")
+        assert table.splitlines()[0] == "My Title"
+
+    def test_separator_row(self):
+        table = format_table(["x", "y"], [[1, 2]])
+        assert "-+-" in table
+
+    def test_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+
+class TestSideBySide:
+    def test_joins_lines(self):
+        merged = side_by_side("a\nbb", "X\nY\nZ")
+        lines = merged.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("a")
+        assert lines[0].rstrip().endswith("X")
+
+    def test_gap(self):
+        merged = side_by_side("a", "b", gap=6)
+        assert merged == "a" + " " * 6 + "b"

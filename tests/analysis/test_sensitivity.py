@@ -1,0 +1,80 @@
+"""Tests for hardware-parameter sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    find_crossovers,
+    link_cost_sweep,
+    remote_delay_sweep,
+    SweepPoint,
+)
+from repro.system.examples import example1_library
+from repro.taskgraph.examples import example1
+
+
+class TestRemoteDelaySweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return remote_delay_sweep(
+            example1(), example1_library(), delays=(0.5, 1.0, 2.0, 6.0)
+        )
+
+    def test_point_per_delay(self, points):
+        assert [p.value for p in points] == [0.5, 1.0, 2.0, 6.0]
+
+    def test_makespan_monotone_in_delay(self, points):
+        """Slower links can never make the optimal system faster."""
+        makespans = [p.makespan for p in points]
+        assert makespans == sorted(makespans)
+
+    def test_paper_point_reproduced(self, points):
+        at_one = next(p for p in points if p.value == 1.0)
+        assert at_one.makespan == pytest.approx(2.5)
+        assert at_one.num_processors == 3
+
+    def test_huge_delay_forces_uniprocessor(self, points):
+        at_six = next(p for p in points if p.value == 6.0)
+        assert at_six.num_processors == 1
+        assert at_six.makespan == pytest.approx(7.0)
+
+    def test_crossovers_found(self, points):
+        crossovers = find_crossovers(points)
+        assert crossovers, "processor count must change somewhere in [0.5, 6]"
+        assert all(c.below.num_processors != c.above.num_processors
+                   for c in crossovers)
+
+    def test_processor_count_never_increases(self, points):
+        """The paper's qualitative law along a communication axis."""
+        counts = [p.num_processors for p in points]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestLinkCostSweep:
+    def test_expensive_links_raise_cost_or_consolidate(self):
+        points = link_cost_sweep(
+            example1(), example1_library(), costs=(0.0, 1.0, 5.0)
+        )
+        # With a cost cap absent, the min-makespan design is the same
+        # (2.5 with 3 links); its cost grows with C_L.
+        costs = [p.cost for p in points]
+        assert costs == sorted(costs)
+        assert points[0].makespan == pytest.approx(2.5)
+
+    def test_with_cost_cap_links_get_dropped(self):
+        points = link_cost_sweep(
+            example1(), example1_library(), costs=(1.0, 4.0), cost_cap=14.0
+        )
+        # At C_L = 4 a 3-link design costs 11 + 12 > 14: fewer links/procs.
+        assert points[1].makespan > points[0].makespan
+
+
+class TestCrossover:
+    def test_interval(self):
+        below = SweepPoint(1.0, 14.0, 2.5, 3)
+        above = SweepPoint(2.0, 7.0, 4.0, 2)
+        crossover = find_crossovers([below, above])[0]
+        assert crossover.interval == (1.0, 2.0)
+
+    def test_no_crossover_on_stable_sweep(self):
+        points = [SweepPoint(v, 5.0, 7.0, 1) for v in (1.0, 2.0)]
+        assert find_crossovers(points) == []

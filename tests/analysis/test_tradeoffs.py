@@ -1,0 +1,71 @@
+"""Tests for the §4.2 tradeoff-study drivers."""
+
+import pytest
+
+from repro.analysis.tradeoffs import (
+    FrontSummary,
+    communication_scaling_study,
+    communication_to_computation_ratio,
+    execution_scaling_study,
+)
+from repro.system.examples import example1_library
+from repro.taskgraph.examples import example1
+
+
+class TestRatio:
+    def test_example1_baseline(self):
+        # 3 remote-unit transfers vs best-case work 1+1+1+1 = 4.
+        ratio = communication_to_computation_ratio(example1(), example1_library())
+        assert ratio == pytest.approx(3 / 4)
+
+    def test_scaling_volumes_scales_ratio(self):
+        base = communication_to_computation_ratio(example1(), example1_library())
+        doubled = communication_to_computation_ratio(
+            example1().scaled_volumes(2), example1_library()
+        )
+        assert doubled == pytest.approx(2 * base)
+
+    def test_scaling_execution_shrinks_ratio(self):
+        base = communication_to_computation_ratio(example1(), example1_library())
+        slower = communication_to_computation_ratio(
+            example1(), example1_library().scaled_execution(2)
+        )
+        assert slower == pytest.approx(base / 2)
+
+
+class TestStudies:
+    @pytest.fixture(scope="class")
+    def volume_study(self):
+        return communication_scaling_study(
+            example1(), example1_library(), factors=(1, 2)
+        )
+
+    def test_factors_recorded(self, volume_study):
+        assert [s.factor for s in volume_study] == [1, 2]
+
+    def test_baseline_front_is_table_ii(self, volume_study):
+        baseline = volume_study[0]
+        assert baseline.points[:4] == ((14.0, 2.5), (13.0, 3.0), (7.0, 4.0), (5.0, 7.0))
+
+    def test_makespans_grow_with_volumes(self, volume_study):
+        base_best = volume_study[0].points[0][1]
+        scaled_best = volume_study[1].points[0][1]
+        assert scaled_best >= base_best
+
+    def test_execution_study_widens_front(self):
+        summaries = execution_scaling_study(
+            example1(), example1_library(), factors=(1, 2)
+        )
+        assert summaries[1].size >= summaries[0].size
+
+
+class TestFrontSummary:
+    def test_helpers(self):
+        summary = FrontSummary(factor=2.0, points=((5, 7), (4, 17)),
+                               processor_counts=(1, 1))
+        assert summary.size == 2
+        assert summary.max_processors == 1
+
+    def test_empty(self):
+        summary = FrontSummary(factor=1.0, points=(), processor_counts=())
+        assert summary.max_processors == 0

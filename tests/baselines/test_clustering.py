@@ -1,0 +1,79 @@
+"""Tests for the clustering baseline."""
+
+import pytest
+
+from repro.baselines.clustering import cluster_tasks, clustered_design
+from repro.system.examples import example1_library, example2_library
+from repro.taskgraph.examples import example1, example2
+
+
+class TestClusterTasks:
+    def test_partition(self):
+        graph, library = example2(), example2_library()
+        clusters = cluster_tasks(graph, library)
+        flattened = sorted(task for group in clusters for task in group)
+        assert flattened == sorted(graph.subtask_names)
+
+    def test_heaviest_arcs_merged_first(self):
+        graph = example2()
+        # Make one arc dominant: S5 -> S9 with volume 10.
+        heavy = graph.copy()
+        from dataclasses import replace
+
+        heavy._arcs = [
+            replace(arc, volume=10.0)
+            if (arc.producer, arc.consumer) == ("S5", "S9") else arc
+            for arc in heavy._arcs
+        ]
+        clusters = cluster_tasks(heavy, example2_library())
+        cluster_of = {task: id(group) for group in clusters for task in group}
+        assert cluster_of["S5"] == cluster_of["S9"]
+
+    def test_capability_blocks_merges(self):
+        """No cluster may be unrunnable on every single type."""
+        graph, library = example2(), example2_library()
+        for group in cluster_tasks(graph, library):
+            assert any(
+                all(ptype.can_execute(task) for task in group)
+                for ptype in library.types
+            )
+
+    def test_max_cluster_size(self):
+        graph, library = example2(), example2_library()
+        clusters = cluster_tasks(graph, library, max_cluster_size=2)
+        assert all(len(group) <= 2 for group in clusters)
+
+    def test_deterministic(self):
+        graph, library = example2(), example2_library()
+        assert cluster_tasks(graph, library) == cluster_tasks(graph, library)
+
+
+class TestClusteredDesign:
+    def test_example1_design_validates(self):
+        design = clustered_design(example1(), example1_library())
+        assert design.violations() == []
+        assert design.solver_name == "heuristic-clustering"
+        assert not design.proven_optimal
+
+    def test_example2_design_validates(self):
+        design = clustered_design(example2(), example2_library())
+        assert design.violations() == []
+
+    def test_never_beats_exact_optimum(self):
+        design = clustered_design(example2(), example2_library())
+        assert design.makespan >= 5.0 - 1e-9  # Table IV optimum
+
+    def test_clusters_stay_together(self):
+        graph, library = example2(), example2_library()
+        clusters = cluster_tasks(graph, library)
+        design = clustered_design(graph, library)
+        for group in clusters:
+            processors = {design.mapping[task] for task in group}
+            assert len(processors) == 1, group
+
+    def test_cost_is_derived_from_usage(self):
+        design = clustered_design(example1(), example1_library())
+        expected = sum(i.cost for i in design.architecture.processors) + len(
+            design.architecture.links
+        )
+        assert design.cost == pytest.approx(expected)

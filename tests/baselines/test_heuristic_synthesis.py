@@ -1,0 +1,88 @@
+"""Tests for the heuristic co-synthesis baseline."""
+
+import pytest
+
+from repro.baselines.heuristic_synthesis import (
+    evaluate_allocation,
+    heuristic_pareto,
+    pareto_filter,
+)
+from repro.errors import SynthesisError
+from repro.system.examples import example1_library
+from repro.taskgraph.examples import example1
+
+
+class TestEvaluateAllocation:
+    def test_design_is_consistent(self):
+        graph, library = example1(), example1_library()
+        pool = [i for i in library.instances() if i.name in ("p1a", "p3a")]
+        design = evaluate_allocation(graph, library, pool)
+        assert design.is_valid()
+        assert not design.proven_optimal
+        assert design.cost <= 4 + 2 + len(design.architecture.links)
+
+    def test_unknown_scheduler(self):
+        graph, library = example1(), example1_library()
+        with pytest.raises(SynthesisError, match="unknown scheduler"):
+            evaluate_allocation(graph, library, library.instances(), scheduler="magic")
+
+    def test_cost_counts_only_used_processors(self):
+        graph, library = example1(), example1_library()
+        design = evaluate_allocation(graph, library, library.instances())
+        used_cost = sum(
+            inst.cost for inst in design.architecture.processors
+        )
+        assert design.cost == used_cost + len(design.architecture.links)
+
+
+class TestHeuristicPareto:
+    def test_front_is_non_dominated(self):
+        graph, library = example1(), example1_library()
+        front = heuristic_pareto(graph, library)
+        for first in front:
+            for second in front:
+                if first is not second:
+                    assert not first.dominates(second)
+
+    def test_front_never_beats_exact(self):
+        """No heuristic point may dominate the exact MILP front (Table II)."""
+        graph, library = example1(), example1_library()
+        exact = {(14.0, 2.5), (13.0, 3.0), (7.0, 4.0), (5.0, 7.0), (4.0, 17.0)}
+        front = heuristic_pareto(graph, library)
+        for design in front:
+            for cost, makespan in exact:
+                assert not (
+                    design.cost <= cost - 1e-9 and design.makespan <= makespan - 1e-9
+                ) and not (
+                    design.cost <= cost + 1e-9 and design.makespan < makespan - 1e-9
+                ), (design.cost, design.makespan)
+
+    def test_all_designs_validate(self):
+        graph, library = example1(), example1_library()
+        for design in heuristic_pareto(graph, library):
+            assert design.is_valid()
+
+    def test_allocation_budget_enforced(self):
+        graph, library = example1(), example1_library()
+        with pytest.raises(SynthesisError, match="max_allocations"):
+            heuristic_pareto(graph, library, max_allocations=3)
+
+    def test_uncovering_subsets_skipped(self):
+        """Subsets without S1/S4 capability must be skipped, not crash."""
+        graph, library = example1(), example1_library()
+        front = heuristic_pareto(graph, library)
+        assert front  # still produced designs
+
+
+class TestParetoFilter:
+    def test_duplicates_removed(self):
+        graph, library = example1(), example1_library()
+        design = evaluate_allocation(graph, library, library.instances())
+        front = pareto_filter([design, design])
+        assert len(front) == 1
+
+    def test_sorted_fastest_first(self):
+        graph, library = example1(), example1_library()
+        front = heuristic_pareto(graph, library)
+        makespans = [d.makespan for d in front]
+        assert makespans == sorted(makespans)

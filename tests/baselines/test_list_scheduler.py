@@ -1,0 +1,109 @@
+"""Tests for the list-scheduling baselines."""
+
+import pytest
+
+from repro.baselines.list_scheduler import (
+    bottom_levels,
+    etf_schedule,
+    hlfet_schedule,
+    mean_execution_time,
+)
+from repro.errors import SynthesisError
+from repro.schedule.validate import validate_schedule
+from repro.system.examples import example1_library, example2_library
+from repro.system.interconnect import InterconnectStyle
+from repro.taskgraph.examples import example1, example2
+from repro.taskgraph.generators import layered_random
+from tests.conftest import make_library
+
+
+class TestPriorities:
+    def test_mean_execution_time(self):
+        # S1 runs on p1 (1) and p2 (3): mean 2.
+        assert mean_execution_time(example1(), example1_library(), "S1") == 2.0
+
+    def test_bottom_levels_monotone_along_arcs(self):
+        graph, library = example2(), example2_library()
+        levels = bottom_levels(graph, library)
+        for arc in graph.arcs:
+            assert levels[arc.producer] > levels[arc.consumer]
+
+    def test_sink_level_is_own_mean(self):
+        graph, library = example2(), example2_library()
+        levels = bottom_levels(graph, library)
+        assert levels["S7"] == pytest.approx(
+            mean_execution_time(graph, library, "S7")
+        )
+
+
+class TestHlfet:
+    def test_schedules_validate(self):
+        graph, library = example2(), example2_library()
+        mapping, schedule = hlfet_schedule(graph, library, library.instances())
+        assert validate_schedule(graph, library, schedule) == []
+        assert set(mapping) == set(graph.subtask_names)
+
+    def test_single_processor_serializes(self):
+        graph, library = example1(), example1_library()
+        pool = [i for i in library.instances() if i.name == "p2a"]
+        _, schedule = hlfet_schedule(graph, library, pool)
+        assert schedule.makespan == pytest.approx(7.0)
+
+    def test_uncoverable_raises(self):
+        graph, library = example1(), example1_library()
+        pool = [i for i in library.instances() if i.name == "p3a"]  # no S1/S4
+        with pytest.raises(SynthesisError, match="no capable"):
+            hlfet_schedule(graph, library, pool)
+
+
+class TestEtf:
+    def test_schedules_validate(self):
+        graph, library = example2(), example2_library()
+        mapping, schedule = etf_schedule(graph, library, library.instances())
+        assert validate_schedule(graph, library, schedule) == []
+
+    def test_bus_style_contention_respected(self):
+        graph, library = example2(), example2_library()
+        _, schedule = etf_schedule(
+            graph, library, library.instances(), style=InterconnectStyle.BUS
+        )
+        assert validate_schedule(
+            graph, library, schedule, style=InterconnectStyle.BUS
+        ) == []
+
+    def test_never_beats_exact_optimum_example1(self):
+        """The MILP optimum at unrestricted cost is 2.5; ETF must be >= it."""
+        graph, library = example1(), example1_library()
+        _, schedule = etf_schedule(graph, library, library.instances())
+        assert schedule.makespan >= 2.5 - 1e-9
+
+    def test_never_beats_exact_optimum_example2(self):
+        graph, library = example2(), example2_library()
+        _, schedule = etf_schedule(graph, library, library.instances())
+        assert schedule.makespan >= 5.0 - 1e-9
+
+    def test_uncoverable_raises(self):
+        graph, library = example1(), example1_library()
+        pool = [i for i in library.instances() if i.name.startswith("p3")]
+        with pytest.raises(SynthesisError, match="no capable"):
+            etf_schedule(graph, library, pool)
+
+    def test_deterministic(self):
+        graph, library = example2(), example2_library()
+        first = etf_schedule(graph, library, library.instances())
+        second = etf_schedule(graph, library, library.instances())
+        assert first[0] == second[0]
+
+
+class TestOnRandomGraphs:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_both_heuristics_validate(self, seed):
+        graph = layered_random(9, 3, seed=seed, fractional_ports=(seed % 2 == 0))
+        tasks = graph.subtask_names
+        library = make_library(
+            {"x": (5, {t: 2 for t in tasks}), "y": (3, {t: 4 for t in tasks})},
+            instances_per_type=2, remote_delay=0.5,
+        )
+        for scheduler in (etf_schedule, hlfet_schedule):
+            mapping, schedule = scheduler(graph, library, library.instances())
+            assert validate_schedule(graph, library, schedule) == [], scheduler.__name__

@@ -1,0 +1,75 @@
+"""Tests for local-search refinement of heuristic designs."""
+
+import pytest
+
+from repro.baselines.heuristic_synthesis import evaluate_allocation, heuristic_pareto
+from repro.baselines.refinement import refine_design, refine_front
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.examples import example1_library, example2_library
+from repro.taskgraph.examples import example1, example2
+
+
+def score(design):
+    return (design.makespan, design.cost)
+
+
+class TestRefineDesign:
+    def test_never_worse(self):
+        graph, library = example1(), example1_library()
+        start = evaluate_allocation(graph, library, library.instances(),
+                                    scheduler="hlfet")
+        refined = refine_design(start)
+        assert score(refined) <= score(start)
+
+    def test_refined_design_validates(self):
+        graph, library = example2(), example2_library()
+        start = evaluate_allocation(graph, library, library.instances())
+        refined = refine_design(start)
+        assert refined.violations() == []
+
+    def test_never_beats_exact_optimum(self):
+        graph, library = example1(), example1_library()
+        start = evaluate_allocation(graph, library, library.instances())
+        refined = refine_design(start)
+        assert refined.makespan >= 2.5 - 1e-9  # Table II optimum
+
+    def test_marked_heuristic(self):
+        graph, library = example1(), example1_library()
+        start = evaluate_allocation(graph, library, library.instances())
+        refined = refine_design(start)
+        assert not refined.proven_optimal
+
+    def test_zero_rounds_is_identityish(self):
+        graph, library = example1(), example1_library()
+        start = evaluate_allocation(graph, library, library.instances())
+        refined = refine_design(start, max_rounds=0)
+        assert score(refined) <= score(start)
+
+    def test_fixed_point(self):
+        """Refining a refined design changes nothing (local optimum)."""
+        graph, library = example1(), example1_library()
+        start = evaluate_allocation(graph, library, library.instances())
+        once = refine_design(start)
+        twice = refine_design(once)
+        assert score(twice) == score(once)
+
+
+class TestRefineFront:
+    def test_front_quality_never_degrades(self):
+        graph, library = example1(), example1_library()
+        raw = heuristic_pareto(graph, library)
+        refined = refine_front(raw, max_rounds=3)
+        # Every refined design must be matched-or-beaten by nothing raw:
+        for design in refined:
+            assert design.violations() == []
+        best_raw = min(d.makespan for d in raw)
+        best_refined = min(d.makespan for d in refined)
+        assert best_refined <= best_raw + 1e-9
+
+    def test_refinement_closes_gap_toward_exact(self):
+        graph, library = example1(), example1_library()
+        exact_best = Synthesizer(graph, library).synthesize().makespan
+        raw = heuristic_pareto(graph, library)
+        refined = refine_front(raw, max_rounds=3)
+        best_refined = min(d.makespan for d in refined)
+        assert exact_best <= best_refined + 1e-9

@@ -1,0 +1,153 @@
+"""Tests for arbitrary designer constraints (§3.3.2)."""
+
+import pytest
+
+from repro.core.designer import DesignerConstraints
+from repro.errors import InfeasibleError, ModelError
+from repro.synthesis.synthesizer import Synthesizer
+
+
+def synth_with(ex1_graph, ex1_library, constraints):
+    return Synthesizer(ex1_graph, ex1_library, constraints=constraints)
+
+
+class TestPinning:
+    def test_pin_changes_mapping(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().pin_task("S3", "p2a")
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert design.mapping["S3"] == "p2a"
+        assert design.violations() == []
+
+    def test_pin_to_incapable_processor_rejected(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().pin_task("S1", "p3a")  # p3 can't do S1
+        with pytest.raises(ModelError, match="cannot execute"):
+            synth_with(ex1_graph, ex1_library, constraints).synthesize()
+
+    def test_pin_unknown_processor(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().pin_task("S1", "p9z")
+        with pytest.raises(ModelError, match="unknown processor"):
+            synth_with(ex1_graph, ex1_library, constraints).synthesize()
+
+    def test_pin_unknown_task(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().pin_task("S99", "p1a")
+        with pytest.raises(ModelError, match="unknown subtask"):
+            synth_with(ex1_graph, ex1_library, constraints).synthesize()
+
+    def test_pin_cannot_improve_optimum(self, ex1_graph, ex1_library):
+        free = Synthesizer(ex1_graph, ex1_library).synthesize()
+        pinned = synth_with(
+            ex1_graph, ex1_library, DesignerConstraints().pin_task("S1", "p2a")
+        ).synthesize()
+        assert pinned.makespan >= free.makespan - 1e-9
+
+
+class TestForbidding:
+    def test_forbid_instance(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().forbid_task_on("S3", "p3a")
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert design.mapping["S3"] != "p3a"
+
+    def test_forbid_incapable_pair_is_noop(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().forbid_task_on("S1", "p3a")
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert design.makespan == pytest.approx(2.5)
+
+    def test_forbid_type_entirely(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().forbid_type("p3")
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        used_types = {inst.ptype.name for inst in design.architecture.processors}
+        assert "p3" not in used_types
+
+    def test_forbid_unknown_type(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().forbid_type("p9")
+        with pytest.raises(ModelError, match="unknown processor type"):
+            synth_with(ex1_graph, ex1_library, constraints).synthesize()
+
+
+class TestColocation:
+    def test_colocated_tasks_share_processor(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().colocate_tasks("S1", "S3")
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert design.mapping["S1"] == design.mapping["S3"]
+
+    def test_separated_tasks_differ(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().separate_tasks("S2", "S4")
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert design.mapping["S2"] != design.mapping["S4"]
+
+    def test_colocate_with_asymmetric_capability(self, ex1_graph, ex1_library):
+        # p3 can execute S3 but not S4: colocating S3 and S4 must exclude p3.
+        constraints = DesignerConstraints().colocate_tasks("S3", "S4")
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert design.mapping["S3"] == design.mapping["S4"]
+        assert not design.mapping["S3"].startswith("p3")
+
+
+class TestTiming:
+    def test_release_time_delays_start(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().release_at("S1", 2.0)
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert design.schedule.execution_of("S1").start >= 2.0 - 1e-9
+        assert design.makespan > 2.5
+
+    def test_task_deadline_respected(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().must_finish_by("S2", 1.0)
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert design.schedule.execution_of("S2").end <= 1.0 + 1e-6
+
+    def test_impossible_deadline_infeasible(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().must_finish_by("S3", 0.5)
+        with pytest.raises(InfeasibleError):
+            synth_with(ex1_graph, ex1_library, constraints).synthesize()
+
+
+class TestProcessorBudget:
+    def test_two_processor_limit(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().limit_processors(2)
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert len(design.architecture.processors) <= 2
+        assert design.makespan == pytest.approx(4.0)  # Table II design 3
+
+    def test_uniprocessor_limit(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().limit_processors(1)
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert len(design.architecture.processors) == 1
+        assert design.makespan == pytest.approx(7.0)  # Table II design 4
+
+    def test_invalid_limit(self, ex1_graph, ex1_library):
+        constraints = DesignerConstraints().limit_processors(0)
+        with pytest.raises(ModelError):
+            synth_with(ex1_graph, ex1_library, constraints).synthesize()
+
+
+class TestBundle:
+    def test_is_empty(self):
+        assert DesignerConstraints().is_empty()
+        assert not DesignerConstraints().pin_task("S1", "p1a").is_empty()
+        assert not DesignerConstraints().limit_processors(2).is_empty()
+
+    def test_fluent_chaining(self, ex1_graph, ex1_library):
+        constraints = (
+            DesignerConstraints()
+            .pin_task("S1", "p1a")
+            .separate_tasks("S1", "S2")
+            .limit_processors(3)
+        )
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert design.mapping["S1"] == "p1a"
+        assert design.mapping["S2"] != "p1a"
+        assert design.violations() == []
+
+    def test_combined_constraints_compose(self, ex1_graph, ex1_library):
+        """All constraint kinds at once still yield a valid optimal design."""
+        constraints = (
+            DesignerConstraints()
+            .forbid_task_on("S3", "p2a")
+            .colocate_tasks("S2", "S3")
+            .release_at("S4", 1.0)
+            .limit_processors(3)
+        )
+        design = synth_with(ex1_graph, ex1_library, constraints).synthesize()
+        assert design.violations() == []
+        assert design.mapping["S2"] == design.mapping["S3"]
+        assert design.schedule.execution_of("S4").start >= 1.0 - 1e-9

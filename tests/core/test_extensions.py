@@ -1,0 +1,131 @@
+"""Tests for the §5 model extensions: local memory sizing, no-I/O-overlap,
+and the ring interconnection style."""
+
+import pytest
+
+from repro.core.formulation import build_sos_model
+from repro.core.options import FormulationOptions, Objective
+from repro.solvers.registry import get_solver
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.interconnect import InterconnectStyle
+from repro.taskgraph.graph import TaskGraph
+from tests.conftest import make_library
+
+
+@pytest.fixture
+def split_graph():
+    """A fork: A feeds B and C, both feed D (volumes 2, 1, 1, 3)."""
+    graph = TaskGraph("split")
+    for name in ("A", "B", "C", "D"):
+        graph.add_subtask(name)
+    graph.add_external_input("A")
+    graph.connect("A", "B", volume=2.0)
+    graph.connect("A", "C", volume=1.0)
+    graph.connect("B", "D", volume=1.0)
+    graph.connect("C", "D", volume=3.0)
+    return graph
+
+
+@pytest.fixture
+def two_type_library():
+    return make_library(
+        {"big": (6, {"A": 1, "B": 1, "C": 1, "D": 1}),
+         "small": (2, {"B": 2, "C": 2})},
+        instances_per_type=2,
+    )
+
+
+class TestMemoryModel:
+    def test_memory_variables_created(self, split_graph, two_type_library):
+        built = build_sos_model(
+            split_graph, two_type_library,
+            FormulationOptions(memory_model=True, memory_cost_per_unit=0.5),
+        )
+        assert built.variables.memory
+        assert "local-memory (§5)" in built.family_counts
+
+    def test_memory_sized_from_mapping(self, split_graph, two_type_library):
+        built = build_sos_model(
+            split_graph, two_type_library,
+            FormulationOptions(memory_model=True, memory_cost_per_unit=0.5,
+                               objective=Objective.MIN_COST),
+        )
+        solution = get_solver("highs").solve(built.model)
+        # Uniprocessor on 'big': memory >= all volumes touched = A(3)+B(3)+C(4)+D(4) = 14.
+        need = sum(
+            arc.volume * 2 for arc in split_graph.arcs
+        )  # each volume counted at producer and consumer
+        memory_total = sum(
+            solution.values[var] for var in built.variables.memory.values()
+        )
+        assert memory_total == pytest.approx(need, abs=1e-6)
+
+    def test_memory_cost_in_objective(self, split_graph, two_type_library):
+        cheap = build_sos_model(
+            split_graph, two_type_library,
+            FormulationOptions(objective=Objective.MIN_COST),
+        )
+        priced = build_sos_model(
+            split_graph, two_type_library,
+            FormulationOptions(memory_model=True, memory_cost_per_unit=0.5,
+                               objective=Objective.MIN_COST),
+        )
+        cost_plain = get_solver("highs").solve(cheap.model).objective
+        cost_priced = get_solver("highs").solve(priced.model).objective
+        assert cost_priced > cost_plain
+
+
+class TestNoIoOverlap:
+    def test_constraints_added(self, split_graph, two_type_library):
+        built = build_sos_model(
+            split_graph, two_type_library, FormulationOptions(io_overlap=False)
+        )
+        assert "no-io-overlap (§5)" in built.family_counts
+
+    def test_never_faster_than_overlapped(self, split_graph, two_type_library):
+        overlapped = Synthesizer(split_graph, two_type_library).synthesize()
+        strict = Synthesizer(
+            split_graph, two_type_library,
+            options=FormulationOptions(io_overlap=False),
+        ).synthesize()
+        assert strict.makespan >= overlapped.makespan - 1e-9
+
+    def test_remote_transfers_outside_execution(self, split_graph, two_type_library):
+        design = Synthesizer(
+            split_graph, two_type_library,
+            options=FormulationOptions(io_overlap=False),
+        ).synthesize()
+        for transfer in design.schedule.transfers:
+            if not transfer.remote:
+                continue
+            producer = design.schedule.execution_of(transfer.producer)
+            consumer = design.schedule.execution_of(transfer.consumer)
+            assert transfer.start >= producer.end - 1e-6
+            assert transfer.end <= consumer.start + 1e-6
+
+
+class TestRingSynthesis:
+    def test_ring_design_validates(self, split_graph, two_type_library):
+        design = Synthesizer(
+            split_graph, two_type_library, style=InterconnectStyle.RING
+        ).synthesize()
+        assert design.violations() == []
+
+    def test_ring_remote_routes_are_pool_adjacent(self, split_graph, two_type_library):
+        design = Synthesizer(
+            split_graph, two_type_library, style=InterconnectStyle.RING
+        ).synthesize()
+        pool = [inst.name for inst in two_type_library.instances()]
+        adjacent = set()
+        for position, name in enumerate(pool):
+            adjacent.add((name, pool[(position + 1) % len(pool)]))
+            adjacent.add((name, pool[(position - 1) % len(pool)]))
+        for transfer in design.schedule.remote_transfers():
+            assert (transfer.source, transfer.dest) in adjacent
+
+    def test_ring_never_faster_than_p2p(self, split_graph, two_type_library):
+        p2p = Synthesizer(split_graph, two_type_library).synthesize()
+        ring = Synthesizer(
+            split_graph, two_type_library, style=InterconnectStyle.RING
+        ).synthesize()
+        assert ring.makespan >= p2p.makespan - 1e-9

@@ -1,0 +1,83 @@
+"""Tests for solution -> design extraction and the LP left-shift polish."""
+
+import pytest
+
+from repro.core.extraction import extract_design
+from repro.core.formulation import build_sos_model
+from repro.core.options import FormulationOptions
+from repro.core.polish import left_shift
+from repro.errors import SynthesisError
+from repro.milp.solution import Solution, SolveStatus
+from repro.solvers.registry import get_solver
+from repro.system.interconnect import InterconnectStyle
+
+
+@pytest.fixture
+def solved(ex1_graph, ex1_library):
+    built = build_sos_model(ex1_graph, ex1_library)
+    solution = get_solver("highs").solve(built.model)
+    return built, solution
+
+
+class TestExtraction:
+    def test_design_fields(self, solved):
+        built, solution = solved
+        design = extract_design(built, solution)
+        assert design.makespan == pytest.approx(2.5)
+        assert set(design.mapping) == {"S1", "S2", "S3", "S4"}
+        assert design.style is InterconnectStyle.POINT_TO_POINT
+
+    def test_every_arc_has_a_transfer(self, solved):
+        built, solution = solved
+        design = extract_design(built, solution)
+        assert len(design.schedule.transfers) == len(built.graph.arcs)
+
+    def test_architecture_from_usage(self, solved):
+        built, solution = solved
+        design = extract_design(built, solution)
+        used = set(design.mapping.values())
+        assert set(design.architecture.processor_names()) == used
+
+    def test_gamma_matches_mapping(self, solved):
+        built, solution = solved
+        design = extract_design(built, solution)
+        for transfer in design.schedule.transfers:
+            is_remote = design.mapping[transfer.producer] != design.mapping[transfer.consumer]
+            assert transfer.remote == is_remote
+
+    def test_design_passes_independent_validation(self, solved):
+        built, solution = solved
+        design = extract_design(built, solution)
+        assert design.violations() == []
+
+    def test_statusless_solution_rejected(self, solved):
+        built, _ = solved
+        with pytest.raises(SynthesisError, match="infeasible"):
+            extract_design(built, Solution(SolveStatus.INFEASIBLE))
+
+
+class TestLeftShift:
+    def test_polish_preserves_feasibility_and_objective(self, solved):
+        built, solution = solved
+        polished = left_shift(built, solution)
+        assert built.model.is_feasible(polished.values, tol=1e-5)
+        assert polished.objective == pytest.approx(solution.objective, abs=1e-6)
+
+    def test_polish_never_delays_events(self, solved):
+        built, solution = solved
+        polished = left_shift(built, solution)
+        for var in built.variables.t_ss.values():
+            assert polished.values[var] <= solution.values[var] + 1e-6
+
+    def test_polish_keeps_binaries(self, solved):
+        built, solution = solved
+        polished = left_shift(built, solution)
+        for var in built.variables.sigma.values():
+            assert polished.values[var] == pytest.approx(
+                solution.rounded_value(var), abs=1e-6
+            )
+
+    def test_polished_design_validates(self, solved):
+        built, solution = solved
+        design = extract_design(built, left_shift(built, solution))
+        assert design.violations() == []

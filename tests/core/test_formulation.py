@@ -1,0 +1,185 @@
+"""Tests for the SOS MILP formulation builder."""
+
+import math
+
+import pytest
+
+from repro.core.formulation import SosModelBuilder, build_sos_model
+from repro.core.options import FormulationOptions, Objective
+from repro.errors import SystemModelError
+from repro.milp.constraint import Sense
+from repro.solvers.registry import get_solver
+from repro.system.examples import example1_library
+from repro.system.interconnect import InterconnectStyle
+from repro.taskgraph.examples import example1
+
+
+@pytest.fixture
+def built(ex1_graph, ex1_library):
+    return SosModelBuilder(ex1_graph, ex1_library).build()
+
+
+class TestVariableCatalog:
+    def test_timing_variable_count_matches_paper(self, built):
+        """§4.1: 'The MILP model for the example consists of 21 timing ...
+        variables' — our catalog reproduces that count exactly."""
+        assert built.variables.count_timing() == 21
+
+    def test_sigma_only_for_capable_instances(self, built):
+        # p3 cannot run S1 or S4.
+        assert ("p3a", "S1") not in built.variables.sigma
+        assert ("p3a", "S4") not in built.variables.sigma
+        assert ("p3a", "S3") in built.variables.sigma
+
+    def test_gamma_per_arc(self, built):
+        assert set(built.variables.gamma) == {("S3", 1), ("S3", 2), ("S4", 1)}
+
+    def test_beta_per_pool_instance(self, built):
+        assert len(built.variables.beta) == 6
+
+    def test_chi_excludes_self_pairs(self, built):
+        assert all(d1 != d2 for (d1, d2) in built.variables.chi)
+
+    def test_timing_bounded_by_horizon(self, built):
+        for var in built.variables.t_ss.values():
+            assert var.ub == pytest.approx(built.horizon)
+
+
+class TestFamilies:
+    def test_all_paper_families_present(self, built):
+        families = set(built.family_counts)
+        for fragment in ("3.3.1", "3.4.14", "3.3.3", "3.3.4", "3.3.5", "3.3.6",
+                         "3.3.7", "3.3.8", "3.4.17", "3.4.19", "3.3.11",
+                         "3.3.12", "3.4.21"):
+            assert any(fragment in family for family in families), fragment
+
+    def test_selection_is_equality(self, built):
+        row = next(c for c in built.model.constraints if c.name == "select[S1]")
+        assert row.sense is Sense.EQ
+        assert row.rhs == 1.0
+
+    def test_bus_has_no_chi(self, ex1_graph, ex1_library):
+        options = FormulationOptions(style=InterconnectStyle.BUS)
+        built = SosModelBuilder(ex1_graph, ex1_library, options).build()
+        assert not built.variables.chi
+        assert any("bus" in family for family in built.family_counts)
+
+    def test_pruning_shrinks_example2(self):
+        from repro.system.examples import example2_library
+        from repro.taskgraph.examples import example2
+
+        pruned = build_sos_model(example2(), example2_library())
+        full = build_sos_model(
+            example2(), example2_library(),
+            FormulationOptions(prune_ordered_pairs=False),
+        )
+        assert (
+            pruned.model.stats().num_constraints < full.model.stats().num_constraints
+        )
+
+    def test_example1_cannot_be_pruned(self, ex1_graph, ex1_library):
+        """All Example 1 ports are fractional: pruning must remove nothing."""
+        pruned = build_sos_model(ex1_graph, ex1_library)
+        full = build_sos_model(
+            ex1_graph, ex1_library, FormulationOptions(prune_ordered_pairs=False)
+        )
+        unprunable = ("3.4.17", "3.4.18", "3.4.19", "3.4.20")
+        for fragment in unprunable:
+            pruned_count = sum(
+                count for family, count in pruned.family_counts.items() if fragment in family
+            )
+            full_count = sum(
+                count for family, count in full.family_counts.items() if fragment in family
+            )
+            assert pruned_count == full_count, fragment
+
+
+class TestDesignerConstraints:
+    def test_cost_cap_row_added(self, ex1_graph, ex1_library):
+        options = FormulationOptions(cost_cap=7.0)
+        built = SosModelBuilder(ex1_graph, ex1_library, options).build()
+        assert "designer-cost-cap" in built.family_counts
+
+    def test_deadline_row_added(self, ex1_graph, ex1_library):
+        options = FormulationOptions(deadline=4.0)
+        built = SosModelBuilder(ex1_graph, ex1_library, options).build()
+        assert "designer-deadline" in built.family_counts
+
+    def test_min_cost_objective(self, ex1_graph, ex1_library):
+        options = FormulationOptions(objective=Objective.MIN_COST)
+        built = SosModelBuilder(ex1_graph, ex1_library, options).build()
+        # Objective references beta variables, not T_F.
+        beta = next(iter(built.variables.beta.values()))
+        assert built.model.objective.coefficient(built.variables.t_f) == 0.0
+        assert any(
+            built.model.objective.coefficient(var) > 0
+            for var in built.variables.beta.values()
+        )
+
+
+class TestCorrectnessOnTinyInstance:
+    """Solve tiny instances and verify the formulation's semantics directly."""
+
+    def test_remote_vs_local_tradeoff(self, tiny_graph, tiny_library):
+        # Fast costs 10 and does A,B in 1 each; slow costs 3, 4 each.
+        # Remote transfer of volume 2 takes 2.
+        built = build_sos_model(tiny_graph, tiny_library)
+        solution = get_solver("highs").solve(built.model)
+        # One fast processor serially: 1+1 = 2 (local transfer free).
+        assert solution.objective == pytest.approx(2.0)
+
+    def test_cost_cap_forces_slow_processor(self, tiny_graph, tiny_library):
+        built = build_sos_model(
+            tiny_graph, tiny_library, FormulationOptions(cost_cap=4.0)
+        )
+        solution = get_solver("highs").solve(built.model)
+        assert solution.objective == pytest.approx(8.0)  # slow does both: 4+4
+
+    def test_two_processors_pay_transfer(self, tiny_graph, tiny_library):
+        # Force A and B on different processors by capping... instead check
+        # min-cost under a deadline that a single slow processor misses.
+        built = build_sos_model(
+            tiny_graph, tiny_library,
+            FormulationOptions(objective=Objective.MIN_COST, deadline=2.0),
+        )
+        solution = get_solver("highs").solve(built.model)
+        # Only a fast processor meets deadline 2; cheapest such system is 10.
+        assert solution.objective == pytest.approx(10.0)
+
+    def test_infeasible_deadline(self, tiny_graph, tiny_library):
+        built = build_sos_model(
+            tiny_graph, tiny_library,
+            FormulationOptions(objective=Objective.MIN_COST, deadline=0.5),
+        )
+        solution = get_solver("highs").solve(built.model)
+        assert not solution.status.has_solution
+
+
+class TestRingStyle:
+    def test_small_pool_rejected(self, tiny_graph, tiny_library):
+        with pytest.raises(SystemModelError, match="ring"):
+            SosModelBuilder(
+                tiny_graph, tiny_library.with_instances(1),
+                FormulationOptions(style=InterconnectStyle.RING),
+            )
+
+    def test_adjacency_constraints_generated(self, ex1_graph, ex1_library):
+        options = FormulationOptions(style=InterconnectStyle.RING)
+        built = SosModelBuilder(ex1_graph, ex1_library, options).build()
+        assert "ring-adjacency (§5)" in built.family_counts
+
+    def test_chi_restricted_to_adjacent_pairs(self, ex1_graph, ex1_library):
+        options = FormulationOptions(style=InterconnectStyle.RING)
+        built = SosModelBuilder(ex1_graph, ex1_library, options).build()
+        pool = [inst.name for inst in built.pool]
+        adjacent = set()
+        for position, name in enumerate(pool):
+            adjacent.add((name, pool[(position + 1) % len(pool)]))
+            adjacent.add((name, pool[(position - 1) % len(pool)]))
+        assert set(built.variables.chi) <= adjacent
+
+
+class TestSizeReport:
+    def test_mentions_counts(self, built):
+        report = built.size_report()
+        assert "timing" in report and "binary" in report and "constraints" in report

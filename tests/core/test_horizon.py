@@ -1,0 +1,69 @@
+"""Tests for the big-M horizon and the serial lower bound."""
+
+import pytest
+
+from repro.core.horizon import compute_horizon, serial_lower_bound
+from repro.errors import SystemModelError
+from repro.system.examples import example1_library, example2_library
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorType
+from repro.taskgraph.examples import example1, example2
+from repro.taskgraph.graph import TaskGraph
+
+
+class TestComputeHorizon:
+    def test_example1_value(self):
+        # Worst executions: S1->3, S2->3, S3->12, S4->3; transfers: 3x1.
+        assert compute_horizon(example1(), example1_library()) == pytest.approx(24.0)
+
+    def test_example2_value(self):
+        # Worst rows: 3+2+2+3+3+2+4+2+3 = 24; transfers: 8.
+        assert compute_horizon(example2(), example2_library()) == pytest.approx(32.0)
+
+    def test_scales_with_volume(self):
+        base = compute_horizon(example1(), example1_library())
+        doubled = compute_horizon(example1().scaled_volumes(2), example1_library())
+        assert doubled == pytest.approx(base + 3.0)
+
+    def test_uncoverable_subtask_raises(self):
+        graph = TaskGraph()
+        graph.add_subtask("X")
+        library = TechnologyLibrary(types=(ProcessorType("p", 1, {"Y": 1}),))
+        with pytest.raises(SystemModelError):
+            compute_horizon(graph, library)
+
+    def test_degenerate_all_zero_durations(self):
+        graph = TaskGraph()
+        graph.add_subtask("X")
+        library = TechnologyLibrary(types=(ProcessorType("p", 1, {"X": 0}),))
+        assert compute_horizon(graph, library) == 1.0
+
+
+class TestSerialLowerBound:
+    def test_is_a_lower_bound_on_example1(self):
+        # Optimal makespan (any cost) is 2.5 per Table II.
+        bound = serial_lower_bound(example1(), example1_library())
+        assert bound <= 2.5 + 1e-9
+
+    def test_is_a_lower_bound_on_example2(self):
+        # Optimal makespan (any cost) is 5 per Table IV.
+        bound = serial_lower_bound(example2(), example2_library())
+        assert 0 < bound <= 5 + 1e-9
+
+    def test_chain_with_traditional_ports(self):
+        graph = TaskGraph()
+        for name in ("A", "B"):
+            graph.add_subtask(name)
+        graph.connect("A", "B")
+        library = TechnologyLibrary(types=(ProcessorType("p", 1, {"A": 2, "B": 3}),))
+        assert serial_lower_bound(graph, library) == pytest.approx(5.0)
+
+    def test_fractional_ports_allow_overlap(self):
+        graph = TaskGraph()
+        for name in ("A", "B"):
+            graph.add_subtask(name)
+        # Output at 50% of A; B needs it only after 50% of itself.
+        graph.connect("A", "B", f_available=0.5, f_required=0.5)
+        library = TechnologyLibrary(types=(ProcessorType("p", 1, {"A": 2, "B": 2}),))
+        # Availability at 1.0; B may start at 0.0 (needs input by start+1).
+        assert serial_lower_bound(graph, library) == pytest.approx(2.0)

@@ -1,0 +1,121 @@
+"""Tests for the §5 memory-capacity constraints and pool auto-sizing."""
+
+import pytest
+
+from repro.core.formulation import build_sos_model
+from repro.core.options import FormulationOptions, Objective
+from repro.errors import InfeasibleError, SystemModelError
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorType
+from repro.taskgraph.graph import TaskGraph
+
+
+@pytest.fixture
+def chain_graph():
+    graph = TaskGraph("chain")
+    for name in ("A", "B", "C"):
+        graph.add_subtask(name)
+    graph.add_external_input("A")
+    graph.connect("A", "B", volume=3.0)
+    graph.connect("B", "C", volume=3.0)
+    graph.add_external_output("C")
+    return graph
+
+
+def library_with_capacity(capacity):
+    big = ProcessorType("big", cost=5, exec_times={"A": 1, "B": 1, "C": 1},
+                        memory_capacity=capacity)
+    small = ProcessorType("small", cost=2, exec_times={"A": 2, "B": 2, "C": 2},
+                          memory_capacity=capacity)
+    return TechnologyLibrary(types=(big, small), instances_per_type=2,
+                             link_cost=1.0, remote_delay=1.0)
+
+
+class TestMemoryCapacity:
+    def test_unlimited_capacity_allows_uniprocessor(self, chain_graph):
+        library = library_with_capacity(None)
+        synth = Synthesizer(
+            chain_graph, library,
+            options=FormulationOptions(memory_model=True),
+        )
+        design = synth.synthesize(objective=Objective.MIN_COST)
+        assert len(design.architecture.processors) == 1
+
+    def test_tight_capacity_forces_spreading(self, chain_graph):
+        # A needs 3, B needs 6, C needs 3 (each arc counted at both ends).
+        # Capacity 8 excludes any processor hosting B plus another task.
+        library = library_with_capacity(8.0)
+        synth = Synthesizer(
+            chain_graph, library,
+            options=FormulationOptions(memory_model=True),
+        )
+        design = synth.synthesize(objective=Objective.MIN_COST)
+        host_of_b = design.mapping["B"]
+        hosted_with_b = [t for t, p in design.mapping.items() if p == host_of_b]
+        assert hosted_with_b == ["B"]
+
+    def test_capacity_below_single_task_infeasible(self, chain_graph):
+        library = library_with_capacity(5.0)  # B alone needs 6
+        synth = Synthesizer(
+            chain_graph, library,
+            options=FormulationOptions(memory_model=True),
+        )
+        with pytest.raises(InfeasibleError):
+            synth.synthesize()
+
+    def test_capacity_ignored_without_memory_model(self, chain_graph):
+        library = library_with_capacity(1.0)
+        design = Synthesizer(chain_graph, library).synthesize()
+        assert design.violations() == []  # capacity not part of base model
+
+    def test_capacity_constraint_family_counted(self, chain_graph):
+        built = build_sos_model(
+            chain_graph, library_with_capacity(10.0),
+            FormulationOptions(memory_model=True),
+        )
+        assert "local-memory-capacity (§5)" in built.family_counts
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(SystemModelError):
+            ProcessorType("bad", cost=1, exec_times={"A": 1}, memory_capacity=-1)
+
+    def test_scaled_preserves_capacity(self):
+        ptype = ProcessorType("p", cost=1, exec_times={"A": 1}, memory_capacity=7.0)
+        assert ptype.scaled(2).memory_capacity == 7.0
+
+
+class TestAutoSizedPool:
+    def test_counts_bounded_by_capability(self):
+        from repro.system.examples import example1_library
+        from repro.taskgraph.examples import example1
+
+        library = example1_library().auto_sized(example1())
+        sizes = {
+            ptype.name: library.copies_of(ptype) for ptype in library.types
+        }
+        # p1/p2 can run all 4 subtasks; p3 only 2.
+        assert sizes == {"p1": 4, "p2": 4, "p3": 2}
+
+    def test_max_copies_ceiling(self):
+        from repro.system.examples import example1_library
+        from repro.taskgraph.examples import example1
+
+        library = example1_library().auto_sized(example1(), max_copies=2)
+        assert all(library.copies_of(t) <= 2 for t in library.types)
+
+    def test_invalid_ceiling(self):
+        from repro.system.examples import example1_library
+        from repro.taskgraph.examples import example1
+
+        with pytest.raises(SystemModelError):
+            example1_library().auto_sized(example1(), max_copies=0)
+
+    def test_auto_pool_reproduces_optimum(self):
+        """The bigger auto pool cannot change the example-1 optimum."""
+        from repro.system.examples import example1_library
+        from repro.taskgraph.examples import example1
+
+        library = example1_library().auto_sized(example1(), max_copies=3)
+        design = Synthesizer(example1(), library).synthesize()
+        assert design.makespan == pytest.approx(2.5)

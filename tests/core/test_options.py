@@ -1,0 +1,67 @@
+"""Tests for formulation options validation."""
+
+import pytest
+
+from repro.core.options import FormulationOptions, Objective
+from repro.errors import ModelError
+from repro.system.interconnect import InterconnectStyle
+
+
+class TestValidation:
+    def test_defaults(self):
+        options = FormulationOptions()
+        assert options.style is InterconnectStyle.POINT_TO_POINT
+        assert options.objective is Objective.MIN_MAKESPAN
+        assert options.cost_cap is None
+        assert options.prune_ordered_pairs
+        assert options.symmetry_breaking
+        assert options.io_overlap
+        assert not options.memory_model
+
+    def test_negative_cost_cap_rejected(self):
+        with pytest.raises(ModelError):
+            FormulationOptions(cost_cap=-1)
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ModelError):
+            FormulationOptions(deadline=-0.5)
+
+    def test_nonpositive_horizon_rejected(self):
+        with pytest.raises(ModelError):
+            FormulationOptions(horizon=0.0)
+
+    def test_negative_memory_cost_rejected(self):
+        with pytest.raises(ModelError):
+            FormulationOptions(memory_cost_per_unit=-1)
+
+    def test_zero_caps_allowed(self):
+        options = FormulationOptions(cost_cap=0.0, deadline=0.0)
+        assert options.cost_cap == 0.0
+        assert options.deadline == 0.0
+
+    def test_frozen(self):
+        options = FormulationOptions()
+        with pytest.raises(AttributeError):
+            options.cost_cap = 5.0  # type: ignore[misc]
+
+
+class TestHorizonOverride:
+    def test_custom_horizon_used(self, ex1_graph, ex1_library):
+        from repro.core.formulation import build_sos_model
+
+        built = build_sos_model(
+            ex1_graph, ex1_library, FormulationOptions(horizon=100.0)
+        )
+        assert built.horizon == 100.0
+        assert built.variables.t_f.ub == 100.0
+
+    def test_tight_but_valid_custom_horizon_keeps_optimum(self, ex1_graph, ex1_library):
+        """Any horizon >= the default is safe; the optimum must not move."""
+        from repro.core.formulation import build_sos_model
+        from repro.solvers.registry import get_solver
+
+        built = build_sos_model(
+            ex1_graph, ex1_library, FormulationOptions(horizon=30.0)
+        )
+        solution = get_solver("highs").solve(built.model)
+        assert solution.objective == pytest.approx(2.5)

@@ -1,0 +1,55 @@
+"""Dedicated tests for the LP left-shift polish."""
+
+import pytest
+
+from repro.core.formulation import build_sos_model
+from repro.core.options import FormulationOptions
+from repro.core.polish import left_shift
+from repro.solvers.registry import get_solver
+from repro.system.interconnect import InterconnectStyle
+
+
+def solved(graph, library, options=None):
+    built = build_sos_model(graph, library, options)
+    solution = get_solver("highs").solve(built.model)
+    return built, solution
+
+
+class TestLeftShiftProperties:
+    def test_idempotent(self, ex1_graph, ex1_library):
+        built, solution = solved(ex1_graph, ex1_library)
+        once = left_shift(built, solution)
+        twice = left_shift(built, once)
+        for var in built.variables.t_ss.values():
+            assert twice.values[var] == pytest.approx(once.values[var], abs=1e-7)
+
+    def test_total_time_never_increases(self, ex1_graph, ex1_library):
+        built, solution = solved(ex1_graph, ex1_library)
+        polished = left_shift(built, solution)
+        timing = (
+            list(built.variables.t_ss.values())
+            + list(built.variables.t_cs.values())
+        )
+        before = sum(solution.values[v] for v in timing)
+        after = sum(polished.values[v] for v in timing)
+        assert after <= before + 1e-6
+
+    def test_bus_model_polishes(self, ex2_graph, ex2_library):
+        built, solution = solved(
+            ex2_graph, ex2_library,
+            FormulationOptions(style=InterconnectStyle.BUS, cost_cap=6),
+        )
+        polished = left_shift(built, solution)
+        assert built.model.is_feasible(polished.values, tol=1e-5)
+
+    def test_solver_metadata_preserved(self, ex1_graph, ex1_library):
+        built, solution = solved(ex1_graph, ex1_library)
+        polished = left_shift(built, solution)
+        assert polished.solver_name == solution.solver_name
+        assert polished.status == solution.status
+
+    def test_makespan_not_degraded(self, ex1_graph, ex1_library):
+        built, solution = solved(ex1_graph, ex1_library)
+        polished = left_shift(built, solution)
+        t_f = built.variables.t_f
+        assert polished.values[t_f] <= solution.values[t_f] + 1e-7

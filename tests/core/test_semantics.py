@@ -1,0 +1,207 @@
+"""Hand-solved micro-instances pinning each semantic feature of the model.
+
+Every test builds a task/library pair small enough to optimize on paper,
+states the expected optimum in a comment, and asserts the synthesizer
+reproduces it exactly.  These are the sharpest formulation tests: a sign
+error in any §3.3 constraint changes one of these numbers.
+"""
+
+import pytest
+
+from repro.core.designer import DesignerConstraints
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorType
+from repro.taskgraph.graph import TaskGraph
+
+
+def two_proc_library(exec_times, remote_delay=1.0, local_delay=0.0, cost=1.0):
+    """Two identical unit-cost processors (forces the interesting choice to
+    be about communication, not hardware)."""
+    ptype = ProcessorType("p", cost=cost, exec_times=exec_times)
+    return TechnologyLibrary(
+        types=(ptype,), instances_per_type=2,
+        link_cost=0.0, remote_delay=remote_delay, local_delay=local_delay,
+    )
+
+
+def chain(f_available=1.0, f_required=0.0, volume=1.0):
+    graph = TaskGraph("ab")
+    graph.add_subtask("A")
+    graph.add_subtask("B")
+    graph.connect("A", "B", volume=volume,
+                  f_available=f_available, f_required=f_required)
+    return graph
+
+
+def synthesize(graph, library, **kwargs):
+    return Synthesizer(graph, library, **kwargs).synthesize(minimize_secondary=False)
+
+
+class TestTransferTypeSemantics:
+    def test_local_chain_pays_no_transfer(self):
+        # A(2) then B(2) on one processor: makespan 4.
+        design = synthesize(chain(), two_proc_library({"A": 2, "B": 2}))
+        assert design.makespan == pytest.approx(4.0)
+
+    def test_remote_chain_pays_transfer_when_forced_apart(self):
+        # Separated: A(2), transfer (1), B(2): makespan 5.
+        design = Synthesizer(
+            chain(), two_proc_library({"A": 2, "B": 2}),
+            constraints=DesignerConstraints().separate_tasks("A", "B"),
+        ).synthesize(minimize_secondary=False)
+        assert design.makespan == pytest.approx(5.0)
+
+    def test_local_delay_charged_on_same_processor(self):
+        # D_CL = 0.5, volume 2 -> local transfer takes 1: 2 + 1 + 2 = 5.
+        library = two_proc_library({"A": 2, "B": 2}, local_delay=0.5)
+        design = synthesize(chain(volume=2.0), library)
+        assert design.makespan == pytest.approx(5.0)
+
+
+class TestFractionalPortSemantics:
+    def test_early_output_availability(self):
+        # f_A = 0.5: A's output exists at t=1 (A runs 0-2).  Forced apart:
+        # transfer 1-2, B starts at 2 (f_R = 0), ends 4.
+        design = Synthesizer(
+            chain(f_available=0.5), two_proc_library({"A": 2, "B": 2}),
+            constraints=DesignerConstraints().separate_tasks("A", "B"),
+        ).synthesize(minimize_secondary=False)
+        assert design.makespan == pytest.approx(4.0)
+
+    def test_late_input_requirement(self):
+        # f_R = 0.5: B may start at t s.t. arrival (3) <= t + 0.5*2.
+        # A: 0-2, transfer 2-3, B starts at 2, ends 4.
+        design = Synthesizer(
+            chain(f_required=0.5), two_proc_library({"A": 2, "B": 2}),
+            constraints=DesignerConstraints().separate_tasks("A", "B"),
+        ).synthesize(minimize_secondary=False)
+        assert design.makespan == pytest.approx(4.0)
+
+    def test_both_fractions_fully_overlap(self):
+        # f_A = 0.5 and f_R = 0.5: transfer 1-2, B needs it by start+1:
+        # B starts at 1, runs 1-3.  Makespan 3 — full pipelining.
+        design = Synthesizer(
+            chain(f_available=0.5, f_required=0.5),
+            two_proc_library({"A": 2, "B": 2}),
+            constraints=DesignerConstraints().separate_tasks("A", "B"),
+        ).synthesize(minimize_secondary=False)
+        assert design.makespan == pytest.approx(3.0)
+
+
+class TestExclusionSemantics:
+    def test_processor_exclusion_serializes(self):
+        # Two independent tasks, one processor in the pool: 2 + 2 = 4.
+        graph = TaskGraph()
+        graph.add_subtask("A")
+        graph.add_subtask("B")
+        ptype = ProcessorType("p", cost=1, exec_times={"A": 2, "B": 2})
+        library = TechnologyLibrary(types=(ptype,), instances_per_type=1,
+                                    remote_delay=1.0)
+        design = synthesize(graph, library)
+        assert design.makespan == pytest.approx(4.0)
+
+    def test_link_exclusion_serializes_transfers(self):
+        # Fork: A feeds B and C (volume 2 each, f_A/f_R traditional).
+        # Force B and C onto the second processor (with A alone on the
+        # first): both transfers share the single A->other link.
+        # A: 0-1; transfers: 1-3 and 3-5; B: 3-5, C: 5-7 (also processor-
+        # serialized).  Makespan 7.
+        graph = TaskGraph()
+        for name in ("A", "B", "C"):
+            graph.add_subtask(name)
+        graph.connect("A", "B", volume=2.0)
+        graph.connect("A", "C", volume=2.0)
+        library = two_proc_library({"A": 1, "B": 2, "C": 2})
+        design = Synthesizer(
+            graph, library,
+            constraints=(DesignerConstraints()
+                         .separate_tasks("A", "B")
+                         .colocate_tasks("B", "C")),
+        ).synthesize(minimize_secondary=False)
+        assert design.makespan == pytest.approx(7.0)
+
+    def test_bus_serializes_across_routes(self):
+        # Three processors; A on 1 feeds B on 2 and C on 3 (volume 2).
+        # Point-to-point: transfers in parallel -> B,C run 3-5: makespan 5.
+        # Bus: transfers serialized 1-3 and 3-5 -> makespan 7.
+        graph = TaskGraph()
+        for name in ("A", "B", "C"):
+            graph.add_subtask(name)
+        graph.connect("A", "B", volume=2.0)
+        graph.connect("A", "C", volume=2.0)
+        ptype = ProcessorType("p", cost=1, exec_times={"A": 1, "B": 2, "C": 2})
+        library = TechnologyLibrary(types=(ptype,), instances_per_type=3,
+                                    link_cost=0.0, remote_delay=1.0)
+        constraints = (DesignerConstraints()
+                       .separate_tasks("A", "B")
+                       .separate_tasks("A", "C")
+                       .separate_tasks("B", "C"))
+        p2p = Synthesizer(graph, library, constraints=constraints).synthesize(
+            minimize_secondary=False)
+        bus = Synthesizer(graph, library, style=InterconnectStyle.BUS,
+                          constraints=constraints).synthesize(
+            minimize_secondary=False)
+        assert p2p.makespan == pytest.approx(5.0)
+        assert bus.makespan == pytest.approx(7.0)
+
+
+class TestCostSemantics:
+    def test_link_cost_counted_per_direction(self):
+        # A->B remote and B->C... build A->B and B->A-style two links via
+        # a diamond: A on p1 feeds B on p2; B feeds C on p1.  Two directed
+        # links must be built: cost = 2 procs + 2 links.
+        graph = TaskGraph()
+        for name in ("A", "B", "C"):
+            graph.add_subtask(name)
+        graph.connect("A", "B")
+        graph.connect("B", "C")
+        ptype = ProcessorType("p", cost=3, exec_times={"A": 1, "B": 1, "C": 1})
+        library = TechnologyLibrary(types=(ptype,), instances_per_type=2,
+                                    link_cost=2.0, remote_delay=1.0)
+        design = Synthesizer(
+            graph, library,
+            constraints=(DesignerConstraints()
+                         .separate_tasks("A", "B")
+                         .colocate_tasks("A", "C")),
+        ).synthesize(minimize_secondary=False)
+        assert len(design.architecture.links) == 2
+        assert design.cost == pytest.approx(3 + 3 + 2 + 2)
+
+    def test_reused_link_charged_once(self):
+        # A feeds B and C, B/C colocated remotely: one link, two transfers.
+        graph = TaskGraph()
+        for name in ("A", "B", "C"):
+            graph.add_subtask(name)
+        graph.connect("A", "B")
+        graph.connect("A", "C")
+        ptype = ProcessorType("p", cost=3, exec_times={"A": 1, "B": 1, "C": 1})
+        library = TechnologyLibrary(types=(ptype,), instances_per_type=2,
+                                    link_cost=2.0, remote_delay=1.0)
+        design = Synthesizer(
+            graph, library,
+            constraints=(DesignerConstraints()
+                         .separate_tasks("A", "B")
+                         .colocate_tasks("B", "C")),
+        ).synthesize()
+        assert len(design.architecture.links) == 1
+        assert design.cost == pytest.approx(3 + 3 + 2)
+
+
+class TestIoOverlapSemantics:
+    def test_overlap_allows_producer_to_continue(self):
+        # A(4) streams its output at f_A = 0.25 (t=1) while continuing to
+        # run; remote B(1) can finish at 1 + 1 + 1 = 3 < A's own end 4.
+        graph = TaskGraph()
+        graph.add_subtask("A")
+        graph.add_subtask("B")
+        graph.connect("A", "B", f_available=0.25)
+        library = two_proc_library({"A": 4, "B": 1})
+        design = Synthesizer(
+            graph, library,
+            constraints=DesignerConstraints().separate_tasks("A", "B"),
+        ).synthesize(minimize_secondary=False)
+        assert design.makespan == pytest.approx(4.0)  # A itself is critical
+        b = design.schedule.execution_of("B")
+        assert b.end == pytest.approx(3.0)

@@ -1,0 +1,66 @@
+"""Tests for the variable catalog and its paper-count accounting."""
+
+import pytest
+
+from repro.core.formulation import build_sos_model
+from repro.core.options import FormulationOptions
+from repro.core.variables import arc_key
+from repro.system.interconnect import InterconnectStyle
+
+
+class TestCounts:
+    def test_example1_timing_count_is_paper_exact(self, ex1_graph, ex1_library):
+        built = build_sos_model(ex1_graph, ex1_library)
+        # 8 subtask vars + 3 arcs x (T_IA, T_CS, T_CE, T_OA) + T_F = 21.
+        assert built.variables.count_timing() == 21
+
+    def test_binary_count_consistent_with_model(self, ex1_graph, ex1_library):
+        built = build_sos_model(ex1_graph, ex1_library)
+        assert built.variables.count_binary() == built.model.stats().num_binary
+
+    def test_timing_count_consistent_with_model(self, ex1_graph, ex1_library):
+        built = build_sos_model(ex1_graph, ex1_library)
+        assert built.variables.count_timing() == built.model.stats().num_continuous
+
+    def test_bus_drops_chi_and_delta_stays(self, ex1_graph, ex1_library):
+        p2p = build_sos_model(ex1_graph, ex1_library)
+        bus = build_sos_model(
+            ex1_graph, ex1_library, FormulationOptions(style=InterconnectStyle.BUS)
+        )
+        assert bus.variables.chi == {}
+        assert len(bus.variables.delta) == len(p2p.variables.delta)
+        assert bus.variables.count_binary() < p2p.variables.count_binary()
+
+    def test_memory_vars_counted_as_timing(self, ex1_graph, ex1_library):
+        built = build_sos_model(
+            ex1_graph, ex1_library,
+            FormulationOptions(memory_model=True, memory_cost_per_unit=0.1),
+        )
+        assert built.variables.memory
+        assert built.variables.count_timing() == built.model.stats().num_continuous - len(
+            built.variables.memory
+        )
+
+
+class TestNaming:
+    def test_variable_names_use_paper_symbols(self, ex1_graph, ex1_library):
+        built = build_sos_model(ex1_graph, ex1_library)
+        names = {var.name for var in built.model.variables}
+        assert "T_SS[S1]" in names
+        assert "T_F" in names
+        assert "sigma[p1a,S1]" in names
+        assert "beta[p3b]" in names
+        assert any(name.startswith("gamma[") for name in names)
+        assert any(name.startswith("alpha[") for name in names)
+        assert any(name.startswith("phi[") for name in names)
+        assert any(name.startswith("chi[") for name in names)
+
+    def test_arc_key_helper(self):
+        assert arc_key("S3", 2) == ("S3", 2)
+
+    def test_sigma_keys_are_processor_task_pairs(self, ex1_graph, ex1_library):
+        built = build_sos_model(ex1_graph, ex1_library)
+        pool = {inst.name for inst in built.pool}
+        tasks = set(ex1_graph.subtask_names)
+        for proc, task in built.variables.sigma:
+            assert proc in pool and task in tasks

@@ -1,0 +1,54 @@
+"""Tests for the weighted (scalarized) objective."""
+
+import pytest
+
+from repro.core.options import FormulationOptions, Objective
+from repro.errors import ModelError
+from repro.synthesis.synthesizer import Synthesizer
+
+
+def weighted_design(graph, library, weight):
+    synth = Synthesizer(
+        graph, library,
+        options=FormulationOptions(objective=Objective.WEIGHTED,
+                                   cost_weight=weight),
+    )
+    return synth.synthesize(objective=Objective.WEIGHTED)
+
+
+class TestWeightedObjective:
+    def test_tiny_weight_recovers_min_makespan(self, ex1_graph, ex1_library):
+        design = weighted_design(ex1_graph, ex1_library, 1e-6)
+        assert design.makespan == pytest.approx(2.5)
+
+    def test_huge_weight_recovers_min_cost(self, ex1_graph, ex1_library):
+        design = weighted_design(ex1_graph, ex1_library, 1e3)
+        assert design.cost == pytest.approx(4.0)  # cheapest system (lone p1)
+
+    def test_intermediate_weight_picks_knee(self, ex1_graph, ex1_library):
+        # Weight 1: candidates (cost, T_F) scored T_F + cost:
+        # (14,2.5)->16.5, (13,3)->16, (7,4)->11, (5,7)->12, (4,17)->21.
+        design = weighted_design(ex1_graph, ex1_library, 1.0)
+        assert (design.cost, design.makespan) == (7.0, 4.0)
+
+    def test_optimum_is_always_non_inferior(self, ex1_graph, ex1_library):
+        front = {(14.0, 2.5), (13.0, 3.0), (7.0, 4.0), (5.0, 7.0), (4.0, 17.0)}
+        for weight in (0.1, 0.5, 2.0, 10.0):
+            design = weighted_design(ex1_graph, ex1_library, weight)
+            assert (design.cost, design.makespan) in front, weight
+
+    def test_designs_validate(self, ex1_graph, ex1_library):
+        design = weighted_design(ex1_graph, ex1_library, 1.0)
+        assert design.violations() == []
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ModelError):
+            FormulationOptions(objective=Objective.WEIGHTED, cost_weight=-1.0)
+
+    def test_weight_sweep_walks_the_front(self, ex1_graph, ex1_library):
+        """Increasing the cost weight never increases the chosen cost."""
+        costs = [
+            weighted_design(ex1_graph, ex1_library, weight).cost
+            for weight in (0.01, 0.3, 1.0, 5.0, 100.0)
+        ]
+        assert costs == sorted(costs, reverse=True)

@@ -1,0 +1,95 @@
+"""Tests for constraint construction and checking."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.milp.constraint import Constraint, Sense, validate_constraint
+from repro.milp.expr import LinExpr, Var
+
+
+def xy():
+    return Var("x", index=0), Var("y", index=1)
+
+
+class TestConstruction:
+    def test_le_from_comparison(self):
+        x, y = xy()
+        constraint = x + y <= 3
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == 3.0
+
+    def test_ge_from_comparison(self):
+        x, _ = xy()
+        constraint = 2 * x >= 1
+        assert constraint.sense is Sense.GE
+
+    def test_eq_from_comparison(self):
+        x, y = xy()
+        constraint = LinExpr.from_term(x) == y
+        assert constraint.sense is Sense.EQ
+        assert constraint.expr.coefficient(y) == -1.0
+        assert constraint.rhs == 0.0
+
+    def test_constant_folded_into_rhs(self):
+        x, _ = xy()
+        constraint = (x + 5) <= 8
+        assert constraint.expr.constant == 0.0
+        assert constraint.rhs == 3.0
+
+    def test_scalar_on_left(self):
+        x, _ = xy()
+        constraint = 3 <= LinExpr.from_term(x)  # python flips to x >= 3
+        assert constraint.sense is Sense.GE
+        assert constraint.rhs == 3.0
+
+    def test_var_le_var(self):
+        x, y = xy()
+        constraint = x <= y
+        assert constraint.expr.coefficient(x) == 1.0
+        assert constraint.expr.coefficient(y) == -1.0
+
+
+class TestChecking:
+    def test_is_satisfied_le(self):
+        x, y = xy()
+        constraint = x + y <= 3
+        assert constraint.is_satisfied({x: 1, y: 2})
+        assert not constraint.is_satisfied({x: 2, y: 2})
+
+    def test_is_satisfied_eq_tolerance(self):
+        x, _ = xy()
+        constraint = LinExpr.from_term(x) == 1
+        assert constraint.is_satisfied({x: 1 + 1e-9})
+        assert not constraint.is_satisfied({x: 1.01})
+
+    def test_violation_magnitude(self):
+        x, _ = xy()
+        le = LinExpr.from_term(x) <= 1
+        ge = LinExpr.from_term(x) >= 4
+        assert le.violation({x: 3}) == pytest.approx(2.0)
+        assert ge.violation({x: 3}) == pytest.approx(1.0)
+        assert le.violation({x: 0.5}) == 0.0
+
+    def test_violation_eq(self):
+        x, _ = xy()
+        eq = LinExpr.from_term(x) == 2
+        assert eq.violation({x: 5}) == pytest.approx(3.0)
+
+
+class TestValidateConstraint:
+    def test_bool_rejected_with_hint(self):
+        with pytest.raises(ModelError, match="chained comparisons"):
+            validate_constraint(True)
+
+    def test_non_constraint_rejected(self):
+        with pytest.raises(ModelError):
+            validate_constraint("x <= 1")
+
+    def test_passthrough(self):
+        x, _ = xy()
+        constraint = x <= 1
+        assert validate_constraint(constraint) is constraint
+
+    def test_repr_contains_sense(self):
+        x, _ = xy()
+        assert "<=" in repr(x <= 1)

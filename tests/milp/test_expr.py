@@ -1,0 +1,166 @@
+"""Tests for linear expressions and variables."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.milp.expr import LinExpr, Var, VarType
+
+
+def make_vars(count=3):
+    return [Var(f"x{i}", index=i) for i in range(count)]
+
+
+class TestVar:
+    def test_binary_bounds_forced(self):
+        var = Var("b", VarType.BINARY, lb=-5, ub=10)
+        assert (var.lb, var.ub) == (0.0, 1.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            Var("x", lb=2, ub=1)
+
+    def test_integral_flag(self):
+        assert Var("b", VarType.BINARY).is_integral
+        assert Var("i", VarType.INTEGER).is_integral
+        assert not Var("c", VarType.CONTINUOUS).is_integral
+
+    def test_default_bounds_nonnegative_unbounded(self):
+        var = Var("x")
+        assert var.lb == 0.0
+        assert math.isinf(var.ub)
+
+    def test_repr_mentions_name(self):
+        assert "x" in repr(Var("x"))
+
+
+class TestLinExprConstruction:
+    def test_from_term(self):
+        x, = make_vars(1)
+        expr = LinExpr.from_term(x, 2.5)
+        assert expr.coefficient(x) == 2.5
+        assert expr.constant == 0.0
+
+    def test_zero_coefficients_dropped(self):
+        x, y, _ = make_vars()
+        expr = LinExpr({x: 0.0, y: 1.0})
+        assert x not in expr.coeffs
+        assert expr.coefficient(x) == 0.0
+
+    def test_non_var_key_rejected(self):
+        with pytest.raises(ModelError):
+            LinExpr({"x": 1.0})  # type: ignore[dict-item]
+
+    def test_sum_of_mixed_terms(self):
+        x, y, _ = make_vars()
+        expr = LinExpr.sum([x, 2 * y, 5, LinExpr({x: 1.0})])
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == 2.0
+        assert expr.constant == 5.0
+
+
+class TestLinExprArithmetic:
+    def test_addition_merges_terms(self):
+        x, y, _ = make_vars()
+        expr = (x + y) + (x - y)
+        assert expr.coefficient(x) == 2.0
+        assert y not in expr.coeffs
+
+    def test_subtraction_and_negation(self):
+        x, y, _ = make_vars()
+        expr = -(x - 2 * y + 3)
+        assert expr.coefficient(x) == -1.0
+        assert expr.coefficient(y) == 2.0
+        assert expr.constant == -3.0
+
+    def test_rsub_scalar(self):
+        x, = make_vars(1)
+        expr = 5 - (2 * x)
+        assert expr.coefficient(x) == -2.0
+        assert expr.constant == 5.0
+
+    def test_scalar_multiplication(self):
+        x, y, _ = make_vars()
+        expr = 3 * (x + 2 * y + 1)
+        assert expr.coefficient(x) == 3.0
+        assert expr.coefficient(y) == 6.0
+        assert expr.constant == 3.0
+
+    def test_multiplying_by_zero_empties(self):
+        x, = make_vars(1)
+        expr = (x + 1) * 0
+        assert expr.is_constant()
+        assert expr.constant == 0.0
+
+    def test_division(self):
+        x, = make_vars(1)
+        expr = (4 * x + 2) / 2
+        assert expr.coefficient(x) == 2.0
+        assert expr.constant == 1.0
+
+    def test_division_by_zero(self):
+        x, = make_vars(1)
+        with pytest.raises(ZeroDivisionError):
+            (x + 1) / 0
+
+    def test_var_times_var_rejected(self):
+        x, y, _ = make_vars()
+        with pytest.raises(ModelError):
+            LinExpr.from_term(x) * LinExpr.from_term(y)  # type: ignore[operator]
+
+    def test_add_unsupported_type_rejected(self):
+        x, = make_vars(1)
+        with pytest.raises(ModelError):
+            x + "banana"  # type: ignore[operator]
+
+    def test_operations_do_not_mutate_operands(self):
+        x, y, _ = make_vars()
+        base = x + y
+        _ = base + x
+        _ = base * 3
+        assert base.coefficient(x) == 1.0
+        assert base.coefficient(y) == 1.0
+
+
+class TestLinExprEvaluation:
+    def test_evaluate(self):
+        x, y, _ = make_vars()
+        expr = 2 * x - y + 7
+        assert expr.evaluate({x: 3, y: 4}) == pytest.approx(9.0)
+
+    def test_evaluate_missing_value(self):
+        x, y, _ = make_vars()
+        with pytest.raises(ModelError):
+            (x + y).evaluate({x: 1})
+
+    def test_copy_is_independent(self):
+        x, = make_vars(1)
+        original = x + 1
+        clone = original.copy()
+        clone._iadd(x)
+        assert original.coefficient(x) == 1.0
+
+
+@given(
+    coeffs=st.lists(st.floats(-10, 10), min_size=1, max_size=5),
+    scale=st.floats(-5, 5),
+    values=st.lists(st.floats(-3, 3), min_size=5, max_size=5),
+)
+def test_linearity_property(coeffs, scale, values):
+    """(scale * expr)(v) == scale * expr(v) for any assignment."""
+    variables = make_vars(5)
+    expr = LinExpr({v: c for v, c in zip(variables, coeffs)}, constant=1.5)
+    assignment = dict(zip(variables, values))
+    direct = (expr * scale).evaluate(assignment)
+    assert direct == pytest.approx(scale * expr.evaluate(assignment), abs=1e-9)
+
+
+@given(values=st.lists(st.floats(-3, 3), min_size=4, max_size=4))
+def test_sum_matches_manual_addition(values):
+    variables = make_vars(4)
+    assignment = dict(zip(variables, values))
+    via_sum = LinExpr.sum(variables).evaluate(assignment)
+    manual = sum(values)
+    assert via_sum == pytest.approx(manual, abs=1e-9)

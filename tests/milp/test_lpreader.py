@@ -1,0 +1,153 @@
+"""Tests for the LP-format reader, including write->read round trips."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.milp.expr import VarType
+from repro.milp.lpreader import read_lp
+from repro.milp.lpwriter import lp_string
+from repro.milp.model import Model
+from repro.solvers.registry import get_solver
+
+
+SAMPLE = """\
+\\ a comment
+Minimize
+ obj: 2 x + 3 y - z
+Subject To
+ cap: x + y <= 10
+ low: x - y >= -2
+ fix: 2 z = 4
+Bounds
+ 0 <= x <= 8
+ y <= 5
+ 1 <= z <= 9
+Binary
+ y
+General
+ z
+End
+"""
+
+
+class TestParsing:
+    def test_sections_parsed(self):
+        model = read_lp(SAMPLE)
+        stats = model.stats()
+        assert stats.num_variables == 3
+        assert stats.num_constraints == 3
+        assert stats.num_binary == 1
+        assert stats.num_integer == 1
+
+    def test_objective_coefficients(self):
+        model = read_lp(SAMPLE)
+        x, y, z = (model.var_by_name(n) for n in ("x", "y", "z"))
+        assert model.objective.coefficient(x) == 2.0
+        assert model.objective.coefficient(z) == -1.0
+
+    def test_bounds_applied(self):
+        model = read_lp(SAMPLE)
+        x = model.var_by_name("x")
+        z = model.var_by_name("z")
+        assert (x.lb, x.ub) == (0.0, 8.0)
+        assert (z.lb, z.ub) == (1.0, 9.0)
+
+    def test_binary_overrides_bounds(self):
+        model = read_lp(SAMPLE)
+        y = model.var_by_name("y")
+        assert y.vtype is VarType.BINARY
+        assert (y.lb, y.ub) == (0.0, 1.0)
+
+    def test_negative_rhs(self):
+        model = read_lp(SAMPLE)
+        row = next(c for c in model.constraints if c.name == "low")
+        assert row.rhs == -2.0
+
+    def test_maximize_negated(self):
+        text = "Maximize\n obj: x\nSubject To\n c: x <= 3\nEnd\n"
+        model = read_lp(text)
+        x = model.var_by_name("x")
+        assert model.objective.coefficient(x) == -1.0
+
+    def test_free_bound(self):
+        text = ("Minimize\n obj: x\nSubject To\n c: x >= -5\n"
+                "Bounds\n x free\nEnd\n")
+        model = read_lp(text)
+        x = model.var_by_name("x")
+        assert math.isinf(x.lb) and x.lb < 0
+
+    def test_missing_objective_rejected(self):
+        with pytest.raises(ModelError, match="no objective"):
+            read_lp("Subject To\n c: x <= 1\nEnd\n")
+
+    def test_unsupported_bound_rejected(self):
+        with pytest.raises(ModelError, match="bound"):
+            read_lp("Minimize\n obj: x\nBounds\n x something 3\nEnd\n")
+
+    def test_text_before_section_rejected(self):
+        with pytest.raises(ModelError, match="before any section"):
+            read_lp("x + y <= 3\nMinimize\n obj: x\nEnd\n")
+
+
+class TestRoundTrip:
+    def assert_equivalent(self, original: Model) -> None:
+        restored = read_lp(lp_string(original))
+        solver = get_solver("highs")
+        first = solver.solve(original)
+        second = solver.solve(restored)
+        assert first.status == second.status
+        if first.status.has_solution:
+            assert first.objective == pytest.approx(second.objective, abs=1e-6)
+
+    def test_simple_milp(self):
+        model = Model()
+        x = model.add_continuous("x", ub=4)
+        y = model.add_binary("y")
+        model.add(x + 2 * y <= 5)
+        model.add(x - y >= 0.5)
+        model.minimize(-x - 3 * y)
+        self.assert_equivalent(model)
+
+    def test_sos_example1_model_round_trips(self, ex1_graph, ex1_library):
+        """The full paper model survives a write->read->solve round trip."""
+        from repro.core.formulation import build_sos_model
+
+        built = build_sos_model(ex1_graph, ex1_library)
+        self.assert_equivalent(built.model)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_random_models_round_trip(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        model = Model()
+        variables = []
+        for index in range(rng.randint(2, 6)):
+            kind = rng.choice(["c", "b", "i"])
+            if kind == "b":
+                variables.append(model.add_binary(f"v{index}"))
+            elif kind == "i":
+                variables.append(
+                    model.add_var(f"v{index}", vtype=VarType.INTEGER, ub=rng.randint(1, 9))
+                )
+            else:
+                variables.append(model.add_continuous(f"v{index}", ub=rng.uniform(1, 9)))
+        for _ in range(rng.randint(1, 5)):
+            expr = sum(
+                rng.randint(-4, 4) * var for var in variables
+            )
+            if hasattr(expr, "coeffs") and expr.coeffs:
+                sense = rng.choice(["le", "ge", "eq"])
+                rhs = rng.randint(-5, 10)
+                if sense == "le":
+                    model.add(expr <= rhs)
+                elif sense == "ge":
+                    model.add(expr >= rhs)
+                else:
+                    model.add(expr == rhs)
+        model.minimize(sum(rng.randint(-3, 3) * var for var in variables))
+        self.assert_equivalent(model)

@@ -1,0 +1,64 @@
+"""Tests for the LP-format writer."""
+
+import pytest
+
+from repro.milp.expr import VarType
+from repro.milp.lpwriter import lp_string
+from repro.milp.model import Model
+
+
+@pytest.fixture
+def model():
+    m = Model("writer")
+    x = m.add_continuous("x", ub=4)
+    y = m.add_binary("y[p1a,S1]")
+    z = m.add_var("z", vtype=VarType.INTEGER, lb=1, ub=9)
+    m.add(x + 2 * y - z <= 5, name="cap")
+    m.add(x - y >= 0, name="order")
+    m.add(2 * z == 4, name="fix")
+    m.minimize(x + y)
+    return m
+
+
+class TestLpString:
+    def test_sections_present(self, model):
+        text = lp_string(model)
+        for section in ("Minimize", "Subject To", "Bounds", "Binary", "General", "End"):
+            assert section in text
+
+    def test_constraint_senses(self, model):
+        text = lp_string(model)
+        assert "cap: x + 2 y_p1a_S1_ - z <= 5" in text.replace("  ", " ")
+        assert ">= 0" in text
+        assert "= 4" in text
+
+    def test_names_sanitized(self, model):
+        text = lp_string(model)
+        assert "y[p1a,S1]" not in text
+        assert "y_p1a_S1_" in text
+
+    def test_bounds_section(self, model):
+        text = lp_string(model)
+        assert "0 <= x <= 4" in text
+        assert "1 <= z <= 9" in text
+
+    def test_default_bounds_omitted(self):
+        m = Model()
+        m.add_var("free_up")
+        m.minimize(m.var_by_name("free_up"))
+        text = lp_string(m)
+        assert "free_up <=" not in text.split("Bounds")[1]
+
+    def test_empty_objective_renders_zero(self):
+        m = Model()
+        m.add_var("x")
+        text = lp_string(m)
+        assert "obj: 0" in text
+
+    def test_collision_disambiguated(self):
+        m = Model()
+        m.add_var("a,b", ub=1)
+        m.add_var("a;b", ub=1)  # both sanitize to a_b
+        text = lp_string(m)
+        assert "a_b_0" in text
+        assert "a_b_1" in text

@@ -1,0 +1,157 @@
+"""Tests for the MILP model container."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.milp.expr import Var, VarType
+from repro.milp.model import Model
+
+
+@pytest.fixture
+def simple_model():
+    model = Model("simple")
+    x = model.add_continuous("x", ub=4)
+    y = model.add_binary("y")
+    model.add(x + 2 * y <= 5, name="cap")
+    model.add(x - y >= 0)
+    model.minimize(-x - 3 * y)
+    return model, x, y
+
+
+class TestVariables:
+    def test_duplicate_name_rejected(self):
+        model = Model()
+        model.add_var("x")
+        with pytest.raises(ModelError, match="duplicate"):
+            model.add_var("x")
+
+    def test_lookup_by_name(self, simple_model):
+        model, x, _ = simple_model
+        assert model.var_by_name("x") is x
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(ModelError, match="no variable"):
+            Model().var_by_name("ghost")
+
+    def test_indices_sequential(self):
+        model = Model()
+        created = [model.add_var(f"v{i}") for i in range(5)]
+        assert [v.index for v in created] == list(range(5))
+
+    def test_add_binary_shorthand(self):
+        model = Model()
+        b = model.add_binary("b")
+        assert b.vtype is VarType.BINARY
+
+
+class TestConstraints:
+    def test_foreign_variable_rejected(self):
+        model_a, model_b = Model("a"), Model("b")
+        x = model_a.add_var("x")
+        with pytest.raises(ModelError, match="does not belong"):
+            model_b.add(x <= 1)
+
+    def test_auto_naming(self):
+        model = Model()
+        x = model.add_var("x")
+        first = model.add(x <= 1)
+        second = model.add(x <= 2)
+        assert first.name != second.name
+
+    def test_add_all_with_prefix(self):
+        model = Model()
+        x = model.add_var("x")
+        added = model.add_all([x <= 1, x <= 2], prefix="lim")
+        assert [c.name for c in added] == ["lim0", "lim1"]
+
+    def test_chained_comparison_rejected(self):
+        model = Model()
+        x = model.add_var("x")
+        with pytest.raises(ModelError):
+            model.add(0 <= x <= 1)  # type: ignore[arg-type]
+
+
+class TestObjective:
+    def test_maximize_negates(self, simple_model):
+        model, x, y = simple_model
+        model.maximize(x + y)
+        assert model.objective.coefficient(x) == -1.0
+
+    def test_objective_value(self, simple_model):
+        model, x, y = simple_model
+        assert model.objective_value({x: 4, y: 0}) == pytest.approx(-4.0)
+
+
+class TestFeasibility:
+    def test_feasible_assignment(self, simple_model):
+        model, x, y = simple_model
+        assert model.is_feasible({x: 3, y: 1})
+
+    def test_bound_violation_reported(self, simple_model):
+        model, x, y = simple_model
+        problems = model.infeasibilities({x: 9, y: 0})
+        assert any("outside" in p for p in problems)
+
+    def test_integrality_violation_reported(self, simple_model):
+        model, x, y = simple_model
+        problems = model.infeasibilities({x: 1, y: 0.5})
+        assert any("not integral" in p for p in problems)
+
+    def test_constraint_violation_reported(self, simple_model):
+        model, x, y = simple_model
+        problems = model.infeasibilities({x: 4, y: 1})
+        assert any("cap" in p for p in problems)
+
+    def test_missing_value_reported(self, simple_model):
+        model, x, _ = simple_model
+        problems = model.infeasibilities({x: 1})
+        assert any("no value" in p for p in problems)
+
+
+class TestStats:
+    def test_counts(self, simple_model):
+        model, _, _ = simple_model
+        stats = model.stats()
+        assert stats.num_variables == 2
+        assert stats.num_binary == 1
+        assert stats.num_continuous == 1
+        assert stats.num_constraints == 2
+        assert stats.num_nonzeros == 4
+
+    def test_str_mentions_counts(self, simple_model):
+        model, _, _ = simple_model
+        assert "2 variables" in str(model.stats())
+
+
+class TestMatrices:
+    def test_shapes_and_senses(self, simple_model):
+        model, x, y = simple_model
+        form = model.to_matrices()
+        assert form.a_ub.shape == (2, 2)  # GE row negated into UB block
+        assert form.a_eq.shape[0] == 0
+        np.testing.assert_allclose(form.c, [-1, -3])
+        assert form.integrality.tolist() == [False, True]
+
+    def test_ge_row_negated(self, simple_model):
+        model, x, y = simple_model
+        form = model.to_matrices()
+        # x - y >= 0 becomes -x + y <= 0.
+        np.testing.assert_allclose(form.a_ub[1], [-1, 1])
+        assert form.b_ub[1] == 0.0
+
+    def test_eq_block(self):
+        model = Model()
+        x = model.add_var("x")
+        model.add(2 * x == 3)
+        form = model.to_matrices()
+        assert form.a_eq.shape == (1, 1)
+        assert form.b_eq[0] == 3.0
+
+    def test_objective_constant_preserved(self):
+        model = Model()
+        x = model.add_var("x")
+        model.minimize(x + 10)
+        assert model.to_matrices().c0 == 10.0

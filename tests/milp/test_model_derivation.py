@@ -1,0 +1,78 @@
+"""Tests for Model.copy() and Model.relaxed()."""
+
+import pytest
+
+from repro.milp.expr import VarType
+from repro.milp.model import Model
+from repro.milp.solution import SolveStatus
+from repro.solvers.registry import get_solver
+
+
+@pytest.fixture
+def milp():
+    model = Model("orig")
+    x = model.add_binary("x")
+    y = model.add_var("y", vtype=VarType.INTEGER, ub=5)
+    z = model.add_continuous("z", ub=2)
+    model.add(3 * x + 2 * y + z <= 7.5, name="cap")
+    model.minimize(-2 * x - y - 0.5 * z)
+    return model
+
+
+class TestCopy:
+    def test_same_solution(self, milp):
+        solver = get_solver("highs")
+        original = solver.solve(milp)
+        clone = solver.solve(milp.copy())
+        assert original.objective == pytest.approx(clone.objective)
+
+    def test_variables_are_fresh_objects(self, milp):
+        clone = milp.copy()
+        assert clone.var_by_name("x") is not milp.var_by_name("x")
+        assert clone.var_by_name("x").vtype is VarType.BINARY
+
+    def test_mutating_copy_leaves_original(self, milp):
+        clone = milp.copy()
+        clone.add(clone.var_by_name("z") <= 0.5)
+        assert len(clone.constraints) == 2
+        assert len(milp.constraints) == 1
+
+    def test_constraint_names_preserved(self, milp):
+        clone = milp.copy()
+        assert clone.constraints[0].name == "cap"
+
+    def test_rename(self, milp):
+        assert milp.copy("fresh").name == "fresh"
+
+
+class TestRelaxed:
+    def test_all_continuous(self, milp):
+        relaxed = milp.relaxed()
+        assert all(v.vtype is VarType.CONTINUOUS for v in relaxed.variables)
+
+    def test_bounds_preserved(self, milp):
+        relaxed = milp.relaxed()
+        x = relaxed.var_by_name("x")
+        assert (x.lb, x.ub) == (0.0, 1.0)
+        y = relaxed.var_by_name("y")
+        assert (y.lb, y.ub) == (0.0, 5.0)
+
+    def test_relaxation_bounds_the_milp(self, milp):
+        solver = get_solver("highs")
+        exact = solver.solve(milp)
+        relaxed = solver.solve(milp.relaxed())
+        assert relaxed.objective <= exact.objective + 1e-9
+
+    def test_original_untouched(self, milp):
+        milp.relaxed()
+        assert milp.var_by_name("x").vtype is VarType.BINARY
+
+    def test_sos_model_relaxation_bound(self, ex1_graph, ex1_library):
+        """LP bound on the paper model: somewhere in (0, 2.5]."""
+        from repro.core.formulation import build_sos_model
+
+        built = build_sos_model(ex1_graph, ex1_library)
+        solver = get_solver("highs")
+        lp = solver.solve(built.model.relaxed())
+        assert lp.status is SolveStatus.OPTIMAL
+        assert 0.0 <= lp.objective <= 2.5 + 1e-9

@@ -1,0 +1,73 @@
+"""Tests for solution objects."""
+
+import math
+
+import pytest
+
+from repro.milp.expr import Var, VarType
+from repro.milp.solution import Solution, SolveStatus, merge_values
+
+
+def binary(name, index=0):
+    return Var(name, VarType.BINARY, index=index)
+
+
+class TestSolveStatus:
+    def test_has_solution(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.UNKNOWN.has_solution
+        assert not SolveStatus.UNBOUNDED.has_solution
+
+
+class TestSolution:
+    def test_value_access(self):
+        x = Var("x")
+        solution = Solution(SolveStatus.OPTIMAL, objective=1.0, values={x: 2.5})
+        assert solution.value(x) == 2.5
+
+    def test_rounded_value_snaps_binaries(self):
+        b = binary("b")
+        solution = Solution(SolveStatus.OPTIMAL, values={b: 0.99999997})
+        assert solution.rounded_value(b) == 1.0
+
+    def test_rounded_value_keeps_fractional_binaries(self):
+        b = binary("b")
+        solution = Solution(SolveStatus.OPTIMAL, values={b: 0.4})
+        assert solution.rounded_value(b) == 0.4
+
+    def test_rounded_value_leaves_continuous(self):
+        x = Var("x")
+        solution = Solution(SolveStatus.OPTIMAL, values={x: 0.99999997})
+        assert solution.rounded_value(x) == 0.99999997
+
+    def test_is_integral(self):
+        b, x = binary("b"), Var("x", index=1)
+        good = Solution(SolveStatus.OPTIMAL, values={b: 1.0, x: 0.5})
+        bad = Solution(SolveStatus.OPTIMAL, values={b: 0.5, x: 0.5})
+        assert good.is_integral()
+        assert not bad.is_integral()
+
+    def test_gap_zero_at_optimality(self):
+        solution = Solution(SolveStatus.OPTIMAL, objective=7.0, best_bound=7.0)
+        assert solution.gap == 0.0
+
+    def test_gap_infinite_without_bound(self):
+        solution = Solution(SolveStatus.FEASIBLE, objective=7.0)
+        assert math.isinf(solution.gap)
+
+    def test_gap_relative(self):
+        solution = Solution(SolveStatus.FEASIBLE, objective=10.0, best_bound=9.0)
+        assert solution.gap == pytest.approx(0.1)
+
+    def test_as_name_dict(self):
+        x = Var("x")
+        solution = Solution(SolveStatus.OPTIMAL, values={x: 3.0})
+        assert solution.as_name_dict() == {"x": 3.0}
+
+
+def test_merge_values_later_wins():
+    x = Var("x")
+    merged = merge_values({x: 1.0}, {x: 2.0})
+    assert merged[x] == 2.0

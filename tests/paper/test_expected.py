@@ -1,0 +1,62 @@
+"""Tests for the transcribed paper values and the comparison machinery."""
+
+import pytest
+
+from repro.paper import expected
+from repro.paper.expected import RowComparison
+
+
+class TestTranscription:
+    def test_table_ii_shape(self):
+        assert len(expected.TABLE_II_POINTS) == 4
+        assert len(expected.TABLE_II_RUNTIMES_S) == 4
+        assert len(expected.TABLE_II_STRUCTURES) == 4
+
+    def test_table_iv_shape(self):
+        assert len(expected.TABLE_IV_POINTS) == 5
+        assert len(expected.TABLE_IV_RUNTIMES_MIN) == 5
+
+    def test_table_v_shape(self):
+        assert len(expected.TABLE_V_POINTS) == 3
+
+    def test_fronts_are_non_inferior(self):
+        from repro.analysis.pareto import is_front
+
+        for table in (expected.TABLE_II_POINTS, expected.TABLE_IV_POINTS,
+                      expected.TABLE_V_POINTS):
+            assert is_front([(float(c), float(p)) for c, p in table])
+
+    def test_costs_match_structures(self):
+        """Every table row's cost equals its processors + links."""
+        type_costs = {"p1": 4, "p2": 5, "p3": 2}
+        cases = (
+            (expected.TABLE_II_POINTS, expected.TABLE_II_STRUCTURES, 1),
+            (expected.TABLE_IV_POINTS, expected.TABLE_IV_STRUCTURES, 1),
+            (expected.TABLE_V_POINTS, expected.TABLE_V_STRUCTURES, 0),
+        )
+        for points, structures, link_cost in cases:
+            for (cost, _), structure in zip(points, structures):
+                processors = sum(type_costs[t] for t in structure["types"])
+                links = structure["links"] * link_cost
+                assert cost == processors + links, structure
+
+    def test_figure2_consistent_with_table_ii(self):
+        assert expected.FIGURE_2["makespan"] == expected.TABLE_II_POINTS[0][1]
+
+    def test_bus_runtime_unit_is_minutes(self):
+        # Sanity: the paper reports "a few hours" per bus design.
+        assert all(30 < r < 200 for r in expected.TABLE_V_RUNTIMES_MIN)
+
+
+class TestRowComparison:
+    def test_match(self):
+        row = RowComparison(14.0, 2.5, 14.0, 2.5, 0.1, 11.0)
+        assert row.matches
+
+    def test_mismatch(self):
+        row = RowComparison(14.0, 2.6, 14.0, 2.5, 0.1, 11.0)
+        assert not row.matches
+
+    def test_extra_row_never_matches(self):
+        row = RowComparison(4.0, 17.0, None, None, 0.1, None)
+        assert not row.matches

@@ -1,0 +1,62 @@
+"""Tests for schedule events."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.schedule.events import ExecutionEvent, TransferEvent
+
+
+class TestExecutionEvent:
+    def test_duration(self):
+        event = ExecutionEvent("S1", "p1a", 1.0, 3.5)
+        assert event.duration == pytest.approx(2.5)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ScheduleError):
+            ExecutionEvent("S1", "p1a", 2.0, 1.0)
+        with pytest.raises(ScheduleError):
+            ExecutionEvent("S1", "p1a", -1.0, 1.0)
+
+    def test_overlap_open_intervals(self):
+        first = ExecutionEvent("S1", "p", 0.0, 2.0)
+        touching = ExecutionEvent("S2", "p", 2.0, 3.0)
+        overlapping = ExecutionEvent("S3", "p", 1.5, 2.5)
+        assert not first.overlaps(touching)
+        assert first.overlaps(overlapping)
+        assert overlapping.overlaps(first)
+
+    def test_zero_duration_never_overlaps(self):
+        instant = ExecutionEvent("S1", "p", 1.0, 1.0)
+        other = ExecutionEvent("S2", "p", 0.0, 2.0)
+        assert not instant.overlaps(other)
+
+
+class TestTransferEvent:
+    def make(self, **kw):
+        defaults = dict(
+            producer="S1", consumer="S3", input_index=1,
+            source="p1a", dest="p3a", start=0.5, end=1.5, remote=True,
+        )
+        defaults.update(kw)
+        return TransferEvent(**defaults)
+
+    def test_label_matches_paper(self):
+        assert self.make(consumer="S3", input_index=2).label == "i[S3,2]"
+
+    def test_route(self):
+        assert self.make().route == ("p1a", "p3a")
+
+    def test_invalid_interval(self):
+        with pytest.raises(ScheduleError):
+            self.make(start=2.0, end=1.0)
+
+    def test_overlap(self):
+        first = self.make(start=0.0, end=1.0)
+        second = self.make(start=1.0, end=2.0, input_index=2)
+        third = self.make(start=0.5, end=1.5, input_index=3)
+        assert not first.overlaps(second)
+        assert first.overlaps(third)
+
+    def test_local_transfer_allowed_same_processor(self):
+        event = self.make(source="p1a", dest="p1a", remote=False, end=0.5)
+        assert not event.remote

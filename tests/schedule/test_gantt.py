@@ -1,0 +1,69 @@
+"""Tests for ASCII Gantt rendering and schedule description."""
+
+import pytest
+
+from repro.schedule.events import ExecutionEvent, TransferEvent
+from repro.schedule.gantt import describe_schedule, render_gantt
+from repro.schedule.schedule import Schedule
+
+
+@pytest.fixture
+def schedule():
+    return Schedule(
+        executions=[
+            ExecutionEvent("S1", "p1a", 0.0, 1.0),
+            ExecutionEvent("S2", "p2a", 0.0, 1.0),
+            ExecutionEvent("S4", "p2a", 1.5, 2.5),
+        ],
+        transfers=[
+            TransferEvent("S1", "S4", 1, "p1a", "p2a", 0.75, 1.75, True),
+        ],
+    )
+
+
+class TestRenderGantt:
+    def test_contains_processor_rows(self, schedule):
+        text = render_gantt(schedule)
+        assert "p1a" in text and "p2a" in text
+
+    def test_contains_task_labels(self, schedule):
+        text = render_gantt(schedule)
+        assert "S1" in text and "S4" in text
+
+    def test_transfer_row_present(self, schedule):
+        text = render_gantt(schedule)
+        assert "p1a->p2a" in text
+
+    def test_transfers_can_be_hidden(self, schedule):
+        text = render_gantt(schedule, show_transfers=False)
+        assert "p1a->p2a" not in text
+
+    def test_empty_schedule(self):
+        assert render_gantt(Schedule()) == "(empty schedule)"
+
+    def test_width_respected(self, schedule):
+        text = render_gantt(schedule, width=40)
+        assert max(len(line) for line in text.splitlines()) <= 40 + 12
+
+    def test_axis_shows_makespan(self, schedule):
+        first_line = render_gantt(schedule).splitlines()[0]
+        assert "2.5" in first_line
+
+    def test_zero_duration_event_renders(self):
+        schedule = Schedule(executions=[ExecutionEvent("S1", "p", 1.0, 1.0),
+                                        ExecutionEvent("S2", "p", 0.0, 2.0)])
+        assert "p" in render_gantt(schedule)
+
+
+class TestDescribeSchedule:
+    def test_order_phrase(self, schedule):
+        text = describe_schedule(schedule)
+        assert "processor p2a performs S2, S4 in that order" in text
+
+    def test_single_task_phrase(self, schedule):
+        text = describe_schedule(schedule)
+        assert "processor p1a performs S1" in text
+
+    def test_transfer_line(self, schedule):
+        text = describe_schedule(schedule)
+        assert "data i[S4,1] transmitted p1a->p2a during [0.75, 1.75]" in text

@@ -1,0 +1,88 @@
+"""Tests for the schedule container."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.schedule.events import ExecutionEvent, TransferEvent
+from repro.schedule.schedule import Schedule
+
+
+@pytest.fixture
+def figure2_schedule():
+    """The paper's Figure 2 schedule (Example 1 design 1)."""
+    return Schedule(
+        executions=[
+            ExecutionEvent("S1", "p1a", 0.0, 1.0),
+            ExecutionEvent("S2", "p2a", 0.0, 1.0),
+            ExecutionEvent("S4", "p2a", 1.5, 2.5),
+            ExecutionEvent("S3", "p3a", 1.25, 2.25),
+        ],
+        transfers=[
+            TransferEvent("S1", "S3", 1, "p1a", "p3a", 0.5, 1.5, True),
+            TransferEvent("S1", "S4", 1, "p1a", "p2a", 0.75, 1.75, True),
+            TransferEvent("S2", "S3", 2, "p2a", "p3a", 0.5, 1.5, True),
+        ],
+    )
+
+
+class TestQueries:
+    def test_makespan(self, figure2_schedule):
+        assert figure2_schedule.makespan == pytest.approx(2.5)
+
+    def test_execution_of(self, figure2_schedule):
+        assert figure2_schedule.execution_of("S3").processor == "p3a"
+        with pytest.raises(ScheduleError):
+            figure2_schedule.execution_of("S9")
+
+    def test_transfer_into(self, figure2_schedule):
+        transfer = figure2_schedule.transfer_into("S3", 2)
+        assert transfer.producer == "S2"
+        with pytest.raises(ScheduleError):
+            figure2_schedule.transfer_into("S3", 7)
+
+    def test_executions_on_sorted(self, figure2_schedule):
+        assert figure2_schedule.task_order_on("p2a") == ["S2", "S4"]
+
+    def test_processors(self, figure2_schedule):
+        assert set(figure2_schedule.processors()) == {"p1a", "p2a", "p3a"}
+
+    def test_routes(self, figure2_schedule):
+        assert set(figure2_schedule.routes()) == {
+            ("p1a", "p3a"), ("p1a", "p2a"), ("p2a", "p3a"),
+        }
+
+    def test_transfers_on_route(self, figure2_schedule):
+        events = figure2_schedule.transfers_on_route("p1a", "p3a")
+        assert [e.label for e in events] == ["i[S3,1]"]
+
+    def test_remote_transfers_sorted(self, figure2_schedule):
+        starts = [t.start for t in figure2_schedule.remote_transfers()]
+        assert starts == sorted(starts)
+
+    def test_busy_time_and_utilization(self, figure2_schedule):
+        assert figure2_schedule.busy_time("p2a") == pytest.approx(2.0)
+        assert figure2_schedule.utilization("p2a") == pytest.approx(0.8)
+
+    def test_empty_schedule(self):
+        schedule = Schedule()
+        assert schedule.makespan == 0.0
+        assert schedule.utilization("p") == 0.0
+
+    def test_has_task(self, figure2_schedule):
+        assert figure2_schedule.has_task("S1")
+        assert not figure2_schedule.has_task("S9")
+
+
+class TestSerialization:
+    def test_round_trip(self, figure2_schedule):
+        restored = Schedule.from_dict(figure2_schedule.to_dict())
+        assert restored.makespan == figure2_schedule.makespan
+        assert len(restored.transfers) == 3
+        assert restored.execution_of("S4").start == pytest.approx(1.5)
+
+    def test_malformed_document(self):
+        with pytest.raises(ScheduleError):
+            Schedule.from_dict({"executions": [{"task": "S1"}], "transfers": []})
+
+    def test_repr(self, figure2_schedule):
+        assert "makespan=2.5" in repr(figure2_schedule)

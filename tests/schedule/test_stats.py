@@ -1,0 +1,112 @@
+"""Tests for schedule analytics (utilization, slack, critical path)."""
+
+import pytest
+
+from repro.schedule.stats import (
+    communication_summary,
+    critical_events,
+    critical_path,
+    utilization_report,
+)
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.examples import example1_library, example2_library
+from repro.taskgraph.examples import example1, example2
+
+
+@pytest.fixture(scope="module")
+def design1():
+    return Synthesizer(example1(), example1_library()).synthesize()
+
+
+@pytest.fixture(scope="module")
+def uniprocessor():
+    return Synthesizer(example1(), example1_library()).synthesize(cost_cap=5)
+
+
+class TestUtilization:
+    def test_processors_listed_first(self, design1):
+        report = utilization_report(design1.schedule)
+        kinds = [usage.kind for usage in report]
+        assert kinds == sorted(kinds, key=lambda k: k != "processor")
+
+    def test_utilization_in_unit_range(self, design1):
+        for usage in utilization_report(design1.schedule):
+            assert 0.0 <= usage.utilization <= 1.0 + 1e-9
+
+    def test_uniprocessor_fully_busy(self, uniprocessor):
+        report = utilization_report(uniprocessor.schedule)
+        processor = next(u for u in report if u.kind == "processor")
+        assert processor.utilization == pytest.approx(1.0)
+        assert processor.events == 4
+
+    def test_link_usage_counted(self, design1):
+        report = utilization_report(design1.schedule)
+        links = [u for u in report if u.kind == "link"]
+        assert len(links) == 3
+        assert all(link.busy == pytest.approx(1.0) for link in links)
+
+
+class TestCommunicationSummary:
+    def test_design1_counts(self, design1):
+        summary = communication_summary(design1.schedule)
+        assert summary["remote_transfers"] == 3.0
+        assert summary["local_transfers"] == 0.0
+        assert summary["remote_volume"] == pytest.approx(3.0)
+        assert summary["routes"] == 3.0
+
+    def test_uniprocessor_all_local(self, uniprocessor):
+        summary = communication_summary(uniprocessor.schedule)
+        assert summary["remote_transfers"] == 0.0
+        assert summary["local_transfers"] == 3.0
+
+
+class TestSlack:
+    def test_something_is_critical(self, design1):
+        events = critical_events(example1(), example1_library(), design1.schedule)
+        assert any(e.critical for e in events)
+
+    def test_makespan_defining_task_is_critical(self, design1):
+        events = {e.label: e for e in critical_events(
+            example1(), example1_library(), design1.schedule)}
+        last_task = max(
+            design1.schedule.executions, key=lambda e: e.end
+        ).task
+        assert events[last_task].critical
+
+    def test_slacks_nonnegative(self, design1):
+        for event in critical_events(example1(), example1_library(),
+                                     design1.schedule):
+            assert event.slack >= 0.0
+
+    def test_uniprocessor_chain_all_critical_executions(self, uniprocessor):
+        """Back-to-back serial executions have no room to slip."""
+        events = critical_events(example1(), example1_library(),
+                                 uniprocessor.schedule)
+        executions = [e for e in events if e.kind == "execution"]
+        assert all(e.critical for e in executions)
+
+    def test_slipping_by_slack_is_safe(self, design1):
+        """Growing any noncritical event's end by its slack keeps makespan."""
+        events = critical_events(example1(), example1_library(),
+                                 design1.schedule)
+        noncritical = [e for e in events if not e.critical]
+        for event in noncritical:
+            assert event.end + event.slack <= design1.makespan + 1e-6
+
+
+class TestCriticalPath:
+    def test_path_ordered_by_start(self, design1):
+        path = critical_path(example1(), example1_library(), design1.schedule)
+        events = critical_events(example1(), example1_library(), design1.schedule)
+        starts = {e.label: e.start for e in events}
+        assert [starts[label] for label in path] == sorted(
+            starts[label] for label in path
+        )
+
+    def test_example2_design(self):
+        design = Synthesizer(example2(), example2_library()).synthesize()
+        path = critical_path(example2(), example2_library(), design.schedule)
+        assert path, "a makespan-defining chain must exist"
+        # The chain ends at a sink of the realized schedule.
+        last_exec = max(design.schedule.executions, key=lambda e: e.end)
+        assert last_exec.task in path

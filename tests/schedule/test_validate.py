@@ -1,0 +1,191 @@
+"""Tests for the independent schedule validator.
+
+Each test perturbs one aspect of a known-good schedule and checks the
+validator flags exactly the right constraint family.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.schedule.events import ExecutionEvent, TransferEvent
+from repro.schedule.schedule import Schedule
+from repro.schedule.validate import check_schedule, validate_schedule
+from repro.errors import ValidationError
+from repro.system.architecture import Architecture, Link
+from repro.system.examples import example1_library
+from repro.system.interconnect import InterconnectStyle
+from repro.taskgraph.examples import example1
+
+
+@pytest.fixture
+def library():
+    return example1_library()
+
+
+@pytest.fixture
+def graph():
+    return example1()
+
+
+def good_schedule():
+    """A hand-verified optimal schedule for Example 1 design 1 (Figure 2)."""
+    return Schedule(
+        executions=[
+            ExecutionEvent("S1", "p1a", 0.0, 1.0),
+            ExecutionEvent("S2", "p2a", 0.0, 1.0),
+            ExecutionEvent("S4", "p2a", 1.5, 2.5),
+            ExecutionEvent("S3", "p3a", 1.25, 2.25),
+        ],
+        transfers=[
+            TransferEvent("S1", "S3", 1, "p1a", "p3a", 0.5, 1.5, True),
+            TransferEvent("S1", "S4", 1, "p1a", "p2a", 0.75, 1.75, True),
+            TransferEvent("S2", "S3", 2, "p2a", "p3a", 0.5, 1.5, True),
+        ],
+    )
+
+
+def architecture(library):
+    pool = {inst.name: inst for inst in library.instances()}
+    return Architecture(
+        processors=[pool["p1a"], pool["p2a"], pool["p3a"]],
+        links=[Link("p1a", "p3a"), Link("p1a", "p2a"), Link("p2a", "p3a")],
+        library=library,
+    )
+
+
+def mutate_execution(schedule, task, **changes):
+    schedule.executions = [
+        dataclasses.replace(e, **changes) if e.task == task else e
+        for e in schedule.executions
+    ]
+    return schedule
+
+
+def mutate_transfer(schedule, label, **changes):
+    schedule.transfers = [
+        dataclasses.replace(t, **changes) if t.label == label else t
+        for t in schedule.transfers
+    ]
+    return schedule
+
+
+class TestGoodSchedule:
+    def test_valid(self, graph, library):
+        problems = validate_schedule(graph, library, good_schedule(),
+                                     architecture(library))
+        assert problems == []
+
+    def test_check_does_not_raise(self, graph, library):
+        check_schedule(graph, library, good_schedule(), architecture(library))
+
+
+class TestViolations:
+    def test_missing_execution(self, graph, library):
+        schedule = good_schedule()
+        schedule.executions = schedule.executions[:-1]
+        problems = validate_schedule(graph, library, schedule)
+        assert any("3.3.1" in p and "never executed" in p for p in problems)
+
+    def test_duplicate_execution(self, graph, library):
+        schedule = good_schedule()
+        schedule.executions.append(ExecutionEvent("S1", "p1b", 5.0, 6.0))
+        problems = validate_schedule(graph, library, schedule)
+        assert any("executed twice" in p for p in problems)
+
+    def test_incapable_processor(self, graph, library):
+        schedule = mutate_execution(good_schedule(), "S1", processor="p3a",
+                                    start=0.0, end=0.0)
+        problems = validate_schedule(graph, library, schedule)
+        assert any("cannot execute" in p for p in problems)
+
+    def test_wrong_duration(self, graph, library):
+        schedule = mutate_execution(good_schedule(), "S1", end=1.5)
+        problems = validate_schedule(graph, library, schedule)
+        assert any("3.3.6" in p for p in problems)
+
+    def test_wrong_transfer_type(self, graph, library):
+        schedule = mutate_transfer(good_schedule(), "i[S3,1]", remote=False,
+                                   end=0.5)
+        problems = validate_schedule(graph, library, schedule)
+        assert any("3.3.2" in p for p in problems)
+
+    def test_transfer_before_output_available(self, graph, library):
+        # o[S1,1] is available at 0.5; start the transfer at 0.2.
+        schedule = mutate_transfer(good_schedule(), "i[S3,1]", start=0.2, end=1.2)
+        problems = validate_schedule(graph, library, schedule)
+        assert any("3.3.7" in p for p in problems)
+
+    def test_input_misses_deadline(self, graph, library):
+        # i[S3,1] must arrive by T_SS + 0.25*dur = 1.5; arrive at 2.0.
+        schedule = mutate_transfer(good_schedule(), "i[S3,1]", start=1.0, end=2.0)
+        problems = validate_schedule(graph, library, schedule)
+        assert any("3.3.5" in p for p in problems)
+
+    def test_wrong_transfer_duration(self, graph, library):
+        schedule = mutate_transfer(good_schedule(), "i[S3,1]", end=2.0)
+        problems = validate_schedule(graph, library, schedule)
+        # Duration 1.5 != D_CR * V = 1 (and the late arrival also fires).
+        assert any("3.3.8" in p for p in problems)
+
+    def test_processor_overlap(self, graph, library):
+        schedule = mutate_execution(good_schedule(), "S4", start=0.5, end=1.5)
+        problems = validate_schedule(graph, library, schedule)
+        assert any("3.3.9" in p for p in problems)
+
+    def test_link_overlap(self, graph, library):
+        # Put i[S3,2] on the same link as i[S3,1] at the same time.
+        schedule = mutate_transfer(good_schedule(), "i[S3,2]", source="p1a")
+        # Also remap S2 onto p1a so endpoints stay consistent.
+        schedule = mutate_execution(schedule, "S2", processor="p1a")
+        problems = validate_schedule(graph, library, schedule)
+        assert any("3.3.10" in p for p in problems)
+
+    def test_missing_transfer_event(self, graph, library):
+        schedule = good_schedule()
+        schedule.transfers = schedule.transfers[1:]
+        problems = validate_schedule(graph, library, schedule)
+        assert any("missing transfer" in p for p in problems)
+
+    def test_transfer_endpoint_mismatch(self, graph, library):
+        schedule = mutate_transfer(good_schedule(), "i[S3,1]", source="p2a")
+        problems = validate_schedule(graph, library, schedule)
+        assert any("leaves" in p for p in problems)
+
+    def test_unbought_processor(self, graph, library):
+        pool = {inst.name: inst for inst in library.instances()}
+        partial = Architecture(
+            processors=[pool["p1a"], pool["p2a"]],
+            links=[Link("p1a", "p2a")],
+            library=library,
+        )
+        problems = validate_schedule(graph, library, good_schedule(), partial)
+        assert any("not bought" in p for p in problems)
+
+    def test_missing_link(self, graph, library):
+        pool = {inst.name: inst for inst in library.instances()}
+        sparse = Architecture(
+            processors=[pool["p1a"], pool["p2a"], pool["p3a"]],
+            links=[Link("p1a", "p3a")],
+            library=library,
+        )
+        problems = validate_schedule(graph, library, good_schedule(), sparse)
+        assert any("3.3.13" in p for p in problems)
+
+    def test_check_raises_with_all_problems(self, graph, library):
+        schedule = mutate_execution(good_schedule(), "S1", end=1.5)
+        with pytest.raises(ValidationError, match="3.3.6"):
+            check_schedule(graph, library, schedule)
+
+
+class TestBusSemantics:
+    def test_bus_overlap_detected(self, graph, library):
+        # i[S3,1] (p1a->p3a) and i[S3,2] (p2a->p3a) overlap in [0.5, 1.5]:
+        # fine point-to-point, a violation on a shared bus.
+        schedule = good_schedule()
+        p2p_problems = validate_schedule(graph, library, schedule,
+                                         style=InterconnectStyle.POINT_TO_POINT)
+        bus_problems = validate_schedule(graph, library, schedule,
+                                         style=InterconnectStyle.BUS)
+        assert not any("3.3.10" in p for p in p2p_problems)
+        assert any("3.3.10" in p and "bus" in p for p in bus_problems)

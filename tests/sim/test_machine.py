@@ -1,0 +1,105 @@
+"""Tests for resource timelines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.machine import Timeline
+
+
+class TestEarliestSlot:
+    def test_empty_timeline(self):
+        assert Timeline().earliest_slot(2.0, not_before=1.5) == 1.5
+
+    def test_after_busy_interval(self):
+        timeline = Timeline()
+        timeline.reserve(0.0, 2.0)
+        assert timeline.earliest_slot(1.0) == 2.0
+
+    def test_insertion_into_gap(self):
+        timeline = Timeline()
+        timeline.reserve(0.0, 1.0)
+        timeline.reserve(3.0, 1.0)
+        assert timeline.earliest_slot(2.0) == 1.0
+        assert timeline.earliest_slot(2.5) == 4.0  # gap too small
+
+    def test_insertion_disabled(self):
+        timeline = Timeline()
+        timeline.reserve(0.0, 1.0)
+        timeline.reserve(3.0, 1.0)
+        assert timeline.earliest_slot(1.0, allow_insertion=False) == 4.0
+
+    def test_not_before_inside_gap(self):
+        timeline = Timeline()
+        timeline.reserve(0.0, 1.0)
+        timeline.reserve(4.0, 1.0)
+        assert timeline.earliest_slot(1.0, not_before=2.0) == 2.0
+
+    def test_zero_duration(self):
+        timeline = Timeline()
+        timeline.reserve(0.0, 2.0)
+        assert timeline.earliest_slot(0.0, not_before=1.0) <= 2.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeline().earliest_slot(-1.0)
+
+
+class TestReserve:
+    def test_overlap_rejected(self):
+        timeline = Timeline("link")
+        timeline.reserve(0.0, 2.0)
+        with pytest.raises(SimulationError, match="overlaps"):
+            timeline.reserve(1.0, 2.0)
+
+    def test_touching_allowed(self):
+        timeline = Timeline()
+        timeline.reserve(0.0, 2.0)
+        timeline.reserve(2.0, 1.0)
+        assert len(timeline.intervals) == 2
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeline().reserve(-1.0, 1.0)
+
+    def test_zero_duration_not_stored(self):
+        timeline = Timeline()
+        timeline.reserve(1.0, 0.0)
+        assert timeline.intervals == ()
+
+    def test_busy_until(self):
+        timeline = Timeline()
+        assert timeline.busy_until() == 0.0
+        timeline.reserve(1.0, 2.0)
+        assert timeline.busy_until() == 3.0
+
+    def test_release_after(self):
+        timeline = Timeline()
+        timeline.reserve(0.0, 1.0)
+        timeline.reserve(2.0, 1.0)
+        timeline.release_after(1.5)
+        assert timeline.intervals == ((0.0, 1.0),)
+
+    def test_copy_independent(self):
+        timeline = Timeline("a")
+        timeline.reserve(0.0, 1.0)
+        clone = timeline.copy()
+        clone.reserve(2.0, 1.0)
+        assert len(timeline.intervals) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    requests=st.lists(
+        st.tuples(st.floats(0, 20), st.floats(0.1, 3)), min_size=1, max_size=12
+    )
+)
+def test_earliest_slot_reservations_never_overlap(requests):
+    """Reserving every earliest slot in sequence keeps intervals disjoint."""
+    timeline = Timeline()
+    for not_before, duration in requests:
+        start = timeline.earliest_slot(duration, not_before)
+        timeline.reserve(start, duration)  # must never raise
+    intervals = sorted(timeline.intervals)
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2 + 1e-9

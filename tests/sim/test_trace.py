@@ -1,0 +1,67 @@
+"""Tests for schedule traces."""
+
+import pytest
+
+from repro.schedule.events import ExecutionEvent, TransferEvent
+from repro.schedule.schedule import Schedule
+from repro.sim.trace import format_trace, trace_schedule
+
+
+@pytest.fixture
+def schedule():
+    return Schedule(
+        executions=[
+            ExecutionEvent("S1", "p1a", 0.0, 1.0),
+            ExecutionEvent("S2", "p2a", 1.5, 2.5),
+        ],
+        transfers=[
+            TransferEvent("S1", "S2", 1, "p1a", "p2a", 1.0, 1.5, True),
+            TransferEvent("S1", "S1x", 2, "p1a", "p1a", 1.0, 1.0, False),
+        ],
+    )
+
+
+class TestTraceSchedule:
+    def test_two_records_per_event(self, schedule):
+        records = trace_schedule(schedule)
+        assert len(records) == 8
+
+    def test_time_ordered(self, schedule):
+        times = [r.time for r in trace_schedule(schedule)]
+        assert times == sorted(times)
+
+    def test_ends_before_starts_at_same_time(self, schedule):
+        records = [r for r in trace_schedule(schedule) if r.time == 1.0]
+        actions = [r.action for r in records]
+        assert actions.index("end") < actions.index("start")
+
+    def test_local_transfer_resource(self, schedule):
+        records = trace_schedule(schedule)
+        local = [r for r in records if r.label == "i[S1x,2]"]
+        assert all(r.resource == "local" for r in local)
+
+    def test_remote_transfer_resource(self, schedule):
+        records = trace_schedule(schedule)
+        remote = [r for r in records if r.label == "i[S2,1]"]
+        assert all(r.resource == "p1a->p2a" for r in remote)
+
+
+class TestFormatTrace:
+    def test_one_line_per_record(self, schedule):
+        text = format_trace(schedule)
+        assert len(text.splitlines()) == 8
+
+    def test_readable_fields(self, schedule):
+        text = format_trace(schedule)
+        assert "t=0" in text
+        assert "execution" in text and "transfer" in text
+
+    def test_synthesized_design_traces(self, ex1_graph, ex1_library):
+        from repro.synthesis.synthesizer import Synthesizer
+
+        design = Synthesizer(ex1_graph, ex1_library).synthesize()
+        records = trace_schedule(design.schedule)
+        # 4 executions + 3 transfers = 14 records; first at t=0, last at 2.5.
+        assert len(records) == 14
+        assert records[0].time == 0.0
+        assert records[-1].time == pytest.approx(2.5)

@@ -1,0 +1,145 @@
+"""Tests for the from-scratch branch-and-bound MILP solver ("Bozo"),
+including agreement property tests against HiGHS."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.milp.expr import VarType
+from repro.milp.model import Model
+from repro.milp.solution import SolveStatus
+from repro.solvers.base import SolverOptions
+from repro.solvers.bozo import BozoSolver
+from repro.solvers.highs import HighsSolver
+
+
+def knapsack_model(weights, values, capacity):
+    model = Model("knapsack")
+    xs = [model.add_binary(f"x{i}") for i in range(len(weights))]
+    model.add(sum(w * x for w, x in zip(weights, xs)) <= capacity)
+    model.maximize(sum(v * x for v, x in zip(values, xs)))
+    return model, xs
+
+
+class TestBasics:
+    def test_knapsack_optimum(self):
+        model, xs = knapsack_model([3, 4, 5, 8, 9, 2], [2, 3, 4, 6, 7, 1], 13)
+        solution = BozoSolver().solve(model)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert -solution.objective == pytest.approx(10.0)
+
+    def test_pure_lp_needs_no_branching(self):
+        model = Model()
+        x = model.add_continuous("x", ub=3)
+        model.minimize(-x)
+        solution = BozoSolver().solve(model)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-3.0)
+        assert solution.iterations == 1  # a single node
+
+    def test_general_integer_variable(self):
+        model = Model()
+        x = model.add_var("x", vtype=VarType.INTEGER, ub=10)
+        model.add(2 * x <= 7)
+        model.minimize(-x)
+        solution = BozoSolver().solve(model)
+        assert solution.values[x] == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add(x >= 0.4)
+        model.add(x <= 0.6)  # no integer point
+        solution = BozoSolver().solve(model)
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        model = Model()
+        x = model.add_continuous("x")
+        model.minimize(-x)
+        solution = BozoSolver().solve(model)
+        assert solution.status is SolveStatus.UNBOUNDED
+
+    def test_equality_with_binaries(self):
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(4)]
+        model.add(sum(xs) == 2)
+        model.minimize(xs[0] + 2 * xs[1] + 3 * xs[2] + 4 * xs[3])
+        solution = BozoSolver().solve(model)
+        assert solution.objective == pytest.approx(3.0)
+
+    def test_solution_is_integral(self):
+        model, xs = knapsack_model([2, 3, 4], [1, 2, 3], 5)
+        solution = BozoSolver().solve(model)
+        assert solution.is_integral()
+
+    def test_best_bound_matches_at_optimality(self):
+        model, _ = knapsack_model([2, 3, 4], [1, 2, 3], 5)
+        solution = BozoSolver().solve(model)
+        assert solution.best_bound == pytest.approx(solution.objective)
+
+
+class TestOptions:
+    def test_depth_first_matches_best_first(self):
+        for selection in ("best_first", "depth_first"):
+            model, _ = knapsack_model([3, 4, 5, 8, 9, 2], [2, 3, 4, 6, 7, 1], 13)
+            options = SolverOptions(node_selection=selection)
+            solution = BozoSolver(options).solve(model)
+            assert -solution.objective == pytest.approx(10.0), selection
+
+    def test_pseudocost_branching_matches(self):
+        model, _ = knapsack_model([5, 7, 4, 3, 9], [4, 6, 3, 2, 8], 14)
+        options = SolverOptions(branching="pseudocost")
+        solution = BozoSolver(options).solve(model)
+        reference = BozoSolver().solve(knapsack_model([5, 7, 4, 3, 9], [4, 6, 3, 2, 8], 14)[0])
+        assert solution.objective == pytest.approx(reference.objective)
+
+    def test_node_limit_yields_feasible_or_unknown(self):
+        model, _ = knapsack_model(list(range(2, 12)), list(range(1, 11)), 20)
+        options = SolverOptions(node_limit=2)
+        solution = BozoSolver(options).solve(model)
+        assert solution.status in (
+            SolveStatus.FEASIBLE, SolveStatus.UNKNOWN, SolveStatus.OPTIMAL
+        )
+
+    def test_time_limit_zero(self):
+        model, _ = knapsack_model([2, 3], [1, 2], 4)
+        options = SolverOptions(time_limit=0.0)
+        solution = BozoSolver(options).solve(model)
+        # Either it finished the root before the clock check, or it bailed.
+        assert solution.status in (
+            SolveStatus.OPTIMAL, SolveStatus.FEASIBLE, SolveStatus.UNKNOWN
+        )
+
+
+@st.composite
+def random_milp(draw):
+    n = draw(st.integers(2, 6))
+    weights = draw(st.lists(st.integers(1, 9), min_size=n, max_size=n))
+    costs = draw(st.lists(st.integers(-6, 6), min_size=n, max_size=n))
+    capacity = draw(st.integers(0, sum(weights)))
+    cover = draw(st.integers(0, n))
+    return weights, costs, capacity, cover
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_milp())
+def test_agrees_with_highs_on_random_milps(problem):
+    """Optimal objectives of the two independent MILP solvers must match."""
+    weights, costs, capacity, cover = problem
+
+    def build():
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(len(weights))]
+        y = model.add_continuous("y", ub=5)
+        model.add(sum(w * x for w, x in zip(weights, xs)) + y <= capacity)
+        model.add(sum(xs) >= cover)
+        model.minimize(sum(c * x for c, x in zip(costs, xs)) - 0.25 * y)
+        return model
+
+    ours = BozoSolver().solve(build())
+    reference = HighsSolver().solve(build())
+    assert ours.status == reference.status
+    if ours.status is SolveStatus.OPTIMAL:
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-6)

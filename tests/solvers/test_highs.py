@@ -1,0 +1,78 @@
+"""Tests for the scipy/HiGHS backend."""
+
+import math
+
+import pytest
+
+from repro.milp.expr import VarType
+from repro.milp.model import Model
+from repro.milp.solution import SolveStatus
+from repro.solvers.base import SolverOptions
+from repro.solvers.highs import HighsSolver
+
+
+class TestHighs:
+    def test_simple_milp(self):
+        model = Model()
+        x = model.add_binary("x")
+        y = model.add_continuous("y", ub=2)
+        model.add(x + y <= 2.5)
+        model.minimize(-3 * x - y)
+        solution = HighsSolver().solve(model)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-4.5)
+        assert solution.values[x] == 1.0
+
+    def test_infeasible(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add(x >= 2)
+        solution = HighsSolver().solve(model)
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    def test_binaries_rounded(self):
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(3)]
+        model.add(sum(xs) >= 2)
+        model.minimize(sum(xs))
+        solution = HighsSolver().solve(model)
+        assert all(solution.values[x] in (0.0, 1.0) for x in xs)
+
+    def test_equality_constraints(self):
+        model = Model()
+        x = model.add_continuous("x", ub=10)
+        y = model.add_continuous("y", ub=10)
+        model.add(x + y == 7)
+        model.minimize(x)
+        solution = HighsSolver().solve(model)
+        assert solution.values[x] == pytest.approx(0.0, abs=1e-7)
+
+    def test_objective_constant(self):
+        model = Model()
+        x = model.add_continuous("x", ub=1)
+        model.minimize(x + 100)
+        solution = HighsSolver().solve(model)
+        assert solution.objective == pytest.approx(100.0)
+
+    def test_general_integer(self):
+        model = Model()
+        x = model.add_var("x", vtype=VarType.INTEGER, ub=100)
+        model.add(3 * x <= 10)
+        model.minimize(-x)
+        solution = HighsSolver().solve(model)
+        assert solution.values[x] == pytest.approx(3.0)
+
+    def test_reports_solver_name(self):
+        model = Model()
+        model.add_var("x", ub=1)
+        model.minimize(0)
+        solution = HighsSolver().solve(model)
+        assert solution.solver_name == "highs"
+
+    def test_unconstrained_model(self):
+        model = Model()
+        x = model.add_continuous("x", ub=5)
+        model.minimize(x)
+        solution = HighsSolver().solve(model)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(0.0)

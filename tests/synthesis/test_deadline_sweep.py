@@ -1,0 +1,37 @@
+"""Tests for the deadline-axis Pareto sweep (dual of the cost-cap sweep)."""
+
+import pytest
+
+from repro.synthesis.synthesizer import Synthesizer
+
+
+@pytest.fixture(scope="module")
+def synth():
+    from repro.system.examples import example1_library
+    from repro.taskgraph.examples import example1
+
+    return Synthesizer(example1(), example1_library())
+
+
+class TestDeadlineSweep:
+    def test_finds_the_same_front_as_cost_sweep(self, synth):
+        by_cost = {(d.cost, d.makespan) for d in synth.pareto_sweep()}
+        by_deadline = {(d.cost, d.makespan) for d in synth.pareto_sweep_by_deadline()}
+        assert by_cost == by_deadline
+
+    def test_cheapest_first(self, synth):
+        front = synth.pareto_sweep_by_deadline()
+        costs = [d.cost for d in front]
+        assert costs == sorted(costs)
+
+    def test_strictly_monotone(self, synth):
+        front = synth.pareto_sweep_by_deadline()
+        for cheaper, pricier in zip(front, front[1:]):
+            assert cheaper.makespan > pricier.makespan
+            assert cheaper.cost < pricier.cost
+
+    def test_max_designs(self, synth):
+        assert len(synth.pareto_sweep_by_deadline(max_designs=2)) == 2
+
+    def test_all_valid(self, synth):
+        assert all(d.violations() == [] for d in synth.pareto_sweep_by_deadline())

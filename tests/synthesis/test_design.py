@@ -1,0 +1,71 @@
+"""Unit tests for the Design result object."""
+
+import pytest
+
+from repro.synthesis.synthesizer import Synthesizer
+
+
+@pytest.fixture(scope="module")
+def designs():
+    from repro.system.examples import example1_library
+    from repro.taskgraph.examples import example1
+
+    synth = Synthesizer(example1(), example1_library())
+    return synth.pareto_sweep()
+
+
+class TestDominates:
+    def test_cheaper_and_faster_dominates(self, designs):
+        fastest, *_, cheapest = designs
+        assert not fastest.dominates(cheapest)
+        assert not cheapest.dominates(fastest)
+
+    def test_front_is_mutually_non_dominating(self, designs):
+        for first in designs:
+            for second in designs:
+                if first is not second:
+                    assert not first.dominates(second)
+
+    def test_self_never_dominates(self, designs):
+        for design in designs:
+            assert not design.dominates(design)
+
+    def test_strictly_better_point_dominates(self, designs):
+        import copy
+
+        fastest = designs[0]
+        worse = copy.copy(fastest)
+        worse.cost = fastest.cost + 1
+        assert fastest.dominates(worse)
+        assert not worse.dominates(fastest)
+
+
+class TestAccessors:
+    def test_processors_used_matches_mapping(self, designs):
+        for design in designs:
+            assert set(design.processors_used()) == set(design.mapping.values())
+
+    def test_num_helpers_consistent(self, designs):
+        for design in designs:
+            assert design.num_processors() == len(design.architecture.processors)
+            assert design.num_links() == len(design.architecture.links)
+
+    def test_repr_mentions_metrics(self, designs):
+        text = repr(designs[0])
+        assert "cost=14" in text
+        assert "makespan=2.5" in text
+
+    def test_describe_marks_optimality(self, designs):
+        assert "(optimal)" in designs[0].describe()
+
+    def test_to_dict_lists_links_sorted(self, designs):
+        document = designs[0].to_dict()
+        assert document["links"] == sorted(document["links"])
+
+    def test_makespan_equals_schedule_makespan(self, designs):
+        for design in designs:
+            assert design.makespan == pytest.approx(design.schedule.makespan)
+
+    def test_cost_equals_architecture_cost(self, designs):
+        for design in designs:
+            assert design.cost == pytest.approx(design.architecture.total_cost())

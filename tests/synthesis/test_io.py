@@ -1,0 +1,97 @@
+"""Tests for design persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis.io import design_from_dict, load_design, save_design
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.interconnect import InterconnectStyle
+
+
+@pytest.fixture(scope="module")
+def problem():
+    from repro.system.examples import example1_library
+    from repro.taskgraph.examples import example1
+
+    return example1(), example1_library()
+
+
+@pytest.fixture(scope="module")
+def design(problem):
+    graph, library = problem
+    return Synthesizer(graph, library).synthesize()
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, problem, design, tmp_path):
+        graph, library = problem
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        restored = load_design(graph, library, path)
+        assert restored.makespan == design.makespan
+        assert restored.cost == design.cost
+        assert restored.mapping == design.mapping
+        assert sorted(restored.architecture.processor_names()) == sorted(
+            design.architecture.processor_names()
+        )
+        assert {l.label for l in restored.architecture.links} == {
+            l.label for l in design.architecture.links
+        }
+
+    def test_restored_design_validates(self, problem, design, tmp_path):
+        graph, library = problem
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        restored = load_design(graph, library, path)
+        assert restored.violations() == []
+
+    def test_bus_design_round_trips(self, tmp_path):
+        from repro.system.examples import example2_library
+        from repro.taskgraph.examples import example2
+
+        graph, library = example2(), example2_library()
+        design = Synthesizer(graph, library, style=InterconnectStyle.BUS).synthesize(
+            cost_cap=6
+        )
+        path = tmp_path / "bus.json"
+        save_design(design, path)
+        restored = load_design(graph, library, path)
+        assert restored.style is InterconnectStyle.BUS
+        assert restored.violations() == []
+
+
+class TestErrors:
+    def test_invalid_json(self, problem, tmp_path):
+        graph, library = problem
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(SynthesisError, match="invalid JSON"):
+            load_design(graph, library, path)
+
+    def test_unknown_processor(self, problem, design):
+        graph, library = problem
+        document = design.to_dict()
+        document["processors"] = ["p9z"]
+        with pytest.raises(SynthesisError, match="unknown processors"):
+            design_from_dict(graph, library, document)
+
+    def test_unknown_subtask(self, problem, design):
+        graph, library = problem
+        document = design.to_dict()
+        document["mapping"]["S99"] = "p1a"
+        with pytest.raises(SynthesisError, match="unknown subtasks"):
+            design_from_dict(graph, library, document)
+
+    def test_malformed_link_label(self, problem, design):
+        graph, library = problem
+        document = design.to_dict()
+        document["links"] = ["not-a-link"]
+        with pytest.raises(SynthesisError, match="link label"):
+            design_from_dict(graph, library, document)
+
+    def test_missing_schedule(self, problem):
+        graph, library = problem
+        with pytest.raises(SynthesisError, match="malformed"):
+            design_from_dict(graph, library, {"mapping": {}, "processors": []})

@@ -1,0 +1,127 @@
+"""Tests for the high-level synthesis driver."""
+
+import pytest
+
+from repro.core.options import FormulationOptions, Objective
+from repro.errors import InfeasibleError
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.interconnect import InterconnectStyle
+
+
+@pytest.fixture
+def synth(ex1_graph, ex1_library):
+    return Synthesizer(ex1_graph, ex1_library)
+
+
+class TestSynthesize:
+    def test_unconstrained_optimum(self, synth):
+        design = synth.synthesize()
+        assert design.makespan == pytest.approx(2.5)
+        assert design.cost == pytest.approx(14.0)
+        assert design.proven_optimal
+
+    def test_cost_cap(self, synth):
+        design = synth.synthesize(cost_cap=7)
+        assert design.cost <= 7
+        assert design.makespan == pytest.approx(4.0)
+
+    def test_min_cost_under_deadline(self, synth):
+        design = synth.synthesize(objective=Objective.MIN_COST, deadline=4.0)
+        assert design.makespan <= 4.0 + 1e-6
+        assert design.cost == pytest.approx(7.0)
+
+    def test_min_cost_no_deadline(self, synth):
+        design = synth.synthesize(objective=Objective.MIN_COST)
+        assert design.cost == pytest.approx(4.0)  # lone p1 does everything
+
+    def test_infeasible_cost_cap(self, synth):
+        with pytest.raises(InfeasibleError):
+            synth.synthesize(cost_cap=3)
+
+    def test_infeasible_deadline(self, synth):
+        with pytest.raises(InfeasibleError):
+            synth.synthesize(deadline=1.0)
+
+    def test_secondary_optimization_minimizes_cost(self, synth):
+        """Without the second pass the fastest design may overspend; with it
+        the fastest design costs exactly 14 (Table II design 1)."""
+        tight = synth.synthesize(minimize_secondary=True)
+        loose = synth.synthesize(minimize_secondary=False)
+        assert tight.cost <= loose.cost + 1e-9
+        assert tight.makespan == pytest.approx(loose.makespan)
+
+    def test_every_design_validates(self, synth):
+        for cap in (None, 13, 7, 5):
+            design = synth.synthesize(cost_cap=cap)
+            assert design.violations() == []
+
+    def test_solver_time_accumulated(self, synth):
+        synth.synthesize()
+        assert synth.total_solve_seconds > 0
+
+    def test_last_model_exposed(self, synth):
+        synth.synthesize()
+        assert synth.last_model is not None
+        assert synth.last_model.variables.count_timing() == 21
+
+    def test_bozo_backend_agrees(self, ex1_graph, ex1_library):
+        """The from-scratch solver reproduces the optimum (slower path)."""
+        bozo = Synthesizer(ex1_graph, ex1_library, solver="bozo")
+        design = bozo.synthesize(cost_cap=5)
+        assert design.makespan == pytest.approx(7.0)
+
+
+class TestParetoSweep:
+    def test_reproduces_table_ii(self, synth):
+        front = synth.pareto_sweep()
+        points = [(d.cost, d.makespan) for d in front]
+        assert points[:4] == [(14.0, 2.5), (13.0, 3.0), (7.0, 4.0), (5.0, 7.0)]
+
+    def test_front_is_strictly_monotone(self, synth):
+        front = synth.pareto_sweep()
+        for faster, slower in zip(front, front[1:]):
+            assert faster.cost > slower.cost
+            assert faster.makespan < slower.makespan
+
+    def test_no_design_dominates_another(self, synth):
+        front = synth.pareto_sweep()
+        for first in front:
+            for second in front:
+                if first is not second:
+                    assert not first.dominates(second)
+
+    def test_max_designs_limits(self, synth):
+        front = synth.pareto_sweep(max_designs=2)
+        assert len(front) == 2
+
+    def test_bus_style_sweep(self, ex1_graph, ex1_library):
+        synth = Synthesizer(ex1_graph, ex1_library, style=InterconnectStyle.BUS)
+        front = synth.pareto_sweep()
+        assert all(d.style is InterconnectStyle.BUS for d in front)
+        assert all(not d.architecture.links for d in front)
+
+
+class TestDesignObject:
+    def test_describe_mentions_schedule(self, synth):
+        design = synth.synthesize()
+        text = design.describe()
+        assert "performs" in text
+        assert "cost 14" in text
+
+    def test_to_dict_round_trippable(self, synth):
+        import json
+
+        design = synth.synthesize()
+        document = design.to_dict()
+        json.dumps(document)
+        assert document["makespan"] == pytest.approx(2.5)
+        assert set(document["mapping"]) == {"S1", "S2", "S3", "S4"}
+
+    def test_gantt_renders(self, synth):
+        design = synth.synthesize()
+        assert "p1a" in design.gantt()
+
+    def test_num_helpers(self, synth):
+        design = synth.synthesize()
+        assert design.num_processors() == 3
+        assert design.num_links() == 3

@@ -1,0 +1,131 @@
+"""Tests for synthesized architectures."""
+
+import pytest
+
+from repro.errors import SystemModelError
+from repro.system.architecture import Architecture, Link
+from repro.system.examples import example1_library
+from repro.system.interconnect import InterconnectStyle
+from repro.system.processors import ProcessorInstance
+
+
+@pytest.fixture
+def library():
+    return example1_library()
+
+
+@pytest.fixture
+def instances(library):
+    pool = {inst.name: inst for inst in library.instances()}
+    return pool
+
+
+def make_arch(instances, library, names, links=(), style=InterconnectStyle.POINT_TO_POINT,
+              ring_order=()):
+    return Architecture(
+        processors=[instances[name] for name in names],
+        links=[Link(*pair) for pair in links],
+        style=style,
+        library=library,
+        ring_order=ring_order,
+    )
+
+
+class TestLink:
+    def test_label(self):
+        assert Link("p1a", "p2a").label == "l[p1a,p2a]"
+
+    def test_self_link_rejected(self):
+        with pytest.raises(SystemModelError):
+            Link("p1a", "p1a")
+
+
+class TestValidation:
+    def test_duplicate_processor_rejected(self, instances, library):
+        with pytest.raises(SystemModelError, match="duplicate"):
+            Architecture(processors=[instances["p1a"], instances["p1a"]], library=library)
+
+    def test_link_to_unknown_processor_rejected(self, instances, library):
+        with pytest.raises(SystemModelError, match="unknown"):
+            make_arch(instances, library, ["p1a"], links=[("p1a", "p9z")])
+
+    def test_bus_with_links_rejected(self, instances, library):
+        with pytest.raises(SystemModelError, match="bus"):
+            make_arch(instances, library, ["p1a", "p2a"], links=[("p1a", "p2a")],
+                      style=InterconnectStyle.BUS)
+
+    def test_ring_order_must_be_permutation(self, instances, library):
+        with pytest.raises(SystemModelError, match="permutation"):
+            make_arch(instances, library, ["p1a", "p2a"],
+                      style=InterconnectStyle.RING, ring_order=("p1a",))
+
+
+class TestQueries:
+    def test_processor_lookup(self, instances, library):
+        arch = make_arch(instances, library, ["p1a", "p2a"])
+        assert arch.processor("p1a").ptype.name == "p1"
+        with pytest.raises(SystemModelError):
+            arch.processor("p3a")
+
+    def test_has_link_p2p(self, instances, library):
+        arch = make_arch(instances, library, ["p1a", "p2a"], links=[("p1a", "p2a")])
+        assert arch.has_link("p1a", "p2a")
+        assert not arch.has_link("p2a", "p1a")  # links are directed
+        assert arch.has_link("p1a", "p1a")  # local is always fine
+
+    def test_has_link_bus(self, instances, library):
+        arch = make_arch(instances, library, ["p1a", "p2a"], style=InterconnectStyle.BUS)
+        assert arch.has_link("p1a", "p2a")
+        assert arch.has_link("p2a", "p1a")
+        assert not arch.has_link("p1a", "p3a")  # p3a not bought
+
+
+class TestCost:
+    def test_p2p_cost(self, instances, library):
+        arch = make_arch(instances, library, ["p1a", "p2a", "p3a"],
+                         links=[("p1a", "p2a"), ("p1a", "p3a"), ("p2a", "p3a")])
+        assert arch.processor_cost() == 11
+        assert arch.communication_cost() == 3
+        assert arch.total_cost() == 14  # Table II design 1
+
+    def test_bus_cost_is_processor_dominated(self, instances, library):
+        arch = make_arch(instances, library, ["p1a", "p3a"], style=InterconnectStyle.BUS)
+        assert arch.total_cost() == 6  # Table V design 2
+
+    def test_ring_cost_counts_segments(self, instances, library):
+        arch = make_arch(
+            instances, library, ["p1a", "p2a"],
+            links=[("p1a", "p2a"), ("p2a", "p1a")],
+            style=InterconnectStyle.RING, ring_order=("p1a", "p2a"),
+        )
+        assert arch.communication_cost() == 2
+
+    def test_cost_without_library_raises(self, instances):
+        arch = Architecture(processors=[instances["p1a"]], library=None)
+        with pytest.raises(SystemModelError):
+            arch.total_cost()
+
+
+class TestSummary:
+    def test_p2p_summary(self, instances, library):
+        arch = make_arch(instances, library, ["p1a", "p2a"], links=[("p1a", "p2a")])
+        text = arch.summary()
+        assert "p1a" in text and "l[p1a,p2a]" in text
+
+    def test_bus_summary(self, instances, library):
+        arch = make_arch(instances, library, ["p1a"], style=InterconnectStyle.BUS)
+        assert "shared bus" in arch.summary()
+
+    def test_ring_summary(self, instances, library):
+        arch = make_arch(instances, library, ["p1a", "p2a"],
+                         links=[("p1a", "p2a")],
+                         style=InterconnectStyle.RING, ring_order=("p1a", "p2a"))
+        assert "ring" in arch.summary()
+
+
+class TestInterconnectStyle:
+    def test_flags(self):
+        assert InterconnectStyle.POINT_TO_POINT.uses_links
+        assert not InterconnectStyle.BUS.uses_links
+        assert InterconnectStyle.BUS.is_shared_medium
+        assert not InterconnectStyle.RING.is_shared_medium

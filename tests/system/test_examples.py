@@ -1,0 +1,59 @@
+"""Tests pinning the paper's processor tables (Tables I and III)."""
+
+import pytest
+
+from repro.system.examples import example1_library, example2_library
+
+
+class TestTableI:
+    def test_costs(self):
+        library = example1_library()
+        assert [t.cost for t in library.types] == [4, 5, 2]
+
+    def test_execution_times(self):
+        library = example1_library()
+        p1, p2, p3 = library.types
+        assert [p1.execution_time(f"S{i}") for i in range(1, 5)] == [1, 1, 12, 3]
+        assert [p2.execution_time(f"S{i}") for i in range(1, 5)] == [3, 1, 2, 1]
+        assert p3.execution_time("S2") == 3
+        assert p3.execution_time("S3") == 1
+
+    def test_dash_entries_are_incapable(self):
+        p3 = example1_library().type_by_name("p3")
+        assert not p3.can_execute("S1")
+        assert not p3.can_execute("S4")
+
+    def test_communication_parameters(self):
+        library = example1_library()
+        assert library.local_delay == 0.0
+        assert library.remote_delay == 1.0
+        assert library.link_cost == 1.0
+
+
+class TestTableIII:
+    def test_costs(self):
+        library = example2_library()
+        assert [t.cost for t in library.types] == [4, 5, 2]
+
+    def test_p1_row(self):
+        p1 = example2_library().type_by_name("p1")
+        expected = {"S1": 2, "S2": 2, "S3": 1, "S4": 1, "S5": 1, "S6": 1, "S7": 3, "S9": 1}
+        assert dict(p1.exec_times) == expected
+        assert not p1.can_execute("S8")
+
+    def test_p2_row_is_fully_capable(self):
+        p2 = example2_library().type_by_name("p2")
+        assert [p2.execution_time(f"S{i}") for i in range(1, 10)] == [
+            3, 1, 1, 3, 1, 2, 1, 2, 1,
+        ]
+
+    def test_p3_row(self):
+        p3 = example2_library().type_by_name("p3")
+        expected = {"S1": 1, "S2": 1, "S3": 2, "S5": 3, "S6": 1, "S7": 4, "S8": 1, "S9": 3}
+        assert dict(p3.exec_times) == expected
+        assert not p3.can_execute("S4"), "the paper's '+' entry is read as incapable"
+
+    def test_uniprocessor_p2_total_is_table_iv_design_5(self):
+        """Sum of p2's row = 15, the performance of Table IV design 5."""
+        p2 = example2_library().type_by_name("p2")
+        assert sum(p2.exec_times.values()) == 15

@@ -1,0 +1,84 @@
+"""Tests for random technology-library generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SystemModelError
+from repro.system.generators import random_library, speed_graded_library
+from repro.taskgraph.examples import example1, example2
+from repro.taskgraph.generators import layered_random
+
+
+class TestRandomLibrary:
+    def test_deterministic(self):
+        graph = example2()
+        first = random_library(graph, seed=5)
+        second = random_library(graph, seed=5)
+        assert [t.exec_times for t in first.types] == [t.exec_times for t in second.types]
+        assert first.remote_delay == second.remote_delay
+
+    def test_seeds_differ(self):
+        graph = example2()
+        first = random_library(graph, seed=1)
+        second = random_library(graph, seed=2)
+        assert [t.exec_times for t in first.types] != [t.exec_times for t in second.types]
+
+    def test_always_covers(self):
+        graph = example2()
+        for seed in range(20):
+            random_library(graph, seed=seed).check_covers(graph)
+
+    def test_first_type_fully_capable(self):
+        graph = example2()
+        library = random_library(graph, seed=3)
+        first = library.types[0]
+        assert all(first.can_execute(name) for name in graph.subtask_names)
+
+    def test_type_i_heterogeneity_present(self):
+        """With capability_probability < 1 some type drops some subtask."""
+        graph = example2()
+        dropped = False
+        for seed in range(10):
+            library = random_library(graph, seed=seed, capability_probability=0.5)
+            for ptype in library.types[1:]:
+                if len(ptype.exec_times) < len(graph.subtask_names):
+                    dropped = True
+        assert dropped
+
+    def test_zero_types_rejected(self):
+        with pytest.raises(SystemModelError):
+            random_library(example1(), num_types=0)
+
+    def test_ranges_respected(self):
+        library = random_library(example1(), seed=9, cost_range=(3, 3),
+                                 time_range=(2, 2))
+        assert all(t.cost == 3 for t in library.types)
+        assert all(
+            value == 2 for t in library.types for value in t.exec_times.values()
+        )
+
+
+class TestSpeedGradedLibrary:
+    def test_pure_type_ii(self):
+        graph = example1()
+        library = speed_graded_library(graph)
+        for ptype in library.types:
+            assert all(ptype.can_execute(name) for name in graph.subtask_names)
+            assert len(set(ptype.exec_times.values())) == 1
+
+    def test_grades_applied(self):
+        graph = example1()
+        library = speed_graded_library(graph, grades=((1.0, 10.0), (5.0, 2.0)))
+        fast, slow = library.types
+        assert fast.execution_time("S1") == 1.0 and fast.cost == 10.0
+        assert slow.execution_time("S1") == 5.0 and slow.cost == 2.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2000), num_types=st.integers(1, 4))
+def test_random_library_always_valid(seed, num_types):
+    graph = layered_random(7, 3, seed=seed % 50)
+    library = random_library(graph, seed=seed, num_types=num_types)
+    library.check_covers(graph)
+    assert len(library.types) == num_types
+    assert library.instances()

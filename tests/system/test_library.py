@@ -1,0 +1,96 @@
+"""Tests for the technology library."""
+
+import pytest
+
+from repro.errors import SystemModelError
+from repro.system.examples import example1_library
+from repro.system.library import TechnologyLibrary
+from repro.system.processors import ProcessorType
+from repro.taskgraph.examples import example1
+
+
+class TestPool:
+    def test_uniform_instance_count(self):
+        library = example1_library(instances_per_type=2)
+        names = [inst.name for inst in library.instances()]
+        assert names == ["p1a", "p1b", "p2a", "p2b", "p3a", "p3b"]
+
+    def test_per_type_instance_count(self):
+        library = example1_library(instances_per_type={"p1": 3, "p2": 1, "p3": 2})
+        names = [inst.name for inst in library.instances()]
+        assert names == ["p1a", "p1b", "p1c", "p2a", "p3a", "p3b"]
+
+    def test_missing_type_defaults_to_one(self):
+        library = example1_library(instances_per_type={"p1": 2})
+        names = [inst.name for inst in library.instances()]
+        assert names == ["p1a", "p1b", "p2a", "p3a"]
+
+    def test_zero_instances_rejected(self):
+        library = example1_library(instances_per_type=0)
+        with pytest.raises(SystemModelError):
+            library.instances()
+
+    def test_type_lookup(self):
+        library = example1_library()
+        assert library.type_by_name("p2").cost == 5
+        with pytest.raises(SystemModelError):
+            library.type_by_name("p9")
+
+
+class TestValidation:
+    def test_empty_types_rejected(self):
+        with pytest.raises(SystemModelError):
+            TechnologyLibrary(types=())
+
+    def test_duplicate_type_names_rejected(self):
+        t = ProcessorType("p", 1, {"S1": 1})
+        with pytest.raises(SystemModelError, match="duplicate"):
+            TechnologyLibrary(types=(t, ProcessorType("p", 2, {"S1": 2})))
+
+    def test_negative_parameters_rejected(self):
+        t = ProcessorType("p", 1, {"S1": 1})
+        with pytest.raises(SystemModelError):
+            TechnologyLibrary(types=(t,), link_cost=-1)
+        with pytest.raises(SystemModelError):
+            TechnologyLibrary(types=(t,), remote_delay=-0.5)
+
+
+class TestCapabilities:
+    def test_capable_types(self):
+        library = example1_library()
+        assert [t.name for t in library.capable_types("S1")] == ["p1", "p2"]
+        assert [t.name for t in library.capable_types("S3")] == ["p1", "p2", "p3"]
+
+    def test_capable_instances(self):
+        library = example1_library(instances_per_type=1)
+        assert [i.name for i in library.capable_instances("S4")] == ["p1a", "p2a"]
+
+    def test_check_covers_passes(self):
+        example1_library().check_covers(example1())
+
+    def test_check_covers_fails(self):
+        only_p3 = TechnologyLibrary(types=(example1_library().types[2],))
+        with pytest.raises(SystemModelError, match="S1"):
+            only_p3.check_covers(example1())
+
+
+class TestTransforms:
+    def test_scaled_execution(self):
+        library = example1_library().scaled_execution(3)
+        assert library.type_by_name("p1").execution_time("S3") == 36
+        # Costs and delays untouched.
+        assert library.type_by_name("p1").cost == 4
+        assert library.remote_delay == 1.0
+
+    def test_scaled_execution_invalid_factor(self):
+        with pytest.raises(SystemModelError):
+            example1_library().scaled_execution(0)
+
+    def test_with_instances(self):
+        library = example1_library().with_instances(1)
+        assert len(library.instances()) == 3
+
+    def test_transfer_delay(self):
+        library = example1_library()
+        assert library.transfer_delay(3.0, remote=True) == 3.0
+        assert library.transfer_delay(3.0, remote=False) == 0.0

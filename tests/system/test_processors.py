@@ -1,0 +1,71 @@
+"""Tests for processor types and instances."""
+
+import pytest
+
+from repro.errors import SystemModelError
+from repro.system.processors import ProcessorInstance, ProcessorType, instance_suffix
+
+
+@pytest.fixture
+def p1():
+    return ProcessorType("p1", cost=4, exec_times={"S1": 1, "S2": 1, "S3": 12, "S4": 3})
+
+
+class TestProcessorType:
+    def test_capability(self, p1):
+        assert p1.can_execute("S1")
+        assert not p1.can_execute("S99")
+
+    def test_execution_time(self, p1):
+        assert p1.execution_time("S3") == 12
+
+    def test_incapable_raises(self, p1):
+        with pytest.raises(SystemModelError, match="cannot execute"):
+            p1.execution_time("S99")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(SystemModelError):
+            ProcessorType("bad", cost=-1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SystemModelError):
+            ProcessorType("bad", cost=1, exec_times={"S1": -2})
+
+    def test_scaled(self, p1):
+        doubled = p1.scaled(2)
+        assert doubled.execution_time("S3") == 24
+        assert doubled.cost == p1.cost
+        assert p1.execution_time("S3") == 12  # original untouched
+
+    def test_hashable(self, p1):
+        assert hash(p1) == hash(ProcessorType("p1", 4, dict(p1.exec_times)))
+
+
+class TestInstanceSuffix:
+    def test_paper_convention(self):
+        assert instance_suffix(0) == "a"
+        assert instance_suffix(1) == "b"
+        assert instance_suffix(25) == "z"
+
+    def test_rolls_over_to_two_letters(self):
+        assert instance_suffix(26) == "aa"
+        assert instance_suffix(27) == "ab"
+
+    def test_negative_rejected(self):
+        with pytest.raises(SystemModelError):
+            instance_suffix(-1)
+
+
+class TestProcessorInstance:
+    def test_name_matches_paper(self, p1):
+        assert ProcessorInstance(p1, 0).name == "p1a"
+        assert ProcessorInstance(p1, 1).name == "p1b"
+
+    def test_delegation(self, p1):
+        inst = ProcessorInstance(p1, 0)
+        assert inst.cost == 4
+        assert inst.can_execute("S1")
+        assert inst.execution_time("S4") == 3
+
+    def test_repr(self, p1):
+        assert "p1a" in repr(ProcessorInstance(p1, 0))

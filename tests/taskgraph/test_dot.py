@@ -1,0 +1,85 @@
+"""Tests for Graphviz DOT export."""
+
+import pytest
+
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.examples import example1_library, example2_library
+from repro.system.interconnect import InterconnectStyle
+from repro.taskgraph.dot import design_to_dot, graph_to_dot
+from repro.taskgraph.examples import example1, example2
+
+
+class TestGraphToDot:
+    def test_structure(self):
+        dot = graph_to_dot(example1())
+        assert dot.startswith('digraph "example1" {')
+        assert dot.rstrip().endswith("}")
+        assert '"S1" -> "S3"' in dot
+
+    def test_fractions_labeled(self):
+        dot = graph_to_dot(example1())
+        assert "f_A=0.5" in dot
+        assert "f_R=0.25" in dot
+
+    def test_volume_labeled(self):
+        dot = graph_to_dot(example1().scaled_volumes(2))
+        assert "V=2" in dot
+
+    def test_external_ports_dashed(self):
+        dot = graph_to_dot(example1())
+        assert "style=dashed" in dot
+        assert "ext_in_S1_1" in dot
+
+    def test_example2_all_arcs_present(self):
+        dot = graph_to_dot(example2())
+        for producer, consumer in (
+            ("S1", "S4"), ("S2", "S5"), ("S3", "S6"), ("S4", "S7"),
+            ("S4", "S8"), ("S5", "S8"), ("S5", "S9"), ("S6", "S9"),
+        ):
+            assert f'"{producer}" -> "{consumer}"' in dot
+
+    def test_quoting(self):
+        from repro.taskgraph.graph import TaskGraph
+
+        graph = TaskGraph('weird "name"')
+        graph.add_subtask("A")
+        dot = graph_to_dot(graph)
+        assert r"\"name\"" in dot
+
+
+class TestDesignToDot:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return Synthesizer(example1(), example1_library()).synthesize()
+
+    def test_processors_are_boxes(self, design):
+        dot = design_to_dot(design)
+        assert "shape=box" in dot
+        for processor in design.architecture.processor_names():
+            assert processor in dot
+
+    def test_links_labeled_with_transfers(self, design):
+        dot = design_to_dot(design)
+        assert '"p1a" -> "p3a"' in dot
+        assert "i[S3,1]" in dot
+
+    def test_execution_order_in_label(self, design):
+        dot = design_to_dot(design)
+        shared = [p for p in design.schedule.processors()
+                  if len(design.schedule.task_order_on(p)) > 1][0]
+        order = design.schedule.task_order_on(shared)
+        assert " -> ".join(order) in dot
+
+    def test_bus_design_renders_bus_node(self):
+        design = Synthesizer(
+            example2(), example2_library(), style=InterconnectStyle.BUS
+        ).synthesize(cost_cap=6)
+        dot = design_to_dot(design)
+        assert "shared bus" in dot
+
+    def test_uniprocessor_design_has_no_edges(self):
+        design = Synthesizer(example1(), example1_library()).synthesize(cost_cap=5)
+        dot = design_to_dot(design)
+        assert "->" not in dot.replace(" -> ".join(
+            design.schedule.task_order_on(design.schedule.processors()[0])
+        ), "")

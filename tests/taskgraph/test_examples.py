@@ -1,0 +1,98 @@
+"""Tests pinning the paper's example graphs to the printed data."""
+
+import pytest
+
+from repro.taskgraph.examples import example1, example2
+
+
+class TestExample1:
+    """Figure 1: structure and the printed f_R/f_A table."""
+
+    def test_subtasks(self):
+        assert example1().subtask_names == ("S1", "S2", "S3", "S4")
+
+    def test_arcs(self):
+        arcs = {(a.producer, a.consumer) for a in example1().arcs}
+        assert arcs == {("S1", "S3"), ("S1", "S4"), ("S2", "S3")}
+
+    def test_f_required_values_match_figure(self):
+        graph = example1()
+        f_r = {
+            port.label: port.f_required
+            for subtask in graph.subtasks
+            for port in subtask.inputs
+        }
+        assert f_r == {
+            "i[S1,1]": 0.25,
+            "i[S2,1]": 0.25,
+            "i[S3,1]": 0.25,
+            "i[S3,2]": 0.50,
+            "i[S4,1]": 0.25,
+            "i[S4,2]": 0.50,
+        }
+
+    def test_f_available_values_match_figure(self):
+        graph = example1()
+        f_a = {
+            port.label: port.f_available
+            for subtask in graph.subtasks
+            for port in subtask.outputs
+        }
+        assert f_a == {
+            "o[S1,1]": 0.50,
+            "o[S1,2]": 0.75,
+            "o[S2,1]": 0.50,
+            "o[S2,2]": 0.75,
+            "o[S3,1]": 0.75,
+            "o[S4,1]": 0.75,
+        }
+
+    def test_unit_volumes(self):
+        assert all(arc.volume == 1.0 for arc in example1().arcs)
+
+    def test_is_valid_dag(self):
+        example1().validate()
+
+
+class TestExample2:
+    """Figure 3 as reconstructed from the §4.3 design descriptions."""
+
+    def test_subtasks(self):
+        assert example2().subtask_names == tuple(f"S{i}" for i in range(1, 10))
+
+    def test_arcs(self):
+        arcs = {(a.producer, a.consumer) for a in example2().arcs}
+        assert arcs == {
+            ("S1", "S4"), ("S2", "S5"), ("S3", "S6"),
+            ("S4", "S7"), ("S4", "S8"), ("S5", "S8"),
+            ("S5", "S9"), ("S6", "S9"),
+        }
+
+    def test_paper_input_labels(self):
+        """The design descriptions name i[S7,2], i[S8,1], i[S8,2], i[S9,1],
+        i[S9,2], i[S4,1] — our port indices must match."""
+        graph = example2()
+        labels = {arc.dest.label: arc.producer for arc in graph.arcs}
+        assert labels["i[S4,1]"] == "S1"
+        assert labels["i[S7,2]"] == "S4"
+        assert labels["i[S8,1]"] == "S4"
+        assert labels["i[S8,2]"] == "S5"
+        assert labels["i[S9,1]"] == "S5"
+        assert labels["i[S9,2]"] == "S6"
+
+    def test_traditional_semantics(self):
+        """§4.3: all inputs required at start, all outputs at completion."""
+        graph = example2()
+        assert all(arc.dest.f_required == 0.0 for arc in graph.arcs)
+        assert all(arc.source.f_available == 1.0 for arc in graph.arcs)
+
+    def test_unit_volumes(self):
+        assert all(arc.volume == 1.0 for arc in example2().arcs)
+
+    def test_depth_is_three(self):
+        assert example2().depth() == 3
+
+    def test_sources_and_sinks(self):
+        graph = example2()
+        assert set(graph.sources()) == {"S1", "S2", "S3"}
+        assert set(graph.sinks()) == {"S7", "S8", "S9"}

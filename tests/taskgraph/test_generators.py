@@ -1,0 +1,115 @@
+"""Tests for synthetic task-graph generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.generators import fork_join, layered_random, pipeline, series_parallel
+
+
+class TestPipeline:
+    def test_structure(self):
+        graph = pipeline(4)
+        assert len(graph) == 4
+        assert len(graph.arcs) == 3
+        assert graph.depth() == 4
+        assert graph.sources() == ["S1"]
+        assert graph.sinks() == ["S4"]
+
+    def test_single_stage(self):
+        graph = pipeline(1)
+        assert len(graph) == 1
+        assert graph.arcs == ()
+
+    def test_invalid_size(self):
+        with pytest.raises(TaskGraphError):
+            pipeline(0)
+
+    def test_volume_applied(self):
+        graph = pipeline(3, volume=2.5)
+        assert all(arc.volume == 2.5 for arc in graph.arcs)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        graph = fork_join(3)
+        assert len(graph) == 5
+        assert len(graph.arcs) == 6
+        assert graph.depth() == 3
+        assert set(graph.successors("fork")) == {"W1", "W2", "W3"}
+
+    def test_width_one(self):
+        graph = fork_join(1)
+        assert len(graph) == 3
+
+    def test_invalid_width(self):
+        with pytest.raises(TaskGraphError):
+            fork_join(0)
+
+
+class TestLayeredRandom:
+    def test_deterministic_for_seed(self):
+        first = layered_random(10, 3, seed=7)
+        second = layered_random(10, 3, seed=7)
+        assert first.subtask_names == second.subtask_names
+        assert [(a.producer, a.consumer, a.volume) for a in first.arcs] == [
+            (a.producer, a.consumer, a.volume) for a in second.arcs
+        ]
+
+    def test_different_seeds_differ(self):
+        first = layered_random(12, 4, seed=1)
+        second = layered_random(12, 4, seed=2)
+        arcs1 = [(a.producer, a.consumer) for a in first.arcs]
+        arcs2 = [(a.producer, a.consumer) for a in second.arcs]
+        assert arcs1 != arcs2
+
+    def test_counts(self):
+        graph = layered_random(15, 4, seed=3)
+        assert len(graph) == 15
+
+    def test_invalid_layers(self):
+        with pytest.raises(TaskGraphError):
+            layered_random(3, 5)
+        with pytest.raises(TaskGraphError):
+            layered_random(3, 0)
+
+    def test_fractional_ports_mode(self):
+        graph = layered_random(10, 3, seed=5, fractional_ports=True)
+        fractions = {arc.source.f_available for arc in graph.arcs}
+        assert fractions - {1.0}, "expected some fractional f_A values"
+
+    def test_traditional_mode_is_all_or_nothing(self):
+        graph = layered_random(10, 3, seed=5, fractional_ports=False)
+        assert all(arc.source.f_available == 1.0 for arc in graph.arcs)
+        assert all(arc.dest.f_required == 0.0 for arc in graph.arcs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_tasks=st.integers(2, 20),
+    seed=st.integers(0, 1000),
+    fractional=st.booleans(),
+)
+def test_layered_random_always_valid(num_tasks, seed, fractional):
+    """Generated graphs are always valid DAGs with connected later layers."""
+    num_layers = max(1, min(4, num_tasks))
+    graph = layered_random(num_tasks, num_layers, seed=seed, fractional_ports=fractional)
+    graph.validate()  # raises on any structural problem
+    order = graph.topological_order()
+    assert len(order) == num_tasks
+
+
+class TestSeriesParallel:
+    def test_deterministic(self):
+        first = series_parallel(3, seed=9)
+        second = series_parallel(3, seed=9)
+        assert first.subtask_names == second.subtask_names
+
+    def test_valid_structure(self):
+        graph = series_parallel(4, seed=2)
+        graph.validate()
+        assert len(graph.sources()) >= 1
+
+    def test_depth_zero_is_single_task(self):
+        graph = series_parallel(0, seed=0)
+        assert len(graph) == 1

@@ -1,0 +1,159 @@
+"""Tests for the task data-flow graph."""
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.ports import InputPort, OutputPort
+
+
+@pytest.fixture
+def diamond():
+    graph = TaskGraph("diamond")
+    for name in ("A", "B", "C", "D"):
+        graph.add_subtask(name)
+    graph.add_external_input("A")
+    graph.connect("A", "B", volume=1.0)
+    graph.connect("A", "C", volume=2.0)
+    graph.connect("B", "D", volume=3.0)
+    graph.connect("C", "D", volume=4.0)
+    graph.add_external_output("D")
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_subtask(self):
+        graph = TaskGraph()
+        graph.add_subtask("A")
+        with pytest.raises(TaskGraphError, match="duplicate"):
+            graph.add_subtask("A")
+
+    def test_unknown_subtask_lookup(self):
+        with pytest.raises(TaskGraphError, match="no subtask"):
+            TaskGraph().subtask("ghost")
+
+    def test_connect_assigns_sequential_port_indices(self, diamond):
+        d = diamond.subtask("D")
+        assert [port.index for port in d.inputs] == [1, 2]
+        a = diamond.subtask("A")
+        assert [port.index for port in a.outputs] == [1, 2]
+
+    def test_self_loop_rejected(self):
+        graph = TaskGraph()
+        graph.add_subtask("A")
+        with pytest.raises(TaskGraphError, match="self-loop"):
+            graph.connect("A", "A")
+
+    def test_negative_volume_rejected(self, diamond):
+        with pytest.raises(TaskGraphError, match="volume"):
+            diamond.connect("B", "C", volume=-1)
+
+    def test_connect_ports_existing(self):
+        graph = TaskGraph()
+        graph.add_subtask("A")
+        graph.add_subtask("B")
+        out = graph.add_external_output("A", f_available=0.5)
+        inp = graph.add_external_input("B", f_required=0.25)
+        arc = graph.connect_ports(out, inp, volume=2.0)
+        assert arc.volume == 2.0
+        assert graph.arc_to(inp) is arc
+
+    def test_connect_ports_rejects_double_feed(self, diamond):
+        port = diamond.subtask("D").input(1)
+        source = diamond.add_external_output("A")
+        with pytest.raises(TaskGraphError, match="already has a producer"):
+            diamond.connect_ports(source, port)
+
+    def test_connect_ports_rejects_reused_output(self, diamond):
+        out = diamond.subtask("A").output(1)
+        fresh = diamond.add_external_input("C")
+        with pytest.raises(TaskGraphError, match="already has a consumer"):
+            # Re-connect the already-consumed output somewhere else.
+            diamond.connect_ports(out, fresh)
+
+    def test_port_lookup_errors(self, diamond):
+        with pytest.raises(TaskGraphError):
+            diamond.subtask("A").input(5)
+        with pytest.raises(TaskGraphError):
+            diamond.subtask("A").output(5)
+
+
+class TestQueries:
+    def test_arcs_from_into(self, diamond):
+        assert [a.consumer for a in diamond.arcs_from("A")] == ["B", "C"]
+        assert [a.producer for a in diamond.arcs_into("D")] == ["B", "C"]
+
+    def test_predecessors_successors(self, diamond):
+        assert diamond.predecessors("D") == ["B", "C"]
+        assert diamond.successors("A") == ["B", "C"]
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.sources() == ["A"]
+        assert diamond.sinks() == ["D"]
+
+    def test_external_inputs(self, diamond):
+        assert [p.index for p in diamond.external_inputs("A")] == [1]
+        assert diamond.external_inputs("D") == []
+
+    def test_arc_to_external_is_none(self, diamond):
+        external = diamond.subtask("A").input(1)
+        assert diamond.arc_to(external) is None
+
+    def test_len_and_contains(self, diamond):
+        assert len(diamond) == 4
+        assert "A" in diamond
+        assert "Z" not in diamond
+
+    def test_total_volume(self, diamond):
+        assert diamond.total_volume() == pytest.approx(10.0)
+
+
+class TestAnalysis:
+    def test_topological_order(self, diamond):
+        order = diamond.topological_order()
+        assert order.index("A") < order.index("B") < order.index("D")
+        assert order.index("A") < order.index("C") < order.index("D")
+
+    def test_cycle_detected(self):
+        graph = TaskGraph()
+        for name in ("A", "B"):
+            graph.add_subtask(name)
+        graph.connect("A", "B")
+        # Force a cycle by adding the reverse arc through fresh ports.
+        out = graph.add_external_output("B")
+        inp = graph.add_external_input("A")
+        graph.connect_ports(out, inp)
+        with pytest.raises(TaskGraphError, match="cycle"):
+            graph.topological_order()
+
+    def test_depth(self, diamond):
+        assert diamond.depth() == 3
+
+    def test_validate_passes(self, diamond):
+        diamond.validate()
+
+    def test_validate_catches_tampered_ports(self, diamond):
+        diamond.subtask("A").inputs.append(InputPort("A", 5))
+        with pytest.raises(TaskGraphError, match="inconsistent"):
+            diamond.validate()
+
+
+class TestTransforms:
+    def test_scaled_volumes(self, diamond):
+        scaled = diamond.scaled_volumes(3.0)
+        assert scaled.total_volume() == pytest.approx(30.0)
+        assert diamond.total_volume() == pytest.approx(10.0)  # original intact
+
+    def test_scaled_preserves_structure(self, diamond):
+        scaled = diamond.scaled_volumes(2.0)
+        assert scaled.subtask_names == diamond.subtask_names
+        assert len(scaled.arcs) == len(diamond.arcs)
+
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy("clone")
+        clone.add_subtask("E")
+        assert "E" not in diamond
+        assert clone.name == "clone"
+
+    def test_repr(self, diamond):
+        assert "4 subtasks" in repr(diamond)

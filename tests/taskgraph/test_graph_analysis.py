@@ -1,0 +1,96 @@
+"""Tests for the task-graph analysis additions (ancestors, chains, subgraphs)."""
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.examples import example1, example2
+from repro.taskgraph.generators import layered_random
+
+
+class TestAncestry:
+    def test_ancestors_example2(self):
+        graph = example2()
+        assert graph.ancestors("S9") == {"S5", "S6", "S2", "S3"}
+        assert graph.ancestors("S1") == set()
+
+    def test_descendants_example2(self):
+        graph = example2()
+        assert graph.descendants("S1") == {"S4", "S7", "S8"}
+        assert graph.descendants("S9") == set()
+
+    def test_self_excluded(self):
+        graph = example2()
+        assert "S5" not in graph.ancestors("S5")
+        assert "S5" not in graph.descendants("S5")
+
+    def test_unknown_task(self):
+        with pytest.raises(TaskGraphError):
+            example2().ancestors("S99")
+
+    def test_ancestors_descendants_are_inverse(self):
+        graph = example2()
+        for first in graph.subtask_names:
+            for second in graph.subtask_names:
+                assert (second in graph.ancestors(first)) == (
+                    first in graph.descendants(second)
+                )
+
+
+class TestLongestChain:
+    def test_example2_chain(self):
+        chain = example2().longest_chain()
+        assert len(chain) == 3  # depth 3
+        for first, second in zip(chain, chain[1:]):
+            assert second in example2().descendants(first)
+
+    def test_chain_length_equals_depth(self):
+        for seed in range(5):
+            graph = layered_random(10, 4, seed=seed)
+            assert len(graph.longest_chain()) == graph.depth()
+
+    def test_single_node(self):
+        from repro.taskgraph.graph import TaskGraph
+
+        graph = TaskGraph()
+        graph.add_subtask("only")
+        assert graph.longest_chain() == ["only"]
+
+
+class TestSubgraph:
+    def test_induced_arcs(self):
+        sub = example2().subgraph(["S1", "S4", "S7"])
+        arcs = {(a.producer, a.consumer) for a in sub.arcs}
+        assert arcs == {("S1", "S4"), ("S4", "S7")}
+
+    def test_boundary_arcs_become_external_ports(self):
+        graph = example2()
+        sub = graph.subgraph(["S4", "S5"])
+        # S4 gets an external input (from S1) and external outputs (S7, S8);
+        # S5 similarly.
+        assert len(sub.external_inputs("S4")) == 1
+        assert len(sub.subtask("S4").outputs) == 2
+        assert sub.arcs == ()
+
+    def test_fractions_preserved(self):
+        graph = example1()
+        sub = graph.subgraph(["S1", "S3"])
+        arc = sub.arcs[0]
+        assert arc.source.f_available == 0.50
+        assert arc.dest.f_required == 0.25
+
+    def test_subgraph_is_valid_and_synthesizable(self):
+        from repro.synthesis.synthesizer import Synthesizer
+        from repro.system.examples import example2_library
+
+        sub = example2().subgraph(["S2", "S5", "S8", "S9"])
+        sub.validate()
+        design = Synthesizer(sub, example2_library()).synthesize()
+        assert design.violations() == []
+
+    def test_unknown_member(self):
+        with pytest.raises(TaskGraphError):
+            example2().subgraph(["S1", "nope"])
+
+    def test_duplicates_collapsed(self):
+        sub = example2().subgraph(["S1", "S1", "S4"])
+        assert len(sub) == 2

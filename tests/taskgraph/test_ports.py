@@ -1,0 +1,58 @@
+"""Tests for input/output ports."""
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.ports import InputPort, OutputPort
+
+
+class TestInputPort:
+    def test_defaults(self):
+        port = InputPort("S1", 1)
+        assert port.f_required == 0.0
+
+    def test_label_matches_paper_notation(self):
+        assert InputPort("S3", 2, 0.5).label == "i[S3,2]"
+
+    def test_key(self):
+        assert InputPort("S3", 2).key == ("S3", 2)
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(TaskGraphError):
+            InputPort("S1", 1, f_required=1.5)
+        with pytest.raises(TaskGraphError):
+            InputPort("S1", 1, f_required=-0.1)
+
+    def test_index_must_be_positive(self):
+        with pytest.raises(TaskGraphError):
+            InputPort("S1", 0)
+
+    def test_frozen(self):
+        port = InputPort("S1", 1)
+        with pytest.raises(AttributeError):
+            port.f_required = 0.5  # type: ignore[misc]
+
+    def test_equality_by_value(self):
+        assert InputPort("S1", 1, 0.25) == InputPort("S1", 1, 0.25)
+
+
+class TestOutputPort:
+    def test_defaults(self):
+        port = OutputPort("S1", 1)
+        assert port.f_available == 1.0
+
+    def test_label(self):
+        assert OutputPort("S1", 2, 0.75).label == "o[S1,2]"
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(TaskGraphError):
+            OutputPort("S1", 1, f_available=2.0)
+
+    def test_index_must_be_positive(self):
+        with pytest.raises(TaskGraphError):
+            OutputPort("S1", -1)
+
+    def test_boundary_fractions_allowed(self):
+        assert OutputPort("S1", 1, 0.0).f_available == 0.0
+        assert OutputPort("S1", 1, 1.0).f_available == 1.0
+        assert InputPort("S1", 1, 1.0).f_required == 1.0

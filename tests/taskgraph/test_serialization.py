@@ -1,0 +1,117 @@
+"""Tests for task-graph JSON serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.examples import example1, example2
+from repro.taskgraph.generators import layered_random
+from repro.taskgraph.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+
+def canonical(graph):
+    """A port-exact structural fingerprint for round-trip comparison."""
+    return {
+        "name": graph.name,
+        "subtasks": sorted(graph.subtask_names),
+        "ports": sorted(
+            (s.name, "in", p.index, p.f_required) for s in graph.subtasks for p in s.inputs
+        )
+        + sorted(
+            (s.name, "out", p.index, p.f_available) for s in graph.subtasks for p in s.outputs
+        ),
+        "arcs": sorted(
+            (a.producer, a.source.index, a.consumer, a.dest.index, a.volume)
+            for a in graph.arcs
+        ),
+    }
+
+
+class TestRoundTrip:
+    def test_example1(self):
+        graph = example1()
+        assert canonical(graph_from_dict(graph_to_dict(graph))) == canonical(graph)
+
+    def test_example2(self):
+        graph = example2()
+        assert canonical(graph_from_dict(graph_to_dict(graph))) == canonical(graph)
+
+    def test_file_round_trip(self, tmp_path):
+        graph = example1()
+        path = tmp_path / "graph.json"
+        save_graph(graph, path)
+        assert canonical(load_graph(path)) == canonical(graph)
+
+    def test_json_is_plain_data(self):
+        document = graph_to_dict(example1())
+        json.dumps(document)  # must not raise
+
+
+class TestErrors:
+    def test_malformed_document(self):
+        with pytest.raises(TaskGraphError, match="malformed"):
+            graph_from_dict({"not": "a graph"})
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(TaskGraphError, match="invalid JSON"):
+            load_graph(path)
+
+    def test_arc_to_unknown_subtask(self):
+        document = {
+            "name": "bad",
+            "subtasks": [{"name": "A"}],
+            "arcs": [{"producer": "A", "consumer": "GHOST"}],
+        }
+        with pytest.raises(TaskGraphError):
+            graph_from_dict(document)
+
+    def test_legacy_version1_format_accepted(self):
+        document = {
+            "version": 1,
+            "name": "legacy",
+            "subtasks": [
+                {"name": "A", "external_inputs": [{"f_required": 0.25}]},
+                {"name": "B", "external_outputs": [{"f_available": 0.75}]},
+            ],
+            "arcs": [
+                {"producer": "A", "consumer": "B", "volume": 2.0,
+                 "f_available": 0.5, "f_required": 0.0},
+            ],
+        }
+        graph = graph_from_dict(document)
+        assert graph.subtask_names == ("A", "B")
+        arc = graph.arcs[0]
+        assert arc.volume == 2.0
+        assert arc.source.f_available == 0.5
+        assert graph.external_inputs("A")[0].f_required == 0.25
+
+    def test_missing_port_index_rejected(self):
+        document = {
+            "version": 2,
+            "name": "bad",
+            "subtasks": [{"name": "A", "outputs": [{}]}, {"name": "B", "inputs": [{}]}],
+            "arcs": [{"producer": "A", "output_index": 3,
+                      "consumer": "B", "input_index": 1}],
+        }
+        with pytest.raises(TaskGraphError):
+            graph_from_dict(document)
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_tasks=st.integers(2, 15), seed=st.integers(0, 500), fractional=st.booleans())
+def test_random_graph_round_trip(num_tasks, seed, fractional):
+    """Serialization is lossless on arbitrary generated graphs."""
+    graph = layered_random(
+        num_tasks, max(1, min(3, num_tasks)), seed=seed, fractional_ports=fractional
+    )
+    restored = graph_from_dict(graph_to_dict(graph))
+    assert canonical(restored) == canonical(graph)

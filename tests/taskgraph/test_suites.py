@@ -1,0 +1,128 @@
+"""Tests for the classic structured workloads."""
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.suites import fft_butterfly, gaussian_elimination, stencil_pipeline
+
+
+class TestFftButterfly:
+    def test_sizes(self):
+        graph = fft_butterfly(8)
+        assert len(graph) == 12  # 3 ranks x 4 butterflies
+        assert len(graph.arcs) == 16  # 2 ranks of edges x 8
+
+    def test_depth_is_log2(self):
+        assert fft_butterfly(8).depth() == 3
+        assert fft_butterfly(16).depth() == 4
+
+    def test_each_inner_butterfly_has_two_inputs(self):
+        graph = fft_butterfly(8)
+        for subtask in graph.subtasks:
+            rank = int(subtask.name[2])
+            if rank > 0:
+                assert len(graph.arcs_into(subtask.name)) == 2
+
+    def test_butterfly_fanout_is_two(self):
+        graph = fft_butterfly(8)
+        for subtask in graph.subtasks:
+            rank = int(subtask.name[2])
+            if rank < 2:
+                assert len(graph.arcs_from(subtask.name)) == 2
+
+    def test_classic_wiring_n4(self):
+        graph = fft_butterfly(4)
+        arcs = {(a.producer, a.consumer) for a in graph.arcs}
+        assert arcs == {
+            ("B[0,0]", "B[1,0]"), ("B[0,0]", "B[1,1]"),
+            ("B[0,1]", "B[1,0]"), ("B[0,1]", "B[1,1]"),
+        }
+
+    def test_non_power_of_two_rejected(self):
+        for bad in (0, 1, 3, 6, 12):
+            with pytest.raises(TaskGraphError):
+                fft_butterfly(bad)
+
+    def test_volume_applied(self):
+        graph = fft_butterfly(4, volume=2.5)
+        assert all(arc.volume == 2.5 for arc in graph.arcs)
+
+    def test_smallest_fft(self):
+        graph = fft_butterfly(2)
+        assert len(graph) == 1
+        assert graph.arcs == ()
+
+
+class TestGaussianElimination:
+    def test_sizes(self):
+        graph = gaussian_elimination(4)
+        # Pivots: 3; updates: 3 + 2 + 1 = 6.
+        assert len(graph) == 9
+
+    def test_triangular_dependence(self):
+        graph = gaussian_elimination(4)
+        assert "Upd[0,1]" in graph.descendants("Piv[0]")
+        assert "Piv[1]" in graph.descendants("Upd[0,1]")
+        assert "Upd[2,3]" in graph.descendants("Piv[0]")
+
+    def test_depth_grows_linearly(self):
+        assert gaussian_elimination(3).depth() < gaussian_elimination(5).depth()
+
+    def test_single_source(self):
+        assert gaussian_elimination(4).sources() == ["Piv[0]"]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TaskGraphError):
+            gaussian_elimination(1)
+
+    def test_valid(self):
+        gaussian_elimination(6).validate()
+
+
+class TestStencilPipeline:
+    def test_sizes(self):
+        graph = stencil_pipeline(4, 3)
+        assert len(graph) == 12
+        # Interior sites have 3 parents, edges 2: per step 2*2 + 2*3 = 10.
+        assert len(graph.arcs) == 20
+
+    def test_neighbor_dependences(self):
+        graph = stencil_pipeline(3, 2)
+        parents = {a.producer for a in graph.arcs_into("C[1,1]")}
+        assert parents == {"C[0,0]", "C[0,1]", "C[0,2]"}
+
+    def test_edge_site_has_two_parents(self):
+        graph = stencil_pipeline(3, 2)
+        assert len(graph.arcs_into("C[1,0]")) == 2
+
+    def test_width_one(self):
+        graph = stencil_pipeline(1, 3)
+        assert len(graph) == 3
+        assert len(graph.arcs) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TaskGraphError):
+            stencil_pipeline(0, 2)
+        with pytest.raises(TaskGraphError):
+            stencil_pipeline(2, 0)
+
+
+class TestSuitesSynthesize:
+    """The suite graphs must be consumable by the whole pipeline."""
+
+    @pytest.mark.parametrize("factory,args", [
+        (fft_butterfly, (4,)),
+        (gaussian_elimination, (3,)),
+        (stencil_pipeline, (2, 2)),
+    ])
+    def test_end_to_end(self, factory, args):
+        from repro.synthesis.synthesizer import Synthesizer
+        from repro.system.generators import speed_graded_library
+
+        graph = factory(*args)
+        library = speed_graded_library(
+            graph, grades=((1.0, 6.0), (2.0, 2.0)), remote_delay=0.5
+        )
+        design = Synthesizer(graph, library).synthesize()
+        assert design.violations() == []
+        assert design.makespan > 0

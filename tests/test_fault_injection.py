@@ -1,0 +1,163 @@
+"""Fault injection: every class of schedule corruption must be detected.
+
+The independent validator is the reproduction's safety net; these tests
+corrupt known-good designs in each way the §3.3 constraints forbid and
+assert the validator flags *every* instance (no false negatives), while
+unmodified designs keep passing (no false positives).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schedule.schedule import Schedule
+from repro.schedule.validate import validate_schedule
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.examples import example1_library, example2_library
+from repro.taskgraph.examples import example1, example2
+
+
+@pytest.fixture(scope="module")
+def ex1_design():
+    return Synthesizer(example1(), example1_library()).synthesize()
+
+
+@pytest.fixture(scope="module")
+def ex2_design():
+    return Synthesizer(example2(), example2_library()).synthesize()
+
+
+def mutated(schedule: Schedule, executions=None, transfers=None) -> Schedule:
+    return Schedule(
+        executions=executions if executions is not None else list(schedule.executions),
+        transfers=transfers if transfers is not None else list(schedule.transfers),
+    )
+
+
+def check(design, schedule):
+    return validate_schedule(
+        design.graph, design.library, schedule,
+        architecture=design.architecture, style=design.style,
+    )
+
+
+class TestExecutionFaults:
+    def test_shrinking_any_execution_is_caught(self, ex2_design):
+        for index, event in enumerate(ex2_design.schedule.executions):
+            events = list(ex2_design.schedule.executions)
+            events[index] = dataclasses.replace(event, end=event.end - 0.5)
+            problems = check(ex2_design, mutated(ex2_design.schedule, executions=events))
+            assert problems, event.task
+
+    def test_stretching_any_execution_is_caught(self, ex2_design):
+        for index, event in enumerate(ex2_design.schedule.executions):
+            events = list(ex2_design.schedule.executions)
+            events[index] = dataclasses.replace(event, end=event.end + 0.5)
+            problems = check(ex2_design, mutated(ex2_design.schedule, executions=events))
+            assert problems, event.task
+
+    def test_moving_any_execution_much_earlier_is_caught(self, ex2_design):
+        """Starting a non-source subtask before its inputs can possibly
+        arrive violates (3.3.5)/(3.3.7) somewhere."""
+        graph = ex2_design.graph
+        for index, event in enumerate(ex2_design.schedule.executions):
+            if not graph.arcs_into(event.task):
+                continue  # sources may legally start at 0
+            if event.start == 0.0:
+                continue
+            events = list(ex2_design.schedule.executions)
+            events[index] = dataclasses.replace(
+                event, start=0.0, end=event.duration
+            )
+            problems = check(ex2_design, mutated(ex2_design.schedule, executions=events))
+            assert problems, event.task
+
+    def test_swapping_any_two_processors_is_caught_or_valid(self, ex1_design):
+        """Relabeling execution processors breaks durations, capabilities,
+        or transfer endpoints — the validator must notice."""
+        events = ex1_design.schedule.executions
+        for i in range(len(events)):
+            for j in range(i + 1, len(events)):
+                if events[i].processor == events[j].processor:
+                    continue
+                mutated_events = list(events)
+                mutated_events[i] = dataclasses.replace(
+                    events[i], processor=events[j].processor
+                )
+                mutated_events[j] = dataclasses.replace(
+                    events[j], processor=events[i].processor
+                )
+                problems = check(
+                    ex1_design, mutated(ex1_design.schedule, executions=mutated_events)
+                )
+                assert problems, (events[i].task, events[j].task)
+
+
+class TestTransferFaults:
+    def test_dropping_any_transfer_is_caught(self, ex2_design):
+        for index in range(len(ex2_design.schedule.transfers)):
+            transfers = list(ex2_design.schedule.transfers)
+            del transfers[index]
+            problems = check(ex2_design, mutated(ex2_design.schedule, transfers=transfers))
+            assert any("missing transfer" in p for p in problems)
+
+    def test_flipping_any_remote_flag_is_caught(self, ex2_design):
+        for index, transfer in enumerate(ex2_design.schedule.transfers):
+            transfers = list(ex2_design.schedule.transfers)
+            flipped = dataclasses.replace(transfer, remote=not transfer.remote)
+            transfers[index] = flipped
+            problems = check(ex2_design, mutated(ex2_design.schedule, transfers=transfers))
+            assert problems, transfer.label
+
+    def test_delaying_any_transfer_past_deadline_is_caught(self, ex2_design):
+        horizon = ex2_design.makespan + 10
+        for index, transfer in enumerate(ex2_design.schedule.transfers):
+            transfers = list(ex2_design.schedule.transfers)
+            transfers[index] = dataclasses.replace(
+                transfer, start=horizon, end=horizon + transfer.duration
+            )
+            problems = check(ex2_design, mutated(ex2_design.schedule, transfers=transfers))
+            assert any("3.3.5" in p for p in problems), transfer.label
+
+    def test_colliding_transfers_on_one_link_is_caught(self, ex1_design):
+        """Force two remote transfers onto the same route and time."""
+        remote = ex1_design.schedule.remote_transfers()
+        if len(remote) < 2:
+            pytest.skip("needs two remote transfers")
+        first, second = remote[0], remote[1]
+        transfers = [
+            t for t in ex1_design.schedule.transfers
+            if t.label not in (first.label, second.label)
+        ]
+        clash = dataclasses.replace(
+            second, source=first.source, dest=first.dest,
+            start=first.start, end=first.start + second.duration,
+        )
+        transfers.extend([first, clash])
+        problems = check(ex1_design, mutated(ex1_design.schedule, transfers=transfers))
+        assert problems
+
+
+class TestNoFalsePositives:
+    def test_pristine_designs_stay_valid(self, ex1_design, ex2_design):
+        assert check(ex1_design, ex1_design.schedule) == []
+        assert check(ex2_design, ex2_design.schedule) == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(shift=st.floats(0.01, 5.0))
+    def test_uniform_time_shift_keeps_relative_validity(self, shift):
+        """Shifting EVERY event by the same amount preserves all relative
+        constraints (only the t=0 origin moves) — the validator checks
+        relations, not absolute anchoring."""
+        design = Synthesizer(example1(), example1_library()).synthesize()
+        executions = [
+            dataclasses.replace(e, start=e.start + shift, end=e.end + shift)
+            for e in design.schedule.executions
+        ]
+        transfers = [
+            dataclasses.replace(t, start=t.start + shift, end=t.end + shift)
+            for t in design.schedule.transfers
+        ]
+        problems = check(design, Schedule(executions=executions, transfers=transfers))
+        assert problems == []
