@@ -12,6 +12,7 @@ import pytest
 from benchmarks.conftest import run_once
 from repro.core.formulation import SosModelBuilder
 from repro.core.options import FormulationOptions
+from repro.solvers.base import SolverOptions
 from repro.solvers.registry import get_solver
 from repro.system.examples import example1_library
 from repro.taskgraph.examples import example1
@@ -31,7 +32,30 @@ def bench_bozo_example1(benchmark):
 
     solution = benchmark(solve)
     assert solution.objective == pytest.approx(2.5)
-    print(f"\nBozo nodes: {solution.iterations}")
+    stats = solution.stats
+    print(f"\nBozo nodes: {stats.nodes}, LP pivots: {stats.lp_pivots}, "
+          f"warm-start hit rate: {stats.warm_start_hit_rate:.0%}")
+
+
+def bench_bozo_example1_cold(benchmark):
+    """The same model with warm starts disabled: dense tableau per node.
+
+    Together with :func:`bench_bozo_example1` this quantifies what the
+    incremental revised-simplex pipeline buys; the warm path must take at
+    least 2x fewer total simplex pivots for the identical optimum.
+    """
+
+    def solve():
+        return get_solver(
+            "bozo", SolverOptions(warm_start=False)
+        ).solve(_example1_model().model)
+
+    cold = benchmark(solve)
+    assert cold.objective == pytest.approx(2.5)
+    warm = get_solver("bozo").solve(_example1_model().model)
+    assert warm.objective == pytest.approx(cold.objective)
+    print(f"\ncold pivots: {cold.stats.lp_pivots}, warm pivots: {warm.stats.lp_pivots}")
+    assert warm.stats.lp_pivots * 2 <= cold.stats.lp_pivots
 
 
 def bench_highs_example1(benchmark):

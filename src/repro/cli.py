@@ -87,6 +87,8 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         objective=Objective.MIN_COST if args.min_cost else Objective.MIN_MAKESPAN,
     )
     print(design.describe())
+    if args.telemetry and synth.last_stats is not None:
+        print(f"\nsolver telemetry: {synth.last_stats.summary()}")
     if args.gantt:
         print()
         print(design.gantt())
@@ -99,7 +101,10 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Enumerate and print the full non-inferior design front."""
     graph, library = load_problem(args.problem)
-    synth = Synthesizer(graph, library, style=_style(args.style), solver=args.solver)
+    synth = Synthesizer(
+        graph, library, style=_style(args.style), solver=args.solver,
+        incremental=args.incremental,
+    )
     front = synth.pareto_sweep(max_designs=args.max_designs)
     if args.csv:
         from repro.analysis.reporting import write_csv
@@ -134,6 +139,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title=f"Non-inferior designs for {graph.name} ({args.style})",
         )
     )
+    if args.telemetry:
+        print(f"\nsolver telemetry (whole sweep): {synth.total_stats.summary()}")
     return 0
 
 
@@ -334,12 +341,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="minimize cost (default: minimize completion time)")
     p_synth.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     p_synth.add_argument("--output", help="write the design JSON here")
+    p_synth.add_argument("--telemetry", action="store_true",
+                         help="print solver statistics (nodes, pivots, warm starts)")
     p_synth.set_defaults(func=cmd_synthesize)
 
     p_sweep = sub.add_parser("sweep", help="enumerate all non-inferior designs")
     common(p_sweep)
     p_sweep.add_argument("--max-designs", type=int, default=64)
     p_sweep.add_argument("--csv", help="also write the front to this CSV file")
+    p_sweep.add_argument("--incremental", action="store_true",
+                         help="build the MILP once and retighten it across the sweep")
+    p_sweep.add_argument("--telemetry", action="store_true",
+                         help="print solver statistics aggregated over the sweep")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_paper = sub.add_parser("paper", help="regenerate a paper table/figure")

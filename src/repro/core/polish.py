@@ -67,6 +67,7 @@ def left_shift(built: SosModel, solution: Solution) -> Solution:
         iterations=solution.iterations,
         solve_seconds=solution.solve_seconds,
         solver_name=solution.solver_name,
+        stats=solution.stats,
     )
     return polished
 

@@ -10,7 +10,7 @@ from repro.milp.expr import INTEGRALITY_TOLERANCE, LinExpr, Var, VarType
 from repro.milp.lpreader import read_lp
 from repro.milp.lpwriter import lp_string, write_lp
 from repro.milp.model import MatrixForm, Model, ModelStats
-from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solution import Solution, SolveStats, SolveStatus
 
 __all__ = [
     "Constraint",
@@ -26,5 +26,6 @@ __all__ = [
     "Model",
     "ModelStats",
     "Solution",
+    "SolveStats",
     "SolveStatus",
 ]

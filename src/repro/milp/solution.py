@@ -1,10 +1,10 @@
-"""Solution and status objects shared by every solver backend."""
+"""Solution, status, and solver-telemetry objects shared by every backend."""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from repro.milp.expr import INTEGRALITY_TOLERANCE, Var
 
@@ -27,6 +27,76 @@ class SolveStatus(enum.Enum):
 
 
 @dataclass
+class SolveStats:
+    """Telemetry of one (or several merged) solver runs.
+
+    Backends populate what they can observe; counters they cannot measure
+    stay zero.  Instances add together with :meth:`merge`, so callers like
+    the synthesizer can accumulate telemetry across a whole Pareto sweep.
+
+    Attributes:
+        nodes: Branch-and-bound nodes processed.
+        lp_solves: LP relaxations solved (nodes + dives + root).
+        lp_pivots: Total simplex pivots across every LP solve.
+        warm_starts: LP solves attempted from an inherited basis.
+        warm_start_hits: Warm-started solves that finished on the revised
+            path (no dense cold-start fallback needed).
+        fallbacks: LP solves that fell back to the dense tableau oracle.
+        phase_seconds: Wall-clock seconds per named phase (``"presolve"``,
+            ``"lp"``, ``"search"``, ``"build"``, ...).
+    """
+
+    nodes: int = 0
+    lp_solves: int = 0
+    lp_pivots: int = 0
+    warm_starts: int = 0
+    warm_start_hits: int = 0
+    fallbacks: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def warm_start_hit_rate(self) -> float:
+        """Fraction of warm-start attempts that avoided a cold fallback."""
+        if not self.warm_starts:
+            return 0.0
+        return self.warm_start_hits / self.warm_starts
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock time into a named phase."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def merge(self, other: "SolveStats") -> "SolveStats":
+        """Accumulate another run's counters into this record (returns self)."""
+        self.nodes += other.nodes
+        self.lp_solves += other.lp_solves
+        self.lp_pivots += other.lp_pivots
+        self.warm_starts += other.warm_starts
+        self.warm_start_hits += other.warm_start_hits
+        self.fallbacks += other.fallbacks
+        for name, seconds in other.phase_seconds.items():
+            self.add_phase(name, seconds)
+        return self
+
+    def summary(self) -> str:
+        """One-line human-readable telemetry summary."""
+        parts = [
+            f"nodes={self.nodes}",
+            f"lp_solves={self.lp_solves}",
+            f"pivots={self.lp_pivots}",
+        ]
+        if self.warm_starts:
+            parts.append(
+                f"warm-start hit rate {self.warm_start_hit_rate:.0%} "
+                f"({self.warm_start_hits}/{self.warm_starts})"
+            )
+        if self.fallbacks:
+            parts.append(f"fallbacks={self.fallbacks}")
+        for name in sorted(self.phase_seconds):
+            parts.append(f"{name}={self.phase_seconds[name]:.3f}s")
+        return ", ".join(parts)
+
+
+@dataclass
 class Solution:
     """Result of solving a model.
 
@@ -39,6 +109,8 @@ class Solution:
         iterations: Simplex iterations (LP) or B&B nodes processed (MILP).
         solve_seconds: Wall-clock time spent in the solver.
         solver_name: Which backend produced this solution.
+        stats: Solver telemetry (:class:`SolveStats`); ``None`` only for
+            solutions constructed outside a backend (e.g. loaded from disk).
     """
 
     status: SolveStatus
@@ -48,6 +120,7 @@ class Solution:
     iterations: int = 0
     solve_seconds: float = 0.0
     solver_name: str = ""
+    stats: Optional[SolveStats] = None
 
     def value(self, var: Var) -> float:
         """Value of one variable in this solution."""

@@ -21,9 +21,18 @@ class SolverOptions:
         integrality_tolerance: How close to an integer an LP value must be.
         node_limit: Maximum branch-and-bound nodes (``0`` = unlimited).
         node_selection: ``"best_first"`` or ``"depth_first"`` (Bozo only).
-        branching: ``"most_fractional"`` or ``"pseudocost"`` (Bozo only).
+        branching: ``"pseudocost"`` (default) or ``"most_fractional"``
+            (Bozo only).  Pseudocosts learn per-variable objective
+            degradation from solved children, which keeps the tree small
+            even when the LP returns an unhelpful degenerate vertex;
+            most-fractional branching gambles on the vertex it is handed.
         presolve: Run bound-propagation presolve before branch and bound
             (Bozo only; HiGHS presolves internally).
+        warm_start: Solve LP relaxations with the incremental revised
+            simplex, warm-starting each branch-and-bound child from its
+            parent's optimal basis (Bozo only).  ``False`` reproduces the
+            original cold-start behavior: a dense two-phase tableau solve
+            per node.
         seed: Tie-breaking seed for randomized choices.
         verbose: Emit progress lines to stdout.
     """
@@ -33,8 +42,9 @@ class SolverOptions:
     integrality_tolerance: float = 1e-6
     node_limit: int = 0
     node_selection: str = "best_first"
-    branching: str = "most_fractional"
+    branching: str = "pseudocost"
     presolve: bool = True
+    warm_start: bool = True
     seed: int = 0
     verbose: bool = False
 

@@ -2,15 +2,24 @@
 
 The paper solved its MILP models with Bozo, L. J. Hafer's branch-and-bound
 code layered on the commercial XLP simplex.  This module is the
-reproduction's equivalent: LP-relaxation branch and bound layered on the
-from-scratch simplex in :mod:`repro.solvers.simplex`.
+reproduction's equivalent: LP-relaxation branch and bound layered on an
+incremental LP pipeline.  The standard form is built **once** at the root
+(:class:`~repro.solvers.revised.StandardFormLP`); each node mutates only
+the branched variable bound in place and warm-starts the revised simplex
+from its parent's optimal basis, falling back to the dense two-phase
+tableau (:mod:`repro.solvers.simplex`) whenever the incremental path
+signals trouble.
 
 Features (all selectable through :class:`~repro.solvers.base.SolverOptions`):
 
 * best-first (default) or depth-first node selection,
-* most-fractional or pseudocost branching,
+* most-fractional or pseudocost branching (pseudocosts learn from the
+  *observed* parent-to-child LP objective degradation),
+* warm-started LP relaxations (``warm_start=False`` restores the original
+  cold dense solve per node),
 * incumbent rounding/repair for near-integral LP solutions,
-* wall-clock and node limits with a FEASIBLE (incumbent, gap > 0) result.
+* wall-clock and node limits with a FEASIBLE (incumbent, gap > 0) result,
+* full :class:`~repro.milp.solution.SolveStats` telemetry on every result.
 """
 
 from __future__ import annotations
@@ -25,9 +34,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.milp.model import MatrixForm, Model
-from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solution import Solution, SolveStats, SolveStatus
 from repro.solvers.base import Solver, SolverOptions
-from repro.solvers.simplex import LPStatus, solve_lp
+from repro.solvers.revised import Basis, StandardFormLP, solve_with_fallback
+from repro.solvers.simplex import LPResult, LPStatus, solve_lp
 
 
 @dataclass(order=True)
@@ -39,6 +49,14 @@ class _Node:
     lb: np.ndarray = field(compare=False)
     ub: np.ndarray = field(compare=False)
     depth: int = field(compare=False, default=0)
+    #: Parent's optimal basis, the warm start for this node's LP.
+    basis: Optional[Basis] = field(compare=False, default=None)
+    #: Variable branched on to create this node (-1 at the root).
+    branch_var: int = field(compare=False, default=-1)
+    #: ``"down"`` or ``"up"`` branch direction.
+    branch_dir: str = field(compare=False, default="")
+    #: Fractional distance the branch must close (f down, 1-f up).
+    branch_fraction: float = field(compare=False, default=0.0)
 
 
 class _Pseudocosts:
@@ -59,6 +77,13 @@ class _Pseudocosts:
             self.down_sum[j] += per_unit
             self.down_count[j] += 1
 
+    def observe_child(self, node: _Node, child_objective: float) -> None:
+        """Learn from a solved child: the true parent-to-child degradation."""
+        if node.branch_var < 0:
+            return
+        degradation = max(child_objective - node.bound, 0.0)
+        self.record(node.branch_var, node.branch_dir, degradation, node.branch_fraction)
+
     def score(self, j: int, fraction: float) -> float:
         up = self.up_sum[j] / self.up_count[j] if self.up_count[j] else 1.0
         down = self.down_sum[j] / self.down_count[j] if self.down_count[j] else 1.0
@@ -66,29 +91,77 @@ class _Pseudocosts:
         return max(up * (1.0 - fraction), 1e-6) * max(down * fraction, 1e-6)
 
 
+class _LPBackend:
+    """Per-MILP LP engine: one standard form, bound mutation, warm starts.
+
+    One instance lives for the duration of a :meth:`BozoSolver.solve` call.
+    It owns the :class:`StandardFormLP` built from the (presolved) matrix
+    form and funnels every relaxation — root, dive steps, tree nodes —
+    through :meth:`solve`, accumulating telemetry in a shared
+    :class:`SolveStats`.
+    """
+
+    def __init__(self, form: MatrixForm, warm_start: bool, stats: SolveStats) -> None:
+        self.form = form
+        self.stats = stats
+        self.sf = StandardFormLP.from_matrix_form(form) if warm_start else None
+
+    def solve(
+        self, lb: np.ndarray, ub: np.ndarray, basis: Optional[Basis] = None
+    ) -> Tuple[LPResult, Optional[Basis]]:
+        """Solve the relaxation under ``lb``/``ub``; returns (result, basis)."""
+        start = time.monotonic()
+        self.stats.lp_solves += 1
+        form = self.form
+        if self.sf is None:
+            result = solve_lp(
+                form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+                lb, ub, c0=form.c0,
+            )
+            self.stats.lp_pivots += result.iterations
+            self.stats.add_phase("lp", time.monotonic() - start)
+            return result, None
+        self.sf.set_bounds(lb, ub)
+        if basis is not None:
+            self.stats.warm_starts += 1
+        result, final_basis, fell_back = solve_with_fallback(self.sf, basis)
+        self.stats.lp_pivots += result.iterations
+        if fell_back:
+            self.stats.fallbacks += 1
+        elif basis is not None:
+            self.stats.warm_start_hits += 1
+        self.stats.add_phase("lp", time.monotonic() - start)
+        return result, final_basis
+
+
 class BozoSolver(Solver):
-    """Branch-and-bound MILP solver over the from-scratch simplex."""
+    """Branch-and-bound MILP solver over the incremental simplex pipeline."""
 
     name = "bozo"
 
     def solve(self, model: Model) -> Solution:
         """Solve ``model`` to optimality (or the configured limits)."""
         start = time.monotonic()
+        stats = SolveStats()
         form = model.to_matrices()
         if self.options.presolve:
             from repro.solvers.presolve import presolve
 
+            presolve_start = time.monotonic()
             reduction = presolve(form)
+            stats.add_phase("presolve", time.monotonic() - presolve_start)
             if reduction.proven_infeasible:
                 return Solution(
                     SolveStatus.INFEASIBLE, iterations=0,
                     solve_seconds=time.monotonic() - start, solver_name=self.name,
+                    stats=stats,
                 )
             assert reduction.form is not None
             form = reduction.form
         n = form.c.shape[0]
         integral = np.where(form.integrality)[0]
         tol = self.options.integrality_tolerance
+        lp = _LPBackend(form, self.options.warm_start, stats)
 
         incumbent_x: Optional[np.ndarray] = None
         incumbent_obj = math.inf
@@ -125,20 +198,16 @@ class BozoSolver(Solver):
                 break
             if node.bound >= incumbent_obj - self.options.gap_tolerance * max(1.0, abs(incumbent_obj)):
                 continue  # pruned by bound
-            if time.monotonic() - start > self.options.time_limit:
+            if time.monotonic() - start > self.options.time_limit or (
+                self.options.node_limit and nodes_processed >= self.options.node_limit
+            ):
                 hit_limit = True
                 best_open_bound = min(
                     node.bound, *(other.bound for other in (heap or stack))
                 ) if (heap or stack) else node.bound
                 break
-            if self.options.node_limit and nodes_processed >= self.options.node_limit:
-                hit_limit = True
-                break
 
-            result = solve_lp(
-                form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
-                node.lb, node.ub, c0=form.c0,
-            )
+            result, node_basis = lp.solve(node.lb, node.ub, node.basis)
             nodes_processed += 1
             if result.status is LPStatus.INFEASIBLE:
                 continue
@@ -153,9 +222,12 @@ class BozoSolver(Solver):
 
             assert result.x is not None
             lp_obj = result.objective
-            if nodes_processed == 1:
-                # Root node: try a rounding dive for a quick incumbent.
-                dived = self._dive(form, node.lb, node.ub, result.x, integral)
+            pseudo.observe_child(node, lp_obj)
+            if nodes_processed == 1 or (incumbent_x is None and nodes_processed % 16 == 0):
+                # Rounding dive for a quick incumbent: always at the root,
+                # then periodically for as long as the tree has none —
+                # best-first search cannot prune anything without one.
+                dived = self._dive(lp, node.lb, node.ub, result.x, integral, node_basis)
                 if dived is not None:
                     objective = float(form.c @ dived) + form.c0
                     if objective < incumbent_obj - 1e-12:
@@ -188,12 +260,18 @@ class BozoSolver(Solver):
             value = result.x[branch_j]
             floor_value = math.floor(value + tol)
 
-            down = _Node(lp_obj, next(counter), node.lb.copy(), node.ub.copy(), node.depth + 1)
+            down = _Node(
+                lp_obj, next(counter), node.lb.copy(), node.ub.copy(),
+                node.depth + 1, basis=node_basis,
+                branch_var=branch_j, branch_dir="down", branch_fraction=fraction,
+            )
             down.ub[branch_j] = float(floor_value)
-            up = _Node(lp_obj, next(counter), node.lb.copy(), node.ub.copy(), node.depth + 1)
+            up = _Node(
+                lp_obj, next(counter), node.lb.copy(), node.ub.copy(),
+                node.depth + 1, basis=node_basis,
+                branch_var=branch_j, branch_dir="up", branch_fraction=1.0 - fraction,
+            )
             up.lb[branch_j] = float(floor_value + 1)
-            pseudo.record(branch_j, "down", 0.0, fraction)
-            pseudo.record(branch_j, "up", 0.0, 1.0 - fraction)
             # Depth-first explores the "more integral" child first for quick
             # incumbents: push the closer-to-value branch last (popped first).
             if value - floor_value > 0.5:
@@ -204,6 +282,9 @@ class BozoSolver(Solver):
                 push_node(down)
 
         elapsed = time.monotonic() - start
+        stats.nodes = nodes_processed
+        stats.add_phase("search", elapsed - stats.phase_seconds.get("lp", 0.0)
+                        - stats.phase_seconds.get("presolve", 0.0))
         if incumbent_x is not None:
             status = SolveStatus.FEASIBLE if hit_limit else SolveStatus.OPTIMAL
             bound = best_open_bound if hit_limit and best_open_bound > -math.inf else incumbent_obj
@@ -211,31 +292,38 @@ class BozoSolver(Solver):
             return Solution(
                 status=status, objective=incumbent_obj, values=values,
                 best_bound=bound, iterations=nodes_processed,
-                solve_seconds=elapsed, solver_name=self.name,
+                solve_seconds=elapsed, solver_name=self.name, stats=stats,
             )
         if root_unbounded:
             return Solution(SolveStatus.UNBOUNDED, iterations=nodes_processed,
-                            solve_seconds=elapsed, solver_name=self.name)
+                            solve_seconds=elapsed, solver_name=self.name, stats=stats)
         if hit_limit:
-            return Solution(SolveStatus.UNKNOWN, iterations=nodes_processed,
-                            solve_seconds=elapsed, solver_name=self.name)
+            bound = best_open_bound if best_open_bound > -math.inf else math.nan
+            return Solution(SolveStatus.UNKNOWN, best_bound=bound,
+                            iterations=nodes_processed,
+                            solve_seconds=elapsed, solver_name=self.name, stats=stats)
         status = SolveStatus.INFEASIBLE
         return Solution(status, iterations=nodes_processed,
-                        solve_seconds=elapsed, solver_name=self.name)
+                        solve_seconds=elapsed, solver_name=self.name, stats=stats)
 
     # -- helpers ------------------------------------------------------------
     def _dive(
         self,
-        form: MatrixForm,
+        lp: _LPBackend,
         lb: np.ndarray,
         ub: np.ndarray,
         x: np.ndarray,
         integral: np.ndarray,
+        basis: Optional[Basis],
     ) -> Optional[np.ndarray]:
         """Rounding dive: repeatedly fix the most nearly-integral fractional
-        variable to its rounded value and re-solve the LP.  Returns a
-        feasible integral point or ``None``.  At most ``|integral|`` LP
-        solves, so the dive is cheap relative to the tree search it seeds."""
+        variable to its rounded value and re-solve the LP, warm-starting
+        each step from the previous one's basis.  When fixing to the
+        nearest integer kills the LP the dive retries the opposite
+        rounding before giving up, so it survives degenerate LP vertices
+        (different simplex engines return different ones).  Returns a
+        feasible integral point or ``None``.  At most ``2|integral|`` LP
+        solves, so the dive is cheap relative to the tree it seeds."""
         tol = self.options.integrality_tolerance
         lb = lb.copy()
         ub = ub.copy()
@@ -249,7 +337,7 @@ class BozoSolver(Solver):
             if not fractional:
                 candidate = current.copy()
                 candidate[integral] = np.round(candidate[integral])
-                if self._is_feasible(form, candidate):
+                if self._is_feasible(lp.form, candidate):
                     return candidate
                 return None
             j, value = min(
@@ -257,15 +345,19 @@ class BozoSolver(Solver):
                 key=lambda item: min(item[1] - math.floor(item[1]),
                                      math.ceil(item[1]) - item[1]),
             )
-            fixed = float(round(value))
-            fixed = min(max(fixed, lb[j]), ub[j])
-            lb[j] = fixed
-            ub[j] = fixed
-            result = solve_lp(
-                form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
-                lb, ub, c0=form.c0,
-            )
-            if result.status is not LPStatus.OPTIMAL or result.x is None:
+            nearest = float(round(value))
+            other = float(math.floor(value) if nearest > value else math.ceil(value))
+            result = None
+            for fixed in (nearest, other):
+                fixed = min(max(fixed, lb[j]), ub[j])
+                try_lb, try_ub = lb.copy(), ub.copy()
+                try_lb[j] = fixed
+                try_ub[j] = fixed
+                result, next_basis = lp.solve(try_lb, try_ub, basis)
+                if result.status is LPStatus.OPTIMAL and result.x is not None:
+                    lb, ub, basis = try_lb, try_ub, next_basis
+                    break
+            if result is None or result.status is not LPStatus.OPTIMAL or result.x is None:
                 return None
             current = result.x
         return None

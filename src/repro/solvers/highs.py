@@ -18,7 +18,7 @@ import numpy as np
 from scipy import optimize, sparse
 
 from repro.milp.model import Model
-from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solution import Solution, SolveStats, SolveStatus
 from repro.solvers.base import Solver
 
 
@@ -82,12 +82,21 @@ class HighsSolver(Solver):
         if result.x is not None and getattr(result, "mip_dual_bound", None) is not None:
             bound = float(result.mip_dual_bound) + form.c0
 
+        nodes = int(getattr(result, "mip_node_count", 0) or 0)
+        stats = SolveStats(nodes=nodes)
+        # HiGHS does not report LP pivot counts through scipy; record the
+        # node count as a lower bound on LP solves so telemetry stays
+        # comparable across backends.
+        stats.lp_solves = nodes
+        stats.add_phase("solve", elapsed)
+
         return Solution(
             status=status,
             objective=objective,
             values=values,
             best_bound=bound,
-            iterations=int(getattr(result, "mip_node_count", 0) or 0),
+            iterations=nodes,
             solve_seconds=elapsed,
             solver_name=self.name,
+            stats=stats,
         )

@@ -1,0 +1,720 @@
+"""Bounded-variable revised simplex with warm starts.
+
+This is the incremental LP engine underneath :mod:`repro.solvers.bozo`.
+Branch and bound solves hundreds of LP relaxations that differ from their
+parent in exactly one variable bound, and the Pareto sweep re-solves
+near-identical LPs with only one right-hand side moving.  The dense
+two-phase tableau in :mod:`repro.solvers.simplex` rebuilds everything from
+scratch on every call; this module instead keeps one
+:class:`StandardFormLP` per MILP and re-solves after in-place mutations:
+
+* **Standard form** — rows ``A x = b`` with one logical column per row
+  (a slack in ``[0, inf)`` for every ``<=`` row, a fixed artificial in
+  ``[0, 0]`` for every ``=`` row), structural variables keeping their
+  ``lb <= x <= ub`` boxes.
+* **Warm starts** — a solve accepts the final :class:`Basis` of a previous
+  solve.  After a *bound* change the old basis stays dual feasible, so a
+  handful of dual-simplex pivots restore optimality; after an *objective*
+  change it stays primal feasible, so primal simplex finishes the job.
+* **Cold starts** — the all-logical basis with each structural variable
+  parked on a finite bound, driven to feasibility by a bounded-variable
+  primal phase 1 (minimize total infeasibility), then phase 2.  The dual
+  simplex is reserved for starts with only a few violated basics — the
+  warm-start regime where it shines; deeply infeasible starts crawl under
+  dual pivoting, so they take the phase-1 route instead.
+* **Fallback** — anything numerically suspicious (singular basis, cycling,
+  residual drift, a start that is neither primal nor dual feasible)
+  returns :attr:`RevisedStatus.NEEDS_FALLBACK` so callers can re-solve with
+  the dense tableau oracle.  :func:`solve_with_fallback` packages that
+  policy; correctness never depends on the incremental path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.milp.model import MatrixForm
+from repro.solvers.simplex import LPResult, LPStatus, solve_lp
+
+#: Primal feasibility tolerance on variable bounds.
+FEAS_TOL = 1e-7
+#: Dual feasibility tolerance on reduced costs.
+DUAL_TOL = 1e-7
+#: Smallest pivot magnitude accepted without refactorizing first.
+PIVOT_TOL = 1e-8
+#: Pivots between periodic refactorizations of the basis inverse.
+REFACTOR_EVERY = 64
+#: Consecutive non-improving pivots before switching to Bland's rule.
+STALL_LIMIT = 64
+
+#: Nonbasic at lower bound.
+AT_LB = 0
+#: Nonbasic at upper bound.
+AT_UB = 1
+#: Basic.
+BASIC = 2
+#: Nonbasic free variable held at zero (only dual feasible when its
+#: reduced cost is zero).
+AT_FREE = 3
+
+
+class RevisedStatus(enum.Enum):
+    """Outcome of a revised-simplex solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    #: The incremental path could not finish reliably (numerical trouble,
+    #: iteration cap, or a start that was neither primal nor dual
+    #: feasible); re-solve with the dense tableau oracle.
+    NEEDS_FALLBACK = "needs_fallback"
+
+
+@dataclasses.dataclass
+class Basis:
+    """A simplex basis: basic column per row plus every column's status.
+
+    Attributes:
+        basic: Shape ``(m,)`` — the column index basic in each row.
+        status: Shape ``(N,)`` — one of :data:`AT_LB`, :data:`AT_UB`,
+            :data:`BASIC`, :data:`AT_FREE` per column.
+    """
+
+    basic: np.ndarray
+    status: np.ndarray
+
+    def copy(self) -> "Basis":
+        """An independent copy (solves mutate their working basis)."""
+        return Basis(self.basic.copy(), self.status.copy())
+
+
+@dataclasses.dataclass
+class RevisedResult:
+    """Result of :func:`solve_revised`.
+
+    Attributes:
+        status: Solve outcome.
+        x: Structural-variable values (``None`` unless OPTIMAL).
+        objective: ``c @ x + c0`` at the solution (``nan`` otherwise).
+        iterations: Simplex pivots performed.
+        basis: Final basis for warm-starting the next solve (``None``
+            unless OPTIMAL).
+    """
+
+    status: RevisedStatus
+    x: Optional[np.ndarray]
+    objective: float
+    iterations: int
+    basis: Optional[Basis]
+
+
+class StandardFormLP:
+    """A computational standard form built once per MILP.
+
+    The form is ``minimize c @ x + c0`` over ``A x = b`` with per-column
+    boxes ``lo <= x <= up``.  Columns ``0..n-1`` are the caller's
+    structural variables; each ``<=`` row then owns a slack column in
+    ``[0, inf)`` and each ``=`` row a fixed artificial column in
+    ``[0, 0]``, so the logical block is the identity and any basis drawn
+    from it is trivially nonsingular.
+
+    Branch and bound mutates only the structural bounds between solves
+    (:meth:`set_bounds`); the Pareto machinery may also retarget the
+    objective (:meth:`set_objective`).  The matrix itself never changes.
+    """
+
+    def __init__(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        c0: float = 0.0,
+    ) -> None:
+        c = np.asarray(c, dtype=float)
+        n = c.shape[0]
+        a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n) if np.size(a_ub) else np.zeros((0, n))
+        a_eq = np.asarray(a_eq, dtype=float).reshape(-1, n) if np.size(a_eq) else np.zeros((0, n))
+        b_ub = np.asarray(b_ub, dtype=float).reshape(-1)
+        b_eq = np.asarray(b_eq, dtype=float).reshape(-1)
+        m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+        m = m_ub + m_eq
+
+        self.n = n
+        self.m = m
+        self.ncols = n + m
+        logical = np.eye(m)
+        self.a = np.hstack([np.vstack([a_ub, a_eq]), logical]) if m else np.zeros((0, n))
+        self.b = np.concatenate([b_ub, b_eq])
+        self.lo = np.concatenate([np.asarray(lb, dtype=float), np.zeros(m)])
+        self.up = np.concatenate(
+            [np.asarray(ub, dtype=float), np.full(m_ub, np.inf), np.zeros(m_eq)]
+        )
+        self.cost = np.concatenate([c, np.zeros(m)])
+        self.c0 = float(c0)
+
+    @classmethod
+    def from_matrix_form(cls, form: MatrixForm) -> "StandardFormLP":
+        """Build the standard form of a model's :class:`MatrixForm`."""
+        return cls(form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+                   form.lb, form.ub, c0=form.c0)
+
+    def set_bounds(self, lb: np.ndarray, ub: np.ndarray) -> None:
+        """Replace the structural variable boxes in place (O(n), no rebuild)."""
+        self.lo[: self.n] = lb
+        self.up[: self.n] = ub
+
+    def set_objective(self, c: np.ndarray, c0: float = 0.0) -> None:
+        """Replace the structural objective in place (logicals stay at 0)."""
+        self.cost[: self.n] = c
+        self.c0 = float(c0)
+
+    def logical_basis(self) -> Basis:
+        """The all-logical cold-start basis (trivially nonsingular).
+
+        Every row's logical column is basic.  Each structural column parks
+        on the bound matching the sign of its cost when that bound is
+        finite (positive cost at the lower bound, negative at the upper) —
+        the dual-feasible side — and otherwise on whichever bound exists;
+        doubly-unbounded columns start free at zero.  The engine's primal
+        phase 1 makes the start usable even when no dual-feasible parking
+        exists.
+        """
+        status = np.empty(self.ncols, dtype=np.int8)
+        status[self.n:] = BASIC
+        for j in range(self.n):
+            cj = self.cost[j]
+            lo_ok = math.isfinite(self.lo[j])
+            up_ok = math.isfinite(self.up[j])
+            if cj > DUAL_TOL:
+                status[j] = AT_LB if lo_ok else (AT_UB if up_ok else AT_FREE)
+            elif cj < -DUAL_TOL:
+                status[j] = AT_UB if up_ok else (AT_LB if lo_ok else AT_FREE)
+            elif lo_ok:
+                status[j] = AT_LB
+            elif up_ok:
+                status[j] = AT_UB
+            else:
+                status[j] = AT_FREE
+        basic = self.n + np.arange(self.m, dtype=int)
+        return Basis(basic, status)
+
+
+def solve_revised(
+    sf: StandardFormLP,
+    basis: Optional[Basis] = None,
+    max_iterations: int = 20_000,
+) -> RevisedResult:
+    """Solve ``sf``, optionally warm-starting from a previous basis.
+
+    Args:
+        sf: The standard form (possibly mutated since the basis was made).
+        basis: Final basis of a previous solve of the *same* form; the
+            input is copied, never mutated.  ``None`` means cold start
+            from the all-logical basis.
+        max_iterations: Pivot budget; exceeding it yields NEEDS_FALLBACK.
+
+    Returns:
+        A :class:`RevisedResult`; on OPTIMAL its ``basis`` warm-starts the
+        next solve after further mutations.
+    """
+    if np.any(sf.lo > sf.up + FEAS_TOL):
+        return RevisedResult(RevisedStatus.INFEASIBLE, None, math.nan, 0, None)
+    if sf.m == 0:
+        return RevisedResult(RevisedStatus.NEEDS_FALLBACK, None, math.nan, 0, None)
+    warm = basis is not None
+    if basis is None:
+        basis = sf.logical_basis()
+    engine = _Engine(sf, basis.copy(), max_iterations, warm=warm)
+    return engine.run()
+
+
+def solve_with_fallback(
+    sf: StandardFormLP,
+    basis: Optional[Basis] = None,
+    max_iterations: int = 20_000,
+) -> Tuple[LPResult, Optional[Basis], bool]:
+    """Solve via the revised path, falling back to the dense tableau.
+
+    This is the policy branch and bound uses per node: try the
+    incremental engine (warm when ``basis`` is given); if it signals
+    NEEDS_FALLBACK, re-solve cold with :func:`repro.solvers.simplex.solve_lp`,
+    which is slower but oracle-grade.
+
+    Returns:
+        ``(result, final_basis, fell_back)`` — ``final_basis`` is ``None``
+        whenever the dense path produced the result (it has no basis to
+        hand to children), and ``fell_back`` says which path answered.
+    """
+    revised = solve_revised(sf, basis, max_iterations=max_iterations)
+    if revised.status is not RevisedStatus.NEEDS_FALLBACK:
+        status = {
+            RevisedStatus.OPTIMAL: LPStatus.OPTIMAL,
+            RevisedStatus.INFEASIBLE: LPStatus.INFEASIBLE,
+            RevisedStatus.UNBOUNDED: LPStatus.UNBOUNDED,
+        }[revised.status]
+        return (
+            LPResult(status, revised.x, revised.objective, revised.iterations),
+            revised.basis,
+            False,
+        )
+    n = sf.n
+    m_ub = int(np.sum(np.isinf(sf.up[n:])))
+    dense = solve_lp(
+        sf.cost[:n],
+        sf.a[:m_ub, :n], sf.b[:m_ub],
+        sf.a[m_ub:, :n], sf.b[m_ub:],
+        sf.lo[:n], sf.up[:n], c0=sf.c0,
+    )
+    return dense, None, True
+
+
+class _Engine:
+    """One revised-simplex solve: state, pivots, and the two pivot rules."""
+
+    def __init__(
+        self,
+        sf: StandardFormLP,
+        basis: Basis,
+        max_iterations: int,
+        warm: bool = False,
+    ) -> None:
+        self.sf = sf
+        self.basic = basis.basic
+        self.status = basis.status
+        self.max_iterations = max_iterations
+        self.warm = warm
+        self.iterations = 0
+        self.b_inv: Optional[np.ndarray] = None
+        self.x_basic: Optional[np.ndarray] = None
+        # Columns that can never move: fixed boxes (includes eq artificials).
+        self.fixed = np.isfinite(sf.lo) & np.isfinite(sf.up) & (sf.up - sf.lo <= FEAS_TOL)
+
+    # -- linear algebra -----------------------------------------------------
+    def refactor(self) -> bool:
+        """Recompute the explicit basis inverse from scratch; False if singular."""
+        b_matrix = self.sf.a[:, self.basic]
+        try:
+            self.b_inv = np.linalg.inv(b_matrix)
+        except np.linalg.LinAlgError:
+            return False
+        if not np.all(np.isfinite(self.b_inv)):
+            return False
+        return True
+
+    def nonbasic_point(self) -> np.ndarray:
+        """Full-length x with every nonbasic column at its status value."""
+        sf = self.sf
+        x = np.where(self.status == AT_UB, sf.up, sf.lo)
+        x[self.status == AT_FREE] = 0.0
+        x[self.status == BASIC] = 0.0
+        return x
+
+    def recompute_basics(self) -> None:
+        """x_B = B^{-1} (b - N x_N) from the current statuses."""
+        x = self.nonbasic_point()
+        rhs = self.sf.b - self.sf.a @ x
+        self.x_basic = self.b_inv @ rhs
+
+    def reduced_costs(self) -> np.ndarray:
+        """d = c - c_B B^{-1} A over all columns."""
+        y = self.sf.cost[self.basic] @ self.b_inv
+        return self.sf.cost - y @ self.sf.a
+
+    # -- feasibility checks -------------------------------------------------
+    def primal_violations(self) -> np.ndarray:
+        """Signed bound violation of each basic variable (0 when feasible)."""
+        lo_b = self.sf.lo[self.basic]
+        up_b = self.sf.up[self.basic]
+        below = np.minimum(self.x_basic - lo_b, 0.0)
+        above = np.maximum(self.x_basic - up_b, 0.0)
+        return below + above
+
+    def dual_feasible(self, d: np.ndarray) -> bool:
+        """Check sign conditions of reduced costs against statuses."""
+        movable = ~self.fixed
+        at_lb = (self.status == AT_LB) & movable
+        at_ub = (self.status == AT_UB) & movable
+        at_free = self.status == AT_FREE
+        if np.any(d[at_lb] < -DUAL_TOL):
+            return False
+        if np.any(d[at_ub] > DUAL_TOL):
+            return False
+        if np.any(np.abs(d[at_free]) > DUAL_TOL):
+            return False
+        return True
+
+    # -- driver -------------------------------------------------------------
+    def run(self) -> RevisedResult:
+        """Restore primal feasibility, then primal simplex to optimality.
+
+        A warm start whose reduced costs are still sign-feasible (the
+        regime after a branch-and-bound bound change) is repaired by the
+        dual simplex — the violations are few and shallow, exactly where
+        dual pivoting shines.  Everything else — a cold start, or a basis
+        invalidated by an objective change — goes through primal phase 1,
+        which reaches feasibility in few pivots on the deeply infeasible
+        starts that make dual pivoting crawl.
+        """
+        if not self.refactor():
+            return self._bail()
+        self.recompute_basics()
+        violations = self.primal_violations()
+        if np.any(np.abs(violations) > FEAS_TOL):
+            if self.warm and self.dual_feasible(self.reduced_costs()):
+                status = self.dual_loop()
+                if status is not None:
+                    return status
+            # Phase 1 is a no-op when the dual loop already restored
+            # feasibility; it takes over when the start was not dual
+            # feasible or the dual loop gave up its budget mid-repair.
+            status = self.phase1_loop()
+            if status is not None:
+                return status
+        status = self.primal_loop()
+        if status is not None:
+            return status
+        return self.finish()
+
+    def _bail(self) -> RevisedResult:
+        return RevisedResult(
+            RevisedStatus.NEEDS_FALLBACK, None, math.nan, self.iterations, None
+        )
+
+    def finish(self) -> RevisedResult:
+        """Assemble and verify the optimal point; drift means fallback."""
+        sf = self.sf
+        x = self.nonbasic_point()
+        x[self.basic] = self.x_basic
+        scale = 1.0 + float(np.max(np.abs(sf.b))) if sf.b.size else 1.0
+        residual = float(np.max(np.abs(sf.a @ x - sf.b))) if sf.m else 0.0
+        if residual > 1e-6 * scale:
+            return self._bail()
+        if np.any(x < sf.lo - 1e-6) or np.any(x > sf.up + 1e-6):
+            return self._bail()
+        structural = x[: sf.n].copy()
+        objective = float(sf.cost[: sf.n] @ structural) + sf.c0
+        return RevisedResult(
+            RevisedStatus.OPTIMAL, structural, objective, self.iterations,
+            Basis(self.basic.copy(), self.status.copy()),
+        )
+
+    # -- dual simplex -------------------------------------------------------
+    def dual_loop(self) -> Optional[RevisedResult]:
+        """Pivot until every basic variable is inside its box.
+
+        Requires a dual-feasible start; preserves dual feasibility, so on
+        exit (primal feasible too) the basis is optimal.  A warm repair
+        normally takes a handful of pivots, so the loop runs on a short
+        budget: exhausting it means the start was degenerate enough to
+        crawl, and the engine abandons the dual route mid-repair (the
+        basis stays valid) and lets primal phase 1 finish the job.
+        Returns a final result only on infeasibility or trouble; ``None``
+        means "continue with the primal machinery".
+        """
+        sf = self.sf
+        since_refactor = 0
+        budget = self.iterations + min(self.max_iterations, max(sf.m // 2, 100))
+        while True:
+            violations = self.primal_violations()
+            worst = int(np.argmax(np.abs(violations)))
+            if abs(violations[worst]) <= FEAS_TOL:
+                return None
+            if self.iterations >= self.max_iterations:
+                return self._bail()
+            if self.iterations >= budget:
+                return None  # crawling — hand the basis to phase 1
+
+            row = worst
+            leaving = self.basic[row]
+            below = violations[row] < 0  # leaving variable returns to its lb
+            alpha = self.b_inv[row] @ sf.a
+            # Entering candidates must keep d sign-feasible after the pivot.
+            direction = -alpha if below else alpha
+            d = self.reduced_costs()
+            movable = ~self.fixed & (self.status != BASIC)
+            eligible = movable & (
+                ((self.status == AT_LB) & (direction > PIVOT_TOL))
+                | ((self.status == AT_UB) & (direction < -PIVOT_TOL))
+                | ((self.status == AT_FREE) & (np.abs(direction) > PIVOT_TOL))
+            )
+            idx = np.nonzero(eligible)[0]
+            if idx.size == 0:
+                return RevisedResult(
+                    RevisedStatus.INFEASIBLE, None, math.nan, self.iterations, None
+                )
+            ratios = np.abs(d[idx]) / np.abs(direction[idx])
+            best = float(ratios.min())
+            entering = int(idx[ratios <= best + DUAL_TOL].min())
+
+            w = self.b_inv @ sf.a[:, entering]
+            if abs(w[row]) < PIVOT_TOL:
+                if not self.refactor():
+                    return self._bail()
+                self.recompute_basics()
+                w = self.b_inv @ sf.a[:, entering]
+                if abs(w[row]) < PIVOT_TOL:
+                    return self._bail()
+            self.status[entering] = BASIC
+            self.status[leaving] = AT_LB if below else AT_UB
+            self.basic[row] = entering
+            self._update_inverse(row, w)
+            self.iterations += 1
+            since_refactor += 1
+            if since_refactor >= REFACTOR_EVERY:
+                if not self.refactor():
+                    return self._bail()
+                since_refactor = 0
+            self.recompute_basics()
+
+    # -- primal phase 1 -----------------------------------------------------
+    def phase1_loop(self) -> Optional[RevisedResult]:
+        """Drive total bound infeasibility of the basics to zero.
+
+        Bounded-variable composite phase 1: minimize the sum of bound
+        violations of the basic variables, whose gradient is ``-1`` for a
+        basic below its lower bound and ``+1`` above its upper.  Pivots are
+        short-step — the entering variable blocks at the first breakpoint,
+        which includes an infeasible basic *reaching* its violated bound
+        (it leaves the basis feasible).  Returns ``None`` once primal
+        feasible; a local optimum with residual infeasibility yields
+        NEEDS_FALLBACK so the dense oracle delivers the verdict.
+        """
+        sf = self.sf
+        since_refactor = 0
+        stall = 0
+        use_bland = False
+        last_infeas = math.inf
+        while True:
+            violations = self.primal_violations()
+            below = violations < -FEAS_TOL
+            above = violations > FEAS_TOL
+            infeas = float(np.sum(np.abs(violations[below | above])))
+            if not below.any() and not above.any():
+                return None
+            if self.iterations >= self.max_iterations:
+                return self._bail()
+
+            # Phase-1 reduced costs: d_j = -w_B B^{-1} A_j (w is the
+            # infeasibility gradient, zero on every nonbasic column).
+            w_basic = np.zeros(sf.m)
+            w_basic[below] = -1.0
+            w_basic[above] = 1.0
+            y = w_basic @ self.b_inv
+            d = -(y @ sf.a)
+            movable = ~self.fixed & (self.status != BASIC)
+            improving = movable & (
+                ((self.status == AT_LB) & (d < -DUAL_TOL))
+                | ((self.status == AT_UB) & (d > DUAL_TOL))
+                | ((self.status == AT_FREE) & (np.abs(d) > DUAL_TOL))
+            )
+            indices = np.nonzero(improving)[0]
+            if indices.size == 0:
+                # Local (hence global) phase-1 optimum with residual
+                # infeasibility; let the oracle certify infeasibility.
+                return self._bail()
+            if use_bland:
+                entering = int(indices[0])
+            else:
+                entering = int(indices[np.argmax(np.abs(d[indices]))])
+            if self.status[entering] == AT_UB or (
+                self.status[entering] == AT_FREE and d[entering] > 0
+            ):
+                sign = -1.0
+            else:
+                sign = 1.0
+
+            w = self.b_inv @ sf.a[:, entering]
+            delta = sign * w  # basic variables move by -delta per unit step
+            lo_b = sf.lo[self.basic]
+            up_b = sf.up[self.basic]
+            inside = ~below & ~above
+            xv = self.x_basic
+            steps = np.full(sf.m, np.inf)
+            dec = delta > PIVOT_TOL  # basic decreases as the step grows
+            inc = delta < -PIVOT_TOL  # basic increases
+            # Breakpoints: a feasible basic blocks at the bound it would
+            # cross; an infeasible one blocks where it regains feasibility.
+            mask = dec & above
+            steps[mask] = (xv[mask] - up_b[mask]) / delta[mask]
+            mask = dec & inside
+            steps[mask] = (xv[mask] - lo_b[mask]) / delta[mask]
+            mask = inc & below
+            steps[mask] = (xv[mask] - lo_b[mask]) / delta[mask]
+            mask = inc & inside
+            steps[mask] = (xv[mask] - up_b[mask]) / delta[mask]
+            steps[~np.isfinite(steps)] = np.inf
+            span = sf.up[entering] - sf.lo[entering]
+            limit = float(np.min(steps)) if sf.m else math.inf
+            step = min(limit, span)
+            if not math.isfinite(step):
+                return self._bail()
+            step = max(step, 0.0)
+
+            if span <= limit:
+                self.x_basic = self.x_basic - delta * step
+                self.status[entering] = AT_UB if sign > 0 else AT_LB
+                self.iterations += 1
+            else:
+                blocking = np.nonzero(steps <= step + FEAS_TOL)[0]
+                if use_bland:
+                    row = int(min(blocking, key=lambda i: self.basic[i]))
+                else:
+                    row = int(blocking[np.argmax(np.abs(delta[blocking]))])
+                leaving = self.basic[row]
+                if abs(w[row]) < PIVOT_TOL:
+                    if not self.refactor():
+                        return self._bail()
+                    self.recompute_basics()
+                    continue
+                entering_value = (
+                    (sf.up[entering] if self.status[entering] == AT_UB else
+                     0.0 if self.status[entering] == AT_FREE else sf.lo[entering])
+                    + sign * step
+                )
+                if delta[row] > 0:
+                    leave_status = AT_UB if above[row] else AT_LB
+                else:
+                    leave_status = AT_LB if below[row] else AT_UB
+                self.x_basic = self.x_basic - delta * step
+                self.x_basic[row] = entering_value
+                self.status[entering] = BASIC
+                self.status[leaving] = leave_status
+                self.basic[row] = entering
+                self._update_inverse(row, w)
+                self.iterations += 1
+                since_refactor += 1
+                if since_refactor >= REFACTOR_EVERY:
+                    if not self.refactor():
+                        return self._bail()
+                    self.recompute_basics()
+                    since_refactor = 0
+
+            if infeas < last_infeas - FEAS_TOL:
+                stall = 0
+                last_infeas = infeas
+            else:
+                stall += 1
+                if stall >= STALL_LIMIT:
+                    use_bland = True
+
+    # -- primal simplex -----------------------------------------------------
+    def primal_loop(self) -> Optional[RevisedResult]:
+        """Pivot from a primal-feasible basis until no column improves.
+
+        Dantzig pricing with a switch to Bland's rule after a stall (the
+        classic anti-cycling safeguard).  Returns a final result only on
+        unboundedness or trouble; ``None`` means "optimal, go finish".
+        """
+        sf = self.sf
+        since_refactor = 0
+        stall = 0
+        use_bland = False
+        last_objective = math.inf
+        while True:
+            if self.iterations >= self.max_iterations:
+                return self._bail()
+            d = self.reduced_costs()
+            movable = ~self.fixed & (self.status != BASIC)
+            improving = movable & (
+                ((self.status == AT_LB) & (d < -DUAL_TOL))
+                | ((self.status == AT_UB) & (d > DUAL_TOL))
+                | ((self.status == AT_FREE) & (np.abs(d) > DUAL_TOL))
+            )
+            indices = np.nonzero(improving)[0]
+            if indices.size == 0:
+                return None
+            if use_bland:
+                entering = int(indices[0])
+            else:
+                entering = int(indices[np.argmax(np.abs(d[indices]))])
+            # Direction of travel: increase from lb (or free with d<0),
+            # decrease from ub (or free with d>0).
+            if self.status[entering] == AT_UB or (
+                self.status[entering] == AT_FREE and d[entering] > 0
+            ):
+                sign = -1.0
+            else:
+                sign = 1.0
+
+            w = self.b_inv @ sf.a[:, entering]
+            delta = sign * w  # basic variables move by -delta per unit step
+            lo_b = self.sf.lo[self.basic]
+            up_b = self.sf.up[self.basic]
+            # Blocking step for each basic variable.
+            steps = np.full(sf.m, np.inf)
+            decreasing = delta > PIVOT_TOL
+            increasing = delta < -PIVOT_TOL
+            steps[decreasing] = (self.x_basic[decreasing] - lo_b[decreasing]) / delta[decreasing]
+            steps[increasing] = (self.x_basic[increasing] - up_b[increasing]) / delta[increasing]
+            span = sf.up[entering] - sf.lo[entering]
+            limit = float(np.min(steps)) if sf.m else math.inf
+            step = min(limit, span)
+            if not math.isfinite(step):
+                return RevisedResult(
+                    RevisedStatus.UNBOUNDED, None, math.nan, self.iterations, None
+                )
+            step = max(step, 0.0)
+
+            if span <= limit:
+                # Bound flip: the entering variable crosses its whole box.
+                self.x_basic = self.x_basic - delta * step
+                self.status[entering] = AT_UB if sign > 0 else AT_LB
+                self.iterations += 1
+            else:
+                blocking = np.nonzero(steps <= step + FEAS_TOL)[0]
+                if use_bland:
+                    row = int(min(blocking, key=lambda i: self.basic[i]))
+                else:
+                    row = int(blocking[np.argmax(np.abs(delta[blocking]))])
+                leaving = self.basic[row]
+                if abs(w[row]) < PIVOT_TOL:
+                    if not self.refactor():
+                        return self._bail()
+                    self.recompute_basics()
+                    continue
+                entering_value = (
+                    (sf.up[entering] if self.status[entering] == AT_UB else
+                     0.0 if self.status[entering] == AT_FREE else sf.lo[entering])
+                    + sign * step
+                )
+                self.x_basic = self.x_basic - delta * step
+                self.x_basic[row] = entering_value
+                self.status[entering] = BASIC
+                self.status[leaving] = AT_LB if delta[row] > 0 else AT_UB
+                if not math.isfinite(sf.lo[leaving]) and not math.isfinite(sf.up[leaving]):
+                    self.status[leaving] = AT_FREE
+                self.basic[row] = entering
+                self._update_inverse(row, w)
+                self.iterations += 1
+                since_refactor += 1
+                if since_refactor >= REFACTOR_EVERY:
+                    if not self.refactor():
+                        return self._bail()
+                    self.recompute_basics()
+                    since_refactor = 0
+
+            objective = float(sf.cost[self.basic] @ self.x_basic)
+            if objective < last_objective - DUAL_TOL:
+                stall = 0
+                last_objective = objective
+            else:
+                stall += 1
+                if stall >= STALL_LIMIT:
+                    use_bland = True
+
+    def _update_inverse(self, row: int, w: np.ndarray) -> None:
+        """Product-form update of ``B^{-1}`` after a pivot on ``row``."""
+        pivot = w[row]
+        self.b_inv[row] /= pivot
+        others = w.copy()
+        others[row] = 0.0
+        self.b_inv -= np.outer(others, self.b_inv[row])

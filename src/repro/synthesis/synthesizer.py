@@ -15,7 +15,7 @@ from typing import List, Optional
 from repro.core.formulation import SosModel, SosModelBuilder
 from repro.core.options import FormulationOptions, Objective
 from repro.errors import InfeasibleError, SynthesisError
-from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solution import Solution, SolveStats, SolveStatus
 from repro.solvers.base import Solver, SolverOptions
 from repro.solvers.registry import get_solver
 from repro.synthesis.design import Design
@@ -44,6 +44,13 @@ class Synthesizer:
             ``cost_cap``/``deadline``/``objective`` fields.
         constraints: Arbitrary designer constraints (§3.3.2) applied to
             every model this synthesizer builds.
+        incremental: Build the MILP once and reuse it across solves,
+            retightening the designer cap/deadline rows and swapping the
+            objective in place instead of regenerating every constraint.
+            This is what makes the Pareto sweeps cheap: each step differs
+            from the previous model by two right-hand sides.  Falls back
+            to per-solve rebuilds when the model cannot be retightened
+            (e.g. an unbounded cost expression).
     """
 
     def __init__(
@@ -55,6 +62,7 @@ class Synthesizer:
         solver_options: Optional[SolverOptions] = None,
         options: Optional[FormulationOptions] = None,
         constraints: Optional["DesignerConstraints"] = None,
+        incremental: bool = False,
     ) -> None:
         self.graph = graph
         self.library = library
@@ -63,10 +71,16 @@ class Synthesizer:
         self.solver_name = solver
         self.solver_options = solver_options
         self.constraints = constraints
+        self.incremental = incremental
+        self._cached_model: Optional[SosModel] = None
         #: Total solver wall-clock seconds spent by this synthesizer.
         self.total_solve_seconds = 0.0
         #: The model built by the most recent solve (for size reporting).
         self.last_model: Optional[SosModel] = None
+        #: Merged solver telemetry of the most recent ``synthesize`` call.
+        self.last_stats: Optional[SolveStats] = None
+        #: Solver telemetry accumulated over this synthesizer's lifetime.
+        self.total_stats = SolveStats()
 
     # -- single designs ---------------------------------------------------------
     def synthesize(
@@ -102,6 +116,7 @@ class Synthesizer:
         )
         built, solution = self._solve(options)
         primary_seconds = solution.solve_seconds
+        primary_stats = solution.stats
 
         if minimize_secondary and objective is not Objective.WEIGHTED:
             # A weighted optimum already encodes its tradeoff; refining it
@@ -120,7 +135,19 @@ class Synthesizer:
                     cost_cap=self._tightened(cost_now),
                 )
             built, solution = self._solve(refined)
-            solution.solve_seconds += primary_seconds
+            # Account for both solves without mutating the Solution the
+            # backend returned (callers may hold a reference to it).
+            merged = SolveStats()
+            if primary_stats is not None:
+                merged.merge(primary_stats)
+            if solution.stats is not None:
+                merged.merge(solution.stats)
+            solution = dataclasses.replace(
+                solution,
+                solve_seconds=solution.solve_seconds + primary_seconds,
+                stats=merged,
+            )
+        self.last_stats = solution.stats
 
         # Imported here: repro.core.extraction needs the Design class, so a
         # module-level import would be circular through the package inits.
@@ -143,14 +170,42 @@ class Synthesizer:
         """A bound equal to an achieved optimum, padded for solver tolerance."""
         return value + 1e-6 * max(1.0, abs(value))
 
-    def _solve(self, options: FormulationOptions):
+    def _built_for(self, options: FormulationOptions) -> SosModel:
+        """The model to solve: a fresh build, or the retightened cache.
+
+        In incremental mode the MILP is generated once (with relaxed
+        designer rows) and every later solve only rewrites the cap and
+        deadline right-hand sides and the objective.  Anything that cannot
+        be expressed as such a mutation falls back to a full rebuild.
+        """
+        if self.incremental:
+            if self._cached_model is None:
+                base = dataclasses.replace(options, cost_cap=None, deadline=None)
+                cached = SosModelBuilder(
+                    self.graph, self.library, base, incremental=True
+                ).build()
+                if self.constraints is not None and not self.constraints.is_empty():
+                    self.constraints.apply(cached)
+                self._cached_model = cached
+            cached = self._cached_model
+            if cached.supports_retightening:
+                cached.set_cost_cap(options.cost_cap)
+                cached.set_deadline(options.deadline)
+                cached.set_objective(options.objective)
+                return cached
         built = SosModelBuilder(self.graph, self.library, options).build()
         if self.constraints is not None and not self.constraints.is_empty():
             self.constraints.apply(built)
+        return built
+
+    def _solve(self, options: FormulationOptions):
+        built = self._built_for(options)
         self.last_model = built
         backend = get_solver(self.solver_name, self.solver_options)
         solution = backend.solve(built.model)
         self.total_solve_seconds += solution.solve_seconds
+        if solution.stats is not None:
+            self.total_stats.merge(solution.stats)
         if solution.status is SolveStatus.INFEASIBLE:
             raise InfeasibleError(
                 f"no feasible system exists (cost_cap={options.cost_cap}, "

@@ -14,17 +14,20 @@ class TestSolverOptions:
         assert options.gap_tolerance == pytest.approx(1e-9)
         assert options.node_limit == 0
         assert options.node_selection == "best_first"
-        assert options.branching == "most_fractional"
+        assert options.branching == "pseudocost"
+        assert options.warm_start is True
         assert options.presolve is True
         assert options.verbose is False
 
     def test_overrides(self):
         options = SolverOptions(time_limit=5.0, node_selection="depth_first",
-                                branching="pseudocost", presolve=False)
+                                branching="most_fractional", presolve=False,
+                                warm_start=False)
         assert options.time_limit == 5.0
         assert options.node_selection == "depth_first"
-        assert options.branching == "pseudocost"
+        assert options.branching == "most_fractional"
         assert options.presolve is False
+        assert options.warm_start is False
 
 
 class TestSolverAbc:

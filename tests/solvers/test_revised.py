@@ -1,0 +1,229 @@
+"""Property tests for the warm-started revised simplex.
+
+The dense two-phase tableau in :mod:`repro.solvers.simplex` is the
+correctness oracle: on every LP the revised engine answers, cold or warm,
+the status and objective must match the oracle's to tight tolerance.  The
+suites below fuzz the three regimes branch and bound exercises — cold
+solves, chains of bound mutations (each warm-started from the previous
+basis), and objective swaps — over randomized SOS-shaped LPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.formulation import SosModelBuilder
+from repro.solvers.presolve import presolve
+from repro.solvers.revised import (
+    AT_FREE,
+    AT_LB,
+    AT_UB,
+    BASIC,
+    Basis,
+    RevisedStatus,
+    StandardFormLP,
+    solve_revised,
+    solve_with_fallback,
+)
+from repro.solvers.simplex import LPStatus, solve_lp
+from repro.system.examples import example1_library
+from repro.taskgraph.examples import example1
+
+OBJECTIVE_TOL = 1e-7
+
+
+def random_sos_like_lp(rng):
+    """An LP shaped like an SOS relaxation: boxed [0,1]-ish variables,
+    nonnegative costs, a mix of <= rows and consistent = rows."""
+    n = int(rng.integers(4, 14))
+    m_ub = int(rng.integers(2, 12))
+    m_eq = int(rng.integers(0, 3))
+    c = np.abs(rng.normal(size=n))
+    a_ub = rng.normal(size=(m_ub, n))
+    b_ub = np.abs(rng.normal(size=m_ub)) * 3 + 1
+    a_eq = rng.normal(size=(m_eq, n))
+    lb = np.zeros(n)
+    ub = np.where(rng.random(n) < 0.5, 1.0, rng.random(n) * 5 + 1)
+    b_eq = a_eq @ (lb + 0.3 * (ub - lb)) if m_eq else np.zeros(0)
+    return c, a_ub, b_ub, a_eq, b_eq, lb, ub
+
+
+def assert_matches_oracle(revised, dense):
+    """Status must agree; on OPTIMAL so must the objective."""
+    assert revised.status.name == dense.status.name
+    if revised.status is RevisedStatus.OPTIMAL:
+        scale = 1.0 + abs(dense.objective)
+        assert abs(revised.objective - dense.objective) <= OBJECTIVE_TOL * scale
+
+
+class TestStandardFormLP:
+    def test_shapes_and_logical_columns(self):
+        """Slacks get [0, inf) boxes, equality artificials get [0, 0]."""
+        sf = StandardFormLP(
+            c=np.array([1.0, 2.0]),
+            a_ub=np.array([[1.0, 1.0]]), b_ub=np.array([3.0]),
+            a_eq=np.array([[1.0, -1.0]]), b_eq=np.array([0.5]),
+            lb=np.zeros(2), ub=np.ones(2),
+        )
+        assert (sf.n, sf.m, sf.ncols) == (2, 2, 4)
+        assert sf.up[2] == np.inf and sf.lo[2] == 0.0  # slack
+        assert sf.up[3] == 0.0 and sf.lo[3] == 0.0     # artificial
+
+    def test_set_bounds_mutates_in_place(self):
+        sf = StandardFormLP(
+            c=np.array([1.0]), a_ub=np.array([[1.0]]), b_ub=np.array([4.0]),
+            a_eq=np.zeros((0, 1)), b_eq=np.zeros(0),
+            lb=np.zeros(1), ub=np.ones(1),
+        )
+        sf.set_bounds(np.array([0.5]), np.array([0.75]))
+        assert sf.lo[0] == 0.5 and sf.up[0] == 0.75
+        assert sf.up[1] == np.inf  # logical untouched
+
+    def test_logical_basis_always_exists(self):
+        """Even costs pulling toward an infinite bound yield a start
+        (phase 1 repairs it); the seed's dual-only start could not."""
+        sf = StandardFormLP(
+            c=np.array([-1.0]), a_ub=np.array([[-1.0]]), b_ub=np.array([4.0]),
+            a_eq=np.zeros((0, 1)), b_eq=np.zeros(0),
+            lb=np.zeros(1), ub=np.array([np.inf]),
+        )
+        basis = sf.logical_basis()
+        assert basis.status[0] in (AT_LB, AT_UB, AT_FREE)
+        assert basis.status[1] == BASIC
+        result = solve_revised(sf)
+        assert result.status is RevisedStatus.UNBOUNDED
+
+
+class TestColdAgainstOracle:
+    def test_fifty_random_sos_shaped_lps(self):
+        """Cold revised solves agree with the dense tableau on ~50 LPs."""
+        rng = np.random.default_rng(2024)
+        optimal = 0
+        for _ in range(50):
+            c, a_ub, b_ub, a_eq, b_eq, lb, ub = random_sos_like_lp(rng)
+            sf = StandardFormLP(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            revised = solve_revised(sf)
+            dense = solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            if revised.status is RevisedStatus.NEEDS_FALLBACK:
+                continue  # fallback policy: the oracle answers instead
+            assert_matches_oracle(revised, dense)
+            if revised.status is RevisedStatus.OPTIMAL:
+                optimal += 1
+        assert optimal >= 40  # the fallback path must stay exceptional
+
+    def test_example1_root_relaxation(self):
+        """The real Example 1 root LP: same optimum, competitive pivots."""
+        built = SosModelBuilder(example1(), example1_library()).build()
+        form = presolve(built.model.to_matrices()).form
+        sf = StandardFormLP.from_matrix_form(form)
+        revised = solve_revised(sf)
+        dense = solve_lp(form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+                         form.lb, form.ub, c0=form.c0)
+        assert revised.status is RevisedStatus.OPTIMAL
+        assert revised.objective == pytest.approx(dense.objective, abs=1e-6)
+        assert revised.basis is not None
+
+    def test_fallback_wrapper_always_answers(self):
+        """solve_with_fallback returns an oracle-grade result either way."""
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            c, a_ub, b_ub, a_eq, b_eq, lb, ub = random_sos_like_lp(rng)
+            sf = StandardFormLP(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            result, basis, fell_back = solve_with_fallback(sf)
+            dense = solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            assert result.status.name == dense.status.name
+            if result.status is LPStatus.OPTIMAL:
+                scale = 1.0 + abs(dense.objective)
+                assert abs(result.objective - dense.objective) <= OBJECTIVE_TOL * scale
+                if not fell_back:
+                    assert basis is not None
+
+
+class TestWarmStarts:
+    def test_branch_and_bound_bound_mutation_chains(self):
+        """Every bound-mutation pattern B&B produces: floor the upper bound
+        or ceil the lower bound of one variable, re-solving warm from the
+        previous optimal basis each time."""
+        rng = np.random.default_rng(77)
+        warm_total = dense_total = 0
+        chains = 0
+        for _ in range(25):
+            c, a_ub, b_ub, a_eq, b_eq, lb, ub = random_sos_like_lp(rng)
+            sf = StandardFormLP(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            root = solve_revised(sf)
+            if root.status is not RevisedStatus.OPTIMAL:
+                continue
+            chains += 1
+            basis = root.basis
+            cur_lb, cur_ub = lb.copy(), ub.copy()
+            for _ in range(8):
+                j = int(rng.integers(0, sf.n))
+                if rng.random() < 0.5:
+                    cur_ub = cur_ub.copy()
+                    cur_ub[j] = max(cur_lb[j], np.floor(cur_ub[j] * rng.random()))
+                else:
+                    cur_lb = cur_lb.copy()
+                    cur_lb[j] = min(cur_ub[j], np.ceil(cur_lb[j] + rng.random()))
+                sf.set_bounds(cur_lb, cur_ub)
+                warm = solve_revised(sf, basis)
+                dense = solve_lp(c, a_ub, b_ub, a_eq, b_eq, cur_lb, cur_ub)
+                if warm.status is not RevisedStatus.NEEDS_FALLBACK:
+                    assert_matches_oracle(warm, dense)
+                if warm.status is RevisedStatus.OPTIMAL:
+                    warm_total += warm.iterations
+                    dense_total += dense.iterations
+                    basis = warm.basis
+        assert chains >= 15
+        # The entire point of warm starting: far fewer pivots than the
+        # dense rebuild needs on the same sequence of LPs.
+        assert warm_total * 2 <= dense_total
+
+    def test_objective_swap_keeps_primal_feasibility(self):
+        """Pareto-style objective retargeting warm-starts via primal simplex."""
+        rng = np.random.default_rng(99)
+        for _ in range(15):
+            c, a_ub, b_ub, a_eq, b_eq, lb, ub = random_sos_like_lp(rng)
+            sf = StandardFormLP(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            result = solve_revised(sf)
+            if result.status is not RevisedStatus.OPTIMAL:
+                continue
+            for _ in range(3):
+                c2 = np.abs(rng.normal(size=sf.n))
+                sf.set_objective(c2)
+                warm = solve_revised(sf, result.basis)
+                dense = solve_lp(c2, a_ub, b_ub, a_eq, b_eq, lb, ub)
+                if warm.status is not RevisedStatus.NEEDS_FALLBACK:
+                    assert_matches_oracle(warm, dense)
+                if warm.status is RevisedStatus.OPTIMAL:
+                    result = warm
+
+    def test_warm_start_does_not_mutate_input_basis(self):
+        """The caller's basis survives the solve (children share a parent's)."""
+        c = np.array([1.0, 1.0])
+        sf = StandardFormLP(
+            c, np.array([[1.0, 1.0]]), np.array([1.5]),
+            np.zeros((0, 2)), np.zeros(0), np.zeros(2), np.ones(2),
+        )
+        first = solve_revised(sf)
+        assert first.status is RevisedStatus.OPTIMAL
+        snapshot = Basis(first.basis.basic.copy(), first.basis.status.copy())
+        sf.set_bounds(np.zeros(2), np.array([1.0, 0.0]))
+        solve_revised(sf, first.basis)
+        assert np.array_equal(first.basis.basic, snapshot.basic)
+        assert np.array_equal(first.basis.status, snapshot.status)
+
+    def test_infeasible_child_detected(self):
+        """Tightening bounds past feasibility must report INFEASIBLE, as a
+        B&B child whose branch empties the feasible region would."""
+        c = np.array([1.0])
+        a_eq = np.array([[1.0]])
+        sf = StandardFormLP(
+            c, np.zeros((0, 1)), np.zeros(0), a_eq, np.array([0.5]),
+            np.zeros(1), np.ones(1),
+        )
+        root = solve_revised(sf)
+        assert root.status is RevisedStatus.OPTIMAL
+        sf.set_bounds(np.array([0.8]), np.array([1.0]))
+        child = solve_revised(sf, root.basis)
+        assert child.status is RevisedStatus.INFEASIBLE

@@ -1,0 +1,139 @@
+"""Tests for the incremental solve pipeline.
+
+The contract of ``Synthesizer(..., incremental=True)``: one MILP is built
+per synthesizer and every later solve only retightens the designer cost
+cap / deadline rows and swaps the objective — and the resulting Pareto
+fronts must be *identical* to the ones a fresh build per solve produces.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.options import Objective
+from repro.milp.solution import SolveStats
+from repro.synthesis.synthesizer import Synthesizer
+
+
+def design_fingerprint(design):
+    """Everything a design exposes except wall-clock timing."""
+    document = design.to_dict()
+    document.pop("solve_seconds", None)
+    return document
+
+
+def front_fingerprint(front):
+    return [design_fingerprint(design) for design in front]
+
+
+class TestIncrementalSweepsMatchCold:
+    def test_example1_cost_sweep_identical(self, ex1_graph, ex1_library):
+        cold = Synthesizer(ex1_graph, ex1_library).pareto_sweep()
+        synth = Synthesizer(ex1_graph, ex1_library, incremental=True)
+        incremental = synth.pareto_sweep()
+        assert front_fingerprint(incremental) == front_fingerprint(cold)
+        assert synth._cached_model is not None  # the cache actually engaged
+
+    def test_example1_deadline_sweep_identical(self, ex1_graph, ex1_library):
+        cold = Synthesizer(ex1_graph, ex1_library).pareto_sweep_by_deadline()
+        incremental = Synthesizer(
+            ex1_graph, ex1_library, incremental=True
+        ).pareto_sweep_by_deadline()
+        assert front_fingerprint(incremental) == front_fingerprint(cold)
+
+    def test_bozo_backend_sweep_identical(self, tiny_graph, tiny_library):
+        cold = Synthesizer(tiny_graph, tiny_library, solver="bozo").pareto_sweep()
+        incremental = Synthesizer(
+            tiny_graph, tiny_library, solver="bozo", incremental=True
+        ).pareto_sweep()
+        assert front_fingerprint(incremental) == front_fingerprint(cold)
+
+    def test_model_is_built_once(self, ex1_graph, ex1_library):
+        synth = Synthesizer(ex1_graph, ex1_library, incremental=True)
+        synth.synthesize(cost_cap=13)
+        first = synth.last_model
+        synth.synthesize(cost_cap=7)
+        assert synth.last_model is first  # retightened, not rebuilt
+
+    def test_single_solves_match_cold(self, ex1_graph, ex1_library):
+        """Mixed per-call caps/deadlines/objectives through one cache."""
+        cold = Synthesizer(ex1_graph, ex1_library)
+        warm = Synthesizer(ex1_graph, ex1_library, incremental=True)
+        calls = (
+            dict(cost_cap=13),
+            dict(deadline=4.0, objective=Objective.MIN_COST),
+            dict(),
+            dict(cost_cap=5),
+        )
+        for kwargs in calls:
+            a = cold.synthesize(**kwargs)
+            b = warm.synthesize(**kwargs)
+            assert design_fingerprint(b) == design_fingerprint(a)
+
+
+class TestSolveStatsSurfaced:
+    @pytest.mark.parametrize("backend", ["bozo", "highs"])
+    def test_last_stats_populated(self, tiny_graph, tiny_library, backend):
+        synth = Synthesizer(tiny_graph, tiny_library, solver=backend)
+        synth.synthesize()
+        stats = synth.last_stats
+        assert stats is not None
+        assert stats.lp_solves > 0 or stats.nodes > 0
+        assert stats.phase_seconds  # at least one timed phase
+        assert "nodes" in stats.summary()
+
+    def test_bozo_stats_count_warm_starts(self, tiny_graph, tiny_library):
+        synth = Synthesizer(tiny_graph, tiny_library, solver="bozo")
+        synth.synthesize()
+        stats = synth.last_stats
+        assert stats.lp_pivots >= 0
+        assert stats.warm_start_hits <= stats.warm_starts
+        assert 0.0 <= stats.warm_start_hit_rate <= 1.0
+
+    def test_total_stats_accumulate(self, tiny_graph, tiny_library):
+        synth = Synthesizer(tiny_graph, tiny_library, solver="bozo")
+        synth.synthesize()
+        after_one = dataclasses.replace(synth.total_stats)
+        synth.synthesize(cost_cap=20)
+        assert synth.total_stats.lp_solves > after_one.lp_solves
+
+    def test_design_solution_keeps_stats(self, tiny_graph, tiny_library):
+        """The polish step must not strip the telemetry off the solution."""
+        synth = Synthesizer(tiny_graph, tiny_library, solver="bozo")
+        synth.synthesize()
+        assert isinstance(synth.last_stats, SolveStats)
+
+
+class TestBackendSolutionNotMutated:
+    def test_synthesize_leaves_backend_solution_alone(
+        self, tiny_graph, tiny_library, monkeypatch
+    ):
+        """``synthesize`` merges timings/stats from its two solves into a
+        *new* Solution; the objects the backend returned must be unchanged
+        (callers and caches may hold references to them)."""
+        from repro.solvers import registry
+
+        captured = []
+        real_get_solver = registry.get_solver
+
+        def capturing_get_solver(name, options=None):
+            backend = real_get_solver(name, options)
+            real_solve = backend.solve
+
+            def solve(model):
+                solution = real_solve(model)
+                captured.append((solution, solution.solve_seconds, solution.stats))
+                return solution
+
+            backend.solve = solve
+            return backend
+
+        import repro.synthesis.synthesizer as synth_mod
+
+        monkeypatch.setattr(synth_mod, "get_solver", capturing_get_solver)
+        synth = Synthesizer(tiny_graph, tiny_library, solver="bozo")
+        synth.synthesize()
+        assert len(captured) >= 2  # primary + secondary solve
+        for solution, seconds, stats in captured:
+            assert solution.solve_seconds == seconds
+            assert solution.stats is stats
