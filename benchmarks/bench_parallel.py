@@ -1,0 +1,158 @@
+"""Parallel branch-and-bound and concurrent-sweep benchmarks.
+
+The key claims measured (and persisted to ``BENCH_solvers.json``):
+
+* ``BozoSolver(workers=4)`` returns a Solution *byte-identical* to the
+  serial run — same status, objective, variable values, and bound — on a
+  market-split MILP whose serial tree exceeds 200 nodes.
+* On a machine with at least 4 cores the parallel solve is at least 2x
+  faster in wall clock.  The identity assertions always run; the speedup
+  assertion is skipped on smaller machines (a 1-core container cannot
+  exhibit parallel speedup, only measure its overhead), and the measured
+  ratio is recorded either way so the perf trajectory captures both
+  worlds.
+* The concurrent Pareto sweep returns a front identical to the serial
+  sweep on Example 1.
+
+The instance generator builds market-split-style models (a few equality
+rows balancing random weights, slack variables minimized): tiny LPs with
+a large branch-and-bound tree — the shape where subtree parallelism
+pays.  Branching is ``most_fractional`` so decisions are a pure function
+of each node (the documented byte-identity regime; pseudocost branching
+learns across subtrees and only guarantees identical objectives).
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import record_bench, run_once
+from repro.milp.expr import VarType
+from repro.milp.model import Model
+from repro.solvers.base import SolverOptions
+from repro.solvers.bozo import BozoSolver
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.examples import example1_library
+from repro.taskgraph.examples import example1
+
+#: The serial tree of this instance has >1500 nodes (asserted below).
+BENCH_INSTANCE = (3, 16, 0)
+
+
+def market_split(rows: int, binaries: int, seed: int) -> Model:
+    """Market-split MILP: hit per-row targets with binary picks; minimize
+    the total slack.  Classic big-tree/cheap-LP branch-and-bound stress."""
+    rng = random.Random(seed)
+    model = Model(f"market_split_{rows}x{binaries}_s{seed}")
+    x = [model.add_var(f"x{j}", vtype=VarType.BINARY) for j in range(binaries)]
+    surplus = [model.add_var(f"sp{i}", lb=0) for i in range(rows)]
+    deficit = [model.add_var(f"sm{i}", lb=0) for i in range(rows)]
+    for i in range(rows):
+        weights = [rng.randrange(100) for _ in range(binaries)]
+        target = sum(weights) // 2
+        model.add(
+            sum(w * xj for w, xj in zip(weights, x))
+            + surplus[i] - deficit[i] == target,
+            name=f"row{i}",
+        )
+    model.minimize(sum(surplus) + sum(deficit))
+    return model
+
+
+def _options(workers: int) -> SolverOptions:
+    return SolverOptions(workers=workers, branching="most_fractional")
+
+
+def bench_parallel_bnb_identity_and_speedup(benchmark):
+    """workers=4 vs workers=1: identical Solution, recorded speedup."""
+    model = market_split(*BENCH_INSTANCE)
+
+    serial = BozoSolver(_options(workers=1)).solve(model)
+    serial_seconds = serial.solve_seconds
+    assert serial.iterations >= 200, "instance too easy to exercise the tree"
+
+    def solve_parallel():
+        return BozoSolver(_options(workers=4)).solve(model)
+
+    parallel = run_once(benchmark, solve_parallel)
+    parallel_seconds = parallel.solve_seconds
+
+    # Byte-identity: the merged Solution equals the serial one.
+    assert parallel.status == serial.status
+    assert parallel.objective == serial.objective
+    assert parallel.best_bound == serial.best_bound
+    assert parallel.values == serial.values
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    cores = os.cpu_count() or 1
+    print(f"\nserial {serial_seconds:.3f}s ({serial.iterations} nodes) | "
+          f"workers=4 {parallel_seconds:.3f}s ({parallel.iterations} nodes) | "
+          f"speedup {speedup:.2f}x on {cores} cores")
+    record_bench(
+        "parallel_bnb_market_split_3x16",
+        serial_wall_seconds=serial_seconds,
+        parallel_wall_seconds=parallel_seconds,
+        speedup_vs_serial=speedup,
+        serial_nodes=serial.iterations,
+        parallel_nodes=parallel.iterations,
+        serial_pivots=serial.stats.lp_pivots,
+        parallel_pivots=parallel.stats.lp_pivots,
+        subtrees_dispatched=parallel.stats.subtrees_dispatched,
+        incumbent_broadcasts=parallel.stats.incumbent_broadcasts,
+        workers=4,
+        byte_identical=True,
+        objective=serial.objective,
+    )
+    if cores < 4:
+        pytest.skip(f"speedup assertion needs >= 4 cores, have {cores} "
+                    f"(identity assertions passed; ratio recorded)")
+    assert speedup >= 2.0, (
+        f"workers=4 must be >= 2x faster than serial, got {speedup:.2f}x"
+    )
+
+
+def bench_parallel_sweep_identity(benchmark):
+    """Concurrent Pareto sweep reproduces the serial front on Example 1."""
+
+    def strip(front):
+        rows = []
+        for design in front:
+            row = design.to_dict()
+            row.pop("solve_seconds")  # wall clock differs run to run
+            rows.append(row)
+        return rows
+
+    start = time.monotonic()
+    serial_front = Synthesizer(
+        example1(), example1_library(), solver="highs"
+    ).pareto_sweep()
+    serial_seconds = time.monotonic() - start
+
+    timing = {}
+
+    def sweep_parallel():
+        t0 = time.monotonic()
+        front = Synthesizer(
+            example1(), example1_library(), solver="highs"
+        ).pareto_sweep(workers=4)
+        timing["wall"] = time.monotonic() - t0
+        return front
+
+    parallel_front = run_once(benchmark, sweep_parallel)
+    parallel_seconds = timing["wall"]
+
+    assert strip(parallel_front) == strip(serial_front)
+    print(f"\nserial sweep {serial_seconds:.3f}s | "
+          f"workers=4 sweep {parallel_seconds:.3f}s | "
+          f"{len(serial_front)} designs")
+    record_bench(
+        "parallel_sweep_example1",
+        serial_wall_seconds=serial_seconds,
+        parallel_wall_seconds=parallel_seconds,
+        designs=len(serial_front),
+        front=[(design.cost, design.makespan) for design in serial_front],
+        workers=4,
+        front_identical=True,
+    )

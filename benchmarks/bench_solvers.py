@@ -7,9 +7,11 @@ our two backends on the same models: the from-scratch Bozo reimplementation
 over random task graphs.
 """
 
+import time
+
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import record_bench, run_once
 from repro.core.formulation import SosModelBuilder
 from repro.core.options import FormulationOptions
 from repro.solvers.base import SolverOptions
@@ -35,6 +37,14 @@ def bench_bozo_example1(benchmark):
     stats = solution.stats
     print(f"\nBozo nodes: {stats.nodes}, LP pivots: {stats.lp_pivots}, "
           f"warm-start hit rate: {stats.warm_start_hit_rate:.0%}")
+    record_bench(
+        "bozo_example1",
+        wall_seconds=solution.solve_seconds,
+        nodes=stats.nodes,
+        lp_pivots=stats.lp_pivots,
+        warm_start_hit_rate=stats.warm_start_hit_rate,
+        objective=solution.objective,
+    )
 
 
 def bench_bozo_example1_cold(benchmark):
@@ -55,6 +65,14 @@ def bench_bozo_example1_cold(benchmark):
     warm = get_solver("bozo").solve(_example1_model().model)
     assert warm.objective == pytest.approx(cold.objective)
     print(f"\ncold pivots: {cold.stats.lp_pivots}, warm pivots: {warm.stats.lp_pivots}")
+    record_bench(
+        "bozo_example1_cold_vs_warm",
+        cold_wall_seconds=cold.solve_seconds,
+        warm_wall_seconds=warm.solve_seconds,
+        cold_pivots=cold.stats.lp_pivots,
+        warm_pivots=warm.stats.lp_pivots,
+        pivot_ratio=cold.stats.lp_pivots / max(warm.stats.lp_pivots, 1),
+    )
     assert warm.stats.lp_pivots * 2 <= cold.stats.lp_pivots
 
 
@@ -64,8 +82,15 @@ def bench_highs_example1(benchmark):
     def solve():
         return get_solver("highs").solve(_example1_model().model)
 
+    start = time.monotonic()
     solution = benchmark(solve)
+    elapsed = time.monotonic() - start
     assert solution.objective == pytest.approx(2.5)
+    record_bench(
+        "highs_example1",
+        wall_seconds=solution.solve_seconds or elapsed,
+        objective=solution.objective,
+    )
 
 
 @pytest.mark.parametrize("num_tasks", [6, 9, 12])

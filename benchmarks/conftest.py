@@ -10,7 +10,45 @@ the reproduction matches.  Run with::
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+
 import pytest
+
+#: Persisted perf trajectory, committed at the repo root so regressions and
+#: speedups are visible across PRs.
+BENCH_RESULTS = Path(__file__).resolve().parent.parent / "BENCH_solvers.json"
+
+
+def record_bench(name: str, **fields) -> None:
+    """Persist one benchmark's results into ``BENCH_solvers.json``.
+
+    The file maps benchmark name to its latest measurements (wall time,
+    pivots, nodes, speedups, ...) plus enough machine context to read the
+    numbers honestly.  Entries merge: re-running one benchmark updates its
+    record and leaves the others in place.
+    """
+    document = {}
+    if BENCH_RESULTS.exists():
+        try:
+            document = json.loads(BENCH_RESULTS.read_text())
+        except (OSError, ValueError):
+            document = {}
+        if not isinstance(document, dict):
+            document = {}
+    fields["recorded_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    fields["machine"] = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    document[name] = fields
+    BENCH_RESULTS.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -80,7 +80,15 @@ def _style(name: str) -> InterconnectStyle:
 def cmd_synthesize(args: argparse.Namespace) -> int:
     """Synthesize one optimal design and print/save it."""
     graph, library = load_problem(args.problem)
-    synth = Synthesizer(graph, library, style=_style(args.style), solver=args.solver)
+    solver_options = None
+    if args.workers > 1:
+        from repro.solvers.base import SolverOptions
+
+        solver_options = SolverOptions(workers=args.workers)
+    synth = Synthesizer(
+        graph, library, style=_style(args.style), solver=args.solver,
+        solver_options=solver_options,
+    )
     design = synth.synthesize(
         cost_cap=args.cost_cap,
         deadline=args.deadline,
@@ -105,7 +113,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         graph, library, style=_style(args.style), solver=args.solver,
         incremental=args.incremental,
     )
-    front = synth.pareto_sweep(max_designs=args.max_designs)
+    front = synth.pareto_sweep(max_designs=args.max_designs, workers=args.workers)
     if args.csv:
         from repro.analysis.reporting import write_csv
 
@@ -343,6 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--output", help="write the design JSON here")
     p_synth.add_argument("--telemetry", action="store_true",
                          help="print solver statistics (nodes, pivots, warm starts)")
+    p_synth.add_argument("--workers", type=int, default=1,
+                         help="parallel branch-and-bound workers (bozo solver); "
+                         "the result is identical to the serial solve")
     p_synth.set_defaults(func=cmd_synthesize)
 
     p_sweep = sub.add_parser("sweep", help="enumerate all non-inferior designs")
@@ -353,6 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="build the MILP once and retighten it across the sweep")
     p_sweep.add_argument("--telemetry", action="store_true",
                          help="print solver statistics aggregated over the sweep")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="solve cost caps concurrently on this many processes; "
+                         "the front is identical to the serial sweep")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_paper = sub.add_parser("paper", help="regenerate a paper table/figure")

@@ -42,8 +42,15 @@ class SolveStats:
         warm_start_hits: Warm-started solves that finished on the revised
             path (no dense cold-start fallback needed).
         fallbacks: LP solves that fell back to the dense tableau oracle.
+        workers: Parallel workers used (0 for a purely serial run; merged
+            records keep the maximum).
+        subtrees_dispatched: Branch-and-bound subtrees handed to workers.
+        incumbent_broadcasts: Times a worker lowered the shared incumbent
+            objective that every other worker prunes against.
         phase_seconds: Wall-clock seconds per named phase (``"presolve"``,
-            ``"lp"``, ``"search"``, ``"build"``, ...).
+            ``"lp"``, ``"search"``, ``"build"``, ...).  In a parallel run
+            the per-phase totals are summed over all workers, so they can
+            legitimately exceed the wall-clock ``solve_seconds``.
     """
 
     nodes: int = 0
@@ -52,6 +59,9 @@ class SolveStats:
     warm_starts: int = 0
     warm_start_hits: int = 0
     fallbacks: int = 0
+    workers: int = 0
+    subtrees_dispatched: int = 0
+    incumbent_broadcasts: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -73,6 +83,9 @@ class SolveStats:
         self.warm_starts += other.warm_starts
         self.warm_start_hits += other.warm_start_hits
         self.fallbacks += other.fallbacks
+        self.workers = max(self.workers, other.workers)
+        self.subtrees_dispatched += other.subtrees_dispatched
+        self.incumbent_broadcasts += other.incumbent_broadcasts
         for name, seconds in other.phase_seconds.items():
             self.add_phase(name, seconds)
         return self
@@ -91,6 +104,12 @@ class SolveStats:
             )
         if self.fallbacks:
             parts.append(f"fallbacks={self.fallbacks}")
+        if self.workers:
+            parts.append(
+                f"workers={self.workers}"
+                f" subtrees={self.subtrees_dispatched}"
+                f" broadcasts={self.incumbent_broadcasts}"
+            )
         for name in sorted(self.phase_seconds):
             parts.append(f"{name}={self.phase_seconds[name]:.3f}s")
         return ", ".join(parts)

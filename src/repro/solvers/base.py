@@ -33,6 +33,24 @@ class SolverOptions:
             parent's optimal basis (Bozo only).  ``False`` reproduces the
             original cold-start behavior: a dense two-phase tableau solve
             per node.
+        workers: Parallel branch-and-bound workers (Bozo only).  ``1``
+            keeps the serial search; ``N > 1`` ramps the tree serially
+            until a frontier of open subtrees exists, then dispatches the
+            subtrees to a process pool with a shared incumbent bound.
+            The merged Solution (status, objective, values, best bound)
+            is identical to the ``workers=1`` run; only telemetry differs.
+            Requires ``best_first`` node selection — depth-first searches
+            fall back to the serial path.
+        frontier_target: Open-node count at which the parallel ramp stops
+            and dispatches subtrees (``0`` = automatic,
+            ``max(4 * workers, 8)``).  Exposed mainly so tests can force
+            partitioning on tiny trees.
+        cutoff: Known valid upper bound on the optimal objective (e.g.
+            from a neighboring Pareto point).  Nodes whose LP bound
+            exceeds it are pruned before any incumbent exists, which can
+            only discard provably non-improving subtrees; the optimal
+            objective value is unchanged, though tie-broken alternative
+            optima may differ from an unseeded run.  ``None`` disables.
         seed: Tie-breaking seed for randomized choices.
         verbose: Emit progress lines to stdout.
     """
@@ -45,6 +63,9 @@ class SolverOptions:
     branching: str = "pseudocost"
     presolve: bool = True
     warm_start: bool = True
+    workers: int = 1
+    frontier_target: int = 0
+    cutoff: Optional[float] = None
     seed: int = 0
     verbose: bool = False
 

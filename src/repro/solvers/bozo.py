@@ -19,30 +19,59 @@ Features (all selectable through :class:`~repro.solvers.base.SolverOptions`):
   cold dense solve per node),
 * incumbent rounding/repair for near-integral LP solutions,
 * wall-clock and node limits with a FEASIBLE (incumbent, gap > 0) result,
+* parallel tree search (``workers=N``): a serial ramp opens a frontier of
+  subtrees that are dispatched to a process pool with a shared incumbent
+  bound and merged deterministically (:mod:`repro.solvers.parallel`),
+* an optional objective ``cutoff`` for sweep-style callers that already
+  know a valid upper bound,
 * full :class:`~repro.milp.solution.SolveStats` telemetry on every result.
+
+Determinism: nodes are ordered by ``(parent LP bound, path id)`` where the
+path id encodes the branching path from the root (root ``1``, down child
+``2 i``, up child ``2 i + 1``).  Unlike the previous insertion-order
+counter, path ids are independent of how much of the tree was pruned
+before a node was created, so serial reruns — and any partition of the
+tree across workers — explore ties in the same order and return the same
+incumbent.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.milp.model import MatrixForm, Model
 from repro.milp.solution import Solution, SolveStats, SolveStatus
 from repro.solvers.base import Solver, SolverOptions
-from repro.solvers.revised import Basis, StandardFormLP, solve_with_fallback
+from repro.solvers.revised import (
+    Basis,
+    StandardFormLP,
+    get_shared_form,
+    solve_with_fallback,
+)
 from repro.solvers.simplex import LPResult, LPStatus, solve_lp
 
 
 @dataclass(order=True)
 class _Node:
-    """A branch-and-bound node ordered by its parent LP bound."""
+    """A branch-and-bound node ordered by ``(parent LP bound, path id)``.
+
+    ``tiebreak`` is the node's path id: ``1`` at the root, ``2 i`` for the
+    down child of node ``i`` and ``2 i + 1`` for the up child.  Equal ids
+    name equal subtrees, regardless of exploration or pruning history.
+
+    When ``ref_key`` names a registered shared form (see
+    :func:`repro.solvers.revised.register_shared_form`), the node pickles
+    as a *delta*: only the entries of ``lb``/``ub`` that differ from the
+    registered root bounds travel across the process pipe, plus the
+    reference hash — not the full bound vectors and never the constraint
+    matrix.
+    """
 
     bound: float
     tiebreak: int
@@ -57,6 +86,34 @@ class _Node:
     branch_dir: str = field(compare=False, default="")
     #: Fractional distance the branch must close (f down, 1-f up).
     branch_fraction: float = field(compare=False, default=0.0)
+    #: Shared-form registry key enabling delta pickling (parallel mode).
+    ref_key: Optional[str] = field(compare=False, default=None, repr=False)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        if self.ref_key is not None:
+            try:
+                ref = get_shared_form(self.ref_key)
+            except KeyError:
+                return state  # not registered here: fall back to dense
+            lb, ub = state.pop("lb"), state.pop("ub")
+            lb_idx = np.nonzero(lb != ref.root_lb)[0]
+            ub_idx = np.nonzero(ub != ref.root_ub)[0]
+            state["lb_delta"] = (lb_idx, lb[lb_idx])
+            state["ub_delta"] = (ub_idx, ub[ub_idx])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        if "lb_delta" in state:
+            ref = get_shared_form(state["ref_key"])
+            lb = ref.root_lb.copy()
+            idx, values = state.pop("lb_delta")
+            lb[idx] = values
+            ub = ref.root_ub.copy()
+            idx, values = state.pop("ub_delta")
+            ub[idx] = values
+            state["lb"], state["ub"] = lb, ub
+        self.__dict__.update(state)
 
 
 class _Pseudocosts:
@@ -94,17 +151,27 @@ class _Pseudocosts:
 class _LPBackend:
     """Per-MILP LP engine: one standard form, bound mutation, warm starts.
 
-    One instance lives for the duration of a :meth:`BozoSolver.solve` call.
-    It owns the :class:`StandardFormLP` built from the (presolved) matrix
-    form and funnels every relaxation — root, dive steps, tree nodes —
-    through :meth:`solve`, accumulating telemetry in a shared
-    :class:`SolveStats`.
+    One instance lives for the duration of a solve (or of one subtree in a
+    parallel solve).  It owns the :class:`StandardFormLP` built from the
+    (presolved) matrix form and funnels every relaxation — root, dive
+    steps, tree nodes — through :meth:`solve`, accumulating telemetry in a
+    shared :class:`SolveStats`.  Workers of a parallel solve pass the
+    fork-inherited standard form via ``sf`` instead of rebuilding it.
     """
 
-    def __init__(self, form: MatrixForm, warm_start: bool, stats: SolveStats) -> None:
+    def __init__(
+        self,
+        form: MatrixForm,
+        warm_start: bool,
+        stats: SolveStats,
+        sf: Optional[StandardFormLP] = None,
+    ) -> None:
         self.form = form
         self.stats = stats
-        self.sf = StandardFormLP.from_matrix_form(form) if warm_start else None
+        if sf is not None:
+            self.sf: Optional[StandardFormLP] = sf
+        else:
+            self.sf = StandardFormLP.from_matrix_form(form) if warm_start else None
 
     def solve(
         self, lb: np.ndarray, ub: np.ndarray, basis: Optional[Basis] = None
@@ -134,51 +201,95 @@ class _LPBackend:
         return result, final_basis
 
 
-class BozoSolver(Solver):
-    """Branch-and-bound MILP solver over the incremental simplex pipeline."""
+@dataclass
+class _SearchOutcome:
+    """What one tree (or subtree) search produced.
 
-    name = "bozo"
+    ``incumbent_key`` is the ``(bound, path id)`` of the node being
+    processed when the final incumbent was adopted — the node's position
+    in the deterministic global exploration order.  Parallel merges use it
+    to pick, among equal-objective incumbents from different subtrees, the
+    one the serial search would have found first.
+    """
 
-    def solve(self, model: Model) -> Solution:
-        """Solve ``model`` to optimality (or the configured limits)."""
-        start = time.monotonic()
-        stats = SolveStats()
-        form = model.to_matrices()
-        if self.options.presolve:
-            from repro.solvers.presolve import presolve
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj: float = math.inf
+    incumbent_key: Optional[Tuple[float, int]] = None
+    nodes: int = 0
+    hit_limit: bool = False
+    root_unbounded: bool = False
+    best_open_bound: float = -math.inf
+    open_nodes: List[_Node] = field(default_factory=list)
 
-            presolve_start = time.monotonic()
-            reduction = presolve(form)
-            stats.add_phase("presolve", time.monotonic() - presolve_start)
-            if reduction.proven_infeasible:
-                return Solution(
-                    SolveStatus.INFEASIBLE, iterations=0,
-                    solve_seconds=time.monotonic() - start, solver_name=self.name,
-                    stats=stats,
-                )
-            assert reduction.form is not None
-            form = reduction.form
-        n = form.c.shape[0]
-        integral = np.where(form.integrality)[0]
-        tol = self.options.integrality_tolerance
-        lp = _LPBackend(form, self.options.warm_start, stats)
 
-        incumbent_x: Optional[np.ndarray] = None
-        incumbent_obj = math.inf
-        nodes_processed = 0
-        counter = itertools.count()
-        pseudo = _Pseudocosts(n)
+class _TreeSearch:
+    """One branch-and-bound tree walk over a fixed LP backend.
 
-        root = _Node(-math.inf, next(counter), form.lb.copy(), form.ub.copy())
-        heap: List[_Node] = [root]
+    The same engine drives three regimes:
+
+    * the plain serial solve (``run`` from the root until exhaustion),
+    * the parallel *ramp* (``frontier_target`` set: stop once the open
+      list holds that many subtree roots and return them), and
+    * a parallel *subtree* worker (seeded ``incumbent_obj``, a
+      ``foreign_best`` callable for conservative cross-worker pruning, a
+      ``publish`` callback broadcasting improvements, dives disabled).
+
+    Cross-worker pruning is deliberately conservative (strictly worse than
+    the foreign bound, no adoption): it can only discard nodes whose whole
+    subtree is provably worse than the global optimum, so each subtree's
+    reported incumbent is independent of broadcast timing — the property
+    the deterministic merge in :mod:`repro.solvers.parallel` relies on.
+    """
+
+    def __init__(
+        self,
+        options: SolverOptions,
+        form: MatrixForm,
+        lp: _LPBackend,
+        *,
+        start: float,
+        incumbent_obj: float = math.inf,
+        foreign_best=None,
+        publish=None,
+        allow_dives: bool = True,
+        treat_root_unbounded: bool = True,
+        node_budget: int = 0,
+    ) -> None:
+        self.options = options
+        self.form = form
+        self.lp = lp
+        self.start = start
+        self.integral = np.where(form.integrality)[0]
+        self.pseudo = _Pseudocosts(form.c.shape[0])
+        self.incumbent_x: Optional[np.ndarray] = None
+        self.incumbent_obj = incumbent_obj
+        self.incumbent_key: Optional[Tuple[float, int]] = None
+        self.foreign_best = foreign_best
+        self.publish = publish
+        self.allow_dives = allow_dives
+        self.treat_root_unbounded = treat_root_unbounded
+        self.node_budget = node_budget if node_budget else options.node_limit
+        self.nodes_processed = 0
+
+    # -- driver -------------------------------------------------------------
+    def run(
+        self, roots: List[_Node], frontier_target: int = 0
+    ) -> _SearchOutcome:
+        """Search from ``roots``; stop at exhaustion, a limit, or a frontier.
+
+        With ``frontier_target > 0`` (best-first only) the walk stops as
+        soon as the open list holds at least that many nodes and returns
+        them in ``open_nodes`` for a caller to dispatch as subtrees.
+        """
+        options = self.options
+        depth_first = options.node_selection == "depth_first"
+        heap: List[_Node] = []
         stack: List[_Node] = []
-        depth_first = self.options.node_selection == "depth_first"
         if depth_first:
-            stack = [root]
-            heap = []
-
-        best_open_bound = -math.inf
-        root_unbounded = False
+            stack = list(roots)
+        else:
+            heap = list(roots)
+            heapq.heapify(heap)
 
         def pop_node() -> Optional[_Node]:
             if depth_first:
@@ -191,29 +302,49 @@ class BozoSolver(Solver):
             else:
                 heapq.heappush(heap, node)
 
-        hit_limit = False
+        out = _SearchOutcome()
+        tol = options.integrality_tolerance
+        form = self.form
+        cutoff = options.cutoff
         while True:
+            if (
+                frontier_target
+                and not depth_first
+                and self.nodes_processed >= 1
+                and len(heap) >= frontier_target
+            ):
+                out.open_nodes = heap
+                break
             node = pop_node()
             if node is None:
                 break
-            if node.bound >= incumbent_obj - self.options.gap_tolerance * max(1.0, abs(incumbent_obj)):
-                continue  # pruned by bound
-            if time.monotonic() - start > self.options.time_limit or (
-                self.options.node_limit and nodes_processed >= self.options.node_limit
+            if node.bound >= self.incumbent_obj - options.gap_tolerance * max(
+                1.0, abs(self.incumbent_obj)
             ):
-                hit_limit = True
-                best_open_bound = min(
+                continue  # pruned by own incumbent
+            if cutoff is not None and node.bound > cutoff + 1e-9 * max(1.0, abs(cutoff)):
+                continue  # pruned by the caller-supplied valid upper bound
+            if self.foreign_best is not None:
+                foreign = self.foreign_best()
+                if node.bound > foreign + 1e-9 * max(1.0, abs(foreign)):
+                    continue  # conservatively pruned by a broadcast incumbent
+            if time.monotonic() - self.start > options.time_limit or (
+                self.node_budget and self.nodes_processed >= self.node_budget
+            ):
+                out.hit_limit = True
+                out.best_open_bound = min(
                     node.bound, *(other.bound for other in (heap or stack))
                 ) if (heap or stack) else node.bound
                 break
 
-            result, node_basis = lp.solve(node.lb, node.ub, node.basis)
-            nodes_processed += 1
+            result, node_basis = self.lp.solve(node.lb, node.ub, node.basis)
+            self.nodes_processed += 1
+            key = (node.bound, node.tiebreak)
             if result.status is LPStatus.INFEASIBLE:
                 continue
             if result.status is LPStatus.UNBOUNDED:
-                if nodes_processed == 1:
-                    root_unbounded = True
+                if self.nodes_processed == 1 and self.treat_root_unbounded:
+                    out.root_unbounded = True
                     break
                 continue
             if result.status is LPStatus.ITERATION_LIMIT:
@@ -222,58 +353,67 @@ class BozoSolver(Solver):
 
             assert result.x is not None
             lp_obj = result.objective
-            pseudo.observe_child(node, lp_obj)
-            if nodes_processed == 1 or (incumbent_x is None and nodes_processed % 16 == 0):
+            self.pseudo.observe_child(node, lp_obj)
+            if self.allow_dives and (
+                self.nodes_processed == 1
+                or (self.incumbent_x is None and self.nodes_processed % 16 == 0)
+            ):
                 # Rounding dive for a quick incumbent: always at the root,
                 # then periodically for as long as the tree has none —
                 # best-first search cannot prune anything without one.
-                dived = self._dive(lp, node.lb, node.ub, result.x, integral, node_basis)
+                dived = self._dive(node.lb, node.ub, result.x, node_basis)
                 if dived is not None:
                     objective = float(form.c @ dived) + form.c0
-                    if objective < incumbent_obj - 1e-12:
-                        incumbent_obj = objective
-                        incumbent_x = dived
-                        if self.options.verbose:
+                    if objective < self.incumbent_obj - 1e-12:
+                        self._adopt(dived, objective, key)
+                        if options.verbose:
                             print(f"[bozo] dive incumbent {objective:.6g}")
-            if lp_obj >= incumbent_obj - self.options.gap_tolerance * max(1.0, abs(incumbent_obj)):
+            if lp_obj >= self.incumbent_obj - options.gap_tolerance * max(
+                1.0, abs(self.incumbent_obj)
+            ):
+                continue
+            if cutoff is not None and lp_obj > cutoff + 1e-9 * max(1.0, abs(cutoff)):
                 continue
 
             fractional = [
                 (j, result.x[j] - math.floor(result.x[j] + tol))
-                for j in integral
+                for j in self.integral
                 if min(result.x[j] - math.floor(result.x[j]),
                        math.ceil(result.x[j]) - result.x[j]) > tol
             ]
             if not fractional:
                 x = result.x.copy()
-                x[integral] = np.round(x[integral])
+                x[self.integral] = np.round(x[self.integral])
                 if self._is_feasible(form, x):
                     obj = float(form.c @ x) + form.c0
-                    if obj < incumbent_obj - 1e-12:
-                        incumbent_obj = obj
-                        incumbent_x = x
-                        if self.options.verbose:
-                            print(f"[bozo] incumbent {obj:.6g} at node {nodes_processed}")
+                    if obj < self.incumbent_obj - 1e-12:
+                        self._adopt(x, obj, key)
+                        if options.verbose:
+                            print(f"[bozo] incumbent {obj:.6g} "
+                                  f"at node {self.nodes_processed}")
                 continue
 
-            branch_j, fraction = self._pick_branch(fractional, result.x, pseudo)
+            branch_j, fraction = self._pick_branch(fractional)
             value = result.x[branch_j]
             floor_value = math.floor(value + tol)
 
             down = _Node(
-                lp_obj, next(counter), node.lb.copy(), node.ub.copy(),
+                lp_obj, 2 * node.tiebreak, node.lb.copy(), node.ub.copy(),
                 node.depth + 1, basis=node_basis,
                 branch_var=branch_j, branch_dir="down", branch_fraction=fraction,
+                ref_key=node.ref_key,
             )
             down.ub[branch_j] = float(floor_value)
             up = _Node(
-                lp_obj, next(counter), node.lb.copy(), node.ub.copy(),
+                lp_obj, 2 * node.tiebreak + 1, node.lb.copy(), node.ub.copy(),
                 node.depth + 1, basis=node_basis,
                 branch_var=branch_j, branch_dir="up", branch_fraction=1.0 - fraction,
+                ref_key=node.ref_key,
             )
             up.lb[branch_j] = float(floor_value + 1)
             # Depth-first explores the "more integral" child first for quick
             # incumbents: push the closer-to-value branch last (popped first).
+            # Best-first ignores push order — the heap key decides.
             if value - floor_value > 0.5:
                 push_node(down)
                 push_node(up)
@@ -281,39 +421,25 @@ class BozoSolver(Solver):
                 push_node(up)
                 push_node(down)
 
-        elapsed = time.monotonic() - start
-        stats.nodes = nodes_processed
-        stats.add_phase("search", elapsed - stats.phase_seconds.get("lp", 0.0)
-                        - stats.phase_seconds.get("presolve", 0.0))
-        if incumbent_x is not None:
-            status = SolveStatus.FEASIBLE if hit_limit else SolveStatus.OPTIMAL
-            bound = best_open_bound if hit_limit and best_open_bound > -math.inf else incumbent_obj
-            values = self._to_values(form, incumbent_x)
-            return Solution(
-                status=status, objective=incumbent_obj, values=values,
-                best_bound=bound, iterations=nodes_processed,
-                solve_seconds=elapsed, solver_name=self.name, stats=stats,
-            )
-        if root_unbounded:
-            return Solution(SolveStatus.UNBOUNDED, iterations=nodes_processed,
-                            solve_seconds=elapsed, solver_name=self.name, stats=stats)
-        if hit_limit:
-            bound = best_open_bound if best_open_bound > -math.inf else math.nan
-            return Solution(SolveStatus.UNKNOWN, best_bound=bound,
-                            iterations=nodes_processed,
-                            solve_seconds=elapsed, solver_name=self.name, stats=stats)
-        status = SolveStatus.INFEASIBLE
-        return Solution(status, iterations=nodes_processed,
-                        solve_seconds=elapsed, solver_name=self.name, stats=stats)
+        out.incumbent_x = self.incumbent_x
+        out.incumbent_obj = self.incumbent_obj
+        out.incumbent_key = self.incumbent_key
+        out.nodes = self.nodes_processed
+        return out
+
+    def _adopt(self, x: np.ndarray, objective: float, key: Tuple[float, int]) -> None:
+        self.incumbent_x = x
+        self.incumbent_obj = objective
+        self.incumbent_key = key
+        if self.publish is not None:
+            self.publish(objective)
 
     # -- helpers ------------------------------------------------------------
     def _dive(
         self,
-        lp: _LPBackend,
         lb: np.ndarray,
         ub: np.ndarray,
         x: np.ndarray,
-        integral: np.ndarray,
         basis: Optional[Basis],
     ) -> Optional[np.ndarray]:
         """Rounding dive: repeatedly fix the most nearly-integral fractional
@@ -325,6 +451,7 @@ class BozoSolver(Solver):
         feasible integral point or ``None``.  At most ``2|integral|`` LP
         solves, so the dive is cheap relative to the tree it seeds."""
         tol = self.options.integrality_tolerance
+        integral = self.integral
         lb = lb.copy()
         ub = ub.copy()
         current = x
@@ -337,7 +464,7 @@ class BozoSolver(Solver):
             if not fractional:
                 candidate = current.copy()
                 candidate[integral] = np.round(candidate[integral])
-                if self._is_feasible(lp.form, candidate):
+                if self._is_feasible(self.lp.form, candidate):
                     return candidate
                 return None
             j, value = min(
@@ -353,7 +480,7 @@ class BozoSolver(Solver):
                 try_lb, try_ub = lb.copy(), ub.copy()
                 try_lb[j] = fixed
                 try_ub[j] = fixed
-                result, next_basis = lp.solve(try_lb, try_ub, basis)
+                result, next_basis = self.lp.solve(try_lb, try_ub, basis)
                 if result.status is LPStatus.OPTIMAL and result.x is not None:
                     lb, ub, basis = try_lb, try_ub, next_basis
                     break
@@ -363,18 +490,24 @@ class BozoSolver(Solver):
         return None
 
     def _pick_branch(
-        self,
-        fractional: List[Tuple[int, float]],
-        x: np.ndarray,
-        pseudo: _Pseudocosts,
+        self, fractional: List[Tuple[int, float]]
     ) -> Tuple[int, float]:
-        """Choose the variable to branch on and its fractional part."""
+        """Choose the variable to branch on and its fractional part.
+
+        Score ties break toward the lowest variable index, explicitly, so
+        the chosen branch never depends on how the candidate list happened
+        to be assembled.
+        """
         if self.options.branching == "pseudocost":
-            best = max(fractional, key=lambda item: pseudo.score(item[0], item[1]))
-            return best
+            return max(
+                fractional,
+                key=lambda item: (self.pseudo.score(item[0], item[1]), -item[0]),
+            )
         # Most fractional: distance of the fraction from the nearest integer.
-        best = max(fractional, key=lambda item: min(item[1], 1.0 - item[1]))
-        return best
+        return max(
+            fractional,
+            key=lambda item: (min(item[1], 1.0 - item[1]), -item[0]),
+        )
 
     @staticmethod
     def _is_feasible(form: MatrixForm, x: np.ndarray, tol: float = 1e-6) -> bool:
@@ -386,6 +519,104 @@ class BozoSolver(Solver):
         if np.any(x < form.lb - tol) or np.any(x > form.ub + tol):
             return False
         return True
+
+
+class BozoSolver(Solver):
+    """Branch-and-bound MILP solver over the incremental simplex pipeline."""
+
+    name = "bozo"
+
+    def __init__(self, options: Optional[SolverOptions] = None) -> None:
+        super().__init__(options)
+        #: Ramp-phase telemetry of the last parallel solve (``None`` after
+        #: a serial solve).
+        self.last_ramp_stats: Optional[SolveStats] = None
+        #: Per-subtree worker telemetry of the last parallel solve.
+        self.last_worker_stats: List[SolveStats] = []
+
+    def solve(self, model: Model) -> Solution:
+        """Solve ``model`` to optimality (or the configured limits)."""
+        if self.options.workers > 1 and self.options.node_selection != "depth_first":
+            from repro.solvers.parallel import solve_parallel
+
+            return solve_parallel(self, model)
+        self.last_ramp_stats = None
+        self.last_worker_stats = []
+        return self._solve_serial(model)
+
+    def _solve_serial(self, model: Model) -> Solution:
+        start = time.monotonic()
+        stats = SolveStats()
+        prepared = self._prepared_form(model, stats, start)
+        if isinstance(prepared, Solution):
+            return prepared
+        form = prepared
+        lp = _LPBackend(form, self.options.warm_start, stats)
+        engine = _TreeSearch(self.options, form, lp, start=start)
+        root = _Node(-math.inf, 1, form.lb.copy(), form.ub.copy())
+        outcome = engine.run([root])
+        return self._assemble(form, outcome, stats, start)
+
+    # -- shared pipeline pieces (also used by the parallel driver) ----------
+    def _prepared_form(
+        self, model: Model, stats: SolveStats, start: float
+    ) -> Union[MatrixForm, Solution]:
+        """Matrix form after optional presolve, or a terminal Solution."""
+        form = model.to_matrices()
+        if self.options.presolve:
+            from repro.solvers.presolve import presolve
+
+            presolve_start = time.monotonic()
+            reduction = presolve(form)
+            stats.add_phase("presolve", time.monotonic() - presolve_start)
+            if reduction.proven_infeasible:
+                return Solution(
+                    SolveStatus.INFEASIBLE, iterations=0,
+                    solve_seconds=time.monotonic() - start, solver_name=self.name,
+                    stats=stats,
+                )
+            assert reduction.form is not None
+            form = reduction.form
+        return form
+
+    def _assemble(
+        self,
+        form: MatrixForm,
+        out: _SearchOutcome,
+        stats: SolveStats,
+        start: float,
+    ) -> Solution:
+        """Turn a search outcome into the caller-facing Solution."""
+        elapsed = time.monotonic() - start
+        stats.nodes = out.nodes
+        stats.add_phase(
+            "search",
+            max(0.0, elapsed - stats.phase_seconds.get("lp", 0.0)
+                - stats.phase_seconds.get("presolve", 0.0)),
+        )
+        if out.incumbent_x is not None:
+            status = SolveStatus.FEASIBLE if out.hit_limit else SolveStatus.OPTIMAL
+            bound = (
+                out.best_open_bound
+                if out.hit_limit and out.best_open_bound > -math.inf
+                else out.incumbent_obj
+            )
+            values = self._to_values(form, out.incumbent_x)
+            return Solution(
+                status=status, objective=out.incumbent_obj, values=values,
+                best_bound=bound, iterations=out.nodes,
+                solve_seconds=elapsed, solver_name=self.name, stats=stats,
+            )
+        if out.root_unbounded:
+            return Solution(SolveStatus.UNBOUNDED, iterations=out.nodes,
+                            solve_seconds=elapsed, solver_name=self.name, stats=stats)
+        if out.hit_limit:
+            bound = out.best_open_bound if out.best_open_bound > -math.inf else math.nan
+            return Solution(SolveStatus.UNKNOWN, best_bound=bound,
+                            iterations=out.nodes,
+                            solve_seconds=elapsed, solver_name=self.name, stats=stats)
+        return Solution(SolveStatus.INFEASIBLE, iterations=out.nodes,
+                        solve_seconds=elapsed, solver_name=self.name, stats=stats)
 
     @staticmethod
     def _to_values(form: MatrixForm, x: np.ndarray) -> Dict:

@@ -1,0 +1,251 @@
+"""Parallel branch and bound: subtree dispatch with a shared incumbent.
+
+The driver behind ``BozoSolver(workers=N)``.  The strategy is *ramp then
+partition*:
+
+1. **Ramp** — the tree is searched serially (dives and all, an exact
+   prefix of the ``workers=1`` run) until the open list holds
+   ``frontier_target`` nodes (default ``max(4 * workers, 8)``).
+2. **Partition** — the open nodes, sorted by their deterministic
+   ``(bound, path id)`` heap key, become subtree work units shipped to a
+   fork-based :mod:`multiprocessing` pool.  The standard form is
+   inherited through the fork (and registered in the shared-form registry
+   so each :class:`~repro.solvers.bozo._Node` pickles as a bound delta,
+   never a matrix copy).
+3. **Broadcast** — whenever a worker improves on its local incumbent it
+   publishes the objective into a shared ``multiprocessing.Value``; other
+   workers prune nodes whose LP bound is *strictly worse* than the
+   broadcast value.  Strictness matters: conservative cross-worker
+   pruning can only remove provably non-improving subtrees, so each
+   worker's result is independent of broadcast timing.
+4. **Merge** — subtree incumbents, tagged with the ``(bound, path id)``
+   of the node that produced them, are replayed in that key order with
+   the serial adoption rule (strict improvement over the running best).
+   Because the serial best-first search pops nodes in exactly that lex
+   order, the fold reproduces the serial incumbent — same objective,
+   same variable values — and the merged Solution is byte-identical to
+   the ``workers=1`` run.
+
+When ``fork`` is unavailable (non-POSIX platforms) or the pool cannot be
+created, the subtrees are solved inline in dispatch order — the same
+code path, minus the parallelism — so results never depend on platform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import os
+import time
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStats
+from repro.solvers.bozo import (
+    BozoSolver,
+    _LPBackend,
+    _Node,
+    _SearchOutcome,
+    _TreeSearch,
+)
+from repro.solvers.revised import clear_shared_forms, register_shared_form
+
+#: Fork-inherited per-pool context.  Set in the parent immediately before
+#: the pool is created; child processes receive it through the fork and
+#: never unpickle the matrix form or the standard-form factorization.
+_WORKER_CTX: Dict[str, Any] = {}
+
+
+class _InlineValue:
+    """Duck-typed stand-in for ``multiprocessing.Value`` in inline mode."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def get_lock(self):  # pragma: no cover - trivial
+        import contextlib
+
+        return contextlib.nullcontext()
+
+
+def _publish(objective: float) -> None:
+    """Broadcast a strictly-improving incumbent objective to all workers."""
+    shared = _WORKER_CTX["incumbent"]
+    counter = _WORKER_CTX["broadcasts"]
+    with shared.get_lock():
+        if objective < shared.value - 1e-12:
+            shared.value = objective
+            counter.value += 1
+
+
+def _solve_subtree(node: _Node) -> Tuple[_SearchOutcome, SolveStats]:
+    """Worker entry point: exhaust one subtree, report incumbent + stats.
+
+    Runs with dives disabled and a *local* adoption rule seeded with the
+    ramp incumbent objective: what this subtree reports is a function of
+    the subtree alone, never of what other workers broadcast (broadcasts
+    only prune provably non-improving nodes).  That independence is what
+    makes the merge deterministic.
+    """
+    ctx = _WORKER_CTX
+    shared = ctx["incumbent"]
+    stats = SolveStats()
+    lp = _LPBackend(ctx["form"], ctx["warm_start"], stats, sf=ctx["sf"])
+    engine = _TreeSearch(
+        ctx["options"],
+        ctx["form"],
+        lp,
+        start=ctx["start"],
+        incumbent_obj=ctx["ramp_obj"],
+        foreign_best=lambda: shared.value,
+        publish=_publish,
+        allow_dives=False,
+        treat_root_unbounded=False,
+    )
+    outcome = engine.run([node])
+    outcome.open_nodes = []  # never ship nodes back
+    stats.nodes = outcome.nodes
+    return outcome, stats
+
+
+def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
+    """Parallel solve entry point used by :meth:`BozoSolver.solve`."""
+    options = solver.options
+    start = time.monotonic()
+    stats = SolveStats()
+    prepared = solver._prepared_form(model, stats, start)
+    if isinstance(prepared, Solution):
+        prepared.stats.workers = options.workers
+        solver.last_ramp_stats = dataclasses.replace(
+            stats, phase_seconds=dict(stats.phase_seconds)
+        )
+        solver.last_worker_stats = []
+        return prepared
+    form = prepared
+
+    lp = _LPBackend(form, options.warm_start, stats)
+    ramp = _TreeSearch(options, form, lp, start=start)
+    frontier_target = options.frontier_target or max(4 * options.workers, 8)
+    root = _Node(-math.inf, 1, form.lb.copy(), form.ub.copy())
+    outcome = ramp.run([root], frontier_target=frontier_target)
+
+    stats.workers = options.workers
+    stats.nodes = outcome.nodes
+    if not outcome.open_nodes:
+        # The ramp exhausted the tree (or hit a limit / unboundedness)
+        # before a frontier existed: nothing to parallelize.
+        solver.last_ramp_stats = dataclasses.replace(
+            stats, phase_seconds=dict(stats.phase_seconds)
+        )
+        solver.last_worker_stats = []
+        return solver._assemble(form, outcome, stats, start)
+
+    subtrees = sorted(outcome.open_nodes)  # (bound, path id) dispatch order
+    stats.subtrees_dispatched = len(subtrees)
+    share_key: Optional[str] = None
+    if lp.sf is not None:
+        share_key = register_shared_form(lp.sf, form.lb, form.ub)
+        for node in subtrees:
+            node.ref_key = share_key
+
+    pool_size = min(options.workers, len(subtrees))
+    incumbent: Any
+    broadcasts: Any
+    try:
+        mp = multiprocessing.get_context("fork")
+        incumbent = mp.Value("d", outcome.incumbent_obj)
+        broadcasts = mp.Value("l", 0)
+    except ValueError:  # fork unavailable (e.g. Windows): inline mode
+        mp = None
+        incumbent = _InlineValue(outcome.incumbent_obj)
+        broadcasts = _InlineValue(0)
+
+    _WORKER_CTX.clear()
+    _WORKER_CTX.update(
+        form=form,
+        sf=lp.sf,
+        warm_start=options.warm_start,
+        options=replace(options, workers=1, frontier_target=0),
+        start=start,
+        ramp_obj=outcome.incumbent_obj,
+        incumbent=incumbent,
+        broadcasts=broadcasts,
+    )
+    try:
+        results: List[Tuple[_SearchOutcome, SolveStats]]
+        if mp is not None:
+            try:
+                with mp.Pool(pool_size) as pool:
+                    results = pool.map(_solve_subtree, subtrees)
+            except OSError:  # pool creation failed: degrade gracefully
+                incumbent = _InlineValue(outcome.incumbent_obj)
+                broadcasts = _InlineValue(0)
+                _WORKER_CTX.update(incumbent=incumbent, broadcasts=broadcasts)
+                results = [_solve_subtree(node) for node in subtrees]
+        else:
+            results = [_solve_subtree(node) for node in subtrees]
+    finally:
+        _WORKER_CTX.clear()
+        if share_key is not None:
+            clear_shared_forms()
+            lp.sf.share_key = None
+
+    # Deterministic merge: replay subtree incumbents in discovery-key
+    # order with the serial adoption rule, starting from the ramp state.
+    merged = _SearchOutcome(
+        incumbent_x=outcome.incumbent_x,
+        incumbent_obj=outcome.incumbent_obj,
+        incumbent_key=outcome.incumbent_key,
+        nodes=outcome.nodes,
+        root_unbounded=outcome.root_unbounded,
+    )
+    candidates = sorted(
+        (res for res, _ in results if res.incumbent_x is not None),
+        key=lambda res: res.incumbent_key,
+    )
+    for res in candidates:
+        if res.incumbent_obj < merged.incumbent_obj - 1e-12:
+            merged.incumbent_x = res.incumbent_x
+            merged.incumbent_obj = res.incumbent_obj
+            merged.incumbent_key = res.incumbent_key
+
+    worker_stats: List[SolveStats] = []
+    open_bounds: List[float] = []
+    for res, wstats in results:
+        merged.nodes += res.nodes
+        if res.hit_limit:
+            merged.hit_limit = True
+            if res.best_open_bound > -math.inf:
+                open_bounds.append(res.best_open_bound)
+        worker_stats.append(wstats)
+    if merged.hit_limit:
+        merged.best_open_bound = min(open_bounds) if open_bounds else -math.inf
+
+    solver.last_ramp_stats = dataclasses.replace(
+        stats, phase_seconds=dict(stats.phase_seconds)
+    )
+    solver.last_worker_stats = worker_stats
+    for wstats in worker_stats:
+        stats.merge(wstats)
+    stats.incumbent_broadcasts = int(broadcasts.value)
+    return solver._assemble(form, merged, stats, start)
+
+
+class ParallelBozoSolver(BozoSolver):
+    """:class:`BozoSolver` that defaults to one worker per CPU core.
+
+    Registered as ``"bozo-parallel"``.  Equivalent to requesting
+    ``bozo`` with ``SolverOptions(workers=os.cpu_count())``; provided so
+    callers that only pick solvers by name can opt into parallel search.
+    """
+
+    name = "bozo-parallel"
+
+    def __init__(self, options=None) -> None:
+        super().__init__(options)
+        if self.options.workers <= 1:
+            self.options = replace(
+                self.options, workers=max(2, os.cpu_count() or 2)
+            )

@@ -50,6 +50,13 @@ def _register_builtins() -> None:
     from repro.solvers.bozo import BozoSolver
 
     register_solver("bozo", lambda options: BozoSolver(options))
+
+    def _parallel(options):
+        from repro.solvers.parallel import ParallelBozoSolver
+
+        return ParallelBozoSolver(options)
+
+    register_solver("bozo-parallel", _parallel)
     try:
         from repro.solvers.highs import HighsSolver
     except ImportError:  # scipy absent: from-scratch solver only

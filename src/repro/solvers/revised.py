@@ -33,8 +33,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
 import math
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -113,6 +114,57 @@ class RevisedResult:
     basis: Optional[Basis]
 
 
+@dataclasses.dataclass
+class SharedFormRef:
+    """One entry of the shared-form registry used for cheap pickling.
+
+    Attributes:
+        sf: The registered standard form (owner of the constraint matrix).
+        root_lb: Structural lower bounds at registration time — the
+            reference against which :class:`~repro.solvers.bozo._Node`
+            bound vectors are delta-encoded.
+        root_ub: Structural upper bounds at registration time.
+    """
+
+    sf: "StandardFormLP"
+    root_lb: np.ndarray
+    root_ub: np.ndarray
+
+
+#: Registry of shared standard forms, keyed by constraint-matrix hash.
+#: Parallel branch and bound registers the form in the parent process
+#: before forking workers; the registry is inherited by the fork, so work
+#: units pickled across the pipe carry only a reference hash plus their
+#: mutated bounds instead of a full constraint-matrix copy.
+_SHARED_FORMS: Dict[str, SharedFormRef] = {}
+
+
+def register_shared_form(
+    sf: "StandardFormLP", root_lb: np.ndarray, root_ub: np.ndarray
+) -> str:
+    """Register ``sf`` for reference-based pickling; returns its key.
+
+    Must be called in the parent process *before* worker processes are
+    forked so the registry entry is inherited.  ``root_lb``/``root_ub``
+    are the pre-branching structural bounds that node deltas are encoded
+    against.
+    """
+    key = sf.fingerprint()
+    _SHARED_FORMS[key] = SharedFormRef(sf, root_lb.copy(), root_ub.copy())
+    sf.share_key = key
+    return key
+
+
+def get_shared_form(key: str) -> SharedFormRef:
+    """Look up a registered shared form (raises ``KeyError`` if absent)."""
+    return _SHARED_FORMS[key]
+
+
+def clear_shared_forms() -> None:
+    """Drop every registry entry (parents clean up after a parallel solve)."""
+    _SHARED_FORMS.clear()
+
+
 class StandardFormLP:
     """A computational standard form built once per MILP.
 
@@ -160,6 +212,53 @@ class StandardFormLP:
         )
         self.cost = np.concatenate([c, np.zeros(m)])
         self.c0 = float(c0)
+        #: Set by :func:`register_shared_form`; enables reference pickling.
+        self.share_key: Optional[str] = None
+        self._fingerprint: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Stable hash of the immutable part (matrix + rhs + shape).
+
+        Bounds and objective are excluded — they mutate between solves —
+        so one fingerprint identifies the form across the whole life of a
+        branch-and-bound tree.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            digest.update(f"{self.n}:{self.m}".encode())
+            digest.update(np.ascontiguousarray(self.a).tobytes())
+            digest.update(np.ascontiguousarray(self.b).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def __getstate__(self) -> dict:
+        """Pickle support: ship a matrix reference when the form is shared.
+
+        A registered form (see :func:`register_shared_form`) serializes
+        without its constraint matrix — receivers resolve ``a``/``b`` from
+        their inherited registry — so a work unit costs O(columns), not
+        O(rows x columns).  Unregistered forms pickle in full.
+        """
+        state = dict(self.__dict__)
+        key = state.get("share_key")
+        if key is not None and key in _SHARED_FORMS:
+            del state["a"]
+            del state["b"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if "a" not in self.__dict__:
+            try:
+                ref = _SHARED_FORMS[self.share_key]
+            except KeyError:
+                raise RuntimeError(
+                    f"StandardFormLP was pickled as a reference to shared form "
+                    f"{self.share_key!r}, but the receiving process has no such "
+                    f"registry entry; call register_shared_form before forking"
+                ) from None
+            self.a = ref.sf.a
+            self.b = ref.sf.b
 
     @classmethod
     def from_matrix_form(cls, form: MatrixForm) -> "StandardFormLP":

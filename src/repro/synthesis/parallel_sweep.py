@@ -1,0 +1,320 @@
+"""Concurrent Pareto sweep: solve independent cost caps in parallel.
+
+The serial sweep (:meth:`Synthesizer.pareto_sweep`) is a chain — each
+cap is the previous design's cost minus ``cost_step`` — so naively it
+cannot be parallelized without changing which designs come back.  This
+module parallelizes it *without* changing the front, using two facts:
+
+* A solve at **any** cap ``m`` returns the non-inferior point with the
+  largest cost ``<= m`` (min makespan under the cap, then min cost at
+  that makespan), and simultaneously proves there is no front point with
+  cost in ``(result, m]``.
+* The front **costs** a solve discovers are optimal objective values,
+  so they are unchanged by seeding the solver with a valid objective
+  ``cutoff`` — only the returned *schedule* could differ.
+
+So the orchestrator races two kinds of jobs on a fork pool:
+
+* **Probes** bisect the cost range between the fastest design's cost and
+  the cheapest feasible cost (a min-cost "floor" solve), discovering
+  front costs early.  Each probe is seeded with a makespan ``cutoff``
+  from the nearest finished design of cost at or below its cap — the
+  "warm start from the nearest finished neighbor" — and runs cold when
+  no neighbor has finished.  Probe designs are **always discarded**;
+  only their ``(cost, makespan)`` coordinates are kept.
+* **Canonical** jobs re-run exactly the serial chain solves — the same
+  caps, no cutoff, same solver options — and their designs are the ones
+  returned.  A canonical job at cap ``c - cost_step`` is dispatched as
+  soon as ``c`` is *proven* to be a chain cost, i.e. the interval
+  between ``c - cost_step`` and the next discovered cost below it is
+  covered by prove-empty intervals from finished jobs.
+
+Because every returned design comes from a hint-free solve at exactly
+the serial cap with the serial options, the front is identical to the
+``workers=1`` sweep — order, costs, makespans, schedules.  Probes only
+shorten the critical path.  Telemetry from every job (probes included)
+is merged into the synthesizer's ``total_stats``.
+
+Assumption inherited from the serial sweep: ``cost_step`` is smaller
+than the gap between any two adjacent front costs (the serial chain
+makes the same assumption when it steps by ``cost_step``).  Platforms
+without ``fork`` fall back to the serial sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.options import Objective
+from repro.errors import InfeasibleError, SynthesisError
+from repro.milp.solution import SolveStats
+from repro.solvers.base import SolverOptions
+from repro.synthesis.design import Design
+
+#: Fork-inherited context: the synthesizer whose configuration (graph,
+#: library, formulation options, solver choice) every worker replicates.
+_SWEEP_CTX: Dict[str, Any] = {}
+
+_EPS = 1e-9
+
+
+def _tol(*values: float) -> float:
+    return _EPS * max(1.0, *(abs(v) for v in values))
+
+
+def _sweep_worker(job: Tuple[str, Optional[float], Optional[float]]):
+    """Run one sweep solve in a pool worker.
+
+    Returns ``(kind, cap, design_or_None, cost, makespan, stats, seconds)``
+    with ``cost = nan`` signalling an infeasible cap.  Probe and floor
+    jobs drop the design before returning so only two floats cross the
+    process pipe.
+    """
+    kind, cap, cutoff = job
+    synth = _SWEEP_CTX["synth"]
+    # The forked synthesizer is disposable: zero its accumulators so this
+    # job's telemetry can be shipped back and merged by the parent.
+    synth.total_stats = SolveStats()
+    synth.total_solve_seconds = 0.0
+    try:
+        if kind == "floor":
+            design = synth.synthesize(
+                objective=Objective.MIN_COST,
+                minimize_secondary=False,
+                validate=False,
+            )
+        else:
+            design = synth.synthesize(
+                cost_cap=cap,
+                validate=_SWEEP_CTX["validate"] and kind == "canonical",
+                _primary_cutoff=cutoff,
+            )
+    except InfeasibleError:
+        return (kind, cap, None, math.nan, math.nan,
+                synth.total_stats, synth.total_solve_seconds)
+    shipped = design if kind == "canonical" else None
+    return (kind, cap, shipped, design.cost, design.makespan,
+            synth.total_stats, synth.total_solve_seconds)
+
+
+def _covered(lo: float, hi: float, spans: List[Tuple[float, float]]) -> bool:
+    """True when the half-open cost interval ``(lo, hi]`` is covered by
+    the union of prove-empty spans ``(a, b]``."""
+    eps = _tol(lo, hi)
+    if hi <= lo + eps:
+        return True
+    reached = lo
+    for a, b in sorted(spans):
+        if a > reached + eps:
+            break
+        reached = max(reached, b)
+        if reached >= hi - eps:
+            return True
+    return reached >= hi - eps
+
+
+class _SweepState:
+    """Bookkeeping of discovered front points and prove-empty intervals."""
+
+    def __init__(self, cost_step: float) -> None:
+        self.step = cost_step
+        #: Discovered front points: cost -> makespan.
+        self.points: Dict[float, float] = {}
+        #: Intervals ``(r, m]`` proven to contain no front cost.
+        self.empty: List[Tuple[float, float]] = []
+        #: Canonical results keyed by chain index.
+        self.designs: Dict[float, Design] = {}
+        self.top: Optional[float] = None  # cost of the fastest design
+        self.floor: Optional[float] = None  # cheapest feasible cost
+
+    def add_point(self, cost: float, makespan: float) -> None:
+        for known in self.points:
+            if abs(known - cost) <= _tol(known, cost):
+                return
+        self.points[cost] = makespan
+
+    def chain(self, max_designs: int) -> Tuple[List[float], bool]:
+        """The serial chain prefix provable so far.
+
+        Returns ``(costs, complete)`` where ``complete`` means the chain
+        provably ends (its last cost is the floor) or hit ``max_designs``.
+        """
+        if self.top is None:
+            return [], False
+        chain = [self.top]
+        while len(chain) < max_designs:
+            cap = chain[-1] - self.step
+            if self.floor is not None and cap < self.floor - _tol(cap):
+                return chain, True  # nothing cheaper can exist
+            below = [c for c in self.points if c <= cap + _tol(cap, c)]
+            if not below:
+                return chain, False
+            nxt = max(below)
+            # nxt is the chain successor iff (nxt, cap] provably holds no
+            # other front cost.
+            if not _covered(nxt, cap, self.empty):
+                return chain, False
+            chain.append(nxt)
+        return chain, True
+
+    def cutoff_for(self, cap: float) -> Optional[float]:
+        """Makespan of the nearest finished neighbor with cost <= cap."""
+        below = [c for c in self.points if c <= cap + _tol(cap, c)]
+        if not below:
+            return None
+        return self.points[max(below)]
+
+    def probe_targets(self, outstanding: List[float]) -> List[float]:
+        """Midpoints of the widest unexplored cost regions.
+
+        A region is a maximal subinterval of ``(floor, top - step]`` not
+        covered by prove-empty spans; regions already holding an
+        outstanding probe cap are skipped.
+        """
+        if self.top is None or self.floor is None:
+            return []
+        lo, hi = self.floor, self.top - self.step
+        if hi <= lo + _tol(lo, hi):
+            return []
+        # Walk the prove-empty union to list uncovered regions.
+        regions: List[Tuple[float, float]] = []
+        reached = lo
+        for a, b in sorted(self.empty) + [(hi, hi)]:
+            if a > reached + _tol(reached, a):
+                regions.append((reached, min(a, hi)))
+            reached = max(reached, b)
+            if reached >= hi:
+                break
+        targets = []
+        for a, b in regions:
+            if b - a <= max(self.step, _tol(a, b)):
+                continue
+            if any(a - _EPS <= cap <= b + _EPS for cap in outstanding):
+                continue
+            targets.append((b - a, (a + b) / 2.0))
+        return [mid for _, mid in sorted(targets, reverse=True)]
+
+
+def parallel_pareto_sweep(
+    synth,
+    max_designs: int,
+    cost_step: float,
+    validate: bool,
+    workers: int,
+) -> List[Design]:
+    """Drive the concurrent sweep; called by ``Synthesizer.pareto_sweep``."""
+    try:
+        mp = multiprocessing.get_context("fork")
+    except ValueError:  # no fork (e.g. Windows): keep the serial semantics
+        return synth.pareto_sweep(
+            max_designs=max_designs, cost_step=cost_step, validate=validate
+        )
+
+    # Children must not nest process pools: force single-worker backends.
+    saved_options = synth.solver_options
+    synth.solver_options = dataclasses.replace(
+        saved_options or SolverOptions(), workers=1, frontier_target=0, cutoff=None
+    )
+    _SWEEP_CTX.clear()
+    _SWEEP_CTX.update(synth=synth, validate=validate)
+    try:
+        with mp.Pool(workers) as pool:
+            front = _orchestrate(pool, synth, max_designs, cost_step, workers)
+    finally:
+        _SWEEP_CTX.clear()
+        synth.solver_options = saved_options
+    if not front:
+        raise SynthesisError(
+            "pareto sweep produced no designs (infeasible instance?)"
+        )
+    return front
+
+
+def _orchestrate(pool, synth, max_designs, cost_step, workers) -> List[Design]:
+    state = _SweepState(cost_step)
+    pending: List[Tuple[str, Optional[float], Any]] = []
+    dispatched_caps: List[float] = []  # canonical caps already launched
+    outstanding_probes: List[float] = []
+
+    def submit(kind: str, cap: Optional[float], cutoff: Optional[float]) -> None:
+        pending.append((kind, cap, pool.apply_async(_sweep_worker, ((kind, cap, cutoff),))))
+
+    submit("canonical", None, None)
+    submit("floor", None, None)
+
+    while pending:
+        ready = [entry for entry in pending if entry[2].ready()]
+        if not ready:
+            time.sleep(0.005)
+            continue
+        for entry in ready:
+            pending.remove(entry)
+            kind, cap, result = entry
+            (kind, cap, design, cost, makespan, stats, seconds) = result.get()
+            synth.total_stats.merge(stats)
+            synth.total_solve_seconds += seconds
+            if kind == "probe":
+                outstanding_probes.remove(cap)
+            if math.isnan(cost):
+                # Infeasible cap: everything at or below it is empty.  The
+                # canonical chain provably ends above this cap.
+                if cap is not None and state.floor is None:
+                    state.floor = cap + cost_step
+                continue
+            state.add_point(cost, makespan)
+            if kind == "floor":
+                state.floor = cost if state.floor is None else max(state.floor, cost)
+            elif kind == "canonical":
+                if cap is None:
+                    state.top = cost
+                state.designs[cost] = design
+                state.empty.append((cost, math.inf if cap is None else cap))
+            else:
+                state.empty.append((cost, cap))
+
+        chain, complete = state.chain(max_designs)
+        # Canonical dispatch: each proven chain cost unlocks the next cap.
+        for idx, c in enumerate(chain):
+            if idx + 1 >= max_designs:
+                break  # successors would fall beyond the requested front
+            cap = c - cost_step
+            if cap < 0:
+                continue
+            if state.floor is not None and cap < state.floor - _tol(cap):
+                continue  # provably infeasible; the serial loop stops here
+            if any(abs(cap - d) <= _tol(cap, d) for d in dispatched_caps):
+                continue
+            dispatched_caps.append(cap)
+            submit("canonical", cap, None)
+        # Probe dispatch: bisect unexplored cost regions, capped at pool size.
+        if not complete:
+            budget = max(0, workers - len(pending))
+            for mid in state.probe_targets(outstanding_probes)[:budget]:
+                outstanding_probes.append(mid)
+                submit("probe", mid, state.cutoff_for(mid))
+
+    synth.total_stats.workers = max(synth.total_stats.workers, workers)
+
+    # Assemble the front by replaying the chain over canonical designs.
+    front: List[Design] = []
+    if state.top is None:
+        return front
+    cost = state.top
+    while len(front) < max_designs:
+        design = state.designs.get(cost)
+        if design is None:
+            match = [c for c in state.designs if abs(c - cost) <= _tol(c, cost)]
+            design = state.designs[match[0]] if match else None
+        if design is None:
+            break
+        front.append(design)
+        cap = cost - cost_step
+        below = [c for c in state.points if c <= cap + _tol(cap, c)]
+        if not below or cap < 0:
+            break
+        cost = max(below)
+    return front

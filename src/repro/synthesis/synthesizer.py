@@ -90,6 +90,7 @@ class Synthesizer:
         objective: Objective = Objective.MIN_MAKESPAN,
         minimize_secondary: bool = True,
         validate: bool = True,
+        _primary_cutoff: Optional[float] = None,
     ) -> Design:
         """Produce one optimal design.
 
@@ -103,6 +104,10 @@ class Synthesizer:
                 *cheapest* system achieving that makespan (this is the
                 design the paper's tables report).
             validate: Re-check the design with the independent validator.
+            _primary_cutoff: Known valid upper bound on the primary
+                objective, forwarded to the backend for the primary solve
+                only (the parallel sweep seeds speculative solves with it).
+                Never changes the optimal objective value.
 
         Raises:
             InfeasibleError: When no system satisfies the constraints.
@@ -114,7 +119,7 @@ class Synthesizer:
             deadline=deadline,
             objective=objective,
         )
-        built, solution = self._solve(options)
+        built, solution = self._solve(options, cutoff=_primary_cutoff)
         primary_seconds = solution.solve_seconds
         primary_stats = solution.stats
 
@@ -198,10 +203,15 @@ class Synthesizer:
             self.constraints.apply(built)
         return built
 
-    def _solve(self, options: FormulationOptions):
+    def _solve(self, options: FormulationOptions, cutoff: Optional[float] = None):
         built = self._built_for(options)
         self.last_model = built
-        backend = get_solver(self.solver_name, self.solver_options)
+        solver_options = self.solver_options
+        if cutoff is not None:
+            solver_options = dataclasses.replace(
+                solver_options or SolverOptions(), cutoff=cutoff
+            )
+        backend = get_solver(self.solver_name, solver_options)
         solution = backend.solve(built.model)
         self.total_solve_seconds += solution.solve_seconds
         if solution.stats is not None:
@@ -224,6 +234,7 @@ class Synthesizer:
         max_designs: int = 64,
         cost_step: float = 1e-4,
         validate: bool = True,
+        workers: int = 1,
     ) -> List[Design]:
         """Enumerate all non-inferior designs, fastest first.
 
@@ -242,7 +253,18 @@ class Synthesizer:
             cost_step: How far below the previous cost the next cap sits
                 (any value smaller than the cost granularity is exact).
             validate: Independently validate every design.
+            workers: Solve cost caps concurrently on ``workers`` processes
+                (:mod:`repro.synthesis.parallel_sweep`).  The front is
+                identical to the serial sweep — the returned designs come
+                from hint-free solves at exactly the serial caps —
+                speculative probe solves only shorten the critical path.
         """
+        if workers > 1:
+            from repro.synthesis.parallel_sweep import parallel_pareto_sweep
+
+            return parallel_pareto_sweep(
+                self, max_designs, cost_step, validate, workers
+            )
         front: List[Design] = []
         cap: Optional[float] = None
         while len(front) < max_designs:
