@@ -6,13 +6,19 @@ static schedule of an application-specific heterogeneous multiprocessor.
 
 Quickstart::
 
-    from repro import Synthesizer, example1, example1_library
+    import repro
 
-    synth = Synthesizer(example1(), example1_library())
-    design = synth.synthesize()            # fastest system at any cost
+    design = repro.synthesize(repro.example1(), repro.example1_library())
     print(design.describe())
     print(design.gantt())
+
+    synth = repro.Synthesizer(repro.example1(), repro.example1_library())
     front = synth.pareto_sweep()           # every non-inferior system
+
+``repro.synthesize`` is the one-call entrypoint; ``repro.Synthesizer``
+is the stateful driver for sweeps and repeated solves.  The stable
+public surface is documented in ``docs/api.md``; structured solve
+tracing lives in :mod:`repro.obs` (see ``docs/observability.md``).
 """
 
 from repro.core import (
@@ -28,9 +34,10 @@ from repro.errors import (
     SolverError,
     SynthesisError,
     TaskGraphError,
+    UnknownSolverError,
     ValidationError,
 )
-from repro.synthesis import Design, Synthesizer
+from repro.synthesis import Design, ParetoFront, Synthesizer, synthesize
 from repro.system import (
     Architecture,
     InterconnectStyle,
@@ -56,9 +63,12 @@ __all__ = [
     "SolverError",
     "SynthesisError",
     "TaskGraphError",
+    "UnknownSolverError",
     "ValidationError",
     "Design",
+    "ParetoFront",
     "Synthesizer",
+    "synthesize",
     "Architecture",
     "InterconnectStyle",
     "Link",

@@ -3,9 +3,14 @@
 Examples::
 
     sos synthesize problem.json --cost-cap 13 --gantt
+    sos synthesize example1 --trace solve.jsonl --progress
     sos sweep problem.json --style bus
+    sos trace solve.jsonl --replay-stats
     sos paper --artifact table2
     sos info problem.json
+
+Installed both as ``sos`` and as ``repro`` (the same program under the
+package's name), so ``repro trace solve.jsonl`` works too.
 """
 
 from __future__ import annotations
@@ -77,23 +82,56 @@ def _style(name: str) -> InterconnectStyle:
     }[name]
 
 
+def _solver_options(args: argparse.Namespace, sink, workers: int = 1):
+    """Build :class:`SolverOptions` from CLI flags (``None`` when default).
+
+    ``sink`` is an open trace sink (or ``None``); it is referenced by the
+    returned options, so the caller owns closing it after the solve.
+    ``workers`` is the branch-and-bound worker count (sweep-level
+    parallelism is a separate knob passed to ``pareto_sweep`` instead).
+    """
+    progress = getattr(args, "progress", False)
+    if workers <= 1 and sink is None and not progress:
+        return None
+    from repro.obs.progress import print_progress
+    from repro.solvers.base import SolverOptions
+
+    return SolverOptions(
+        workers=workers,
+        trace=sink,
+        on_progress=print_progress if progress else None,
+    )
+
+
+def _open_trace_sink(args: argparse.Namespace):
+    """A :class:`JsonlTraceSink` for ``--trace FILE``, or ``None``."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    from repro.obs.sinks import JsonlTraceSink
+
+    return JsonlTraceSink(path)
+
+
 def cmd_synthesize(args: argparse.Namespace) -> int:
     """Synthesize one optimal design and print/save it."""
     graph, library = load_problem(args.problem)
-    solver_options = None
-    if args.workers > 1:
-        from repro.solvers.base import SolverOptions
-
-        solver_options = SolverOptions(workers=args.workers)
-    synth = Synthesizer(
-        graph, library, style=_style(args.style), solver=args.solver,
-        solver_options=solver_options,
-    )
-    design = synth.synthesize(
-        cost_cap=args.cost_cap,
-        deadline=args.deadline,
-        objective=Objective.MIN_COST if args.min_cost else Objective.MIN_MAKESPAN,
-    )
+    sink = _open_trace_sink(args)
+    try:
+        synth = Synthesizer(
+            graph, library, style=_style(args.style), solver=args.solver,
+            solver_options=_solver_options(args, sink, workers=args.workers),
+        )
+        design = synth.synthesize(
+            cost_cap=args.cost_cap,
+            deadline=args.deadline,
+            objective=Objective.MIN_COST if args.min_cost else Objective.MIN_MAKESPAN,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.trace:
+        print(f"trace written to {args.trace}")
     print(design.describe())
     if args.telemetry and synth.last_stats is not None:
         print(f"\nsolver telemetry: {synth.last_stats.summary()}")
@@ -109,11 +147,21 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Enumerate and print the full non-inferior design front."""
     graph, library = load_problem(args.problem)
-    synth = Synthesizer(
-        graph, library, style=_style(args.style), solver=args.solver,
-        incremental=args.incremental,
-    )
-    front = synth.pareto_sweep(max_designs=args.max_designs, workers=args.workers)
+    sink = _open_trace_sink(args)
+    try:
+        synth = Synthesizer(
+            graph, library, style=_style(args.style), solver=args.solver,
+            solver_options=_solver_options(args, sink),
+            incremental=args.incremental,
+        )
+        front = synth.pareto_sweep(
+            max_designs=args.max_designs, workers=args.workers
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.trace:
+        print(f"trace written to {args.trace}")
     if args.csv:
         from repro.analysis.reporting import write_csv
 
@@ -306,6 +354,22 @@ def cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a JSONL solve trace: timeline plus per-phase/worker profile."""
+    from repro.obs import check_schema, read_trace, render_trace_summary, replay_stats
+
+    events = read_trace(args.trace_file)
+    problems = check_schema(events)
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    print(render_trace_summary(events))
+    if args.replay_stats:
+        stats = replay_stats(events)
+        print()
+        print(f"replayed stats: {stats.summary()}")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Describe a problem: pool, MILP size, bounds, per-family row counts."""
     graph, library = load_problem(args.problem)
@@ -354,6 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--workers", type=int, default=1,
                          help="parallel branch-and-bound workers (bozo solver); "
                          "the result is identical to the serial solve")
+    p_synth.add_argument("--trace", metavar="FILE", default=None,
+                         help="stream structured solve events to this JSONL file "
+                         "(inspect it with 'sos trace FILE')")
+    p_synth.add_argument("--progress", action="store_true",
+                         help="print rate-limited progress lines during the solve")
     p_synth.set_defaults(func=cmd_synthesize)
 
     p_sweep = sub.add_parser("sweep", help="enumerate all non-inferior designs")
@@ -367,6 +436,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--workers", type=int, default=1,
                          help="solve cost caps concurrently on this many processes; "
                          "the front is identical to the serial sweep")
+    p_sweep.add_argument("--trace", metavar="FILE", default=None,
+                         help="stream structured sweep/solve events to this JSONL file")
+    p_sweep.add_argument("--progress", action="store_true",
+                         help="print rate-limited progress lines during each solve")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_paper = sub.add_parser("paper", help="regenerate a paper table/figure")
@@ -419,6 +492,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot.add_argument("--cost-cap", type=float, default=None)
     p_dot.add_argument("--output", help="write DOT here instead of stdout")
     p_dot.set_defaults(func=cmd_dot)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize a JSONL solve trace written by --trace"
+    )
+    p_trace.add_argument("trace_file", help="JSONL trace file written by --trace FILE")
+    p_trace.add_argument("--replay-stats", action="store_true",
+                         help="also rebuild SolveStats from the event stream")
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -19,6 +19,16 @@ class SolverError(ReproError):
     """A solver failed in a way that is not simply infeasibility."""
 
 
+class UnknownSolverError(SolverError):
+    """An unrecognized solver name was requested from the registry.
+
+    The message lists the registered backends and, when a close match
+    exists, suggests the likely intended name.  Subclasses
+    :class:`SolverError`, so ``except SolverError`` call sites keep
+    working.
+    """
+
+
 class InfeasibleError(SolverError):
     """The model was proven infeasible."""
 

@@ -90,6 +90,21 @@ class SolveStats:
             self.add_phase(name, seconds)
         return self
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-compatible mapping of every counter (phases under ``phase_seconds``)."""
+        return {
+            "nodes": self.nodes,
+            "lp_solves": self.lp_solves,
+            "lp_pivots": self.lp_pivots,
+            "warm_starts": self.warm_starts,
+            "warm_start_hits": self.warm_start_hits,
+            "fallbacks": self.fallbacks,
+            "workers": self.workers,
+            "subtrees_dispatched": self.subtrees_dispatched,
+            "incumbent_broadcasts": self.incumbent_broadcasts,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
     def summary(self) -> str:
         """One-line human-readable telemetry summary."""
         parts = [

@@ -5,10 +5,13 @@ from __future__ import annotations
 import abc
 import dataclasses
 import math
-from typing import Optional
+import warnings
+from typing import Callable, Optional
 
 from repro.milp.model import Model
 from repro.milp.solution import Solution
+from repro.obs.progress import ProgressUpdate, print_progress
+from repro.obs.sinks import TraceSink
 
 
 @dataclasses.dataclass
@@ -52,7 +55,21 @@ class SolverOptions:
             objective value is unchanged, though tie-broken alternative
             optima may differ from an unseeded run.  ``None`` disables.
         seed: Tie-breaking seed for randomized choices.
-        verbose: Emit progress lines to stdout.
+        verbose: Deprecated — emit progress lines to stdout.  Use
+            ``on_progress`` instead; ``verbose=True`` now substitutes a
+            printing callback (and warns) when no callback is set.
+        trace: A :class:`~repro.obs.sinks.TraceSink` receiving structured
+            solve events (``node_opened``, ``lp_solved``,
+            ``incumbent_found``, ...).  ``None`` disables tracing.  The
+            sink never crosses a process boundary: parallel subtree
+            workers buffer events privately and the driver merges them
+            into this sink at join, in dispatch order.
+        on_progress: Callback invoked with a
+            :class:`~repro.obs.progress.ProgressUpdate` (nodes, incumbent,
+            bound, gap, elapsed) at most once per ``progress_interval``
+            seconds, plus once at solve end.  A callback that raises is
+            disabled for the rest of the solve after a single warning.
+        progress_interval: Minimum seconds between ``on_progress`` calls.
     """
 
     time_limit: float = math.inf
@@ -68,6 +85,9 @@ class SolverOptions:
     cutoff: Optional[float] = None
     seed: int = 0
     verbose: bool = False
+    trace: Optional[TraceSink] = None
+    on_progress: Optional[Callable[[ProgressUpdate], None]] = None
+    progress_interval: float = 1.0
 
 
 class Solver(abc.ABC):
@@ -78,6 +98,18 @@ class Solver(abc.ABC):
 
     def __init__(self, options: Optional[SolverOptions] = None) -> None:
         self.options = options or SolverOptions()
+        if self.options.verbose:
+            warnings.warn(
+                "SolverOptions.verbose is deprecated; pass an on_progress "
+                "callback instead (verbose currently substitutes the "
+                "default printing callback)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if self.options.on_progress is None:
+                self.options = dataclasses.replace(
+                    self.options, on_progress=print_progress
+                )
 
     @abc.abstractmethod
     def solve(self, model: Model) -> Solution:

@@ -47,6 +47,8 @@ import numpy as np
 
 from repro.milp.model import MatrixForm, Model
 from repro.milp.solution import Solution, SolveStats, SolveStatus
+from repro.obs.progress import ProgressReporter
+from repro.obs.sinks import Tracer, make_tracer
 from repro.solvers.base import Solver, SolverOptions
 from repro.solvers.revised import (
     Basis,
@@ -165,13 +167,32 @@ class _LPBackend:
         warm_start: bool,
         stats: SolveStats,
         sf: Optional[StandardFormLP] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.form = form
         self.stats = stats
+        self.tracer = tracer
         if sf is not None:
             self.sf: Optional[StandardFormLP] = sf
         else:
             self.sf = StandardFormLP.from_matrix_form(form) if warm_start else None
+
+    def _trace_lp(
+        self, result: LPResult, warm: bool, fallback: bool, seconds: float
+    ) -> None:
+        """Emit the ``lp_solved`` event for one finished relaxation."""
+        if self.tracer is None:
+            return
+        extra = result.counters.as_dict() if result.counters is not None else {}
+        self.tracer.emit(
+            "lp_solved",
+            pivots=result.iterations,
+            status=result.status.value,
+            warm=warm,
+            fallback=fallback,
+            seconds=seconds,
+            **extra,
+        )
 
     def solve(
         self, lb: np.ndarray, ub: np.ndarray, basis: Optional[Basis] = None
@@ -186,7 +207,9 @@ class _LPBackend:
                 lb, ub, c0=form.c0,
             )
             self.stats.lp_pivots += result.iterations
-            self.stats.add_phase("lp", time.monotonic() - start)
+            elapsed = time.monotonic() - start
+            self.stats.add_phase("lp", elapsed)
+            self._trace_lp(result, warm=False, fallback=False, seconds=elapsed)
             return result, None
         self.sf.set_bounds(lb, ub)
         if basis is not None:
@@ -197,7 +220,11 @@ class _LPBackend:
             self.stats.fallbacks += 1
         elif basis is not None:
             self.stats.warm_start_hits += 1
-        self.stats.add_phase("lp", time.monotonic() - start)
+        elapsed = time.monotonic() - start
+        self.stats.add_phase("lp", elapsed)
+        self._trace_lp(
+            result, warm=basis is not None, fallback=fell_back, seconds=elapsed
+        )
         return result, final_basis
 
 
@@ -254,11 +281,15 @@ class _TreeSearch:
         allow_dives: bool = True,
         treat_root_unbounded: bool = True,
         node_budget: int = 0,
+        tracer: Optional[Tracer] = None,
+        reporter: Optional[ProgressReporter] = None,
     ) -> None:
         self.options = options
         self.form = form
         self.lp = lp
         self.start = start
+        self.tracer = tracer
+        self.reporter = reporter
         self.integral = np.where(form.integrality)[0]
         self.pseudo = _Pseudocosts(form.c.shape[0])
         self.incumbent_x: Optional[np.ndarray] = None
@@ -337,8 +368,21 @@ class _TreeSearch:
                 ) if (heap or stack) else node.bound
                 break
 
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "node_opened",
+                    node=node.tiebreak,
+                    bound=node.bound,
+                    depth=node.depth,
+                )
             result, node_basis = self.lp.solve(node.lb, node.ub, node.basis)
             self.nodes_processed += 1
+            if self.reporter is not None:
+                self.reporter.report(
+                    nodes=self.nodes_processed,
+                    incumbent=self.incumbent_obj,
+                    bound=node.bound,
+                )
             key = (node.bound, node.tiebreak)
             if result.status is LPStatus.INFEASIBLE:
                 continue
@@ -365,9 +409,7 @@ class _TreeSearch:
                 if dived is not None:
                     objective = float(form.c @ dived) + form.c0
                     if objective < self.incumbent_obj - 1e-12:
-                        self._adopt(dived, objective, key)
-                        if options.verbose:
-                            print(f"[bozo] dive incumbent {objective:.6g}")
+                        self._adopt(dived, objective, key, source="dive")
             if lp_obj >= self.incumbent_obj - options.gap_tolerance * max(
                 1.0, abs(self.incumbent_obj)
             ):
@@ -387,10 +429,7 @@ class _TreeSearch:
                 if self._is_feasible(form, x):
                     obj = float(form.c @ x) + form.c0
                     if obj < self.incumbent_obj - 1e-12:
-                        self._adopt(x, obj, key)
-                        if options.verbose:
-                            print(f"[bozo] incumbent {obj:.6g} "
-                                  f"at node {self.nodes_processed}")
+                        self._adopt(x, obj, key, source="integral")
                 continue
 
             branch_j, fraction = self._pick_branch(fractional)
@@ -427,10 +466,20 @@ class _TreeSearch:
         out.nodes = self.nodes_processed
         return out
 
-    def _adopt(self, x: np.ndarray, objective: float, key: Tuple[float, int]) -> None:
+    def _adopt(
+        self,
+        x: np.ndarray,
+        objective: float,
+        key: Tuple[float, int],
+        source: str = "integral",
+    ) -> None:
         self.incumbent_x = x
         self.incumbent_obj = objective
         self.incumbent_key = key
+        if self.tracer is not None:
+            self.tracer.emit(
+                "incumbent_found", objective=objective, node=key[1], source=source
+            )
         if self.publish is not None:
             self.publish(objective)
 
@@ -521,6 +570,28 @@ class _TreeSearch:
         return True
 
 
+def _emit_solve_done(tracer: Optional[Tracer], solution: Solution) -> None:
+    """Emit the terminal ``solve_done`` event for a finished solution.
+
+    The payload carries the summary scalars (status, objective, bound,
+    node count, worker count, wall-clock seconds) that trace replay uses
+    to recover ``workers`` — and, for coarse backends with no per-node
+    stream, ``nodes``/``lp_solves``.
+    """
+    if tracer is None:
+        return
+    stats = solution.stats
+    tracer.emit(
+        "solve_done",
+        status=solution.status.value,
+        objective=solution.objective,
+        best_bound=solution.best_bound,
+        nodes=stats.nodes if stats is not None else 0,
+        workers=stats.workers if stats is not None else 0,
+        seconds=solution.solve_seconds,
+    )
+
+
 class BozoSolver(Solver):
     """Branch-and-bound MILP solver over the incremental simplex pipeline."""
 
@@ -547,19 +618,34 @@ class BozoSolver(Solver):
     def _solve_serial(self, model: Model) -> Solution:
         start = time.monotonic()
         stats = SolveStats()
-        prepared = self._prepared_form(model, stats, start)
+        tracer = make_tracer(self.options.trace)
+        reporter = ProgressReporter(
+            self.options.on_progress, self.options.progress_interval, start=start
+        )
+        if tracer is not None:
+            tracer.emit("solve_started", solver=self.name)
+        prepared = self._prepared_form(model, stats, start, tracer=tracer)
         if isinstance(prepared, Solution):
+            _emit_solve_done(tracer, prepared)
             return prepared
         form = prepared
-        lp = _LPBackend(form, self.options.warm_start, stats)
-        engine = _TreeSearch(self.options, form, lp, start=start)
+        lp = _LPBackend(form, self.options.warm_start, stats, tracer=tracer)
+        engine = _TreeSearch(
+            self.options, form, lp, start=start, tracer=tracer, reporter=reporter
+        )
         root = _Node(-math.inf, 1, form.lb.copy(), form.ub.copy())
         outcome = engine.run([root])
-        return self._assemble(form, outcome, stats, start)
+        return self._assemble(
+            form, outcome, stats, start, tracer=tracer, reporter=reporter
+        )
 
     # -- shared pipeline pieces (also used by the parallel driver) ----------
     def _prepared_form(
-        self, model: Model, stats: SolveStats, start: float
+        self,
+        model: Model,
+        stats: SolveStats,
+        start: float,
+        tracer: Optional[Tracer] = None,
     ) -> Union[MatrixForm, Solution]:
         """Matrix form after optional presolve, or a terminal Solution."""
         form = model.to_matrices()
@@ -568,7 +654,10 @@ class BozoSolver(Solver):
 
             presolve_start = time.monotonic()
             reduction = presolve(form)
-            stats.add_phase("presolve", time.monotonic() - presolve_start)
+            presolve_seconds = time.monotonic() - presolve_start
+            stats.add_phase("presolve", presolve_seconds)
+            if tracer is not None:
+                tracer.emit("phase", name="presolve", seconds=presolve_seconds)
             if reduction.proven_infeasible:
                 return Solution(
                     SolveStatus.INFEASIBLE, iterations=0,
@@ -585,15 +674,46 @@ class BozoSolver(Solver):
         out: _SearchOutcome,
         stats: SolveStats,
         start: float,
+        tracer: Optional[Tracer] = None,
+        reporter: Optional[ProgressReporter] = None,
     ) -> Solution:
         """Turn a search outcome into the caller-facing Solution."""
         elapsed = time.monotonic() - start
         stats.nodes = out.nodes
-        stats.add_phase(
-            "search",
-            max(0.0, elapsed - stats.phase_seconds.get("lp", 0.0)
-                - stats.phase_seconds.get("presolve", 0.0)),
+        search_seconds = max(
+            0.0, elapsed - stats.phase_seconds.get("lp", 0.0)
+            - stats.phase_seconds.get("presolve", 0.0),
         )
+        stats.add_phase("search", search_seconds)
+        if tracer is not None:
+            tracer.emit("phase", name="search", seconds=search_seconds)
+        solution = self._assemble_solution(form, out, stats, elapsed)
+        _emit_solve_done(tracer, solution)
+        if reporter is not None:
+            reporter.report(
+                nodes=stats.nodes,
+                incumbent=(
+                    solution.objective
+                    if solution.status.has_solution
+                    else math.inf
+                ),
+                bound=(
+                    solution.best_bound
+                    if not math.isnan(solution.best_bound)
+                    else -math.inf
+                ),
+                force=True,
+            )
+        return solution
+
+    def _assemble_solution(
+        self,
+        form: MatrixForm,
+        out: _SearchOutcome,
+        stats: SolveStats,
+        elapsed: float,
+    ) -> Solution:
+        """Map the search outcome onto a status + Solution (no side effects)."""
         if out.incumbent_x is not None:
             status = SolveStatus.FEASIBLE if out.hit_limit else SolveStatus.OPTIMAL
             bound = (

@@ -19,6 +19,7 @@ from scipy import optimize, sparse
 
 from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStats, SolveStatus
+from repro.obs.sinks import make_tracer
 from repro.solvers.base import Solver
 
 
@@ -28,8 +29,17 @@ class HighsSolver(Solver):
     name = "highs"
 
     def solve(self, model: Model) -> Solution:
-        """Solve ``model`` with HiGHS via ``scipy.optimize.milp``."""
+        """Solve ``model`` with HiGHS via ``scipy.optimize.milp``.
+
+        HiGHS runs as a black box, so tracing is coarse: one
+        ``solve_started``, one ``phase`` covering the whole call, and one
+        ``solve_done`` carrying the node/LP counts (trace replay reads
+        them from there in the absence of per-node events).
+        """
         start = time.monotonic()
+        tracer = make_tracer(self.options.trace)
+        if tracer is not None:
+            tracer.emit("solve_started", solver=self.name)
         form = model.to_matrices()
         n = form.c.shape[0]
 
@@ -90,7 +100,7 @@ class HighsSolver(Solver):
         stats.lp_solves = nodes
         stats.add_phase("solve", elapsed)
 
-        return Solution(
+        solution = Solution(
             status=status,
             objective=objective,
             values=values,
@@ -100,3 +110,16 @@ class HighsSolver(Solver):
             solver_name=self.name,
             stats=stats,
         )
+        if tracer is not None:
+            tracer.emit("phase", name="solve", seconds=elapsed)
+            tracer.emit(
+                "solve_done",
+                status=status.value,
+                objective=objective,
+                best_bound=bound,
+                nodes=nodes,
+                workers=0,
+                seconds=elapsed,
+                lp_solves=stats.lp_solves,
+            )
+        return solution

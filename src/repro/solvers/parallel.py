@@ -43,8 +43,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStats
+from repro.obs.events import TraceEvent
+from repro.obs.progress import ProgressReporter
+from repro.obs.sinks import MemoryTraceSink, Tracer, make_tracer
 from repro.solvers.bozo import (
     BozoSolver,
+    _emit_solve_done,
     _LPBackend,
     _Node,
     _SearchOutcome,
@@ -70,29 +74,50 @@ class _InlineValue:
         return contextlib.nullcontext()
 
 
-def _publish(objective: float) -> None:
-    """Broadcast a strictly-improving incumbent objective to all workers."""
+def _publish(objective: float, tracer: Optional[Tracer] = None) -> None:
+    """Broadcast a strictly-improving incumbent objective to all workers.
+
+    The ``incumbent_broadcast`` trace event is emitted under the shared
+    lock, exactly when (and only when) the broadcast actually lowered the
+    shared value — so a trace's broadcast-event count always equals the
+    ``incumbent_broadcasts`` counter.
+    """
     shared = _WORKER_CTX["incumbent"]
     counter = _WORKER_CTX["broadcasts"]
     with shared.get_lock():
         if objective < shared.value - 1e-12:
             shared.value = objective
             counter.value += 1
+            if tracer is not None:
+                tracer.emit("incumbent_broadcast", objective=objective)
 
 
-def _solve_subtree(node: _Node) -> Tuple[_SearchOutcome, SolveStats]:
+def _solve_subtree(
+    job: Tuple[int, _Node],
+) -> Tuple[_SearchOutcome, SolveStats, List[TraceEvent]]:
     """Worker entry point: exhaust one subtree, report incumbent + stats.
 
-    Runs with dives disabled and a *local* adoption rule seeded with the
-    ramp incumbent objective: what this subtree reports is a function of
-    the subtree alone, never of what other workers broadcast (broadcasts
-    only prune provably non-improving nodes).  That independence is what
-    makes the merge deterministic.
+    ``job`` is ``(worker id, subtree root)``; workers are numbered from 1
+    in dispatch order.  Runs with dives disabled and a *local* adoption
+    rule seeded with the ramp incumbent objective: what this subtree
+    reports is a function of the subtree alone, never of what other
+    workers broadcast (broadcasts only prune provably non-improving
+    nodes).  That independence is what makes the merge deterministic.
+
+    When the parent has a trace sink, events are buffered in a private
+    in-memory sink (sinks never cross the process boundary) and shipped
+    back in the returned tuple for the driver to merge in dispatch order.
     """
+    worker_id, node = job
     ctx = _WORKER_CTX
     shared = ctx["incumbent"]
     stats = SolveStats()
-    lp = _LPBackend(ctx["form"], ctx["warm_start"], stats, sf=ctx["sf"])
+    tracer: Optional[Tracer] = None
+    buffer: Optional[MemoryTraceSink] = None
+    if ctx.get("trace_enabled"):
+        buffer = MemoryTraceSink()
+        tracer = Tracer(buffer, worker=worker_id)
+    lp = _LPBackend(ctx["form"], ctx["warm_start"], stats, sf=ctx["sf"], tracer=tracer)
     engine = _TreeSearch(
         ctx["options"],
         ctx["form"],
@@ -100,14 +125,15 @@ def _solve_subtree(node: _Node) -> Tuple[_SearchOutcome, SolveStats]:
         start=ctx["start"],
         incumbent_obj=ctx["ramp_obj"],
         foreign_best=lambda: shared.value,
-        publish=_publish,
+        publish=lambda objective: _publish(objective, tracer),
         allow_dives=False,
         treat_root_unbounded=False,
+        tracer=tracer,
     )
     outcome = engine.run([node])
     outcome.open_nodes = []  # never ship nodes back
     stats.nodes = outcome.nodes
-    return outcome, stats
+    return outcome, stats, buffer.events if buffer is not None else []
 
 
 def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
@@ -115,18 +141,27 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
     options = solver.options
     start = time.monotonic()
     stats = SolveStats()
-    prepared = solver._prepared_form(model, stats, start)
+    tracer = make_tracer(options.trace)
+    reporter = ProgressReporter(
+        options.on_progress, options.progress_interval, start=start
+    )
+    if tracer is not None:
+        tracer.emit("solve_started", solver=solver.name)
+    prepared = solver._prepared_form(model, stats, start, tracer=tracer)
     if isinstance(prepared, Solution):
         prepared.stats.workers = options.workers
         solver.last_ramp_stats = dataclasses.replace(
             stats, phase_seconds=dict(stats.phase_seconds)
         )
         solver.last_worker_stats = []
+        _emit_solve_done(tracer, prepared)
         return prepared
     form = prepared
 
-    lp = _LPBackend(form, options.warm_start, stats)
-    ramp = _TreeSearch(options, form, lp, start=start)
+    lp = _LPBackend(form, options.warm_start, stats, tracer=tracer)
+    ramp = _TreeSearch(
+        options, form, lp, start=start, tracer=tracer, reporter=reporter
+    )
     frontier_target = options.frontier_target or max(4 * options.workers, 8)
     root = _Node(-math.inf, 1, form.lb.copy(), form.ub.copy())
     outcome = ramp.run([root], frontier_target=frontier_target)
@@ -140,10 +175,20 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
             stats, phase_seconds=dict(stats.phase_seconds)
         )
         solver.last_worker_stats = []
-        return solver._assemble(form, outcome, stats, start)
+        return solver._assemble(
+            form, outcome, stats, start, tracer=tracer, reporter=reporter
+        )
 
     subtrees = sorted(outcome.open_nodes)  # (bound, path id) dispatch order
     stats.subtrees_dispatched = len(subtrees)
+    if tracer is not None:
+        for index, node in enumerate(subtrees, start=1):
+            tracer.emit(
+                "subtree_dispatched",
+                subtree=index,
+                node=node.tiebreak,
+                bound=node.bound,
+            )
     share_key: Optional[str] = None
     if lp.sf is not None:
         share_key = register_shared_form(lp.sf, form.lb, form.ub)
@@ -167,30 +212,46 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
         form=form,
         sf=lp.sf,
         warm_start=options.warm_start,
-        options=replace(options, workers=1, frontier_target=0),
+        # Sinks and callbacks never cross the process boundary: workers
+        # buffer events privately (see _solve_subtree) and never report
+        # progress, so both are stripped from the per-worker options.
+        options=replace(
+            options, workers=1, frontier_target=0,
+            trace=None, on_progress=None, verbose=False,
+        ),
         start=start,
         ramp_obj=outcome.incumbent_obj,
         incumbent=incumbent,
         broadcasts=broadcasts,
+        trace_enabled=options.trace is not None,
     )
+    jobs = list(enumerate(subtrees, start=1))
     try:
-        results: List[Tuple[_SearchOutcome, SolveStats]]
+        results: List[Tuple[_SearchOutcome, SolveStats, List[TraceEvent]]]
         if mp is not None:
             try:
                 with mp.Pool(pool_size) as pool:
-                    results = pool.map(_solve_subtree, subtrees)
+                    results = pool.map(_solve_subtree, jobs)
             except OSError:  # pool creation failed: degrade gracefully
                 incumbent = _InlineValue(outcome.incumbent_obj)
                 broadcasts = _InlineValue(0)
                 _WORKER_CTX.update(incumbent=incumbent, broadcasts=broadcasts)
-                results = [_solve_subtree(node) for node in subtrees]
+                results = [_solve_subtree(job) for job in jobs]
         else:
-            results = [_solve_subtree(node) for node in subtrees]
+            results = [_solve_subtree(job) for job in jobs]
     finally:
         _WORKER_CTX.clear()
         if share_key is not None:
             clear_shared_forms()
             lp.sf.share_key = None
+
+    # Forward buffered worker events into the parent sink, grouped by
+    # worker in dispatch order — deterministic file layout; the monotonic
+    # timestamps allow temporal reconstruction when needed.
+    if tracer is not None:
+        for _, _, events in results:
+            for event in events:
+                tracer.sink.emit(event)
 
     # Deterministic merge: replay subtree incumbents in discovery-key
     # order with the serial adoption rule, starting from the ramp state.
@@ -202,7 +263,7 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
         root_unbounded=outcome.root_unbounded,
     )
     candidates = sorted(
-        (res for res, _ in results if res.incumbent_x is not None),
+        (res for res, _, _ in results if res.incumbent_x is not None),
         key=lambda res: res.incumbent_key,
     )
     for res in candidates:
@@ -210,10 +271,17 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
             merged.incumbent_x = res.incumbent_x
             merged.incumbent_obj = res.incumbent_obj
             merged.incumbent_key = res.incumbent_key
+            if tracer is not None:
+                tracer.emit(
+                    "incumbent_found",
+                    objective=merged.incumbent_obj,
+                    node=merged.incumbent_key[1],
+                    source="merge",
+                )
 
     worker_stats: List[SolveStats] = []
     open_bounds: List[float] = []
-    for res, wstats in results:
+    for res, wstats, _ in results:
         merged.nodes += res.nodes
         if res.hit_limit:
             merged.hit_limit = True
@@ -230,7 +298,9 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
     for wstats in worker_stats:
         stats.merge(wstats)
     stats.incumbent_broadcasts = int(broadcasts.value)
-    return solver._assemble(form, merged, stats, start)
+    return solver._assemble(
+        form, merged, stats, start, tracer=tracer, reporter=reporter
+    )
 
 
 class ParallelBozoSolver(BozoSolver):

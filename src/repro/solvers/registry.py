@@ -7,9 +7,10 @@ the library keeps working with no scipy installed.
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict, Optional, Type
 
-from repro.errors import SolverError
+from repro.errors import UnknownSolverError
 from repro.solvers.base import Solver, SolverOptions
 
 _REGISTRY: Dict[str, Callable[[Optional[SolverOptions]], Solver]] = {}
@@ -33,16 +34,22 @@ def get_solver(name: str = "auto", options: Optional[SolverOptions] = None) -> S
         options: Shared solver options.
 
     Raises:
-        SolverError: For an unknown name.
+        UnknownSolverError: For an unknown name; the message lists the
+            registered backends and suggests the nearest name if one is
+            close.
     """
     if name == "auto":
         name = "highs" if "highs" in _REGISTRY else "bozo"
     try:
         factory = _REGISTRY[name]
     except KeyError:
-        raise SolverError(
+        message = (
             f"unknown solver {name!r}; available: {', '.join(available_solvers())}"
-        ) from None
+        )
+        close = difflib.get_close_matches(name, available_solvers(), n=1)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+        raise UnknownSolverError(message) from None
     return factory(options)
 
 

@@ -95,6 +95,38 @@ class Basis:
 
 
 @dataclasses.dataclass
+class PivotCounters:
+    """Fine-grained work profile of one revised-simplex solve.
+
+    ``iterations`` on :class:`RevisedResult` is the pivot *total*; these
+    counters attribute it to the engine's loops, which is what the
+    ``lp_solved`` trace event exposes so per-node LP behavior (dual
+    repair vs phase-1 restart vs primal optimization) can be profiled
+    from a trace alone.
+
+    Attributes:
+        dual_pivots: Pivots spent in the warm-start dual repair loop.
+        phase1_pivots: Pivots spent restoring primal feasibility.
+        primal_pivots: Pivots spent in the optimizing primal loop.
+        refactorizations: Times the basis inverse was rebuilt from scratch.
+    """
+
+    dual_pivots: int = 0
+    phase1_pivots: int = 0
+    primal_pivots: int = 0
+    refactorizations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain mapping form (what the trace event embeds)."""
+        return {
+            "dual_pivots": self.dual_pivots,
+            "phase1_pivots": self.phase1_pivots,
+            "primal_pivots": self.primal_pivots,
+            "refactorizations": self.refactorizations,
+        }
+
+
+@dataclasses.dataclass
 class RevisedResult:
     """Result of :func:`solve_revised`.
 
@@ -105,6 +137,8 @@ class RevisedResult:
         iterations: Simplex pivots performed.
         basis: Final basis for warm-starting the next solve (``None``
             unless OPTIMAL).
+        counters: Per-loop pivot attribution (``None`` for results built
+            before the engine ran, e.g. trivial infeasibility).
     """
 
     status: RevisedStatus
@@ -112,6 +146,7 @@ class RevisedResult:
     objective: float
     iterations: int
     basis: Optional[Basis]
+    counters: Optional[PivotCounters] = None
 
 
 @dataclasses.dataclass
@@ -361,7 +396,10 @@ def solve_with_fallback(
             RevisedStatus.UNBOUNDED: LPStatus.UNBOUNDED,
         }[revised.status]
         return (
-            LPResult(status, revised.x, revised.objective, revised.iterations),
+            LPResult(
+                status, revised.x, revised.objective, revised.iterations,
+                counters=revised.counters,
+            ),
             revised.basis,
             False,
         )
@@ -392,6 +430,7 @@ class _Engine:
         self.max_iterations = max_iterations
         self.warm = warm
         self.iterations = 0
+        self.counters = PivotCounters()
         self.b_inv: Optional[np.ndarray] = None
         self.x_basic: Optional[np.ndarray] = None
         # Columns that can never move: fixed boxes (includes eq artificials).
@@ -400,6 +439,7 @@ class _Engine:
     # -- linear algebra -----------------------------------------------------
     def refactor(self) -> bool:
         """Recompute the explicit basis inverse from scratch; False if singular."""
+        self.counters.refactorizations += 1
         b_matrix = self.sf.a[:, self.basic]
         try:
             self.b_inv = np.linalg.inv(b_matrix)
@@ -467,25 +507,33 @@ class _Engine:
             return self._bail()
         self.recompute_basics()
         violations = self.primal_violations()
+        counters = self.counters
         if np.any(np.abs(violations) > FEAS_TOL):
             if self.warm and self.dual_feasible(self.reduced_costs()):
+                before = self.iterations
                 status = self.dual_loop()
+                counters.dual_pivots += self.iterations - before
                 if status is not None:
                     return status
             # Phase 1 is a no-op when the dual loop already restored
             # feasibility; it takes over when the start was not dual
             # feasible or the dual loop gave up its budget mid-repair.
+            before = self.iterations
             status = self.phase1_loop()
+            counters.phase1_pivots += self.iterations - before
             if status is not None:
                 return status
+        before = self.iterations
         status = self.primal_loop()
+        counters.primal_pivots += self.iterations - before
         if status is not None:
             return status
         return self.finish()
 
     def _bail(self) -> RevisedResult:
         return RevisedResult(
-            RevisedStatus.NEEDS_FALLBACK, None, math.nan, self.iterations, None
+            RevisedStatus.NEEDS_FALLBACK, None, math.nan, self.iterations, None,
+            counters=self.counters,
         )
 
     def finish(self) -> RevisedResult:
@@ -504,6 +552,7 @@ class _Engine:
         return RevisedResult(
             RevisedStatus.OPTIMAL, structural, objective, self.iterations,
             Basis(self.basic.copy(), self.status.copy()),
+            counters=self.counters,
         )
 
     # -- dual simplex -------------------------------------------------------

@@ -52,12 +52,17 @@ class LPResult:
             unless status is OPTIMAL).
         objective: ``c @ x + c0`` at the solution.
         iterations: Total simplex pivots across both phases.
+        counters: Per-loop pivot attribution when the revised-simplex
+            engine produced this result (see
+            :class:`repro.solvers.revised.PivotCounters`); ``None`` on
+            the dense tableau path, which does not break pivots down.
     """
 
     status: LPStatus
     x: Optional[np.ndarray]
     objective: float
     iterations: int
+    counters: Optional[object] = None
 
 
 def solve_lp(

@@ -1,13 +1,16 @@
 """High-level synthesis API: the facade most users interact with."""
 
 from repro.synthesis.design import Design
+from repro.synthesis.front import ParetoFront
 from repro.synthesis.io import design_from_dict, load_design, save_design
-from repro.synthesis.synthesizer import Synthesizer
+from repro.synthesis.synthesizer import Synthesizer, synthesize
 
 __all__ = [
     "Design",
+    "ParetoFront",
     "design_from_dict",
     "load_design",
     "save_design",
     "Synthesizer",
+    "synthesize",
 ]

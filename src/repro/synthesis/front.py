@@ -1,0 +1,106 @@
+"""The :class:`ParetoFront` result object returned by the sweeps.
+
+Historically the sweeps returned a bare ``List[Design]``.  The front is
+now a first-class object carrying the per-step constraint values and the
+merged solver telemetry alongside the designs — while remaining fully
+sequence-compatible (iteration, indexing, ``len``, equality against a
+plain list) so existing callers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from typing import Iterator, List, Optional, Union, overload
+
+from repro.milp.solution import SolveStats
+from repro.synthesis.design import Design
+
+
+class ParetoFront(Sequence):
+    """The non-inferior designs found by a Pareto sweep, fastest first.
+
+    Behaves like the ``List[Design]`` the sweeps used to return —
+    ``front[0]``, ``len(front)``, ``for design in front``, and equality
+    against a list of designs all work — while also exposing the sweep's
+    metadata.
+
+    Attributes:
+        designs: The non-inferior designs, in sweep order.
+        caps: The constraint value each design was synthesized under —
+            cost caps for :meth:`~repro.synthesis.synthesizer.Synthesizer.pareto_sweep`,
+            deadlines for
+            :meth:`~repro.synthesis.synthesizer.Synthesizer.pareto_sweep_by_deadline`;
+            ``None`` marks the unconstrained first solve.  Same length as
+            ``designs``.
+        stats: Solver telemetry merged over every solve of this sweep
+            (probes included for the parallel sweep); ``None`` when the
+            producer did not track it.
+    """
+
+    def __init__(
+        self,
+        designs: List[Design],
+        caps: Optional[List[Optional[float]]] = None,
+        stats: Optional[SolveStats] = None,
+    ) -> None:
+        self.designs = list(designs)
+        self.caps = list(caps) if caps is not None else [None] * len(self.designs)
+        if len(self.caps) != len(self.designs):
+            raise ValueError(
+                f"caps ({len(self.caps)}) and designs ({len(self.designs)}) "
+                "must have the same length"
+            )
+        self.stats = stats
+
+    # -- sequence protocol (back-compat with the old List[Design] return) --
+    def __len__(self) -> int:
+        """Number of designs on the front."""
+        return len(self.designs)
+
+    @overload
+    def __getitem__(self, index: int) -> Design: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[Design]: ...
+
+    def __getitem__(self, index: Union[int, slice]):
+        """Index like a list; slices return plain ``List[Design]``."""
+        return self.designs[index]
+
+    def __iter__(self) -> Iterator[Design]:
+        """Iterate over the designs in sweep order."""
+        return iter(self.designs)
+
+    def __eq__(self, other: object) -> bool:
+        """Equal to another front, list, or tuple with the same designs.
+
+        Metadata (``caps``, ``stats``) is deliberately excluded so
+        pre-existing assertions like ``front == [design_a, design_b]``
+        keep passing.
+        """
+        if isinstance(other, ParetoFront):
+            return self.designs == other.designs
+        if isinstance(other, (list, tuple)):
+            return self.designs == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        """Short display form."""
+        return f"ParetoFront({len(self.designs)} designs)"
+
+    # -- serialization ------------------------------------------------------
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the front (designs + caps + stats) as a JSON string.
+
+        Each design serializes via :meth:`Design.to_dict` — the same
+        schema :func:`repro.synthesis.io.save_design` writes — so single
+        designs round-trip through
+        :func:`repro.synthesis.io.design_from_dict`.
+        """
+        document = {
+            "designs": [design.to_dict() for design in self.designs],
+            "caps": self.caps,
+            "stats": self.stats.as_dict() if self.stats is not None else None,
+        }
+        return json.dumps(document, indent=indent)

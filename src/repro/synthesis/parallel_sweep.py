@@ -52,8 +52,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.options import Objective
 from repro.errors import InfeasibleError, SynthesisError
 from repro.milp.solution import SolveStats
+from repro.obs.sinks import make_tracer
 from repro.solvers.base import SolverOptions
 from repro.synthesis.design import Design
+from repro.synthesis.front import ParetoFront
 
 #: Fork-inherited context: the synthesizer whose configuration (graph,
 #: library, formulation options, solver choice) every worker replicates.
@@ -205,7 +207,7 @@ def parallel_pareto_sweep(
     cost_step: float,
     validate: bool,
     workers: int,
-) -> List[Design]:
+) -> ParetoFront:
     """Drive the concurrent sweep; called by ``Synthesizer.pareto_sweep``."""
     try:
         mp = multiprocessing.get_context("fork")
@@ -215,15 +217,22 @@ def parallel_pareto_sweep(
         )
 
     # Children must not nest process pools: force single-worker backends.
+    # Trace sinks and progress callbacks are also stripped — a forked
+    # child writing to the parent's open sink file would interleave
+    # garbage; the orchestrator alone emits (coarse) sweep_step events.
     saved_options = synth.solver_options
     synth.solver_options = dataclasses.replace(
-        saved_options or SolverOptions(), workers=1, frontier_target=0, cutoff=None
+        saved_options or SolverOptions(), workers=1, frontier_target=0, cutoff=None,
+        trace=None, on_progress=None, verbose=False,
     )
+    tracer = make_tracer(saved_options.trace if saved_options else None)
     _SWEEP_CTX.clear()
     _SWEEP_CTX.update(synth=synth, validate=validate)
     try:
         with mp.Pool(workers) as pool:
-            front = _orchestrate(pool, synth, max_designs, cost_step, workers)
+            front = _orchestrate(
+                pool, synth, max_designs, cost_step, workers, tracer=tracer
+            )
     finally:
         _SWEEP_CTX.clear()
         synth.solver_options = saved_options
@@ -234,8 +243,17 @@ def parallel_pareto_sweep(
     return front
 
 
-def _orchestrate(pool, synth, max_designs, cost_step, workers) -> List[Design]:
+def _orchestrate(
+    pool, synth, max_designs, cost_step, workers, tracer=None
+) -> ParetoFront:
+    """Dispatch canonical/probe/floor jobs and assemble the front.
+
+    Emits one ``sweep_step`` trace event per finished job (in completion
+    order) when the synthesizer's solver options carry a trace sink.
+    """
     state = _SweepState(cost_step)
+    sweep_stats = SolveStats()
+    steps_done = 0
     pending: List[Tuple[str, Optional[float], Any]] = []
     dispatched_caps: List[float] = []  # canonical caps already launched
     outstanding_probes: List[float] = []
@@ -256,7 +274,14 @@ def _orchestrate(pool, synth, max_designs, cost_step, workers) -> List[Design]:
             kind, cap, result = entry
             (kind, cap, design, cost, makespan, stats, seconds) = result.get()
             synth.total_stats.merge(stats)
+            sweep_stats.merge(stats)
             synth.total_solve_seconds += seconds
+            if tracer is not None:
+                tracer.emit(
+                    "sweep_step", index=steps_done, kind=kind,
+                    feasible=not math.isnan(cost),
+                )
+            steps_done += 1
             if kind == "probe":
                 outstanding_probes.remove(cap)
             if math.isnan(cost):
@@ -298,12 +323,18 @@ def _orchestrate(pool, synth, max_designs, cost_step, workers) -> List[Design]:
                 submit("probe", mid, state.cutoff_for(mid))
 
     synth.total_stats.workers = max(synth.total_stats.workers, workers)
+    sweep_stats.workers = max(sweep_stats.workers, workers)
 
     # Assemble the front by replaying the chain over canonical designs.
+    # The cap recorded per design is the one its canonical solve ran
+    # under: None for the unconstrained top, the previous design's cost
+    # minus the step after that — exactly the serial chain's caps.
     front: List[Design] = []
+    caps: List[Optional[float]] = []
     if state.top is None:
-        return front
+        return ParetoFront(front, caps=caps, stats=sweep_stats)
     cost = state.top
+    cap_used: Optional[float] = None
     while len(front) < max_designs:
         design = state.designs.get(cost)
         if design is None:
@@ -312,9 +343,11 @@ def _orchestrate(pool, synth, max_designs, cost_step, workers) -> List[Design]:
         if design is None:
             break
         front.append(design)
+        caps.append(cap_used)
         cap = cost - cost_step
         below = [c for c in state.points if c <= cap + _tol(cap, c)]
         if not below or cap < 0:
             break
         cost = max(below)
-    return front
+        cap_used = cap
+    return ParetoFront(front, caps=caps, stats=sweep_stats)

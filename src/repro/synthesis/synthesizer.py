@@ -16,9 +16,11 @@ from repro.core.formulation import SosModel, SosModelBuilder
 from repro.core.options import FormulationOptions, Objective
 from repro.errors import InfeasibleError, SynthesisError
 from repro.milp.solution import Solution, SolveStats, SolveStatus
+from repro.obs.sinks import make_tracer
 from repro.solvers.base import Solver, SolverOptions
 from repro.solvers.registry import get_solver
 from repro.synthesis.design import Design
+from repro.synthesis.front import ParetoFront
 from repro.system.interconnect import InterconnectStyle
 from repro.system.library import TechnologyLibrary
 from repro.taskgraph.graph import TaskGraph
@@ -33,6 +35,10 @@ class Synthesizer:
         >>> synth = Synthesizer(example1(), example1_library())
         >>> design = synth.synthesize()          # fastest system, any cost
         >>> front = synth.pareto_sweep()         # all non-inferior systems
+        >>> design.makespan <= front[-1].makespan  # fronts are fastest-first
+        True
+        >>> len(front) == len(front.designs) == len(front.caps)
+        True
 
     Args:
         graph: Application task data-flow graph.
@@ -85,6 +91,7 @@ class Synthesizer:
     # -- single designs ---------------------------------------------------------
     def synthesize(
         self,
+        *,
         cost_cap: Optional[float] = None,
         deadline: Optional[float] = None,
         objective: Objective = Objective.MIN_MAKESPAN,
@@ -93,6 +100,10 @@ class Synthesizer:
         _primary_cutoff: Optional[float] = None,
     ) -> Design:
         """Produce one optimal design.
+
+        All arguments are keyword-only: the stable public API (see
+        ``docs/api.md``) reserves the right to add parameters without
+        breaking positional callers.
 
         Args:
             cost_cap: Designer constraint ``total cost <= cost_cap``.
@@ -228,14 +239,20 @@ class Synthesizer:
             )
         return built, solution
 
+    def _sweep_tracer(self):
+        """Tracer over the configured trace sink (``None`` when untraced)."""
+        sink = self.solver_options.trace if self.solver_options else None
+        return make_tracer(sink)
+
     # -- the paper's methodology: sweep the cost cap ------------------------------
     def pareto_sweep(
         self,
+        *,
         max_designs: int = 64,
         cost_step: float = 1e-4,
         validate: bool = True,
         workers: int = 1,
-    ) -> List[Design]:
+    ) -> ParetoFront:
         """Enumerate all non-inferior designs, fastest first.
 
         This reproduces §4's procedure ("generated by changing the
@@ -258,6 +275,12 @@ class Synthesizer:
                 identical to the serial sweep — the returned designs come
                 from hint-free solves at exactly the serial caps —
                 speculative probe solves only shorten the critical path.
+
+        Returns:
+            A :class:`~repro.synthesis.front.ParetoFront` — iterates and
+            indexes exactly like the ``List[Design]`` this method used to
+            return, and additionally carries the per-design cost caps and
+            the sweep's merged solver telemetry.
         """
         if workers > 1:
             from repro.synthesis.parallel_sweep import parallel_pareto_sweep
@@ -265,27 +288,44 @@ class Synthesizer:
             return parallel_pareto_sweep(
                 self, max_designs, cost_step, validate, workers
             )
+        tracer = self._sweep_tracer()
+        sweep_stats = SolveStats()
         front: List[Design] = []
+        caps: List[Optional[float]] = []
         cap: Optional[float] = None
         while len(front) < max_designs:
             try:
                 design = self.synthesize(cost_cap=cap, validate=validate)
             except InfeasibleError:
+                if tracer is not None:
+                    tracer.emit(
+                        "sweep_step", index=len(front), kind="canonical",
+                        feasible=False,
+                    )
                 break
             front.append(design)
+            caps.append(cap)
+            if self.last_stats is not None:
+                sweep_stats.merge(self.last_stats)
+            if tracer is not None:
+                tracer.emit(
+                    "sweep_step", index=len(front) - 1, kind="canonical",
+                    feasible=True,
+                )
             cap = design.cost - cost_step
             if cap < 0:
                 break
         if not front:
             raise SynthesisError("pareto sweep produced no designs (infeasible instance?)")
-        return front
+        return ParetoFront(front, caps=caps, stats=sweep_stats)
 
     def pareto_sweep_by_deadline(
         self,
+        *,
         max_designs: int = 64,
         time_step: float = 1e-4,
         validate: bool = True,
-    ) -> List[Design]:
+    ) -> ParetoFront:
         """Enumerate the non-inferior designs from the other axis.
 
         The dual of :meth:`pareto_sweep`: start from the cheapest system at
@@ -300,8 +340,16 @@ class Synthesizer:
             time_step: How far below the previous makespan the next
                 deadline sits.
             validate: Independently validate every design.
+
+        Returns:
+            A :class:`~repro.synthesis.front.ParetoFront` whose ``caps``
+            hold the deadline used for each design (``None`` for the
+            unconstrained first solve).
         """
+        tracer = self._sweep_tracer()
+        sweep_stats = SolveStats()
         front: List[Design] = []
+        caps: List[Optional[float]] = []
         deadline: Optional[float] = None
         while len(front) < max_designs:
             try:
@@ -310,8 +358,21 @@ class Synthesizer:
                     validate=validate,
                 )
             except InfeasibleError:
+                if tracer is not None:
+                    tracer.emit(
+                        "sweep_step", index=len(front), kind="canonical",
+                        feasible=False,
+                    )
                 break
             front.append(design)
+            caps.append(deadline)
+            if self.last_stats is not None:
+                sweep_stats.merge(self.last_stats)
+            if tracer is not None:
+                tracer.emit(
+                    "sweep_step", index=len(front) - 1, kind="canonical",
+                    feasible=True,
+                )
             deadline = design.makespan - time_step
             if deadline <= 0:
                 break
@@ -319,4 +380,36 @@ class Synthesizer:
             raise SynthesisError(
                 "deadline sweep produced no designs (infeasible instance?)"
             )
-        return front
+        return ParetoFront(front, caps=caps, stats=sweep_stats)
+
+
+#: Keyword arguments of :func:`synthesize` that configure the
+#: :class:`Synthesizer` itself rather than the single solve.
+_CONSTRUCTOR_KEYS = frozenset(
+    {"style", "solver", "solver_options", "options", "constraints", "incremental"}
+)
+
+
+def synthesize(graph: TaskGraph, library: TechnologyLibrary, **opts) -> Design:
+    """Synthesize one optimal design in a single call.
+
+    The convenience entrypoint (also exported as ``repro.synthesize``)
+    for callers who do not need to hold a :class:`Synthesizer` across
+    several solves.  Keyword arguments are split automatically:
+    configuration keys (``style``, ``solver``, ``solver_options``,
+    ``options``, ``constraints``, ``incremental``) go to the
+    :class:`Synthesizer` constructor, everything else (``cost_cap``,
+    ``deadline``, ``objective``, ``minimize_secondary``, ``validate``)
+    to :meth:`Synthesizer.synthesize`.
+
+    Example::
+
+        import repro
+        design = repro.synthesize(graph, library, cost_cap=10.0, solver="bozo")
+
+    Returns:
+        The optimal :class:`~repro.synthesis.design.Design`.
+    """
+    constructor = {k: v for k, v in opts.items() if k in _CONSTRUCTOR_KEYS}
+    call = {k: v for k, v in opts.items() if k not in _CONSTRUCTOR_KEYS}
+    return Synthesizer(graph, library, **constructor).synthesize(**call)

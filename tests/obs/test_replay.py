@@ -1,0 +1,84 @@
+"""Trace replay: SolveStats rebuilt from the event stream, field for field.
+
+The acceptance bar for the tracing subsystem is that a trace is the
+ground truth: for any single solve — serial or ``workers=4`` — feeding
+the recorded events to :func:`replay_stats` reproduces the returned
+``SolveStats`` exactly, including the floating-point phase timings.
+"""
+
+import repro
+from repro.obs import MemoryTraceSink, check_schema, replay_stats, split_runs
+from repro.solvers.base import SolverOptions
+from repro.solvers.bozo import BozoSolver
+
+from tests.solvers.test_parallel import market_split
+
+
+def _solve_traced(workers: int):
+    """Solve a market-split MILP with a memory sink; (solution, events)."""
+    sink = MemoryTraceSink()
+    options = SolverOptions(
+        workers=workers, branching="most_fractional", trace=sink
+    )
+    solution = BozoSolver(options).solve(market_split(3, 14, 0))
+    return solution, sink.events
+
+
+class TestReplayExactness:
+    def test_serial_replay_matches_stats_field_for_field(self):
+        solution, events = _solve_traced(workers=1)
+        assert solution.stats is not None
+        assert check_schema(events) == []
+        replayed = replay_stats(events)
+        assert replayed == solution.stats
+        assert replayed.phase_seconds == solution.stats.phase_seconds
+
+    def test_workers4_replay_matches_stats_field_for_field(self):
+        solution, events = _solve_traced(workers=4)
+        assert solution.stats is not None
+        assert solution.stats.workers == 4
+        assert check_schema(events) == []
+        replayed = replay_stats(events)
+        assert replayed == solution.stats
+        assert replayed.phase_seconds == solution.stats.phase_seconds
+
+    def test_synthesize_call_replay_matches_last_stats(self):
+        sink = MemoryTraceSink()
+        synth = repro.Synthesizer(
+            repro.example1(), repro.example1_library(),
+            solver="bozo", solver_options=SolverOptions(trace=sink),
+        )
+        synth.synthesize()
+        assert synth.last_stats is not None
+        assert check_schema(sink.events) == []
+        assert replay_stats(sink.events) == synth.last_stats
+
+
+class TestStreamStructure:
+    def test_one_run_per_solve_started(self):
+        _, events = _solve_traced(workers=1)
+        runs = split_runs(events)
+        assert len(runs) == 1
+        assert runs[0][0].type == "solve_started"
+        assert runs[0][-1].type == "solve_done"
+
+    def test_node_count_matches_node_opened_events(self):
+        solution, events = _solve_traced(workers=1)
+        opened = sum(1 for e in events if e.type == "node_opened")
+        assert opened == solution.stats.nodes
+
+    def test_broadcast_counter_matches_events(self):
+        solution, events = _solve_traced(workers=4)
+        broadcasts = sum(1 for e in events if e.type == "incumbent_broadcast")
+        assert broadcasts == solution.stats.incumbent_broadcasts
+
+    def test_worker_events_grouped_in_dispatch_order(self):
+        _, events = _solve_traced(workers=4)
+        worker_ids = [e.worker for e in events if e.worker > 0]
+        assert worker_ids, "parallel solve should record worker events"
+        # Workers are merged one block per worker, ascending dispatch order.
+        blocks = []
+        for wid in worker_ids:
+            if not blocks or blocks[-1] != wid:
+                blocks.append(wid)
+        assert blocks == sorted(set(worker_ids))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SolverError
+from repro.errors import SolverError, UnknownSolverError
 from repro.solvers.base import Solver, SolverOptions
 from repro.solvers.bozo import BozoSolver
 from repro.solvers.highs import HighsSolver
@@ -28,6 +28,21 @@ class TestRegistry:
     def test_unknown_name(self):
         with pytest.raises(SolverError, match="unknown solver"):
             get_solver("cplex")
+
+    def test_unknown_name_raises_typed_error_listing_backends(self):
+        with pytest.raises(UnknownSolverError) as excinfo:
+            get_solver("cplex")
+        message = str(excinfo.value)
+        assert "available" in message
+        for name in available_solvers():
+            assert name in message
+
+    def test_unknown_name_suggests_nearest_backend(self):
+        with pytest.raises(UnknownSolverError, match="did you mean 'bozo'"):
+            get_solver("bozzo")
+
+    def test_unknown_solver_error_is_a_solver_error(self):
+        assert issubclass(UnknownSolverError, SolverError)
 
     def test_options_forwarded(self):
         options = SolverOptions(time_limit=12.5)

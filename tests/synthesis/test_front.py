@@ -1,0 +1,114 @@
+"""ParetoFront: sequence back-compat, metadata, serialization."""
+
+import json
+
+import pytest
+
+import repro
+from repro.synthesis.front import ParetoFront
+
+
+@pytest.fixture(scope="module")
+def swept():
+    """One real sweep on Example 1: (synthesizer, front)."""
+    synth = repro.Synthesizer(repro.example1(), repro.example1_library())
+    return synth, synth.pareto_sweep()
+
+
+class TestSequenceBackCompat:
+    """Code written against the old list-of-Design return keeps working."""
+
+    def test_sweep_returns_a_pareto_front(self, swept):
+        _, front = swept
+        assert isinstance(front, ParetoFront)
+
+    def test_len_and_indexing(self, swept):
+        _, front = swept
+        assert len(front) >= 2
+        assert front[0] is front.designs[0]
+        assert front[-1] is front.designs[-1]
+
+    def test_iteration_yields_designs(self, swept):
+        _, front = swept
+        assert list(front) == front.designs
+
+    def test_slicing_returns_a_plain_list(self, swept):
+        _, front = swept
+        head = front[:2]
+        assert isinstance(head, list)
+        assert head == front.designs[:2]
+
+    def test_equality_with_a_plain_list_of_designs(self, swept):
+        _, front = swept
+        assert front == list(front.designs)
+        assert front == tuple(front.designs)
+        assert not (front == front.designs[:1])
+
+    def test_membership_and_reversed(self, swept):
+        _, front = swept
+        assert front.designs[0] in front
+        assert list(reversed(front)) == list(reversed(front.designs))
+
+    def test_truthiness(self):
+        assert not ParetoFront([])
+
+
+class TestMetadata:
+    def test_caps_align_with_designs(self, swept):
+        _, front = swept
+        assert len(front.caps) == len(front.designs)
+        # First solve is uncapped; every later one runs under the
+        # canonical cost-step chain.
+        assert front.caps[0] is None
+        assert all(cap is not None for cap in front.caps[1:])
+
+    def test_stats_aggregate_the_sweep(self, swept):
+        _, front = swept
+        assert front.stats is not None
+        # At least one solve per front design plus the terminating
+        # infeasible probe contributed to the aggregate.
+        assert front.stats.lp_solves >= len(front)
+        assert front.stats.nodes >= len(front)
+
+    def test_caps_length_mismatch_rejected(self, swept):
+        _, front = swept
+        with pytest.raises(ValueError):
+            ParetoFront(front.designs, caps=[1.0])
+
+    def test_caps_default_to_none_per_design(self, swept):
+        _, front = swept
+        bare = ParetoFront(front.designs)
+        assert bare.caps == [None] * len(front.designs)
+        assert bare.stats is None
+
+
+class TestSerialization:
+    def test_to_json_round_trips_designs(self, swept):
+        _, front = swept
+        document = json.loads(front.to_json())
+        assert [d["cost"] for d in document["designs"]] == [
+            d.cost for d in front.designs
+        ]
+        assert document["caps"] == front.caps
+        assert document["stats"]["nodes"] == front.stats.nodes
+
+    def test_repr_mentions_size(self, swept):
+        _, front = swept
+        assert str(len(front)) in repr(front)
+
+
+class TestFrontContents:
+    """The designs themselves are untouched by the wrapper."""
+
+    def test_front_is_non_inferior_and_sorted_by_cost_desc(self, swept):
+        _, front = swept
+        costs = [d.cost for d in front]
+        assert costs == sorted(costs, reverse=True)
+        for earlier, later in zip(front, list(front)[1:]):
+            assert later.cost < earlier.cost
+            assert later.makespan >= earlier.makespan
+
+    def test_optimal_design_is_first(self, swept):
+        synth, front = swept
+        best = synth.synthesize()
+        assert front[0].makespan == best.makespan

@@ -74,6 +74,37 @@ class TestCommands:
         assert code == 0
         assert "14" in output and "2.5" in output
 
+    def test_synthesize_trace_then_trace_command(self, capsys, tmp_path):
+        trace = tmp_path / "solve.jsonl"
+        code = main(["synthesize", "example1", "--trace", str(trace)])
+        capsys.readouterr()
+        assert code == 0
+        assert trace.exists()
+
+        code = main(["trace", str(trace), "--replay-stats"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "bound-convergence timeline" in output
+        assert "solve_started" in output and "solve_done" in output
+        assert "replayed stats:" in output
+
+    def test_trace_replay_matches_telemetry(self, capsys, tmp_path):
+        from repro.obs import read_trace, replay_stats
+
+        trace = tmp_path / "solve.jsonl"
+        code = main(["synthesize", "example1", "--solver", "bozo",
+                     "--trace", str(trace), "--telemetry"])
+        output = capsys.readouterr().out
+        assert code == 0
+        replayed = replay_stats(read_trace(trace))
+        assert replayed.summary() in output
+
+    def test_progress_flag_prints_updates(self, capsys):
+        code = main(["synthesize", "example1", "--solver", "bozo", "--progress"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "nodes=" in output and "bound=" in output
+
     def test_sweep_csv_export(self, capsys, tmp_path):
         out = tmp_path / "front.csv"
         code = main(["sweep", "example1", "--csv", str(out)])
