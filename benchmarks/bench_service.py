@@ -1,0 +1,118 @@
+"""Service-layer benchmarks: cache hit rate and served-job throughput.
+
+What is measured (and persisted to ``BENCH_service.json``):
+
+* **Cold vs. warm latency** — the first Example-1 synthesize pays the
+  full solve; every identical resubmission is answered from the
+  content-addressed cache without instantiating a solver.  The recorded
+  speedup is the honest value of the cache on the paper's own workload.
+* **Throughput under dedup** — a burst of identical + near-identical
+  jobs through a 4-worker ``JobManager``: single-flight collapses the
+  identical ones to a single solve, so jobs/second exceeds solves/second.
+* **Fingerprint cost** — the canonical-JSON + SHA-256 fingerprint of an
+  Example-1 request, amortized; this runs on every submission, so it must
+  stay orders of magnitude below a solve.
+"""
+
+import time
+
+from benchmarks.conftest import BENCH_RESULTS, record_bench, run_once
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import fingerprint_request
+from repro.service.jobs import JobManager, SynthesizeRequest, wait_all
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.examples import example1_library
+from repro.taskgraph.examples import example1
+
+#: Service results live beside (not inside) the solver trajectory file.
+BENCH_SERVICE = BENCH_RESULTS.parent / "BENCH_service.json"
+
+
+def bench_cache_warm_vs_cold(benchmark):
+    """Warm cache answers must cost ~nothing next to the cold solve."""
+    graph, library = example1(), example1_library()
+    cache = ResultCache()
+
+    t0 = time.perf_counter()
+    synth = Synthesizer(graph, library, solver="highs")
+    cold = synth.synthesize(cache=cache)
+    cold_seconds = time.perf_counter() - t0
+
+    def warm():
+        return Synthesizer(graph, library, solver="highs").synthesize(cache=cache)
+
+    warmed = run_once(benchmark, warm)
+    warm_seconds = benchmark.stats.stats.mean
+    assert warmed.makespan == cold.makespan
+    assert warmed.cost == cold.cost
+    assert cache.stats()["hits"] >= 1
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    assert speedup > 1.0, "cache hit slower than the solve it replaces"
+    record_bench(
+        "service_cache_warm_vs_cold",
+        path=BENCH_SERVICE,
+        cold_seconds=round(cold_seconds, 6),
+        warm_seconds=round(warm_seconds, 6),
+        speedup=round(speedup, 2),
+        cache=cache.stats(),
+    )
+
+
+def bench_job_throughput_with_dedup(benchmark):
+    """A burst of 12 jobs (4 distinct problems x 3 submissions each)."""
+    graph, library = example1(), example1_library()
+    caps = [None, 10.0, 8.0, 7.0]
+    copies = 3
+
+    def burst():
+        cache = ResultCache()
+        with JobManager(workers=4, cache=cache) as manager:
+            jobs = [
+                manager.submit(
+                    SynthesizeRequest(graph, library, solver="highs",
+                                      cost_cap=cap)
+                )
+                for _ in range(copies)
+                for cap in caps
+            ]
+            assert wait_all(jobs, timeout=300)
+            assert all(job.status == "done" for job in jobs)
+            return manager.solves, manager.dedup_hits, len(jobs), cache.stats()
+
+    t0 = time.perf_counter()
+    solves, dedup_hits, submitted, cache_stats = run_once(benchmark, burst)
+    elapsed = time.perf_counter() - t0
+    # Single-flight + cache: at most one solve per distinct problem.
+    assert solves <= len(caps)
+    hit_rate = (cache_stats["hits"] + dedup_hits) / submitted
+    record_bench(
+        "service_job_throughput",
+        path=BENCH_SERVICE,
+        jobs_submitted=submitted,
+        solves=solves,
+        dedup_hits=dedup_hits,
+        cache_hits=cache_stats["hits"],
+        hit_rate=round(hit_rate, 3),
+        seconds=round(elapsed, 4),
+        jobs_per_second=round(submitted / max(elapsed, 1e-9), 2),
+    )
+
+
+def bench_fingerprint_cost(benchmark):
+    """Fingerprinting runs per submission; keep it microseconds-cheap."""
+    graph, library = example1(), example1_library()
+
+    def fingerprint_many(n: int = 50):
+        for _ in range(n):
+            key = fingerprint_request("synthesize", graph, library,
+                                      solver="highs", cost_cap=7.0)
+        return key
+
+    key = benchmark(fingerprint_many)
+    assert len(key) == 64
+    per_call = benchmark.stats.stats.mean / 50
+    record_bench(
+        "service_fingerprint_cost",
+        path=BENCH_SERVICE,
+        seconds_per_fingerprint=round(per_call, 8),
+    )

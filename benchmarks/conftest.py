@@ -23,18 +23,24 @@ import pytest
 BENCH_RESULTS = Path(__file__).resolve().parent.parent / "BENCH_solvers.json"
 
 
-def record_bench(name: str, **fields) -> None:
+def record_bench(name: str, path=None, **fields) -> None:
     """Persist one benchmark's results into ``BENCH_solvers.json``.
 
     The file maps benchmark name to its latest measurements (wall time,
     pivots, nodes, speedups, ...) plus enough machine context to read the
     numbers honestly.  Entries merge: re-running one benchmark updates its
     record and leaves the others in place.
+
+    Args:
+        name: Benchmark key inside the file.
+        path: Alternate results file (e.g. ``BENCH_service.json`` for the
+            service benchmarks); defaults to ``BENCH_solvers.json``.
     """
+    target = Path(path) if path is not None else BENCH_RESULTS
     document = {}
-    if BENCH_RESULTS.exists():
+    if target.exists():
         try:
-            document = json.loads(BENCH_RESULTS.read_text())
+            document = json.loads(target.read_text())
         except (OSError, ValueError):
             document = {}
         if not isinstance(document, dict):
@@ -46,7 +52,7 @@ def record_bench(name: str, **fields) -> None:
         "python": platform.python_version(),
     }
     document[name] = fields
-    BENCH_RESULTS.write_text(
+    target.write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n"
     )
 

@@ -8,6 +8,7 @@ Examples::
     sos trace solve.jsonl --replay-stats
     sos paper --artifact table2
     sos info problem.json
+    sos serve --port 8321 --cache-dir .sos-cache
 
 Installed both as ``sos`` and as ``repro`` (the same program under the
 package's name), so ``repro trace solve.jsonl`` works too.
@@ -28,7 +29,6 @@ from repro.synthesis.synthesizer import Synthesizer
 from repro.system.examples import example1_library, example2_library
 from repro.system.interconnect import InterconnectStyle
 from repro.system.library import TechnologyLibrary
-from repro.system.processors import ProcessorType
 from repro.taskgraph.examples import example1, example2
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.serialization import graph_from_dict
@@ -57,19 +57,7 @@ def load_problem(path: str) -> tuple:
         return example2(), example2_library()
     document = json.loads(Path(path).read_text())
     graph = graph_from_dict(document["graph"])
-    spec = document["library"]
-    types = tuple(
-        ProcessorType(t["name"], t["cost"], t.get("exec_times", {}))
-        for t in spec["types"]
-    )
-    library = TechnologyLibrary(
-        types=types,
-        instances_per_type=spec.get("instances_per_type", 2),
-        link_cost=spec.get("link_cost", 1.0),
-        local_delay=spec.get("local_delay", 0.0),
-        remote_delay=spec.get("remote_delay", 1.0),
-        bus_cost=spec.get("bus_cost", 0.0),
-    )
+    library = TechnologyLibrary.from_dict(document["library"])
     return graph, library
 
 
@@ -370,6 +358,33 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the synthesis job service (JSON over HTTP)."""
+    from repro.service.cache import ResultCache
+    from repro.service.http import create_server, serve
+
+    sink = _open_trace_sink(args)
+    cache = ResultCache(
+        byte_budget=args.cache_bytes, directory=args.cache_dir, trace=sink
+    )
+    server = create_server(
+        host=args.host, port=args.port, workers=args.job_workers,
+        cache=cache, trace=sink, verbose=args.verbose,
+    )
+    print(f"serving on {server.url} "
+          f"({args.job_workers} job worker(s), "
+          f"cache budget {args.cache_bytes} bytes"
+          + (f", disk tier {args.cache_dir}" if args.cache_dir else "")
+          + ")")
+    sys.stdout.flush()
+    try:
+        serve(server)
+    finally:
+        if sink is not None:
+            sink.close()
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Describe a problem: pool, MILP size, bounds, per-family row counts."""
     graph, library = load_problem(args.problem)
@@ -492,6 +507,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot.add_argument("--cost-cap", type=float, default=None)
     p_dot.add_argument("--output", help="write DOT here instead of stdout")
     p_dot.set_defaults(func=cmd_dot)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the synthesis job service (JSON over HTTP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="TCP port (0 picks a free ephemeral port)")
+    p_serve.add_argument("--job-workers", type=int, default=2,
+                         help="concurrent synthesis jobs")
+    p_serve.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
+                         help="in-memory result-cache budget in bytes")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="optional on-disk cache directory "
+                         "(survives restarts)")
+    p_serve.add_argument("--trace", metavar="FILE", default=None,
+                         help="stream cache/job/solve events to this JSONL file")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log HTTP requests to stderr")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_trace = sub.add_parser(
         "trace", help="summarize a JSONL solve trace written by --trace"

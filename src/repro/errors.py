@@ -41,6 +41,17 @@ class TimeLimitError(SolverError):
     """The solver hit its time limit before proving optimality."""
 
 
+class CancelledError(ReproError):
+    """A solve was cooperatively cancelled.
+
+    Raised from inside the branch-and-bound node loop (and the sweep
+    orchestrators) when :attr:`~repro.solvers.base.SolverOptions.should_stop`
+    returns true.  Deliberately *not* a :class:`SolverError`: cancellation
+    is a caller decision, not a backend failure, and retry loops (e.g. the
+    job service's transient-failure retries) must never swallow it.
+    """
+
+
 class TaskGraphError(ReproError):
     """A task data-flow graph violates the task-model rules."""
 

@@ -105,6 +105,26 @@ class SolveStats:
             "phase_seconds": dict(self.phase_seconds),
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SolveStats":
+        """Rebuild a record from :meth:`as_dict` output (inverse round trip).
+
+        Unknown keys are ignored and missing counters default to zero, so
+        documents written by older or newer versions both load.
+        """
+        stats = cls()
+        for name in (
+            "nodes", "lp_solves", "lp_pivots", "warm_starts",
+            "warm_start_hits", "fallbacks", "workers",
+            "subtrees_dispatched", "incumbent_broadcasts",
+        ):
+            setattr(stats, name, int(data.get(name, 0)))
+        phases = data.get("phase_seconds") or {}
+        stats.phase_seconds = {
+            str(name): float(seconds) for name, seconds in phases.items()
+        }
+        return stats
+
     def summary(self) -> str:
         """One-line human-readable telemetry summary."""
         parts = [

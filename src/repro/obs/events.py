@@ -48,6 +48,17 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "solve_done": frozenset(
         {"status", "objective", "best_bound", "nodes", "workers", "seconds"}
     ),
+    # -- service-layer events (repro.service) -------------------------------
+    # A result-cache lookup answered from the store (no solver invoked).
+    "cache_hit": frozenset({"key", "kind"}),
+    # A result-cache lookup found nothing; a solve will follow.
+    "cache_miss": frozenset({"key", "kind"}),
+    # A freshly solved result entered the cache.
+    "cache_store": frozenset({"key", "kind", "bytes"}),
+    # The LRU byte budget pushed an entry out of the in-memory tier.
+    "cache_evict": frozenset({"key", "bytes"}),
+    # A synthesis job changed state (queued -> running -> done/...).
+    "job_status": frozenset({"job", "status", "kind"}),
 }
 
 

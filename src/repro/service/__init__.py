@@ -1,0 +1,63 @@
+"""Synthesis job service: caching, dedup, cancellation, HTTP front end.
+
+The serving layer over :mod:`repro.synthesis` (see ``docs/service.md``):
+
+* :mod:`~repro.service.fingerprint` — canonical, ``PYTHONHASHSEED``-stable
+  content hashes of synthesis requests;
+* :mod:`~repro.service.cache` — a content-addressed result store
+  (in-memory LRU with a byte budget, plus an optional on-disk tier);
+* :mod:`~repro.service.jobs` — a priority thread pool with single-flight
+  dedup, per-job deadlines, cooperative cancellation, and retries;
+* :mod:`~repro.service.http` — the stdlib JSON-over-HTTP API behind
+  ``repro serve``.
+
+Quick start::
+
+    from repro.service import JobManager, ResultCache, SynthesizeRequest
+
+    with JobManager(cache=ResultCache()) as manager:
+        job = manager.submit(SynthesizeRequest(graph, library))
+        job.wait()
+        print(job.status, job.result.makespan)
+"""
+
+from repro.service.cache import DEFAULT_BYTE_BUDGET, ResultCache
+from repro.service.fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_request,
+    fingerprint_request,
+)
+from repro.service.http import ServiceServer, create_server, serve
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobManager,
+    SweepRequest,
+    SynthesizeRequest,
+    wait_all,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DEFAULT_BYTE_BUDGET",
+    "DONE",
+    "FAILED",
+    "FINGERPRINT_VERSION",
+    "Job",
+    "JobManager",
+    "QUEUED",
+    "RUNNING",
+    "ResultCache",
+    "ServiceServer",
+    "SweepRequest",
+    "SynthesizeRequest",
+    "canonical_request",
+    "create_server",
+    "fingerprint_request",
+    "serve",
+    "wait_all",
+]

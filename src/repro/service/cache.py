@@ -1,0 +1,236 @@
+"""Content-addressed result store for synthesized designs and fronts.
+
+A :class:`ResultCache` maps request fingerprints
+(:mod:`repro.service.fingerprint`) to serialized results — single
+:class:`~repro.synthesis.design.Design` documents or whole
+:class:`~repro.synthesis.front.ParetoFront` documents, in exactly the
+schema :func:`repro.synthesis.io.save_design` /
+:meth:`~repro.synthesis.front.ParetoFront.to_json` write — so a cached
+answer re-serializes byte-identically to the solve that produced it.
+
+Two tiers:
+
+* an in-memory LRU bounded by a *byte* budget (entries are stored as
+  their encoded JSON, so the budget measures real payload weight, not
+  object count), and
+* an optional on-disk JSON directory, content-addressed as
+  ``<dir>/<key[:2]>/<key>.json`` (git-object-style fan-out so one
+  directory never holds millions of files).  Disk entries survive
+  process restarts and re-populate the memory tier on first hit.
+
+Hit/miss/store/evict counters are kept on the cache and, when a tracer
+is attached, mirrored as ``cache_*`` trace events
+(:mod:`repro.obs.events`) so a service's cache behaviour lands in the
+same JSONL stream as its solves.
+
+Thread safety: every public method takes one internal lock; the job
+manager calls into the cache from its worker threads concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.sinks import Tracer, make_tracer
+
+#: Default in-memory budget: 64 MiB of encoded JSON.
+DEFAULT_BYTE_BUDGET = 64 * 1024 * 1024
+
+
+class ResultCache:
+    """Content-addressed LRU store of serialized synthesis results.
+
+    Args:
+        byte_budget: In-memory budget in bytes of encoded JSON.  The
+            least-recently-used entries are evicted once the total
+            exceeds it.  A single entry larger than the whole budget is
+            never admitted to memory (it still reaches the disk tier).
+        directory: Optional on-disk tier.  Created on first store.
+        trace: Optional :class:`~repro.obs.sinks.TraceSink` receiving
+            ``cache_hit`` / ``cache_miss`` / ``cache_store`` /
+            ``cache_evict`` events.
+    """
+
+    def __init__(
+        self,
+        byte_budget: int = DEFAULT_BYTE_BUDGET,
+        directory: Optional[Union[str, Path]] = None,
+        trace=None,
+    ) -> None:
+        if byte_budget < 0:
+            raise ValueError("byte_budget must be nonnegative")
+        self.byte_budget = byte_budget
+        self.directory = Path(directory) if directory is not None else None
+        self._tracer: Optional[Tracer] = make_tracer(trace)
+        self._lock = threading.Lock()
+        #: key -> encoded JSON document (most-recently-used last).
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._bytes = 0
+        # Counters (read via stats()).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # -- raw document interface ---------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored document for ``key``, or ``None`` on a miss.
+
+        A memory hit refreshes the entry's LRU position; a disk hit
+        re-admits the entry to the memory tier.
+        """
+        with self._lock:
+            encoded = self._entries.get(key)
+            if encoded is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._emit("cache_hit", key=key, kind=self._kind_of(encoded))
+                return json.loads(encoded)
+            encoded = self._read_disk(key)
+            if encoded is not None:
+                self._admit(key, encoded)
+                self.hits += 1
+                self._emit("cache_hit", key=key, kind=self._kind_of(encoded))
+                return json.loads(encoded)
+            self.misses += 1
+            self._emit("cache_miss", key=key, kind="unknown")
+            return None
+
+    def put(self, key: str, kind: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` (a JSON-compatible dict) under ``key``.
+
+        ``kind`` tags the payload schema (``"design"`` or ``"front"``)
+        so readers can dispatch without guessing.  Storing an existing
+        key overwrites it (same content address ⇒ same content, so this
+        is only reached on version-skew rewrites).
+        """
+        document = {"kind": kind, "fingerprint": key, "payload": payload}
+        encoded = json.dumps(document).encode("utf-8")
+        with self._lock:
+            self._write_disk(key, encoded)
+            self._admit(key, encoded)
+            self.stores += 1
+            self._emit("cache_store", key=key, kind=kind, bytes=len(encoded))
+
+    def __contains__(self, key: str) -> bool:
+        """True when ``key`` is resident in memory or on disk (no LRU touch)."""
+        with self._lock:
+            return key in self._entries or self._disk_path(key).exists()
+
+    def __len__(self) -> int:
+        """Number of entries resident in the memory tier."""
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot (what ``GET /stats`` serves)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "byte_budget": self.byte_budget,
+                "directory": str(self.directory) if self.directory else None,
+            }
+
+    def clear(self) -> None:
+        """Drop the memory tier (counters and the disk tier are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # -- typed helpers -------------------------------------------------------
+    def get_design(self, key: str, graph, library):
+        """A cached :class:`Design` for ``key``, or ``None``.
+
+        Args:
+            key: Request fingerprint.
+            graph: The task graph the design was synthesized for (designs
+                do not embed their problem).
+            library: The technology library.
+        """
+        from repro.synthesis.io import design_from_dict
+
+        document = self.get(key)
+        if document is None or document.get("kind") != "design":
+            return None
+        return design_from_dict(graph, library, document["payload"])
+
+    def put_design(self, key: str, design) -> None:
+        """Store a :class:`Design` under ``key``."""
+        from repro.synthesis.io import design_to_document
+
+        self.put(key, "design", design_to_document(design))
+
+    def get_front(self, key: str, graph, library):
+        """A cached :class:`ParetoFront` for ``key``, or ``None``."""
+        from repro.synthesis.front import ParetoFront
+
+        document = self.get(key)
+        if document is None or document.get("kind") != "front":
+            return None
+        return ParetoFront.from_dict(document["payload"], graph, library)
+
+    def put_front(self, key: str, front) -> None:
+        """Store a :class:`ParetoFront` under ``key``."""
+        self.put(key, "front", front.to_dict())
+
+    # -- internals -----------------------------------------------------------
+    def _admit(self, key: str, encoded: bytes) -> None:
+        """Insert into the memory tier and evict LRU entries over budget."""
+        if key in self._entries:
+            self._bytes -= len(self._entries.pop(key))
+        if len(encoded) > self.byte_budget:
+            return  # oversized: disk tier only
+        self._entries[key] = encoded
+        self._bytes += len(encoded)
+        while self._bytes > self.byte_budget and self._entries:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._bytes -= len(evicted)
+            self.evictions += 1
+            self._emit("cache_evict", key=evicted_key, bytes=len(evicted))
+
+    @staticmethod
+    def _kind_of(encoded: bytes) -> str:
+        # The kind tag sits first in the stored document; a full parse
+        # just for a trace label would be wasteful on big fronts.
+        head = encoded[:40].decode("utf-8", errors="replace")
+        for kind in ("design", "front"):
+            if f'"kind": "{kind}"' in head or f'"kind":"{kind}"' in head:
+                return kind
+        return "unknown"
+
+    def _disk_path(self, key: str) -> Path:
+        if self.directory is None:
+            return Path("/nonexistent") / key
+        return self.directory / key[:2] / f"{key}.json"
+
+    def _read_disk(self, key: str) -> Optional[bytes]:
+        if self.directory is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def _write_disk(self, key: str, encoded: bytes) -> None:
+        if self.directory is None:
+            return
+        path = self._disk_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so concurrent readers never see a torn file.
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_bytes(encoded)
+        tmp.replace(path)
+
+    def _emit(self, event_type: str, **data) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(event_type, **data)

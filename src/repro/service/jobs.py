@@ -1,0 +1,577 @@
+"""Thread-pool synthesis job manager: priorities, deadlines, dedup, cancel.
+
+The serving brain of :mod:`repro.service`.  A :class:`JobManager` owns a
+pool of worker threads draining a priority queue of synthesis jobs; each
+job is a :class:`SynthesizeRequest` or :class:`SweepRequest` plus
+bookkeeping.  What the manager adds over a bare thread pool:
+
+* **Content-addressed caching** — every request is fingerprinted
+  (:mod:`repro.service.fingerprint`); a :class:`~repro.service.cache.ResultCache`
+  hit completes the job without ever instantiating a solver.
+* **Single-flight dedup** — while a job for fingerprint ``F`` is queued
+  or running, submitting an identical request returns *that job* instead
+  of enqueueing a second solve, mirroring the shared-incumbent idea of
+  the parallel sweep: concurrent identical work is done once and the
+  result shared.
+* **Cooperative cancellation** — ``cancel(job_id)`` sets a
+  ``threading.Event`` that the solvers poll once per branch-and-bound
+  node through :attr:`SolverOptions.should_stop
+  <repro.solvers.base.SolverOptions.should_stop>`; a running solve
+  unwinds with :class:`~repro.errors.CancelledError` within one node.
+* **Per-job deadlines** — a wall-clock budget counted from submission,
+  mapped onto ``SolverOptions.time_limit`` for each underlying solve and
+  enforced between solves through the same ``should_stop`` hook (a sweep
+  is many solves; the time limit alone would only bound each one).
+* **Retry with backoff** — transient backend failures (a crashed worker
+  pool, an OS-level hiccup) are retried with exponential backoff;
+  infeasibility, unknown solvers, and cancellations are permanent and
+  never retried.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.options import FormulationOptions, Objective
+from repro.errors import (
+    CancelledError,
+    InfeasibleError,
+    ReproError,
+    SolverError,
+    UnknownSolverError,
+)
+from repro.obs.sinks import Tracer, make_tracer
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import fingerprint_request
+from repro.solvers.base import SolverOptions
+from repro.synthesis.synthesizer import Synthesizer
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Exceptions worth retrying: backend trouble that a fresh attempt can
+#: plausibly clear.  Infeasibility and bad solver names are excluded
+#: below — they are properties of the request, not of the attempt.
+_TRANSIENT = (SolverError, OSError)
+_PERMANENT = (InfeasibleError, UnknownSolverError)
+
+
+@dataclass
+class SynthesizeRequest:
+    """One ``synthesize`` call as data (what the HTTP API posts).
+
+    Attributes mirror :meth:`repro.synthesis.synthesizer.Synthesizer.synthesize`
+    and its constructor configuration.
+    """
+
+    graph: TaskGraph
+    library: TechnologyLibrary
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT
+    solver: str = "auto"
+    solver_options: Optional[SolverOptions] = None
+    formulation: Optional[FormulationOptions] = None
+    constraints: Any = None
+    cost_cap: Optional[float] = None
+    deadline: Optional[float] = None
+    objective: Objective = Objective.MIN_MAKESPAN
+    minimize_secondary: bool = True
+    validate: bool = True
+
+    kind = "synthesize"
+
+    def fingerprint(self) -> str:
+        """Content address of this request (see :mod:`.fingerprint`)."""
+        return fingerprint_request(
+            self.kind, self.graph, self.library,
+            solver=self.solver, solver_options=self.solver_options,
+            formulation=self._formulation(), constraints=self.constraints,
+            cost_cap=self.cost_cap, deadline=self.deadline,
+            objective=self.objective, minimize_secondary=self.minimize_secondary,
+        )
+
+    def _formulation(self) -> FormulationOptions:
+        base = self.formulation or FormulationOptions()
+        return dataclasses.replace(base, style=self.style)
+
+    def _synthesizer(self, solver_options: Optional[SolverOptions]) -> Synthesizer:
+        return Synthesizer(
+            self.graph, self.library, style=self.style, solver=self.solver,
+            solver_options=solver_options, options=self.formulation,
+            constraints=self.constraints,
+        )
+
+    def run(self, solver_options: Optional[SolverOptions]):
+        """Execute the solve; returns the result object.
+
+        ``solver_options`` is this request's options with the job layer's
+        cancellation hook and deadline-derived time limit merged in.
+        """
+        return self._synthesizer(solver_options).synthesize(
+            cost_cap=self.cost_cap, deadline=self.deadline,
+            objective=self.objective,
+            minimize_secondary=self.minimize_secondary,
+            validate=self.validate,
+        )
+
+    def document_of(self, result) -> Dict[str, Any]:
+        """JSON document for ``result`` (the cache/HTTP payload)."""
+        from repro.synthesis.io import design_to_document
+
+        return design_to_document(result)
+
+    def store(self, cache: ResultCache, key: str, result) -> None:
+        """Cache hook: store a design."""
+        cache.put_design(key, result)
+
+    def lookup(self, cache: ResultCache, key: str):
+        """Cache hook: load a design (``None`` on miss)."""
+        return cache.get_design(key, self.graph, self.library)
+
+
+@dataclass
+class SweepRequest:
+    """One ``pareto_sweep`` call as data."""
+
+    graph: TaskGraph
+    library: TechnologyLibrary
+    style: InterconnectStyle = InterconnectStyle.POINT_TO_POINT
+    solver: str = "auto"
+    solver_options: Optional[SolverOptions] = None
+    formulation: Optional[FormulationOptions] = None
+    constraints: Any = None
+    max_designs: int = 64
+    cost_step: float = 1e-4
+    validate: bool = True
+    incremental: bool = True
+
+    kind = "sweep"
+
+    def fingerprint(self) -> str:
+        """Content address of this request (see :mod:`.fingerprint`)."""
+        return fingerprint_request(
+            self.kind, self.graph, self.library,
+            solver=self.solver, solver_options=self.solver_options,
+            formulation=self._formulation(), constraints=self.constraints,
+            max_designs=self.max_designs, cost_step=self.cost_step,
+        )
+
+    def _formulation(self) -> FormulationOptions:
+        base = self.formulation or FormulationOptions()
+        return dataclasses.replace(base, style=self.style)
+
+    def run(self, solver_options: Optional[SolverOptions]):
+        """Execute the sweep; returns the :class:`ParetoFront`."""
+        synth = Synthesizer(
+            self.graph, self.library, style=self.style, solver=self.solver,
+            solver_options=solver_options, options=self.formulation,
+            constraints=self.constraints, incremental=self.incremental,
+        )
+        return synth.pareto_sweep(
+            max_designs=self.max_designs, cost_step=self.cost_step,
+            validate=self.validate,
+        )
+
+    def document_of(self, result) -> Dict[str, Any]:
+        """JSON document for ``result`` (the cache/HTTP payload)."""
+        return result.to_dict()
+
+    def store(self, cache: ResultCache, key: str, result) -> None:
+        """Cache hook: store a front."""
+        cache.put_front(key, result)
+
+    def lookup(self, cache: ResultCache, key: str):
+        """Cache hook: load a front (``None`` on miss)."""
+        return cache.get_front(key, self.graph, self.library)
+
+
+class Job:
+    """One submitted request plus its lifecycle state.
+
+    Not constructed directly — :meth:`JobManager.submit` returns these.
+    A job deduplicated onto an earlier identical submission IS that
+    earlier job (same object, same id): waiters share one solve and one
+    result, and cancelling it cancels it for every submitter.
+    """
+
+    def __init__(self, job_id: str, request, priority: int,
+                 deadline_seconds: Optional[float]) -> None:
+        self.id = job_id
+        self.request = request
+        self.kind = request.kind
+        self.fingerprint = request.fingerprint()
+        self.priority = priority
+        self.deadline_seconds = deadline_seconds
+        self.status = QUEUED
+        #: True when the result came from the cache (no solver invoked).
+        self.cached = False
+        #: Solve attempts actually started (0 for a cache hit).
+        self.attempts = 0
+        #: Identical submissions coalesced onto this job (dedup count).
+        self.shared = 0
+        self.error: Optional[str] = None
+        #: The result object (Design or ParetoFront) once DONE.
+        self.result: Any = None
+        #: The result's JSON document once DONE (what HTTP serves).
+        self.document: Optional[Dict[str, Any]] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._submitted_mono = time.monotonic()
+        self._cancel = threading.Event()
+        self._finished = threading.Event()
+
+    # -- caller-facing ------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (or ``timeout``)."""
+        return self._finished.wait(timeout)
+
+    @property
+    def finished(self) -> bool:
+        """True in any terminal state (done, failed, cancelled)."""
+        return self._finished.is_set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        """True once :meth:`JobManager.cancel` has been called on this job."""
+        return self._cancel.is_set()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON document of the job's current state (``GET /jobs/<id>``)."""
+        return {
+            "job": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "fingerprint": self.fingerprint,
+            "priority": self.priority,
+            "cached": self.cached,
+            "attempts": self.attempts,
+            "shared": self.shared,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "result": self.document,
+        }
+
+    # -- deadline plumbing --------------------------------------------------
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock budget left, or ``None`` when no deadline was set."""
+        if self.deadline_seconds is None:
+            return None
+        return self.deadline_seconds - (time.monotonic() - self._submitted_mono)
+
+    def past_deadline(self) -> bool:
+        """True when the job's wall-clock budget is exhausted."""
+        remaining = self.remaining_seconds()
+        return remaining is not None and remaining <= 0
+
+    def __repr__(self) -> str:
+        return f"Job({self.id!r}, {self.kind}, {self.status})"
+
+
+class JobManager:
+    """Priority thread pool executing synthesis jobs against a cache.
+
+    Args:
+        workers: Worker thread count.  Threads are daemonic and started
+            eagerly; :meth:`shutdown` (or the context manager) stops them.
+        cache: Shared :class:`~repro.service.cache.ResultCache`; ``None``
+            disables caching (every submission solves).
+        retries: Extra attempts after a transient backend failure.
+        retry_backoff: Base backoff in seconds; attempt ``k`` waits
+            ``retry_backoff * 2**k`` (interrupted early by cancellation).
+        trace: Optional :class:`~repro.obs.sinks.TraceSink` receiving
+            ``job_status`` events at every state transition.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache: Optional[ResultCache] = None,
+        retries: int = 2,
+        retry_backoff: float = 0.1,
+        trace=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("JobManager needs at least one worker thread")
+        self.cache = cache
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self._tracer: Optional[Tracer] = make_tracer(trace)
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._queue: List = []  # heap of (-priority, seq, job)
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        self._jobs: Dict[str, Job] = {}
+        #: fingerprint -> in-flight (queued or running) job, for dedup.
+        self._inflight: Dict[str, Job] = {}
+        self._shutdown = False
+        #: Solver invocations actually started (cache hits excluded).
+        self.solves = 0
+        #: Submissions answered by single-flight dedup.
+        self.dedup_hits = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-job-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- public API ----------------------------------------------------------
+    def submit(self, request, priority: int = 0,
+               deadline_seconds: Optional[float] = None) -> Job:
+        """Queue a request; returns its :class:`Job` immediately.
+
+        Single-flight: when an identical request (same fingerprint) is
+        already queued or running, the existing job is returned instead
+        of a new one — the callers share one solve.  Finished jobs never
+        dedup (their results are already in the cache; a resubmission
+        becomes a fresh job that hits the cache instead).
+
+        Args:
+            request: A :class:`SynthesizeRequest` or :class:`SweepRequest`.
+            priority: Higher runs earlier; ties run in submission order.
+            deadline_seconds: Wall-clock budget counted from *this*
+                submission.  Ignored when deduplicated onto an in-flight
+                job (the original submission's budget stands).
+        """
+        key = request.fingerprint()
+        with self._work_ready:
+            if self._shutdown:
+                raise RuntimeError("JobManager is shut down")
+            existing = self._inflight.get(key)
+            if existing is not None and not existing.cancel_requested:
+                existing.shared += 1
+                self.dedup_hits += 1
+                return existing
+            job = Job(f"j{next(self._ids):06d}", request, priority, deadline_seconds)
+            # Reuse the fingerprint just computed rather than re-hashing.
+            job.fingerprint = key
+            self._jobs[job.id] = job
+            self._inflight[key] = job
+            heapq.heappush(self._queue, (-priority, next(self._seq), job))
+            self._emit_status(job)
+            self._work_ready.notify()
+            return job
+
+    def get(self, job_id: str) -> Job:
+        """The job with ``job_id``.
+
+        Raises:
+            KeyError: Unknown id.
+        """
+        with self._lock:
+            return self._jobs[job_id]
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation of a job; returns False in terminal states.
+
+        A queued job is finalized as ``cancelled`` immediately; a running
+        job's solver observes the flag through ``should_stop`` within one
+        branch-and-bound node and unwinds cooperatively.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.finished:
+                return False
+            job._cancel.set()
+            if job.status == QUEUED:
+                self._finalize(job, CANCELLED, error="cancelled before start")
+            return True
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot: job states, dedup/solve counts, cache counters."""
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "jobs": by_status,
+                "queued": sum(1 for *_, j in self._queue if j.status == QUEUED),
+                "solves": self.solves,
+                "dedup_hits": self.dedup_hits,
+                "workers": len(self._threads),
+                "cache": self.cache.stats() if self.cache is not None else None,
+            }
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = True) -> None:
+        """Stop the workers.
+
+        Args:
+            wait: Join the worker threads before returning.
+            cancel_pending: Cancel queued jobs (running solves also get
+                their cancel flag set, so they unwind within a node).
+        """
+        with self._work_ready:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            if cancel_pending:
+                for job in self._jobs.values():
+                    if not job.finished:
+                        job._cancel.set()
+                        if job.status == QUEUED:
+                            self._finalize(job, CANCELLED, error="service shutdown")
+            self._work_ready.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30.0)
+
+    def __enter__(self) -> "JobManager":
+        """Context-manager support: shuts down on exit."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Shut down (cancelling pending jobs) on scope exit."""
+        self.shutdown()
+
+    # -- worker internals ----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work_ready:
+                while not self._queue and not self._shutdown:
+                    self._work_ready.wait()
+                if not self._queue and self._shutdown:
+                    return
+                _, _, job = heapq.heappop(self._queue)
+                if job.finished:  # cancelled while queued
+                    continue
+                job.status = RUNNING
+                job.started_at = time.time()
+                self._emit_status(job)
+            try:
+                self._execute(job)
+            except BaseException as exc:  # never kill a worker thread
+                with self._lock:
+                    if not job.finished:
+                        self._finalize(job, FAILED, error=f"internal error: {exc!r}")
+
+    def _execute(self, job: Job) -> None:
+        request = job.request
+        if job.cancel_requested:
+            with self._lock:
+                self._finalize(job, CANCELLED, error="cancelled before start")
+            return
+
+        if self.cache is not None:
+            hit = request.lookup(self.cache, job.fingerprint)
+            if hit is not None:
+                with self._lock:
+                    job.result = hit
+                    job.document = request.document_of(hit)
+                    job.cached = True
+                    self._finalize(job, DONE)
+                return
+
+        attempt = 0
+        while True:
+            if job.past_deadline():
+                with self._lock:
+                    self._finalize(job, FAILED, error="deadline exceeded")
+                return
+            job.attempts = attempt + 1
+            with self._lock:
+                self.solves += 1
+            try:
+                result = request.run(self._job_solver_options(job))
+            except CancelledError:
+                status = CANCELLED if job.cancel_requested else FAILED
+                error = ("cancelled" if job.cancel_requested
+                         else "deadline exceeded")
+                with self._lock:
+                    self._finalize(job, status, error=error)
+                return
+            except _PERMANENT as exc:
+                with self._lock:
+                    self._finalize(job, FAILED, error=str(exc))
+                return
+            except _TRANSIENT as exc:
+                if attempt >= self.retries:
+                    with self._lock:
+                        self._finalize(
+                            job, FAILED,
+                            error=f"{exc} (after {attempt + 1} attempts)",
+                        )
+                    return
+                # Exponential backoff, cut short by a cancel request.
+                job._cancel.wait(self.retry_backoff * (2 ** attempt))
+                attempt += 1
+                continue
+            except ReproError as exc:  # SynthesisError etc.: permanent
+                with self._lock:
+                    self._finalize(job, FAILED, error=str(exc))
+                return
+            break
+
+        document = request.document_of(result)
+        if self.cache is not None:
+            request.store(self.cache, job.fingerprint, result)
+        with self._lock:
+            job.result = result
+            job.document = document
+            self._finalize(job, DONE)
+
+    def _job_solver_options(self, job: Job) -> SolverOptions:
+        """The request's solver options plus the job layer's hooks.
+
+        ``should_stop`` observes both the cancel flag and the wall-clock
+        deadline (a sweep is many solves — the per-solve time limit alone
+        cannot bound the whole job); the remaining budget also tightens
+        ``time_limit`` for the next solve.
+        """
+        base = job.request.solver_options or SolverOptions()
+
+        def should_stop() -> bool:
+            return job.cancel_requested or job.past_deadline()
+
+        remaining = job.remaining_seconds()
+        time_limit = base.time_limit
+        if remaining is not None:
+            time_limit = min(time_limit, max(remaining, 0.0))
+        return dataclasses.replace(
+            base, should_stop=should_stop, time_limit=time_limit
+        )
+
+    def _finalize(self, job: Job, status: str, error: Optional[str] = None) -> None:
+        """Move a job to a terminal state.  Caller holds the lock."""
+        if job.finished:
+            return
+        job.status = status
+        job.error = error
+        job.finished_at = time.time()
+        if self._inflight.get(job.fingerprint) is job:
+            del self._inflight[job.fingerprint]
+        self._emit_status(job)
+        job._finished.set()
+
+    def _emit_status(self, job: Job) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(
+                "job_status", job=job.id, status=job.status, kind=job.kind
+            )
+
+
+def wait_all(jobs, timeout: Optional[float] = None) -> bool:
+    """Block until every job in ``jobs`` is terminal; True when all finished."""
+    end = None if timeout is None else time.monotonic() + timeout
+    for job in jobs:
+        remaining = None if end is None else max(0.0, end - time.monotonic())
+        if not job.wait(remaining):
+            return False
+    return True

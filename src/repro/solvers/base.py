@@ -70,6 +70,15 @@ class SolverOptions:
             seconds, plus once at solve end.  A callback that raises is
             disabled for the rest of the solve after a single warning.
         progress_interval: Minimum seconds between ``on_progress`` calls.
+        should_stop: Cooperative-cancellation hook.  Polled once per
+            branch-and-bound node (and between sweep steps); when it
+            returns true the solve raises
+            :class:`~repro.errors.CancelledError` instead of producing a
+            Solution.  Must be cheap (it sits on the node loop) and
+            thread-safe (the job service polls a ``threading.Event``).
+            Like ``trace``/``on_progress`` it never crosses a process
+            boundary: parallel subtree workers run with it stripped, and
+            the driving process polls it between pool operations.
     """
 
     time_limit: float = math.inf
@@ -88,6 +97,7 @@ class SolverOptions:
     trace: Optional[TraceSink] = None
     on_progress: Optional[Callable[[ProgressUpdate], None]] = None
     progress_interval: float = 1.0
+    should_stop: Optional[Callable[[], bool]] = None
 
 
 class Solver(abc.ABC):

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.errors import CancelledError
 from repro.milp.model import MatrixForm, Model
 from repro.milp.solution import Solution, SolveStats, SolveStatus
 from repro.obs.progress import ProgressReporter
@@ -337,7 +338,12 @@ class _TreeSearch:
         tol = options.integrality_tolerance
         form = self.form
         cutoff = options.cutoff
+        should_stop = options.should_stop
         while True:
+            if should_stop is not None and should_stop():
+                raise CancelledError(
+                    f"solve cancelled after {self.nodes_processed} nodes"
+                )
             if (
                 frontier_target
                 and not depth_first

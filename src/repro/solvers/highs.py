@@ -69,6 +69,17 @@ class HighsSolver(Solver):
             integrality=integrality,
             options=options,
         )
+        if result.status not in (0, 1, 2, 3) and result.x is None:
+            # HiGHS occasionally aborts with "Solve error" (status 4) on
+            # instances its presolve mangles; the same model solves fine
+            # with presolve off, so retry once before reporting UNKNOWN.
+            result = optimize.milp(
+                c=form.c,
+                constraints=constraints or None,
+                bounds=bounds,
+                integrality=integrality,
+                options={**options, "presolve": False},
+            )
         elapsed = time.monotonic() - start
 
         status = {

@@ -41,6 +41,7 @@ import time
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import CancelledError
 from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStats
 from repro.obs.events import TraceEvent
@@ -214,10 +215,12 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
         warm_start=options.warm_start,
         # Sinks and callbacks never cross the process boundary: workers
         # buffer events privately (see _solve_subtree) and never report
-        # progress, so both are stripped from the per-worker options.
+        # progress, so both are stripped from the per-worker options —
+        # as is should_stop (a forked copy of the caller's flag would
+        # never fire; the driver polls it between pool operations).
         options=replace(
             options, workers=1, frontier_target=0,
-            trace=None, on_progress=None, verbose=False,
+            trace=None, on_progress=None, verbose=False, should_stop=None,
         ),
         start=start,
         ramp_obj=outcome.incumbent_obj,
@@ -226,19 +229,44 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
         trace_enabled=options.trace is not None,
     )
     jobs = list(enumerate(subtrees, start=1))
+
+    def solve_inline(pending_jobs):
+        """Fallback path: solve subtrees in dispatch order, polling cancel."""
+        inline = []
+        for job in pending_jobs:
+            if options.should_stop is not None and options.should_stop():
+                raise CancelledError(
+                    "parallel solve cancelled between inline subtrees"
+                )
+            inline.append(_solve_subtree(job))
+        return inline
+
     try:
         results: List[Tuple[_SearchOutcome, SolveStats, List[TraceEvent]]]
         if mp is not None:
             try:
                 with mp.Pool(pool_size) as pool:
-                    results = pool.map(_solve_subtree, jobs)
+                    async_result = pool.map_async(_solve_subtree, jobs)
+                    # The driver polls the cancellation hook while the
+                    # pool works: workers run with should_stop stripped
+                    # (a forked flag copy would never fire), so this loop
+                    # is where a cancel request lands in parallel mode.
+                    while not async_result.ready():
+                        if options.should_stop is not None and options.should_stop():
+                            pool.terminate()
+                            raise CancelledError(
+                                "parallel solve cancelled while subtrees "
+                                "were in flight"
+                            )
+                        async_result.wait(0.05)
+                    results = async_result.get()
             except OSError:  # pool creation failed: degrade gracefully
                 incumbent = _InlineValue(outcome.incumbent_obj)
                 broadcasts = _InlineValue(0)
                 _WORKER_CTX.update(incumbent=incumbent, broadcasts=broadcasts)
-                results = [_solve_subtree(job) for job in jobs]
+                results = solve_inline(jobs)
         else:
-            results = [_solve_subtree(job) for job in jobs]
+            results = solve_inline(jobs)
     finally:
         _WORKER_CTX.clear()
         if share_key is not None:

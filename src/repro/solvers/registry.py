@@ -26,6 +26,18 @@ def available_solvers() -> tuple:
     return tuple(sorted(_REGISTRY)) + ("auto",)
 
 
+def resolve_solver_name(name: str = "auto") -> str:
+    """The concrete backend ``"auto"`` resolves to on this host.
+
+    Used by the service layer's fingerprints: a cache key must name the
+    backend that would actually run, not the alias, so results computed
+    under ``auto`` never collide across hosts with different backends.
+    """
+    if name == "auto":
+        return "highs" if "highs" in _REGISTRY else "bozo"
+    return name
+
+
 def get_solver(name: str = "auto", options: Optional[SolverOptions] = None) -> Solver:
     """Instantiate a solver backend.
 
@@ -38,8 +50,7 @@ def get_solver(name: str = "auto", options: Optional[SolverOptions] = None) -> S
             registered backends and suggests the nearest name if one is
             close.
     """
-    if name == "auto":
-        name = "highs" if "highs" in _REGISTRY else "bozo"
+    name = resolve_solver_name(name)
     try:
         factory = _REGISTRY[name]
     except KeyError:

@@ -90,17 +90,66 @@ class ParetoFront(Sequence):
         return f"ParetoFront({len(self.designs)} designs)"
 
     # -- serialization ------------------------------------------------------
-    def to_json(self, indent: Optional[int] = None) -> str:
-        """Serialize the front (designs + caps + stats) as a JSON string.
+    def to_dict(self) -> dict:
+        """JSON-compatible document (designs + caps + stats).
 
-        Each design serializes via :meth:`Design.to_dict` — the same
-        schema :func:`repro.synthesis.io.save_design` writes — so single
-        designs round-trip through
-        :func:`repro.synthesis.io.design_from_dict`.
+        Each design serializes via
+        :func:`repro.synthesis.io.design_to_document` — the same schema
+        :func:`repro.synthesis.io.save_design` writes — so single designs
+        round-trip through :func:`repro.synthesis.io.design_from_dict` and
+        whole fronts through :meth:`from_dict`.
         """
-        document = {
-            "designs": [design.to_dict() for design in self.designs],
+        from repro.synthesis.io import design_to_document
+
+        return {
+            "designs": [design_to_document(design) for design in self.designs],
             "caps": self.caps,
             "stats": self.stats.as_dict() if self.stats is not None else None,
         }
-        return json.dumps(document, indent=indent)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the front (designs + caps + stats) as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict, graph, library) -> "ParetoFront":
+        """Rebuild a front from :meth:`to_dict` output.
+
+        Designs do not embed their problem, so the graph and library the
+        front was synthesized for must be supplied (same contract as
+        :func:`repro.synthesis.io.design_from_dict`).
+
+        Raises:
+            SynthesisError: On malformed documents.
+        """
+        from repro.errors import SynthesisError
+        from repro.synthesis.io import design_from_dict
+
+        if not isinstance(data, dict) or "designs" not in data:
+            raise SynthesisError("malformed pareto-front document")
+        designs = [
+            design_from_dict(graph, library, entry) for entry in data["designs"]
+        ]
+        raw_caps = data.get("caps")
+        caps = (
+            [None if cap is None else float(cap) for cap in raw_caps]
+            if raw_caps is not None
+            else None
+        )
+        stats = (
+            SolveStats.from_dict(data["stats"])
+            if data.get("stats") is not None
+            else None
+        )
+        return cls(designs, caps=caps, stats=stats)
+
+    @classmethod
+    def from_json(cls, text: str, graph, library) -> "ParetoFront":
+        """Inverse of :meth:`to_json`: parse a front from its JSON string."""
+        from repro.errors import SynthesisError
+
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SynthesisError(f"invalid pareto-front JSON: {exc}") from exc
+        return cls.from_dict(data, graph, library)

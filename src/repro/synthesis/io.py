@@ -85,13 +85,23 @@ def design_from_dict(
     )
 
 
-def save_design(design: Design, path: Union[str, Path]) -> None:
-    """Write a design to a JSON file."""
+def design_to_document(design: Design) -> Dict:
+    """The full-fidelity JSON document for a design.
+
+    :meth:`Design.to_dict` plus the fields :func:`design_from_dict` needs
+    for an exact round trip (explicit cost, ring order).  This is what
+    :func:`save_design` writes and what the service result cache stores.
+    """
     document = design.to_dict()
     document["cost"] = design.cost
     if design.architecture.ring_order:
         document["ring_order"] = list(design.architecture.ring_order)
-    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    return document
+
+
+def save_design(design: Design, path: Union[str, Path]) -> None:
+    """Write a design to a JSON file."""
+    Path(path).write_text(json.dumps(design_to_document(design), indent=2) + "\n")
 
 
 def load_design(

@@ -50,7 +50,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.options import Objective
-from repro.errors import InfeasibleError, SynthesisError
+from repro.errors import CancelledError, InfeasibleError, SynthesisError
 from repro.milp.solution import SolveStats
 from repro.obs.sinks import make_tracer
 from repro.solvers.base import SolverOptions
@@ -223,15 +223,17 @@ def parallel_pareto_sweep(
     saved_options = synth.solver_options
     synth.solver_options = dataclasses.replace(
         saved_options or SolverOptions(), workers=1, frontier_target=0, cutoff=None,
-        trace=None, on_progress=None, verbose=False,
+        trace=None, on_progress=None, verbose=False, should_stop=None,
     )
     tracer = make_tracer(saved_options.trace if saved_options else None)
+    should_stop = saved_options.should_stop if saved_options else None
     _SWEEP_CTX.clear()
     _SWEEP_CTX.update(synth=synth, validate=validate)
     try:
         with mp.Pool(workers) as pool:
             front = _orchestrate(
-                pool, synth, max_designs, cost_step, workers, tracer=tracer
+                pool, synth, max_designs, cost_step, workers, tracer=tracer,
+                should_stop=should_stop,
             )
     finally:
         _SWEEP_CTX.clear()
@@ -244,12 +246,16 @@ def parallel_pareto_sweep(
 
 
 def _orchestrate(
-    pool, synth, max_designs, cost_step, workers, tracer=None
+    pool, synth, max_designs, cost_step, workers, tracer=None, should_stop=None
 ) -> ParetoFront:
     """Dispatch canonical/probe/floor jobs and assemble the front.
 
     Emits one ``sweep_step`` trace event per finished job (in completion
     order) when the synthesizer's solver options carry a trace sink.
+    ``should_stop`` is the caller's cancellation hook, polled between
+    completions (children run with it stripped); raising
+    :class:`CancelledError` unwinds through the pool's context manager,
+    which terminates any in-flight solves.
     """
     state = _SweepState(cost_step)
     sweep_stats = SolveStats()
@@ -265,6 +271,10 @@ def _orchestrate(
     submit("floor", None, None)
 
     while pending:
+        if should_stop is not None and should_stop():
+            raise CancelledError(
+                f"pareto sweep cancelled with {len(pending)} solves in flight"
+            )
         ready = [entry for entry in pending if entry[2].ready()]
         if not ready:
             time.sleep(0.005)

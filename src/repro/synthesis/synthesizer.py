@@ -97,6 +97,7 @@ class Synthesizer:
         objective: Objective = Objective.MIN_MAKESPAN,
         minimize_secondary: bool = True,
         validate: bool = True,
+        cache: Optional["ResultCache"] = None,
         _primary_cutoff: Optional[float] = None,
     ) -> Design:
         """Produce one optimal design.
@@ -115,6 +116,12 @@ class Synthesizer:
                 *cheapest* system achieving that makespan (this is the
                 design the paper's tables report).
             validate: Re-check the design with the independent validator.
+            cache: Optional :class:`~repro.service.cache.ResultCache`.
+                The request is content-fingerprinted
+                (:mod:`repro.service.fingerprint`); a hit returns the
+                stored design without building or solving any model, a
+                miss solves normally and stores the result.  The same
+                keys are used by the job service, so entries are shared.
             _primary_cutoff: Known valid upper bound on the primary
                 objective, forwarded to the backend for the primary solve
                 only (the parallel sweep seeds speculative solves with it).
@@ -124,6 +131,15 @@ class Synthesizer:
             InfeasibleError: When no system satisfies the constraints.
             SynthesisError: On extraction/validation failures.
         """
+        cache_key: Optional[str] = None
+        if cache is not None:
+            cache_key = self._fingerprint(
+                "synthesize", cost_cap=cost_cap, deadline=deadline,
+                objective=objective, minimize_secondary=minimize_secondary,
+            )
+            hit = cache.get_design(cache_key, self.graph, self.library)
+            if hit is not None:
+                return hit
         options = dataclasses.replace(
             self.base_options,
             cost_cap=cost_cap,
@@ -179,7 +195,26 @@ class Synthesizer:
                     "internal error: synthesized design fails independent "
                     "validation:\n  " + "\n  ".join(problems)
                 )
+        if cache is not None and cache_key is not None:
+            cache.put_design(cache_key, design)
         return design
+
+    def _fingerprint(self, kind: str, **params) -> str:
+        """Content address of a request against this synthesizer's config.
+
+        Shares the key space with :mod:`repro.service.jobs`, so designs
+        solved through the HTTP service and through this API hit each
+        other's cache entries.  Imported lazily: the service layer sits
+        above synthesis and must not be a hard dependency of it.
+        """
+        from repro.service.fingerprint import fingerprint_request
+
+        return fingerprint_request(
+            kind, self.graph, self.library,
+            solver=self.solver_name, solver_options=self.solver_options,
+            formulation=self.base_options, constraints=self.constraints,
+            **params,
+        )
 
     @staticmethod
     def _tightened(value: float) -> float:
@@ -252,6 +287,7 @@ class Synthesizer:
         cost_step: float = 1e-4,
         validate: bool = True,
         workers: int = 1,
+        cache: Optional["ResultCache"] = None,
     ) -> ParetoFront:
         """Enumerate all non-inferior designs, fastest first.
 
@@ -275,6 +311,10 @@ class Synthesizer:
                 identical to the serial sweep — the returned designs come
                 from hint-free solves at exactly the serial caps —
                 speculative probe solves only shorten the critical path.
+            cache: Optional :class:`~repro.service.cache.ResultCache`.
+                A hit returns the stored front without solving anything; a
+                miss sweeps normally and stores the whole front under the
+                request's content fingerprint (shared with the service).
 
         Returns:
             A :class:`~repro.synthesis.front.ParetoFront` — iterates and
@@ -282,12 +322,23 @@ class Synthesizer:
             return, and additionally carries the per-design cost caps and
             the sweep's merged solver telemetry.
         """
+        cache_key: Optional[str] = None
+        if cache is not None:
+            cache_key = self._fingerprint(
+                "sweep", max_designs=max_designs, cost_step=cost_step
+            )
+            hit = cache.get_front(cache_key, self.graph, self.library)
+            if hit is not None:
+                return hit
         if workers > 1:
             from repro.synthesis.parallel_sweep import parallel_pareto_sweep
 
-            return parallel_pareto_sweep(
+            front = parallel_pareto_sweep(
                 self, max_designs, cost_step, validate, workers
             )
+            if cache is not None and cache_key is not None:
+                cache.put_front(cache_key, front)
+            return front
         tracer = self._sweep_tracer()
         sweep_stats = SolveStats()
         front: List[Design] = []
@@ -317,7 +368,10 @@ class Synthesizer:
                 break
         if not front:
             raise SynthesisError("pareto sweep produced no designs (infeasible instance?)")
-        return ParetoFront(front, caps=caps, stats=sweep_stats)
+        result = ParetoFront(front, caps=caps, stats=sweep_stats)
+        if cache is not None and cache_key is not None:
+            cache.put_front(cache_key, result)
+        return result
 
     def pareto_sweep_by_deadline(
         self,
@@ -399,8 +453,8 @@ def synthesize(graph: TaskGraph, library: TechnologyLibrary, **opts) -> Design:
     configuration keys (``style``, ``solver``, ``solver_options``,
     ``options``, ``constraints``, ``incremental``) go to the
     :class:`Synthesizer` constructor, everything else (``cost_cap``,
-    ``deadline``, ``objective``, ``minimize_secondary``, ``validate``)
-    to :meth:`Synthesizer.synthesize`.
+    ``deadline``, ``objective``, ``minimize_secondary``, ``validate``,
+    ``cache``) to :meth:`Synthesizer.synthesize`.
 
     Example::
 

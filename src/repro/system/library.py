@@ -143,3 +143,67 @@ class TechnologyLibrary:
         """Transfer duration for ``volume`` units (remote or local)."""
         rate = self.remote_delay if remote else self.local_delay
         return rate * volume
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible document (the CLI problem file's ``library`` block).
+
+        The inverse of :meth:`from_dict`; also the canonical form the
+        service layer fingerprints, so the schema is deliberately plain:
+        only JSON scalars, lists, and string-keyed mappings.
+        """
+        return {
+            "types": [
+                {
+                    "name": ptype.name,
+                    "cost": ptype.cost,
+                    "exec_times": dict(ptype.exec_times),
+                    **(
+                        {"memory_capacity": ptype.memory_capacity}
+                        if ptype.memory_capacity is not None
+                        else {}
+                    ),
+                }
+                for ptype in self.types
+            ],
+            "instances_per_type": (
+                dict(self.instances_per_type)
+                if isinstance(self.instances_per_type, Mapping)
+                else self.instances_per_type
+            ),
+            "link_cost": self.link_cost,
+            "local_delay": self.local_delay,
+            "remote_delay": self.remote_delay,
+            "bus_cost": self.bus_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TechnologyLibrary":
+        """Build a library from a :meth:`to_dict`-shaped document.
+
+        This is the parser behind the CLI problem file's ``library`` block
+        and the HTTP API's inline problems.
+
+        Raises:
+            SystemModelError: On missing/malformed ``types``.
+        """
+        try:
+            types = tuple(
+                ProcessorType(
+                    entry["name"],
+                    entry["cost"],
+                    entry.get("exec_times", {}),
+                    memory_capacity=entry.get("memory_capacity"),
+                )
+                for entry in data["types"]
+            )
+        except (KeyError, TypeError) as exc:
+            raise SystemModelError(f"malformed library document: {exc}") from exc
+        return cls(
+            types=types,
+            instances_per_type=data.get("instances_per_type", 2),
+            link_cost=float(data.get("link_cost", 1.0)),
+            local_delay=float(data.get("local_delay", 0.0)),
+            remote_delay=float(data.get("remote_delay", 1.0)),
+            bus_cost=float(data.get("bus_cost", 0.0)),
+        )

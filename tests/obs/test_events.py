@@ -23,6 +23,11 @@ GOLDEN_SCHEMA = {
     "sweep_step": {"index", "kind", "feasible"},
     "phase": {"name", "seconds"},
     "solve_done": {"status", "objective", "best_bound", "nodes", "workers", "seconds"},
+    "cache_hit": {"key", "kind"},
+    "cache_miss": {"key", "kind"},
+    "cache_store": {"key", "kind", "bytes"},
+    "cache_evict": {"key", "bytes"},
+    "job_status": {"job", "status", "kind"},
 }
 
 

@@ -1,0 +1,168 @@
+"""End-to-end tests of the HTTP API on an in-process ephemeral-port server."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.http import create_server
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = create_server(host="127.0.0.1", port=0, workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.close()
+    thread.join(timeout=10)
+
+
+def call(server, method, path, body=None):
+    """One HTTP round trip; returns (status, decoded JSON body)."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        server.url + path, data=data, method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=90) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestSynthesize:
+    def test_wait_returns_finished_design(self, server):
+        status, doc = call(server, "POST", "/synthesize", {
+            "problem": "example1", "solver": "highs", "wait": True,
+        })
+        assert status == 200
+        assert doc["status"] == "done"
+        assert doc["result"]["makespan"] == 2.5
+        assert doc["result"]["cost"] > 0
+
+    def test_resubmit_hits_cache(self, server):
+        body = {"problem": "example1", "solver": "highs",
+                "objective": "min_cost", "wait": True}
+        first_status, first = call(server, "POST", "/synthesize", body)
+        assert first_status == 200 and first["status"] == "done"
+        _, stats_before = call(server, "GET", "/stats")
+        second_status, second = call(server, "POST", "/synthesize", body)
+        _, stats_after = call(server, "GET", "/stats")
+        assert second_status == 200
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+        assert stats_after["solves"] == stats_before["solves"]
+        assert stats_after["cache"]["hits"] > stats_before["cache"]["hits"]
+
+    def test_submit_without_wait_returns_202_then_completes(self, server):
+        status, doc = call(server, "POST", "/synthesize", {
+            "problem": "example1", "solver": "highs", "deadline": 4.0,
+        })
+        assert status in (200, 202)
+        job_id = doc["job"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            status, doc = call(server, "GET", f"/jobs/{job_id}")
+            if doc["status"] not in ("queued", "running"):
+                break
+            time.sleep(0.05)
+        assert status == 200
+        assert doc["status"] == "done"
+
+
+class TestSweep:
+    def test_sweep_returns_front_document(self, server):
+        status, doc = call(server, "POST", "/sweep", {
+            "problem": "example1", "solver": "highs", "max_designs": 3,
+            "wait": True,
+        })
+        assert status == 200
+        assert doc["status"] == "done"
+        front = doc["result"]
+        assert len(front["designs"]) == 3
+        assert len(front["caps"]) == 3
+        costs = [design["cost"] for design in front["designs"]]
+        assert costs == sorted(costs, reverse=True)  # fastest-first
+
+    def test_cancel_running_sweep(self, server):
+        status, doc = call(server, "POST", "/sweep", {
+            "problem": "example1", "solver": "bozo",
+        })
+        assert status == 202
+        job_id = doc["job"]
+        status, body = call(server, "DELETE", f"/jobs/{job_id}")
+        assert status == 200 and body["cancel_requested"] is True
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            status, doc = call(server, "GET", f"/jobs/{job_id}")
+            if doc["status"] not in ("queued", "running"):
+                break
+            time.sleep(0.05)
+        assert doc["status"] == "cancelled"
+
+
+class TestErrors:
+    def test_unknown_job_404(self, server):
+        status, doc = call(server, "GET", "/jobs/nope")
+        assert status == 404 and "unknown job" in doc["error"]
+
+    def test_cancel_unknown_job_404(self, server):
+        status, _ = call(server, "DELETE", "/jobs/nope")
+        assert status == 404
+
+    def test_unknown_route_404(self, server):
+        status, _ = call(server, "GET", "/frobnicate")
+        assert status == 404
+        status, _ = call(server, "POST", "/frobnicate", {})
+        assert status == 404
+
+    def test_bad_json_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/synthesize", data=b"{nope", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_missing_problem_400(self, server):
+        status, doc = call(server, "POST", "/synthesize", {"solver": "highs"})
+        assert status == 400 and "problem" in doc["error"]
+
+    def test_unknown_builtin_problem_400(self, server):
+        status, _ = call(server, "POST", "/synthesize", {"problem": "example9"})
+        assert status == 400
+
+    def test_bad_style_400(self, server):
+        status, _ = call(server, "POST", "/synthesize", {
+            "problem": "example1", "style": "mesh",
+        })
+        assert status == 400
+
+    def test_bad_number_400(self, server):
+        status, _ = call(server, "POST", "/synthesize", {
+            "problem": "example1", "cost_cap": "cheap",
+        })
+        assert status == 400
+
+
+class TestInlineProblems:
+    def test_inline_graph_and_library(self, server, tiny_graph, tiny_library):
+        from repro.taskgraph.serialization import graph_to_dict
+
+        status, doc = call(server, "POST", "/synthesize", {
+            "problem": {
+                "graph": graph_to_dict(tiny_graph),
+                "library": tiny_library.to_dict(),
+            },
+            "solver": "highs",
+            "wait": True,
+        })
+        assert status == 200
+        assert doc["status"] == "done"
+        assert set(doc["result"]["mapping"]) == {"A", "B"}

@@ -76,3 +76,24 @@ class TestHighs:
         solution = HighsSolver().solve(model)
         assert solution.status is SolveStatus.OPTIMAL
         assert solution.objective == pytest.approx(0.0)
+
+
+class TestPresolveFallback:
+    def test_presolve_solve_error_retries_without_presolve(self):
+        """HiGHS aborts with an internal "Solve error" on this instance
+        when its presolve is on (scipy 1.17 / seed pinned by hypothesis);
+        the backend must fall back to a no-presolve solve and still return
+        the optimum instead of UNKNOWN."""
+        from repro.core.designer import DesignerConstraints
+        from repro.synthesis.synthesizer import Synthesizer
+        from repro.system.generators import random_library
+        from repro.taskgraph.generators import layered_random
+
+        graph = layered_random(5, 2, seed=314)
+        library = random_library(graph, seed=314, num_types=2)
+        design = Synthesizer(
+            graph, library, solver="highs",
+            constraints=DesignerConstraints().limit_processors(1),
+        ).synthesize()
+        assert design.cost == pytest.approx(6.0, abs=1e-4)
+        assert design.violations() == []
