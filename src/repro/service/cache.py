@@ -23,17 +23,21 @@ is attached, mirrored as ``cache_*`` trace events
 (:mod:`repro.obs.events`) so a service's cache behaviour lands in the
 same JSONL stream as its solves.
 
-Thread safety: every public method takes one internal lock; the job
-manager calls into the cache from its worker threads concurrently.
+Thread safety: the internal lock guards only the in-memory structures
+and counters; disk I/O and JSON (de)serialization happen outside it, so
+memory-tier hits on one thread never wait on another thread's disk
+latency.  Disk writes stay safe without the lock because they go through
+a unique temp file plus an atomic rename.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.obs.sinks import Tracer, make_tracer
 
@@ -88,17 +92,21 @@ class ResultCache:
             if encoded is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                self._emit("cache_hit", key=key, kind=self._kind_of(encoded))
-                return json.loads(encoded)
-            encoded = self._read_disk(key)
-            if encoded is not None:
-                self._admit(key, encoded)
+        if encoded is not None:
+            self._emit("cache_hit", key=key, kind=self._kind_of(encoded))
+            return json.loads(encoded)
+        encoded = self._read_disk(key)
+        if encoded is not None:
+            with self._lock:
+                evicted = self._admit(key, encoded)
                 self.hits += 1
-                self._emit("cache_hit", key=key, kind=self._kind_of(encoded))
-                return json.loads(encoded)
+            self._emit("cache_hit", key=key, kind=self._kind_of(encoded))
+            self._emit_evictions(evicted)
+            return json.loads(encoded)
+        with self._lock:
             self.misses += 1
-            self._emit("cache_miss", key=key, kind="unknown")
-            return None
+        self._emit("cache_miss", key=key, kind="unknown")
+        return None
 
     def put(self, key: str, kind: str, payload: Dict[str, Any]) -> None:
         """Store ``payload`` (a JSON-compatible dict) under ``key``.
@@ -110,16 +118,19 @@ class ResultCache:
         """
         document = {"kind": kind, "fingerprint": key, "payload": payload}
         encoded = json.dumps(document).encode("utf-8")
+        self._write_disk(key, encoded)
         with self._lock:
-            self._write_disk(key, encoded)
-            self._admit(key, encoded)
+            evicted = self._admit(key, encoded)
             self.stores += 1
-            self._emit("cache_store", key=key, kind=kind, bytes=len(encoded))
+        self._emit("cache_store", key=key, kind=kind, bytes=len(encoded))
+        self._emit_evictions(evicted)
 
     def __contains__(self, key: str) -> bool:
         """True when ``key`` is resident in memory or on disk (no LRU touch)."""
         with self._lock:
-            return key in self._entries or self._disk_path(key).exists()
+            if key in self._entries:
+                return True
+        return self._disk_path(key).exists()
 
     def __len__(self) -> int:
         """Number of entries resident in the memory tier."""
@@ -183,19 +194,29 @@ class ResultCache:
         self.put(key, "front", front.to_dict())
 
     # -- internals -----------------------------------------------------------
-    def _admit(self, key: str, encoded: bytes) -> None:
-        """Insert into the memory tier and evict LRU entries over budget."""
+    def _admit(self, key: str, encoded: bytes) -> List[Tuple[str, int]]:
+        """Insert into the memory tier and evict LRU entries over budget.
+
+        Caller holds the lock.  Returns ``(key, bytes)`` per eviction so
+        the caller can emit trace events after releasing it.
+        """
+        evicted: List[Tuple[str, int]] = []
         if key in self._entries:
             self._bytes -= len(self._entries.pop(key))
         if len(encoded) > self.byte_budget:
-            return  # oversized: disk tier only
+            return evicted  # oversized: disk tier only
         self._entries[key] = encoded
         self._bytes += len(encoded)
         while self._bytes > self.byte_budget and self._entries:
-            evicted_key, evicted = self._entries.popitem(last=False)
-            self._bytes -= len(evicted)
+            evicted_key, evicted_encoded = self._entries.popitem(last=False)
+            self._bytes -= len(evicted_encoded)
             self.evictions += 1
-            self._emit("cache_evict", key=evicted_key, bytes=len(evicted))
+            evicted.append((evicted_key, len(evicted_encoded)))
+        return evicted
+
+    def _emit_evictions(self, evicted: List[Tuple[str, int]]) -> None:
+        for evicted_key, size in evicted:
+            self._emit("cache_evict", key=evicted_key, bytes=size)
 
     @staticmethod
     def _kind_of(encoded: bytes) -> str:
@@ -227,7 +248,10 @@ class ResultCache:
         path = self._disk_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Write-then-rename so concurrent readers never see a torn file.
-        tmp = path.with_suffix(".json.tmp")
+        # The temp name is per-writer: writes run outside the cache lock,
+        # and two threads storing the same key must not share a temp file
+        # (one's rename would pull it out from under the other).
+        tmp = path.parent / f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
         tmp.write_bytes(encoded)
         tmp.replace(path)
 

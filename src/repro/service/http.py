@@ -190,17 +190,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 raise BadRequest("'priority' must be an integer")
             deadline_seconds = _number(body, "deadline_seconds")
             wait = body.get("wait", False)
+            if isinstance(wait, bool):
+                wait_timeout = MAX_WAIT_SECONDS if wait else None
+            elif isinstance(wait, (int, float)):
+                wait_timeout = min(max(float(wait), 0.0), MAX_WAIT_SECONDS)
+            else:
+                raise BadRequest(
+                    "'wait' must be a boolean or a number of seconds"
+                )
         except BadRequest as exc:
             self._send_json(400, {"error": str(exc)})
             return
         job = self.manager.submit(
             request, priority=priority, deadline_seconds=deadline_seconds
         )
-        if wait:
-            timeout = MAX_WAIT_SECONDS if wait is True else min(
-                float(wait), MAX_WAIT_SECONDS
-            )
-            job.wait(timeout)
+        if wait_timeout is not None:
+            job.wait(wait_timeout)
         self._send_json(200 if job.finished else 202, job.snapshot())
 
     def _job_state(self, job_id: str) -> None:

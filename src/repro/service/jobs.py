@@ -35,8 +35,9 @@ import heapq
 import itertools
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.core.options import FormulationOptions, Objective
 from repro.errors import (
@@ -293,6 +294,12 @@ class JobManager:
         retries: Extra attempts after a transient backend failure.
         retry_backoff: Base backoff in seconds; attempt ``k`` waits
             ``retry_backoff * 2**k`` (interrupted early by cancellation).
+        max_finished_jobs: Retention cap on *terminal* jobs.  Once more
+            than this many jobs have finished, the oldest-finished ones
+            (and their result documents) are dropped from the job table,
+            so a long-running service does not grow without bound;
+            ``GET /jobs/<id>`` answers 404 for an evicted job.  Results
+            themselves stay available through the cache.
         trace: Optional :class:`~repro.obs.sinks.TraceSink` receiving
             ``job_status`` events at every state transition.
     """
@@ -303,13 +310,17 @@ class JobManager:
         cache: Optional[ResultCache] = None,
         retries: int = 2,
         retry_backoff: float = 0.1,
+        max_finished_jobs: int = 256,
         trace=None,
     ) -> None:
         if workers < 1:
             raise ValueError("JobManager needs at least one worker thread")
+        if max_finished_jobs < 0:
+            raise ValueError("max_finished_jobs must be nonnegative")
         self.cache = cache
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.max_finished_jobs = max_finished_jobs
         self._tracer: Optional[Tracer] = make_tracer(trace)
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
@@ -317,6 +328,8 @@ class JobManager:
         self._seq = itertools.count()
         self._ids = itertools.count(1)
         self._jobs: Dict[str, Job] = {}
+        #: Terminal job ids in finish order, for retention eviction.
+        self._finished_order: Deque[str] = deque()
         #: fingerprint -> in-flight (queued or running) job, for dedup.
         self._inflight: Dict[str, Job] = {}
         self._shutdown = False
@@ -488,8 +501,9 @@ class JobManager:
             job.attempts = attempt + 1
             with self._lock:
                 self.solves += 1
+            solver_options, deadline_limited = self._job_solver_options(job)
             try:
-                result = request.run(self._job_solver_options(job))
+                result = request.run(solver_options)
             except CancelledError:
                 status = CANCELLED if job.cancel_requested else FAILED
                 error = ("cancelled" if job.cancel_requested
@@ -520,20 +534,31 @@ class JobManager:
             break
 
         document = request.document_of(result)
-        if self.cache is not None:
+        # The fingerprint excludes deadline_seconds (it is a property of
+        # the submission, not of the problem), so a result produced under
+        # a deadline-tightened time_limit may be a truncated incumbent
+        # that a deadline-free solve would improve on.  Caching it would
+        # serve the truncated answer to every future identical request —
+        # so deadline-limited results are never stored.
+        if self.cache is not None and not deadline_limited:
             request.store(self.cache, job.fingerprint, result)
         with self._lock:
             job.result = result
             job.document = document
             self._finalize(job, DONE)
 
-    def _job_solver_options(self, job: Job) -> SolverOptions:
+    def _job_solver_options(self, job: Job) -> "tuple[SolverOptions, bool]":
         """The request's solver options plus the job layer's hooks.
 
         ``should_stop`` observes both the cancel flag and the wall-clock
         deadline (a sweep is many solves — the per-solve time limit alone
         cannot bound the whole job); the remaining budget also tightens
         ``time_limit`` for the next solve.
+
+        Returns the merged options and whether the deadline tightened
+        ``time_limit`` below the request's own limit — in which case the
+        result may be deadline-truncated and must not be cached (the
+        fingerprint does not include the deadline).
         """
         base = job.request.solver_options or SolverOptions()
 
@@ -542,11 +567,14 @@ class JobManager:
 
         remaining = job.remaining_seconds()
         time_limit = base.time_limit
-        if remaining is not None:
-            time_limit = min(time_limit, max(remaining, 0.0))
-        return dataclasses.replace(
+        deadline_limited = False
+        if remaining is not None and remaining < time_limit:
+            time_limit = max(remaining, 0.0)
+            deadline_limited = True
+        options = dataclasses.replace(
             base, should_stop=should_stop, time_limit=time_limit
         )
+        return options, deadline_limited
 
     def _finalize(self, job: Job, status: str, error: Optional[str] = None) -> None:
         """Move a job to a terminal state.  Caller holds the lock."""
@@ -559,6 +587,14 @@ class JobManager:
             del self._inflight[job.fingerprint]
         self._emit_status(job)
         job._finished.set()
+        # Retention: drop the oldest-finished jobs past the cap so a
+        # long-running service's job table (and the result documents it
+        # pins) stays bounded.  Callers already holding the Job object
+        # keep a usable reference; only the id lookup goes away.
+        self._finished_order.append(job.id)
+        while len(self._finished_order) > self.max_finished_jobs:
+            evicted = self._finished_order.popleft()
+            self._jobs.pop(evicted, None)
 
     def _emit_status(self, job: Job) -> None:
         if self._tracer is not None:

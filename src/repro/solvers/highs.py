@@ -73,13 +73,22 @@ class HighsSolver(Solver):
             # HiGHS occasionally aborts with "Solve error" (status 4) on
             # instances its presolve mangles; the same model solves fine
             # with presolve off, so retry once before reporting UNKNOWN.
-            result = optimize.milp(
-                c=form.c,
-                constraints=constraints or None,
-                bounds=bounds,
-                integrality=integrality,
-                options={**options, "presolve": False},
-            )
+            # The retry runs on whatever is left of the configured time
+            # budget (a status-4 abort near the limit must not double the
+            # wall-clock spend); with nothing left, skip it.
+            retry_options: Dict[str, object] = {**options, "presolve": False}
+            remaining = math.inf
+            if math.isfinite(self.options.time_limit):
+                remaining = self.options.time_limit - (time.monotonic() - start)
+                retry_options["time_limit"] = max(remaining, 0.0)
+            if remaining > 0:
+                result = optimize.milp(
+                    c=form.c,
+                    constraints=constraints or None,
+                    bounds=bounds,
+                    integrality=integrality,
+                    options=retry_options,
+                )
         elapsed = time.monotonic() - start
 
         status = {

@@ -112,11 +112,11 @@ class TestTraceEvents:
         cache.get("aa" * 32)                      # hit
         cache.put("bb" * 32, "front", doc("y", pad=300))  # store + evict
         types = [event.type for event in sink.events]
-        # The evict fires during the second put's admission, before its
-        # store event is emitted.
+        # Events are emitted after the lock is released: the second put's
+        # store event first, then the eviction its admission caused.
         assert types == [
-            "cache_miss", "cache_store", "cache_hit", "cache_evict",
-            "cache_store",
+            "cache_miss", "cache_store", "cache_hit", "cache_store",
+            "cache_evict",
         ]
         assert check_schema(sink.events) == []
         hit = next(e for e in sink.events if e.type == "cache_hit")

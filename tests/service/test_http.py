@@ -150,6 +150,12 @@ class TestErrors:
         })
         assert status == 400
 
+    def test_bad_wait_400(self, server):
+        status, doc = call(server, "POST", "/synthesize", {
+            "problem": "example1", "wait": "yes",
+        })
+        assert status == 400 and "'wait'" in doc["error"]
+
 
 class TestInlineProblems:
     def test_inline_graph_and_library(self, server, tiny_graph, tiny_library):

@@ -17,6 +17,7 @@ from repro.service.jobs import (
     SweepRequest,
     SynthesizeRequest,
 )
+from repro.solvers.base import SolverOptions
 from repro.solvers.highs import HighsSolver
 from repro.solvers.registry import _REGISTRY, register_solver
 
@@ -217,6 +218,50 @@ class TestDeadlinesAndRetries:
             assert job.error == "deadline exceeded"
             assert CountingSolver.calls == 0
 
+    def test_deadline_limited_result_is_not_cached(
+        self, fake_solvers, ex1_graph, ex1_library
+    ):
+        """deadline_seconds is excluded from the fingerprint, so a result
+        solved under a deadline-tightened time_limit (possibly a truncated
+        incumbent) must never be stored under the deadline-free key."""
+        cache = ResultCache()
+        with JobManager(workers=1, cache=cache) as manager:
+            limited = manager.submit(
+                SynthesizeRequest(ex1_graph, ex1_library, solver="counting"),
+                deadline_seconds=120.0,  # tightens the default inf time_limit
+            )
+            assert limited.wait(60)
+            assert limited.status == DONE
+            assert cache.stats()["stores"] == 0
+            calls = CountingSolver.calls
+
+            fresh = manager.submit(
+                SynthesizeRequest(ex1_graph, ex1_library, solver="counting")
+            )
+            assert fresh.wait(60)
+            assert fresh.status == DONE
+            assert not fresh.cached          # no poisoned hit: it re-solved
+            assert CountingSolver.calls > calls
+            assert cache.stats()["stores"] == 1
+
+    def test_generous_deadline_does_not_disable_caching(
+        self, fake_solvers, ex1_graph, ex1_library
+    ):
+        """A deadline looser than the request's own finite time_limit
+        cannot change the solve, so its result is still cached."""
+        cache = ResultCache()
+        with JobManager(workers=1, cache=cache) as manager:
+            job = manager.submit(
+                SynthesizeRequest(
+                    ex1_graph, ex1_library, solver="counting",
+                    solver_options=SolverOptions(time_limit=60.0),
+                ),
+                deadline_seconds=3600.0,
+            )
+            assert job.wait(60)
+            assert job.status == DONE
+            assert cache.stats()["stores"] == 1
+
     def test_transient_failures_retry_with_backoff(
         self, fake_solvers, ex1_graph, ex1_library
     ):
@@ -304,6 +349,27 @@ class TestSchedulingAndStats:
             assert snapshot["kind"] == "synthesize"
             assert len(snapshot["fingerprint"]) == 64
             assert snapshot["result"]["makespan"] == job.result.makespan
+
+    def test_finished_job_retention_cap(
+        self, fake_solvers, ex1_graph, ex1_library
+    ):
+        """Terminal jobs past max_finished_jobs are dropped from the job
+        table (oldest-finished first) so the table stays bounded."""
+        with JobManager(workers=1, cache=None, max_finished_jobs=2) as manager:
+            jobs = [
+                manager.submit(
+                    SynthesizeRequest(ex1_graph, ex1_library,
+                                      solver="counting", cost_cap=cap)
+                )
+                for cap in (7.0, 8.0, 9.0)
+            ]
+            assert all(job.wait(60) for job in jobs)
+            with pytest.raises(KeyError):
+                manager.get(jobs[0].id)
+            assert manager.get(jobs[1].id) is jobs[1]
+            assert manager.get(jobs[2].id) is jobs[2]
+            # The caller's own reference stays fully usable.
+            assert jobs[0].status == DONE and jobs[0].result is not None
 
     def test_submit_after_shutdown_raises(self, ex1_graph, ex1_library):
         manager = JobManager(workers=1)
