@@ -62,7 +62,11 @@ def market_split(rows: int, binaries: int, seed: int) -> Model:
 
 
 def _options(workers: int) -> SolverOptions:
-    return SolverOptions(workers=workers, branching="most_fractional")
+    # clamp_workers=False: the bench measures the requested pool even on
+    # boxes with fewer cores (the clamp would silently serialize it).
+    return SolverOptions(
+        workers=workers, branching="most_fractional", clamp_workers=False
+    )
 
 
 def bench_parallel_bnb_identity_and_speedup(benchmark):

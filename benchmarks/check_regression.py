@@ -1,0 +1,111 @@
+"""Perf-regression gate over the committed solver benchmark baselines.
+
+Reads the freshly re-recorded ``BENCH_solvers.json`` (the benches rewrite
+it in place) and compares the search-effort counters of ``bozo_example1``
+against the *committed* copy of the same file from git.  Wall-clock times
+are machine-dependent noise on shared CI runners, so the gate watches the
+deterministic counters instead: LP pivots and branch-and-bound nodes.
+Either regressing more than ``TOLERANCE`` (20%) over the committed
+baseline fails the build.
+
+Usage (CI runs exactly this)::
+
+    python -m pytest benchmarks/bench_solvers.py --benchmark-only -q
+    python benchmarks/check_regression.py            # compares vs git HEAD
+    python benchmarks/check_regression.py --baseline old.json new.json
+
+Exit status 0 = within tolerance, 1 = regression, 2 = baseline missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS = REPO_ROOT / "BENCH_solvers.json"
+
+#: Counters gated per benchmark entry: deterministic measures of search
+#: effort (never wall seconds).  Adding an entry here makes it load-bearing.
+GATED = {
+    "bozo_example1": ("nodes", "lp_pivots"),
+    "bozo_example1_cold_vs_warm": ("cold_pivots", "warm_pivots"),
+}
+
+TOLERANCE = 0.20
+
+
+def committed_baseline() -> dict:
+    """The committed BENCH_solvers.json from git HEAD."""
+    proc = subprocess.run(
+        ["git", "show", "HEAD:BENCH_solvers.json"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        raise FileNotFoundError(
+            f"no committed BENCH_solvers.json at HEAD: {proc.stderr.strip()}"
+        )
+    return json.loads(proc.stdout)
+
+
+def check(baseline: dict, current: dict) -> list:
+    """All regressions beyond tolerance, as human-readable strings."""
+    problems = []
+    for bench, counters in GATED.items():
+        base_entry = baseline.get(bench)
+        entry = current.get(bench)
+        if base_entry is None:
+            continue  # new benchmark: nothing committed to regress against
+        if entry is None:
+            problems.append(f"{bench}: missing from current results")
+            continue
+        for counter in counters:
+            base = base_entry.get(counter)
+            value = entry.get(counter)
+            if base is None:
+                continue
+            if value is None:
+                problems.append(f"{bench}.{counter}: missing from current results")
+                continue
+            ceiling = base * (1.0 + TOLERANCE)
+            if value > ceiling:
+                problems.append(
+                    f"{bench}.{counter}: {value} exceeds committed baseline "
+                    f"{base} by more than {TOLERANCE:.0%} (ceiling {ceiling:.1f})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", nargs=2, metavar=("OLD", "NEW"),
+        help="compare two explicit JSON files instead of git HEAD vs worktree",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.baseline:
+            baseline = json.loads(Path(args.baseline[0]).read_text())
+            current = json.loads(Path(args.baseline[1]).read_text())
+        else:
+            baseline = committed_baseline()
+            current = json.loads(RESULTS.read_text())
+    except (OSError, ValueError, FileNotFoundError) as exc:
+        print(f"check_regression: cannot load baselines: {exc}", file=sys.stderr)
+        return 2
+    problems = check(baseline, current)
+    if problems:
+        print("perf regression beyond tolerance:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    gated = ", ".join(GATED)
+    print(f"perf gate OK ({gated}; tolerance {TOLERANCE:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -109,6 +109,7 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         synth = Synthesizer(
             graph, library, style=_style(args.style), solver=args.solver,
             solver_options=_solver_options(args, sink, workers=args.workers),
+            seed_incumbent=args.seed_incumbent,
         )
         design = synth.synthesize(
             cost_cap=args.cost_cap,
@@ -436,6 +437,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--trace", metavar="FILE", default=None,
                          help="stream structured solve events to this JSONL file "
                          "(inspect it with 'sos trace FILE')")
+    p_synth.add_argument("--seed-incumbent", action="store_true",
+                         help="seed the solver with a list-scheduling "
+                              "heuristic incumbent (same optimum, less tree)")
     p_synth.add_argument("--progress", action="store_true",
                          help="print rate-limited progress lines during the solve")
     p_synth.set_defaults(func=cmd_synthesize)

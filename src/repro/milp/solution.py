@@ -44,9 +44,18 @@ class SolveStats:
         fallbacks: LP solves that fell back to the dense tableau oracle.
         workers: Parallel workers used (0 for a purely serial run; merged
             records keep the maximum).
+        workers_requested: Worker count the caller asked for, before the
+            CPU-count clamp (0 when no parallel request was made; merged
+            records keep the maximum).  ``workers < workers_requested``
+            means the clamp engaged.
         subtrees_dispatched: Branch-and-bound subtrees handed to workers.
         incumbent_broadcasts: Times a worker lowered the shared incumbent
             objective that every other worker prunes against.
+        seeded_incumbent: 1 when a caller-supplied incumbent seed was
+            validated and adopted before the root node, else 0 (merged
+            records sum, so a sweep counts its seeded solves).
+        rc_fixed_bounds: Integral-variable bounds tightened by
+            reduced-cost fixing, accumulated over every re-tightening.
         phase_seconds: Wall-clock seconds per named phase (``"presolve"``,
             ``"lp"``, ``"search"``, ``"build"``, ...).  In a parallel run
             the per-phase totals are summed over all workers, so they can
@@ -60,8 +69,11 @@ class SolveStats:
     warm_start_hits: int = 0
     fallbacks: int = 0
     workers: int = 0
+    workers_requested: int = 0
     subtrees_dispatched: int = 0
     incumbent_broadcasts: int = 0
+    seeded_incumbent: int = 0
+    rc_fixed_bounds: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -84,8 +96,11 @@ class SolveStats:
         self.warm_start_hits += other.warm_start_hits
         self.fallbacks += other.fallbacks
         self.workers = max(self.workers, other.workers)
+        self.workers_requested = max(self.workers_requested, other.workers_requested)
         self.subtrees_dispatched += other.subtrees_dispatched
         self.incumbent_broadcasts += other.incumbent_broadcasts
+        self.seeded_incumbent += other.seeded_incumbent
+        self.rc_fixed_bounds += other.rc_fixed_bounds
         for name, seconds in other.phase_seconds.items():
             self.add_phase(name, seconds)
         return self
@@ -100,8 +115,11 @@ class SolveStats:
             "warm_start_hits": self.warm_start_hits,
             "fallbacks": self.fallbacks,
             "workers": self.workers,
+            "workers_requested": self.workers_requested,
             "subtrees_dispatched": self.subtrees_dispatched,
             "incumbent_broadcasts": self.incumbent_broadcasts,
+            "seeded_incumbent": self.seeded_incumbent,
+            "rc_fixed_bounds": self.rc_fixed_bounds,
             "phase_seconds": dict(self.phase_seconds),
         }
 
@@ -115,8 +133,9 @@ class SolveStats:
         stats = cls()
         for name in (
             "nodes", "lp_solves", "lp_pivots", "warm_starts",
-            "warm_start_hits", "fallbacks", "workers",
+            "warm_start_hits", "fallbacks", "workers", "workers_requested",
             "subtrees_dispatched", "incumbent_broadcasts",
+            "seeded_incumbent", "rc_fixed_bounds",
         ):
             setattr(stats, name, int(data.get(name, 0)))
         phases = data.get("phase_seconds") or {}
@@ -139,12 +158,18 @@ class SolveStats:
             )
         if self.fallbacks:
             parts.append(f"fallbacks={self.fallbacks}")
+        if self.seeded_incumbent:
+            parts.append("seeded")
+        if self.rc_fixed_bounds:
+            parts.append(f"rc_fixed={self.rc_fixed_bounds}")
         if self.workers:
             parts.append(
                 f"workers={self.workers}"
                 f" subtrees={self.subtrees_dispatched}"
                 f" broadcasts={self.incumbent_broadcasts}"
             )
+        if self.workers_requested > max(self.workers, 1):
+            parts.append(f"workers_requested={self.workers_requested} (clamped)")
         for name in sorted(self.phase_seconds):
             parts.append(f"{name}={self.phase_seconds[name]:.3f}s")
         return ", ".join(parts)

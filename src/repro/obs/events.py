@@ -36,6 +36,8 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "lp_solved": frozenset({"pivots", "status", "warm", "fallback", "seconds"}),
     # A strictly-improving integral incumbent was adopted.
     "incumbent_found": frozenset({"objective", "node", "source"}),
+    # Reduced-cost fixing tightened integral-variable bounds tree-wide.
+    "bounds_fixed": frozenset({"node", "count"}),
     # The parallel driver shipped one subtree to a worker.
     "subtree_dispatched": frozenset({"subtree", "node", "bound"}),
     # A worker lowered the shared incumbent objective bound.

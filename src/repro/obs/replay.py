@@ -89,6 +89,11 @@ def _counters_for_worker(events: List[TraceEvent]) -> SolveStats:
             stats.add_phase(str(event.data["name"]), float(event.data["seconds"]))
         elif event.type == "subtree_dispatched":
             stats.subtrees_dispatched += 1
+        elif event.type == "incumbent_found":
+            if event.data.get("source") == "seed":
+                stats.seeded_incumbent += 1
+        elif event.type == "bounds_fixed":
+            stats.rc_fixed_bounds += int(event.data["count"])
     return stats
 
 
@@ -114,6 +119,7 @@ def _replay_run(run: List[TraceEvent]) -> SolveStats:
     done = next((e for e in reversed(run) if e.type == "solve_done"), None)
     if done is not None:
         stats.workers = int(done.data.get("workers", 0))
+        stats.workers_requested = int(done.data.get("workers_requested", 0))
         if stats.nodes == 0 and stats.lp_solves == 0:
             # Coarse backend (HiGHS): no per-node stream; trust the summary.
             stats.nodes = int(done.data.get("nodes", 0))

@@ -41,10 +41,12 @@ from repro.taskgraph.serialization import graph_to_dict
 FINGERPRINT_VERSION = 1
 
 #: SolverOptions fields that can change the *returned solution* (bounds,
-#: limits, tie-breaking).  Fields that provably cannot — ``workers``
-#: (documented byte-identical), ``trace``/``on_progress`` (observation
-#: only), ``presolve``/``warm_start`` (optimum-preserving) — are left out
-#: so equivalent requests share cache entries.
+#: limits, tie-breaking).  ``incumbent`` and ``rc_fixing`` are listed even
+#: though both are optimum-preserving by design: an incumbent changes
+#: which alternative optimum the tree visits first (and a *wrong* seed is
+#: rejected, but a tie-valued one can win the adoption tie-break), and
+#: reduced-cost fixing changes pruning order the same way, so cached
+#: vertices may legitimately differ.
 _SOLVER_FIELDS = (
     "time_limit",
     "gap_tolerance",
@@ -53,7 +55,33 @@ _SOLVER_FIELDS = (
     "node_selection",
     "branching",
     "cutoff",
+    "incumbent",
+    "rc_fixing",
     "seed",
+)
+
+#: SolverOptions fields that provably cannot change the returned solution
+#: — ``workers``/``frontier_target``/``clamp_workers`` (documented
+#: byte-identical scheduling), ``trace``/``on_progress``/``verbose``/
+#: ``progress_interval`` (observation only), ``presolve``/``warm_start``/
+#: ``pricing_block_size`` (optimum-preserving numerics), ``should_stop``
+#: (external cancellation, surfaces as an *aborted* result that is never
+#: cached).  Left out of the digest so equivalent requests share cache
+#: entries.  Together with ``_SOLVER_FIELDS`` this partitions every
+#: :class:`SolverOptions` field; a test enforces the partition so new
+#: fields must be classified explicitly.
+RESULT_INVARIANT_SOLVER_FIELDS = (
+    "presolve",
+    "warm_start",
+    "workers",
+    "frontier_target",
+    "verbose",
+    "trace",
+    "on_progress",
+    "progress_interval",
+    "should_stop",
+    "pricing_block_size",
+    "clamp_workers",
 )
 
 #: FormulationOptions fields baked into every model this request builds.
@@ -123,7 +151,16 @@ def _clean(value: Any) -> Any:
 
 def _solver_document(options: Optional[SolverOptions]) -> Dict[str, Any]:
     options = options or SolverOptions()
-    return {name: _clean(getattr(options, name)) for name in _SOLVER_FIELDS}
+    document = {}
+    for name in _SOLVER_FIELDS:
+        value = getattr(options, name)
+        if name == "incumbent" and value is not None:
+            # Any Mapping is accepted at the solver boundary; canonicalize
+            # to a plain sorted dict so insertion order and mapping type
+            # cannot leak into the digest.
+            value = {key: _clean(value[key]) for key in sorted(value)}
+        document[name] = _clean(value)
+    return document
 
 
 def _formulation_document(options: Optional[FormulationOptions]) -> Dict[str, Any]:

@@ -6,7 +6,7 @@ import abc
 import dataclasses
 import math
 import warnings
-from typing import Callable, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.milp.model import Model
 from repro.milp.solution import Solution
@@ -54,6 +54,22 @@ class SolverOptions:
             only discard provably non-improving subtrees; the optimal
             objective value is unchanged, though tie-broken alternative
             optima may differ from an unseeded run.  ``None`` disables.
+        incumbent: Optional warm incumbent: a mapping of variable *names*
+            to values describing a known feasible integral point (e.g. a
+            heuristic schedule from :mod:`repro.baselines`).  Bozo
+            validates it against the (presolved) model and, when it
+            checks out, adopts it before the root node so best-first
+            search prunes from node 0.  An infeasible or incomplete seed
+            is silently ignored — it can slow the search down but never
+            change the optimal objective; like ``cutoff``, tie-broken
+            alternative optima may differ from an unseeded run.
+        rc_fixing: Reduced-cost fixing mode (Bozo only).  ``"root"``
+            (default) derives tree-wide integral-variable bounds from the
+            root LP's reduced costs, re-tightened after every improved
+            incumbent, and prunes nodes whose branch bounds violate them;
+            pruning is provability-conservative (exactly like incumbent
+            pruning), so serial/parallel byte-identity is preserved.
+            ``"off"`` disables.
         seed: Tie-breaking seed for randomized choices.
         verbose: Deprecated — emit progress lines to stdout.  Use
             ``on_progress`` instead; ``verbose=True`` now substitutes a
@@ -79,6 +95,19 @@ class SolverOptions:
             Like ``trace``/``on_progress`` it never crosses a process
             boundary: parallel subtree workers run with it stripped, and
             the driving process polls it between pool operations.
+        pricing_block_size: Partial-pricing block width for the revised
+            simplex (Bozo only).  ``0`` picks automatically: one block
+            (classic full Dantzig pricing) for small models, fixed blocks
+            of 256 columns above 512 columns.  Pricing is deterministic
+            for any block size; the optimum never changes.
+        clamp_workers: Cap effective ``workers`` at ``os.cpu_count()``
+            (default on).  Requesting more processes than cores makes
+            parallel tree search *slower* than serial — the clamp falls
+            all the way back to the serial path on a single-core machine.
+            The requested count is recorded in
+            ``SolveStats.workers_requested`` either way.  ``False``
+            restores the literal request (tests force this to exercise
+            the pool on small machines).
     """
 
     time_limit: float = math.inf
@@ -92,12 +121,16 @@ class SolverOptions:
     workers: int = 1
     frontier_target: int = 0
     cutoff: Optional[float] = None
+    incumbent: Optional[Mapping[str, float]] = None
+    rc_fixing: str = "root"
     seed: int = 0
     verbose: bool = False
     trace: Optional[TraceSink] = None
     on_progress: Optional[Callable[[ProgressUpdate], None]] = None
     progress_interval: float = 1.0
     should_stop: Optional[Callable[[], bool]] = None
+    pricing_block_size: int = 0
+    clamp_workers: bool = True
 
 
 class Solver(abc.ABC):

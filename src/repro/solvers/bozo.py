@@ -39,9 +39,10 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -169,10 +170,12 @@ class _LPBackend:
         stats: SolveStats,
         sf: Optional[StandardFormLP] = None,
         tracer: Optional[Tracer] = None,
+        pricing_block_size: int = 0,
     ) -> None:
         self.form = form
         self.stats = stats
         self.tracer = tracer
+        self.pricing_block_size = pricing_block_size
         if sf is not None:
             self.sf: Optional[StandardFormLP] = sf
         else:
@@ -196,7 +199,11 @@ class _LPBackend:
         )
 
     def solve(
-        self, lb: np.ndarray, ub: np.ndarray, basis: Optional[Basis] = None
+        self,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: Optional[Basis] = None,
+        want_reduced_costs: bool = False,
     ) -> Tuple[LPResult, Optional[Basis]]:
         """Solve the relaxation under ``lb``/``ub``; returns (result, basis)."""
         start = time.monotonic()
@@ -215,7 +222,12 @@ class _LPBackend:
         self.sf.set_bounds(lb, ub)
         if basis is not None:
             self.stats.warm_starts += 1
-        result, final_basis, fell_back = solve_with_fallback(self.sf, basis)
+        result, final_basis, fell_back = solve_with_fallback(
+            self.sf,
+            basis,
+            pricing_block_size=self.pricing_block_size,
+            want_reduced_costs=want_reduced_costs,
+        )
         self.stats.lp_pivots += result.iterations
         if fell_back:
             self.stats.fallbacks += 1
@@ -284,6 +296,8 @@ class _TreeSearch:
         node_budget: int = 0,
         tracer: Optional[Tracer] = None,
         reporter: Optional[ProgressReporter] = None,
+        root_lp: Optional[Tuple[float, np.ndarray, np.ndarray]] = None,
+        fixed_bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
         self.options = options
         self.form = form
@@ -302,6 +316,23 @@ class _TreeSearch:
         self.treat_root_unbounded = treat_root_unbounded
         self.node_budget = node_budget if node_budget else options.node_limit
         self.nodes_processed = 0
+        # Reduced-cost fixing state.  ``root_lp`` ships a ramp's root LP
+        # (objective, x*, reduced costs) to parallel subtree workers so they
+        # can keep re-tightening from their own incumbents; ``fixed_bounds``
+        # ships the bounds already derived at dispatch time.
+        self.rc_enabled = options.rc_fixing == "root"
+        if root_lp is not None:
+            self.root_obj, self.root_x, self.root_rc = root_lp
+        else:
+            self.root_obj = math.inf
+            self.root_x: Optional[np.ndarray] = None
+            self.root_rc: Optional[np.ndarray] = None
+        if fixed_bounds is not None:
+            self.fix_lb: Optional[np.ndarray] = fixed_bounds[0]
+            self.fix_ub: Optional[np.ndarray] = fixed_bounds[1]
+        else:
+            self.fix_lb = None
+            self.fix_ub = None
 
     # -- driver -------------------------------------------------------------
     def run(
@@ -365,6 +396,11 @@ class _TreeSearch:
                 foreign = self.foreign_best()
                 if node.bound > foreign + 1e-9 * max(1.0, abs(foreign)):
                     continue  # conservatively pruned by a broadcast incumbent
+            if self.fix_ub is not None and (
+                np.any(node.lb > self.fix_ub + 1e-9)
+                or np.any(node.ub < self.fix_lb - 1e-9)
+            ):
+                continue  # branch box excluded by reduced-cost fixing
             if time.monotonic() - self.start > options.time_limit or (
                 self.node_budget and self.nodes_processed >= self.node_budget
             ):
@@ -381,7 +417,12 @@ class _TreeSearch:
                     bound=node.bound,
                     depth=node.depth,
                 )
-            result, node_basis = self.lp.solve(node.lb, node.ub, node.basis)
+            want_rc = (
+                self.rc_enabled and node.tiebreak == 1 and self.root_rc is None
+            )
+            result, node_basis = self.lp.solve(
+                node.lb, node.ub, node.basis, want_reduced_costs=want_rc
+            )
             self.nodes_processed += 1
             if self.reporter is not None:
                 self.reporter.report(
@@ -403,9 +444,21 @@ class _TreeSearch:
 
             assert result.x is not None
             lp_obj = result.objective
+            if (
+                node.tiebreak == 1
+                and self.root_rc is None
+                and result.reduced_costs is not None
+            ):
+                # Capture the root LP for reduced-cost fixing; if a seeded
+                # incumbent is already in place, derive bounds immediately.
+                self.root_obj = lp_obj
+                self.root_x = result.x.copy()
+                self.root_rc = result.reduced_costs
+                if self.incumbent_x is not None:
+                    self._tighten_from_root(node.tiebreak)
             self.pseudo.observe_child(node, lp_obj)
             if self.allow_dives and (
-                self.nodes_processed == 1
+                (self.nodes_processed == 1 and self.incumbent_x is None)
                 or (self.incumbent_x is None and self.nodes_processed % 16 == 0)
             ):
                 # Rounding dive for a quick incumbent: always at the root,
@@ -488,6 +541,85 @@ class _TreeSearch:
             )
         if self.publish is not None:
             self.publish(objective)
+        if self.root_rc is not None:
+            self._tighten_from_root(key[1])
+
+    def seed_incumbent(self, values: Mapping[str, float]) -> bool:
+        """Validate and adopt a caller-supplied incumbent before the root.
+
+        ``values`` must cover *every* variable of the (presolved) form by
+        name, be integral where required (up to the integrality tolerance,
+        which is snapped away), and satisfy every constraint.  Anything
+        short of that rejects the seed — a bad seed must never be able to
+        change the optimum, only the amount of tree explored.
+        """
+        form = self.form
+        x = np.empty(form.c.shape[0])
+        for j, var in enumerate(form.variables):
+            value = values.get(var.name)
+            if value is None:
+                return False
+            x[j] = float(value)
+        rounded = np.round(x[self.integral])
+        if np.any(
+            np.abs(x[self.integral] - rounded) > self.options.integrality_tolerance
+        ):
+            return False
+        x[self.integral] = rounded
+        if not self._is_feasible(form, x):
+            return False
+        objective = float(form.c @ x) + form.c0
+        if objective >= self.incumbent_obj - 1e-12:
+            return False
+        self._adopt(x, objective, (-math.inf, 0), source="seed")
+        self.lp.stats.seeded_incumbent = 1
+        return True
+
+    def _tighten_from_root(self, node_id: int) -> None:
+        """Derive tree-wide integral bounds from the root LP's reduced costs.
+
+        Standard reduced-cost fixing: a variable nonbasic at its root bound
+        with reduced cost ``d`` degrades the root objective by ``|d|`` per
+        unit it moves inward, so it can move at most ``slack / |d|`` before
+        the node is no better than the incumbent threshold.  The derived
+        bounds are *never* intersected into node LPs — they only prune
+        nodes whose branch box violates them (see ``run``), which is the
+        same conservative-provability class as incumbent pruning and keeps
+        the serial/parallel solution identity intact.  Bounds only ever
+        tighten monotonically; called again after every improved incumbent.
+        """
+        if self.root_rc is None or not math.isfinite(self.incumbent_obj):
+            return
+        options = self.options
+        threshold = self.incumbent_obj - options.gap_tolerance * max(
+            1.0, abs(self.incumbent_obj)
+        )
+        slack = threshold - self.root_obj
+        if not math.isfinite(slack) or slack < 0.0:
+            return
+        tol = options.integrality_tolerance
+        rc, x0 = self.root_rc, self.root_x
+        lb0, ub0 = self.form.lb, self.form.ub
+        if self.fix_lb is None:
+            self.fix_lb = np.array(lb0, dtype=float, copy=True)
+            self.fix_ub = np.array(ub0, dtype=float, copy=True)
+        count = 0
+        for j in self.integral:
+            d = float(rc[j])
+            if d > 1e-9 and x0[j] <= lb0[j] + tol:
+                new_ub = float(math.floor(x0[j] + slack / d + tol))
+                if new_ub < self.fix_ub[j] - 0.5:
+                    self.fix_ub[j] = new_ub
+                    count += 1
+            elif d < -1e-9 and x0[j] >= ub0[j] - tol:
+                new_lb = float(math.ceil(x0[j] + slack / d - tol))
+                if new_lb > self.fix_lb[j] + 0.5:
+                    self.fix_lb[j] = new_lb
+                    count += 1
+        if count:
+            self.lp.stats.rc_fixed_bounds += count
+            if self.tracer is not None:
+                self.tracer.emit("bounds_fixed", node=node_id, count=count)
 
     # -- helpers ------------------------------------------------------------
     def _dive(
@@ -594,6 +726,7 @@ def _emit_solve_done(tracer: Optional[Tracer], solution: Solution) -> None:
         best_bound=solution.best_bound,
         nodes=stats.nodes if stats is not None else 0,
         workers=stats.workers if stats is not None else 0,
+        workers_requested=stats.workers_requested if stats is not None else 0,
         seconds=solution.solve_seconds,
     )
 
@@ -613,10 +746,16 @@ class BozoSolver(Solver):
 
     def solve(self, model: Model) -> Solution:
         """Solve ``model`` to optimality (or the configured limits)."""
-        if self.options.workers > 1 and self.options.node_selection != "depth_first":
+        options = self.options
+        workers = options.workers
+        if workers > 1 and options.clamp_workers:
+            # More processes than cores makes tree search slower, not
+            # faster; on a single-core machine fall back to serial.
+            workers = min(workers, os.cpu_count() or 1)
+        if workers > 1 and options.node_selection != "depth_first":
             from repro.solvers.parallel import solve_parallel
 
-            return solve_parallel(self, model)
+            return solve_parallel(self, model, workers=workers)
         self.last_ramp_stats = None
         self.last_worker_stats = []
         return self._solve_serial(model)
@@ -624,6 +763,8 @@ class BozoSolver(Solver):
     def _solve_serial(self, model: Model) -> Solution:
         start = time.monotonic()
         stats = SolveStats()
+        if self.options.workers > 1:
+            stats.workers_requested = self.options.workers
         tracer = make_tracer(self.options.trace)
         reporter = ProgressReporter(
             self.options.on_progress, self.options.progress_interval, start=start
@@ -635,10 +776,15 @@ class BozoSolver(Solver):
             _emit_solve_done(tracer, prepared)
             return prepared
         form = prepared
-        lp = _LPBackend(form, self.options.warm_start, stats, tracer=tracer)
+        lp = _LPBackend(
+            form, self.options.warm_start, stats, tracer=tracer,
+            pricing_block_size=self.options.pricing_block_size,
+        )
         engine = _TreeSearch(
             self.options, form, lp, start=start, tracer=tracer, reporter=reporter
         )
+        if self.options.incumbent is not None:
+            engine.seed_incumbent(self.options.incumbent)
         root = _Node(-math.inf, 1, form.lb.copy(), form.ub.copy())
         outcome = engine.run([root])
         return self._assemble(

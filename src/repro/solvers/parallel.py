@@ -118,7 +118,16 @@ def _solve_subtree(
     if ctx.get("trace_enabled"):
         buffer = MemoryTraceSink()
         tracer = Tracer(buffer, worker=worker_id)
-    lp = _LPBackend(ctx["form"], ctx["warm_start"], stats, sf=ctx["sf"], tracer=tracer)
+    lp = _LPBackend(
+        ctx["form"], ctx["warm_start"], stats, sf=ctx["sf"], tracer=tracer,
+        pricing_block_size=ctx["options"].pricing_block_size,
+    )
+    # Each worker re-tightens reduced-cost bounds from its *own* incumbents
+    # only, starting from the bounds the ramp derived — copied, so inline
+    # mode matches fork mode (no cross-subtree mutation).
+    fixed = ctx.get("fixed_bounds")
+    if fixed is not None:
+        fixed = (fixed[0].copy(), fixed[1].copy())
     engine = _TreeSearch(
         ctx["options"],
         ctx["form"],
@@ -130,6 +139,8 @@ def _solve_subtree(
         allow_dives=False,
         treat_root_unbounded=False,
         tracer=tracer,
+        root_lp=ctx.get("root_lp"),
+        fixed_bounds=fixed,
     )
     outcome = engine.run([node])
     outcome.open_nodes = []  # never ship nodes back
@@ -137,11 +148,21 @@ def _solve_subtree(
     return outcome, stats, buffer.events if buffer is not None else []
 
 
-def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
-    """Parallel solve entry point used by :meth:`BozoSolver.solve`."""
+def solve_parallel(
+    solver: BozoSolver, model: Model, workers: Optional[int] = None
+) -> Solution:
+    """Parallel solve entry point used by :meth:`BozoSolver.solve`.
+
+    ``workers`` is the *effective* process count (after the CPU-count
+    clamp in :meth:`BozoSolver.solve`); ``None`` uses the requested
+    ``options.workers`` unclamped.  The requested count is always
+    recorded in ``SolveStats.workers_requested``.
+    """
     options = solver.options
+    effective = workers if workers is not None else options.workers
     start = time.monotonic()
     stats = SolveStats()
+    stats.workers_requested = options.workers
     tracer = make_tracer(options.trace)
     reporter = ProgressReporter(
         options.on_progress, options.progress_interval, start=start
@@ -150,7 +171,7 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
         tracer.emit("solve_started", solver=solver.name)
     prepared = solver._prepared_form(model, stats, start, tracer=tracer)
     if isinstance(prepared, Solution):
-        prepared.stats.workers = options.workers
+        prepared.stats.workers = effective
         solver.last_ramp_stats = dataclasses.replace(
             stats, phase_seconds=dict(stats.phase_seconds)
         )
@@ -159,15 +180,20 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
         return prepared
     form = prepared
 
-    lp = _LPBackend(form, options.warm_start, stats, tracer=tracer)
+    lp = _LPBackend(
+        form, options.warm_start, stats, tracer=tracer,
+        pricing_block_size=options.pricing_block_size,
+    )
     ramp = _TreeSearch(
         options, form, lp, start=start, tracer=tracer, reporter=reporter
     )
-    frontier_target = options.frontier_target or max(4 * options.workers, 8)
+    if options.incumbent is not None:
+        ramp.seed_incumbent(options.incumbent)
+    frontier_target = options.frontier_target or max(4 * effective, 8)
     root = _Node(-math.inf, 1, form.lb.copy(), form.ub.copy())
     outcome = ramp.run([root], frontier_target=frontier_target)
 
-    stats.workers = options.workers
+    stats.workers = effective
     stats.nodes = outcome.nodes
     if not outcome.open_nodes:
         # The ramp exhausted the tree (or hit a limit / unboundedness)
@@ -196,7 +222,7 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
         for node in subtrees:
             node.ref_key = share_key
 
-    pool_size = min(options.workers, len(subtrees))
+    pool_size = min(effective, len(subtrees))
     incumbent: Any
     broadcasts: Any
     try:
@@ -227,6 +253,14 @@ def solve_parallel(solver: BozoSolver, model: Model) -> Solution:
         incumbent=incumbent,
         broadcasts=broadcasts,
         trace_enabled=options.trace is not None,
+        root_lp=(
+            (ramp.root_obj, ramp.root_x, ramp.root_rc)
+            if ramp.root_rc is not None
+            else None
+        ),
+        fixed_bounds=(
+            (ramp.fix_lb, ramp.fix_ub) if ramp.fix_lb is not None else None
+        ),
     )
     jobs = list(enumerate(subtrees, start=1))
 

@@ -27,6 +27,21 @@ scratch on every call; this module instead keeps one
   returns :attr:`RevisedStatus.NEEDS_FALLBACK` so callers can re-solve with
   the dense tableau oracle.  :func:`solve_with_fallback` packages that
   policy; correctness never depends on the incremental path.
+* **Sparse kernel** — the basis is factorized with
+  ``scipy.sparse.linalg.splu`` on the CSC form of the constraint matrix
+  and kept current between refactorizations by an eta file of pivot
+  updates (:class:`_SparseLUFactor`).  The SOS scheduling MILPs are a few
+  nonzeros per row, so the LU of a basis is far cheaper than the dense
+  explicit inverse it replaces; when SciPy is unavailable the engine
+  silently degrades to the old explicit-inverse kernel
+  (:class:`_DenseFactor`) with identical pivoting behavior.
+* **Partial pricing** — entering columns are priced over fixed,
+  index-ordered column blocks scanned from a rotating block pointer, so
+  per-pivot pricing cost stops scaling with the full column count on
+  large models.  Models at or below ``PRICING_SINGLE_BLOCK`` columns use
+  one block, which is exactly classic full Dantzig pricing; block order
+  and in-block argmax tie-breaks are fixed, so pricing stays
+  deterministic for any block size.
 """
 
 from __future__ import annotations
@@ -35,9 +50,19 @@ import dataclasses
 import enum
 import hashlib
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+try:  # pragma: no cover - exercised implicitly by every solve
+    from scipy.sparse import csc_matrix as _csc_matrix
+    from scipy.sparse.linalg import splu as _splu
+
+    HAVE_SPARSE = True
+except ImportError:  # pragma: no cover - exercised on scipy-less installs
+    _csc_matrix = None
+    _splu = None
+    HAVE_SPARSE = False
 
 from repro.milp.model import MatrixForm
 from repro.solvers.simplex import LPResult, LPStatus, solve_lp
@@ -52,6 +77,12 @@ PIVOT_TOL = 1e-8
 REFACTOR_EVERY = 64
 #: Consecutive non-improving pivots before switching to Bland's rule.
 STALL_LIMIT = 64
+#: Column counts up to this threshold are priced as one block (classic
+#: full Dantzig pricing); larger models default to blocks of
+#: :data:`PRICING_BLOCK` columns.
+PRICING_SINGLE_BLOCK = 512
+#: Default pricing block width for models above the single-block cutoff.
+PRICING_BLOCK = 256
 
 #: Nonbasic at lower bound.
 AT_LB = 0
@@ -139,6 +170,9 @@ class RevisedResult:
             unless OPTIMAL).
         counters: Per-loop pivot attribution (``None`` for results built
             before the engine ran, e.g. trivial infeasibility).
+        reduced_costs: Structural-column reduced costs at the optimum,
+            captured only when the solve was asked for them (branch and
+            bound uses them for reduced-cost fixing); ``None`` otherwise.
     """
 
     status: RevisedStatus
@@ -147,6 +181,7 @@ class RevisedResult:
     iterations: int
     basis: Optional[Basis]
     counters: Optional[PivotCounters] = None
+    reduced_costs: Optional[np.ndarray] = None
 
 
 @dataclasses.dataclass
@@ -250,6 +285,22 @@ class StandardFormLP:
         #: Set by :func:`register_shared_form`; enables reference pickling.
         self.share_key: Optional[str] = None
         self._fingerprint: Optional[str] = None
+        self._a_csc = None
+
+    def a_csc(self):
+        """CSC view of the full constraint matrix, built once and cached.
+
+        The sparse LU kernel slices basis columns out of this; everything
+        row-oriented (pricing products, single-column fetches) stays on
+        the dense ``a``, which profiling shows is faster at SOS model
+        sizes.  Raises ``RuntimeError`` when SciPy is unavailable —
+        callers gate on :data:`HAVE_SPARSE`.
+        """
+        if _csc_matrix is None:
+            raise RuntimeError("scipy is required for the sparse CSC form")
+        if self._a_csc is None:
+            self._a_csc = _csc_matrix(self.a)
+        return self._a_csc
 
     def fingerprint(self) -> str:
         """Stable hash of the immutable part (matrix + rhs + shape).
@@ -275,6 +326,7 @@ class StandardFormLP:
         O(rows x columns).  Unregistered forms pickle in full.
         """
         state = dict(self.__dict__)
+        state["_a_csc"] = None  # derived cache; receivers rebuild or share
         key = state.get("share_key")
         if key is not None and key in _SHARED_FORMS:
             del state["a"]
@@ -294,6 +346,7 @@ class StandardFormLP:
                 ) from None
             self.a = ref.sf.a
             self.b = ref.sf.b
+            self._a_csc = ref.sf._a_csc  # share the CSC cache too (may be None)
 
     @classmethod
     def from_matrix_form(cls, form: MatrixForm) -> "StandardFormLP":
@@ -346,6 +399,8 @@ def solve_revised(
     sf: StandardFormLP,
     basis: Optional[Basis] = None,
     max_iterations: int = 20_000,
+    pricing_block_size: int = 0,
+    want_reduced_costs: bool = False,
 ) -> RevisedResult:
     """Solve ``sf``, optionally warm-starting from a previous basis.
 
@@ -355,6 +410,12 @@ def solve_revised(
             input is copied, never mutated.  ``None`` means cold start
             from the all-logical basis.
         max_iterations: Pivot budget; exceeding it yields NEEDS_FALLBACK.
+        pricing_block_size: Partial-pricing block width; ``0`` picks
+            automatically (single block at or below
+            :data:`PRICING_SINGLE_BLOCK` columns, :data:`PRICING_BLOCK`
+            above).
+        want_reduced_costs: Capture structural reduced costs on the
+            optimal result (costs one extra BTRAN + pricing product).
 
     Returns:
         A :class:`RevisedResult`; on OPTIMAL its ``basis`` warm-starts the
@@ -367,7 +428,11 @@ def solve_revised(
     warm = basis is not None
     if basis is None:
         basis = sf.logical_basis()
-    engine = _Engine(sf, basis.copy(), max_iterations, warm=warm)
+    engine = _Engine(
+        sf, basis.copy(), max_iterations, warm=warm,
+        pricing_block_size=pricing_block_size,
+        want_reduced_costs=want_reduced_costs,
+    )
     return engine.run()
 
 
@@ -375,6 +440,8 @@ def solve_with_fallback(
     sf: StandardFormLP,
     basis: Optional[Basis] = None,
     max_iterations: int = 20_000,
+    pricing_block_size: int = 0,
+    want_reduced_costs: bool = False,
 ) -> Tuple[LPResult, Optional[Basis], bool]:
     """Solve via the revised path, falling back to the dense tableau.
 
@@ -387,8 +454,15 @@ def solve_with_fallback(
         ``(result, final_basis, fell_back)`` — ``final_basis`` is ``None``
         whenever the dense path produced the result (it has no basis to
         hand to children), and ``fell_back`` says which path answered.
+        ``result.reduced_costs`` is populated only when requested *and*
+        the revised path answered (the dense oracle does not expose
+        duals) — reduced-cost fixing degrades gracefully to off.
     """
-    revised = solve_revised(sf, basis, max_iterations=max_iterations)
+    revised = solve_revised(
+        sf, basis, max_iterations=max_iterations,
+        pricing_block_size=pricing_block_size,
+        want_reduced_costs=want_reduced_costs,
+    )
     if revised.status is not RevisedStatus.NEEDS_FALLBACK:
         status = {
             RevisedStatus.OPTIMAL: LPStatus.OPTIMAL,
@@ -399,6 +473,7 @@ def solve_with_fallback(
             LPResult(
                 status, revised.x, revised.objective, revised.iterations,
                 counters=revised.counters,
+                reduced_costs=revised.reduced_costs,
             ),
             revised.basis,
             False,
@@ -414,6 +489,93 @@ def solve_with_fallback(
     return dense, None, True
 
 
+class _DenseFactor:
+    """Explicit-inverse basis kernel — the SciPy-less fallback.
+
+    Keeps ``B^{-1}`` as a dense matrix and applies the classic
+    product-form update after each pivot; exactly the representation the
+    engine used before the sparse kernel existed.
+    """
+
+    def __init__(self, sf: StandardFormLP) -> None:
+        self.sf = sf
+        self.b_inv: Optional[np.ndarray] = None
+
+    def refactor(self, basic: np.ndarray) -> bool:
+        """Rebuild the inverse from scratch; ``False`` if singular."""
+        try:
+            self.b_inv = np.linalg.inv(self.sf.a[:, basic])
+        except np.linalg.LinAlgError:
+            return False
+        return bool(np.all(np.isfinite(self.b_inv)))
+
+    def ftran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``B x = rhs``."""
+        return self.b_inv @ rhs
+
+    def btran(self, u: np.ndarray) -> np.ndarray:
+        """Solve ``y B = u`` (equivalently ``B^T y^T = u^T``)."""
+        return u @ self.b_inv
+
+    def update(self, row: int, w: np.ndarray) -> None:
+        """Product-form update after ``w = ftran(entering column)`` pivots
+        into ``row``."""
+        pivot = w[row]
+        self.b_inv[row] /= pivot
+        others = w.copy()
+        others[row] = 0.0
+        self.b_inv -= np.outer(others, self.b_inv[row])
+
+
+class _SparseLUFactor:
+    """Sparse-LU basis kernel: ``splu`` of the CSC basis plus an eta file.
+
+    A refactorization slices the basic columns out of the form's cached
+    CSC matrix and LU-factorizes them (orders of magnitude cheaper than
+    the dense explicit inverse on sparse SOS models).  Each pivot appends
+    one eta vector ``(row, w)`` with ``w = ftran(entering column)``
+    captured *before* the update; FTRAN applies the etas oldest-first
+    after the LU solve, BTRAN newest-first before the transposed solve.
+    The engine's ``REFACTOR_EVERY`` cadence bounds the eta file, so
+    per-solve cost never creeps.
+    """
+
+    def __init__(self, sf: StandardFormLP) -> None:
+        self.sf = sf
+        self.lu = None
+        self.etas: List[Tuple[int, np.ndarray]] = []
+
+    def refactor(self, basic: np.ndarray) -> bool:
+        """Factorize the basis from scratch; ``False`` means singular."""
+        self.etas.clear()
+        try:
+            self.lu = _splu(self.sf.a_csc()[:, basic].tocsc())
+        except RuntimeError:  # "Factor is exactly singular"
+            return False
+        probe = self.lu.solve(np.ones(self.sf.m))
+        return bool(np.all(np.isfinite(probe)))
+
+    def ftran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``B x = rhs`` through the LU factors, then the eta file."""
+        x = self.lu.solve(np.asarray(rhs, dtype=float))
+        for row, w in self.etas:
+            pivot = x[row] / w[row]
+            x -= w * pivot
+            x[row] = pivot
+        return x
+
+    def btran(self, u: np.ndarray) -> np.ndarray:
+        """Solve ``y B = u``: eta file newest-first, then ``L U`` transposed."""
+        u = np.array(u, dtype=float)
+        for row, w in reversed(self.etas):
+            u[row] += (u[row] - u @ w) / w[row]
+        return self.lu.solve(u, trans="T")
+
+    def update(self, row: int, w: np.ndarray) -> None:
+        """Append one eta vector for the pivot of ``w`` into ``row``."""
+        self.etas.append((row, w.copy()))
+
+
 class _Engine:
     """One revised-simplex solve: state, pivots, and the two pivot rules."""
 
@@ -423,31 +585,38 @@ class _Engine:
         basis: Basis,
         max_iterations: int,
         warm: bool = False,
+        pricing_block_size: int = 0,
+        want_reduced_costs: bool = False,
     ) -> None:
         self.sf = sf
         self.basic = basis.basic
         self.status = basis.status
         self.max_iterations = max_iterations
         self.warm = warm
+        self.want_reduced_costs = want_reduced_costs
         self.iterations = 0
         self.counters = PivotCounters()
-        self.b_inv: Optional[np.ndarray] = None
+        self.factor = _SparseLUFactor(sf) if HAVE_SPARSE else _DenseFactor(sf)
         self.x_basic: Optional[np.ndarray] = None
         # Columns that can never move: fixed boxes (includes eq artificials).
         self.fixed = np.isfinite(sf.lo) & np.isfinite(sf.up) & (sf.up - sf.lo <= FEAS_TOL)
+        if pricing_block_size > 0:
+            width = pricing_block_size
+        elif sf.ncols <= PRICING_SINGLE_BLOCK:
+            width = sf.ncols
+        else:
+            width = PRICING_BLOCK
+        self._blocks = [
+            (start, min(start + width, sf.ncols))
+            for start in range(0, sf.ncols, width)
+        ]
+        self._pblock = 0  # rotating pointer: block where pricing starts
 
     # -- linear algebra -----------------------------------------------------
     def refactor(self) -> bool:
-        """Recompute the explicit basis inverse from scratch; False if singular."""
+        """Refactorize the basis from scratch; False if singular."""
         self.counters.refactorizations += 1
-        b_matrix = self.sf.a[:, self.basic]
-        try:
-            self.b_inv = np.linalg.inv(b_matrix)
-        except np.linalg.LinAlgError:
-            return False
-        if not np.all(np.isfinite(self.b_inv)):
-            return False
-        return True
+        return self.factor.refactor(self.basic)
 
     def nonbasic_point(self) -> np.ndarray:
         """Full-length x with every nonbasic column at its status value."""
@@ -461,12 +630,59 @@ class _Engine:
         """x_B = B^{-1} (b - N x_N) from the current statuses."""
         x = self.nonbasic_point()
         rhs = self.sf.b - self.sf.a @ x
-        self.x_basic = self.b_inv @ rhs
+        self.x_basic = self.factor.ftran(rhs)
 
     def reduced_costs(self) -> np.ndarray:
         """d = c - c_B B^{-1} A over all columns."""
-        y = self.sf.cost[self.basic] @ self.b_inv
+        y = self.factor.btran(self.sf.cost[self.basic])
         return self.sf.cost - y @ self.sf.a
+
+    # -- pricing ------------------------------------------------------------
+    def _price(
+        self, y: np.ndarray, phase1: bool, use_bland: bool
+    ) -> Optional[Tuple[int, float]]:
+        """Deterministic partial pricing: pick the entering column.
+
+        Scans the fixed, index-ordered column blocks and returns
+        ``(entering, d_entering)`` from the first block holding an
+        improving column, or ``None`` at (phase-specific) optimality.
+        Dantzig mode starts at the rotating pointer ``_pblock`` (left on
+        the last productive block) and takes the in-block argmax of
+        ``|d|`` — ``np.argmax`` resolves ties to the lowest index; Bland
+        mode always scans from block 0 and takes the globally lowest
+        improving index, preserving the anti-cycling guarantee.  With a
+        single block both modes reduce to their classic full-pricing
+        forms.
+        """
+        sf = self.sf
+        nblocks = len(self._blocks)
+        if use_bland or nblocks == 1:
+            order = range(nblocks)
+        else:
+            order = [(self._pblock + i) % nblocks for i in range(nblocks)]
+        for bi in order:
+            start, stop = self._blocks[bi]
+            if phase1:
+                d = -(y @ sf.a[:, start:stop])
+            else:
+                d = sf.cost[start:stop] - y @ sf.a[:, start:stop]
+            stat = self.status[start:stop]
+            movable = ~self.fixed[start:stop] & (stat != BASIC)
+            improving = movable & (
+                ((stat == AT_LB) & (d < -DUAL_TOL))
+                | ((stat == AT_UB) & (d > DUAL_TOL))
+                | ((stat == AT_FREE) & (np.abs(d) > DUAL_TOL))
+            )
+            indices = np.nonzero(improving)[0]
+            if indices.size == 0:
+                continue
+            if use_bland:
+                local = int(indices[0])
+            else:
+                local = int(indices[np.argmax(np.abs(d[indices]))])
+                self._pblock = bi
+            return start + local, float(d[local])
+        return None
 
     # -- feasibility checks -------------------------------------------------
     def primal_violations(self) -> np.ndarray:
@@ -549,10 +765,14 @@ class _Engine:
             return self._bail()
         structural = x[: sf.n].copy()
         objective = float(sf.cost[: sf.n] @ structural) + sf.c0
+        reduced = None
+        if self.want_reduced_costs:
+            reduced = self.reduced_costs()[: sf.n].copy()
         return RevisedResult(
             RevisedStatus.OPTIMAL, structural, objective, self.iterations,
             Basis(self.basic.copy(), self.status.copy()),
             counters=self.counters,
+            reduced_costs=reduced,
         )
 
     # -- dual simplex -------------------------------------------------------
@@ -584,7 +804,9 @@ class _Engine:
             row = worst
             leaving = self.basic[row]
             below = violations[row] < 0  # leaving variable returns to its lb
-            alpha = self.b_inv[row] @ sf.a
+            e_row = np.zeros(sf.m)
+            e_row[row] = 1.0
+            alpha = self.factor.btran(e_row) @ sf.a
             # Entering candidates must keep d sign-feasible after the pivot.
             direction = -alpha if below else alpha
             d = self.reduced_costs()
@@ -603,18 +825,18 @@ class _Engine:
             best = float(ratios.min())
             entering = int(idx[ratios <= best + DUAL_TOL].min())
 
-            w = self.b_inv @ sf.a[:, entering]
+            w = self.factor.ftran(sf.a[:, entering])
             if abs(w[row]) < PIVOT_TOL:
                 if not self.refactor():
                     return self._bail()
                 self.recompute_basics()
-                w = self.b_inv @ sf.a[:, entering]
+                w = self.factor.ftran(sf.a[:, entering])
                 if abs(w[row]) < PIVOT_TOL:
                     return self._bail()
             self.status[entering] = BASIC
             self.status[leaving] = AT_LB if below else AT_UB
             self.basic[row] = entering
-            self._update_inverse(row, w)
+            self.factor.update(row, w)
             self.iterations += 1
             since_refactor += 1
             if since_refactor >= REFACTOR_EVERY:
@@ -656,31 +878,21 @@ class _Engine:
             w_basic = np.zeros(sf.m)
             w_basic[below] = -1.0
             w_basic[above] = 1.0
-            y = w_basic @ self.b_inv
-            d = -(y @ sf.a)
-            movable = ~self.fixed & (self.status != BASIC)
-            improving = movable & (
-                ((self.status == AT_LB) & (d < -DUAL_TOL))
-                | ((self.status == AT_UB) & (d > DUAL_TOL))
-                | ((self.status == AT_FREE) & (np.abs(d) > DUAL_TOL))
-            )
-            indices = np.nonzero(improving)[0]
-            if indices.size == 0:
+            y = self.factor.btran(w_basic)
+            candidate = self._price(y, phase1=True, use_bland=use_bland)
+            if candidate is None:
                 # Local (hence global) phase-1 optimum with residual
                 # infeasibility; let the oracle certify infeasibility.
                 return self._bail()
-            if use_bland:
-                entering = int(indices[0])
-            else:
-                entering = int(indices[np.argmax(np.abs(d[indices]))])
+            entering, d_entering = candidate
             if self.status[entering] == AT_UB or (
-                self.status[entering] == AT_FREE and d[entering] > 0
+                self.status[entering] == AT_FREE and d_entering > 0
             ):
                 sign = -1.0
             else:
                 sign = 1.0
 
-            w = self.b_inv @ sf.a[:, entering]
+            w = self.factor.ftran(sf.a[:, entering])
             delta = sign * w  # basic variables move by -delta per unit step
             lo_b = sf.lo[self.basic]
             up_b = sf.up[self.basic]
@@ -737,7 +949,7 @@ class _Engine:
                 self.status[entering] = BASIC
                 self.status[leaving] = leave_status
                 self.basic[row] = entering
-                self._update_inverse(row, w)
+                self.factor.update(row, w)
                 self.iterations += 1
                 since_refactor += 1
                 if since_refactor >= REFACTOR_EVERY:
@@ -770,30 +982,21 @@ class _Engine:
         while True:
             if self.iterations >= self.max_iterations:
                 return self._bail()
-            d = self.reduced_costs()
-            movable = ~self.fixed & (self.status != BASIC)
-            improving = movable & (
-                ((self.status == AT_LB) & (d < -DUAL_TOL))
-                | ((self.status == AT_UB) & (d > DUAL_TOL))
-                | ((self.status == AT_FREE) & (np.abs(d) > DUAL_TOL))
-            )
-            indices = np.nonzero(improving)[0]
-            if indices.size == 0:
+            y = self.factor.btran(sf.cost[self.basic])
+            candidate = self._price(y, phase1=False, use_bland=use_bland)
+            if candidate is None:
                 return None
-            if use_bland:
-                entering = int(indices[0])
-            else:
-                entering = int(indices[np.argmax(np.abs(d[indices]))])
+            entering, d_entering = candidate
             # Direction of travel: increase from lb (or free with d<0),
             # decrease from ub (or free with d>0).
             if self.status[entering] == AT_UB or (
-                self.status[entering] == AT_FREE and d[entering] > 0
+                self.status[entering] == AT_FREE and d_entering > 0
             ):
                 sign = -1.0
             else:
                 sign = 1.0
 
-            w = self.b_inv @ sf.a[:, entering]
+            w = self.factor.ftran(sf.a[:, entering])
             delta = sign * w  # basic variables move by -delta per unit step
             lo_b = self.sf.lo[self.basic]
             up_b = self.sf.up[self.basic]
@@ -841,7 +1044,7 @@ class _Engine:
                 if not math.isfinite(sf.lo[leaving]) and not math.isfinite(sf.up[leaving]):
                     self.status[leaving] = AT_FREE
                 self.basic[row] = entering
-                self._update_inverse(row, w)
+                self.factor.update(row, w)
                 self.iterations += 1
                 since_refactor += 1
                 if since_refactor >= REFACTOR_EVERY:
@@ -858,11 +1061,3 @@ class _Engine:
                 stall += 1
                 if stall >= STALL_LIMIT:
                     use_bland = True
-
-    def _update_inverse(self, row: int, w: np.ndarray) -> None:
-        """Product-form update of ``B^{-1}`` after a pivot on ``row``."""
-        pivot = w[row]
-        self.b_inv[row] /= pivot
-        others = w.copy()
-        others[row] = 0.0
-        self.b_inv -= np.outer(others, self.b_inv[row])

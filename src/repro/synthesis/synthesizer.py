@@ -57,6 +57,15 @@ class Synthesizer:
             from the previous model by two right-hand sides.  Falls back
             to per-solve rebuilds when the model cannot be retightened
             (e.g. an unbounded cost expression).
+        seed_incumbent: Seed every solve with a list-scheduling heuristic
+            incumbent (:mod:`repro.core.seeding`): the best ETF/HLFET
+            schedule becomes a complete feasible assignment the
+            branch-and-bound backend adopts before its root node, so
+            pruning starts immediately.  Never changes the optimal
+            objective (an invalid seed is rejected by the solver); among
+            equal-objective alternative optima the tie-break may differ
+            from an unseeded run, so the flag is part of the result-cache
+            fingerprint.
     """
 
     def __init__(
@@ -69,6 +78,7 @@ class Synthesizer:
         options: Optional[FormulationOptions] = None,
         constraints: Optional["DesignerConstraints"] = None,
         incremental: bool = False,
+        seed_incumbent: bool = False,
     ) -> None:
         self.graph = graph
         self.library = library
@@ -78,6 +88,7 @@ class Synthesizer:
         self.solver_options = solver_options
         self.constraints = constraints
         self.incremental = incremental
+        self.seed_incumbent = seed_incumbent
         self._cached_model: Optional[SosModel] = None
         #: Total solver wall-clock seconds spent by this synthesizer.
         self.total_solve_seconds = 0.0
@@ -209,6 +220,10 @@ class Synthesizer:
         """
         from repro.service.fingerprint import fingerprint_request
 
+        if self.seed_incumbent:
+            # Only stamped when on, so fingerprints of unseeded requests
+            # stay byte-stable across versions.
+            params["seed_incumbent"] = True
         return fingerprint_request(
             kind, self.graph, self.library,
             solver=self.solver_name, solver_options=self.solver_options,
@@ -257,6 +272,14 @@ class Synthesizer:
             solver_options = dataclasses.replace(
                 solver_options or SolverOptions(), cutoff=cutoff
             )
+        if self.seed_incumbent:
+            from repro.core.seeding import heuristic_incumbent
+
+            seed = heuristic_incumbent(built)
+            if seed is not None:
+                solver_options = dataclasses.replace(
+                    solver_options or SolverOptions(), incumbent=seed
+                )
         backend = get_solver(self.solver_name, solver_options)
         solution = backend.solve(built.model)
         self.total_solve_seconds += solution.solve_seconds
@@ -440,7 +463,8 @@ class Synthesizer:
 #: Keyword arguments of :func:`synthesize` that configure the
 #: :class:`Synthesizer` itself rather than the single solve.
 _CONSTRUCTOR_KEYS = frozenset(
-    {"style", "solver", "solver_options", "options", "constraints", "incremental"}
+    {"style", "solver", "solver_options", "options", "constraints",
+     "incremental", "seed_incumbent"}
 )
 
 

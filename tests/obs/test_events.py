@@ -18,6 +18,7 @@ GOLDEN_SCHEMA = {
     "node_opened": {"node", "bound", "depth"},
     "lp_solved": {"pivots", "status", "warm", "fallback", "seconds"},
     "incumbent_found": {"objective", "node", "source"},
+    "bounds_fixed": {"node", "count"},
     "subtree_dispatched": {"subtree", "node", "bound"},
     "incumbent_broadcast": {"objective"},
     "sweep_step": {"index", "kind", "feasible"},

@@ -18,7 +18,8 @@ def _solve_traced(workers: int):
     """Solve a market-split MILP with a memory sink; (solution, events)."""
     sink = MemoryTraceSink()
     options = SolverOptions(
-        workers=workers, branching="most_fractional", trace=sink
+        workers=workers, branching="most_fractional", trace=sink,
+        clamp_workers=False,  # the tests assert on the *requested* pool size
     )
     solution = BozoSolver(options).solve(market_split(3, 14, 0))
     return solution, sink.events
@@ -41,6 +42,28 @@ class TestReplayExactness:
         replayed = replay_stats(events)
         assert replayed == solution.stats
         assert replayed.phase_seconds == solution.stats.phase_seconds
+
+    def test_seeded_rc_fixing_replay_matches_stats(self):
+        """seeded_incumbent / rc_fixed_bounds derive from incumbent_found
+        and bounds_fixed events; a seeded solve must replay exactly."""
+        from repro.core.formulation import SosModelBuilder
+        from repro.core.options import FormulationOptions
+        from repro.core.seeding import heuristic_incumbent
+        from repro.system.examples import example1_library
+        from repro.taskgraph.examples import example1
+
+        built = SosModelBuilder(
+            example1(), example1_library(), FormulationOptions()
+        ).build()
+        seed = heuristic_incumbent(built)
+        assert seed is not None
+        sink = MemoryTraceSink()
+        solution = BozoSolver(
+            SolverOptions(incumbent=seed, trace=sink)
+        ).solve(built.model)
+        assert solution.stats.seeded_incumbent == 1
+        assert check_schema(sink.events) == []
+        assert replay_stats(sink.events) == solution.stats
 
     def test_synthesize_call_replay_matches_last_stats(self):
         sink = MemoryTraceSink()

@@ -14,6 +14,8 @@ from pathlib import Path
 from repro.core.designer import DesignerConstraints
 from repro.core.options import FormulationOptions, Objective
 from repro.service.fingerprint import (
+    _SOLVER_FIELDS,
+    RESULT_INVARIANT_SOLVER_FIELDS,
     canonical_graph,
     canonical_request,
     fingerprint_request,
@@ -180,6 +182,63 @@ class TestSensitivity:
         )
         observed = fingerprint_request(
             "synthesize", ex1_graph, ex1_library,
-            solver_options=SolverOptions(workers=4, on_progress=print),
+            solver_options=SolverOptions(
+                workers=4, on_progress=print, clamp_workers=False,
+                pricing_block_size=64, frontier_target=16,
+            ),
         )
         assert plain == observed
+
+    def test_incumbent_and_rc_fixing_matter(self, ex1_graph, ex1_library):
+        """A seed can steer the tree to a different alternative optimum, and
+        rc_fixing changes pruning order — both must key the cache."""
+        self.all_distinct([
+            fingerprint_request(
+                "synthesize", ex1_graph, ex1_library,
+                solver_options=SolverOptions(),
+            ),
+            fingerprint_request(
+                "synthesize", ex1_graph, ex1_library,
+                solver_options=SolverOptions(incumbent={"x": 1.0}),
+            ),
+            fingerprint_request(
+                "synthesize", ex1_graph, ex1_library,
+                solver_options=SolverOptions(rc_fixing="off"),
+            ),
+        ])
+
+    def test_incumbent_insertion_order_is_invisible(self, ex1_graph, ex1_library):
+        forward = fingerprint_request(
+            "synthesize", ex1_graph, ex1_library,
+            solver_options=SolverOptions(incumbent={"a": 0.0, "b": 1.0}),
+        )
+        backward = fingerprint_request(
+            "synthesize", ex1_graph, ex1_library,
+            solver_options=SolverOptions(incumbent={"b": 1.0, "a": 0.0}),
+        )
+        assert forward == backward
+
+
+class TestFieldClassification:
+    """Every SolverOptions field must be *explicitly* classified as either
+    fingerprint-relevant or result-invariant, so adding a field without
+    deciding its cache semantics is a test failure, not a silent cache bug."""
+
+    def test_every_field_is_classified_exactly_once(self):
+        import dataclasses
+
+        declared = {field.name for field in dataclasses.fields(SolverOptions)}
+        relevant = set(_SOLVER_FIELDS)
+        invariant = set(RESULT_INVARIANT_SOLVER_FIELDS)
+        assert relevant & invariant == set(), (
+            "fields classified both relevant and invariant"
+        )
+        unclassified = declared - relevant - invariant
+        assert unclassified == set(), (
+            f"SolverOptions fields not classified in repro.service."
+            f"fingerprint: {sorted(unclassified)} — add each to "
+            f"_SOLVER_FIELDS (changes the returned solution) or "
+            f"RESULT_INVARIANT_SOLVER_FIELDS (provably cannot)"
+        )
+        stale = (relevant | invariant) - declared
+        assert stale == set(), f"classified fields no longer exist: {sorted(stale)}"

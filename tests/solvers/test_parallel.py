@@ -56,7 +56,10 @@ def market_split(rows: int, binaries: int, seed: int) -> Model:
 
 def _mf(workers, **kwargs):
     """Most-fractional branching: the byte-identity regime (branching is a
-    pure function of each node, so subtree workers replay the serial tree)."""
+    pure function of each node, so subtree workers replay the serial tree).
+    ``clamp_workers=False`` so the pool actually engages on small CI
+    machines (the clamp would silently serialize workers > cpu_count)."""
+    kwargs.setdefault("clamp_workers", False)
     return SolverOptions(workers=workers, branching="most_fractional", **kwargs)
 
 
@@ -84,7 +87,9 @@ class TestByteIdentity:
         # alternative optima — but the optimum itself never does.
         model = market_split(3, 14, 0)
         serial = BozoSolver(SolverOptions(workers=1)).solve(model)
-        parallel = BozoSolver(SolverOptions(workers=4)).solve(model)
+        parallel = BozoSolver(
+            SolverOptions(workers=4, clamp_workers=False)
+        ).solve(model)
         assert parallel.status == serial.status
         assert parallel.objective == pytest.approx(serial.objective, abs=1e-9)
         assert parallel.best_bound == pytest.approx(serial.best_bound, abs=1e-9)
@@ -226,6 +231,29 @@ class TestEdgeCases:
         reference = BozoSolver().solve(model)
         solution = solver.solve(model)
         assert solution.objective == pytest.approx(reference.objective, abs=1e-9)
+
+    def test_clamp_caps_workers_at_cpu_count(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        model = market_split(3, 12, 0)
+        requested = cores + 7
+        solution = BozoSolver(
+            _mf(requested, clamp_workers=True)
+        ).solve(model)
+        assert solution.stats.workers_requested == requested
+        assert solution.stats.workers <= cores
+        if cores == 1:
+            # Single core: the clamp falls back to the serial path.
+            assert solution.stats.subtrees_dispatched == 0
+            assert solution.stats.workers == 0
+
+    def test_clamped_run_matches_unclamped_objective(self):
+        model = market_split(3, 12, 1)
+        clamped = BozoSolver(_mf(4, clamp_workers=True)).solve(model)
+        unclamped = BozoSolver(_mf(4)).solve(model)
+        assert clamped.objective == pytest.approx(unclamped.objective, abs=1e-9)
+        assert clamped.values == unclamped.values
 
     def test_tiny_tree_short_circuits_before_partition(self):
         model = Model("tiny")

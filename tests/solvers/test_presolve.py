@@ -160,3 +160,95 @@ class TestEquivalence:
         x = np.array([solution.values[v] for v in form.variables])
         assert np.all(x >= result.form.lb - 1e-6)
         assert np.all(x <= result.form.ub + 1e-6)
+
+
+def roundtrip_presolve(model, make_solver=None):
+    """Assert the presolve round-trip property on one model.
+
+    Solving under the presolved (tightened) bounds must produce an
+    assignment that is feasible in the *original* model at the *same*
+    objective the original solve reaches — i.e. the reductions removed
+    only non-optimal corners of the box.  ``make_solver`` picks the
+    backend (default: bozo with its internal presolve off, so the only
+    reductions in play are the ones under test).
+    """
+    if make_solver is None:
+        make_solver = lambda: BozoSolver(SolverOptions(presolve=False))
+    form = model.to_matrices()
+    result = presolve(form)
+    original = make_solver().solve(model)
+    if result.proven_infeasible:
+        assert not original.status.has_solution
+        return
+    reduced = model.copy(f"{model.name}_presolved")
+    for j, var in enumerate(reduced.variables):
+        var.lb = float(result.form.lb[j])
+        var.ub = float(result.form.ub[j])
+    mapped = make_solver().solve(reduced)
+    assert mapped.status == original.status
+    if original.status is not SolveStatus.OPTIMAL:
+        return
+    assert mapped.objective == pytest.approx(original.objective, abs=1e-6)
+    # Map the reduced solution back by name and check it against the
+    # original model's own constraints and bounds.
+    by_name = mapped.as_name_dict()
+    values = {var: by_name[var.name] for var in model.variables}
+    assert model.infeasibilities(values) == []
+    assert model.objective_value(values) == pytest.approx(
+        original.objective, abs=1e-6
+    )
+
+
+class TestRoundTrip:
+    """Satellite property: presolve reductions round-trip (ISSUE PR 5)."""
+
+    def test_paper_example1_round_trips(self, ex1_graph, ex1_library):
+        from repro.core.formulation import build_sos_model
+
+        roundtrip_presolve(build_sos_model(ex1_graph, ex1_library).model)
+
+    def test_paper_example2_round_trips(self, ex2_graph, ex2_library):
+        # Example 2's tree is far too large for the reference solver at
+        # test speed; HiGHS proves the same property in seconds.
+        from repro.core.formulation import build_sos_model
+
+        pytest.importorskip("scipy")
+        roundtrip_presolve(
+            build_sos_model(ex2_graph, ex2_library).model,
+            make_solver=HighsSolver,
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 50))
+    def test_random_sos_graphs_round_trip(self, seed):
+        from repro.core.formulation import SosModelBuilder
+        from repro.core.options import FormulationOptions
+        from repro.taskgraph.generators import layered_random
+        from tests.conftest import make_library
+
+        graph = layered_random(4, 2, seed=seed)
+        library = make_library(
+            {"fast": (8, {t: 1 for t in graph.subtask_names}),
+             "slow": (3, {t: 3 for t in graph.subtask_names})},
+            instances_per_type=2, remote_delay=0.5,
+        )
+        built = SosModelBuilder(graph, library, FormulationOptions()).build()
+        roundtrip_presolve(built.model)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_random_milps_round_trip(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        model = Model(f"rand_{seed}")
+        xs = [model.add_binary(f"x{i}") for i in range(rng.randint(2, 5))]
+        y = model.add_continuous("y", ub=rng.randint(1, 6))
+        weights = [rng.randint(1, 6) for _ in xs]
+        model.add(sum(w * x for w, x in zip(weights, xs)) + y
+                  <= rng.randint(0, sum(weights)))
+        model.add(sum(xs) >= rng.randint(0, len(xs)))
+        model.minimize(sum(rng.randint(-4, 4) * x for x in xs) - 0.5 * y)
+        roundtrip_presolve(model)
+
+
