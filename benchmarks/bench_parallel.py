@@ -11,8 +11,17 @@ The key claims measured (and persisted to ``BENCH_solvers.json``):
   exhibit parallel speedup, only measure its overhead), and the measured
   ratio is recorded either way so the perf trajectory captures both
   worlds.
+* With ``deterministic=False`` (work-stealing fast mode) the objective
+  and proven bound still equal the serial run's, and at >= 4 cores the
+  wall clock is at least 2x better than serial — the floor the perf gate
+  (``check_regression.py``) holds the fast mode to.
 * The concurrent Pareto sweep returns a front identical to the serial
   sweep on Example 1.
+
+Speedup ratios are only recorded on machines with at least as many cores
+as requested workers; a smaller box records wall seconds and context
+(``workers_requested``/``workers``/``cpu_count``) but omits the ratio —
+an honest "cannot measure here" instead of a misleading sub-1x number.
 
 The instance generator builds market-split-style models (a few equality
 rows balancing random weights, slack variables minimized): tiny LPs with
@@ -61,12 +70,47 @@ def market_split(rows: int, binaries: int, seed: int) -> Model:
     return model
 
 
-def _options(workers: int) -> SolverOptions:
+def _options(workers: int, deterministic: bool = True) -> SolverOptions:
     # clamp_workers=False: the bench measures the requested pool even on
     # boxes with fewer cores (the clamp would silently serialize it).
     return SolverOptions(
-        workers=workers, branching="most_fractional", clamp_workers=False
+        workers=workers, branching="most_fractional", clamp_workers=False,
+        deterministic=deterministic,
     )
+
+
+def _record_parallel(name, serial, parallel, serial_seconds, parallel_seconds,
+                     **extra) -> float:
+    """Persist one parallel-vs-serial entry; returns the measured speedup.
+
+    ``speedup_vs_serial`` is only *recorded* when the machine actually has
+    as many cores as workers were requested — a 1-core container measures
+    scheduling overhead, not parallelism, and a recorded "0.4x" there
+    would read as a regression on real hardware.  Wall seconds, node
+    counts, and the worker/core context are recorded unconditionally.
+    """
+    cores = os.cpu_count() or 1
+    requested = parallel.stats.workers_requested
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    fields = dict(
+        serial_wall_seconds=serial_seconds,
+        parallel_wall_seconds=parallel_seconds,
+        serial_nodes=serial.iterations,
+        parallel_nodes=parallel.iterations,
+        serial_pivots=serial.stats.lp_pivots,
+        parallel_pivots=parallel.stats.lp_pivots,
+        subtrees_dispatched=parallel.stats.subtrees_dispatched,
+        incumbent_broadcasts=parallel.stats.incumbent_broadcasts,
+        workers_requested=requested,
+        workers=parallel.stats.workers,
+        cpu_count=cores,
+        objective=serial.objective,
+        **extra,
+    )
+    if cores >= requested:
+        fields["speedup_vs_serial"] = speedup
+    record_bench(name, **fields)
+    return speedup
 
 
 def bench_parallel_bnb_identity_and_speedup(benchmark):
@@ -89,31 +133,67 @@ def bench_parallel_bnb_identity_and_speedup(benchmark):
     assert parallel.best_bound == serial.best_bound
     assert parallel.values == serial.values
 
-    speedup = serial_seconds / max(parallel_seconds, 1e-9)
     cores = os.cpu_count() or 1
+    speedup = _record_parallel(
+        "parallel_bnb_market_split_3x16",
+        serial, parallel, serial_seconds, parallel_seconds,
+        byte_identical=True,
+    )
     print(f"\nserial {serial_seconds:.3f}s ({serial.iterations} nodes) | "
           f"workers=4 {parallel_seconds:.3f}s ({parallel.iterations} nodes) | "
           f"speedup {speedup:.2f}x on {cores} cores")
-    record_bench(
-        "parallel_bnb_market_split_3x16",
-        serial_wall_seconds=serial_seconds,
-        parallel_wall_seconds=parallel_seconds,
-        speedup_vs_serial=speedup,
-        serial_nodes=serial.iterations,
-        parallel_nodes=parallel.iterations,
-        serial_pivots=serial.stats.lp_pivots,
-        parallel_pivots=parallel.stats.lp_pivots,
-        subtrees_dispatched=parallel.stats.subtrees_dispatched,
-        incumbent_broadcasts=parallel.stats.incumbent_broadcasts,
-        workers=4,
-        byte_identical=True,
-        objective=serial.objective,
-    )
     if cores < 4:
         pytest.skip(f"speedup assertion needs >= 4 cores, have {cores} "
-                    f"(identity assertions passed; ratio recorded)")
+                    f"(identity assertions passed; speedup not recorded)")
     assert speedup >= 2.0, (
         f"workers=4 must be >= 2x faster than serial, got {speedup:.2f}x"
+    )
+
+
+def bench_parallel_bnb_fast_mode(benchmark):
+    """deterministic=False, workers=4: identical objective, >= 2x faster.
+
+    The fast mode's reason to exist is wall clock: work stealing keeps all
+    workers busy instead of waiting out the longest subtree.  The
+    objective-equality assertions always run; the speedup floor (>= 2.0 at
+    4 cores, same bar as the deterministic mode aims for) is asserted only
+    on machines with >= 4 cores and *recorded* only there too.
+    """
+    model = market_split(*BENCH_INSTANCE)
+
+    serial = BozoSolver(_options(workers=1)).solve(model)
+    serial_seconds = serial.solve_seconds
+
+    def solve_fast():
+        return BozoSolver(_options(workers=4, deterministic=False)).solve(model)
+
+    fast = run_once(benchmark, solve_fast)
+    fast_seconds = fast.solve_seconds
+
+    # The fast-mode contract: same status, same optimal objective, same
+    # proven bound.  (The vertex may be any alternative optimum and node
+    # counts vary, so neither is asserted.)
+    assert fast.status == serial.status
+    assert abs(fast.objective - serial.objective) <= 1e-9
+    assert abs(fast.best_bound - serial.best_bound) <= 1e-9
+
+    cores = os.cpu_count() or 1
+    speedup = _record_parallel(
+        "parallel_bnb_market_split_3x16_fast",
+        serial, fast, serial_seconds, fast_seconds,
+        deterministic=False,
+        subtrees_stolen=fast.stats.subtrees_stolen,
+        worker_idle_waits=fast.stats.worker_idle_waits,
+    )
+    print(f"\nserial {serial_seconds:.3f}s | fast workers=4 "
+          f"{fast_seconds:.3f}s ({fast.stats.subtrees_stolen} stolen) | "
+          f"speedup {speedup:.2f}x on {cores} cores")
+    if cores < 4:
+        pytest.skip(f"fast-mode speedup needs >= 4 cores, have {cores} "
+                    f"(objective equality passed; speedup not recorded)")
+    assert speedup >= 2.0, (
+        f"fast mode must be >= 2x faster than serial at 4 cores, "
+        f"got {speedup:.2f}x"
     )
 
 
@@ -157,6 +237,8 @@ def bench_parallel_sweep_identity(benchmark):
         parallel_wall_seconds=parallel_seconds,
         designs=len(serial_front),
         front=[(design.cost, design.makespan) for design in serial_front],
+        workers_requested=4,
         workers=4,
+        cpu_count=os.cpu_count() or 1,
         front_identical=True,
     )

@@ -35,6 +35,19 @@ GATED = {
     "bozo_example1_cold_vs_warm": ("cold_pivots", "warm_pivots"),
 }
 
+#: Absolute floors gated per benchmark entry: field -> minimum value.
+#: Checked against the *current* results only (no baseline needed) and
+#: skipped when the entry, the field, or the cores to measure it are
+#: absent — the benches deliberately omit speedup fields on machines with
+#: fewer cores than requested workers, and an omitted field must read as
+#: "not measurable here", never as a pass or a fail.
+FLOORS = {
+    "parallel_bnb_market_split_3x16_fast": {"speedup_vs_serial": 2.0},
+}
+
+#: Cores needed before a FLOORS entry is enforced.
+FLOOR_MIN_CORES = 4
+
 TOLERANCE = 0.20
 
 
@@ -76,6 +89,22 @@ def check(baseline: dict, current: dict) -> list:
                     f"{bench}.{counter}: {value} exceeds committed baseline "
                     f"{base} by more than {TOLERANCE:.0%} (ceiling {ceiling:.1f})"
                 )
+    for bench, floors in FLOORS.items():
+        entry = current.get(bench)
+        if entry is None:
+            continue  # bench did not run (e.g. smoke-only CI job)
+        cores = entry.get("cpu_count")
+        if cores is not None and cores < FLOOR_MIN_CORES:
+            continue  # too few cores to measure parallel speedup honestly
+        for field, minimum in floors.items():
+            value = entry.get(field)
+            if value is None:
+                continue  # omitted on purpose: not measurable on this box
+            if value < minimum:
+                problems.append(
+                    f"{bench}.{field}: {value:.2f} is below the required "
+                    f"floor {minimum:.2f}"
+                )
     return problems
 
 
@@ -102,7 +131,7 @@ def main(argv=None) -> int:
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
         return 1
-    gated = ", ".join(GATED)
+    gated = ", ".join([*GATED, *FLOORS])
     print(f"perf gate OK ({gated}; tolerance {TOLERANCE:.0%})")
     return 0
 

@@ -77,15 +77,19 @@ def _solver_options(args: argparse.Namespace, sink, workers: int = 1):
     returned options, so the caller owns closing it after the solve.
     ``workers`` is the branch-and-bound worker count (sweep-level
     parallelism is a separate knob passed to ``pareto_sweep`` instead).
+    ``--fast`` opts into the nondeterministic work-stealing mode: same
+    objectives, unordered exploration.
     """
     progress = getattr(args, "progress", False)
-    if workers <= 1 and sink is None and not progress:
+    fast = getattr(args, "fast", False)
+    if workers <= 1 and sink is None and not progress and not fast:
         return None
     from repro.obs.progress import print_progress
     from repro.solvers.base import SolverOptions
 
     return SolverOptions(
         workers=workers,
+        deterministic=not fast,
         trace=sink,
         on_progress=print_progress if progress else None,
     )
@@ -434,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--workers", type=int, default=1,
                          help="parallel branch-and-bound workers (bozo solver); "
                          "the result is identical to the serial solve")
+    p_synth.add_argument("--fast", action="store_true",
+                         help="with --workers N: work-stealing mode — same "
+                         "optimal objective, but exploration order (and the "
+                         "returned vertex among ties) may vary run to run")
     p_synth.add_argument("--trace", metavar="FILE", default=None,
                          help="stream structured solve events to this JSONL file "
                          "(inspect it with 'sos trace FILE')")
@@ -455,6 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--workers", type=int, default=1,
                          help="solve cost caps concurrently on this many processes; "
                          "the front is identical to the serial sweep")
+    p_sweep.add_argument("--fast", action="store_true",
+                         help="with --workers N: keep probe designs instead of "
+                         "re-solving canonically — same front costs/makespans, "
+                         "schedules may be any alternative optimum")
     p_sweep.add_argument("--trace", metavar="FILE", default=None,
                          help="stream structured sweep/solve events to this JSONL file")
     p_sweep.add_argument("--progress", action="store_true",

@@ -40,6 +40,12 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "bounds_fixed": frozenset({"node", "count"}),
     # The parallel driver shipped one subtree to a worker.
     "subtree_dispatched": frozenset({"subtree", "node", "bound"}),
+    # A spilled subtree node was picked up by a worker other than the one
+    # that spilled it (fast parallel mode only).
+    "subtree_stolen": frozenset({"node", "bound", "thief"}),
+    # A pool worker found the shared node queue empty mid-solve (fast
+    # parallel mode's starvation signal; ``slot`` is the idle worker).
+    "worker_idle": frozenset({"slot"}),
     # A worker lowered the shared incumbent objective bound.
     "incumbent_broadcast": frozenset({"objective"}),
     # One step of a Pareto sweep finished (canonical, probe, or floor).

@@ -18,6 +18,11 @@ bookkeeping.  What the manager adds over a bare thread pool:
   node through :attr:`SolverOptions.should_stop
   <repro.solvers.base.SolverOptions.should_stop>`; a running solve
   unwinds with :class:`~repro.errors.CancelledError` within one node.
+  Parallel solves bridge the hook across the process boundary: the
+  driver polls it while subtree leases are in flight and sets the
+  persistent pool's shared ``multiprocessing.Event``, which every pool
+  worker polls as *its* ``should_stop`` — so DELETE on a parallel job
+  stops the in-flight subtree solves too, not just the driver thread.
 * **Per-job deadlines** — a wall-clock budget counted from submission,
   mapped onto ``SolverOptions.time_limit`` for each underlying solve and
   enforced between solves through the same ``should_stop`` hook (a sweep

@@ -39,11 +39,23 @@ class SolverOptions:
         workers: Parallel branch-and-bound workers (Bozo only).  ``1``
             keeps the serial search; ``N > 1`` ramps the tree serially
             until a frontier of open subtrees exists, then dispatches the
-            subtrees to a process pool with a shared incumbent bound.
-            The merged Solution (status, objective, values, best bound)
-            is identical to the ``workers=1`` run; only telemetry differs.
+            subtrees to a persistent worker pool with a shared incumbent
+            bound (see ``deterministic`` for the merge contract).
             Requires ``best_first`` node selection — depth-first searches
             fall back to the serial path.
+        deterministic: Parallel merge contract (Bozo only; ignored when
+            ``workers == 1``).  ``True`` (default) is the *oracle* mode:
+            subtrees are dispatched in deterministic key order, solved
+            independently, and merged by replaying incumbents in that
+            order — the Solution (status, objective, values, best bound)
+            is byte-identical to the ``workers=1`` run.  ``False`` is the
+            *fast* mode: frontier nodes go onto a shared queue, any worker
+            takes any node, and busy workers spill half their open list
+            for idle workers to steal.  The optimal objective and best
+            bound are still identical to serial (pruning stays
+            provability-conservative), but exploration order is
+            nondeterministic, so among alternative optima a different
+            vertex may be returned and node counts vary run to run.
         frontier_target: Open-node count at which the parallel ramp stops
             and dispatches subtrees (``0`` = automatic,
             ``max(4 * workers, 8)``).  Exposed mainly so tests can force
@@ -119,6 +131,7 @@ class SolverOptions:
     presolve: bool = True
     warm_start: bool = True
     workers: int = 1
+    deterministic: bool = True
     frontier_target: int = 0
     cutoff: Optional[float] = None
     incumbent: Optional[Mapping[str, float]] = None

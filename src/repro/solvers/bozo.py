@@ -20,8 +20,11 @@ Features (all selectable through :class:`~repro.solvers.base.SolverOptions`):
 * incumbent rounding/repair for near-integral LP solutions,
 * wall-clock and node limits with a FEASIBLE (incumbent, gap > 0) result,
 * parallel tree search (``workers=N``): a serial ramp opens a frontier of
-  subtrees that are dispatched to a process pool with a shared incumbent
-  bound and merged deterministically (:mod:`repro.solvers.parallel`),
+  subtrees that are dispatched to a persistent shared-memory worker pool
+  with a shared incumbent bound (:mod:`repro.solvers.parallel`), either
+  merged deterministically (``deterministic=True``, byte-identical to
+  serial) or explored with work stealing (``deterministic=False``,
+  identical objectives, unordered exploration),
 * an optional objective ``cutoff`` for sweep-style callers that already
   know a valid upper bound,
 * full :class:`~repro.milp.solution.SolveStats` telemetry on every result.
@@ -55,7 +58,6 @@ from repro.solvers.base import Solver, SolverOptions
 from repro.solvers.revised import (
     Basis,
     StandardFormLP,
-    get_shared_form,
     solve_with_fallback,
 )
 from repro.solvers.simplex import LPResult, LPStatus, solve_lp
@@ -69,12 +71,10 @@ class _Node:
     down child of node ``i`` and ``2 i + 1`` for the up child.  Equal ids
     name equal subtrees, regardless of exploration or pruning history.
 
-    When ``ref_key`` names a registered shared form (see
-    :func:`repro.solvers.revised.register_shared_form`), the node pickles
-    as a *delta*: only the entries of ``lb``/``ub`` that differ from the
-    registered root bounds travel across the process pipe, plus the
-    reference hash — not the full bound vectors and never the constraint
-    matrix.
+    Nodes never cross a process boundary whole: the parallel pool ships
+    them as explicit bound *deltas* against the root bounds (see
+    :func:`repro.solvers.pool.encode_node`), so a work unit costs
+    O(branched bounds + basis), never a constraint-matrix copy.
     """
 
     bound: float
@@ -90,34 +90,6 @@ class _Node:
     branch_dir: str = field(compare=False, default="")
     #: Fractional distance the branch must close (f down, 1-f up).
     branch_fraction: float = field(compare=False, default=0.0)
-    #: Shared-form registry key enabling delta pickling (parallel mode).
-    ref_key: Optional[str] = field(compare=False, default=None, repr=False)
-
-    def __getstate__(self) -> dict:
-        state = dict(self.__dict__)
-        if self.ref_key is not None:
-            try:
-                ref = get_shared_form(self.ref_key)
-            except KeyError:
-                return state  # not registered here: fall back to dense
-            lb, ub = state.pop("lb"), state.pop("ub")
-            lb_idx = np.nonzero(lb != ref.root_lb)[0]
-            ub_idx = np.nonzero(ub != ref.root_ub)[0]
-            state["lb_delta"] = (lb_idx, lb[lb_idx])
-            state["ub_delta"] = (ub_idx, ub[ub_idx])
-        return state
-
-    def __setstate__(self, state: dict) -> None:
-        if "lb_delta" in state:
-            ref = get_shared_form(state["ref_key"])
-            lb = ref.root_lb.copy()
-            idx, values = state.pop("lb_delta")
-            lb[idx] = values
-            ub = ref.root_ub.copy()
-            idx, values = state.pop("ub_delta")
-            ub[idx] = values
-            state["lb"], state["ub"] = lb, ub
-        self.__dict__.update(state)
 
 
 class _Pseudocosts:
@@ -298,6 +270,7 @@ class _TreeSearch:
         reporter: Optional[ProgressReporter] = None,
         root_lp: Optional[Tuple[float, np.ndarray, np.ndarray]] = None,
         fixed_bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        spill=None,
     ) -> None:
         self.options = options
         self.form = form
@@ -314,6 +287,12 @@ class _TreeSearch:
         self.publish = publish
         self.allow_dives = allow_dives
         self.treat_root_unbounded = treat_root_unbounded
+        # Fast-parallel-mode hook: called with the open heap every few
+        # nodes so a busy worker can donate open subtrees to idle peers.
+        # The callback owns the policy (when and how much); it mutates the
+        # heap in place and must leave it a valid heap.
+        self.spill = spill
+        self._last_spill_at = 0
         self.node_budget = node_budget if node_budget else options.node_limit
         self.nodes_processed = 0
         # Reduced-cost fixing state.  ``root_lp`` ships a ramp's root LP
@@ -383,6 +362,15 @@ class _TreeSearch:
             ):
                 out.open_nodes = heap
                 break
+            if (
+                self.spill is not None
+                and not depth_first
+                and len(heap) >= 4
+                and self.nodes_processed % 16 == 0
+                and self.nodes_processed != self._last_spill_at
+            ):
+                self._last_spill_at = self.nodes_processed
+                self.spill(heap)
             node = pop_node()
             if node is None:
                 break
@@ -499,14 +487,12 @@ class _TreeSearch:
                 lp_obj, 2 * node.tiebreak, node.lb.copy(), node.ub.copy(),
                 node.depth + 1, basis=node_basis,
                 branch_var=branch_j, branch_dir="down", branch_fraction=fraction,
-                ref_key=node.ref_key,
             )
             down.ub[branch_j] = float(floor_value)
             up = _Node(
                 lp_obj, 2 * node.tiebreak + 1, node.lb.copy(), node.ub.copy(),
                 node.depth + 1, basis=node_basis,
                 branch_var=branch_j, branch_dir="up", branch_fraction=1.0 - fraction,
-                ref_key=node.ref_key,
             )
             up.lb[branch_j] = float(floor_value + 1)
             # Depth-first explores the "more integral" child first for quick

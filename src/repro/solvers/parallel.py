@@ -1,52 +1,63 @@
-"""Parallel branch and bound: subtree dispatch with a shared incumbent.
+"""Parallel branch and bound: subtree dispatch over a persistent pool.
 
 The driver behind ``BozoSolver(workers=N)``.  The strategy is *ramp then
-partition*:
+dispatch*:
 
 1. **Ramp** — the tree is searched serially (dives and all, an exact
    prefix of the ``workers=1`` run) until the open list holds
    ``frontier_target`` nodes (default ``max(4 * workers, 8)``).
-2. **Partition** — the open nodes, sorted by their deterministic
-   ``(bound, path id)`` heap key, become subtree work units shipped to a
-   fork-based :mod:`multiprocessing` pool.  The standard form is
-   inherited through the fork (and registered in the shared-form registry
-   so each :class:`~repro.solvers.bozo._Node` pickles as a bound delta,
-   never a matrix copy).
-3. **Broadcast** — whenever a worker improves on its local incumbent it
-   publishes the objective into a shared ``multiprocessing.Value``; other
-   workers prune nodes whose LP bound is *strictly worse* than the
-   broadcast value.  Strictness matters: conservative cross-worker
-   pruning can only remove provably non-improving subtrees, so each
-   worker's result is independent of broadcast timing.
-4. **Merge** — subtree incumbents, tagged with the ``(bound, path id)``
-   of the node that produced them, are replayed in that key order with
-   the serial adoption rule (strict improvement over the running best).
-   Because the serial best-first search pops nodes in exactly that lex
-   order, the fold reproduces the serial incumbent — same objective,
-   same variable values — and the merged Solution is byte-identical to
-   the ``workers=1`` run.
+2. **Publish** — the solve's matrices (matrix form, standard form, CSC
+   arrays) go into one ``multiprocessing.shared_memory`` segment
+   (:mod:`repro.solvers.shm`); the persistent worker pool
+   (:mod:`repro.solvers.pool`) attaches zero-copy.  Nothing is inherited
+   through ``fork``, so any start method works and a worker process is
+   reused across solves.
+3. **Dispatch** — the open nodes, sorted by their deterministic
+   ``(bound, path id)`` heap key, go onto the pool's shared node queue
+   encoded as bound deltas.  Any worker takes any node.  In *fast* mode
+   (``SolverOptions(deterministic=False)``) busy workers also spill half
+   their open list back onto the queue whenever the shared idle counter
+   shows a starving peer — idle workers steal instead of waiting for the
+   longest subtree.
+4. **Broadcast** — whenever a worker improves on its local incumbent it
+   publishes the objective into a shared value; other workers prune nodes
+   whose LP bound is *strictly worse* than the broadcast.  Strictness
+   matters: conservative cross-worker pruning can only remove provably
+   non-improving subtrees, so each lease's result is independent of
+   broadcast timing.
+5. **Merge** — in *deterministic* mode (the default, and the oracle the
+   fast mode is tested against) subtree incumbents are replayed in their
+   ``(bound, path id)`` key order with the serial adoption rule, which
+   reproduces the serial incumbent — the merged Solution is
+   byte-identical to the ``workers=1`` run.  In fast mode incumbents are
+   merged best-objective-first: the optimal *objective* and best bound
+   still equal the serial run's (pruning is conservative in both modes),
+   but among alternative optima a different vertex may be returned and
+   node counts vary run to run.
 
-When ``fork`` is unavailable (non-POSIX platforms) or the pool cannot be
-created, the subtrees are solved inline in dispatch order — the same
-code path, minus the parallelism — so results never depend on platform.
+Cancellation reaches workers through the pool's shared event: the driver
+polls ``options.should_stop`` while leases are in flight and sets the
+event, which every worker observes within one node (it is wired in as
+the worker-side ``should_stop``).  When the pool cannot be created or a
+worker dies mid-epoch, the subtrees are solved inline in dispatch order —
+the same lease code path, minus the parallelism — so results never depend
+on platform.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-import multiprocessing
 import os
 import time
 from dataclasses import replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import CancelledError
 from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStats
-from repro.obs.events import TraceEvent
 from repro.obs.progress import ProgressReporter
-from repro.obs.sinks import MemoryTraceSink, Tracer, make_tracer
+from repro.obs.sinks import Tracer, make_tracer
 from repro.solvers.bozo import (
     BozoSolver,
     _emit_solve_done,
@@ -55,97 +66,73 @@ from repro.solvers.bozo import (
     _SearchOutcome,
     _TreeSearch,
 )
-from repro.solvers.revised import clear_shared_forms, register_shared_form
+from repro.solvers.pool import (
+    EpochReport,
+    LeaseResult,
+    PoolBrokenError,
+    get_pool,
+    solve_lease,
+)
+from repro.solvers.shm import FormPublication
 
-#: Fork-inherited per-pool context.  Set in the parent immediately before
-#: the pool is created; child processes receive it through the fork and
-#: never unpickle the matrix form or the standard-form factorization.
-_WORKER_CTX: Dict[str, Any] = {}
 
-
-class _InlineValue:
-    """Duck-typed stand-in for ``multiprocessing.Value`` in inline mode."""
+class _InlineShared:
+    """Driver-local incumbent sharing for the inline fallback path."""
 
     def __init__(self, value: float) -> None:
         self.value = value
+        self.broadcasts = 0
 
-    def get_lock(self):  # pragma: no cover - trivial
-        import contextlib
+    def foreign_best(self) -> float:
+        return self.value
 
-        return contextlib.nullcontext()
-
-
-def _publish(objective: float, tracer: Optional[Tracer] = None) -> None:
-    """Broadcast a strictly-improving incumbent objective to all workers.
-
-    The ``incumbent_broadcast`` trace event is emitted under the shared
-    lock, exactly when (and only when) the broadcast actually lowered the
-    shared value — so a trace's broadcast-event count always equals the
-    ``incumbent_broadcasts`` counter.
-    """
-    shared = _WORKER_CTX["incumbent"]
-    counter = _WORKER_CTX["broadcasts"]
-    with shared.get_lock():
-        if objective < shared.value - 1e-12:
-            shared.value = objective
-            counter.value += 1
+    def publish(self, objective: float, tracer: Optional[Tracer]) -> None:
+        if objective < self.value - 1e-12:
+            self.value = objective
+            self.broadcasts += 1
             if tracer is not None:
                 tracer.emit("incumbent_broadcast", objective=objective)
 
 
-def _solve_subtree(
-    job: Tuple[int, _Node],
-) -> Tuple[_SearchOutcome, SolveStats, List[TraceEvent]]:
-    """Worker entry point: exhaust one subtree, report incumbent + stats.
+def _solve_epoch_inline(
+    form,
+    sf,
+    options,
+    worker_options,
+    start: float,
+    ramp_obj: float,
+    root_lp,
+    fixed_bounds,
+    subtrees: List[_Node],
+) -> EpochReport:
+    """Fallback: solve every lease in dispatch order, polling cancellation.
 
-    ``job`` is ``(worker id, subtree root)``; workers are numbered from 1
-    in dispatch order.  Runs with dives disabled and a *local* adoption
-    rule seeded with the ramp incumbent objective: what this subtree
-    reports is a function of the subtree alone, never of what other
-    workers broadcast (broadcasts only prune provably non-improving
-    nodes).  That independence is what makes the merge deterministic.
-
-    When the parent has a trace sink, events are buffered in a private
-    in-memory sink (sinks never cross the process boundary) and shipped
-    back in the returned tuple for the driver to merge in dispatch order.
+    No stealing happens inline (there is nobody to steal), so fast mode
+    degrades to the deterministic dispatch order — which satisfies the
+    fast-mode contract trivially.
     """
-    worker_id, node = job
-    ctx = _WORKER_CTX
-    shared = ctx["incumbent"]
-    stats = SolveStats()
-    tracer: Optional[Tracer] = None
-    buffer: Optional[MemoryTraceSink] = None
-    if ctx.get("trace_enabled"):
-        buffer = MemoryTraceSink()
-        tracer = Tracer(buffer, worker=worker_id)
-    lp = _LPBackend(
-        ctx["form"], ctx["warm_start"], stats, sf=ctx["sf"], tracer=tracer,
-        pricing_block_size=ctx["options"].pricing_block_size,
+    shared = _InlineShared(ramp_obj)
+    leases: List[LeaseResult] = []
+    for lease_id, node in enumerate(subtrees, start=1):
+        if options.should_stop is not None and options.should_stop():
+            raise CancelledError(
+                "parallel solve cancelled between inline subtrees"
+            )
+        outcome, stats, events, cancelled = solve_lease(
+            form, sf, worker_options, start, ramp_obj, root_lp, fixed_bounds,
+            node, worker_tag=lease_id,
+            foreign_best=shared.foreign_best, publish=shared.publish,
+            trace_enabled=options.trace is not None,
+        )
+        leases.append(LeaseResult(
+            slot=0, lease_id=lease_id,
+            node_key=(node.tiebreak, node.bound), stolen=False,
+            outcome=outcome, stats=stats, events=events, cancelled=cancelled,
+        ))
+    return EpochReport(
+        leases=leases, broadcasts=shared.broadcasts,
+        idle_slots=[], cancelled=False,
     )
-    # Each worker re-tightens reduced-cost bounds from its *own* incumbents
-    # only, starting from the bounds the ramp derived — copied, so inline
-    # mode matches fork mode (no cross-subtree mutation).
-    fixed = ctx.get("fixed_bounds")
-    if fixed is not None:
-        fixed = (fixed[0].copy(), fixed[1].copy())
-    engine = _TreeSearch(
-        ctx["options"],
-        ctx["form"],
-        lp,
-        start=ctx["start"],
-        incumbent_obj=ctx["ramp_obj"],
-        foreign_best=lambda: shared.value,
-        publish=lambda objective: _publish(objective, tracer),
-        allow_dives=False,
-        treat_root_unbounded=False,
-        tracer=tracer,
-        root_lp=ctx.get("root_lp"),
-        fixed_bounds=fixed,
-    )
-    outcome = engine.run([node])
-    outcome.open_nodes = []  # never ship nodes back
-    stats.nodes = outcome.nodes
-    return outcome, stats, buffer.events if buffer is not None else []
 
 
 def solve_parallel(
@@ -160,6 +147,7 @@ def solve_parallel(
     """
     options = solver.options
     effective = workers if workers is not None else options.workers
+    deterministic = options.deterministic
     start = time.monotonic()
     stats = SolveStats()
     stats.workers_requested = options.workers
@@ -216,107 +204,97 @@ def solve_parallel(
                 node=node.tiebreak,
                 bound=node.bound,
             )
-    share_key: Optional[str] = None
-    if lp.sf is not None:
-        share_key = register_shared_form(lp.sf, form.lb, form.ub)
-        for node in subtrees:
-            node.ref_key = share_key
 
-    pool_size = min(effective, len(subtrees))
-    incumbent: Any
-    broadcasts: Any
-    try:
-        mp = multiprocessing.get_context("fork")
-        incumbent = mp.Value("d", outcome.incumbent_obj)
-        broadcasts = mp.Value("l", 0)
-    except ValueError:  # fork unavailable (e.g. Windows): inline mode
-        mp = None
-        incumbent = _InlineValue(outcome.incumbent_obj)
-        broadcasts = _InlineValue(0)
-
-    _WORKER_CTX.clear()
-    _WORKER_CTX.update(
-        form=form,
-        sf=lp.sf,
-        warm_start=options.warm_start,
-        # Sinks and callbacks never cross the process boundary: workers
-        # buffer events privately (see _solve_subtree) and never report
-        # progress, so both are stripped from the per-worker options —
-        # as is should_stop (a forked copy of the caller's flag would
-        # never fire; the driver polls it between pool operations).
-        options=replace(
-            options, workers=1, frontier_target=0,
-            trace=None, on_progress=None, verbose=False, should_stop=None,
-        ),
-        start=start,
-        ramp_obj=outcome.incumbent_obj,
-        incumbent=incumbent,
-        broadcasts=broadcasts,
-        trace_enabled=options.trace is not None,
-        root_lp=(
-            (ramp.root_obj, ramp.root_x, ramp.root_rc)
-            if ramp.root_rc is not None
-            else None
-        ),
-        fixed_bounds=(
-            (ramp.fix_lb, ramp.fix_ub) if ramp.fix_lb is not None else None
-        ),
+    # Sinks and callbacks never cross the process boundary: workers buffer
+    # events privately and never report progress, so both are stripped from
+    # the per-worker options.  should_stop is replaced worker-side by a
+    # poll of the pool's shared cancel event — which the driver sets when
+    # the caller's hook fires — so cancellation actually reaches in-flight
+    # leases (a pickled copy of the caller's closure never could).
+    worker_options = replace(
+        options, workers=1, frontier_target=0,
+        trace=None, on_progress=None, verbose=False, should_stop=None,
     )
-    jobs = list(enumerate(subtrees, start=1))
+    root_lp = (
+        (ramp.root_obj, ramp.root_x, ramp.root_rc)
+        if ramp.root_rc is not None
+        else None
+    )
+    fixed_bounds = (
+        (ramp.fix_lb, ramp.fix_ub) if ramp.fix_lb is not None else None
+    )
 
-    def solve_inline(pending_jobs):
-        """Fallback path: solve subtrees in dispatch order, polling cancel."""
-        inline = []
-        for job in pending_jobs:
-            if options.should_stop is not None and options.should_stop():
-                raise CancelledError(
-                    "parallel solve cancelled between inline subtrees"
-                )
-            inline.append(_solve_subtree(job))
-        return inline
-
+    report: Optional[EpochReport] = None
     try:
-        results: List[Tuple[_SearchOutcome, SolveStats, List[TraceEvent]]]
-        if mp is not None:
-            try:
-                with mp.Pool(pool_size) as pool:
-                    async_result = pool.map_async(_solve_subtree, jobs)
-                    # The driver polls the cancellation hook while the
-                    # pool works: workers run with should_stop stripped
-                    # (a forked flag copy would never fire), so this loop
-                    # is where a cancel request lands in parallel mode.
-                    while not async_result.ready():
-                        if options.should_stop is not None and options.should_stop():
-                            pool.terminate()
-                            raise CancelledError(
-                                "parallel solve cancelled while subtrees "
-                                "were in flight"
-                            )
-                        async_result.wait(0.05)
-                    results = async_result.get()
-            except OSError:  # pool creation failed: degrade gracefully
-                incumbent = _InlineValue(outcome.incumbent_obj)
-                broadcasts = _InlineValue(0)
-                _WORKER_CTX.update(incumbent=incumbent, broadcasts=broadcasts)
-                results = solve_inline(jobs)
-        else:
-            results = solve_inline(jobs)
-    finally:
-        _WORKER_CTX.clear()
-        if share_key is not None:
-            clear_shared_forms()
-            lp.sf.share_key = None
+        worker_pool = get_pool(effective)
+    except (OSError, ValueError):  # cannot create processes: degrade
+        worker_pool = None
+    if worker_pool is not None:
+        try:
+            # The publication owns the shared-memory segment; the context
+            # manager releases it on every exit path — normal completion,
+            # cancellation, pool crash, or any other exception.
+            with FormPublication(form, lp.sf) as publication:
+                report = worker_pool.run_epoch(
+                    spec=publication.spec,
+                    options=worker_options,
+                    start=start,
+                    ramp_obj=outcome.incumbent_obj,
+                    root_lp=root_lp,
+                    fixed_bounds=fixed_bounds,
+                    subtrees=subtrees,
+                    root_lb=form.lb,
+                    root_ub=form.ub,
+                    deterministic=deterministic,
+                    trace_enabled=options.trace is not None,
+                    should_stop=options.should_stop,
+                )
+        except PoolBrokenError:
+            # Partial results are discarded wholesale: re-solving every
+            # subtree inline from the ramp state is correct in both modes.
+            report = None
+    if report is None:
+        report = _solve_epoch_inline(
+            form, lp.sf, options, worker_options, start,
+            outcome.incumbent_obj, root_lp, fixed_bounds, subtrees,
+        )
+    if report.cancelled:
+        raise CancelledError(
+            "parallel solve cancelled while subtrees were in flight"
+        )
 
-    # Forward buffered worker events into the parent sink, grouped by
-    # worker in dispatch order — deterministic file layout; the monotonic
-    # timestamps allow temporal reconstruction when needed.
+    # Forward buffered worker events into the parent sink.  Deterministic
+    # mode groups by dispatch index in dispatch order (the serial layout);
+    # fast mode groups by worker slot in slot order, arrival order within
+    # a slot — replay folds per-worker groups in ascending id either way.
+    if deterministic:
+        ordered = sorted(report.leases, key=lambda lease: lease.lease_id)
+        groups = [[lease] for lease in ordered]
+    else:
+        by_slot: Dict[int, List[LeaseResult]] = {}
+        for lease in report.leases:
+            by_slot.setdefault(lease.slot, []).append(lease)
+        groups = [by_slot[slot] for slot in sorted(by_slot)]
     if tracer is not None:
-        for _, _, events in results:
-            for event in events:
-                tracer.sink.emit(event)
+        for group in groups:
+            for lease in group:
+                for event in lease.events:
+                    tracer.sink.emit(event)
+        for lease in report.leases:
+            if lease.stolen:
+                tracer.emit(
+                    "subtree_stolen",
+                    node=lease.node_key[0],
+                    bound=lease.node_key[1],
+                    thief=lease.slot,
+                )
+        for slot in report.idle_slots:
+            tracer.emit("worker_idle", slot=slot)
 
-    # Deterministic merge: replay subtree incumbents in discovery-key
-    # order with the serial adoption rule, starting from the ramp state.
+    # Merge subtree incumbents into the ramp state.  Deterministic mode
+    # replays them in discovery-key order with the serial adoption rule
+    # (byte-identity); fast mode adopts best-objective-first with the
+    # same key as a stable tie-break (objective identity).
     merged = _SearchOutcome(
         incumbent_x=outcome.incumbent_x,
         incumbent_obj=outcome.incumbent_obj,
@@ -324,10 +302,14 @@ def solve_parallel(
         nodes=outcome.nodes,
         root_unbounded=outcome.root_unbounded,
     )
-    candidates = sorted(
-        (res for res, _, _ in results if res.incumbent_x is not None),
-        key=lambda res: res.incumbent_key,
-    )
+    candidates = [
+        lease.outcome for lease in report.leases
+        if lease.outcome is not None and lease.outcome.incumbent_x is not None
+    ]
+    if deterministic:
+        candidates.sort(key=lambda res: res.incumbent_key)
+    else:
+        candidates.sort(key=lambda res: (res.incumbent_obj, res.incumbent_key))
     for res in candidates:
         if res.incumbent_obj < merged.incumbent_obj - 1e-12:
             merged.incumbent_x = res.incumbent_x
@@ -341,25 +323,34 @@ def solve_parallel(
                     source="merge",
                 )
 
-    worker_stats: List[SolveStats] = []
     open_bounds: List[float] = []
-    for res, wstats, _ in results:
+    for lease in report.leases:
+        res = lease.outcome
+        if res is None:
+            continue
         merged.nodes += res.nodes
         if res.hit_limit:
             merged.hit_limit = True
             if res.best_open_bound > -math.inf:
                 open_bounds.append(res.best_open_bound)
-        worker_stats.append(wstats)
     if merged.hit_limit:
         merged.best_open_bound = min(open_bounds) if open_bounds else -math.inf
 
+    stats.subtrees_stolen = sum(1 for lease in report.leases if lease.stolen)
+    stats.worker_idle_waits = len(report.idle_slots)
     solver.last_ramp_stats = dataclasses.replace(
         stats, phase_seconds=dict(stats.phase_seconds)
     )
+    worker_stats: List[SolveStats] = []
+    for group in groups:
+        group_stats = SolveStats()
+        for lease in group:
+            group_stats.merge(lease.stats)
+        worker_stats.append(group_stats)
     solver.last_worker_stats = worker_stats
     for wstats in worker_stats:
         stats.merge(wstats)
-    stats.incumbent_broadcasts = int(broadcasts.value)
+    stats.incumbent_broadcasts = report.broadcasts
     return solver._assemble(
         form, merged, stats, start, tracer=tracer, reporter=reporter
     )

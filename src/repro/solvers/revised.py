@@ -184,57 +184,6 @@ class RevisedResult:
     reduced_costs: Optional[np.ndarray] = None
 
 
-@dataclasses.dataclass
-class SharedFormRef:
-    """One entry of the shared-form registry used for cheap pickling.
-
-    Attributes:
-        sf: The registered standard form (owner of the constraint matrix).
-        root_lb: Structural lower bounds at registration time — the
-            reference against which :class:`~repro.solvers.bozo._Node`
-            bound vectors are delta-encoded.
-        root_ub: Structural upper bounds at registration time.
-    """
-
-    sf: "StandardFormLP"
-    root_lb: np.ndarray
-    root_ub: np.ndarray
-
-
-#: Registry of shared standard forms, keyed by constraint-matrix hash.
-#: Parallel branch and bound registers the form in the parent process
-#: before forking workers; the registry is inherited by the fork, so work
-#: units pickled across the pipe carry only a reference hash plus their
-#: mutated bounds instead of a full constraint-matrix copy.
-_SHARED_FORMS: Dict[str, SharedFormRef] = {}
-
-
-def register_shared_form(
-    sf: "StandardFormLP", root_lb: np.ndarray, root_ub: np.ndarray
-) -> str:
-    """Register ``sf`` for reference-based pickling; returns its key.
-
-    Must be called in the parent process *before* worker processes are
-    forked so the registry entry is inherited.  ``root_lb``/``root_ub``
-    are the pre-branching structural bounds that node deltas are encoded
-    against.
-    """
-    key = sf.fingerprint()
-    _SHARED_FORMS[key] = SharedFormRef(sf, root_lb.copy(), root_ub.copy())
-    sf.share_key = key
-    return key
-
-
-def get_shared_form(key: str) -> SharedFormRef:
-    """Look up a registered shared form (raises ``KeyError`` if absent)."""
-    return _SHARED_FORMS[key]
-
-
-def clear_shared_forms() -> None:
-    """Drop every registry entry (parents clean up after a parallel solve)."""
-    _SHARED_FORMS.clear()
-
-
 class StandardFormLP:
     """A computational standard form built once per MILP.
 
@@ -282,8 +231,6 @@ class StandardFormLP:
         )
         self.cost = np.concatenate([c, np.zeros(m)])
         self.c0 = float(c0)
-        #: Set by :func:`register_shared_form`; enables reference pickling.
-        self.share_key: Optional[str] = None
         self._fingerprint: Optional[str] = None
         self._a_csc = None
 
@@ -317,42 +264,48 @@ class StandardFormLP:
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
 
-    def __getstate__(self) -> dict:
-        """Pickle support: ship a matrix reference when the form is shared.
-
-        A registered form (see :func:`register_shared_form`) serializes
-        without its constraint matrix — receivers resolve ``a``/``b`` from
-        their inherited registry — so a work unit costs O(columns), not
-        O(rows x columns).  Unregistered forms pickle in full.
-        """
-        state = dict(self.__dict__)
-        state["_a_csc"] = None  # derived cache; receivers rebuild or share
-        key = state.get("share_key")
-        if key is not None and key in _SHARED_FORMS:
-            del state["a"]
-            del state["b"]
-        return state
-
-    def __setstate__(self, state: dict) -> None:
-        self.__dict__.update(state)
-        if "a" not in self.__dict__:
-            try:
-                ref = _SHARED_FORMS[self.share_key]
-            except KeyError:
-                raise RuntimeError(
-                    f"StandardFormLP was pickled as a reference to shared form "
-                    f"{self.share_key!r}, but the receiving process has no such "
-                    f"registry entry; call register_shared_form before forking"
-                ) from None
-            self.a = ref.sf.a
-            self.b = ref.sf.b
-            self._a_csc = ref.sf._a_csc  # share the CSC cache too (may be None)
-
     @classmethod
     def from_matrix_form(cls, form: MatrixForm) -> "StandardFormLP":
         """Build the standard form of a model's :class:`MatrixForm`."""
         return cls(form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
                    form.lb, form.ub, c0=form.c0)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        a: np.ndarray,
+        b: np.ndarray,
+        lo: np.ndarray,
+        up: np.ndarray,
+        cost: np.ndarray,
+        c0: float,
+        n: int,
+        m: int,
+        a_csc=None,
+    ) -> "StandardFormLP":
+        """Adopt already-assembled standard-form arrays without copying.
+
+        The constructor assembles the logical block from scratch; this
+        path instead wraps arrays that *are already* in standard form —
+        pool workers use it to adopt zero-copy shared-memory views of the
+        driver's matrices (see :mod:`repro.solvers.shm`).  ``a`` (and
+        ``a_csc`` when given) may be read-only; ``b``/``lo``/``up``/
+        ``cost`` must be private to the caller because solves mutate
+        bounds (and sweeps objectives) in place.
+        """
+        sf = cls.__new__(cls)
+        sf.n = int(n)
+        sf.m = int(m)
+        sf.ncols = int(n) + int(m)
+        sf.a = a
+        sf.b = b
+        sf.lo = lo
+        sf.up = up
+        sf.cost = cost
+        sf.c0 = float(c0)
+        sf._fingerprint = None
+        sf._a_csc = a_csc
+        return sf
 
     def set_bounds(self, lb: np.ndarray, ub: np.ndarray) -> None:
         """Replace the structural variable boxes in place (O(n), no rebuild)."""

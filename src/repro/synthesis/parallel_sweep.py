@@ -35,6 +35,14 @@ the serial cap with the serial options, the front is identical to the
 shorten the critical path.  Telemetry from every job (probes included)
 is merged into the synthesizer's ``total_stats``.
 
+With ``SolverOptions(deterministic=False)`` (fast mode) probe designs
+are shipped back and stand in for canonical ones: once a chain successor
+is proven and a probe already solved at that cost, the canonical
+re-solve is skipped.  Front costs and makespans are provably unchanged —
+a probe's objectives equal the canonical solve's — but the schedule at a
+front point may be any alternative optimum, so byte-level front identity
+is only guaranteed in deterministic mode.
+
 Assumption inherited from the serial sweep: ``cost_step`` is smaller
 than the gap between any two adjacent front costs (the serial chain
 makes the same assumption when it steps by ``cost_step``).  Platforms
@@ -78,6 +86,7 @@ def _sweep_worker(job: Tuple[str, Optional[float], Optional[float]]):
     """
     kind, cap, cutoff = job
     synth = _SWEEP_CTX["synth"]
+    fast = _SWEEP_CTX.get("fast", False)
     # The forked synthesizer is disposable: zero its accumulators so this
     # job's telemetry can be shipped back and merged by the parent.
     synth.total_stats = SolveStats()
@@ -92,13 +101,20 @@ def _sweep_worker(job: Tuple[str, Optional[float], Optional[float]]):
         else:
             design = synth.synthesize(
                 cost_cap=cap,
-                validate=_SWEEP_CTX["validate"] and kind == "canonical",
+                validate=_SWEEP_CTX["validate"]
+                and (kind == "canonical" or fast),
                 _primary_cutoff=cutoff,
             )
     except InfeasibleError:
         return (kind, cap, None, math.nan, math.nan,
                 synth.total_stats, synth.total_solve_seconds)
-    shipped = design if kind == "canonical" else None
+    # Deterministic sweeps ship only canonical designs (front identity
+    # with the serial sweep, schedules included).  Fast sweeps also ship
+    # probe designs: a probe's (cost, makespan) is the same optimum a
+    # canonical solve at the matching chain cap would return — only the
+    # schedule may differ — so the canonical re-solve can be skipped.
+    # Floor designs never ship (min-cost solves don't minimize makespan).
+    shipped = design if kind == "canonical" or (fast and kind == "probe") else None
     return (kind, cap, shipped, design.cost, design.makespan,
             synth.total_stats, synth.total_solve_seconds)
 
@@ -227,13 +243,14 @@ def parallel_pareto_sweep(
     )
     tracer = make_tracer(saved_options.trace if saved_options else None)
     should_stop = saved_options.should_stop if saved_options else None
+    fast = bool(saved_options is not None and not saved_options.deterministic)
     _SWEEP_CTX.clear()
-    _SWEEP_CTX.update(synth=synth, validate=validate)
+    _SWEEP_CTX.update(synth=synth, validate=validate, fast=fast)
     try:
         with mp.Pool(workers) as pool:
             front = _orchestrate(
                 pool, synth, max_designs, cost_step, workers, tracer=tracer,
-                should_stop=should_stop,
+                should_stop=should_stop, fast=fast,
             )
     finally:
         _SWEEP_CTX.clear()
@@ -246,7 +263,8 @@ def parallel_pareto_sweep(
 
 
 def _orchestrate(
-    pool, synth, max_designs, cost_step, workers, tracer=None, should_stop=None
+    pool, synth, max_designs, cost_step, workers, tracer=None,
+    should_stop=None, fast=False,
 ) -> ParetoFront:
     """Dispatch canonical/probe/floor jobs and assemble the front.
 
@@ -256,6 +274,12 @@ def _orchestrate(
     completions (children run with it stripped); raising
     :class:`CancelledError` unwinds through the pool's context manager,
     which terminates any in-flight solves.
+
+    ``fast`` (``SolverOptions(deterministic=False)``) lets probe designs
+    stand in for canonical ones: when a proven chain successor already
+    has a probe-shipped design, the canonical re-solve at that cap is
+    skipped entirely.  Front costs and makespans are still identical to
+    the serial sweep; only schedules may differ among alternative optima.
     """
     state = _SweepState(cost_step)
     sweep_stats = SolveStats()
@@ -309,6 +333,10 @@ def _orchestrate(
                 state.designs[cost] = design
                 state.empty.append((cost, math.inf if cap is None else cap))
             else:
+                if design is not None and not any(
+                    abs(c - cost) <= _tol(c, cost) for c in state.designs
+                ):
+                    state.designs[cost] = design  # fast mode ships probes
                 state.empty.append((cost, cap))
 
         chain, complete = state.chain(max_designs)
@@ -323,6 +351,15 @@ def _orchestrate(
                 continue  # provably infeasible; the serial loop stops here
             if any(abs(cap - d) <= _tol(cap, d) for d in dispatched_caps):
                 continue
+            if (
+                fast
+                and idx + 1 < len(chain)
+                and any(
+                    abs(c2 - chain[idx + 1]) <= _tol(c2, chain[idx + 1])
+                    for c2 in state.designs
+                )
+            ):
+                continue  # successor proven and its design already in hand
             dispatched_caps.append(cap)
             submit("canonical", cap, None)
         # Probe dispatch: bisect unexplored cost regions, capped at pool size.

@@ -20,6 +20,8 @@ GOLDEN_SCHEMA = {
     "incumbent_found": {"objective", "node", "source"},
     "bounds_fixed": {"node", "count"},
     "subtree_dispatched": {"subtree", "node", "bound"},
+    "subtree_stolen": {"node", "bound", "thief"},
+    "worker_idle": {"slot"},
     "incumbent_broadcast": {"objective"},
     "sweep_step": {"index", "kind", "feasible"},
     "phase": {"name", "seconds"},

@@ -1,6 +1,5 @@
-"""Parallel branch and bound: determinism, pickling, telemetry."""
+"""Parallel branch and bound: determinism, node encoding, telemetry."""
 
-import math
 import pickle
 import random
 
@@ -14,12 +13,10 @@ from repro.milp.model import Model
 from repro.solvers.base import SolverOptions
 from repro.solvers.bozo import BozoSolver, _Node
 from repro.solvers.parallel import ParallelBozoSolver
+from repro.solvers.pool import decode_node, encode_node
 from repro.solvers.registry import get_solver
-from repro.solvers.revised import (
-    StandardFormLP,
-    clear_shared_forms,
-    register_shared_form,
-)
+from repro.solvers.shm import AttachedForm, FormPublication, live_segments
+from repro.solvers.revised import StandardFormLP
 from repro.taskgraph.generators import layered_random
 from tests.conftest import make_library
 
@@ -149,61 +146,88 @@ class TestTelemetry:
         assert "workers=2" in solution.stats.summary()
 
 
-class TestPickling:
+class TestNodeEncoding:
     def _form(self, n=6):
         model = market_split(2, n, 0)
         form = model.to_matrices()
         return StandardFormLP.from_matrix_form(form), form
 
-    def test_shared_form_pickles_by_reference(self):
-        sf, form = self._form()
-        try:
-            register_shared_form(sf, form.lb, form.ub)
-            restored = pickle.loads(pickle.dumps(sf))
-            # The constraint matrix is resolved from the registry, not
-            # duplicated through the pickle stream.
-            assert restored.a is sf.a
-            assert restored.b is sf.b
-        finally:
-            clear_shared_forms()
-            sf.share_key = None
-
-    def test_unregistered_form_still_pickles(self):
-        sf, _ = self._form()
-        restored = pickle.loads(pickle.dumps(sf))
-        assert np.array_equal(restored.a, sf.a)
-
-    def test_node_delta_pickle_is_small_and_roundtrips(self):
-        sf, form = self._form(n=40)
+    def test_encode_decode_roundtrips_bounds(self):
+        _, form = self._form(n=40)
         root_lb, root_ub = form.lb.copy(), form.ub.copy()
-        try:
-            key = register_shared_form(sf, root_lb, root_ub)
-            lb, ub = root_lb.copy(), root_ub.copy()
-            ub[3] = 0.0  # one branched bound
-            dense = _Node(1.5, 6, lb.copy(), ub.copy())
-            delta = _Node(1.5, 6, lb.copy(), ub.copy(), ref_key=key)
-            dense_bytes = pickle.dumps(dense)
-            delta_bytes = pickle.dumps(delta)
-            assert len(delta_bytes) < len(dense_bytes) / 2
-            restored = pickle.loads(delta_bytes)
-            assert np.array_equal(restored.lb, lb)
-            assert np.array_equal(restored.ub, ub)
-            assert restored.bound == delta.bound
-            assert restored.tiebreak == delta.tiebreak
-        finally:
-            clear_shared_forms()
-            sf.share_key = None
+        lb, ub = root_lb.copy(), root_ub.copy()
+        ub[3] = 0.0   # down branch
+        lb[17] = 1.0  # up branch
+        node = _Node(1.5, 6, lb.copy(), ub.copy(), depth=2,
+                     branch_var=17, branch_dir="up", branch_fraction=0.4)
+        payload = encode_node(node, root_lb, root_ub)
+        restored, spilled_by = decode_node(payload, root_lb, root_ub)
+        assert spilled_by is None
+        assert np.array_equal(restored.lb, lb)
+        assert np.array_equal(restored.ub, ub)
+        assert restored.bound == node.bound
+        assert restored.tiebreak == node.tiebreak
+        assert restored.depth == node.depth
+        assert restored.branch_var == 17
+        assert restored.branch_dir == "up"
 
-    def test_missing_registry_entry_raises_helpfully(self):
-        sf, form = self._form()
-        try:
-            register_shared_form(sf, form.lb, form.ub)
-            payload = pickle.dumps(sf)
-        finally:
-            clear_shared_forms()
-            sf.share_key = None
-        with pytest.raises(RuntimeError, match="registry entry"):
-            pickle.loads(payload)
+    def test_encoding_ships_deltas_not_dense_bounds(self):
+        _, form = self._form(n=40)
+        root_lb, root_ub = form.lb.copy(), form.ub.copy()
+        ub = root_ub.copy()
+        ub[3] = 0.0  # one branched bound out of 40+
+        node = _Node(1.5, 6, root_lb.copy(), ub)
+        delta_bytes = pickle.dumps(encode_node(node, root_lb, root_ub))
+        dense_bytes = pickle.dumps(node)
+        assert len(delta_bytes) < len(dense_bytes) / 2
+
+    def test_spilled_by_tag_survives_the_wire(self):
+        _, form = self._form()
+        node = _Node(0.0, 5, form.lb.copy(), form.ub.copy())
+        payload = encode_node(node, form.lb, form.ub, spilled_by=3)
+        _, spilled_by = decode_node(payload, form.lb, form.ub)
+        assert spilled_by == 3
+
+
+class TestSharedMemory:
+    def test_publication_attach_roundtrip(self):
+        form = market_split(2, 10, 0).to_matrices()
+        sf = StandardFormLP.from_matrix_form(form)
+        with FormPublication(form, sf) as pub:
+            assert pub.name in live_segments()
+            attached = AttachedForm(pub.spec)
+            assert np.array_equal(attached.form.a_ub, form.a_ub)
+            assert np.array_equal(attached.form.lb, form.lb)
+            assert np.array_equal(attached.sf.a, sf.a)
+            assert np.array_equal(attached.sf.lo, sf.lo)
+            # Matrices are zero-copy read-only views; vectors are private
+            # per-worker copies (the LP backend mutates bounds in place).
+            assert not attached.sf.a.flags.writeable
+            assert attached.sf.lo.flags.writeable
+            attached.sf.lo[0] = -123.0
+            assert sf.lo[0] != -123.0
+            attached.close()
+        assert pub.name not in live_segments()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=pub.name)
+
+    def test_publication_released_on_exception(self):
+        form = market_split(2, 8, 0).to_matrices()
+        with pytest.raises(RuntimeError, match="boom"):
+            with FormPublication(form, None) as pub:
+                name = pub.name
+                raise RuntimeError("boom")
+        assert name not in live_segments()
+
+    def test_attach_without_standard_form(self):
+        form = market_split(2, 8, 0).to_matrices()
+        with FormPublication(form, None) as pub:
+            attached = AttachedForm(pub.spec)
+            assert attached.sf is None
+            assert np.array_equal(attached.form.c, form.c)
+            attached.close()
 
 
 class TestEdgeCases:

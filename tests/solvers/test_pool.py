@@ -1,0 +1,180 @@
+"""Persistent pool: fast-mode contract, spawn attach, cancellation, leaks."""
+
+import time
+
+import pytest
+
+from repro.errors import CancelledError
+from repro.solvers.base import SolverOptions
+from repro.solvers.bozo import BozoSolver
+from repro.solvers import parallel as parallel_mod
+from repro.solvers.pool import WorkerPool, get_pool, shutdown_pool
+from repro.solvers.shm import live_segments
+from tests.solvers.test_parallel import market_split, sos_model
+
+
+def _opts(workers, **kwargs):
+    kwargs.setdefault("clamp_workers", False)
+    kwargs.setdefault("branching", "most_fractional")
+    return SolverOptions(workers=workers, **kwargs)
+
+
+class TestFastModeContract:
+    """deterministic=False: identical objectives, any optimal vertex."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_market_split_objective_matches_serial(self, seed):
+        model = market_split(3, 13, seed)
+        serial = BozoSolver(_opts(1)).solve(model)
+        fast = BozoSolver(_opts(3, deterministic=False)).solve(model)
+        assert fast.status == serial.status
+        assert fast.objective == pytest.approx(serial.objective, abs=1e-9)
+        assert fast.best_bound == pytest.approx(serial.best_bound, abs=1e-9)
+        # The vertex is a *valid* solution even if it is a different
+        # alternative optimum than the serial one.
+        for var, value in fast.values.items():
+            assert var in serial.values
+
+    @pytest.mark.parametrize("seed", [1, 3])
+    def test_random_sos_objective_matches_serial(self, seed):
+        built = sos_model(num_tasks=4, layers=2, seed=seed)
+        serial = BozoSolver(_opts(1)).solve(built.model)
+        fast = BozoSolver(
+            _opts(2, deterministic=False, frontier_target=2)
+        ).solve(built.model)
+        assert fast.status == serial.status
+        assert fast.objective == pytest.approx(serial.objective, abs=1e-9)
+
+    def test_fast_mode_changes_fingerprint(self):
+        from repro.service.fingerprint import _SOLVER_FIELDS
+
+        assert "deterministic" in _SOLVER_FIELDS
+
+    def test_infeasible_model_fast_mode(self):
+        from repro.milp.expr import VarType
+        from repro.milp.model import Model
+
+        model = Model("infeasible")
+        x = model.add_var("x", vtype=VarType.BINARY)
+        model.add(x >= 0.4, name="lo")
+        model.add(x <= 0.6, name="hi")
+        model.minimize(x)
+        solution = BozoSolver(_opts(3, deterministic=False)).solve(model)
+        assert not solution.status.has_solution
+
+
+class TestPoolLifecycle:
+    def test_pool_persists_across_solves(self):
+        model_a = market_split(3, 12, 0)
+        model_b = market_split(3, 12, 1)
+        BozoSolver(_opts(2)).solve(model_a)
+        first = get_pool(2)
+        BozoSolver(_opts(2)).solve(model_b)
+        assert get_pool(2) is first  # reused, not respawned
+        assert first.alive
+
+    def test_dead_pool_is_replaced(self):
+        pool = get_pool(2)
+        for proc in pool._procs:
+            proc.terminate()
+        for proc in pool._procs:
+            proc.join(5)
+        model = market_split(3, 12, 2)
+        solution = BozoSolver(_opts(2)).solve(model)  # must not hang
+        reference = BozoSolver(_opts(1)).solve(model)
+        assert solution.values == reference.values
+        assert get_pool(2) is not pool
+
+    def test_inline_fallback_matches_serial(self, monkeypatch):
+        def no_pool(size):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(parallel_mod, "get_pool", no_pool)
+        model = market_split(3, 12, 1)
+        parallel = BozoSolver(_opts(3)).solve(model)
+        serial = BozoSolver(_opts(1)).solve(model)
+        assert parallel.values == serial.values
+        assert parallel.stats.subtrees_dispatched >= 1
+
+    def test_spawn_start_method_attaches(self, monkeypatch):
+        # The shared-memory publication must work without fork inheritance:
+        # run a whole parallel solve on a spawn-context pool.
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "spawn")
+        shutdown_pool()  # drop any fork-context pool
+        try:
+            model = market_split(2, 10, 0)
+            solution = BozoSolver(_opts(2, frontier_target=2)).solve(model)
+            reference = BozoSolver(_opts(1)).solve(model)
+            assert solution.values == reference.values
+            pool = get_pool(2)
+            assert pool.start_method == "spawn"
+        finally:
+            shutdown_pool()  # don't leave a spawn pool for other tests
+
+    def test_shutdown_pool_is_idempotent(self):
+        get_pool(2)
+        shutdown_pool()
+        shutdown_pool()
+        assert get_pool(2).alive
+
+
+class TestNoLeaks:
+    def test_no_segments_after_solves(self):
+        BozoSolver(_opts(2)).solve(market_split(3, 12, 0))
+        BozoSolver(_opts(2, deterministic=False)).solve(market_split(3, 12, 1))
+        assert live_segments() == ()
+
+    def test_no_segments_after_cancellation(self):
+        t0 = time.monotonic()
+        options = _opts(
+            2, should_stop=lambda: time.monotonic() - t0 > 0.25
+        )
+        with pytest.raises(CancelledError):
+            BozoSolver(options).solve(market_split(4, 24, 0))
+        assert live_segments() == ()
+
+    def test_no_segments_after_pool_crash(self):
+        model = market_split(3, 12, 3)
+        BozoSolver(_opts(2)).solve(model)  # warm the pool
+        pool = get_pool(2)
+        for proc in pool._procs:
+            proc.terminate()
+        BozoSolver(_opts(2)).solve(model)  # detects death, recovers
+        assert live_segments() == ()
+
+
+class TestCancellation:
+    def test_cancel_reaches_pool_workers(self):
+        # Trip the hook after the ramp has had time to dispatch subtrees:
+        # cancellation must unwind the driver *and* stop in-flight leases
+        # (the epoch fully drains, so the pool stays reusable).
+        t0 = time.monotonic()
+        options = _opts(
+            2, should_stop=lambda: time.monotonic() - t0 > 0.25
+        )
+        with pytest.raises(CancelledError):
+            BozoSolver(options).solve(market_split(4, 24, 1))
+        pool = get_pool(2)
+        assert pool.alive  # workers survived and drained the epoch
+        # The pool is immediately reusable for a clean solve.
+        model = market_split(2, 10, 1)
+        solution = BozoSolver(_opts(2)).solve(model)
+        reference = BozoSolver(_opts(1)).solve(model)
+        assert solution.values == reference.values
+
+    def test_immediate_cancel(self):
+        options = _opts(2, should_stop=lambda: True)
+        with pytest.raises(CancelledError):
+            BozoSolver(options).solve(market_split(3, 12, 0))
+        assert live_segments() == ()
+
+
+class TestWorkerPoolUnit:
+    def test_pool_start_and_shutdown(self):
+        pool = WorkerPool(2)
+        try:
+            assert pool.alive
+            assert len(pool._procs) == 2
+        finally:
+            pool.shutdown()
+        assert not pool.alive

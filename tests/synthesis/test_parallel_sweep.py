@@ -61,3 +61,39 @@ def test_sweep_records_worker_telemetry():
     synth.pareto_sweep(workers=3)
     assert synth.total_stats.workers == 3
     assert synth.total_solve_seconds > 0.0
+
+
+class TestFastSweep:
+    """deterministic=False: same front coordinates, any optimal schedules."""
+
+    def _coords(self, front):
+        return [(d.cost, pytest.approx(d.makespan, abs=1e-9)) for d in front]
+
+    def test_fast_front_coordinates_match_serial(self):
+        from repro.solvers.base import SolverOptions
+
+        serial = Synthesizer(
+            example1(), example1_library(), solver="highs"
+        ).pareto_sweep()
+        fast = Synthesizer(
+            example1(), example1_library(), solver="highs",
+            solver_options=SolverOptions(deterministic=False),
+        ).pareto_sweep(workers=3)
+        assert self._coords(fast) == self._coords(serial)
+
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_fast_front_coordinates_random_graph(self, seed):
+        from repro.solvers.base import SolverOptions
+
+        graph = layered_random(5, 2, seed=seed)
+        library = make_library(
+            {"fast": (8, {t: 1 for t in graph.subtask_names}),
+             "slow": (3, {t: 3 for t in graph.subtask_names})},
+            instances_per_type=2, remote_delay=0.5,
+        )
+        serial = Synthesizer(graph, library, solver="highs").pareto_sweep()
+        fast = Synthesizer(
+            graph, library, solver="highs",
+            solver_options=SolverOptions(deterministic=False),
+        ).pareto_sweep(workers=4)
+        assert self._coords(fast) == self._coords(serial)
