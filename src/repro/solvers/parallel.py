@@ -109,8 +109,14 @@ def _solve_epoch_inline(
 
     No stealing happens inline (there is nobody to steal), so fast mode
     degrades to the deterministic dispatch order — which satisfies the
-    fast-mode contract trivially.
+    fast-mode contract trivially.  The leases run in the driver process,
+    so the caller's ``should_stop`` closure is wired straight into each
+    lease: cancellation is observed within one node here too, not merely
+    between subtrees.
     """
+    lease_options = worker_options
+    if options.should_stop is not None:
+        lease_options = replace(worker_options, should_stop=options.should_stop)
     shared = _InlineShared(ramp_obj)
     leases: List[LeaseResult] = []
     for lease_id, node in enumerate(subtrees, start=1):
@@ -119,7 +125,7 @@ def _solve_epoch_inline(
                 "parallel solve cancelled between inline subtrees"
             )
         outcome, stats, events, cancelled = solve_lease(
-            form, sf, worker_options, start, ramp_obj, root_lp, fixed_bounds,
+            form, sf, lease_options, start, ramp_obj, root_lp, fixed_bounds,
             node, worker_tag=lease_id,
             foreign_best=shared.foreign_best, publish=shared.publish,
             trace_enabled=options.trace is not None,
@@ -129,6 +135,11 @@ def _solve_epoch_inline(
             node_key=(node.tiebreak, node.bound), stolen=False,
             outcome=outcome, stats=stats, events=events, cancelled=cancelled,
         ))
+        if cancelled:
+            return EpochReport(
+                leases=leases, broadcasts=shared.broadcasts,
+                idle_slots=[], cancelled=True,
+            )
     return EpochReport(
         leases=leases, broadcasts=shared.broadcasts,
         idle_slots=[], cancelled=False,

@@ -17,9 +17,12 @@ the process-spawn cost once instead of per solve.  Each solve is an
    spill half their open list back onto the queue whenever the shared
    idle counter shows a starving peer; in deterministic mode each initial
    subtree is solved whole and never split.
-3. Workers report one result message per lease; the driver counts
-   outstanding leases (``+spilled - 1`` per completion) and the epoch
-   ends when the count reaches zero.
+3. Workers report one result message per lease; a shared lease ledger
+   (``outstanding``) tracks how many leases are queued or in flight.  A
+   donor increments it *before* its spilled nodes become visible on the
+   node queue and the driver decrements it per completed lease, so the
+   count can only reach zero once every node — original or donated — has
+   been reported, regardless of which worker finishes first.
 
 Cancellation is a pool-lifetime ``multiprocessing.Event``: the driver
 sets it when the caller's ``should_stop`` fires, every worker polls it
@@ -253,12 +256,19 @@ def _serve_epoch(slot: int, ctx, node_q, result_q, shared) -> str:
     fast = not ctx["deterministic"]
     idle_flagged = False
 
+    # The idle count is per-epoch state (run_epoch zeroes it before each
+    # epoch), so both transitions check — under the counter's lock — that
+    # this worker's epoch is still the current one.  Without the check, a
+    # worker waking up late from epoch N would decrement epoch N+1's
+    # freshly reset counter below zero and silently suppress work
+    # stealing for the rest of the pool's life.
     def clear_idle() -> None:
         nonlocal idle_flagged
         if idle_flagged:
             idle_flagged = False
             with shared.idle.get_lock():
-                shared.idle.value -= 1
+                if shared.epoch.value == eid:
+                    shared.idle.value -= 1
 
     try:
         while True:
@@ -268,10 +278,12 @@ def _serve_epoch(slot: int, ctx, node_q, result_q, shared) -> str:
                 if shared.epoch.value != eid:
                     return "done"
                 if fast and not idle_flagged:
-                    idle_flagged = True
                     with shared.idle.get_lock():
-                        shared.idle.value += 1
-                    result_q.put(("idle", eid, slot))
+                        if shared.epoch.value == eid:
+                            idle_flagged = True
+                            shared.idle.value += 1
+                    if idle_flagged:
+                        result_q.put(("idle", eid, slot))
                 continue
             m_eid = msg[1]
             if m_eid < eid:
@@ -311,6 +323,12 @@ def _run_lease(slot: int, ctx, options, msg, node_q, shared) -> Tuple:
                 return
             heap[:] = ordered[0::2]
             heapq.heapify(heap)
+            # Credit the ledger BEFORE the donated nodes become visible:
+            # a thief can only pick a node up after the increment, so its
+            # completion can never drive ``outstanding`` to zero while the
+            # donor's lease (or another donated node) is still open.
+            with shared.outstanding.get_lock():
+                shared.outstanding.value += len(give)
             for donated in give:
                 node_q.put((
                     "node", eid, None,
@@ -385,6 +403,7 @@ class WorkerPool:
         self.broadcasts = ctx.Value("l", 0)
         self.epoch = ctx.Value("l", 0)
         self.idle = ctx.Value("l", 0)
+        self.outstanding = ctx.Value("l", 0)
         self.cancel = ctx.Event()
         self.node_q = ctx.Queue()
         self.result_q = ctx.Queue()
@@ -416,6 +435,7 @@ class WorkerPool:
             "broadcasts": self.broadcasts,
             "epoch": self.epoch,
             "idle": self.idle,
+            "outstanding": self.outstanding,
             "cancel": self.cancel,
         }
 
@@ -456,15 +476,27 @@ class WorkerPool:
     ) -> EpochReport:
         """Dispatch ``subtrees`` as one epoch and collect every lease.
 
-        Blocks until the lease ledger drains (each completion returns
-        ``spilled - 1`` outstanding leases).  ``should_stop`` is polled
-        while waiting; when it fires the shared cancel event is set, the
-        epoch still drains fully (workers answer remaining nodes as
-        cancelled within one node's latency), and the report comes back
-        with ``cancelled=True``.  Raises :class:`PoolBrokenError` — after
-        tearing the pool down — if a worker dies mid-epoch.
+        Blocks until the shared lease ledger drains: the ledger starts at
+        ``len(subtrees)``, spilling workers credit it before their donated
+        nodes hit the queue, and the driver debits one per completed
+        lease, so zero means every node has been reported — no thief can
+        race the epoch shut while a donor is still running.
+        ``should_stop`` is polled while waiting (including while queued
+        behind another epoch for the pool lock — a cancellation observed
+        there raises :class:`~repro.errors.CancelledError` without
+        touching the queues); when it fires mid-epoch the shared cancel
+        event is set, the epoch still drains fully (workers answer
+        remaining nodes as cancelled within one node's latency), and the
+        report comes back with ``cancelled=True``.  Raises
+        :class:`PoolBrokenError` — after tearing the pool down — if a
+        worker dies mid-epoch.
         """
-        with self._lock:
+        while not self._lock.acquire(timeout=_POLL):
+            if should_stop is not None and should_stop():
+                raise CancelledError(
+                    "parallel solve cancelled while queued for the pool"
+                )
+        try:
             self._require_alive()
             self._epoch_counter += 1
             eid = self._epoch_counter
@@ -474,6 +506,8 @@ class WorkerPool:
                 self.broadcasts.value = 0
             with self.idle.get_lock():
                 self.idle.value = 0
+            with self.outstanding.get_lock():
+                self.outstanding.value = len(subtrees)
             self._drain_results()
             self.epoch.value = eid
             msg = ("epoch", eid, spec, options, start, ramp_obj,
@@ -481,22 +515,22 @@ class WorkerPool:
             try:
                 for ctl in self._ctl_queues:
                     ctl.put(msg)
-                outstanding = 0
                 for lease_id, node in enumerate(subtrees, start=1):
                     self.node_q.put((
                         "node", eid, lease_id,
                         encode_node(node, root_lb, root_ub),
                     ))
-                    outstanding += 1
-                return self._collect(eid, outstanding, should_stop)
+                return self._collect(eid, should_stop)
             except PoolBrokenError:
                 self.cancel.set()
                 self.shutdown()
                 raise
             finally:
                 self.epoch.value = 0
+        finally:
+            self._lock.release()
 
-    def _collect(self, eid: int, outstanding: int, should_stop) -> EpochReport:
+    def _collect(self, eid: int, should_stop) -> EpochReport:
         leases: List[LeaseResult] = []
         idle_slots: List[int] = []
         cancelled = False
@@ -507,7 +541,7 @@ class WorkerPool:
                 cancelled = True
                 self.cancel.set()
 
-        while outstanding:
+        while self.outstanding.value > 0:
             poll_cancel()
             try:
                 msg = self.result_q.get(timeout=_POLL)
@@ -526,7 +560,8 @@ class WorkerPool:
                 stolen=stolen, outcome=outcome, stats=stats, events=events,
                 cancelled=lease_cancelled,
             ))
-            outstanding += spilled - 1
+            with self.outstanding.get_lock():
+                self.outstanding.value -= 1
         return EpochReport(
             leases=leases,
             broadcasts=int(self.broadcasts.value),
@@ -569,8 +604,16 @@ def get_pool(size: int) -> WorkerPool:
     global _POOL, _ATEXIT_REGISTERED
     with _POOL_GUARD:
         if _POOL is not None and (not _POOL.alive or _POOL.size < size):
-            _POOL.shutdown()
+            stale = _POOL
             _POOL = None
+            if stale.alive:
+                # Regrow, not crash recovery: wait for any in-flight
+                # epoch to finish before tearing the pool down — another
+                # thread's solve must never lose its workers mid-epoch.
+                with stale._lock:
+                    stale.shutdown()
+            else:
+                stale.shutdown()
         if _POOL is None:
             _POOL = WorkerPool(size)
             if not _ATEXIT_REGISTERED:

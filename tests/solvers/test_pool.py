@@ -1,7 +1,9 @@
 """Persistent pool: fast-mode contract, spawn attach, cancellation, leaks."""
 
+import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro.errors import CancelledError
@@ -63,6 +65,28 @@ class TestFastModeContract:
         assert not solution.status.has_solution
 
 
+class TestSharedLedgers:
+    """The per-epoch shared counters must survive pool reuse unscathed."""
+
+    def test_counters_consistent_across_reused_epochs(self):
+        # Back-to-back fast solves on one pool: the lease ledger must
+        # drain to exactly zero each epoch (a thief finishing a stolen
+        # node before its donor reports must not close the epoch early
+        # and drop leases), and the idle counter must never be driven
+        # negative by workers waking up late from the previous epoch
+        # (which would silently suppress work stealing on reuse).
+        model = market_split(3, 13, 0)
+        serial = BozoSolver(_opts(1)).solve(model)
+        for _ in range(3):
+            fast = BozoSolver(_opts(3, deterministic=False)).solve(model)
+            assert fast.status == serial.status
+            assert fast.objective == pytest.approx(serial.objective, abs=1e-9)
+            assert fast.best_bound == pytest.approx(serial.best_bound, abs=1e-9)
+            pool = get_pool(3)
+            assert pool.outstanding.value == 0
+            assert pool.idle.value >= 0
+
+
 class TestPoolLifecycle:
     def test_pool_persists_across_solves(self):
         model_a = market_split(3, 12, 0)
@@ -117,6 +141,31 @@ class TestPoolLifecycle:
         shutdown_pool()
         assert get_pool(2).alive
 
+    def test_regrow_waits_for_inflight_epoch(self):
+        # get_pool(bigger) must not tear a live pool down while another
+        # thread's epoch holds the epoch lock — the regrow blocks until
+        # the lock is released, then replaces the pool.
+        shutdown_pool()
+        pool = get_pool(2)
+        assert pool._lock.acquire(timeout=5)  # simulate an in-flight epoch
+        grown = {}
+        try:
+            thread = threading.Thread(
+                target=lambda: grown.setdefault("pool", get_pool(3))
+            )
+            thread.start()
+            thread.join(timeout=0.5)
+            assert thread.is_alive()  # blocked behind the epoch lock
+            assert pool.alive  # the in-flight epoch kept its workers
+        finally:
+            pool._lock.release()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert grown["pool"] is not pool
+        assert grown["pool"].size >= 3
+        assert not pool.alive  # old pool shut down only after the epoch
+        shutdown_pool()
+
 
 class TestNoLeaks:
     def test_no_segments_after_solves(self):
@@ -167,6 +216,48 @@ class TestCancellation:
         with pytest.raises(CancelledError):
             BozoSolver(options).solve(market_split(3, 12, 0))
         assert live_segments() == ()
+
+    def test_queued_epoch_observes_cancellation(self):
+        # A solve queued behind another epoch (the per-pool epoch lock)
+        # must notice cancellation while waiting, not after the other
+        # epoch drains.
+        pool = WorkerPool(2)
+        assert pool._lock.acquire(timeout=5)  # another epoch "in flight"
+        try:
+            deadline = time.monotonic() + 10.0
+            with pytest.raises(CancelledError, match="queued"):
+                pool.run_epoch(
+                    spec={}, options=SolverOptions(), start=0.0,
+                    ramp_obj=float("inf"), root_lp=None, fixed_bounds=None,
+                    subtrees=[], root_lb=np.zeros(1), root_ub=np.ones(1),
+                    deterministic=True, trace_enabled=False,
+                    should_stop=lambda: True,
+                )
+            assert time.monotonic() < deadline
+        finally:
+            pool._lock.release()
+            pool.shutdown()
+
+    def test_inline_fallback_cancels_mid_subtree(self, monkeypatch):
+        # When the pool is unavailable the subtrees solve inline; the
+        # caller's should_stop must reach *into* each lease (one-node
+        # latency), not just be polled between subtrees.  The threshold
+        # sits far above the ramp + per-subtree polls (~16 on this
+        # model) but far below the per-node polls of the first leases,
+        # so the solve only cancels if leases themselves poll the hook.
+        def no_pool(size):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(parallel_mod, "get_pool", no_pool)
+        polls = {"count": 0}
+
+        def stop_mid_lease() -> bool:
+            polls["count"] += 1
+            return polls["count"] > 100
+
+        options = _opts(2, should_stop=stop_mid_lease)
+        with pytest.raises(CancelledError):
+            BozoSolver(options).solve(market_split(3, 14, 0))
 
 
 class TestWorkerPoolUnit:
