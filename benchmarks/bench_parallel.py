@@ -73,9 +73,11 @@ def market_split(rows: int, binaries: int, seed: int) -> Model:
 def _options(workers: int, deterministic: bool = True) -> SolverOptions:
     # clamp_workers=False: the bench measures the requested pool even on
     # boxes with fewer cores (the clamp would silently serialize it).
+    # cuts="off": these benches measure dispatch over a *fixed* big-tree
+    # workload; root cuts shrinking the tree would change what is timed.
     return SolverOptions(
         workers=workers, branching="most_fractional", clamp_workers=False,
-        deterministic=deterministic,
+        deterministic=deterministic, cuts="off",
     )
 
 

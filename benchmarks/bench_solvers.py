@@ -214,6 +214,80 @@ def bench_incumbent_seeding(benchmark):
     record_bench("incumbent_seeding", **results)
 
 
+def bench_bozo_example1_cuts(benchmark):
+    """Root cutting planes + strong branching on the Example 1 model.
+
+    Unseeded (an optimal incumbent would collapse the tree before cuts
+    could matter), cuts on vs off in one run, so ``check_regression.py``
+    can gate the *relative* wall clock: cuts must not slow this small
+    model down beyond the separation overhead allowance, and the
+    objective must be identical either way.
+    """
+
+    def solve(cuts):
+        built = _example1_model()
+        return get_solver("bozo", SolverOptions(cuts=cuts)).solve(built.model)
+
+    off = solve("off")
+
+    solution = benchmark(lambda: solve("auto"))
+    assert solution.objective == pytest.approx(off.objective)
+    stats = solution.stats
+    print(f"\ncuts off: {off.stats.nodes} nodes, {off.solve_seconds:.3f}s; "
+          f"cuts auto: {stats.nodes} nodes, {stats.cuts_added} cuts "
+          f"({stats.cut_rounds} rounds), {solution.solve_seconds:.3f}s")
+    record_bench(
+        "bozo_example1_cuts",
+        wall_on_seconds=solution.solve_seconds,
+        wall_off_seconds=off.solve_seconds,
+        nodes_on=stats.nodes,
+        nodes_off=off.stats.nodes,
+        cuts_added=stats.cuts_added,
+        cut_rounds=stats.cut_rounds,
+        root_gap_closed=stats.root_gap_closed,
+        strong_branch_probes=stats.strong_branch_probes,
+        objective=solution.objective,
+    )
+
+
+def bench_market_split_3x16_cuts(benchmark):
+    """Cuts on vs off on market split 3x16: the tree must strictly shrink.
+
+    Market split's knapsack-like equality structure is the classic Gomory
+    showcase; the measurable claim behind shipping the cut-and-branch
+    layer is a strict node-count decrease at identical optimum, recorded
+    here and gated by ``check_regression.py``.
+    """
+    from tests.solvers.test_parallel import market_split
+
+    def solve(cuts):
+        return get_solver("bozo", SolverOptions(cuts=cuts)).solve(
+            market_split(3, 16, 0)
+        )
+
+    off = solve("off")
+
+    solution = run_once(benchmark, lambda: solve("auto"))
+    assert solution.objective == pytest.approx(off.objective)
+    stats = solution.stats
+    print(f"\ncuts off: {off.stats.nodes} nodes; cuts auto: {stats.nodes} "
+          f"nodes, {stats.cuts_added} cuts ({stats.cut_rounds} rounds), "
+          f"root gap closed {stats.root_gap_closed:.4f}")
+    assert stats.nodes < off.stats.nodes
+    record_bench(
+        "market_split_3x16_cuts",
+        wall_on_seconds=solution.solve_seconds,
+        wall_off_seconds=off.solve_seconds,
+        nodes_on=stats.nodes,
+        nodes_off=off.stats.nodes,
+        cuts_added=stats.cuts_added,
+        cut_rounds=stats.cut_rounds,
+        root_gap_closed=stats.root_gap_closed,
+        strong_branch_probes=stats.strong_branch_probes,
+        objective=solution.objective,
+    )
+
+
 def bench_highs_example1(benchmark):
     """HiGHS on the identical model."""
 

@@ -33,6 +33,20 @@ RESULTS = REPO_ROOT / "BENCH_solvers.json"
 GATED = {
     "bozo_example1": ("nodes", "lp_pivots"),
     "bozo_example1_cold_vs_warm": ("cold_pivots", "warm_pivots"),
+    "bozo_example1_cuts": ("nodes_on",),
+    "market_split_3x16_cuts": ("nodes_on", "cuts_added"),
+}
+
+#: Same-run comparisons between two fields of one current entry: no
+#: committed baseline involved, so these never drift with the machine.
+#: ``(left, op, right, factor, slack)`` asserts ``left op right * factor
+#: + slack``.  The strict node decrease is the cut-and-branch layer's
+#: claim; the wall ceiling bounds separation overhead on a model small
+#: enough that cuts cannot pay for themselves in nodes alone (the slack
+#: absorbs timer noise on sub-100ms solves).
+SAME_RUN = {
+    "market_split_3x16_cuts": [("nodes_on", "<", "nodes_off", 1.0, 0.0)],
+    "bozo_example1_cuts": [("wall_on_seconds", "<=", "wall_off_seconds", 1.5, 0.05)],
 }
 
 #: Absolute floors gated per benchmark entry: field -> minimum value.
@@ -64,9 +78,11 @@ def committed_baseline() -> dict:
     return json.loads(proc.stdout)
 
 
-def check(baseline: dict, current: dict) -> list:
-    """All regressions beyond tolerance, as human-readable strings."""
+def check(baseline: dict, current: dict) -> tuple:
+    """``(problems, skipped)`` — regressions beyond tolerance and one-line
+    reasons for every gate that could not be enforced on this machine."""
     problems = []
+    skipped = []
     for bench, counters in GATED.items():
         base_entry = baseline.get(bench)
         entry = current.get(bench)
@@ -89,23 +105,55 @@ def check(baseline: dict, current: dict) -> list:
                     f"{bench}.{counter}: {value} exceeds committed baseline "
                     f"{base} by more than {TOLERANCE:.0%} (ceiling {ceiling:.1f})"
                 )
+    for bench, comparisons in SAME_RUN.items():
+        entry = current.get(bench)
+        if entry is None:
+            skipped.append(f"{bench}: SKIPPED (bench did not run)")
+            continue
+        for left, op, right, factor, slack in comparisons:
+            lhs = entry.get(left)
+            rhs = entry.get(right)
+            if lhs is None or rhs is None:
+                missing = left if lhs is None else right
+                problems.append(f"{bench}.{missing}: missing from current results")
+                continue
+            bound = rhs * factor + slack
+            ok = lhs < bound if op == "<" else lhs <= bound
+            if not ok:
+                problems.append(
+                    f"{bench}: {left}={lhs:g} must be {op} {right}={rhs:g} "
+                    f"x {factor:g} + {slack:g} (bound {bound:g})"
+                )
     for bench, floors in FLOORS.items():
         entry = current.get(bench)
         if entry is None:
-            continue  # bench did not run (e.g. smoke-only CI job)
+            skipped.append(f"{bench}: SKIPPED (bench did not run)")
+            continue
         cores = entry.get("cpu_count")
+        if cores is None:
+            machine = entry.get("machine")
+            if isinstance(machine, dict):
+                cores = machine.get("cpu_count")
         if cores is not None and cores < FLOOR_MIN_CORES:
-            continue  # too few cores to measure parallel speedup honestly
+            skipped.append(
+                f"{bench}: SKIPPED (cpu_count={cores} below the "
+                f"{FLOOR_MIN_CORES}-core floor threshold)"
+            )
+            continue
         for field, minimum in floors.items():
             value = entry.get(field)
             if value is None:
-                continue  # omitted on purpose: not measurable on this box
+                skipped.append(
+                    f"{bench}.{field}: SKIPPED (not measurable on this box; "
+                    f"cpu_count={cores})"
+                )
+                continue
             if value < minimum:
                 problems.append(
                     f"{bench}.{field}: {value:.2f} is below the required "
                     f"floor {minimum:.2f}"
                 )
-    return problems
+    return problems, skipped
 
 
 def main(argv=None) -> int:
@@ -125,13 +173,15 @@ def main(argv=None) -> int:
     except (OSError, ValueError, FileNotFoundError) as exc:
         print(f"check_regression: cannot load baselines: {exc}", file=sys.stderr)
         return 2
-    problems = check(baseline, current)
+    problems, skipped = check(baseline, current)
+    for reason in skipped:
+        print(f"  {reason}")
     if problems:
         print("perf regression beyond tolerance:", file=sys.stderr)
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
         return 1
-    gated = ", ".join([*GATED, *FLOORS])
+    gated = ", ".join(dict.fromkeys([*GATED, *SAME_RUN, *FLOORS]))
     print(f"perf gate OK ({gated}; tolerance {TOLERANCE:.0%})")
     return 0
 

@@ -82,7 +82,11 @@ def _solver_options(args: argparse.Namespace, sink, workers: int = 1):
     """
     progress = getattr(args, "progress", False)
     fast = getattr(args, "fast", False)
-    if workers <= 1 and sink is None and not progress and not fast:
+    cuts = getattr(args, "cuts", "auto")
+    cut_rounds = getattr(args, "cut_rounds", 5)
+    strong_branching = getattr(args, "strong_branching", 8)
+    non_default_cuts = cuts != "auto" or cut_rounds != 5 or strong_branching != 8
+    if workers <= 1 and sink is None and not progress and not fast and not non_default_cuts:
         return None
     from repro.obs.progress import print_progress
     from repro.solvers.base import SolverOptions
@@ -90,6 +94,9 @@ def _solver_options(args: argparse.Namespace, sink, workers: int = 1):
     return SolverOptions(
         workers=workers,
         deterministic=not fast,
+        cuts=cuts,
+        cut_rounds=cut_rounds,
+        strong_branching=strong_branching,
         trace=sink,
         on_progress=print_progress if progress else None,
     )
@@ -450,6 +457,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "heuristic incumbent (same optimum, less tree)")
     p_synth.add_argument("--progress", action="store_true",
                          help="print rate-limited progress lines during the solve")
+    p_synth.add_argument("--cuts", choices=("auto", "off"), default="auto",
+                         help="root cutting planes (bozo solver): 'auto' runs "
+                         "Gomory + cover separation rounds at the root, 'off' "
+                         "disables them (default: auto)")
+    p_synth.add_argument("--cut-rounds", type=int, default=5, dest="cut_rounds",
+                         help="maximum root separation rounds with --cuts auto "
+                         "(default: 5)")
+    p_synth.add_argument("--strong-branching", type=int, default=8,
+                         dest="strong_branching", metavar="K",
+                         help="probe the K most fractional root candidates with "
+                         "budgeted dual simplex before the first branch; 0 "
+                         "disables (default: 8)")
     p_synth.set_defaults(func=cmd_synthesize)
 
     p_sweep = sub.add_parser("sweep", help="enumerate all non-inferior designs")
@@ -471,6 +490,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stream structured sweep/solve events to this JSONL file")
     p_sweep.add_argument("--progress", action="store_true",
                          help="print rate-limited progress lines during each solve")
+    p_sweep.add_argument("--cuts", choices=("auto", "off"), default="auto",
+                         help="root cutting planes (bozo solver); see 'synthesize --cuts'")
+    p_sweep.add_argument("--cut-rounds", type=int, default=5, dest="cut_rounds",
+                         help="maximum root separation rounds with --cuts auto "
+                         "(default: 5)")
+    p_sweep.add_argument("--strong-branching", type=int, default=8,
+                         dest="strong_branching", metavar="K",
+                         help="root strong-branching candidate limit; 0 disables "
+                         "(default: 8)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_paper = sub.add_parser("paper", help="regenerate a paper table/figure")

@@ -10,6 +10,7 @@ from repro.milp.expr import INTEGRALITY_TOLERANCE, LinExpr, Var, VarType
 from repro.milp.lpreader import read_lp
 from repro.milp.lpwriter import lp_string, write_lp
 from repro.milp.model import MatrixForm, Model, ModelStats
+from repro.milp.mps import mps_string, read_mps, write_mps
 from repro.milp.solution import Solution, SolveStats, SolveStatus
 
 __all__ = [
@@ -22,6 +23,9 @@ __all__ = [
     "read_lp",
     "lp_string",
     "write_lp",
+    "read_mps",
+    "mps_string",
+    "write_mps",
     "MatrixForm",
     "Model",
     "ModelStats",

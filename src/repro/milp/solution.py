@@ -9,6 +9,21 @@ from typing import Dict, Mapping, Optional
 from repro.milp.expr import INTEGRALITY_TOLERANCE, Var
 
 
+def root_gap_closed(bound_before: float, bound_after: float) -> float:
+    """Relative root-bound improvement from a cut loop.
+
+    The one formula shared by the solver (when it fills
+    ``SolveStats.root_gap_closed``) and trace replay (when it re-derives
+    the field from ``cut_round`` events) — keeping it in one place is what
+    makes the replay bit-exact.
+    """
+    import math
+
+    if not (math.isfinite(bound_before) and math.isfinite(bound_after)):
+        return 0.0
+    return (bound_after - bound_before) / max(1.0, abs(bound_before))
+
+
 class SolveStatus(enum.Enum):
     """Outcome of a solve call."""
 
@@ -62,6 +77,17 @@ class SolveStats:
             records sum, so a sweep counts its seeded solves).
         rc_fixed_bounds: Integral-variable bounds tightened by
             reduced-cost fixing, accumulated over every re-tightening.
+        cuts_added: Cutting planes appended to the root LP across every
+            separation round (Gomory + cover).
+        cut_rounds: Root separation rounds that actually added cuts and
+            re-solved the relaxation.
+        strong_branch_probes: Budgeted strong-branching LP probes run at
+            the root to initialize pseudocosts.
+        root_gap_closed: Relative root-bound improvement from the cut
+            loop, ``(bound_after - bound_before) / max(1, |bound_before|)``
+            over the first and last separation round (see
+            :func:`root_gap_closed`); ``0.0`` when no cuts were added.
+            Merged records sum, like every other counter.
         phase_seconds: Wall-clock seconds per named phase (``"presolve"``,
             ``"lp"``, ``"search"``, ``"build"``, ...).  In a parallel run
             the per-phase totals are summed over all workers, so they can
@@ -82,6 +108,10 @@ class SolveStats:
     incumbent_broadcasts: int = 0
     seeded_incumbent: int = 0
     rc_fixed_bounds: int = 0
+    cuts_added: int = 0
+    cut_rounds: int = 0
+    strong_branch_probes: int = 0
+    root_gap_closed: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -111,6 +141,10 @@ class SolveStats:
         self.incumbent_broadcasts += other.incumbent_broadcasts
         self.seeded_incumbent += other.seeded_incumbent
         self.rc_fixed_bounds += other.rc_fixed_bounds
+        self.cuts_added += other.cuts_added
+        self.cut_rounds += other.cut_rounds
+        self.strong_branch_probes += other.strong_branch_probes
+        self.root_gap_closed += other.root_gap_closed
         for name, seconds in other.phase_seconds.items():
             self.add_phase(name, seconds)
         return self
@@ -132,6 +166,10 @@ class SolveStats:
             "incumbent_broadcasts": self.incumbent_broadcasts,
             "seeded_incumbent": self.seeded_incumbent,
             "rc_fixed_bounds": self.rc_fixed_bounds,
+            "cuts_added": self.cuts_added,
+            "cut_rounds": self.cut_rounds,
+            "strong_branch_probes": self.strong_branch_probes,
+            "root_gap_closed": self.root_gap_closed,
             "phase_seconds": dict(self.phase_seconds),
         }
 
@@ -148,8 +186,10 @@ class SolveStats:
             "warm_start_hits", "fallbacks", "workers", "workers_requested",
             "subtrees_dispatched", "subtrees_stolen", "worker_idle_waits",
             "incumbent_broadcasts", "seeded_incumbent", "rc_fixed_bounds",
+            "cuts_added", "cut_rounds", "strong_branch_probes",
         ):
             setattr(stats, name, int(data.get(name, 0)))
+        stats.root_gap_closed = float(data.get("root_gap_closed", 0.0))
         phases = data.get("phase_seconds") or {}
         stats.phase_seconds = {
             str(name): float(seconds) for name, seconds in phases.items()
@@ -174,6 +214,13 @@ class SolveStats:
             parts.append("seeded")
         if self.rc_fixed_bounds:
             parts.append(f"rc_fixed={self.rc_fixed_bounds}")
+        if self.cuts_added:
+            parts.append(
+                f"cuts={self.cuts_added} ({self.cut_rounds} rounds, "
+                f"gap closed {self.root_gap_closed:.1%})"
+            )
+        if self.strong_branch_probes:
+            parts.append(f"sb_probes={self.strong_branch_probes}")
         if self.workers:
             parts.append(
                 f"workers={self.workers}"

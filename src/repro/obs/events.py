@@ -38,6 +38,14 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "incumbent_found": frozenset({"objective", "node", "source"}),
     # Reduced-cost fixing tightened integral-variable bounds tree-wide.
     "bounds_fixed": frozenset({"node", "count"}),
+    # One root separation round appended cuts and re-solved the root LP.
+    "cut_round": frozenset(
+        {"round", "generated", "added", "bound_before", "bound_after"}
+    ),
+    # Summary after the root cut loop: total cuts now in the LP.
+    "cuts_added": frozenset({"count", "rounds", "gomory", "cover"}),
+    # Root strong branching probed candidates to initialize pseudocosts.
+    "strong_branch": frozenset({"node", "candidates", "probes", "chosen"}),
     # The parallel driver shipped one subtree to a worker.
     "subtree_dispatched": frozenset({"subtree", "node", "bound"}),
     # A spilled subtree node was picked up by a worker other than the one

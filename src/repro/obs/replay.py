@@ -22,7 +22,7 @@ import json
 from pathlib import Path
 from typing import Iterable, List, Union
 
-from repro.milp.solution import SolveStats
+from repro.milp.solution import SolveStats, root_gap_closed
 from repro.obs.events import TraceEvent, event_from_dict
 
 
@@ -72,6 +72,8 @@ def split_runs(events: Iterable[TraceEvent]) -> List[List[TraceEvent]]:
 def _counters_for_worker(events: List[TraceEvent]) -> SolveStats:
     """Accumulate one worker's events, in stream order, into a SolveStats."""
     stats = SolveStats()
+    first_cut_bound = None
+    last_cut_bound = None
     for event in events:
         if event.type == "node_opened":
             stats.nodes += 1
@@ -98,6 +100,17 @@ def _counters_for_worker(events: List[TraceEvent]) -> SolveStats:
                 stats.seeded_incumbent += 1
         elif event.type == "bounds_fixed":
             stats.rc_fixed_bounds += int(event.data["count"])
+        elif event.type == "cut_round":
+            stats.cut_rounds += 1
+            stats.cuts_added += int(event.data["added"])
+            if first_cut_bound is None:
+                first_cut_bound = float(event.data["bound_before"])
+            last_cut_bound = float(event.data["bound_after"])
+        elif event.type == "strong_branch":
+            stats.strong_branch_probes += int(event.data["probes"])
+    if first_cut_bound is not None:
+        # Same shared formula the solver uses, so the float matches exactly.
+        stats.root_gap_closed = root_gap_closed(first_cut_bound, last_cut_bound)
     return stats
 
 

@@ -61,6 +61,12 @@ _SOLVER_FIELDS = (
     "deterministic",
     "cutoff",
     "incumbent",
+    # Cuts and strong branching are optimum-preserving but, like
+    # rc_fixing, change exploration order — a different alternative
+    # optimum may be returned, so they key the cache.
+    "cuts",
+    "cut_rounds",
+    "strong_branching",
     "rc_fixing",
     "seed",
 )

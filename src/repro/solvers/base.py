@@ -75,6 +75,34 @@ class SolverOptions:
             is silently ignored — it can slow the search down but never
             change the optimal objective; like ``cutoff``, tie-broken
             alternative optima may differ from an unseeded run.
+        cuts: Root-node cutting-plane mode (Bozo only).  ``"auto"``
+            (default) runs a bounded separation loop at the root: Gomory
+            mixed-integer cuts from the simplex tableau plus knapsack
+            cover cuts from the ``<=`` rows, filtered through a cut pool
+            and appended to the standing LP with a dual-simplex warm
+            restart per round.  The cut-augmented relaxation is inherited
+            by the whole tree (cut-and-branch) and, in a parallel solve,
+            published to the workers' shared-memory form, so serial and
+            parallel searches branch on the same strengthened LP.
+            ``"off"`` disables separation.  Cuts are valid for every
+            integral point, so the optimal objective never changes; they
+            require the incremental engine (``warm_start=True``) and are
+            skipped silently without it.
+        cut_rounds: Maximum root separation rounds when ``cuts="auto"``
+            (each round separates, appends at most a pool-capped batch,
+            and re-solves).  The loop also stops early when no violated
+            cut is found or the bound stops improving.
+        strong_branching: Root-node strong-branching candidate budget
+            (Bozo only; ``0`` disables).  At the root, with pseudocost
+            branching, the ``strong_branching`` most-fractional candidates
+            are probed in both directions with budgeted dual-simplex
+            re-solves and the observed objective degradations initialize
+            the pseudocosts — replacing the cold uniform scores that
+            otherwise decide the first branchings blind.  Probes reuse the
+            warm-start machinery and are counted in
+            ``SolveStats.strong_branch_probes``.  Ignored under
+            most-fractional branching, which keeps the deterministic
+            byte-identity contract of that mode untouched.
         rc_fixing: Reduced-cost fixing mode (Bozo only).  ``"root"``
             (default) derives tree-wide integral-variable bounds from the
             root LP's reduced costs, re-tightened after every improved
@@ -135,6 +163,9 @@ class SolverOptions:
     frontier_target: int = 0
     cutoff: Optional[float] = None
     incumbent: Optional[Mapping[str, float]] = None
+    cuts: str = "auto"
+    cut_rounds: int = 5
+    strong_branching: int = 8
     rc_fixing: str = "root"
     seed: int = 0
     verbose: bool = False

@@ -51,16 +51,25 @@ import numpy as np
 
 from repro.errors import CancelledError
 from repro.milp.model import MatrixForm, Model
-from repro.milp.solution import Solution, SolveStats, SolveStatus
+from repro.milp.solution import Solution, SolveStats, SolveStatus, root_gap_closed
 from repro.obs.progress import ProgressReporter
 from repro.obs.sinks import Tracer, make_tracer
 from repro.solvers.base import Solver, SolverOptions
+from repro.solvers.cuts import CutPool, separate_cover, separate_gomory
 from repro.solvers.revised import (
     Basis,
+    RevisedStatus,
     StandardFormLP,
+    extend_basis,
+    solve_revised,
     solve_with_fallback,
 )
 from repro.solvers.simplex import LPResult, LPStatus, solve_lp
+
+#: Dual-simplex pivot budget of one strong-branching probe.  Probes that
+#: exhaust it are simply not recorded — a budgeted probe must never be
+#: allowed to trigger the expensive dense fallback.
+STRONG_BRANCH_ITERATIONS = 150
 
 
 @dataclass(order=True)
@@ -212,6 +221,51 @@ class _LPBackend:
         )
         return result, final_basis
 
+    def probe(
+        self,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: Optional[Basis],
+        max_iterations: int = STRONG_BRANCH_ITERATIONS,
+    ) -> Tuple[RevisedStatus, float]:
+        """Budgeted strong-branching probe on the revised path only.
+
+        Unlike :meth:`solve`, a probe never falls back to the dense
+        oracle: blowing the pivot budget (or any numerical trouble)
+        returns ``NEEDS_FALLBACK`` and the caller simply learns nothing
+        from that direction.  Probes emit ordinary ``lp_solved`` events
+        and accumulate into the same counters, so trace replay stays
+        exact for free.
+        """
+        start = time.monotonic()
+        self.stats.lp_solves += 1
+        assert self.sf is not None
+        self.sf.set_bounds(lb, ub)
+        if basis is not None:
+            self.stats.warm_starts += 1
+            # A probe can't fall back, so every warm attempt is a "hit" in
+            # the sense the replay derives from the event stream.
+            self.stats.warm_start_hits += 1
+        revised = solve_revised(
+            self.sf, basis, max_iterations=max_iterations,
+            pricing_block_size=self.pricing_block_size,
+        )
+        self.stats.lp_pivots += revised.iterations
+        elapsed = time.monotonic() - start
+        self.stats.add_phase("lp", elapsed)
+        if self.tracer is not None:
+            extra = revised.counters.as_dict() if revised.counters is not None else {}
+            self.tracer.emit(
+                "lp_solved",
+                pivots=revised.iterations,
+                status=revised.status.value,
+                warm=basis is not None,
+                fallback=False,
+                seconds=elapsed,
+                **extra,
+            )
+        return revised.status, revised.objective
+
 
 @dataclass
 class _SearchOutcome:
@@ -264,6 +318,7 @@ class _TreeSearch:
         foreign_best=None,
         publish=None,
         allow_dives: bool = True,
+        allow_cuts: bool = True,
         treat_root_unbounded: bool = True,
         node_budget: int = 0,
         tracer: Optional[Tracer] = None,
@@ -286,6 +341,14 @@ class _TreeSearch:
         self.foreign_best = foreign_best
         self.publish = publish
         self.allow_dives = allow_dives
+        # Cuts are a *root* mechanism: the serial solve and the parallel
+        # ramp separate them (tiebreak == 1), subtree workers never do —
+        # they inherit the cut-augmented form through shared memory.
+        self.allow_cuts = allow_cuts
+        #: ``(coefficients, rhs)`` of every cut row appended to the
+        #: standard form, in application order — the cut-augmented root
+        #: relaxation is the original rows plus exactly these.
+        self.applied_cuts: List[Tuple[np.ndarray, float]] = []
         self.treat_root_unbounded = treat_root_unbounded
         # Fast-parallel-mode hook: called with the open heap every few
         # nodes so a busy worker can donate open subtrees to idle peers.
@@ -434,6 +497,22 @@ class _TreeSearch:
             lp_obj = result.objective
             if (
                 node.tiebreak == 1
+                and self.allow_cuts
+                and options.cuts == "auto"
+                and self.lp.sf is not None
+            ):
+                result, node_basis = self._root_cut_loop(
+                    node, result, node_basis, want_rc
+                )
+                if result.status is not LPStatus.OPTIMAL or result.x is None:
+                    # A post-cut root LP can only fail numerically (every
+                    # integer point satisfies every cut); treat it like an
+                    # infeasible/unexplored root and let the terminal
+                    # status logic answer from whatever incumbent exists.
+                    continue
+                lp_obj = result.objective
+            if (
+                node.tiebreak == 1
                 and self.root_rc is None
                 and result.reduced_costs is not None
             ):
@@ -479,7 +558,31 @@ class _TreeSearch:
                         self._adopt(x, obj, key, source="integral")
                 continue
 
-            branch_j, fraction = self._pick_branch(fractional)
+            if (
+                node.tiebreak == 1
+                and options.branching == "pseudocost"
+                and options.strong_branching > 0
+                and self.lp.sf is not None
+                and node_basis is not None
+                and len(fractional) > 1
+            ):
+                # Root-only, candidate-limited strong branching: initialize
+                # the (otherwise cold) pseudocosts with observed objective
+                # degradations so _pick_branch's first decision is informed.
+                candidates, probes = self._strong_branch_root(
+                    node, lp_obj, result.x, fractional, node_basis
+                )
+                branch_j, fraction = self._pick_branch(fractional)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "strong_branch",
+                        node=node.tiebreak,
+                        candidates=candidates,
+                        probes=probes,
+                        chosen=int(branch_j),
+                    )
+            else:
+                branch_j, fraction = self._pick_branch(fractional)
             value = result.x[branch_j]
             floor_value = math.floor(value + tol)
 
@@ -607,6 +710,156 @@ class _TreeSearch:
             if self.tracer is not None:
                 self.tracer.emit("bounds_fixed", node=node_id, count=count)
 
+    # -- root cut-and-branch ------------------------------------------------
+    def _root_cut_loop(
+        self,
+        node: _Node,
+        result: LPResult,
+        node_basis: Optional[Basis],
+        want_rc: bool,
+    ) -> Tuple[LPResult, Optional[Basis]]:
+        """Bounded root separation: Gomory + cover cuts, re-solve per round.
+
+        Each round separates violated cuts at the current root optimum,
+        appends a pool-filtered batch to the standing standard form, and
+        dual-reoptimizes from the extended basis (the appended slacks stay
+        dual feasible, so re-solves are a short warm repair, not a
+        rebuild).  The augmented form is inherited by every tree node —
+        and, in a parallel solve, shipped to the workers via shared
+        memory.  Deterministic end to end: same model, same cuts.
+        """
+        options = self.options
+        sf = self.lp.sf
+        assert sf is not None
+        tol = options.integrality_tolerance
+        pool = CutPool()
+        first_bound = 0.0
+        last_bound = 0.0
+        rounds_run = 0
+        total_added = 0
+        total_gomory = 0
+        total_cover = 0
+        for round_index in range(1, max(options.cut_rounds, 0) + 1):
+            x = result.x
+            if result.status is not LPStatus.OPTIMAL or x is None:
+                break
+            if not any(
+                min(x[j] - math.floor(x[j]), math.ceil(x[j]) - x[j]) > tol
+                for j in self.integral
+            ):
+                break  # integral: the tree search will finish at this node
+            threshold = self.incumbent_obj - options.gap_tolerance * max(
+                1.0, abs(self.incumbent_obj)
+            )
+            if result.objective >= threshold:
+                break  # root already pruned by the incumbent: cuts are moot
+            gomory = (
+                separate_gomory(sf, node_basis, x, self.integral)
+                if node_basis is not None
+                else []
+            )
+            cover = separate_cover(self.form, x)
+            pool.add(gomory + cover)
+            chosen = pool.select(x)
+            if not chosen:
+                break
+            bound_before = result.objective
+            rows, rhs = pool.as_rows(chosen)
+            self.applied_cuts.extend(
+                (rows[k].copy(), float(rhs[k])) for k in range(len(chosen))
+            )
+            sf.append_ub_rows(rows, rhs)
+            if node_basis is not None:
+                node_basis = extend_basis(node_basis, sf, len(chosen))
+            result, node_basis = self.lp.solve(
+                node.lb, node.ub, node_basis, want_reduced_costs=want_rc
+            )
+            rounds_run += 1
+            total_added += len(chosen)
+            total_gomory += sum(1 for cut in chosen if cut.kind == "gomory")
+            total_cover += sum(1 for cut in chosen if cut.kind == "cover")
+            improved = (
+                result.status is LPStatus.OPTIMAL
+                and math.isfinite(result.objective)
+            )
+            bound_after = result.objective if improved else bound_before
+            if rounds_run == 1:
+                first_bound = bound_before
+            last_bound = bound_after
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "cut_round",
+                    round=round_index,
+                    generated=len(gomory) + len(cover),
+                    added=len(chosen),
+                    bound_before=bound_before,
+                    bound_after=bound_after,
+                )
+        if rounds_run:
+            stats = self.lp.stats
+            stats.cuts_added += total_added
+            stats.cut_rounds += rounds_run
+            stats.root_gap_closed += root_gap_closed(first_bound, last_bound)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "cuts_added",
+                    count=total_added,
+                    rounds=rounds_run,
+                    gomory=total_gomory,
+                    cover=total_cover,
+                )
+        return result, node_basis
+
+    def _strong_branch_root(
+        self,
+        node: _Node,
+        lp_obj: float,
+        x: np.ndarray,
+        fractional: List[Tuple[int, float]],
+        basis: Basis,
+    ) -> Tuple[int, int]:
+        """Probe the most-fractional candidates to initialize pseudocosts.
+
+        For each candidate both branch directions are solved with a short
+        dual-simplex budget from the root basis; the observed objective
+        degradations are recorded exactly as a solved child would record
+        them, so :meth:`_Pseudocosts.score`'s product rule sees real data
+        instead of the cold 1.0 defaults.  An infeasible direction records
+        a huge degradation — branching there closes the subtree outright.
+        Returns ``(candidates probed, LP probes run)``.
+        """
+        options = self.options
+        tol = options.integrality_tolerance
+        limit = min(options.strong_branching, len(fractional))
+        candidates = sorted(
+            fractional, key=lambda item: (-min(item[1], 1.0 - item[1]), item[0])
+        )[:limit]
+        probes = 0
+        infeasible_degradation = 1e6 * (1.0 + abs(lp_obj))
+        for j, fraction in candidates:
+            floor_value = math.floor(x[j] + tol)
+            for direction, frac_dir in (("down", fraction), ("up", 1.0 - fraction)):
+                lb = node.lb.copy()
+                ub = node.ub.copy()
+                if direction == "down":
+                    ub[j] = float(floor_value)
+                else:
+                    lb[j] = float(floor_value + 1)
+                status, objective = self.lp.probe(lb, ub, basis)
+                probes += 1
+                if status is RevisedStatus.OPTIMAL:
+                    self.pseudo.record(
+                        j, direction, max(objective - lp_obj, 0.0), frac_dir
+                    )
+                elif status is RevisedStatus.INFEASIBLE:
+                    self.pseudo.record(
+                        j, direction, infeasible_degradation, frac_dir
+                    )
+                # NEEDS_FALLBACK / UNBOUNDED: budget blown or numerics —
+                # learn nothing, never escalate to the dense oracle.
+        self.lp.stats.strong_branch_probes += probes
+        return len(candidates), probes
+
     # -- helpers ------------------------------------------------------------
     def _dive(
         self,
@@ -729,6 +982,11 @@ class BozoSolver(Solver):
         self.last_ramp_stats: Optional[SolveStats] = None
         #: Per-subtree worker telemetry of the last parallel solve.
         self.last_worker_stats: List[SolveStats] = []
+        #: ``(coefficients, rhs)`` of the root cuts applied by the last
+        #: solve (serial, or the ramp of a parallel solve): the
+        #: cut-augmented root relaxation is the presolved model's rows
+        #: plus exactly these ``<=`` rows.
+        self.last_root_cuts: List[Tuple[np.ndarray, float]] = []
 
     def solve(self, model: Model) -> Solution:
         """Solve ``model`` to optimality (or the configured limits)."""
@@ -744,6 +1002,7 @@ class BozoSolver(Solver):
             return solve_parallel(self, model, workers=workers)
         self.last_ramp_stats = None
         self.last_worker_stats = []
+        self.last_root_cuts = []
         return self._solve_serial(model)
 
     def _solve_serial(self, model: Model) -> Solution:
@@ -773,6 +1032,7 @@ class BozoSolver(Solver):
             engine.seed_incumbent(self.options.incumbent)
         root = _Node(-math.inf, 1, form.lb.copy(), form.ub.copy())
         outcome = engine.run([root])
+        self.last_root_cuts = engine.applied_cuts
         return self._assemble(
             form, outcome, stats, start, tracer=tracer, reporter=reporter
         )

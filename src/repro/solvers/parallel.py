@@ -175,6 +175,7 @@ def solve_parallel(
             stats, phase_seconds=dict(stats.phase_seconds)
         )
         solver.last_worker_stats = []
+        solver.last_root_cuts = []
         _emit_solve_done(tracer, prepared)
         return prepared
     form = prepared
@@ -191,6 +192,7 @@ def solve_parallel(
     frontier_target = options.frontier_target or max(4 * effective, 8)
     root = _Node(-math.inf, 1, form.lb.copy(), form.ub.copy())
     outcome = ramp.run([root], frontier_target=frontier_target)
+    solver.last_root_cuts = ramp.applied_cuts
 
     stats.workers = effective
     stats.nodes = outcome.nodes
@@ -222,8 +224,11 @@ def solve_parallel(
     # poll of the pool's shared cancel event — which the driver sets when
     # the caller's hook fires — so cancellation actually reaches in-flight
     # leases (a pickled copy of the caller's closure never could).
+    # Cuts are also stripped: separation is a root-node (ramp) activity and
+    # the workers inherit the cut-augmented form through shared memory —
+    # solve_lease additionally hard-disables cuts via ``allow_cuts=False``.
     worker_options = replace(
-        options, workers=1, frontier_target=0,
+        options, workers=1, frontier_target=0, cuts="off",
         trace=None, on_progress=None, verbose=False, should_stop=None,
     )
     root_lp = (

@@ -173,6 +173,7 @@ def solve_lease(
         foreign_best=foreign_best,
         publish=wrapped_publish,
         allow_dives=False,
+        allow_cuts=False,
         treat_root_unbounded=False,
         tracer=tracer,
         root_lp=root_lp,

@@ -1,4 +1,4 @@
-"""MILP presolve: iterated bound propagation.
+"""MILP presolve: iterated bound propagation and coefficient reduction.
 
 A light version of the reductions every production MILP solver applies
 before branch and bound:
@@ -6,6 +6,14 @@ before branch and bound:
 * **activity-based bound tightening** — for each row, the minimum/maximum
   activity of all-but-one variable implies bounds on the remaining one;
 * **integral rounding** — integral variables' bounds shrink to integers;
+* **coefficient reduction** — on a ``<=`` row, a binary variable whose
+  coefficient exceeds the row's worst-case slack can have the coefficient
+  (and, for positive coefficients, the right-hand side) shrunk without
+  cutting any integer point, in the spirit of pyomo's
+  ``contrib/preprocessing`` constraint tightener.  The LP relaxation gets
+  strictly tighter while the integer feasible set is untouched;
+* **redundant-row removal** — a ``<=`` row whose maximum activity cannot
+  exceed its right-hand side is dropped;
 * **infeasibility detection** — a row whose minimum activity exceeds its
   rhs (or a variable whose bounds cross) proves the model infeasible.
 
@@ -19,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -31,11 +39,14 @@ class PresolveResult:
     """Outcome of presolving a matrix form.
 
     Attributes:
-        form: The reduced matrix form (same matrices, tighter bounds), or
-            ``None`` when infeasibility was proven.
+        form: The reduced matrix form (tighter bounds; possibly modified
+            ``a_ub``/``b_ub`` after coefficient reduction or redundant-row
+            removal), or ``None`` when infeasibility was proven.
         proven_infeasible: Whether bound propagation proved infeasibility.
         fixed_variables: How many variables ended with ``lb == ub``.
         tightened_bounds: How many individual bound changes were applied.
+        coefficients_tightened: Individual ``a_ub`` entries reduced.
+        redundant_rows: ``<=`` rows removed as never-binding.
         rounds: Propagation sweeps performed.
     """
 
@@ -43,11 +54,13 @@ class PresolveResult:
     proven_infeasible: bool = False
     fixed_variables: int = 0
     tightened_bounds: int = 0
+    coefficients_tightened: int = 0
+    redundant_rows: int = 0
     rounds: int = 0
 
 
 def presolve(form: MatrixForm, max_rounds: int = 20, tol: float = 1e-9) -> PresolveResult:
-    """Tighten variable bounds by constraint propagation.
+    """Tighten variable bounds and ``<=``-row coefficients by propagation.
 
     Args:
         form: Matrix form to reduce (not modified; a copy is returned).
@@ -64,50 +77,64 @@ def presolve(form: MatrixForm, max_rounds: int = 20, tol: float = 1e-9) -> Preso
     if np.any(lb > ub + tol):
         return PresolveResult(form=None, proven_infeasible=True, tightened_bounds=tightened)
 
-    rows = []
-    if form.a_ub.size:
-        for i in range(form.a_ub.shape[0]):
-            rows.append((form.a_ub[i], form.b_ub[i], False))
-    if form.a_eq.size:
-        for i in range(form.a_eq.shape[0]):
-            rows.append((form.a_eq[i], form.b_eq[i], True))
+    a_ub = form.a_ub.copy() if form.a_ub.size else form.a_ub
+    b_ub = form.b_ub.copy() if form.b_ub.size else form.b_ub
+    n_ub = a_ub.shape[0] if a_ub.size else 0
+    coef_tightened = 0
+    binary = (
+        np.asarray(integrality, dtype=bool)
+        & np.isfinite(lb) & np.isfinite(ub)
+    )
 
     rounds = 0
     for _ in range(max_rounds):
         rounds += 1
         changed = False
+        rows = []
+        for i in range(n_ub):
+            rows.append((a_ub[i], b_ub[i], False))
+        if form.a_eq.size:
+            for i in range(form.a_eq.shape[0]):
+                rows.append((form.a_eq[i], form.b_eq[i], True))
         for coefficients, rhs, is_equality in rows:
             nonzero = np.nonzero(coefficients)[0]
             if nonzero.size == 0:
                 if rhs < -tol or (is_equality and abs(rhs) > tol):
                     return PresolveResult(
                         form=None, proven_infeasible=True,
-                        tightened_bounds=tightened, rounds=rounds,
+                        tightened_bounds=tightened,
+                        coefficients_tightened=coef_tightened, rounds=rounds,
                     )
                 continue
-            # Activity bounds of the whole row.
+            # Activity bounds of the whole row, over nonzero entries only
+            # (a zero coefficient times an infinite bound would be nan).
+            nz_coef = coefficients[nonzero]
             contribution_min = np.where(
-                coefficients > 0, coefficients * lb, coefficients * ub
+                nz_coef > 0, nz_coef * lb[nonzero], nz_coef * ub[nonzero]
             )
             contribution_max = np.where(
-                coefficients > 0, coefficients * ub, coefficients * lb
+                nz_coef > 0, nz_coef * ub[nonzero], nz_coef * lb[nonzero]
             )
-            min_activity = float(np.sum(contribution_min[nonzero]))
-            max_activity = float(np.sum(contribution_max[nonzero]))
+            min_activity = float(np.sum(contribution_min))
+            max_activity = float(np.sum(contribution_max))
             if min_activity > rhs + 1e-7:
                 return PresolveResult(
                     form=None, proven_infeasible=True,
-                    tightened_bounds=tightened, rounds=rounds,
+                    tightened_bounds=tightened,
+                    coefficients_tightened=coef_tightened, rounds=rounds,
                 )
             if is_equality and max_activity < rhs - 1e-7:
                 return PresolveResult(
                     form=None, proven_infeasible=True,
-                    tightened_bounds=tightened, rounds=rounds,
+                    tightened_bounds=tightened,
+                    coefficients_tightened=coef_tightened, rounds=rounds,
                 )
             for j in nonzero:
-                a = coefficients[j]
+                # Python-float arithmetic: ``inf - inf`` is a silent nan,
+                # caught by the isfinite guards below.
+                a = float(coefficients[j])
                 # Row without j's contribution.
-                rest_min = min_activity - min(a * lb[j], a * ub[j])
+                rest_min = min_activity - min(a * float(lb[j]), a * float(ub[j]))
                 if not math.isfinite(rest_min):
                     continue
                 # a * x_j <= rhs - rest_min  (for <=; equality gives both sides)
@@ -125,7 +152,7 @@ def presolve(form: MatrixForm, max_rounds: int = 20, tol: float = 1e-9) -> Preso
                         changed = True
                         tightened += 1
                 if is_equality:
-                    rest_max = max_activity - max(a * lb[j], a * ub[j])
+                    rest_max = max_activity - max(a * float(lb[j]), a * float(ub[j]))
                     if math.isfinite(rest_max):
                         slack_low = rhs - rest_max  # a * x_j >= slack_low
                         if a > 0:
@@ -140,20 +167,73 @@ def presolve(form: MatrixForm, max_rounds: int = 20, tol: float = 1e-9) -> Preso
                                 ub[j] = new_ub
                                 changed = True
                                 tightened += 1
+        # Coefficient reduction on <= rows for binary variables.  On
+        # ``a_j x_j + R <= b`` with x_j in {0, 1}: whenever the rest of
+        # the row can never use the full slack (Rmax < b for a_j > 0),
+        # shrinking ``a_j`` to ``a_j - (b - Rmax)`` and ``b`` to ``Rmax``
+        # leaves both integer assignments of x_j exactly as constrained
+        # as before, while every fractional x_j is constrained harder.
+        for i in range(n_ub):
+            row = a_ub[i]
+            nz = np.nonzero(row)[0]
+            if nz.size == 0:
+                continue
+            for j in nz:
+                if not binary[j] or ub[j] - lb[j] != 1.0 or lb[j] != 0.0:
+                    continue
+                a = row[j]
+                rest = nz[nz != j]
+                rest_max = float(np.sum(np.where(
+                    row[rest] > 0, row[rest] * ub[rest], row[rest] * lb[rest]
+                )))
+                if not math.isfinite(rest_max):
+                    continue
+                b = float(b_ub[i])
+                if a > 0 and b - rest_max > tol and a > b - rest_max + tol:
+                    a_ub[i, j] = a - (b - rest_max)
+                    b_ub[i] = rest_max
+                    coef_tightened += 1
+                    changed = True
+                elif a < 0 and rest_max > b + tol and rest_max < b - a - tol:
+                    # Complemented form of the same reduction: the new
+                    # coefficient is ``b - rest_max`` (< 0), rhs unchanged.
+                    a_ub[i, j] = b - rest_max
+                    coef_tightened += 1
+                    changed = True
         tightened += _round_integral_bounds(lb, ub, integrality, tol)
         if np.any(lb > ub + 1e-7):
             return PresolveResult(
                 form=None, proven_infeasible=True,
-                tightened_bounds=tightened, rounds=rounds,
+                tightened_bounds=tightened,
+                coefficients_tightened=coef_tightened, rounds=rounds,
             )
         if not changed:
             break
 
-    reduced = dataclasses.replace(form, lb=lb, ub=ub)
+    # Drop <= rows that can never bind under the final bounds.
+    redundant = 0
+    if n_ub:
+        keep = np.ones(n_ub, dtype=bool)
+        for i in range(n_ub):
+            row = a_ub[i]
+            nz = np.nonzero(row)[0]
+            max_activity = float(np.sum(np.where(
+                row[nz] > 0, row[nz] * ub[nz], row[nz] * lb[nz]
+            )))
+            if math.isfinite(max_activity) and max_activity <= b_ub[i] + tol:
+                keep[i] = False
+                redundant += 1
+        if redundant:
+            a_ub = a_ub[keep]
+            b_ub = b_ub[keep]
+
+    reduced = dataclasses.replace(form, a_ub=a_ub, b_ub=b_ub, lb=lb, ub=ub)
     fixed = int(np.sum(np.isfinite(lb) & np.isfinite(ub) & (ub - lb <= tol)))
     return PresolveResult(
         form=reduced, fixed_variables=fixed,
-        tightened_bounds=tightened, rounds=rounds,
+        tightened_bounds=tightened,
+        coefficients_tightened=coef_tightened,
+        redundant_rows=redundant, rounds=rounds,
     )
 
 

@@ -312,6 +312,35 @@ class StandardFormLP:
         self.lo[: self.n] = lb
         self.up[: self.n] = ub
 
+    def append_ub_rows(self, rows: np.ndarray, rhs: np.ndarray) -> None:
+        """Append ``<=`` rows over the structural columns (cut rows).
+
+        Each new row gets its own slack column in ``[0, inf)`` appended
+        after the existing logical block, so the invariant "row ``r``'s
+        logical column is ``n + r``" survives: old rows keep their old
+        logical indices and new row ``m + i`` owns column ``n + m + i``.
+        The cached CSC form and fingerprint are invalidated — the matrix
+        genuinely changed.  Rows must be expressed purely in structural
+        variables (callers substitute slacks out first).
+        """
+        rows = np.asarray(rows, dtype=float).reshape(-1, self.n)
+        rhs = np.asarray(rhs, dtype=float).reshape(-1)
+        k = rows.shape[0]
+        if k == 0:
+            return
+        old_cols = self.ncols
+        upper = np.hstack([self.a, np.zeros((self.m, k))])
+        lower = np.hstack([rows, np.zeros((k, self.m)), np.eye(k)])
+        self.a = np.vstack([upper, lower])
+        self.b = np.concatenate([self.b, rhs])
+        self.lo = np.concatenate([self.lo, np.zeros(k)])
+        self.up = np.concatenate([self.up, np.full(k, np.inf)])
+        self.cost = np.concatenate([self.cost, np.zeros(k)])
+        self.m += k
+        self.ncols = old_cols + k
+        self._a_csc = None
+        self._fingerprint = None
+
     def set_objective(self, c: np.ndarray, c0: float = 0.0) -> None:
         """Replace the structural objective in place (logicals stay at 0)."""
         self.cost[: self.n] = c
@@ -346,6 +375,53 @@ class StandardFormLP:
                 status[j] = AT_FREE
         basic = self.n + np.arange(self.m, dtype=int)
         return Basis(basic, status)
+
+
+def extend_basis(basis: Basis, sf: StandardFormLP, added: int) -> Basis:
+    """Extend an optimal basis of the pre-append form after ``append_ub_rows``.
+
+    The ``added`` new slack columns become basic in their own rows.  The
+    extended basis matrix is block triangular (old basis, identity block),
+    so it is nonsingular, and with zero-cost slacks the old reduced costs
+    are unchanged — the start stays *dual* feasible and a short dual-simplex
+    repair drives the violated cut rows back into their boxes.
+    """
+    new_rows = sf.m - added + np.arange(added, dtype=int)
+    basic = np.concatenate([basis.basic, sf.n + new_rows])
+    status = np.concatenate(
+        [basis.status, np.full(added, BASIC, dtype=basis.status.dtype)]
+    )
+    return Basis(basic, status)
+
+
+class TableauAccess:
+    """Read rows of the simplex tableau ``B^{-1} A`` at a given basis.
+
+    The Gomory separator needs the tableau row of each fractional basic
+    variable.  This refactorizes the basis once (reusing the engine's
+    sparse-LU / dense kernels) and answers each row with one BTRAN plus a
+    pricing-style product — no simplex state is touched.
+    """
+
+    def __init__(self, sf: StandardFormLP, basis: Basis) -> None:
+        self.sf = sf
+        self.basis = basis
+        self.factor = _SparseLUFactor(sf) if HAVE_SPARSE else _DenseFactor(sf)
+        self.ok = self.factor.refactor(basis.basic)
+
+    def row(self, i: int) -> np.ndarray:
+        """Tableau row ``i`` over all columns: ``(B^{-1} A)[i, :]``."""
+        e = np.zeros(self.sf.m)
+        e[i] = 1.0
+        return self.factor.btran(e) @ self.sf.a
+
+    def basic_values(self) -> np.ndarray:
+        """``x_B = B^{-1}(b - N x_N)`` under the basis's nonbasic statuses."""
+        sf = self.sf
+        x = np.where(self.basis.status == AT_UB, sf.up, sf.lo)
+        x[self.basis.status == AT_FREE] = 0.0
+        x[self.basis.status == BASIC] = 0.0
+        return self.factor.ftran(sf.b - sf.a @ x)
 
 
 def solve_revised(
@@ -432,11 +508,14 @@ def solve_with_fallback(
             False,
         )
     n = sf.n
-    m_ub = int(np.sum(np.isinf(sf.up[n:])))
+    # Select rows by their logical column's box, not by position: appended
+    # cut rows put ``<=`` rows after the equality block, so the row order
+    # is no longer [ub..., eq...].
+    ub_rows = np.isinf(sf.up[n:])
     dense = solve_lp(
         sf.cost[:n],
-        sf.a[:m_ub, :n], sf.b[:m_ub],
-        sf.a[m_ub:, :n], sf.b[m_ub:],
+        sf.a[ub_rows, :n], sf.b[ub_rows],
+        sf.a[~ub_rows, :n], sf.b[~ub_rows],
         sf.lo[:n], sf.up[:n], c0=sf.c0,
     )
     return dense, None, True

@@ -19,6 +19,9 @@ GOLDEN_SCHEMA = {
     "lp_solved": {"pivots", "status", "warm", "fallback", "seconds"},
     "incumbent_found": {"objective", "node", "source"},
     "bounds_fixed": {"node", "count"},
+    "cut_round": {"round", "generated", "added", "bound_before", "bound_after"},
+    "cuts_added": {"count", "rounds", "gomory", "cover"},
+    "strong_branch": {"node", "candidates", "probes", "chosen"},
     "subtree_dispatched": {"subtree", "node", "bound"},
     "subtree_stolen": {"node", "bound", "thief"},
     "worker_idle": {"slot"},

@@ -65,6 +65,28 @@ class TestReplayExactness:
         assert check_schema(sink.events) == []
         assert replay_stats(sink.events) == solution.stats
 
+    def test_cut_and_strong_branch_fields_replay_exactly(self):
+        """cuts_added / cut_rounds / strong_branch_probes are integer event
+        sums; root_gap_closed is recomputed from the first and last
+        ``cut_round`` bounds through the same shared formula the solver
+        uses, so all four replay bit-exact — and must be *nonzero* here,
+        or the test would pass vacuously."""
+        sink = MemoryTraceSink()
+        solution = BozoSolver(SolverOptions(
+            cuts="auto", branching="pseudocost", trace=sink,
+        )).solve(market_split(3, 14, 0))
+        stats = solution.stats
+        assert stats.cuts_added > 0
+        assert stats.cut_rounds > 0
+        assert stats.strong_branch_probes > 0
+        assert check_schema(sink.events) == []
+        replayed = replay_stats(sink.events)
+        assert replayed.cuts_added == stats.cuts_added
+        assert replayed.cut_rounds == stats.cut_rounds
+        assert replayed.strong_branch_probes == stats.strong_branch_probes
+        assert replayed.root_gap_closed == stats.root_gap_closed
+        assert replayed == stats
+
     def test_synthesize_call_replay_matches_last_stats(self):
         sink = MemoryTraceSink()
         synth = repro.Synthesizer(

@@ -199,6 +199,120 @@ def roundtrip_presolve(model, make_solver=None):
     )
 
 
+class TestCoefficientReduction:
+    """The <= coefficient reduction: binaries whose coefficient exceeds the
+    row's worst-case slack shrink without cutting any integer point."""
+
+    def test_positive_coefficient_shrinks_with_rhs(self):
+        def build(model):
+            x = model.add_binary("x")
+            y = model.add_continuous("y", ub=3)
+            model.add(10 * x + y <= 12)
+
+        result = presolve(form_of(build))
+        assert result.coefficients_tightened == 1
+        # a' = a - (b - Rmax) = 10 - (12 - 3) = 1, b' = Rmax = 3.
+        assert result.form.a_ub[0, 0] == pytest.approx(1.0)
+        assert result.form.b_ub[0] == pytest.approx(3.0)
+
+    def test_negative_coefficient_shrinks_rhs_unchanged(self):
+        def build(model):
+            x = model.add_binary("x")
+            y = model.add_continuous("y", ub=3)
+            model.add(-10 * x + y <= 2)
+
+        result = presolve(form_of(build))
+        assert result.coefficients_tightened == 1
+        # Complemented form: a' = b - Rmax = 2 - 3 = -1, b unchanged.
+        assert result.form.a_ub[0, 0] == pytest.approx(-1.0)
+        assert result.form.b_ub[0] == pytest.approx(2.0)
+
+    def test_free_variable_row_is_skipped(self):
+        def build(model):
+            x = model.add_binary("x")
+            y = model.add_var("y", lb=-np.inf, ub=np.inf)
+            model.add(10 * x + y <= 3)
+
+        result = presolve(form_of(build))
+        # Rmax of the rest is +inf: no finite slack to shrink against.
+        assert result.coefficients_tightened == 0
+        assert result.form.a_ub[0, 0] == pytest.approx(10.0)
+
+    def test_reduction_preserves_integer_optimum(self):
+        def build():
+            model = Model()
+            x = model.add_binary("x")
+            y = model.add_continuous("y", ub=3)
+            model.add(10 * x + y <= 12)
+            model.minimize(-5 * x - y)
+            return model
+
+        with_presolve = BozoSolver(SolverOptions(presolve=True)).solve(build())
+        without = BozoSolver(SolverOptions(presolve=False)).solve(build())
+        reference = HighsSolver().solve(build())
+        assert with_presolve.objective == pytest.approx(without.objective)
+        assert with_presolve.objective == pytest.approx(reference.objective)
+
+    def test_row_made_redundant_after_tightening_is_removed(self):
+        def build(model):
+            x = model.add_binary("x")
+            y = model.add_continuous("y", ub=1)
+            model.add(x + y <= 5)  # max activity 2: never binding
+
+        result = presolve(form_of(build))
+        assert result.redundant_rows == 1
+        assert result.form.a_ub.shape[0] == 0
+
+    def test_infeasibility_survives_reductions(self):
+        def build(model):
+            x = model.add_binary("x")
+            y = model.add_continuous("y", ub=3)
+            model.add(10 * x + y <= 12)  # reduced first
+            model.add(-2 * y <= -8)      # then y >= 4 > ub: infeasible
+
+        result = presolve(form_of(build))
+        assert result.proven_infeasible
+
+        model = Model()
+        x = model.add_binary("x")
+        y = model.add_continuous("y", ub=3)
+        model.add(10 * x + y <= 12)
+        model.add(-2 * y <= -8)
+        model.minimize(x + y)
+        for solver in (BozoSolver(), HighsSolver()):
+            assert solver.solve(model).status is SolveStatus.INFEASIBLE
+
+
+class TestAgainstBothBackends:
+    """Presolve (bounds + coefficient reduction + row removal) preserves
+    the optimum against both backends on random SOS synthesis graphs."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 40))
+    def test_random_sos_graphs_agree(self, seed):
+        from repro.core.formulation import SosModelBuilder
+        from repro.core.options import FormulationOptions
+        from repro.taskgraph.generators import layered_random
+        from tests.conftest import make_library
+
+        graph = layered_random(4, 2, seed=seed)
+        library = make_library(
+            {"fast": (8, {t: 1 for t in graph.subtask_names}),
+             "slow": (3, {t: 3 for t in graph.subtask_names})},
+            instances_per_type=2, remote_delay=0.5,
+        )
+        built = SosModelBuilder(graph, library, FormulationOptions()).build()
+        presolved = BozoSolver(SolverOptions(presolve=True)).solve(built.model)
+        raw = BozoSolver(SolverOptions(presolve=False)).solve(built.model)
+        reference = HighsSolver().solve(built.model)
+        assert presolved.status == raw.status == reference.status
+        if presolved.status is SolveStatus.OPTIMAL:
+            assert presolved.objective == pytest.approx(raw.objective, abs=1e-6)
+            assert presolved.objective == pytest.approx(
+                reference.objective, abs=1e-6
+            )
+
+
 class TestRoundTrip:
     """Satellite property: presolve reductions round-trip (ISSUE PR 5)."""
 
