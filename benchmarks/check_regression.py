@@ -27,6 +27,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS = REPO_ROOT / "BENCH_solvers.json"
+SERVICE_RESULTS = REPO_ROOT / "BENCH_service.json"
 
 #: Counters gated per benchmark entry: deterministic measures of search
 #: effort (never wall seconds).  Adding an entry here makes it load-bearing.
@@ -63,6 +64,75 @@ FLOORS = {
 FLOOR_MIN_CORES = 4
 
 TOLERANCE = 0.20
+
+#: Gates over BENCH_service.json (``--service`` mode).  Exact-value
+#: requirements are correctness claims (no server-side errors, every
+#: waited job finished); the p99 ceiling is deliberately loose — it only
+#: catches a serving stack that has stopped overlapping work entirely
+#: (every smoke request solves in well under a second on any box).
+SERVICE_EXACT = {
+    "service_load_smoke": {"http_5xx": 0, "unfinished_jobs": 0},
+}
+SERVICE_CEILINGS = {
+    "service_load_smoke": {"latency_p99_seconds": 30.0},
+}
+#: Floors over the current service results.  The comparison entry is the
+#: /v1 redesign's acceptance claim: the async + process-pool stack must
+#: beat the threaded PR 4 server on the same mixed workload.
+SERVICE_FLOORS = {
+    "service_load_comparison": {"speedup_vs_threaded": 1.0},
+}
+
+
+def check_service(current: dict) -> tuple:
+    """Service-load gates: ``(problems, skipped)`` over BENCH_service.json.
+
+    Entries that were not recorded are skipped, never failed — the smoke
+    job records only ``service_load_smoke``, the full local comparison
+    records the ``service_load_*`` trio.
+    """
+    problems = []
+    skipped = []
+    for bench, requirements in SERVICE_EXACT.items():
+        entry = current.get(bench)
+        if entry is None:
+            skipped.append(f"{bench}: SKIPPED (not recorded)")
+            continue
+        for field, expected in requirements.items():
+            value = entry.get(field)
+            if value is None:
+                problems.append(f"{bench}.{field}: missing from results")
+            elif value != expected:
+                problems.append(
+                    f"{bench}.{field}: {value} (required exactly {expected})"
+                )
+    for bench, ceilings in SERVICE_CEILINGS.items():
+        entry = current.get(bench)
+        if entry is None:
+            continue  # absence already reported by the exact pass
+        for field, ceiling in ceilings.items():
+            value = entry.get(field)
+            if value is None:
+                problems.append(f"{bench}.{field}: missing from results")
+            elif value > ceiling:
+                problems.append(
+                    f"{bench}.{field}: {value:g} exceeds ceiling {ceiling:g}"
+                )
+    for bench, floors in SERVICE_FLOORS.items():
+        entry = current.get(bench)
+        if entry is None:
+            skipped.append(f"{bench}: SKIPPED (not recorded)")
+            continue
+        for field, minimum in floors.items():
+            value = entry.get(field)
+            if value is None:
+                problems.append(f"{bench}.{field}: missing from results")
+            elif value <= minimum:
+                problems.append(
+                    f"{bench}.{field}: {value:g} must exceed {minimum:g} "
+                    f"(the pool+batching stack must beat the threaded server)"
+                )
+    return problems, skipped
 
 
 def committed_baseline() -> dict:
@@ -162,7 +232,33 @@ def main(argv=None) -> int:
         "--baseline", nargs=2, metavar=("OLD", "NEW"),
         help="compare two explicit JSON files instead of git HEAD vs worktree",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="gate BENCH_service.json (load-smoke / pool-vs-threaded) "
+             "instead of the solver counters",
+    )
     args = parser.parse_args(argv)
+    if args.service:
+        path = Path(args.baseline[1]) if args.baseline else SERVICE_RESULTS
+        try:
+            current = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"check_regression: cannot load {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems, skipped = check_service(current)
+        for reason in skipped:
+            print(f"  {reason}")
+        if problems:
+            print("service gate failed:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        gated = ", ".join(dict.fromkeys(
+            [*SERVICE_EXACT, *SERVICE_CEILINGS, *SERVICE_FLOORS]
+        ))
+        print(f"service gate OK ({gated})")
+        return 0
     try:
         if args.baseline:
             baseline = json.loads(Path(args.baseline[0]).read_text())

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -371,26 +372,60 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the synthesis job service (JSON over HTTP)."""
+    """Run the synthesis job service (JSON over HTTP, /v1 API)."""
+    import signal
+
     from repro.service.cache import ResultCache
-    from repro.service.http import create_server, serve
+
+    # Make SIGINT/SIGTERM interrupt the serve loop even when the process
+    # was started with SIGINT ignored (shells background `serve ... &`
+    # children that way), so `kill -INT` always shuts down cleanly.
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, _interrupt)
+    signal.signal(signal.SIGTERM, _interrupt)
 
     sink = _open_trace_sink(args)
     cache = ResultCache(
         byte_budget=args.cache_bytes, directory=args.cache_dir, trace=sink
     )
-    server = create_server(
+    executor = "thread" if args.threaded or args.solve_processes < 1 else "process"
+    common = dict(
         host=args.host, port=args.port, workers=args.job_workers,
         cache=cache, trace=sink, verbose=args.verbose,
+        executor=executor, solve_processes=max(1, args.solve_processes),
+        batching=not args.no_batching, max_queued=args.max_queued,
+        rate_limit=args.rate_limit, rate_burst=args.rate_burst,
     )
+    if args.threaded:
+        from repro.service.http import create_server, serve
+
+        server = create_server(**common)
+    else:
+        from repro.service.asgi import create_async_server
+
+        server = create_async_server(**common)
+        server.start()
     print(f"serving on {server.url} "
-          f"({args.job_workers} job worker(s), "
-          f"cache budget {args.cache_bytes} bytes"
+          f"({args.job_workers} job worker(s), {executor} executor"
+          + (f", {max(1, args.solve_processes)} solve process(es)"
+             if executor == "process" else "")
+          + f", cache budget {args.cache_bytes} bytes"
           + (f", disk tier {args.cache_dir}" if args.cache_dir else "")
           + ")")
     sys.stdout.flush()
     try:
-        serve(server)
+        if args.threaded:
+            serve(server)
+        else:
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.close()
     finally:
         if sink is not None:
             sink.close()
@@ -565,6 +600,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-dir", default=None,
                          help="optional on-disk cache directory "
                          "(survives restarts)")
+    p_serve.add_argument("--threaded", action="store_true",
+                         help="use the legacy thread-per-request HTTP server "
+                              "instead of the asyncio front end")
+    p_serve.add_argument("--solve-processes", type=int, default=2,
+                         help="solve worker processes (0 = solve on the job "
+                              "threads, the pre-/v1 behaviour)")
+    p_serve.add_argument("--no-batching", action="store_true",
+                         help="disable coalescing of compatible sweep requests")
+    p_serve.add_argument("--max-queued", type=int, default=None,
+                         help="bound the job queue; excess submissions get 429")
+    p_serve.add_argument("--rate-limit", type=float, default=None,
+                         help="sustained submissions/second (token bucket); "
+                              "over-rate POSTs get 429 + Retry-After")
+    p_serve.add_argument("--rate-burst", type=float, default=None,
+                         help="token-bucket burst size (default: --rate-limit)")
     p_serve.add_argument("--trace", metavar="FILE", default=None,
                          help="stream cache/job/solve events to this JSONL file")
     p_serve.add_argument("--verbose", action="store_true",

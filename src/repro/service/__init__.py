@@ -1,15 +1,27 @@
-"""Synthesis job service: caching, dedup, cancellation, HTTP front end.
+"""Synthesis job service: caching, batching, process pool, /v1 HTTP API.
 
 The serving layer over :mod:`repro.synthesis` (see ``docs/service.md``):
 
 * :mod:`~repro.service.fingerprint` — canonical, ``PYTHONHASHSEED``-stable
   content hashes of synthesis requests;
-* :mod:`~repro.service.cache` — a content-addressed result store
-  (in-memory LRU with a byte budget, plus an optional on-disk tier);
-* :mod:`~repro.service.jobs` — a priority thread pool with single-flight
-  dedup, per-job deadlines, cooperative cancellation, and retries;
-* :mod:`~repro.service.http` — the stdlib JSON-over-HTTP API behind
-  ``repro serve``.
+* :mod:`~repro.service.cache` — a content-addressed result store built
+  on the :class:`~repro.service.cache.CacheBackend` protocol (in-memory
+  LRU, sharded disk, composable tiers);
+* :mod:`~repro.service.jobs` — the job manager: priority queue,
+  single-flight dedup, per-job deadlines, cooperative cancellation,
+  retries, backpressure, and dispatch onto threads or the process pool;
+* :mod:`~repro.service.procpool` — the persistent multi-process solve
+  pool (crash detection, cross-process cancellation);
+* :mod:`~repro.service.batch` — coalescing of compatible sweep requests
+  into one incremental pass;
+* :mod:`~repro.service.api` — the transport-neutral ``/v1`` routing core
+  (typed error envelope, rate limiting, metrics);
+* :mod:`~repro.service.asgi` — the ASGI 3 app and the stdlib asyncio
+  HTTP server behind ``repro serve``;
+* :mod:`~repro.service.http` — the legacy threaded HTTP server
+  (``repro serve --threaded``), same /v1 surface;
+* :mod:`~repro.service.metrics` — latency histograms, token-bucket rate
+  limiter, service counters.
 
 Quick start::
 
@@ -21,7 +33,16 @@ Quick start::
         print(job.status, job.result.makespan)
 """
 
-from repro.service.cache import DEFAULT_BYTE_BUDGET, ResultCache
+from repro.service.api import ApiResponse, ServiceApi
+from repro.service.asgi import AsgiApp, AsyncHTTPServer, create_app, create_async_server
+from repro.service.cache import (
+    DEFAULT_BYTE_BUDGET,
+    CacheBackend,
+    MemoryCacheBackend,
+    ResultCache,
+    ShardedDiskBackend,
+    TieredCacheBackend,
+)
 from repro.service.fingerprint import (
     FINGERPRINT_VERSION,
     canonical_request,
@@ -36,28 +57,45 @@ from repro.service.jobs import (
     RUNNING,
     Job,
     JobManager,
+    QueueFullError,
     SweepRequest,
     SynthesizeRequest,
     wait_all,
 )
+from repro.service.metrics import LatencyHistogram, ServiceMetrics, TokenBucket
+from repro.service.procpool import SolvePool, SolvePoolBrokenError
 
 __all__ = [
+    "ApiResponse",
+    "AsgiApp",
+    "AsyncHTTPServer",
     "CANCELLED",
+    "CacheBackend",
     "DEFAULT_BYTE_BUDGET",
     "DONE",
     "FAILED",
     "FINGERPRINT_VERSION",
     "Job",
     "JobManager",
+    "LatencyHistogram",
+    "MemoryCacheBackend",
     "QUEUED",
+    "QueueFullError",
     "RUNNING",
     "ResultCache",
+    "ServiceApi",
+    "ServiceMetrics",
     "ServiceServer",
+    "ShardedDiskBackend",
+    "SolvePool",
+    "SolvePoolBrokenError",
     "SweepRequest",
     "SynthesizeRequest",
-    "canonical_request",
+    "TieredCacheBackend",
+    "TokenBucket",
+    "create_app",
+    "create_async_server",
     "create_server",
-    "fingerprint_request",
     "serve",
     "wait_all",
 ]

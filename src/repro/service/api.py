@@ -1,0 +1,363 @@
+"""Transport-neutral HTTP API core: routing, validation, /v1 versioning.
+
+Both front ends — the threaded :mod:`repro.service.http` server and the
+asyncio :mod:`repro.service.asgi` app — funnel every request through one
+:class:`ServiceApi`.  A request is ``(method, path, body bytes)`` in and
+an :class:`ApiResponse` (status, JSON document, extra headers) out, so
+the HTTP surface is defined exactly once and the transports stay dumb.
+
+Versioning policy (see ``docs/api.md``):
+
+* ``/v1/...`` is the stable surface: ``POST /v1/synthesize``,
+  ``POST /v1/sweep``, ``GET /v1/jobs/<id>``, ``DELETE /v1/jobs/<id>``,
+  ``GET /v1/stats``, ``GET /v1/metrics``.  Errors use the typed envelope
+  ``{"error": {"code", "message", "detail"}}``.
+* The original unversioned routes keep answering with their original
+  shapes (including the legacy ``{"error": "<message>"}``), but carry a
+  ``Deprecation: true`` header and a ``Link`` to the ``/v1`` successor.
+
+Operational behaviour added here, shared by both transports:
+
+* **Rate limiting** — an optional :class:`~repro.service.metrics.TokenBucket`
+  guards the submission routes; over-rate POSTs get ``429`` with a
+  ``Retry-After`` header and are never enqueued.
+* **Backpressure** — a :class:`~repro.service.jobs.QueueFullError` from
+  the manager's bounded queue also maps to ``429 + Retry-After``.
+* **Metrics** — every response is timed into
+  :class:`~repro.service.metrics.ServiceMetrics`; ``GET /v1/metrics``
+  merges that with the manager's queue/batch/pool/cache counters.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.options import Objective
+from repro.errors import ReproError
+from repro.service.jobs import JobManager, QueueFullError, SweepRequest, SynthesizeRequest
+from repro.service.metrics import ServiceMetrics, TokenBucket
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.serialization import graph_from_dict
+
+_STYLES = {
+    "p2p": InterconnectStyle.POINT_TO_POINT,
+    "point_to_point": InterconnectStyle.POINT_TO_POINT,
+    "bus": InterconnectStyle.BUS,
+    "ring": InterconnectStyle.RING,
+}
+
+#: Longest a submission will block on ``"wait": true`` before answering
+#: 202.  Bounded so a slow solve cannot pin an HTTP worker forever; the
+#: client polls ``GET /v1/jobs/<id>`` afterwards.
+MAX_WAIT_SECONDS = 60.0
+
+
+class BadRequest(ValueError):
+    """A request body failed validation (answered with HTTP 400)."""
+
+
+def _problem_from_document(spec) -> Tuple[TaskGraph, TechnologyLibrary]:
+    """Resolve the ``problem`` field: a builtin name or an inline document."""
+    if isinstance(spec, str):
+        if spec == "example1":
+            from repro.system.examples import example1_library
+            from repro.taskgraph.examples import example1
+
+            return example1(), example1_library()
+        if spec == "example2":
+            from repro.system.examples import example2_library
+            from repro.taskgraph.examples import example2
+
+            return example2(), example2_library()
+        raise BadRequest(
+            f"unknown builtin problem {spec!r} (use 'example1', 'example2', "
+            f"or an inline {{graph, library}} object)"
+        )
+    if not isinstance(spec, dict) or "graph" not in spec or "library" not in spec:
+        raise BadRequest("'problem' must be a builtin name or {graph, library}")
+    try:
+        graph = graph_from_dict(spec["graph"])
+        library = TechnologyLibrary.from_dict(spec["library"])
+    except ReproError as exc:
+        raise BadRequest(f"malformed problem: {exc}") from exc
+    return graph, library
+
+
+def _style_from_document(name) -> InterconnectStyle:
+    try:
+        return _STYLES[name]
+    except (KeyError, TypeError):
+        raise BadRequest(
+            f"unknown style {name!r} (use p2p, bus, or ring)"
+        ) from None
+
+
+def _objective_from_document(name) -> Objective:
+    try:
+        return Objective(name)
+    except ValueError:
+        raise BadRequest(
+            f"unknown objective {name!r} "
+            f"(use {', '.join(o.value for o in Objective)})"
+        ) from None
+
+
+def _number(body: Dict[str, Any], key: str, default=None) -> Optional[float]:
+    value = body.get(key, default)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise BadRequest(f"{key!r} must be a number")
+    return float(value)
+
+
+def request_from_document(kind: str, body: Dict[str, Any]):
+    """Build a job request from a POST body.  Raises :class:`BadRequest`."""
+    if "problem" not in body:
+        raise BadRequest("missing required field 'problem'")
+    graph, library = _problem_from_document(body["problem"])
+    style = _style_from_document(body.get("style", "p2p"))
+    solver = body.get("solver", "auto")
+    if kind == "synthesize":
+        return SynthesizeRequest(
+            graph, library, style=style, solver=solver,
+            cost_cap=_number(body, "cost_cap"),
+            deadline=_number(body, "deadline"),
+            objective=_objective_from_document(
+                body.get("objective", Objective.MIN_MAKESPAN.value)
+            ),
+        )
+    if kind == "sweep":
+        max_designs = body.get("max_designs", 64)
+        if not isinstance(max_designs, int) or max_designs < 1:
+            raise BadRequest("'max_designs' must be a positive integer")
+        return SweepRequest(
+            graph, library, style=style, solver=solver,
+            max_designs=max_designs,
+            cost_step=_number(body, "cost_step", 1e-4),
+        )
+    raise BadRequest(f"unknown request kind {kind!r}")
+
+
+@dataclass
+class ApiResponse:
+    """One routed response: status code, JSON document, extra headers."""
+
+    status: int
+    document: Any
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        """The document as UTF-8 JSON (what both transports write)."""
+        return json.dumps(self.document).encode("utf-8")
+
+
+class ServiceApi:
+    """The routing core shared by every transport.
+
+    Args:
+        manager: The :class:`~repro.service.jobs.JobManager` executing
+            submissions.
+        metrics: Shared :class:`~repro.service.metrics.ServiceMetrics`;
+            a fresh one is created when omitted.
+        rate_limit: Sustained submissions/second admitted to the POST
+            routes; ``None`` disables rate limiting.
+        rate_burst: Token-bucket burst capacity (defaults to
+            ``rate_limit``).
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        metrics: Optional[ServiceMetrics] = None,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
+    ) -> None:
+        self.manager = manager
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.bucket = (
+            TokenBucket(rate_limit, rate_burst) if rate_limit else None
+        )
+
+    # -- entry point ---------------------------------------------------------
+    def handle(self, method: str, path: str,
+               body: Optional[bytes] = None) -> ApiResponse:
+        """Route one request; never raises.
+
+        Args:
+            method: Upper-case HTTP method.
+            path: Request path (no query string).
+            body: Raw request body bytes (POST routes), else ``None``.
+        """
+        started = time.monotonic()
+        versioned = path == "/v1" or path.startswith("/v1/")
+        route = path[len("/v1"):] if versioned else path
+        if not route:
+            route = "/"
+        try:
+            response = self._route(method, route, body, versioned)
+        except BaseException as exc:  # the transport must always answer
+            response = self._error(
+                versioned, 500, "internal",
+                f"internal error: {exc!r}",
+            )
+        if not versioned and response.status != 404:
+            self.metrics.record_deprecated()
+            response.headers.append(("Deprecation", "true"))
+            response.headers.append(
+                ("Link", f'</v1{route}>; rel="successor-version"')
+            )
+        self.metrics.observe(
+            self._metric_route(method, route, versioned),
+            response.status, time.monotonic() - started,
+        )
+        return response
+
+    # -- routing -------------------------------------------------------------
+    def _route(self, method: str, route: str, body: Optional[bytes],
+               versioned: bool) -> ApiResponse:
+        if method == "POST" and route in ("/synthesize", "/sweep"):
+            return self._submit(route.lstrip("/"), body, versioned)
+        if method == "GET" and route == "/stats":
+            return ApiResponse(200, self.manager.stats())
+        if method == "GET" and route == "/metrics":
+            return ApiResponse(200, self.metrics_document())
+        if method == "GET" and route.startswith("/jobs/"):
+            return self._job_state(route[len("/jobs/"):], versioned)
+        if method == "DELETE" and route.startswith("/jobs/"):
+            return self._cancel(route[len("/jobs/"):], versioned)
+        prefix = "/v1" if versioned else ""
+        return self._error(
+            versioned, 404, "not_found",
+            f"no such route: {method} {prefix}{route}",
+        )
+
+    def _submit(self, kind: str, body: Optional[bytes],
+                versioned: bool) -> ApiResponse:
+        if self.bucket is not None:
+            delay = self.bucket.acquire()
+            if delay > 0.0:
+                self.metrics.record_throttled()
+                return self._error(
+                    versioned, 429, "rate_limited",
+                    "request rate over the configured limit",
+                    detail={"retry_after_seconds": round(delay, 3)},
+                    headers=[("Retry-After", str(max(1, math.ceil(delay))))],
+                )
+        try:
+            document = self._parse_body(body)
+            request = request_from_document(kind, document)
+            priority = document.get("priority", 0)
+            if not isinstance(priority, int) or isinstance(priority, bool):
+                raise BadRequest("'priority' must be an integer")
+            deadline_seconds = _number(document, "deadline_seconds")
+            wait = document.get("wait", False)
+            if isinstance(wait, bool):
+                wait_timeout = MAX_WAIT_SECONDS if wait else None
+            elif isinstance(wait, (int, float)):
+                wait_timeout = min(max(float(wait), 0.0), MAX_WAIT_SECONDS)
+            else:
+                raise BadRequest(
+                    "'wait' must be a boolean or a number of seconds"
+                )
+        except BadRequest as exc:
+            return self._error(versioned, 400, "bad_request", str(exc))
+        try:
+            job = self.manager.submit(
+                request, priority=priority, deadline_seconds=deadline_seconds
+            )
+        except QueueFullError as exc:
+            self.metrics.record_rejected_full()
+            return self._error(
+                versioned, 429, "queue_full", str(exc),
+                detail={"retry_after_seconds": exc.retry_after},
+                headers=[("Retry-After",
+                          str(max(1, math.ceil(exc.retry_after))))],
+            )
+        if wait_timeout is not None:
+            job.wait(wait_timeout)
+        return ApiResponse(200 if job.finished else 202, job.snapshot())
+
+    def _job_state(self, job_id: str, versioned: bool) -> ApiResponse:
+        try:
+            job = self.manager.get(job_id)
+        except KeyError:
+            return self._error(
+                versioned, 404, "not_found", f"unknown job {job_id!r}"
+            )
+        return ApiResponse(200 if job.finished else 202, job.snapshot())
+
+    def _cancel(self, job_id: str, versioned: bool) -> ApiResponse:
+        try:
+            cancelled = self.manager.cancel(job_id)
+        except KeyError:
+            return self._error(
+                versioned, 404, "not_found", f"unknown job {job_id!r}"
+            )
+        return ApiResponse(
+            200, {"job": job_id, "cancel_requested": cancelled}
+        )
+
+    # -- documents -----------------------------------------------------------
+    def metrics_document(self) -> Dict[str, Any]:
+        """The ``GET /v1/metrics`` payload: service + manager counters."""
+        stats = self.manager.stats()
+        return {
+            "service": self.metrics.snapshot(),
+            "queue": {
+                "depth": stats["queued"],
+                "max_queued": stats["max_queued"],
+                "workers": stats["workers"],
+                "jobs": stats["jobs"],
+            },
+            "executor": stats["executor"],
+            "pool": stats["pool"],
+            "batch": stats["batch"],
+            "solves": stats["solves"],
+            "dedup_hits": stats["dedup_hits"],
+            "inline_fallbacks": stats["inline_fallbacks"],
+            "cache": stats["cache"],
+            "rate_limit": (
+                self.bucket.snapshot() if self.bucket is not None else None
+            ),
+        }
+
+    # -- plumbing ------------------------------------------------------------
+    @staticmethod
+    def _parse_body(body: Optional[bytes]) -> Dict[str, Any]:
+        if not body:
+            raise BadRequest("empty request body (expected a JSON object)")
+        try:
+            document = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise BadRequest("request body must be a JSON object")
+        return document
+
+    @staticmethod
+    def _error(versioned: bool, status: int, code: str, message: str,
+               detail: Optional[Dict[str, Any]] = None,
+               headers: Optional[List[Tuple[str, str]]] = None) -> ApiResponse:
+        """The error envelope: typed under /v1, legacy string otherwise."""
+        if versioned:
+            document = {
+                "error": {"code": code, "message": message, "detail": detail}
+            }
+        else:
+            document = {"error": message}
+        return ApiResponse(status, document, headers or [])
+
+    @staticmethod
+    def _metric_route(method: str, route: str, versioned: bool) -> str:
+        """Bounded-cardinality metrics label (job ids collapsed)."""
+        if route.startswith("/jobs/"):
+            route = "/jobs"
+        prefix = "/v1" if versioned else ""
+        return f"{method} {prefix}{route}"

@@ -1,0 +1,129 @@
+"""Request batching: coalesce compatible sweep requests into one pass.
+
+A Pareto sweep is an iterated retighten loop — step ``i`` depends only on
+design ``i-1``'s cost, never on how many steps remain.  Two sweep
+requests that agree on everything except ``max_designs`` therefore share
+every step up to the smaller cap: the front a ``max_designs=k`` request
+wants is exactly the first ``k`` entries of the larger request's front.
+The batcher exploits this:
+
+* :func:`sweep_batch_key` fingerprints a :class:`~repro.service.jobs.SweepRequest`
+  with ``max_designs`` *excluded* — requests sharing the key are
+  batch-compatible.
+* :class:`BatchSweepRequest` runs one incremental
+  :meth:`~repro.synthesis.synthesizer.Synthesizer.pareto_sweep_prefixes`
+  pass to the largest member's cap and returns one
+  :class:`~repro.synthesis.front.ParetoFront` per member — each exactly
+  (designs and caps byte-for-byte) what a solo solve of that member
+  would have produced.
+
+The :class:`~repro.service.jobs.JobManager` coalesces at dispatch time:
+the worker that claims a sweep job drains every still-queued compatible
+job into one batch, so batching adds zero latency when traffic is sparse
+and grows occupancy exactly when a queue builds — the regime where it
+pays.  Jobs with a deadline are never batched (a member's budget must
+not truncate its peers' fronts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.service.fingerprint import fingerprint_request
+from repro.service.jobs import SweepRequest
+from repro.solvers.base import SolverOptions
+from repro.synthesis.synthesizer import Synthesizer
+
+
+def sweep_batch_key(request: SweepRequest) -> str:
+    """Batch-compatibility fingerprint: the request minus ``max_designs``.
+
+    Two sweep requests with equal batch keys run the identical retighten
+    loop (same graph, library, solver, options, formulation, constraints,
+    cost step, validation) and differ only in where they stop — so one
+    pass serves both.
+    """
+    return fingerprint_request(
+        "sweep_batch", request.graph, request.library,
+        solver=request.solver, solver_options=request.solver_options,
+        formulation=request._formulation(), constraints=request.constraints,
+        cost_step=request.cost_step, validate=request.validate,
+        incremental=request.incremental,
+    )
+
+
+@dataclass
+class BatchSweepRequest:
+    """N compatible sweep requests fused into one incremental pass.
+
+    Built by the job manager from a *prototype* member (all members are
+    batch-key-identical, so any member defines the problem) plus the
+    member caps.  Picklable — a batch ships to the process pool exactly
+    like a single request.
+
+    Attributes:
+        prototype: One member request; defines everything but the caps.
+        targets: ``max_designs`` per member, in member order.
+    """
+
+    prototype: SweepRequest
+    targets: List[int] = field(default_factory=list)
+
+    kind = "sweep_batch"
+
+    def fingerprint(self) -> str:
+        """Content address of the batch (key + the member caps)."""
+        return fingerprint_request(
+            "sweep_batch", self.prototype.graph, self.prototype.library,
+            solver=self.prototype.solver,
+            solver_options=self.prototype.solver_options,
+            formulation=self.prototype._formulation(),
+            constraints=self.prototype.constraints,
+            cost_step=self.prototype.cost_step,
+            validate=self.prototype.validate,
+            incremental=self.prototype.incremental,
+            targets=sorted(self.targets),
+        )
+
+    def run(self, solver_options: Optional[SolverOptions],
+            live_target=None) -> List[Any]:
+        """One sweep to the largest cap; one front per member.
+
+        Args:
+            solver_options: Merged options (cancellation hook included)
+                applied to every step's solve.
+            live_target: Optional zero-argument callable re-read between
+                steps; lets the (inline) job layer shrink the goal when
+                the members wanting the deepest prefixes cancel mid-run.
+                Not available across the process boundary — pooled
+                batches run to the full goal.
+
+        Returns:
+            ``ParetoFront`` list aligned with :attr:`targets`; member
+            ``i``'s front is the first ``targets[i]`` designs.
+        """
+        proto = self.prototype
+        synth = Synthesizer(
+            proto.graph, proto.library, style=proto.style, solver=proto.solver,
+            solver_options=solver_options, options=proto.formulation,
+            constraints=proto.constraints, incremental=proto.incremental,
+        )
+        return synth.pareto_sweep_prefixes(
+            list(self.targets), cost_step=proto.cost_step,
+            validate=proto.validate, live_target=live_target,
+        )
+
+    def document_of(self, fronts: List[Any]) -> List[Dict[str, Any]]:
+        """JSON documents for the member fronts (pool wire format)."""
+        return [front.to_dict() for front in fronts]
+
+    def result_from_document(self, documents: List[Dict[str, Any]]) -> List[Any]:
+        """Rebuild the member fronts from their pooled documents."""
+        from repro.synthesis.front import ParetoFront
+
+        proto = self.prototype
+        return [
+            ParetoFront.from_dict(document, proto.graph, proto.library)
+            for document in documents
+        ]

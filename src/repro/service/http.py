@@ -1,17 +1,27 @@
-"""JSON-over-HTTP front end for the synthesis job service.
+"""Threaded JSON-over-HTTP front end for the synthesis job service.
 
-A deliberately small, stdlib-only API (``http.server`` with the threading
-mixin) over a :class:`~repro.service.jobs.JobManager`:
+The original (PR 4) stdlib ``http.server`` transport, kept for
+compatibility and for environments where the asyncio front end
+(:mod:`repro.service.asgi`) is not wanted.  Since the /v1 redesign it is
+a thin shell: every request is routed through the shared
+:class:`~repro.service.api.ServiceApi` core, so this server speaks the
+exact same surface as the ASGI app —
 
-=======  ==================  ==============================================
-Method   Path                Meaning
-=======  ==================  ==============================================
-POST     ``/synthesize``     Submit a single-design synthesis job.
-POST     ``/sweep``          Submit a Pareto-sweep job.
-GET      ``/jobs/<id>``      Job state (and the result document once done).
-DELETE   ``/jobs/<id>``      Request cooperative cancellation.
-GET      ``/stats``          Job/dedup/cache counter snapshot.
-=======  ==================  ==============================================
+=======  ======================  ==========================================
+Method   Path                    Meaning
+=======  ======================  ==========================================
+POST     ``/v1/synthesize``      Submit a single-design synthesis job.
+POST     ``/v1/sweep``           Submit a Pareto-sweep job.
+GET      ``/v1/jobs/<id>``       Job state (result document once done).
+DELETE   ``/v1/jobs/<id>``       Request cooperative cancellation.
+GET      ``/v1/stats``           Job/dedup/cache counter snapshot.
+GET      ``/v1/metrics``         Latency histograms, queue/batch/pool depth.
+=======  ======================  ==========================================
+
+The unversioned spellings (``/synthesize``, ``/sweep``, ``/jobs/<id>``,
+``/stats``) still work but are deprecated: they answer with a
+``Deprecation: true`` header and the legacy ``{"error": "<message>"}``
+error shape (see ``docs/api.md`` for the stability policy).
 
 Request body (both POST routes)::
 
@@ -30,223 +40,66 @@ Request body (both POST routes)::
 
 Responses carry the job snapshot (see :meth:`~repro.service.jobs.Job.snapshot`):
 ``200`` when the job is already terminal (e.g. a cache hit with
-``wait``), ``202`` while it is still queued or running.  Submitting the
-same problem twice returns the same job id while the first is in flight
-(single-flight), and a cached result afterwards (``"cached": true``).
+``wait``), ``202`` while it is still queued or running, ``429`` (with
+``Retry-After``) under rate limiting or queue backpressure.
 """
 
 from __future__ import annotations
 
-import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Optional
 
-from repro.core.options import Objective
-from repro.errors import ReproError
+# Parsing/validation helpers live in the shared API core now; re-exported
+# here because this module was their original home.
+from repro.service.api import (  # noqa: F401  (re-exports)
+    MAX_WAIT_SECONDS,
+    BadRequest,
+    ServiceApi,
+    request_from_document,
+)
 from repro.service.cache import ResultCache
-from repro.service.jobs import JobManager, SweepRequest, SynthesizeRequest
-from repro.system.interconnect import InterconnectStyle
-from repro.system.library import TechnologyLibrary
-from repro.taskgraph.graph import TaskGraph
-from repro.taskgraph.serialization import graph_from_dict
-
-_STYLES = {
-    "p2p": InterconnectStyle.POINT_TO_POINT,
-    "point_to_point": InterconnectStyle.POINT_TO_POINT,
-    "bus": InterconnectStyle.BUS,
-    "ring": InterconnectStyle.RING,
-}
-
-#: Longest the server will block on ``"wait": true`` before answering 202.
-#: Bounded so a slow solve cannot pin an HTTP worker thread forever; the
-#: client polls ``GET /jobs/<id>`` afterwards.
-MAX_WAIT_SECONDS = 60.0
-
-
-class BadRequest(ValueError):
-    """A request body failed validation (answered with HTTP 400)."""
-
-
-def _problem_from_document(spec) -> Tuple[TaskGraph, TechnologyLibrary]:
-    """Resolve the ``problem`` field: a builtin name or an inline document."""
-    if isinstance(spec, str):
-        if spec == "example1":
-            from repro.system.examples import example1_library
-            from repro.taskgraph.examples import example1
-
-            return example1(), example1_library()
-        if spec == "example2":
-            from repro.system.examples import example2_library
-            from repro.taskgraph.examples import example2
-
-            return example2(), example2_library()
-        raise BadRequest(
-            f"unknown builtin problem {spec!r} (use 'example1', 'example2', "
-            f"or an inline {{graph, library}} object)"
-        )
-    if not isinstance(spec, dict) or "graph" not in spec or "library" not in spec:
-        raise BadRequest("'problem' must be a builtin name or {graph, library}")
-    try:
-        graph = graph_from_dict(spec["graph"])
-        library = TechnologyLibrary.from_dict(spec["library"])
-    except ReproError as exc:
-        raise BadRequest(f"malformed problem: {exc}") from exc
-    return graph, library
-
-
-def _style_from_document(name) -> InterconnectStyle:
-    try:
-        return _STYLES[name]
-    except (KeyError, TypeError):
-        raise BadRequest(
-            f"unknown style {name!r} (use p2p, bus, or ring)"
-        ) from None
-
-
-def _objective_from_document(name) -> Objective:
-    try:
-        return Objective(name)
-    except ValueError:
-        raise BadRequest(
-            f"unknown objective {name!r} "
-            f"(use {', '.join(o.value for o in Objective)})"
-        ) from None
-
-
-def _number(body: Dict[str, Any], key: str, default=None) -> Optional[float]:
-    value = body.get(key, default)
-    if value is None:
-        return None
-    if not isinstance(value, (int, float)) or isinstance(value, bool):
-        raise BadRequest(f"{key!r} must be a number")
-    return float(value)
-
-
-def request_from_document(kind: str, body: Dict[str, Any]):
-    """Build a job request from a POST body.  Raises :class:`BadRequest`."""
-    if "problem" not in body:
-        raise BadRequest("missing required field 'problem'")
-    graph, library = _problem_from_document(body["problem"])
-    style = _style_from_document(body.get("style", "p2p"))
-    solver = body.get("solver", "auto")
-    if kind == "synthesize":
-        return SynthesizeRequest(
-            graph, library, style=style, solver=solver,
-            cost_cap=_number(body, "cost_cap"),
-            deadline=_number(body, "deadline"),
-            objective=_objective_from_document(
-                body.get("objective", Objective.MIN_MAKESPAN.value)
-            ),
-        )
-    if kind == "sweep":
-        max_designs = body.get("max_designs", 64)
-        if not isinstance(max_designs, int) or max_designs < 1:
-            raise BadRequest("'max_designs' must be a positive integer")
-        return SweepRequest(
-            graph, library, style=style, solver=solver,
-            max_designs=max_designs,
-            cost_step=_number(body, "cost_step", 1e-4),
-        )
-    raise BadRequest(f"unknown request kind {kind!r}")
+from repro.service.jobs import JobManager
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
-    """Routes HTTP requests onto the server's :class:`JobManager`."""
+    """Routes HTTP requests onto the server's :class:`ServiceApi`."""
 
     server_version = "repro-service/1"
     protocol_version = "HTTP/1.1"
 
     # -- routing -------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        """Route ``POST /synthesize`` and ``POST /sweep`` submissions."""
-        if self.path in ("/synthesize", "/sweep"):
-            self._submit(self.path.lstrip("/"))
-        else:
-            self._send_json(404, {"error": f"no such route: POST {self.path}"})
+        """Route submissions (reads the body, defers to the API core)."""
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length > 0 else b""
+        self._respond("POST", body)
 
     def do_GET(self) -> None:  # noqa: N802
-        """Route ``GET /stats`` and ``GET /jobs/<id>`` queries."""
-        if self.path == "/stats":
-            self._send_json(200, self.manager.stats())
-        elif self.path.startswith("/jobs/"):
-            self._job_state(self.path[len("/jobs/"):])
-        else:
-            self._send_json(404, {"error": f"no such route: GET {self.path}"})
+        """Route job/stats/metrics queries."""
+        self._respond("GET", None)
 
     def do_DELETE(self) -> None:  # noqa: N802
-        """Route ``DELETE /jobs/<id>`` cancellation requests."""
-        if self.path.startswith("/jobs/"):
-            self._cancel(self.path[len("/jobs/"):])
-        else:
-            self._send_json(404, {"error": f"no such route: DELETE {self.path}"})
-
-    # -- handlers ------------------------------------------------------------
-    def _submit(self, kind: str) -> None:
-        try:
-            body = self._read_body()
-            request = request_from_document(kind, body)
-            priority = body.get("priority", 0)
-            if not isinstance(priority, int):
-                raise BadRequest("'priority' must be an integer")
-            deadline_seconds = _number(body, "deadline_seconds")
-            wait = body.get("wait", False)
-            if isinstance(wait, bool):
-                wait_timeout = MAX_WAIT_SECONDS if wait else None
-            elif isinstance(wait, (int, float)):
-                wait_timeout = min(max(float(wait), 0.0), MAX_WAIT_SECONDS)
-            else:
-                raise BadRequest(
-                    "'wait' must be a boolean or a number of seconds"
-                )
-        except BadRequest as exc:
-            self._send_json(400, {"error": str(exc)})
-            return
-        job = self.manager.submit(
-            request, priority=priority, deadline_seconds=deadline_seconds
-        )
-        if wait_timeout is not None:
-            job.wait(wait_timeout)
-        self._send_json(200 if job.finished else 202, job.snapshot())
-
-    def _job_state(self, job_id: str) -> None:
-        try:
-            job = self.manager.get(job_id)
-        except KeyError:
-            self._send_json(404, {"error": f"unknown job {job_id!r}"})
-            return
-        self._send_json(200 if job.finished else 202, job.snapshot())
-
-    def _cancel(self, job_id: str) -> None:
-        try:
-            cancelled = self.manager.cancel(job_id)
-        except KeyError:
-            self._send_json(404, {"error": f"unknown job {job_id!r}"})
-            return
-        self._send_json(200, {"job": job_id, "cancel_requested": cancelled})
+        """Route cancellation requests."""
+        self._respond("DELETE", None)
 
     # -- plumbing ------------------------------------------------------------
+    @property
+    def api(self) -> ServiceApi:
+        return self.server.api  # type: ignore[attr-defined]
+
     @property
     def manager(self) -> JobManager:
         return self.server.manager  # type: ignore[attr-defined]
 
-    def _read_body(self) -> Dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise BadRequest("empty request body (expected a JSON object)")
-        raw = self.rfile.read(length)
-        try:
-            body = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise BadRequest(f"request body is not valid JSON: {exc}") from exc
-        if not isinstance(body, dict):
-            raise BadRequest("request body must be a JSON object")
-        return body
-
-    def _send_json(self, status: int, document: Dict[str, Any]) -> None:
-        encoded = json.dumps(document).encode("utf-8")
-        self.send_response(status)
+    def _respond(self, method: str, body: Optional[bytes]) -> None:
+        path = self.path.partition("?")[0]
+        response = self.api.handle(method, path, body)
+        encoded = response.encode()
+        self.send_response(response.status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
+        for name, value in response.headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(encoded)
 
@@ -266,9 +119,11 @@ class ServiceServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, manager: JobManager, verbose: bool = False) -> None:
+    def __init__(self, address, manager: JobManager, verbose: bool = False,
+                 api: Optional[ServiceApi] = None) -> None:
         super().__init__(address, ServiceHandler)
         self.manager = manager
+        self.api = api if api is not None else ServiceApi(manager)
         self.verbose = verbose
 
     @property
@@ -290,6 +145,13 @@ def create_server(
     cache: Optional[ResultCache] = None,
     trace=None,
     verbose: bool = False,
+    executor: str = "thread",
+    solve_processes: int = 2,
+    batching: bool = True,
+    batch_linger: float = 0.0,
+    max_queued: Optional[int] = None,
+    rate_limit: Optional[float] = None,
+    rate_burst: Optional[float] = None,
 ) -> ServiceServer:
     """Build a ready-to-serve :class:`ServiceServer` (not yet serving).
 
@@ -303,14 +165,26 @@ def create_server(
         trace: Optional trace sink receiving ``cache_*`` / ``job_status``
             events from the manager and cache.
         verbose: Log HTTP requests to stderr.
+        executor: ``"thread"`` (this server's historical default) or
+            ``"process"`` for the multi-process solve pool.
+        solve_processes: Solve pool size for ``executor="process"``.
+        batching: Coalesce compatible sweep submissions.
+        max_queued: Queue bound; excess submissions answer 429.
+        rate_limit: Sustained submissions/second; ``None`` disables.
+        rate_burst: Token-bucket burst size.
 
     The caller drives it with ``serve_forever()`` (and stops it with
     ``shutdown()`` + ``close()``), or uses :func:`serve` to block.
     """
     if cache is None:
         cache = ResultCache(trace=trace)
-    manager = JobManager(workers=workers, cache=cache, trace=trace)
-    return ServiceServer((host, port), manager, verbose=verbose)
+    manager = JobManager(
+        workers=workers, cache=cache, trace=trace, executor=executor,
+        solve_processes=solve_processes, batching=batching,
+        batch_linger=batch_linger, max_queued=max_queued,
+    )
+    api = ServiceApi(manager, rate_limit=rate_limit, rate_burst=rate_burst)
+    return ServiceServer((host, port), manager, verbose=verbose, api=api)
 
 
 def serve(server: ServiceServer) -> None:

@@ -28,9 +28,24 @@ bookkeeping.  What the manager adds over a bare thread pool:
   enforced between solves through the same ``should_stop`` hook (a sweep
   is many solves; the time limit alone would only bound each one).
 * **Retry with backoff** — transient backend failures (a crashed worker
-  pool, an OS-level hiccup) are retried with exponential backoff;
-  infeasibility, unknown solvers, and cancellations are permanent and
-  never retried.
+  pool, an OS-level hiccup) are retried with exponential backoff capped
+  at the job's remaining deadline budget; infeasibility, unknown
+  solvers, and cancellations are permanent and never retried.
+* **Multi-process execution** (``executor="process"``) — solves run on a
+  persistent :class:`~repro.service.procpool.SolvePool` of worker
+  *processes* instead of the manager's own threads, so CPU-bound jobs
+  scale past the GIL.  The manager threads become dispatchers: they poll
+  cancellation/deadline and bridge them to the pool's shared cancel
+  flags.  A broken pool worker triggers a transparent inline fallback.
+* **Request batching** — at dispatch time, a worker claiming a sweep job
+  drains every still-queued batch-compatible sweep (same
+  :func:`~repro.service.batch.sweep_batch_key`, i.e. identical but for
+  ``max_designs``, and deadline-free) into one
+  :class:`~repro.service.batch.BatchSweepRequest`; one incremental pass
+  serves every member its exact front.
+* **Backpressure** — with ``max_queued`` set, submissions beyond the
+  bound raise :class:`QueueFullError` (HTTP maps it to ``429``) instead
+  of growing the queue without limit.
 """
 
 from __future__ import annotations
@@ -73,6 +88,18 @@ CANCELLED = "cancelled"
 #: below — they are properties of the request, not of the attempt.
 _TRANSIENT = (SolverError, OSError)
 _PERMANENT = (InfeasibleError, UnknownSolverError)
+
+
+class QueueFullError(RuntimeError):
+    """Submission rejected: the job queue is at its ``max_queued`` bound.
+
+    The HTTP layers answer ``429`` with ``Retry-After:``
+    :attr:`retry_after` — backpressure instead of unbounded queueing.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -138,6 +165,12 @@ class SynthesizeRequest:
 
         return design_to_document(result)
 
+    def result_from_document(self, document: Dict[str, Any]):
+        """Rebuild the design from its document (pool wire format)."""
+        from repro.synthesis.io import design_from_dict
+
+        return design_from_dict(self.graph, self.library, document)
+
     def store(self, cache: ResultCache, key: str, result) -> None:
         """Cache hook: store a design."""
         cache.put_design(key, result)
@@ -193,6 +226,12 @@ class SweepRequest:
     def document_of(self, result) -> Dict[str, Any]:
         """JSON document for ``result`` (the cache/HTTP payload)."""
         return result.to_dict()
+
+    def result_from_document(self, document: Dict[str, Any]):
+        """Rebuild the front from its document (pool wire format)."""
+        from repro.synthesis.front import ParetoFront
+
+        return ParetoFront.from_dict(document, self.graph, self.library)
 
     def store(self, cache: ResultCache, key: str, result) -> None:
         """Cache hook: store a front."""
@@ -307,6 +346,23 @@ class JobManager:
             themselves stay available through the cache.
         trace: Optional :class:`~repro.obs.sinks.TraceSink` receiving
             ``job_status`` events at every state transition.
+        executor: ``"thread"`` runs solves on the manager's own worker
+            threads (the PR 4 behaviour); ``"process"`` runs them on a
+            persistent :class:`~repro.service.procpool.SolvePool` so
+            CPU-bound solves use real cores.
+        solve_processes: Pool size for ``executor="process"``.
+        batching: Coalesce compatible deadline-free sweep jobs into one
+            incremental pass at dispatch time (see
+            :mod:`repro.service.batch`).
+        max_batch: Largest member count a single batch may absorb.
+        batch_linger: Micro-batching window in seconds.  When a worker
+            claims a sweep while *other* jobs are queued (i.e. under
+            load), it waits this long before collecting batch members so
+            concurrent compatible sweeps can land in the queue.  With an
+            empty queue the linger is skipped — sparse traffic pays zero
+            added latency.  ``0`` (default) disables lingering.
+        max_queued: Bound on QUEUED jobs; submissions past it raise
+            :class:`QueueFullError`.  ``None`` (default) is unbounded.
     """
 
     def __init__(
@@ -317,15 +373,36 @@ class JobManager:
         retry_backoff: float = 0.1,
         max_finished_jobs: int = 256,
         trace=None,
+        executor: str = "thread",
+        solve_processes: int = 2,
+        batching: bool = True,
+        max_batch: int = 16,
+        batch_linger: float = 0.0,
+        max_queued: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("JobManager needs at least one worker thread")
         if max_finished_jobs < 0:
             raise ValueError("max_finished_jobs must be nonnegative")
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor {executor!r}")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_queued is not None and max_queued < 1:
+            raise ValueError("max_queued must be at least 1 (or None)")
         self.cache = cache
         self.retries = retries
         self.retry_backoff = retry_backoff
         self.max_finished_jobs = max_finished_jobs
+        self.batching = batching
+        self.max_batch = max_batch
+        self.batch_linger = batch_linger
+        self.max_queued = max_queued
+        self._pool = None
+        if executor == "process":
+            from repro.service.procpool import SolvePool
+
+            self._pool = SolvePool(processes=solve_processes)
         self._tracer: Optional[Tracer] = make_tracer(trace)
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
@@ -339,9 +416,18 @@ class JobManager:
         self._inflight: Dict[str, Job] = {}
         self._shutdown = False
         #: Solver invocations actually started (cache hits excluded).
+        #: One batched pass counts once however many jobs it serves.
         self.solves = 0
         #: Submissions answered by single-flight dedup.
         self.dedup_hits = 0
+        #: Batched passes actually run (two or more members).
+        self.batches = 0
+        #: Jobs served by those batched passes (sum of member counts).
+        self.batched_jobs = 0
+        #: Largest member count any single batch reached.
+        self.max_batch_occupancy = 0
+        #: Pooled solves re-run inline after a worker process died.
+        self.inline_fallbacks = 0
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-job-worker-{i}", daemon=True
@@ -378,6 +464,15 @@ class JobManager:
                 existing.shared += 1
                 self.dedup_hits += 1
                 return existing
+            # Backpressure: dedup hits above never count against the
+            # bound (they queue no new work), but fresh work does.
+            if self.max_queued is not None:
+                queued = sum(1 for *_, j in self._queue if j.status == QUEUED)
+                if queued >= self.max_queued:
+                    raise QueueFullError(
+                        f"job queue is full ({queued} jobs queued, "
+                        f"max_queued={self.max_queued})"
+                    )
             job = Job(f"j{next(self._ids):06d}", request, priority, deadline_seconds)
             # Reuse the fingerprint just computed rather than re-hashing.
             job.fingerprint = key
@@ -422,9 +517,20 @@ class JobManager:
             return {
                 "jobs": by_status,
                 "queued": sum(1 for *_, j in self._queue if j.status == QUEUED),
+                "max_queued": self.max_queued,
                 "solves": self.solves,
                 "dedup_hits": self.dedup_hits,
                 "workers": len(self._threads),
+                "executor": "process" if self._pool is not None else "thread",
+                "pool": self._pool.stats() if self._pool is not None else None,
+                "inline_fallbacks": self.inline_fallbacks,
+                "batch": {
+                    "enabled": self.batching,
+                    "max_batch": self.max_batch,
+                    "batches": self.batches,
+                    "batched_jobs": self.batched_jobs,
+                    "max_occupancy": self.max_batch_occupancy,
+                },
                 "cache": self.cache.stats() if self.cache is not None else None,
             }
 
@@ -450,6 +556,8 @@ class JobManager:
         if wait:
             for thread in self._threads:
                 thread.join(timeout=30.0)
+        if self._pool is not None:
+            self._pool.shutdown()
 
     def __enter__(self) -> "JobManager":
         """Context-manager support: shuts down on exit."""
@@ -468,7 +576,9 @@ class JobManager:
                 if not self._queue and self._shutdown:
                     return
                 _, _, job = heapq.heappop(self._queue)
-                if job.finished:  # cancelled while queued
+                # Lazy skip: cancelled while queued, or claimed into a
+                # batch by another worker (status already RUNNING).
+                if job.finished or job.status != QUEUED:
                     continue
                 job.status = RUNNING
                 job.started_at = time.time()
@@ -487,90 +597,270 @@ class JobManager:
                 self._finalize(job, CANCELLED, error="cancelled before start")
             return
 
-        if self.cache is not None:
-            hit = request.lookup(self.cache, job.fingerprint)
-            if hit is not None:
-                with self._lock:
-                    job.result = hit
-                    job.document = request.document_of(hit)
-                    job.cached = True
-                    self._finalize(job, DONE)
-                return
+        if self._cache_hit(job):
+            return
 
+        members = [job]
+        if (self.batching and request.kind == "sweep"
+                and job.deadline_seconds is None):
+            if self.batch_linger > 0.0:
+                with self._lock:
+                    under_load = bool(self._queue)
+                if under_load:
+                    # Micro-batching: give concurrent compatible sweeps a
+                    # moment to land in the queue before collecting.
+                    job._cancel.wait(self.batch_linger)
+            members = self._collect_batch(job)
+        if len(members) > 1:
+            from repro.service.batch import BatchSweepRequest
+
+            batch = BatchSweepRequest(
+                prototype=request,
+                targets=[m.request.max_designs for m in members],
+            )
+            with self._lock:
+                self.batches += 1
+                self.batched_jobs += len(members)
+                self.max_batch_occupancy = max(
+                    self.max_batch_occupancy, len(members)
+                )
+            try:
+                self._run_members(members, batch)
+            except BaseException as exc:
+                # The worker loop's guard only knows the leader; claimed
+                # members must never be left RUNNING forever.
+                with self._lock:
+                    for member in members:
+                        if not member.finished:
+                            self._finalize(
+                                member, FAILED,
+                                error=f"internal error: {exc!r}",
+                            )
+        else:
+            self._run_members(members, request)
+
+    def _cache_hit(self, job: Job) -> bool:
+        """Finalize ``job`` from the cache; False on a miss."""
+        if self.cache is None:
+            return False
+        hit = job.request.lookup(self.cache, job.fingerprint)
+        if hit is None:
+            return False
+        with self._lock:
+            job.result = hit
+            job.document = job.request.document_of(hit)
+            job.cached = True
+            self._finalize(job, DONE)
+        return True
+
+    def _collect_batch(self, leader: Job) -> List[Job]:
+        """Claim every queued sweep batch-compatible with ``leader``.
+
+        Claimed members flip to RUNNING in place; the lazy skip in
+        :meth:`_worker_loop` drops their heap entries when popped.
+        Members whose results are already cached are finalized
+        immediately and excluded.  Returns ``[leader, ...members]``.
+        """
+        from repro.service.batch import sweep_batch_key
+
+        key = sweep_batch_key(leader.request)
+        claimed: List[Job] = []
+        with self._lock:
+            for _, _, candidate in self._queue:
+                if len(claimed) + 1 >= self.max_batch:
+                    break
+                if candidate.status != QUEUED or candidate.finished:
+                    continue
+                if candidate.cancel_requested:
+                    continue
+                if (candidate.request.kind != "sweep"
+                        or candidate.deadline_seconds is not None):
+                    continue
+                if getattr(candidate, "_batch_key", None) is None:
+                    candidate._batch_key = sweep_batch_key(candidate.request)
+                if candidate._batch_key != key:
+                    continue
+                candidate.status = RUNNING
+                candidate.started_at = time.time()
+                self._emit_status(candidate)
+                claimed.append(candidate)
+        members = [leader]
+        for candidate in claimed:
+            # A member may be a cache hit in its own right (different
+            # max_designs fingerprint): serve it, drop it from the batch.
+            if not self._cache_hit(candidate):
+                members.append(candidate)
+        return members
+
+    def _run_members(self, members: List[Job], request) -> None:
+        """The retry/solve/finalize loop, shared by solo jobs and batches.
+
+        ``members`` is ``[job]`` with ``request is job.request`` for a
+        solo run, or the batch members (leader first) with ``request`` a
+        :class:`~repro.service.batch.BatchSweepRequest`.  Batch members
+        never carry deadlines, so the leader's deadline is *the* deadline
+        in both shapes.
+        """
+        leader = members[0]
+        is_batch = request.kind == "sweep_batch"
         attempt = 0
         while True:
-            if job.past_deadline():
-                with self._lock:
-                    self._finalize(job, FAILED, error="deadline exceeded")
+            if leader.past_deadline():
+                self._finalize_all(members, FAILED, "deadline exceeded")
                 return
-            job.attempts = attempt + 1
+            for member in members:
+                member.attempts = attempt + 1
             with self._lock:
                 self.solves += 1
-            solver_options, deadline_limited = self._job_solver_options(job)
+            solver_options, deadline_limited = self._members_solver_options(members)
             try:
-                result = request.run(solver_options)
+                result = self._dispatch(members, request, solver_options)
             except CancelledError:
-                status = CANCELLED if job.cancel_requested else FAILED
-                error = ("cancelled" if job.cancel_requested
-                         else "deadline exceeded")
-                with self._lock:
-                    self._finalize(job, status, error=error)
+                for member in members:
+                    with self._lock:
+                        if member.cancel_requested:
+                            self._finalize(member, CANCELLED, error="cancelled")
+                        else:
+                            self._finalize(member, FAILED,
+                                           error="deadline exceeded")
                 return
             except _PERMANENT as exc:
-                with self._lock:
-                    self._finalize(job, FAILED, error=str(exc))
+                self._finalize_all(members, FAILED, str(exc))
                 return
             except _TRANSIENT as exc:
                 if attempt >= self.retries:
-                    with self._lock:
-                        self._finalize(
-                            job, FAILED,
-                            error=f"{exc} (after {attempt + 1} attempts)",
-                        )
+                    self._finalize_all(
+                        members, FAILED,
+                        f"{exc} (after {attempt + 1} attempts)",
+                    )
                     return
-                # Exponential backoff, cut short by a cancel request.
-                job._cancel.wait(self.retry_backoff * (2 ** attempt))
+                # Exponential backoff, cut short by a cancel request and
+                # capped at the remaining deadline budget — the sleep
+                # must never be what pushes the job past its deadline.
+                delay = self.retry_backoff * (2 ** attempt)
+                remaining = leader.remaining_seconds()
+                if remaining is not None:
+                    delay = min(delay, max(0.0, remaining))
+                leader._cancel.wait(delay)
                 attempt += 1
                 continue
             except ReproError as exc:  # SynthesisError etc.: permanent
-                with self._lock:
-                    self._finalize(job, FAILED, error=str(exc))
+                self._finalize_all(members, FAILED, str(exc))
                 return
             break
 
-        document = request.document_of(result)
-        # The fingerprint excludes deadline_seconds (it is a property of
-        # the submission, not of the problem), so a result produced under
-        # a deadline-tightened time_limit may be a truncated incumbent
-        # that a deadline-free solve would improve on.  Caching it would
-        # serve the truncated answer to every future identical request —
-        # so deadline-limited results are never stored.
-        if self.cache is not None and not deadline_limited:
-            request.store(self.cache, job.fingerprint, result)
-        with self._lock:
-            job.result = result
-            job.document = document
-            self._finalize(job, DONE)
+        if not is_batch:
+            job = leader
+            document = request.document_of(result)
+            # The fingerprint excludes deadline_seconds (it is a property
+            # of the submission, not of the problem), so a result produced
+            # under a deadline-tightened time_limit may be a truncated
+            # incumbent that a deadline-free solve would improve on.
+            # Caching it would serve the truncated answer to every future
+            # identical request — so deadline-limited results are never
+            # stored.
+            if self.cache is not None and not deadline_limited:
+                request.store(self.cache, job.fingerprint, result)
+            with self._lock:
+                job.result = result
+                job.document = document
+                self._finalize(job, DONE)
+            return
 
-    def _job_solver_options(self, job: Job) -> "tuple[SolverOptions, bool]":
+        # Fan the batch's fronts back out: member i gets front i.  A
+        # member cancelled mid-batch has its (possibly shortened) front
+        # discarded; the others are byte-identical to solo solves and
+        # batches are deadline-free, so every survivor is cacheable.
+        for member, front in zip(members, result):
+            if member.cancel_requested:
+                with self._lock:
+                    self._finalize(member, CANCELLED, error="cancelled")
+                continue
+            document = member.request.document_of(front)
+            if self.cache is not None:
+                member.request.store(self.cache, member.fingerprint, front)
+            with self._lock:
+                member.result = front
+                member.document = document
+                self._finalize(member, DONE)
+
+    def _dispatch(self, members: List[Job], request, solver_options):
+        """Run ``request`` on the process pool (or inline); returns results.
+
+        Pool path: ships the request, polls cancellation/deadline on the
+        driver side (bridged to the pool's shared cancel flags), rebuilds
+        result objects from the returned documents.  A dead worker
+        process surfaces as ``SolvePoolBrokenError``; the solve then
+        reruns inline on this thread so the job still completes.
+        """
+        leader = members[0]
+        if self._pool is not None:
+            from repro.service.procpool import SolvePoolBrokenError
+
+            remaining = leader.remaining_seconds()
+            budget_until = (
+                time.time() + max(0.0, remaining)
+                if remaining is not None else None
+            )
+            if len(members) == 1:
+                def should_cancel() -> bool:
+                    return leader.cancel_requested or leader.past_deadline()
+            else:
+                def should_cancel() -> bool:
+                    return all(m.cancel_requested for m in members)
+            try:
+                document = self._pool.run(
+                    request, solver_options,
+                    budget_until=budget_until, should_cancel=should_cancel,
+                )
+                return request.result_from_document(document)
+            except SolvePoolBrokenError:
+                with self._lock:
+                    self.inline_fallbacks += 1
+                # fall through to the inline path below
+        if request.kind == "sweep_batch":
+            def live_target() -> int:
+                alive = [m.request.max_designs
+                         for m in members if not m.cancel_requested]
+                return max(alive) if alive else 1
+
+            return request.run(solver_options, live_target=live_target)
+        return request.run(solver_options)
+
+    def _finalize_all(self, members: List[Job], status: str,
+                      error: Optional[str]) -> None:
+        with self._lock:
+            for member in members:
+                self._finalize(member, status, error=error)
+
+    def _members_solver_options(
+        self, members: List[Job]
+    ) -> "tuple[SolverOptions, bool]":
         """The request's solver options plus the job layer's hooks.
 
-        ``should_stop`` observes both the cancel flag and the wall-clock
+        ``should_stop`` observes the cancel flag(s) and the wall-clock
         deadline (a sweep is many solves — the per-solve time limit alone
         cannot bound the whole job); the remaining budget also tightens
-        ``time_limit`` for the next solve.
+        ``time_limit`` for the next solve.  For a batch, the hook fires
+        only when *every* member has cancelled (any survivor still wants
+        the pass), and batches are deadline-free by construction.
 
         Returns the merged options and whether the deadline tightened
         ``time_limit`` below the request's own limit — in which case the
         result may be deadline-truncated and must not be cached (the
         fingerprint does not include the deadline).
         """
-        base = job.request.solver_options or SolverOptions()
+        leader = members[0]
+        base = leader.request.solver_options or SolverOptions()
 
-        def should_stop() -> bool:
-            return job.cancel_requested or job.past_deadline()
+        if len(members) == 1:
+            def should_stop() -> bool:
+                return leader.cancel_requested or leader.past_deadline()
+        else:
+            def should_stop() -> bool:
+                return all(m.cancel_requested for m in members)
 
-        remaining = job.remaining_seconds()
+        remaining = leader.remaining_seconds()
         time_limit = base.time_limit
         deadline_limited = False
         if remaining is not None and remaining < time_limit:

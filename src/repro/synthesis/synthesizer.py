@@ -396,6 +396,103 @@ class Synthesizer:
             cache.put_front(cache_key, result)
         return result
 
+    def pareto_sweep_prefixes(
+        self,
+        targets: List[int],
+        *,
+        cost_step: float = 1e-4,
+        validate: bool = True,
+        live_target=None,
+    ) -> "List[ParetoFront]":
+        """One incremental sweep answering several ``max_designs`` at once.
+
+        The batching entry point of the service tier: several sweep
+        requests that differ *only* in ``max_designs`` are one
+        computation, because each Pareto step depends only on the
+        previous design's cost — the front for ``max_designs=k`` is
+        exactly the first ``k`` designs of the front for any larger
+        bound.  This method runs the sweep loop once, to
+        ``max(targets)``, against the retightened incremental model, and
+        slices a front per target out of the shared pass.
+
+        Per-member telemetry stays exact: each step's
+        :class:`~repro.milp.solution.SolveStats` is recorded separately
+        and the returned front for target ``k`` carries the merge of the
+        first ``k`` steps — the same counters a standalone
+        ``pareto_sweep(max_designs=k)`` would have accumulated.  (Wall
+        clock inside the stats is shared across members by construction;
+        the *designs and caps* are byte-identical to standalone sweeps,
+        which the test suite asserts.)
+
+        Args:
+            targets: One ``max_designs`` bound per caller, in caller
+                order.  Duplicates are fine (they share the slice).
+            cost_step: Shared cap decrement (members must agree on it to
+                be batched together).
+            validate: Independently validate every design.
+            live_target: Optional zero-argument callable returning the
+                largest prefix still wanted (the service passes one that
+                shrinks as batched callers cancel).  Checked between
+                solves; the sweep never runs past it, but values larger
+                than ``max(targets)`` are ignored.
+
+        Returns:
+            One :class:`~repro.synthesis.front.ParetoFront` per entry of
+            ``targets``, in order.
+
+        Raises:
+            SynthesisError: When the sweep produces no designs at all
+                (every member would have failed identically).
+        """
+        if not targets or any(t < 1 for t in targets):
+            raise ValueError("targets must be positive max_designs bounds")
+        goal = max(targets)
+        tracer = self._sweep_tracer()
+        designs: List[Design] = []
+        caps: List[Optional[float]] = []
+        step_stats: List[Optional[SolveStats]] = []
+        cap: Optional[float] = None
+        while len(designs) < goal:
+            if live_target is not None:
+                goal = min(goal, max(1, int(live_target())))
+                if len(designs) >= goal:
+                    break
+            try:
+                design = self.synthesize(cost_cap=cap, validate=validate)
+            except InfeasibleError:
+                if tracer is not None:
+                    tracer.emit(
+                        "sweep_step", index=len(designs), kind="batched",
+                        feasible=False,
+                    )
+                break
+            designs.append(design)
+            caps.append(cap)
+            step_stats.append(self.last_stats)
+            if tracer is not None:
+                tracer.emit(
+                    "sweep_step", index=len(designs) - 1, kind="batched",
+                    feasible=True,
+                )
+            cap = design.cost - cost_step
+            if cap < 0:
+                break
+        if not designs:
+            raise SynthesisError(
+                "pareto sweep produced no designs (infeasible instance?)"
+            )
+        fronts: List[ParetoFront] = []
+        for target in targets:
+            take = min(target, len(designs))
+            merged = SolveStats()
+            for stats in step_stats[:take]:
+                if stats is not None:
+                    merged.merge(stats)
+            fronts.append(
+                ParetoFront(designs[:take], caps=caps[:take], stats=merged)
+            )
+        return fronts
+
     def pareto_sweep_by_deadline(
         self,
         *,

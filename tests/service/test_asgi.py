@@ -1,0 +1,307 @@
+"""Tests for the /v1 surface, the ASGI app contract, and the async server."""
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import CancelledError
+from repro.service.api import ServiceApi
+from repro.service.asgi import AsgiApp, create_app, create_async_server
+from repro.service.jobs import JobManager
+from repro.solvers.highs import HighsSolver
+from repro.solvers.registry import _REGISTRY, register_solver
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = create_async_server(
+        host="127.0.0.1", port=0, workers=2, executor="thread",
+    ).start()
+    yield server
+    server.close()
+
+
+def call(server, method, path, body=None):
+    """One HTTP round trip; returns (status, headers, decoded JSON)."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        server.url + path, data=data, method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=90) as response:
+            return response.status, dict(response.headers), \
+                json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+class GateSolver:
+    """Blocks on a class-level gate, then solves for real."""
+
+    gate = threading.Event()
+
+    def __init__(self, options):
+        self.options = options
+        self._inner = HighsSolver(options)
+
+    def solve(self, model):
+        end = time.monotonic() + 30.0
+        while time.monotonic() < end and not self.gate.is_set():
+            if self.options.should_stop is not None and self.options.should_stop():
+                raise CancelledError("stopped")
+            time.sleep(0.005)
+        return self._inner.solve(model)
+
+
+@pytest.fixture
+def gate_solver():
+    GateSolver.gate.clear()
+    register_solver("gate", GateSolver)
+    yield GateSolver
+    GateSolver.gate.set()
+    _REGISTRY.pop("gate", None)
+
+
+class TestV1Surface:
+    def test_synthesize_roundtrip(self, server):
+        status, headers, doc = call(server, "POST", "/v1/synthesize", {
+            "problem": "example1", "solver": "highs", "wait": True,
+        })
+        assert status == 200
+        assert doc["status"] == "done"
+        assert doc["result"]["makespan"] == 2.5
+        assert "Deprecation" not in headers
+
+    def test_sweep_and_job_lookup(self, server):
+        status, _, doc = call(server, "POST", "/v1/sweep", {
+            "problem": "example1", "max_designs": 2, "wait": True,
+        })
+        assert status == 200 and doc["status"] == "done"
+        assert len(doc["result"]["designs"]) == 2
+        status, _, fetched = call(server, "GET", f"/v1/jobs/{doc['job']}")
+        assert status == 200
+        assert fetched["result"] == doc["result"]
+
+    def test_stats_and_metrics_documents(self, server):
+        status, _, stats = call(server, "GET", "/v1/stats")
+        assert status == 200
+        assert stats["executor"] == "thread"
+        assert "batch" in stats
+        status, _, metrics = call(server, "GET", "/v1/metrics")
+        assert status == 200
+        assert metrics["queue"]["workers"] == 2
+        assert metrics["executor"] == "thread"
+        service = metrics["service"]
+        assert "POST /v1/synthesize" in service["latency"]
+        assert service["latency"]["POST /v1/synthesize"]["count"] >= 1
+        assert any(key.startswith("2") for key in service["responses"])
+
+    def test_typed_error_envelope(self, server):
+        status, _, doc = call(server, "POST", "/v1/synthesize",
+                              {"problem": "no-such-problem"})
+        assert status == 400
+        error = doc["error"]
+        assert error["code"] == "bad_request"
+        assert "no-such-problem" in error["message"]
+        assert "detail" in error
+
+    def test_unknown_route_and_job(self, server):
+        status, _, doc = call(server, "GET", "/v1/nope")
+        assert status == 404 and doc["error"]["code"] == "not_found"
+        status, _, doc = call(server, "GET", "/v1/jobs/missing")
+        assert status == 404 and doc["error"]["code"] == "not_found"
+
+    def test_cancel_via_delete(self, server, gate_solver):
+        status, _, doc = call(server, "POST", "/v1/synthesize", {
+            "problem": "example2", "solver": "gate",
+        })
+        assert status == 202
+        job_id = doc["job"]
+        status, _, doc = call(server, "DELETE", f"/v1/jobs/{job_id}")
+        assert status == 200
+        # The gate stays closed: the running solver must notice the
+        # cancellation through its should_stop hook, not by finishing.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            _, _, doc = call(server, "GET", f"/v1/jobs/{job_id}")
+            if doc["status"] in ("cancelled", "done", "failed"):
+                break
+            time.sleep(0.05)
+        assert doc["status"] == "cancelled"
+
+
+class TestLegacyCompat:
+    def test_unversioned_routes_answer_with_deprecation(self, server):
+        status, headers, doc = call(server, "POST", "/synthesize", {
+            "problem": "example1", "solver": "highs", "wait": True,
+        })
+        assert status == 200 and doc["status"] == "done"
+        assert headers["Deprecation"] == "true"
+        assert headers["Link"] == '</v1/synthesize>; rel="successor-version"'
+        status, headers, _ = call(server, "GET", "/stats")
+        assert status == 200
+        assert headers["Link"] == '</v1/stats>; rel="successor-version"'
+
+    def test_legacy_error_shape_is_string(self, server):
+        status, headers, doc = call(server, "POST", "/synthesize",
+                                    {"problem": "no-such-problem"})
+        assert status == 400
+        assert isinstance(doc["error"], str)
+        assert headers["Deprecation"] == "true"
+
+    def test_legacy_404_has_no_deprecation_header(self, server):
+        status, headers, doc = call(server, "GET", "/nope")
+        assert status == 404
+        assert isinstance(doc["error"], str)
+        assert "Deprecation" not in headers
+
+    def test_deprecated_counter_climbs(self, server):
+        _, _, before = call(server, "GET", "/v1/metrics")
+        call(server, "GET", "/stats")
+        _, _, after = call(server, "GET", "/v1/metrics")
+        assert (after["service"]["deprecated_requests"]
+                > before["service"]["deprecated_requests"])
+
+
+class TestBackpressure:
+    def test_rate_limit_answers_429_with_retry_after(self):
+        server = create_async_server(
+            workers=1, executor="thread", rate_limit=0.5, rate_burst=1,
+        ).start()
+        try:
+            status, _, _ = call(server, "POST", "/v1/synthesize", {
+                "problem": "example1", "solver": "highs", "wait": True,
+            })
+            assert status == 200
+            status, headers, doc = call(server, "POST", "/v1/synthesize", {
+                "problem": "example1", "solver": "highs",
+            })
+            assert status == 429
+            assert doc["error"]["code"] == "rate_limited"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            server.close()
+
+    def test_queue_full_answers_429(self, gate_solver):
+        server = create_async_server(
+            workers=1, executor="thread", max_queued=1, batching=False,
+        ).start()
+        try:
+            bodies = [
+                {"problem": "example1", "solver": "gate", "cost_cap": cap}
+                for cap in (None, 40.0, 41.0)
+            ]
+            status0, _, _ = call(server, "POST", "/v1/synthesize", bodies[0])
+            assert status0 == 202
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                _, _, stats = call(server, "GET", "/v1/stats")
+                if stats["jobs"].get("running"):
+                    break
+                time.sleep(0.01)
+            status1, _, _ = call(server, "POST", "/v1/synthesize", bodies[1])
+            status2, headers, doc = call(server, "POST", "/v1/synthesize",
+                                         bodies[2])
+            assert status1 == 202
+            assert status2 == 429
+            assert doc["error"]["code"] == "queue_full"
+            assert "Retry-After" in headers
+            gate_solver.gate.set()
+        finally:
+            server.close()
+
+
+class TestAsyncServerMechanics:
+    def test_keep_alive_reuses_connection(self, server):
+        import http.client
+
+        host, port = server.url.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            for _ in range(3):
+                conn.request("GET", "/v1/stats")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            conn.close()
+
+    def test_oversized_body_answers_413(self, server):
+        # The server rejects on the declared Content-Length (before the
+        # upload), so speak raw HTTP: declare a huge body, send nothing.
+        import socket
+
+        from repro.service.asgi import MAX_BODY_BYTES
+
+        host, port = server.url.removeprefix("http://").split(":")
+        with socket.create_connection((host, int(port)), timeout=30) as sock:
+            sock.sendall(
+                b"POST /v1/synthesize HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+            )
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 413 ")
+
+    def test_close_is_idempotent(self):
+        server = create_async_server(workers=1, executor="thread").start()
+        server.close()
+        server.close()
+
+
+class TestAsgiContract:
+    """Drive the ASGI app directly (no socket) — the external-server path."""
+
+    def _run(self, app, scopes):
+        async def main():
+            results = []
+            for scope, messages in scopes:
+                received = list(messages)
+                sent = []
+
+                async def receive():
+                    return received.pop(0)
+
+                async def send(message):
+                    sent.append(message)
+
+                await app(scope, receive, send)
+                results.append(sent)
+            return results
+
+        return asyncio.run(main())
+
+    def test_http_scope_roundtrip(self):
+        manager = JobManager(workers=1)
+        try:
+            app = AsgiApp(ServiceApi(manager))
+            scope = {"type": "http", "method": "GET", "path": "/v1/stats"}
+            [sent] = self._run(
+                app, [(scope, [{"type": "http.request", "body": b"",
+                                "more_body": False}])]
+            )
+            start = next(m for m in sent if m["type"] == "http.response.start")
+            body = next(m for m in sent if m["type"] == "http.response.body")
+            assert start["status"] == 200
+            header_names = [name for name, _ in start["headers"]]
+            assert b"content-type" in header_names
+            assert json.loads(body["body"])["workers"] == 1
+        finally:
+            manager.shutdown()
+
+    def test_lifespan_startup_shutdown(self):
+        app = create_app(workers=1, executor="thread")
+        scope = {"type": "lifespan"}
+        messages = [{"type": "lifespan.startup"},
+                    {"type": "lifespan.shutdown"}]
+        [sent] = self._run(app, [(scope, messages)])
+        assert {m["type"] for m in sent} == {
+            "lifespan.startup.complete", "lifespan.shutdown.complete",
+        }

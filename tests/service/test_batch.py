@@ -1,0 +1,277 @@
+"""Property tests for sweep request batching.
+
+The batching layer coalesces compatible sweep submissions (same problem,
+solver, and options — only ``max_designs`` differs) into one incremental
+Pareto pass.  The contract it must keep: every member's front is
+*byte-identical* to the front a serial, unbatched solve of that member
+would produce.  These tests check that across random SOS task graphs,
+random processor libraries, and random cap partitions — including when a
+member is cancelled mid-batch.
+"""
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import CancelledError
+from repro.service.batch import BatchSweepRequest, sweep_batch_key
+from repro.service.jobs import JobManager, SweepRequest, SynthesizeRequest
+from repro.solvers.highs import HighsSolver
+from repro.solvers.registry import _REGISTRY, register_solver
+from repro.synthesis.synthesizer import Synthesizer
+from repro.taskgraph.generators import layered_random
+from tests.conftest import make_library
+
+
+def random_library(seed, tasks):
+    """A random small heterogeneous library (type 0 covers everything)."""
+    rng = random.Random(seed)
+    num_types = rng.randint(2, 3)
+    spec = {}
+    for index in range(num_types):
+        name = f"P{index}"
+        if index == 0:
+            covered = list(tasks)
+        else:
+            covered = [t for t in tasks if rng.random() < 0.7] or [tasks[0]]
+        spec[name] = (
+            rng.randint(2, 9),
+            {t: rng.randint(1, 5) for t in covered},
+        )
+    return make_library(
+        spec,
+        instances_per_type=2,
+        remote_delay=rng.choice([0.5, 1.0]),
+        local_delay=rng.choice([0.0, 0.1]),
+    )
+
+
+def front_key(document):
+    """Canonical bytes for a front document, minus wall-clock noise.
+
+    ``solve_seconds`` is measured wall time and the sweep ``stats`` carry
+    phase timings; everything else — designs, assignments, costs,
+    makespans, ordering — must match exactly.
+    """
+    document = json.loads(json.dumps(document))
+    document.pop("stats", None)
+    for design in document["designs"]:
+        design["solve_seconds"] = 0.0
+    return json.dumps(document, sort_keys=True)
+
+
+def serial_front_key(graph, library, max_designs):
+    """Reference: a from-scratch unbatched sweep document."""
+    front = Synthesizer(graph, library).pareto_sweep(max_designs=max_designs)
+    return front_key(front.to_dict())
+
+
+class GateSolver:
+    """Blocks on a class-level gate, then solves for real."""
+
+    gate = threading.Event()
+
+    def __init__(self, options):
+        self.options = options
+        self._inner = HighsSolver(options)
+
+    def solve(self, model):
+        end = time.monotonic() + 30.0
+        while time.monotonic() < end and not self.gate.is_set():
+            if self.options.should_stop is not None and self.options.should_stop():
+                raise CancelledError("stopped")
+            time.sleep(0.005)
+        return self._inner.solve(model)
+
+
+@pytest.fixture
+def gate_solver():
+    GateSolver.gate.clear()
+    register_solver("gate", GateSolver)
+    yield GateSolver
+    GateSolver.gate.set()
+    _REGISTRY.pop("gate", None)
+
+
+def submit_coqueued_sweeps(manager, blocker_request, sweep_requests):
+    """Block the 1-worker manager, queue the sweeps together, release."""
+    blocker = manager.submit(blocker_request)
+    deadline = time.monotonic() + 10
+    while blocker.status == "queued" and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert blocker.status == "running"
+    jobs = [manager.submit(request) for request in sweep_requests]
+    return blocker, jobs
+
+
+class TestBatchKey:
+    def test_key_ignores_max_designs_only(self, ex1_graph, ex1_library,
+                                          ex2_graph, ex2_library):
+        base = SweepRequest(ex1_graph, ex1_library, max_designs=2)
+        assert sweep_batch_key(base) == sweep_batch_key(
+            SweepRequest(ex1_graph, ex1_library, max_designs=9)
+        )
+        incompatible = [
+            SweepRequest(ex2_graph, ex2_library, max_designs=2),
+            SweepRequest(ex1_graph, ex1_library, max_designs=2,
+                         cost_step=0.5),
+            SweepRequest(ex1_graph, ex1_library, max_designs=2,
+                         solver="bozo"),
+            SweepRequest(ex1_graph, ex1_library, max_designs=2, style="bus"),
+        ]
+        for other in incompatible:
+            assert sweep_batch_key(other) != sweep_batch_key(base)
+
+    def test_batch_request_roundtrips_documents(self, ex1_graph, ex1_library):
+        prototype = SweepRequest(ex1_graph, ex1_library, max_designs=2)
+        batch = BatchSweepRequest(prototype=prototype, targets=[2, 4])
+        fronts = batch.run(None)
+        documents = batch.document_of(fronts)
+        assert len(documents) == 2
+        rebuilt = batch.result_from_document(documents)
+        assert [front_key(f.to_dict()) for f in rebuilt] == [
+            front_key(d) for d in documents
+        ]
+
+
+class TestBatchedFrontsByteIdentical:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_graphs_and_partitions(self, seed):
+        rng = random.Random(1000 + seed)
+        graph = layered_random(
+            rng.randint(4, 6), rng.randint(2, 3), seed=seed,
+            fractional_ports=(seed % 2 == 0),
+        )
+        library = random_library(seed, graph.subtask_names)
+        targets = rng.sample([1, 2, 3, 4, 5], k=rng.randint(2, 4))
+
+        prototype = SweepRequest(graph, library, max_designs=max(targets))
+        batch = BatchSweepRequest(prototype=prototype, targets=sorted(targets))
+        documents = batch.document_of(batch.run(None))
+
+        for target, document in zip(sorted(targets), documents):
+            assert len(document["designs"]) <= target
+            assert front_key(document) == serial_front_key(
+                graph, library, target
+            ), f"seed={seed} target={target}"
+
+    def test_manager_coalesces_and_matches_serial(
+        self, gate_solver, ex1_graph, ex1_library
+    ):
+        targets = [2, 3, 4]
+        with JobManager(workers=1, batching=True) as manager:
+            blocker, jobs = submit_coqueued_sweeps(
+                manager,
+                SynthesizeRequest(ex1_graph, ex1_library, solver="gate"),
+                [SweepRequest(ex1_graph, ex1_library, max_designs=t)
+                 for t in targets],
+            )
+            gate_solver.gate.set()
+            for job in jobs:
+                assert job.wait(120)
+                assert job.status == "done", job.error
+            assert manager.batches == 1
+            assert manager.batched_jobs == len(targets)
+            assert manager.max_batch_occupancy == len(targets)
+            for target, job in zip(targets, jobs):
+                assert front_key(job.result.to_dict()) == serial_front_key(
+                    ex1_graph, ex1_library, target
+                )
+
+    def test_mid_batch_cancel_leaves_survivors_identical(
+        self, gate_solver, ex1_graph, ex1_library
+    ):
+        # The gate solver is the *sweep* solver here, so the batch blocks
+        # on its first solve and we can cancel one member mid-flight.
+        targets = [2, 3, 4]
+        with JobManager(workers=1, batching=True) as manager:
+            blocker, jobs = submit_coqueued_sweeps(
+                manager,
+                SynthesizeRequest(ex1_graph, ex1_library),
+                [SweepRequest(ex1_graph, ex1_library, solver="gate",
+                              max_designs=t)
+                 for t in targets],
+            )
+            deadline = time.monotonic() + 10
+            while jobs[0].status == "queued" and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert jobs[0].status == "running"  # batch leader claimed
+            manager.cancel(jobs[1].id)
+            gate_solver.gate.set()
+            for job in jobs:
+                assert job.wait(120)
+            assert jobs[1].status == "cancelled"
+            assert manager.batches == 1
+            survivors = [(targets[0], jobs[0]), (targets[2], jobs[2])]
+            for target, job in survivors:
+                assert job.status == "done", job.error
+                assert front_key(job.result.to_dict()) == serial_front_key(
+                    ex1_graph, ex1_library, target
+                )
+
+    def test_process_executor_batches_match_serial(
+        self, ex1_graph, ex1_library
+    ):
+        # A slow decoy sweep occupies the (single) job worker while the
+        # batchable sweeps are submitted, so they co-queue and coalesce.
+        targets = [2, 3, 4]
+        with JobManager(workers=1, executor="process", solve_processes=1,
+                        batching=True, batch_linger=0.2) as manager:
+            decoy = manager.submit(
+                SweepRequest(ex1_graph, ex1_library, max_designs=5,
+                             cost_step=0.5)
+            )
+            jobs = [
+                manager.submit(SweepRequest(ex1_graph, ex1_library,
+                                            max_designs=t))
+                for t in targets
+            ]
+            assert decoy.wait(120)
+            for job in jobs:
+                assert job.wait(120)
+                assert job.status == "done", job.error
+            assert manager.batches >= 1
+            for target, job in zip(targets, jobs):
+                assert front_key(job.result.to_dict()) == serial_front_key(
+                    ex1_graph, ex1_library, target
+                )
+
+    def test_batching_disabled_runs_solo(self, gate_solver, ex1_graph,
+                                         ex1_library):
+        with JobManager(workers=1, batching=False) as manager:
+            blocker, jobs = submit_coqueued_sweeps(
+                manager,
+                SynthesizeRequest(ex1_graph, ex1_library, solver="gate"),
+                [SweepRequest(ex1_graph, ex1_library, max_designs=t)
+                 for t in (2, 3)],
+            )
+            gate_solver.gate.set()
+            for job in jobs:
+                assert job.wait(120)
+                assert job.status == "done", job.error
+            assert manager.batches == 0
+            assert manager.batched_jobs == 0
+
+    def test_deadline_jobs_never_batch(self, gate_solver, ex1_graph,
+                                       ex1_library):
+        with JobManager(workers=1, batching=True) as manager:
+            blocker, jobs = submit_coqueued_sweeps(
+                manager,
+                SynthesizeRequest(ex1_graph, ex1_library, solver="gate"),
+                [SweepRequest(ex1_graph, ex1_library, max_designs=2)],
+            )
+            deadline_job = manager.submit(
+                SweepRequest(ex1_graph, ex1_library, max_designs=3),
+                deadline_seconds=90.0,
+            )
+            gate_solver.gate.set()
+            assert jobs[0].wait(120) and deadline_job.wait(120)
+            assert jobs[0].status == "done"
+            assert deadline_job.status == "done"
+            # The deadline job may not join a batch (its budget is its
+            # own); with only one batchable sweep queued there is nothing
+            # to coalesce.
+            assert manager.batches == 0

@@ -315,6 +315,33 @@ class TestDeadlinesAndRetries:
         finally:
             FlakySolver.failures = 2
 
+    def test_retry_backoff_never_overshoots_deadline(
+        self, fake_solvers, ex1_graph, ex1_library
+    ):
+        """Regression: the exponential backoff used to sleep its full
+        ``retry_backoff * 2**attempt`` even when the job's deadline was
+        about to expire, so a 30 s backoff could hold a 1.5 s-deadline
+        job for half a minute.  The delay is now capped at the remaining
+        budget: the job must resolve around its deadline, not the backoff.
+        """
+        FlakySolver.failures = 100
+        try:
+            with JobManager(workers=1, retries=5, retry_backoff=30.0,
+                            cache=None) as manager:
+                started = time.monotonic()
+                job = manager.submit(
+                    SynthesizeRequest(ex1_graph, ex1_library, solver="flaky"),
+                    deadline_seconds=1.5,
+                )
+                assert job.wait(20)
+                elapsed = time.monotonic() - started
+                assert job.status == FAILED
+                assert elapsed < 10.0, (
+                    f"retry backoff held a 1.5s-deadline job {elapsed:.1f}s"
+                )
+        finally:
+            FlakySolver.failures = 2
+
     def test_permanent_errors_do_not_retry(self, ex1_graph, ex1_library):
         with JobManager(workers=1, retries=3, retry_backoff=0.01) as manager:
             job = manager.submit(

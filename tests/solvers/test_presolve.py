@@ -308,8 +308,11 @@ class TestAgainstBothBackends:
         assert presolved.status == raw.status == reference.status
         if presolved.status is SolveStatus.OPTIMAL:
             assert presolved.objective == pytest.approx(raw.objective, abs=1e-6)
+            # HiGHS answers within its own MIP gap/feasibility tolerances
+            # (seed 12 returns 3 - 1e-6 for a true optimum of 3), so the
+            # cross-backend check needs slack beyond 1e-6.
             assert presolved.objective == pytest.approx(
-                reference.objective, abs=1e-6
+                reference.objective, abs=1e-5
             )
 
 
