@@ -1,0 +1,78 @@
+"""DSE-study benchmarks: cold vs. warm wall time and cache hit rate.
+
+What is measured (and persisted to ``BENCH_dse.json``):
+
+* **Cold vs. warm study** — a 3x2 technology grid over Example 1 swept
+  cold (every point solves), then re-run against the same result cache
+  with a fresh manifest (every point must be a cache hit).  The recorded
+  speedup is the value of content-addressed caching on a whole study,
+  not a single solve; the recorded ``warm_hit_rate`` must be exactly
+  1.0 — anything less means grid points stopped fingerprinting
+  deterministically.
+* **Manifest replay** — the same finished study re-run with its own
+  manifest: no synthesizer runs at all, points replay from the journal,
+  which is the resume path an interrupted thousand-point study takes.
+"""
+
+import time
+
+from benchmarks.conftest import BENCH_RESULTS, record_bench, run_once
+from repro.dse import SpaceSpec, remote_delays, run_study, scale_prices
+from repro.service.cache import ResultCache
+from repro.system.examples import example1_library
+from repro.taskgraph.examples import example1
+
+#: DSE results live beside (not inside) the solver trajectory file.
+BENCH_DSE = BENCH_RESULTS.parent / "BENCH_dse.json"
+
+
+def _spec() -> SpaceSpec:
+    return SpaceSpec(
+        example1_library(),
+        [scale_prices(0.5, 1.0, 2.0), remote_delays(1.0, 2.0)],
+    )
+
+
+def bench_dse_cold_vs_warm(benchmark, tmp_path):
+    """A warm re-run of a finished study must be ~free and 100% hits."""
+    graph = example1()
+    cache = ResultCache()
+
+    t0 = time.perf_counter()
+    cold = run_study(graph, _spec(), solver="highs", max_designs=8,
+                     cache=cache, manifest=tmp_path / "cold.jsonl")
+    cold_seconds = time.perf_counter() - t0
+    assert cold.solved == cold.points_total
+
+    def warm():
+        # Fresh manifest: every point must re-answer from the cache.
+        return run_study(graph, _spec(), solver="highs", max_designs=8,
+                         cache=cache)
+
+    rerun = run_once(benchmark, warm)
+    warm_seconds = benchmark.stats.stats.mean
+    assert rerun.cache_hits == rerun.points_total
+    assert rerun.solved == 0
+    hit_rate = rerun.warm_fraction
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    assert hit_rate == 1.0, "warm study re-solved at least one point"
+    assert speedup > 1.0, "warm study slower than the cold one"
+
+    # Manifest replay: the resume path needs no synthesizer at all.
+    t0 = time.perf_counter()
+    replay = run_study(graph, _spec(), solver="highs", max_designs=8,
+                       cache=cache, manifest=tmp_path / "cold.jsonl")
+    replay_seconds = time.perf_counter() - t0
+    assert replay.replayed == replay.points_total
+
+    record_bench(
+        "dse_cold_vs_warm",
+        path=BENCH_DSE,
+        points=cold.points_total,
+        cold_seconds=round(cold_seconds, 6),
+        warm_seconds=round(warm_seconds, 6),
+        replay_seconds=round(replay_seconds, 6),
+        warm_speedup=round(speedup, 2),
+        warm_hit_rate=hit_rate,
+        cache=cache.stats(),
+    )

@@ -28,6 +28,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS = REPO_ROOT / "BENCH_solvers.json"
 SERVICE_RESULTS = REPO_ROOT / "BENCH_service.json"
+DSE_RESULTS = REPO_ROOT / "BENCH_dse.json"
 
 #: Counters gated per benchmark entry: deterministic measures of search
 #: effort (never wall seconds).  Adding an entry here makes it load-bearing.
@@ -135,6 +136,52 @@ def check_service(current: dict) -> tuple:
     return problems, skipped
 
 
+#: Gates over BENCH_dse.json (``--dse`` mode).  The exact hit rate is a
+#: correctness claim — a warm study re-solving any point means grid
+#: points stopped fingerprinting deterministically; the speedup floor is
+#: deliberately loose, catching only a cache that has stopped paying for
+#: itself on a whole study.
+DSE_EXACT = {
+    "dse_cold_vs_warm": {"warm_hit_rate": 1.0},
+}
+DSE_FLOORS = {
+    "dse_cold_vs_warm": {"warm_speedup": 2.0},
+}
+
+
+def check_dse(current: dict) -> tuple:
+    """DSE-study gates: ``(problems, skipped)`` over BENCH_dse.json."""
+    problems = []
+    skipped = []
+    for bench, requirements in DSE_EXACT.items():
+        entry = current.get(bench)
+        if entry is None:
+            skipped.append(f"{bench}: SKIPPED (not recorded)")
+            continue
+        for field, expected in requirements.items():
+            value = entry.get(field)
+            if value is None:
+                problems.append(f"{bench}.{field}: missing from results")
+            elif value != expected:
+                problems.append(
+                    f"{bench}.{field}: {value} (required exactly {expected})"
+                )
+    for bench, floors in DSE_FLOORS.items():
+        entry = current.get(bench)
+        if entry is None:
+            continue  # absence already reported by the exact pass
+        for field, minimum in floors.items():
+            value = entry.get(field)
+            if value is None:
+                problems.append(f"{bench}.{field}: missing from results")
+            elif value < minimum:
+                problems.append(
+                    f"{bench}.{field}: {value:g} is below the required "
+                    f"floor {minimum:g} (a warm study must beat a cold one)"
+                )
+    return problems, skipped
+
+
 def committed_baseline() -> dict:
     """The committed BENCH_solvers.json from git HEAD."""
     proc = subprocess.run(
@@ -237,7 +284,31 @@ def main(argv=None) -> int:
         help="gate BENCH_service.json (load-smoke / pool-vs-threaded) "
              "instead of the solver counters",
     )
+    parser.add_argument(
+        "--dse", action="store_true",
+        help="gate BENCH_dse.json (warm-study hit rate and speedup) "
+             "instead of the solver counters",
+    )
     args = parser.parse_args(argv)
+    if args.dse:
+        path = Path(args.baseline[1]) if args.baseline else DSE_RESULTS
+        try:
+            current = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"check_regression: cannot load {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems, skipped = check_dse(current)
+        for reason in skipped:
+            print(f"  {reason}")
+        if problems:
+            print("dse gate failed:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        gated = ", ".join(dict.fromkeys([*DSE_EXACT, *DSE_FLOORS]))
+        print(f"dse gate OK ({gated})")
+        return 0
     if args.service:
         path = Path(args.baseline[1]) if args.baseline else SERVICE_RESULTS
         try:

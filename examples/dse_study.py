@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Design-space exploration: frontier surfaces over technology axes.
+
+Run::
+
+    python examples/dse_study.py
+
+Sweeps the paper's Example 1 over a 3x3 technology grid — processor
+prices at 0.5/1/2x and remote transfer delay D_CR at 0.5/1/2 — one full
+non-inferior front per grid point, then asks the questions a study is
+run for: which library variant is the cheapest way to meet each
+deadline, and which variants never earn their place at any budget.
+
+The same study from the command line::
+
+    sos dse run example1 --axis price=0.5,1,2 --axis remote=0.5,1,2 \\
+        --cache-dir .sos-cache --manifest study.jsonl --output surface.json
+    sos dse report example1 surface.json
+
+Re-running a finished study is a warm no-op: every point replays from
+the manifest (or, with a fresh manifest, answers from the result cache
+the HTTP service shares).
+"""
+
+from repro import example1, example1_library
+from repro.dse import (
+    FrontierSurface,
+    SpaceSpec,
+    remote_delays,
+    run_study,
+    scale_prices,
+)
+from repro.dse.report import frontier_comparison, surface_overview
+from repro.service.cache import ResultCache
+
+
+def main() -> None:
+    graph = example1()
+    spec = SpaceSpec(
+        example1_library(),
+        [scale_prices(0.5, 1.0, 2.0), remote_delays(0.5, 1.0, 2.0)],
+    )
+    print(f"exploring {len(spec)} technology variants of {graph.name}\n")
+
+    cache = ResultCache()
+    result = run_study(graph, spec, cache=cache, max_designs=8)
+    print(result.summary())
+    print()
+    print(surface_overview(result.surface))
+    print()
+    print(frontier_comparison(result.surface, deadlines=[3.0, 4.0, 7.0]))
+    print()
+
+    # Which variants are never the right choice, at any budget?
+    dominated = result.surface.dominated_points()
+    print(f"dominated variants: {dominated or 'none'}")
+
+    # The cheapest system meeting deadline 4, across the whole space.
+    best = result.surface.best_cost_at(4.0)
+    assert best is not None
+    point, design = best
+    print(f"cheapest system meeting deadline 4: {point.point_id} "
+          f"at cost {design.cost:g} (makespan {design.makespan:g})")
+
+    # Re-running the same study is a pure warm no-op.
+    rerun = run_study(graph, spec, cache=cache, max_designs=8)
+    assert rerun.solved == 0 and rerun.warm_fraction == 1.0
+    print(f"\nre-run: {rerun.summary()}")
+
+    # The surface round-trips through JSON (the graph is supplied on load).
+    restored = FrontierSurface.from_json(result.surface.to_json(), graph)
+    assert restored.to_json() == result.surface.to_json()
+
+
+if __name__ == "__main__":
+    main()

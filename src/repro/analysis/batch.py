@@ -9,7 +9,7 @@ bench_gap_study.py`` and ad-hoc explorations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.baselines.heuristic_synthesis import evaluate_allocation
 from repro.baselines.clustering import clustered_design
@@ -44,15 +44,26 @@ class GapRecord:
 
     @property
     def etf_gap(self) -> float:
-        """ETF makespan as a multiple of the optimum (>= 1)."""
-        return self.etf_makespan / self.exact_makespan if self.exact_makespan else 1.0
+        """ETF makespan as a multiple of the optimum (>= 1).
+
+        A zero optimum with a positive heuristic makespan is an infinite
+        gap, not a tie — reporting 1.0 there would hide every heuristic
+        miss on degenerate (zero-length) instances.  1.0 only when both
+        are zero.
+        """
+        return _gap(self.etf_makespan, self.exact_makespan)
 
     @property
     def clustering_gap(self) -> float:
-        return (
-            self.clustering_makespan / self.exact_makespan
-            if self.exact_makespan else 1.0
-        )
+        """Clustering makespan as a multiple of the optimum (>= 1)."""
+        return _gap(self.clustering_makespan, self.exact_makespan)
+
+
+def _gap(heuristic_makespan: float, exact_makespan: float) -> float:
+    """``heuristic / exact`` with honest zero-optimum semantics."""
+    if exact_makespan:
+        return heuristic_makespan / exact_makespan
+    return float("inf") if heuristic_makespan > 0 else 1.0
 
 
 def default_instance_family(

@@ -21,7 +21,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.core.options import FormulationOptions, Objective
@@ -31,7 +31,6 @@ from repro.system.examples import example1_library, example2_library
 from repro.system.interconnect import InterconnectStyle
 from repro.system.library import TechnologyLibrary
 from repro.taskgraph.examples import example1, example2
-from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.serialization import graph_from_dict
 
 
@@ -432,6 +431,111 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``--axis NAME=...`` names accepted by ``sos dse run`` and the axis
+#: constructors they map to (numeric axes parse floats; ``style`` takes
+#: style names; ``types`` takes ``+``-joined processor-type groups).
+_DSE_AXES = ("price", "speed", "remote", "link", "style", "types")
+
+
+def _parse_axis(spec: str):
+    """One ``--axis name=v1,v2,...`` option into a DSE :class:`Axis`."""
+    from repro.dse import (
+        interconnect_styles,
+        link_costs,
+        remote_delays,
+        scale_prices,
+        scale_speeds,
+        subset_types,
+    )
+
+    name, sep, rest = spec.partition("=")
+    values = [v for v in rest.split(",") if v]
+    if not sep or not values:
+        raise ReproError(
+            f"bad --axis {spec!r}: expected NAME=v1,v2,... "
+            f"with NAME one of {', '.join(_DSE_AXES)}"
+        )
+    if name == "style":
+        return interconnect_styles(*values)
+    if name == "types":
+        return subset_types(*values)
+    numeric = {
+        "price": scale_prices,
+        "speed": scale_speeds,
+        "remote": remote_delays,
+        "link": link_costs,
+    }
+    if name not in numeric:
+        raise ReproError(
+            f"unknown axis {name!r} (use one of {', '.join(_DSE_AXES)})"
+        )
+    try:
+        numbers = [float(v) for v in values]
+    except ValueError:
+        raise ReproError(f"axis {name!r} takes numeric values, got {rest!r}") from None
+    return numeric[name](*numbers)
+
+
+def cmd_dse_run(args: argparse.Namespace) -> int:
+    """Run a design-space study: one Pareto sweep per grid point."""
+    from repro.dse import SpaceSpec, run_study
+    from repro.dse.report import surface_overview
+
+    graph, library = load_problem(args.problem)
+    axes = [_parse_axis(spec) for spec in args.axis]
+    spec = SpaceSpec(library, axes, style=_style(args.style))
+    cache = None
+    if args.cache_dir or args.cache_bytes:
+        from repro.service.cache import ResultCache
+
+        cache = ResultCache(
+            byte_budget=args.cache_bytes or 64 * 1024 * 1024,
+            directory=args.cache_dir,
+        )
+
+    def progress(point, status):
+        if args.verbose:
+            print(f"  [{status:>9}] {point.point_id}")
+
+    result = run_study(
+        graph, spec, solver=args.solver, max_designs=args.max_designs,
+        cost_step=args.cost_step, workers=args.workers, cache=cache,
+        manifest=args.manifest, seed_incumbent=args.seed_incumbent,
+        on_point=progress,
+    )
+    print(result.summary())
+    if args.output:
+        Path(args.output).write_text(result.surface.to_json(indent=2) + "\n")
+        print(f"surface written to {args.output}")
+    else:
+        print()
+        print(surface_overview(result.surface))
+    if args.expect_warm and result.warm_fraction < 1.0:
+        print(
+            f"error: expected a fully warm study but warm fraction was "
+            f"{result.warm_fraction:.0%} ({result.solved} point(s) solved cold)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_dse_report(args: argparse.Namespace) -> int:
+    """Render comparison tables from a saved frontier surface."""
+    from repro.dse import FrontierSurface
+    from repro.dse.report import frontier_comparison, surface_csv, surface_overview
+
+    graph, _library = load_problem(args.problem)
+    surface = FrontierSurface.from_json(Path(args.surface).read_text(), graph)
+    print(surface_overview(surface))
+    print()
+    print(frontier_comparison(surface, deadlines=args.deadlines))
+    if args.csv:
+        Path(args.csv).write_text(surface_csv(surface))
+        print(f"\noverview written to {args.csv}")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Describe a problem: pool, MILP size, bounds, per-family row counts."""
     graph, library = load_problem(args.problem)
@@ -620,6 +724,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--verbose", action="store_true",
                          help="log HTTP requests to stderr")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_dse = sub.add_parser(
+        "dse", help="design-space exploration over technology axes"
+    )
+    dse_sub = p_dse.add_subparsers(dest="dse_command", required=True)
+
+    p_dse_run = dse_sub.add_parser(
+        "run", help="sweep a technology grid (one Pareto front per point)"
+    )
+    common(p_dse_run)
+    p_dse_run.add_argument(
+        "--axis", action="append", required=True, metavar="NAME=V1,V2,...",
+        help="technology axis (repeatable); NAME is one of "
+        "price, speed, remote, link, style, types — e.g. "
+        "--axis price=0.5,1,2 --axis style=p2p,bus; "
+        "'types' values are '+'-joined type names (p1+p2)",
+    )
+    p_dse_run.add_argument("--max-designs", type=int, default=64,
+                           help="per-point front-size bound (default: 64)")
+    p_dse_run.add_argument("--cost-step", type=float, default=1e-4,
+                           help="per-point sweep cap decrement (default: 1e-4)")
+    p_dse_run.add_argument("--workers", type=int, default=1,
+                           help="branch-and-bound workers per solve")
+    p_dse_run.add_argument("--cache-dir", default=None,
+                           help="on-disk result cache shared across studies "
+                           "(and with 'sos serve')")
+    p_dse_run.add_argument("--cache-bytes", type=int, default=0,
+                           help="in-memory result-cache budget in bytes "
+                           "(implied by --cache-dir)")
+    p_dse_run.add_argument("--manifest", metavar="FILE", default=None,
+                           help="JSONL study journal; an interrupted study "
+                           "resumes from its completed points")
+    p_dse_run.add_argument("--output", metavar="FILE", default=None,
+                           help="write the frontier surface JSON here "
+                           "(render it later with 'sos dse report')")
+    p_dse_run.add_argument("--seed-incumbent", action="store_true",
+                           help="seed each solve with the list-scheduling "
+                           "incumbent")
+    p_dse_run.add_argument("--expect-warm", action="store_true",
+                           help="exit nonzero unless every point was answered "
+                           "warm (cache hit or manifest replay) — CI guard")
+    p_dse_run.add_argument("--verbose", action="store_true",
+                           help="print one status line per grid point")
+    p_dse_run.set_defaults(func=cmd_dse_run)
+
+    p_dse_report = dse_sub.add_parser(
+        "report", help="render comparison tables from a saved surface"
+    )
+    common(p_dse_report)
+    p_dse_report.add_argument("surface",
+                              help="surface JSON written by 'dse run --output'")
+    p_dse_report.add_argument("--deadlines", type=float, nargs="+", default=None,
+                              help="explicit deadline ladder for the "
+                              "comparison matrix")
+    p_dse_report.add_argument("--csv", metavar="FILE", default=None,
+                              help="also write the overview as CSV here")
+    p_dse_report.set_defaults(func=cmd_dse_report)
 
     p_trace = sub.add_parser(
         "trace", help="summarize a JSONL solve trace written by --trace"

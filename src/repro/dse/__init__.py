@@ -1,0 +1,65 @@
+"""Design-space exploration at lumos scale.
+
+The paper synthesizes one application against one technology library.
+This package answers the next question — how the cost–performance
+frontier *moves* as the library changes — by sweeping declarative
+technology axes (processor price/speed scaling, interconnect delay and
+cost, bus-vs-link style, library subsets) and synthesizing the full
+Pareto front at every grid point:
+
+* :mod:`repro.dse.axes` — composable :class:`Axis` transforms over a
+  :class:`~repro.system.library.TechnologyLibrary`, combined by a
+  :class:`SpaceSpec` into a labeled grid of library variants;
+* :mod:`repro.dse.executor` — :func:`run_study` drives one
+  ``pareto_sweep`` per grid point through the service-tier
+  :class:`~repro.service.cache.ResultCache`, journaling completed
+  points to a JSONL manifest so an interrupted thousand-point study
+  resumes without duplicate solves (and a finished study replays as a
+  pure warm-cache no-op);
+* :mod:`repro.dse.surface` — the :class:`FrontierSurface` result model
+  (axis coordinates → :class:`~repro.synthesis.front.ParetoFront`) with
+  a JSON round trip and query helpers (``slice``, ``best_cost_at``,
+  cross-library dominated-point detection);
+* :mod:`repro.dse.report` — frontier-vs-library comparison tables for
+  the ``sos dse report`` CLI.
+
+See ``docs/dse.md`` for the full tour.
+"""
+
+from repro.dse.axes import (
+    Axis,
+    AxisValue,
+    GridPoint,
+    PointConfig,
+    SpaceSpec,
+    interconnect_styles,
+    link_costs,
+    remote_delays,
+    scale_prices,
+    scale_speeds,
+    subset_types,
+)
+from repro.dse.executor import StudyResult, run_study
+from repro.dse.report import frontier_comparison, surface_csv, surface_overview
+from repro.dse.surface import FrontierSurface, SurfacePoint
+
+__all__ = [
+    "Axis",
+    "AxisValue",
+    "GridPoint",
+    "PointConfig",
+    "SpaceSpec",
+    "scale_prices",
+    "scale_speeds",
+    "remote_delays",
+    "link_costs",
+    "interconnect_styles",
+    "subset_types",
+    "run_study",
+    "StudyResult",
+    "FrontierSurface",
+    "SurfacePoint",
+    "surface_overview",
+    "frontier_comparison",
+    "surface_csv",
+]

@@ -1,0 +1,121 @@
+"""Frontier-vs-library comparison reporting for DSE studies.
+
+Renders :class:`~repro.dse.surface.FrontierSurface` objects through the
+same plain-text table substrate everything else uses
+(:mod:`repro.analysis.reporting`), so ``sos dse report`` output sits
+next to ``sos sweep`` output visually.
+
+Three views:
+
+* :func:`surface_overview` — one row per grid point: coordinates, front
+  size, extreme designs, and a ``dominated`` marker for library
+  variants that never earn their place;
+* :func:`frontier_comparison` — the frontier-vs-library matrix: for a
+  ladder of deadlines, the cheapest system each variant offers (``-``
+  when the variant cannot meet the deadline);
+* :func:`surface_csv` — the overview as CSV for spreadsheets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.reporting import format_table, to_csv
+from repro.dse.surface import FrontierSurface
+
+#: Cap the auto-derived deadline ladder so a 64-design front does not
+#: explode the comparison matrix; pass explicit deadlines to override.
+MAX_AUTO_DEADLINES = 12
+
+
+def _overview_rows(surface: FrontierSurface) -> tuple:
+    """Shared (headers, rows) of the overview table and CSV."""
+    dominated = set(surface.dominated_points())
+    headers = [*surface.axes, "designs", "min cost", "min makespan",
+               "fastest @ cost", "dominated"]
+    rows = []
+    for point in surface:
+        coords = [point.coords.get(axis, "-") for axis in surface.axes]
+        if not point.feasible:
+            rows.append([*coords, 0, None, None, None, "yes"])
+            continue
+        fastest = min(point.front, key=lambda d: (d.makespan, d.cost))
+        rows.append([
+            *coords,
+            len(point.front),
+            min(design.cost for design in point.front),
+            fastest.makespan,
+            fastest.cost,
+            "yes" if point.point_id in dominated else "",
+        ])
+    return headers, rows
+
+
+def surface_overview(surface: FrontierSurface, title: Optional[str] = None) -> str:
+    """One row per grid point: coordinates, front shape, dominated flag."""
+    headers, rows = _overview_rows(surface)
+    if title is None:
+        title = (
+            f"Frontier surface for {surface.graph_name or 'study'} "
+            f"({len(surface)} points)"
+        )
+    return format_table(headers, rows, title=title)
+
+
+def surface_csv(surface: FrontierSurface) -> str:
+    """The overview table as CSV text."""
+    headers, rows = _overview_rows(surface)
+    return to_csv(headers, rows)
+
+
+def default_deadlines(surface: FrontierSurface) -> List[float]:
+    """An increasing deadline ladder from the surface's own makespans.
+
+    The union of every front's makespans, deduplicated and capped at
+    :data:`MAX_AUTO_DEADLINES` by even subsampling — every rung is a
+    deadline at which at least one variant's best answer changes.
+    """
+    makespans = sorted({
+        design.makespan
+        for point in surface if point.front is not None
+        for design in point.front
+    })
+    if len(makespans) > MAX_AUTO_DEADLINES:
+        step = (len(makespans) - 1) / (MAX_AUTO_DEADLINES - 1)
+        makespans = [makespans[round(i * step)] for i in range(MAX_AUTO_DEADLINES)]
+    return makespans
+
+
+def frontier_comparison(
+    surface: FrontierSurface,
+    deadlines: Optional[Sequence[float]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """The frontier-vs-library matrix: cheapest cost per deadline per point.
+
+    Rows are deadlines (tightest first); one column per grid point
+    carries the cheapest cost that variant offers within the deadline,
+    ``-`` when it cannot meet it.  The last column names the winning
+    variant — the library the money should buy at that deadline.
+
+    Args:
+        surface: The study result.
+        deadlines: Explicit deadline ladder; derived from the surface's
+            own makespans when omitted.
+        title: Optional table title.
+    """
+    if deadlines is None:
+        deadlines = default_deadlines(surface)
+    headers = ["deadline", *[point.point_id for point in surface], "best"]
+    rows = []
+    for deadline in deadlines:
+        cells: List[object] = [deadline]
+        for point in surface:
+            design = point.best_cost_at(deadline)
+            cells.append(design.cost if design is not None else None)
+        winner = surface.best_cost_at(deadline)
+        cells.append(winner[0].point_id if winner is not None else None)
+        rows.append(cells)
+    if title is None:
+        title = "Cheapest system per deadline, by library variant"
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,322 @@
+"""The :class:`FrontierSurface` result model of a DSE study.
+
+A surface maps axis coordinates to Pareto fronts: one
+:class:`SurfacePoint` per grid point, each carrying the transformed
+library it was synthesized against, the interconnect style, the
+service-tier fingerprint of its sweep, and the
+:class:`~repro.synthesis.front.ParetoFront` itself (``None`` for grid
+points with no feasible system at all).
+
+The JSON round trip (:meth:`FrontierSurface.to_json` /
+:meth:`~FrontierSurface.from_json`) embeds each point's *library*
+document — libraries differ per point, that is the whole study — but
+not the task graph, which is shared and must be supplied on load (the
+same contract as :meth:`ParetoFront.from_dict`).
+
+Query helpers answer the questions a study is run for:
+
+* :meth:`FrontierSurface.slice` — the sub-surface at fixed axis values;
+* :meth:`FrontierSurface.best_cost_at` — the cheapest design meeting a
+  deadline, across every library variant;
+* :meth:`FrontierSurface.dominated_points` — variants whose whole
+  frontier is dominated by some other variant's frontier (libraries
+  that never earn their place at any budget).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.pareto import dominates
+from repro.errors import SynthesisError
+from repro.synthesis.design import Design
+from repro.synthesis.front import ParetoFront
+from repro.system.interconnect import InterconnectStyle
+from repro.system.library import TechnologyLibrary
+
+#: Schema version of the surface document.
+SURFACE_VERSION = 1
+
+
+class SurfacePoint:
+    """One grid point of a frontier surface.
+
+    Attributes:
+        point_id: Stable grid label (``"price=0.5|remote=2"``).
+        coords: ``axis name -> value label``.
+        library: The transformed library this point solved against.
+        style: Interconnect style of this point.
+        fingerprint: Content address of the point's sweep request (the
+            key its front lives under in the result cache).
+        front: The point's :class:`ParetoFront`, or ``None`` when no
+            feasible system exists for this variant.
+        from_cache: True when the front was answered by the result
+            cache or manifest replay rather than a fresh sweep.
+    """
+
+    def __init__(
+        self,
+        point_id: str,
+        coords: Dict[str, str],
+        library: TechnologyLibrary,
+        style: InterconnectStyle,
+        fingerprint: str,
+        front: Optional[ParetoFront],
+        from_cache: bool = False,
+    ) -> None:
+        self.point_id = point_id
+        self.coords = dict(coords)
+        self.library = library
+        self.style = style
+        self.fingerprint = fingerprint
+        self.front = front
+        self.from_cache = from_cache
+
+    @property
+    def feasible(self) -> bool:
+        """True when the variant admits at least one design."""
+        return self.front is not None and len(self.front) > 0
+
+    def frontier_points(self) -> List[Tuple[float, float]]:
+        """The front as ``(cost, makespan)`` pairs (empty if infeasible)."""
+        if self.front is None:
+            return []
+        return [(design.cost, design.makespan) for design in self.front]
+
+    def best_cost_at(self, deadline: float) -> Optional[Design]:
+        """The cheapest design with ``makespan <= deadline``, or ``None``."""
+        candidates = [
+            design for design in (self.front or [])
+            if design.makespan <= deadline + 1e-9
+        ]
+        return min(candidates, key=lambda d: d.cost) if candidates else None
+
+    def __repr__(self) -> str:
+        size = len(self.front) if self.front is not None else 0
+        return f"SurfacePoint({self.point_id!r}, {size} designs)"
+
+
+def _front_dominates(
+    winner: List[Tuple[float, float]],
+    loser: List[Tuple[float, float]],
+    tol: float = 1e-9,
+) -> bool:
+    """``winner`` dominates ``loser`` as whole frontiers.
+
+    Every point of ``loser`` must be dominated by or equal to some
+    ``winner`` point, with at least one strictly dominated — i.e. the
+    losing library variant is never the right choice at any budget.
+    An empty (infeasible) loser is dominated by any feasible winner.
+    """
+    if not winner:
+        return False
+    if not loser:
+        return True
+    strict = False
+    for point in loser:
+        matched = False
+        for other in winner:
+            if dominates(other, point, tol):
+                matched = strict = True
+                break
+            if (abs(other[0] - point[0]) <= tol
+                    and abs(other[1] - point[1]) <= tol):
+                matched = True
+                break
+        if not matched:
+            return False
+    return strict
+
+
+class FrontierSurface:
+    """Axis coordinates → Pareto front, over a whole technology space.
+
+    Iterates over its :class:`SurfacePoint` entries in grid order.
+
+    Attributes:
+        axes: Axis names, in declaration order.
+        points: The grid points.
+        graph_name: Display name of the application the study ran on.
+    """
+
+    def __init__(
+        self,
+        axes: Tuple[str, ...],
+        points: List[SurfacePoint],
+        graph_name: str = "",
+    ) -> None:
+        self.axes = tuple(axes)
+        self.points = list(points)
+        self.graph_name = graph_name
+        ids = [point.point_id for point in self.points]
+        if len(set(ids)) != len(ids):
+            raise SynthesisError(f"duplicate surface point ids: {ids}")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[SurfacePoint]:
+        return iter(self.points)
+
+    def get(self, point_id: str) -> SurfacePoint:
+        """The point named ``point_id``.
+
+        Raises:
+            KeyError: When no such point exists.
+        """
+        for point in self.points:
+            if point.point_id == point_id:
+                return point
+        raise KeyError(point_id)
+
+    # -- queries -------------------------------------------------------------
+    def slice(self, **coords: str) -> "FrontierSurface":
+        """The sub-surface where every named axis has the given label.
+
+        Example: ``surface.slice(remote="2")`` fixes the ``remote`` axis
+        and keeps all values of the others.
+
+        Raises:
+            KeyError: When a named axis does not exist on this surface.
+        """
+        for axis in coords:
+            if axis not in self.axes:
+                raise KeyError(
+                    f"no axis {axis!r} on this surface (axes: {list(self.axes)})"
+                )
+        kept = [
+            point for point in self.points
+            if all(point.coords.get(axis) == str(label)
+                   for axis, label in coords.items())
+        ]
+        return FrontierSurface(self.axes, kept, graph_name=self.graph_name)
+
+    def best_cost_at(
+        self, deadline: float
+    ) -> Optional[Tuple[SurfacePoint, Design]]:
+        """The cheapest ``(point, design)`` meeting ``deadline`` anywhere.
+
+        Answers "which library variant gives the cheapest system that
+        finishes by ``deadline``?" — ``None`` when no variant can.
+        """
+        best: Optional[Tuple[SurfacePoint, Design]] = None
+        for point in self.points:
+            design = point.best_cost_at(deadline)
+            if design is None:
+                continue
+            if best is None or design.cost < best[1].cost - 1e-9:
+                best = (point, design)
+        return best
+
+    def dominated_points(self, tol: float = 1e-9) -> List[str]:
+        """Point ids whose whole frontier another point's dominates.
+
+        A dominated variant is never the right library choice: at every
+        budget some other variant is at least as cheap and as fast, and
+        somewhere strictly better.  Infeasible points are dominated by
+        any feasible one.
+        """
+        frontiers = {
+            point.point_id: point.frontier_points() for point in self.points
+        }
+        dominated = []
+        for point in self.points:
+            mine = frontiers[point.point_id]
+            for other in self.points:
+                if other.point_id == point.point_id:
+                    continue
+                if _front_dominates(frontiers[other.point_id], mine, tol):
+                    dominated.append(point.point_id)
+                    break
+        return dominated
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible surface document (see ``docs/dse.md``)."""
+        return {
+            "version": SURFACE_VERSION,
+            "graph_name": self.graph_name,
+            "axes": list(self.axes),
+            "points": [
+                {
+                    "point_id": point.point_id,
+                    "coords": dict(point.coords),
+                    "style": point.style.value,
+                    "library": point.library.to_dict(),
+                    "fingerprint": point.fingerprint,
+                    "front": (
+                        point.front.to_dict() if point.front is not None else None
+                    ),
+                }
+                for point in self.points
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the surface as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], graph) -> "FrontierSurface":
+        """Rebuild a surface from :meth:`to_dict` output.
+
+        Args:
+            data: The surface document.
+            graph: The shared task graph the study ran on (designs do
+                not embed their problem).
+
+        Raises:
+            SynthesisError: On malformed documents.
+        """
+        if not isinstance(data, dict) or "points" not in data:
+            raise SynthesisError("malformed frontier-surface document")
+        version = data.get("version", SURFACE_VERSION)
+        if version != SURFACE_VERSION:
+            raise SynthesisError(
+                f"unsupported surface document version {version!r} "
+                f"(this build reads version {SURFACE_VERSION})"
+            )
+        points = []
+        try:
+            for entry in data["points"]:
+                library = TechnologyLibrary.from_dict(entry["library"])
+                front_doc = entry.get("front")
+                front = (
+                    ParetoFront.from_dict(front_doc, graph, library)
+                    if front_doc is not None
+                    else None
+                )
+                points.append(
+                    SurfacePoint(
+                        entry["point_id"],
+                        dict(entry.get("coords", {})),
+                        library,
+                        InterconnectStyle(entry.get("style", "point_to_point")),
+                        entry.get("fingerprint", ""),
+                        front,
+                    )
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SynthesisError(
+                f"malformed frontier-surface document: {exc}"
+            ) from exc
+        return cls(
+            tuple(data.get("axes", ())), points,
+            graph_name=data.get("graph_name", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str, graph) -> "FrontierSurface":
+        """Inverse of :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SynthesisError(f"invalid frontier-surface JSON: {exc}") from exc
+        return cls.from_dict(data, graph)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrontierSurface({len(self.points)} points over "
+            f"axes {list(self.axes)})"
+        )

@@ -39,7 +39,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.options import Objective
 from repro.errors import ReproError
 from repro.service.jobs import JobManager, QueueFullError, SweepRequest, SynthesizeRequest
-from repro.service.metrics import ServiceMetrics, TokenBucket
+from repro.service.metrics import ServiceMetrics, TokenBucket, _prom_label
 from repro.system.interconnect import InterconnectStyle
 from repro.system.library import TechnologyLibrary
 from repro.taskgraph.graph import TaskGraph
@@ -147,15 +147,46 @@ def request_from_document(kind: str, body: Dict[str, Any]):
 
 @dataclass
 class ApiResponse:
-    """One routed response: status code, JSON document, extra headers."""
+    """One routed response: status code, document, headers, content type.
+
+    ``document`` is a JSON-compatible object for the default
+    ``application/json`` content type, or pre-rendered text (e.g. the
+    Prometheus exposition) when ``content_type`` says otherwise.
+    """
 
     status: int
     document: Any
     headers: List[Tuple[str, str]] = field(default_factory=list)
+    content_type: str = "application/json"
 
     def encode(self) -> bytes:
-        """The document as UTF-8 JSON (what both transports write)."""
-        return json.dumps(self.document).encode("utf-8")
+        """The body bytes both transports write."""
+        if self.content_type.startswith("application/json"):
+            return json.dumps(self.document).encode("utf-8")
+        return str(self.document).encode("utf-8")
+
+
+def _wants_prometheus(query: Optional[str], accept: Optional[str]) -> bool:
+    """Content negotiation for ``GET /v1/metrics``.
+
+    The explicit ``?format=...`` query parameter wins; otherwise an
+    ``Accept`` header preferring ``text/plain`` (Prometheus scrapers
+    send ``text/plain;version=0.0.4``) selects the exposition format.
+    JSON stays the default for everything else, including ``*/*``.
+    """
+    if query:
+        for part in query.split("&"):
+            key, _, value = part.partition("=")
+            if key == "format":
+                return value == "prometheus"
+    if accept:
+        for clause in accept.split(","):
+            media = clause.split(";")[0].strip().lower()
+            if media == "application/json":
+                return False
+            if media in ("text/plain", "text/*"):
+                return True
+    return False
 
 
 class ServiceApi:
@@ -186,14 +217,19 @@ class ServiceApi:
         )
 
     # -- entry point ---------------------------------------------------------
-    def handle(self, method: str, path: str,
-               body: Optional[bytes] = None) -> ApiResponse:
+    def handle(self, method: str, path: str, body: Optional[bytes] = None,
+               query: Optional[str] = None,
+               accept: Optional[str] = None) -> ApiResponse:
         """Route one request; never raises.
 
         Args:
             method: Upper-case HTTP method.
             path: Request path (no query string).
             body: Raw request body bytes (POST routes), else ``None``.
+            query: Raw query string (no leading ``?``), if any.
+            accept: The request's ``Accept`` header, if any.  Only
+                ``GET /v1/metrics`` negotiates on it (JSON vs. the
+                Prometheus text exposition).
         """
         started = time.monotonic()
         versioned = path == "/v1" or path.startswith("/v1/")
@@ -201,7 +237,14 @@ class ServiceApi:
         if not route:
             route = "/"
         try:
-            response = self._route(method, route, body, versioned)
+            if (method == "GET" and route == "/metrics"
+                    and _wants_prometheus(query, accept)):
+                response = ApiResponse(
+                    200, self.prometheus_document(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                response = self._route(method, route, body, versioned)
         except BaseException as exc:  # the transport must always answer
             response = self._error(
                 versioned, 500, "internal",
@@ -327,6 +370,55 @@ class ServiceApi:
                 self.bucket.snapshot() if self.bucket is not None else None
             ),
         }
+
+    def prometheus_document(self) -> str:
+        """``GET /v1/metrics`` as Prometheus text exposition.
+
+        The service core's counters and latency histograms
+        (:meth:`ServiceMetrics.prometheus_lines`) followed by gauges from
+        the manager's queue/solve/cache counters — the same numbers the
+        JSON document carries, renamed to ``sos_*`` metric conventions.
+        """
+        stats = self.manager.stats()
+        lines = self.metrics.prometheus_lines()
+
+        def gauge(name: str, help_text: str, value) -> None:
+            if value is None:
+                return
+            lines.append(f"# HELP sos_{name} {help_text}")
+            lines.append(f"# TYPE sos_{name} gauge")
+            lines.append(f"sos_{name} {value:g}")
+
+        def counter(name: str, help_text: str, value) -> None:
+            if value is None:
+                return
+            lines.append(f"# HELP sos_{name} {help_text}")
+            lines.append(f"# TYPE sos_{name} counter")
+            lines.append(f"sos_{name} {value:g}")
+
+        gauge("queue_depth", "Jobs waiting in the queue.", stats["queued"])
+        gauge("job_workers", "Concurrent job workers.", stats["workers"])
+        lines.append("# HELP sos_jobs Jobs by lifecycle state.")
+        lines.append("# TYPE sos_jobs gauge")
+        for state, count in sorted(stats["jobs"].items()):
+            lines.append(f'sos_jobs{{state="{_prom_label(state)}"}} {count}')
+        counter("solves_total", "Solver runs executed.", stats["solves"])
+        counter("dedup_hits_total", "Submissions answered by an in-flight twin.",
+                stats["dedup_hits"])
+        counter("inline_fallbacks_total",
+                "Solves run inline after an executor failure.",
+                stats["inline_fallbacks"])
+        cache = stats.get("cache") or {}
+        counter("cache_hits_total", "Result-cache hits.", cache.get("hits"))
+        counter("cache_misses_total", "Result-cache misses.", cache.get("misses"))
+        counter("cache_stores_total", "Result-cache stores.", cache.get("stores"))
+        gauge("cache_entries", "Result-cache entries resident.",
+              cache.get("entries"))
+        gauge("cache_bytes", "Result-cache bytes resident.", cache.get("bytes"))
+        if self.bucket is not None:
+            gauge("rate_limit_tokens", "Token-bucket fill.",
+                  self.bucket.snapshot()["tokens"])
+        return "\n".join(lines) + "\n"
 
     # -- plumbing ------------------------------------------------------------
     @staticmethod

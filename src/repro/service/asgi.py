@@ -26,6 +26,7 @@ for the CLI: Ctrl-C shuts down cleanly) or on a background thread
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -84,9 +85,19 @@ class AsgiApp:
                 return
             if not message.get("more_body", False):
                 break
+        query = scope.get("query_string", b"").decode("latin-1") or None
+        accept = None
+        for name, value in scope.get("headers", ()):
+            if name == b"accept":
+                accept = value.decode("latin-1")
+                break
         loop = asyncio.get_running_loop()
         response = await loop.run_in_executor(
-            self._executor, self.api.handle, method, path, bytes(body)
+            self._executor,
+            functools.partial(
+                self.api.handle, method, path, bytes(body),
+                query=query, accept=accept,
+            ),
         )
         await _send_response(send, response)
 
@@ -107,7 +118,7 @@ class AsgiApp:
 async def _send_response(send, response: ApiResponse) -> None:
     encoded = response.encode()
     headers = [
-        (b"content-type", b"application/json"),
+        (b"content-type", response.content_type.encode("ascii")),
         (b"content-length", str(len(encoded)).encode("ascii")),
     ]
     for name, value in response.headers:

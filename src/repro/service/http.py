@@ -92,11 +92,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return self.server.manager  # type: ignore[attr-defined]
 
     def _respond(self, method: str, body: Optional[bytes]) -> None:
-        path = self.path.partition("?")[0]
-        response = self.api.handle(method, path, body)
+        path, _, query = self.path.partition("?")
+        response = self.api.handle(
+            method, path, body,
+            query=query or None, accept=self.headers.get("Accept"),
+        )
         encoded = response.encode()
         self.send_response(response.status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(encoded)))
         for name, value in response.headers:
             self.send_header(name, value)

@@ -96,6 +96,20 @@ class LatencyHistogram:
             "p99_seconds": round(self.quantile(0.99), 6),
         }
 
+    def cumulative_buckets(self) -> List[tuple]:
+        """``(upper_edge, cumulative_count)`` pairs, Prometheus-style.
+
+        Prometheus histogram buckets are cumulative (each ``le`` bucket
+        counts every sample at or below its edge), unlike the per-bucket
+        :attr:`counts` kept internally.
+        """
+        pairs = []
+        seen = 0
+        for edge, count in zip(self.bounds, self.counts):
+            seen += count
+            pairs.append((edge, seen))
+        return pairs
+
 
 class TokenBucket:
     """Non-blocking token-bucket rate limiter.
@@ -201,3 +215,64 @@ class ServiceMetrics:
                 "rejected_queue_full": self.rejected_full,
                 "deprecated_requests": self.deprecated_requests,
             }
+
+    def prometheus_lines(self) -> List[str]:
+        """The service-core metrics in Prometheus text exposition format.
+
+        Request latencies become one ``sos_request_duration_seconds``
+        histogram per route label (with the cumulative ``le`` buckets
+        Prometheus expects); response classes and rejection counts become
+        labeled counters.  The API layer appends its gauge lines (queue
+        depth, cache counters) and the final newline.
+        """
+        with self._lock:
+            lines = [
+                "# HELP sos_uptime_seconds Seconds since the service started.",
+                "# TYPE sos_uptime_seconds gauge",
+                f"sos_uptime_seconds {time.monotonic() - self._started_mono:.3f}",
+                "# HELP sos_responses_total HTTP responses by status class.",
+                "# TYPE sos_responses_total counter",
+            ]
+            for status_class, count in sorted(self._responses.items()):
+                label = _prom_label(status_class)
+                lines.append(f'sos_responses_total{{class="{label}"}} {count}')
+            lines += [
+                "# HELP sos_throttled_total Requests rejected by the rate limiter.",
+                "# TYPE sos_throttled_total counter",
+                f"sos_throttled_total {self.throttled}",
+                "# HELP sos_rejected_queue_full_total Submissions rejected by the bounded queue.",
+                "# TYPE sos_rejected_queue_full_total counter",
+                f"sos_rejected_queue_full_total {self.rejected_full}",
+                "# HELP sos_deprecated_requests_total Requests served on deprecated unversioned routes.",
+                "# TYPE sos_deprecated_requests_total counter",
+                f"sos_deprecated_requests_total {self.deprecated_requests}",
+                "# HELP sos_request_duration_seconds Request latency by route.",
+                "# TYPE sos_request_duration_seconds histogram",
+            ]
+            for route, histogram in sorted(self._latency.items()):
+                label = _prom_label(route)
+                for edge, cumulative in histogram.cumulative_buckets():
+                    le = "+Inf" if edge == float("inf") else f"{edge:g}"
+                    lines.append(
+                        f'sos_request_duration_seconds_bucket'
+                        f'{{route="{label}",le="{le}"}} {cumulative}'
+                    )
+                lines.append(
+                    f'sos_request_duration_seconds_sum{{route="{label}"}} '
+                    f"{histogram.total_seconds:.6f}"
+                )
+                lines.append(
+                    f'sos_request_duration_seconds_count{{route="{label}"}} '
+                    f"{histogram.count}"
+                )
+            return lines
+
+
+def _prom_label(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )

@@ -9,15 +9,14 @@ completion time to enumerate the non-inferior (Pareto) designs of §4.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import List, Optional
 
 from repro.core.formulation import SosModel, SosModelBuilder
 from repro.core.options import FormulationOptions, Objective
 from repro.errors import InfeasibleError, SynthesisError
-from repro.milp.solution import Solution, SolveStats, SolveStatus
+from repro.milp.solution import SolveStats, SolveStatus
 from repro.obs.sinks import make_tracer
-from repro.solvers.base import Solver, SolverOptions
+from repro.solvers.base import SolverOptions
 from repro.solvers.registry import get_solver
 from repro.synthesis.design import Design
 from repro.synthesis.front import ParetoFront
@@ -229,6 +228,20 @@ class Synthesizer:
             solver=self.solver_name, solver_options=self.solver_options,
             formulation=self.base_options, constraints=self.constraints,
             **params,
+        )
+
+    def sweep_fingerprint(
+        self, *, max_designs: int = 64, cost_step: float = 1e-4
+    ) -> str:
+        """The content address :meth:`pareto_sweep` caches under.
+
+        Exactly the key a ``pareto_sweep(max_designs=..., cost_step=...,
+        cache=...)`` call on this synthesizer would use — exposed so
+        orchestration layers (the job service, :mod:`repro.dse`) can ask
+        "is this sweep already solved?" without running it.
+        """
+        return self._fingerprint(
+            "sweep", max_designs=max_designs, cost_step=cost_step
         )
 
     @staticmethod

@@ -63,3 +63,20 @@ class TestGapRecord:
     def test_zero_makespan_guard(self):
         record = GapRecord("x", 1, 0.0, 0.0, 0.0, 1, 0.0)
         assert record.etf_gap == 1.0
+        assert record.clustering_gap == 1.0
+
+    def test_zero_optimum_with_positive_heuristic_is_infinite(self):
+        # Regression: a 0 optimum with a positive heuristic makespan used
+        # to report gap 1.0 — a perfect score for an arbitrarily bad miss.
+        record = GapRecord("x", 1, exact_makespan=0.0, etf_makespan=3.0,
+                           clustering_makespan=0.5, model_constraints=1,
+                           solve_seconds=0.0)
+        assert record.etf_gap == float("inf")
+        assert record.clustering_gap == float("inf")
+
+    def test_zero_optimum_mixed_heuristics(self):
+        record = GapRecord("x", 1, exact_makespan=0.0, etf_makespan=0.0,
+                           clustering_makespan=2.0, model_constraints=1,
+                           solve_seconds=0.0)
+        assert record.etf_gap == 1.0
+        assert record.clustering_gap == float("inf")

@@ -1,6 +1,12 @@
 """Tests for report formatting."""
 
-from repro.analysis.reporting import format_cell, format_table, side_by_side
+from repro.analysis.reporting import (
+    format_cell,
+    format_table,
+    side_by_side,
+    to_csv,
+    write_csv,
+)
 
 
 class TestFormatCell:
@@ -33,6 +39,51 @@ class TestFormatTable:
         table = format_table(["x"], [])
         assert "x" in table
 
+    def test_empty_rows_column_width_is_header_width(self):
+        table = format_table(["col", "another_column"], [])
+        header, separator = table.splitlines()
+        assert header == "col | another_column"
+        assert separator == "-" * 3 + "-+-" + "-" * 14
+
+    def test_mixed_type_cells_size_columns_by_rendered_width(self):
+        table = format_table(
+            ["v"], [[None], [2.5], [3.0], ["widest-cell"], [12345]]
+        )
+        lines = table.splitlines()
+        # Every line is padded to the widest rendered cell.
+        assert {len(line) for line in lines} == {len("widest-cell")}
+        assert lines[2] == "-".ljust(11)       # None renders as "-"
+        assert lines[4] == "3".ljust(11)       # 3.0 renders via %g
+
+    def test_rows_generator_consumed_once(self):
+        table = format_table(["x"], ([value] for value in (1, 2)))
+        assert table.count("\n") == 3
+
+
+class TestToCsv:
+    def test_plain_cells_unquoted(self):
+        assert to_csv(["a", "b"], [[1, 2.5]]) == "a,b\n1,2.5\n"
+
+    def test_comma_and_quote_escaping(self):
+        text = to_csv(["name"], [['say "hi", ok']])
+        assert text == 'name\n"say ""hi"", ok"\n'
+
+    def test_embedded_newline_is_quoted(self):
+        text = to_csv(["n"], [["two\nlines"]])
+        assert '"two\nlines"' in text
+
+    def test_header_needing_quotes(self):
+        text = to_csv(["fastest @ cost, cheapest"], [])
+        assert text == '"fastest @ cost, cheapest"\n'
+
+    def test_none_renders_as_dash(self):
+        assert to_csv(["x"], [[None]]) == "x\n-\n"
+
+    def test_write_csv_round_trip(self, tmp_path):
+        target = tmp_path / "out.csv"
+        write_csv(target, ["a"], [[1], [2]])
+        assert target.read_text() == "a\n1\n2\n"
+
 
 class TestSideBySide:
     def test_joins_lines(self):
@@ -45,3 +96,19 @@ class TestSideBySide:
     def test_gap(self):
         merged = side_by_side("a", "b", gap=6)
         assert merged == "a" + " " * 6 + "b"
+
+    def test_unequal_heights_pad_the_shorter_block(self):
+        merged = side_by_side("only", "X\nY\nZ", gap=2)
+        lines = merged.splitlines()
+        assert lines == ["only  X", "      Y", "      Z"]
+
+    def test_taller_left_block(self):
+        merged = side_by_side("a\nbb\nccc", "X", gap=1)
+        lines = merged.splitlines()
+        assert lines[0] == "a   X"
+        assert lines[1].rstrip() == "bb"
+        assert lines[2].rstrip() == "ccc"
+
+    def test_empty_blocks(self):
+        assert side_by_side("", "", gap=2) == "  "
+        assert side_by_side("", "right", gap=2).endswith("right")

@@ -1,0 +1,177 @@
+"""Tests for the declarative technology axes and the SpaceSpec grid."""
+
+import pytest
+
+from repro.dse import (
+    Axis,
+    AxisValue,
+    PointConfig,
+    SpaceSpec,
+    interconnect_styles,
+    link_costs,
+    remote_delays,
+    scale_prices,
+    scale_speeds,
+    subset_types,
+)
+from repro.errors import SystemModelError
+from repro.system.examples import example1_library
+from repro.system.interconnect import InterconnectStyle
+
+
+class TestAxisValidation:
+    def test_label_must_be_clean(self):
+        for bad in ("", "a|b", "a=b", "a,b"):
+            with pytest.raises(SystemModelError):
+                AxisValue(bad, lambda c: c)
+
+    def test_axis_name_must_be_clean(self):
+        with pytest.raises(SystemModelError):
+            Axis("a|b", (AxisValue("x", lambda c: c),))
+
+    def test_axis_needs_values(self):
+        with pytest.raises(SystemModelError):
+            Axis("empty", ())
+
+    def test_duplicate_value_labels_rejected(self):
+        value = AxisValue("same", lambda c: c)
+        with pytest.raises(SystemModelError):
+            Axis("a", (value, AxisValue("same", lambda c: c)))
+
+    def test_nonpositive_scale_factors_rejected(self):
+        with pytest.raises(SystemModelError):
+            scale_prices(0.0)
+        with pytest.raises(SystemModelError):
+            scale_speeds(-1.0)
+        with pytest.raises(SystemModelError):
+            remote_delays(-0.1)
+        with pytest.raises(SystemModelError):
+            link_costs(-2)
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(SystemModelError):
+            interconnect_styles("token-ring")
+
+    def test_empty_type_group_rejected(self):
+        with pytest.raises(SystemModelError):
+            subset_types("")
+
+
+class TestTransforms:
+    def test_scale_prices_touches_only_processor_costs(self):
+        library = example1_library()
+        axis = scale_prices(0.5)
+        config = axis.values[0].apply(PointConfig(library))
+        for before, after in zip(library.types, config.library.types):
+            assert after.cost == pytest.approx(before.cost * 0.5)
+            assert after.exec_times == before.exec_times
+        assert config.library.link_cost == library.link_cost
+        assert config.library.remote_delay == library.remote_delay
+
+    def test_scale_speeds_scales_execution_times(self):
+        library = example1_library()
+        config = scale_speeds(2.0).values[0].apply(PointConfig(library))
+        for before, after in zip(library.types, config.library.types):
+            for task, duration in before.exec_times.items():
+                assert after.exec_times[task] == pytest.approx(duration * 2.0)
+            assert after.cost == before.cost
+
+    def test_remote_and_link_transforms(self):
+        library = example1_library()
+        config = remote_delays(3.5).values[0].apply(PointConfig(library))
+        assert config.library.remote_delay == 3.5
+        config = link_costs(0.25).values[0].apply(PointConfig(library))
+        assert config.library.link_cost == 0.25
+
+    def test_style_axis_changes_only_the_style(self):
+        library = example1_library()
+        axis = interconnect_styles("p2p", "bus", InterconnectStyle.RING)
+        assert [value.label for value in axis.values] == ["p2p", "bus", "ring"]
+        config = axis.values[1].apply(PointConfig(library))
+        assert config.style is InterconnectStyle.BUS
+        assert config.library is library
+
+    def test_subset_types_keeps_named_types(self):
+        library = example1_library()
+        first = library.types[0].name
+        config = subset_types([first]).values[0].apply(PointConfig(library))
+        assert [ptype.name for ptype in config.library.types] == [first]
+
+    def test_subset_types_string_group_and_label(self):
+        library = example1_library()
+        names = [ptype.name for ptype in library.types[:2]]
+        axis = subset_types("+".join(names))
+        assert axis.values[0].label == "+".join(names)
+        config = axis.values[0].apply(PointConfig(library))
+        assert [p.name for p in config.library.types] == names
+
+    def test_subset_types_unknown_name_raises_at_apply(self):
+        axis = subset_types(["nonexistent"])
+        with pytest.raises(SystemModelError, match="unknown processor types"):
+            axis.values[0].apply(PointConfig(example1_library()))
+
+    def test_numeric_labels_are_g_formatted(self):
+        axis = remote_delays(1.0, 0.5, 2)
+        assert [value.label for value in axis.values] == ["1", "0.5", "2"]
+
+
+class TestSpaceSpec:
+    def test_grid_size_is_the_product(self):
+        spec = SpaceSpec(
+            example1_library(),
+            [scale_prices(0.5, 1, 2), remote_delays(1, 2)],
+        )
+        assert len(spec) == 6
+        assert spec.axis_names() == ("price", "remote")
+
+    def test_point_ids_are_stable_and_ordered(self):
+        spec = SpaceSpec(
+            example1_library(),
+            [scale_prices(0.5, 1.0), remote_delays(1.0, 2.0)],
+        )
+        ids = [point.point_id for point in spec.points()]
+        assert ids == [
+            "price=0.5|remote=1",
+            "price=0.5|remote=2",
+            "price=1|remote=1",
+            "price=1|remote=2",
+        ]
+        # A second expansion yields the identical ids in the same order.
+        assert [point.point_id for point in spec.points()] == ids
+
+    def test_transforms_compose_across_axes(self):
+        library = example1_library()
+        spec = SpaceSpec(library, [scale_prices(2.0), remote_delays(7.0)])
+        (point,) = list(spec.points())
+        assert point.library.remote_delay == 7.0
+        assert point.library.types[0].cost == pytest.approx(
+            library.types[0].cost * 2.0
+        )
+
+    def test_style_axis_overrides_base_style(self):
+        spec = SpaceSpec(
+            example1_library(), [interconnect_styles("bus")],
+            style=InterconnectStyle.POINT_TO_POINT,
+        )
+        (point,) = list(spec.points())
+        assert point.style is InterconnectStyle.BUS
+
+    def test_needs_axes(self):
+        with pytest.raises(SystemModelError):
+            SpaceSpec(example1_library(), [])
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(SystemModelError):
+            SpaceSpec(
+                example1_library(),
+                [remote_delays(1.0), remote_delays(2.0)],
+            )
+
+    def test_coords_match_point_id(self):
+        spec = SpaceSpec(
+            example1_library(),
+            [scale_prices(0.5), interconnect_styles("bus", "ring")],
+        )
+        for point in spec.points():
+            rebuilt = "|".join(f"{k}={v}" for k, v in point.coords.items())
+            assert rebuilt == point.point_id

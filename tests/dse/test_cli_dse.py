@@ -1,0 +1,124 @@
+"""Tests for the ``sos dse run`` / ``sos dse report`` CLI surface."""
+
+import json
+
+from repro.cli import main
+
+
+class TestAxisParsing:
+    def test_unknown_axis_name_errors(self, capsys):
+        code = main(["dse", "run", "example1", "--axis", "voltage=1,2"])
+        assert code == 2
+        assert "unknown axis" in capsys.readouterr().err
+
+    def test_malformed_axis_spec_errors(self, capsys):
+        code = main(["dse", "run", "example1", "--axis", "price"])
+        assert code == 2
+        assert "bad --axis" in capsys.readouterr().err
+
+    def test_non_numeric_value_errors(self, capsys):
+        code = main(["dse", "run", "example1", "--axis", "price=cheap"])
+        assert code == 2
+        assert "numeric" in capsys.readouterr().err
+
+
+class TestSmallStudy:
+    def test_run_report_and_warm_rerun(self, tmp_path, capsys):
+        surface_path = tmp_path / "surface.json"
+        args = [
+            "dse", "run", "example1", "--solver", "highs",
+            "--axis", "price=0.5,1", "--axis", "remote=1,2",
+            "--max-designs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(tmp_path / "study.jsonl"),
+            "--output", str(surface_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 points: 4 solved" in out
+        assert surface_path.exists()
+
+        # A warm re-run with a fresh manifest passes --expect-warm.
+        warm_args = [
+            "dse", "run", "example1", "--solver", "highs",
+            "--axis", "price=0.5,1", "--axis", "remote=1,2",
+            "--max-designs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(tmp_path / "rerun.jsonl"),
+            "--expect-warm", "--verbose",
+        ]
+        assert main(warm_args) == 0
+        out = capsys.readouterr().out
+        assert "4 cache hits" in out
+        assert "[cache_hit]" in out
+
+        # The report renders overview + comparison from the saved surface.
+        assert main([
+            "dse", "report", "example1", str(surface_path),
+            "--csv", str(tmp_path / "overview.csv"),
+            "--deadlines", "4", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "price=0.5|remote=1" in out
+        assert "Cheapest system per deadline" in out
+        csv_text = (tmp_path / "overview.csv").read_text()
+        assert csv_text.splitlines()[0].startswith("price,remote")
+
+    def test_expect_warm_fails_cold(self, tmp_path, capsys):
+        code = main([
+            "dse", "run", "example1", "--solver", "highs",
+            "--axis", "remote=1,2", "--max-designs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--expect-warm",
+        ])
+        assert code == 1
+        assert "expected a fully warm study" in capsys.readouterr().err
+
+    def test_surface_document_is_versioned_json(self, tmp_path, capsys):
+        surface_path = tmp_path / "surface.json"
+        assert main([
+            "dse", "run", "example1", "--solver", "highs",
+            "--axis", "price=0.5", "--max-designs", "2",
+            "--output", str(surface_path),
+        ]) == 0
+        capsys.readouterr()
+        document = json.loads(surface_path.read_text())
+        assert document["version"] == 1
+        assert document["axes"] == ["price"]
+        assert len(document["points"]) == 1
+
+
+class TestAcceptanceGrid:
+    def test_24_point_grid_end_to_end(self, tmp_path, capsys):
+        """The issue's acceptance grid: 2 axes, >= 24 points, via the CLI."""
+        surface_path = tmp_path / "surface.json"
+        grid = [
+            "--axis", "price=0.5,0.75,1,1.25,1.5,2",
+            "--axis", "remote=0.5,1,2,4",
+        ]
+        assert main([
+            "dse", "run", "example1", "--solver", "highs", *grid,
+            "--max-designs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(tmp_path / "study.jsonl"),
+            "--output", str(surface_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "24 points: 24 solved" in out
+        document = json.loads(surface_path.read_text())
+        assert len(document["points"]) == 24
+
+        # Finished-study re-run: pure manifest replay, zero solves.
+        assert main([
+            "dse", "run", "example1", "--solver", "highs", *grid,
+            "--max-designs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(tmp_path / "study.jsonl"),
+            "--expect-warm",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "24 replayed" in out
+        assert "0 solved" in out
+
+        assert main(["dse", "report", "example1", str(surface_path)]) == 0
+        assert "dominated" in capsys.readouterr().out

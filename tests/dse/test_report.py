@@ -1,0 +1,94 @@
+"""Tests for the DSE comparison reporter."""
+
+import pytest
+
+from repro.dse import (
+    SpaceSpec,
+    frontier_comparison,
+    remote_delays,
+    run_study,
+    scale_prices,
+    surface_csv,
+    surface_overview,
+)
+from repro.dse.report import default_deadlines
+from repro.dse.surface import FrontierSurface, SurfacePoint
+from repro.system.examples import example1_library
+from repro.system.interconnect import InterconnectStyle
+from repro.taskgraph.examples import example1
+
+
+@pytest.fixture(scope="module")
+def surface():
+    spec = SpaceSpec(
+        example1_library(),
+        [scale_prices(0.5, 1.0), remote_delays(1.0)],
+    )
+    return run_study(example1(), spec, solver="highs", max_designs=3).surface
+
+
+class TestOverview:
+    def test_one_row_per_point_with_dominated_marker(self, surface):
+        text = surface_overview(surface)
+        lines = text.splitlines()
+        assert len(lines) == 3 + len(surface)  # title + header + separator
+        assert "dominated" in lines[1]
+        # The full-price variant is marked, the half-price one is not.
+        full = next(line for line in lines if line.startswith("1 "))
+        half = next(line for line in lines if line.startswith("0.5"))
+        assert full.rstrip().endswith("yes")
+        assert not half.rstrip().endswith("yes")
+
+    def test_custom_title(self, surface):
+        assert surface_overview(surface, title="T").splitlines()[0] == "T"
+
+    def test_infeasible_point_renders_zero_designs(self):
+        point = SurfacePoint(
+            "x=1", {"x": "1"}, example1_library(),
+            InterconnectStyle.POINT_TO_POINT, "abc", None,
+        )
+        text = surface_overview(FrontierSurface(("x",), [point]))
+        row = text.splitlines()[-1]
+        assert "0" in row and "yes" in row
+
+    def test_csv_matches_overview_columns(self, surface):
+        csv_text = surface_csv(surface)
+        header = csv_text.splitlines()[0]
+        assert header.split(",")[:2] == ["price", "remote"]
+        assert len(csv_text.splitlines()) == 1 + len(surface)
+
+
+class TestComparison:
+    def test_explicit_deadlines_one_row_each(self, surface):
+        text = frontier_comparison(surface, deadlines=[4.0, 7.0])
+        lines = text.splitlines()
+        assert len(lines) == 3 + 2
+        assert lines[1].startswith("deadline")
+        assert lines[1].rstrip().endswith("best")
+
+    def test_unmeetable_deadline_has_no_winner(self, surface):
+        text = frontier_comparison(surface, deadlines=[0.001])
+        row = text.splitlines()[-1]
+        assert row.replace("0.001", "").replace("|", "").replace("-", "").strip() == ""
+
+    def test_default_deadlines_cover_every_front(self, surface):
+        ladder = default_deadlines(surface)
+        assert ladder == sorted(ladder)
+        makespans = {
+            design.makespan for point in surface for design in point.front
+        }
+        assert set(ladder) == makespans  # small study: no subsampling
+
+    def test_default_deadlines_subsample_large_sets(self):
+        # Synthetic monotone fronts with many distinct makespans.
+        points = []
+        for index in range(2):
+            point = SurfacePoint(
+                f"x={index}", {"x": str(index)}, example1_library(),
+                InterconnectStyle.POINT_TO_POINT, str(index), None,
+            )
+            points.append(point)
+        surface = FrontierSurface(("x",), points)
+        # No fronts at all -> empty ladder, and the table still renders.
+        assert default_deadlines(surface) == []
+        assert "deadline" in frontier_comparison(surface)

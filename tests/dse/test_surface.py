@@ -1,0 +1,158 @@
+"""Tests for the FrontierSurface result model and its queries."""
+
+import pytest
+
+from repro.dse import FrontierSurface, SpaceSpec, remote_delays, run_study, scale_prices
+from repro.dse.surface import SurfacePoint, _front_dominates
+from repro.errors import SynthesisError
+from repro.system.examples import example1_library
+from repro.system.interconnect import InterconnectStyle
+from repro.taskgraph.examples import example1
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return example1()
+
+
+@pytest.fixture(scope="module")
+def surface(graph):
+    spec = SpaceSpec(
+        example1_library(),
+        [scale_prices(0.5, 1.0), remote_delays(1.0, 2.0)],
+    )
+    return run_study(graph, spec, solver="highs", max_designs=4).surface
+
+
+class TestFrontDominates:
+    def test_strictly_better_front_dominates(self):
+        assert _front_dominates([(1.0, 1.0)], [(2.0, 2.0)])
+
+    def test_equal_fronts_do_not_dominate(self):
+        front = [(1.0, 2.0), (2.0, 1.0)]
+        assert not _front_dominates(front, list(front))
+
+    def test_partial_cover_does_not_dominate(self):
+        # The loser has one point nothing in the winner beats or matches.
+        assert not _front_dominates([(1.0, 3.0)], [(2.0, 2.0), (0.5, 9.0)])
+
+    def test_empty_loser_dominated_by_any_feasible_winner(self):
+        assert _front_dominates([(1.0, 1.0)], [])
+        assert not _front_dominates([], [(1.0, 1.0)])
+        assert not _front_dominates([], [])
+
+    def test_mixed_equal_and_dominated(self):
+        winner = [(1.0, 2.0), (2.0, 1.0)]
+        loser = [(1.0, 2.0), (3.0, 1.0)]
+        assert _front_dominates(winner, loser)
+
+
+class TestSurfacePoint:
+    def test_infeasible_point_shape(self, graph):
+        point = SurfacePoint(
+            "x=1", {"x": "1"}, example1_library(),
+            InterconnectStyle.POINT_TO_POINT, "deadbeef", None,
+        )
+        assert not point.feasible
+        assert point.frontier_points() == []
+        assert point.best_cost_at(1e9) is None
+
+    def test_best_cost_at_picks_cheapest_within_deadline(self, surface):
+        point = surface.points[0]
+        deadline = max(design.makespan for design in point.front)
+        best = point.best_cost_at(deadline)
+        assert best is not None
+        assert best.cost == min(design.cost for design in point.front)
+        # An impossible deadline has no answer.
+        fastest = min(design.makespan for design in point.front)
+        assert point.best_cost_at(fastest - 1.0) is None
+
+
+class TestSurfaceQueries:
+    def test_iteration_and_get(self, surface):
+        ids = [point.point_id for point in surface]
+        assert len(surface) == 4 == len(set(ids))
+        assert surface.get(ids[0]).point_id == ids[0]
+        with pytest.raises(KeyError):
+            surface.get("nope")
+
+    def test_slice_fixes_an_axis(self, surface):
+        sliced = surface.slice(remote="1")
+        assert len(sliced) == 2
+        assert all(point.coords["remote"] == "1" for point in sliced)
+        assert sliced.axes == surface.axes
+
+    def test_slice_two_axes(self, surface):
+        sliced = surface.slice(price="0.5", remote="2")
+        assert [point.point_id for point in sliced] == ["price=0.5|remote=2"]
+
+    def test_slice_unknown_axis_raises(self, surface):
+        with pytest.raises(KeyError):
+            surface.slice(voltage="1")
+
+    def test_best_cost_at_spans_libraries(self, surface):
+        best = surface.best_cost_at(1e9)
+        assert best is not None
+        point, design = best
+        # The relaxed-deadline winner is the globally cheapest design.
+        global_min = min(
+            d.cost for p in surface for d in p.front
+        )
+        assert design.cost == global_min
+        assert point.coords["price"] == "0.5"  # half-price library wins
+
+    def test_best_cost_at_impossible_deadline(self, surface):
+        assert surface.best_cost_at(-1.0) is None
+
+    def test_dominated_points(self, surface):
+        # Full-price variants are dominated by their half-price twins
+        # (same makespans at exactly half the cost).
+        dominated = set(surface.dominated_points())
+        assert dominated == {"price=1|remote=1", "price=1|remote=2"}
+
+    def test_duplicate_point_ids_rejected(self, surface):
+        point = surface.points[0]
+        with pytest.raises(SynthesisError):
+            FrontierSurface(surface.axes, [point, point])
+
+
+class TestSerialization:
+    def test_json_round_trip_is_byte_identical(self, surface, graph):
+        text = surface.to_json()
+        restored = FrontierSurface.from_json(text, graph)
+        assert restored.to_json() == text
+        assert restored.axes == surface.axes
+        assert restored.graph_name == surface.graph_name
+
+    def test_round_trip_preserves_fronts_and_fingerprints(self, surface, graph):
+        restored = FrontierSurface.from_json(surface.to_json(), graph)
+        for before, after in zip(surface, restored):
+            assert after.point_id == before.point_id
+            assert after.fingerprint == before.fingerprint
+            assert after.style is before.style
+            assert after.frontier_points() == before.frontier_points()
+            assert after.library.to_dict() == before.library.to_dict()
+
+    def test_infeasible_point_round_trips_as_null_front(self, graph):
+        point = SurfacePoint(
+            "x=1", {"x": "1"}, example1_library(),
+            InterconnectStyle.BUS, "abc", None,
+        )
+        surface = FrontierSurface(("x",), [point], graph_name="g")
+        restored = FrontierSurface.from_json(surface.to_json(), graph)
+        assert restored.points[0].front is None
+        assert restored.points[0].style is InterconnectStyle.BUS
+
+    def test_malformed_documents_raise(self, graph):
+        with pytest.raises(SynthesisError):
+            FrontierSurface.from_json("not json", graph)
+        with pytest.raises(SynthesisError):
+            FrontierSurface.from_dict({"no": "points"}, graph)
+        with pytest.raises(SynthesisError):
+            FrontierSurface.from_dict(
+                {"version": 99, "points": []}, graph
+            )
+        with pytest.raises(SynthesisError):
+            FrontierSurface.from_dict(
+                {"version": 1, "points": [{"point_id": "x"}]}, graph
+            )
