@@ -210,7 +210,13 @@ def bench_incumbent_seeding(benchmark):
     for name, entry in results.items():
         print(f"\n{name}: nodes {entry['nodes_unseeded']} -> "
               f"{entry['nodes_seeded']}, root gap {entry['root_gap']:.3f}")
-        assert entry["nodes_seeded"] < entry["nodes_unseeded"], name
+        # Seeding must never cost nodes, and must strictly save them
+        # wherever the unseeded tree leaves room (the kernel now solves
+        # example1 at the root even unseeded, so 1 -> 1 is the ceiling
+        # there, not a regression).
+        assert entry["nodes_seeded"] <= entry["nodes_unseeded"], name
+        if entry["nodes_unseeded"] > 1:
+            assert entry["nodes_seeded"] < entry["nodes_unseeded"], name
     record_bench("incumbent_seeding", **results)
 
 

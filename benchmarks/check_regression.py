@@ -37,6 +37,7 @@ GATED = {
     "bozo_example1_cold_vs_warm": ("cold_pivots", "warm_pivots"),
     "bozo_example1_cuts": ("nodes_on",),
     "market_split_3x16_cuts": ("nodes_on", "cuts_added"),
+    "kernel_market_split_3x16": ("nodes",),
 }
 
 #: Same-run comparisons between two fields of one current entry: no
@@ -49,6 +50,43 @@ GATED = {
 SAME_RUN = {
     "market_split_3x16_cuts": [("nodes_on", "<", "nodes_off", 1.0, 0.0)],
     "bozo_example1_cuts": [("wall_on_seconds", "<=", "wall_off_seconds", 1.5, 0.05)],
+    # The PR-10 kernel claim: production bozo within 1.5x of HiGHS on
+    # Example 1, measured back to back in one process (the slack absorbs
+    # timer noise on ~20ms solves).
+    "kernel_example1_vs_highs": [
+        ("bozo_wall_seconds", "<=", "highs_wall_seconds", 1.5, 0.02)
+    ],
+}
+
+#: Throughput floors expressed as a multiple of a *committed* entry's
+#: derived rate: ``bench.field >= factor * (base_num / base_den)`` of the
+#: committed ``base`` entry.  Wall-derived rates only compare honestly on
+#: the machine that recorded the committed baseline, so the gate is
+#: skipped (one line, never silently) when the machine fingerprints
+#: differ.  The 3x16 entry is the second PR-10 kernel claim: node
+#: throughput at least twice the pre-kernel serial baseline.  The anchor
+#: is the *committed* parallel_bnb entry; if a later change re-records
+#: and commits that entry with post-kernel numbers, the floor doubles in
+#: kind and the factor here must be revisited alongside it.
+BASELINE_RATE_FLOORS = {
+    "kernel_market_split_3x16": {
+        "nodes_per_second": (
+            "parallel_bnb_market_split_3x16",
+            "serial_nodes", "serial_wall_seconds", 2.0,
+        ),
+    },
+}
+
+#: Absolute kernel floors/ceilings on the current results, enforced only
+#: on machines with at least FLOOR_MIN_CORES cores (underpowered runners
+#: skip with a one-line reason, same convention as FLOORS).  The pivot
+#: floor catches a kernel that has fallen back to per-iteration dense
+#: algebra; the wall ceiling catches a pathological example1 solve.
+KERNEL_FLOORS = {
+    "kernel_example1_vs_highs": {"pivots_per_lp_second": 1000.0},
+}
+KERNEL_CEILINGS = {
+    "kernel_example1_vs_highs": {"bozo_wall_seconds": 0.25},
 }
 
 #: Absolute floors gated per benchmark entry: field -> minimum value.
@@ -241,6 +279,76 @@ def check(baseline: dict, current: dict) -> tuple:
                     f"{bench}: {left}={lhs:g} must be {op} {right}={rhs:g} "
                     f"x {factor:g} + {slack:g} (bound {bound:g})"
                 )
+    for bench, floors in BASELINE_RATE_FLOORS.items():
+        entry = current.get(bench)
+        if entry is None:
+            skipped.append(f"{bench}: SKIPPED (bench did not run)")
+            continue
+        for field, (base_name, num, den, factor) in floors.items():
+            base_entry = baseline.get(base_name)
+            if base_entry is None:
+                skipped.append(
+                    f"{bench}.{field}: SKIPPED (no committed {base_name} "
+                    f"baseline to derive a rate from)"
+                )
+                continue
+            if base_entry.get("machine") != entry.get("machine"):
+                skipped.append(
+                    f"{bench}.{field}: SKIPPED (committed {base_name} was "
+                    f"recorded on a different machine; wall-derived rates "
+                    f"only compare on matching hardware)"
+                )
+                continue
+            base_num = base_entry.get(num)
+            base_den = base_entry.get(den)
+            value = entry.get(field)
+            if value is None:
+                problems.append(f"{bench}.{field}: missing from current results")
+                continue
+            if not base_num or not base_den:
+                skipped.append(
+                    f"{bench}.{field}: SKIPPED (committed {base_name} lacks "
+                    f"{num}/{den})"
+                )
+                continue
+            floor = factor * (base_num / base_den)
+            if value < floor:
+                problems.append(
+                    f"{bench}.{field}: {value:.0f} is below {factor:g}x the "
+                    f"committed {base_name} rate {base_num / base_den:.0f} "
+                    f"(floor {floor:.0f})"
+                )
+    for bench, limits in ({
+        k: [("floor", f, v) for f, v in KERNEL_FLOORS.get(k, {}).items()]
+           + [("ceiling", f, v) for f, v in KERNEL_CEILINGS.get(k, {}).items()]
+        for k in {*KERNEL_FLOORS, *KERNEL_CEILINGS}
+    }).items():
+        entry = current.get(bench)
+        if entry is None:
+            skipped.append(f"{bench}: SKIPPED (bench did not run)")
+            continue
+        machine = entry.get("machine")
+        cores = machine.get("cpu_count") if isinstance(machine, dict) else None
+        if cores is not None and cores < FLOOR_MIN_CORES:
+            skipped.append(
+                f"{bench}: kernel floors SKIPPED (cpu_count={cores} below "
+                f"the {FLOOR_MIN_CORES}-core threshold)"
+            )
+            continue
+        for kind, field, limit in limits:
+            value = entry.get(field)
+            if value is None:
+                problems.append(f"{bench}.{field}: missing from current results")
+            elif kind == "floor" and value < limit:
+                problems.append(
+                    f"{bench}.{field}: {value:.2f} is below the required "
+                    f"kernel floor {limit:.2f}"
+                )
+            elif kind == "ceiling" and value > limit:
+                problems.append(
+                    f"{bench}.{field}: {value:g} exceeds the kernel "
+                    f"ceiling {limit:g}"
+                )
     for bench, floors in FLOORS.items():
         entry = current.get(bench)
         if entry is None:
@@ -348,7 +456,9 @@ def main(argv=None) -> int:
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
         return 1
-    gated = ", ".join(dict.fromkeys([*GATED, *SAME_RUN, *FLOORS]))
+    gated = ", ".join(dict.fromkeys(
+        [*GATED, *SAME_RUN, *BASELINE_RATE_FLOORS, *KERNEL_FLOORS, *FLOORS]
+    ))
     print(f"perf gate OK ({gated}; tolerance {TOLERANCE:.0%})")
     return 0
 

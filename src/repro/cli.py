@@ -85,8 +85,10 @@ def _solver_options(args: argparse.Namespace, sink, workers: int = 1):
     cuts = getattr(args, "cuts", "auto")
     cut_rounds = getattr(args, "cut_rounds", 5)
     strong_branching = getattr(args, "strong_branching", 8)
+    pricing = getattr(args, "pricing", "devex")
     non_default_cuts = cuts != "auto" or cut_rounds != 5 or strong_branching != 8
-    if workers <= 1 and sink is None and not progress and not fast and not non_default_cuts:
+    if (workers <= 1 and sink is None and not progress and not fast
+            and not non_default_cuts and pricing == "devex"):
         return None
     from repro.obs.progress import print_progress
     from repro.solvers.base import SolverOptions
@@ -97,6 +99,7 @@ def _solver_options(args: argparse.Namespace, sink, workers: int = 1):
         cuts=cuts,
         cut_rounds=cut_rounds,
         strong_branching=strong_branching,
+        pricing=pricing,
         trace=sink,
         on_progress=print_progress if progress else None,
     )
@@ -557,6 +560,80 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Quick kernel benchmark: pivots/sec and wall on the standard models.
+
+    Runs the same instances as ``benchmarks/bench_kernel.py`` (Example 1,
+    market split) without the pytest-benchmark harness, so a developer can
+    eyeball kernel throughput — or, with ``--profile FILE``, capture a
+    cProfile artifact of the hot path for ``pstats``/``snakeviz``.
+    """
+    from repro.core.formulation import SosModelBuilder
+    from repro.solvers.base import SolverOptions
+    from repro.solvers.registry import get_solver
+
+    def _market_split(rows: int, binaries: int, seed: int):
+        import random as _random
+
+        from repro.milp.model import Model, VarType
+
+        rng = _random.Random(seed)
+        model = Model(f"market_split_{rows}x{binaries}")
+        x = [model.add_var(f"x{j}", vtype=VarType.BINARY)
+             for j in range(binaries)]
+        surplus = [model.add_var(f"sp{i}", lb=0) for i in range(rows)]
+        deficit = [model.add_var(f"sm{i}", lb=0) for i in range(rows)]
+        for i in range(rows):
+            weights = [rng.randrange(100) for _ in range(binaries)]
+            target = sum(weights) // 2
+            model.add(
+                sum(w * xj for w, xj in zip(weights, x))
+                + surplus[i] - deficit[i] == target,
+                name=f"row{i}",
+            )
+        model.minimize(sum(surplus) + sum(deficit))
+        return model
+
+    instances = [
+        ("example1", lambda: SosModelBuilder(
+            example1(), example1_library()).build().model),
+        ("market_split_3x16", lambda: _market_split(3, 16, 0)),
+    ]
+    pricing = getattr(args, "pricing", "devex")
+
+    def run() -> None:
+        for name, build in instances:
+            model = build()
+            solver = get_solver("bozo", SolverOptions(pricing=pricing))
+            start = time.monotonic()
+            solution = solver.solve(model)
+            wall = time.monotonic() - start
+            stats = solution.stats
+            rate = stats.lp_pivots / wall if wall > 0 else 0.0
+            print(f"{name}: {wall:.3f}s wall, {stats.nodes} nodes, "
+                  f"{stats.lp_pivots} pivots ({rate:,.0f} pivots/s), "
+                  f"{stats.bound_flips} bound flips, "
+                  f"{stats.refactorizations} refactorizations")
+
+    profile_path = getattr(args, "profile", None)
+    if profile_path:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run()
+        profiler.disable()
+        profiler.dump_stats(profile_path)
+        top = pstats.Stats(profiler)
+        top.sort_stats("cumulative")
+        print(f"\nprofile written to {profile_path} "
+              f"(inspect with: python -m pstats {profile_path})")
+    else:
+        run()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``sos`` argument parser (exposed for tests and docs tooling)."""
     parser = argparse.ArgumentParser(
@@ -608,6 +685,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="probe the K most fractional root candidates with "
                          "budgeted dual simplex before the first branch; 0 "
                          "disables (default: 8)")
+    p_synth.add_argument("--pricing", choices=("devex", "dantzig"), default="devex",
+                         help="revised-simplex pricing rule (bozo solver): "
+                         "'devex' reference-framework weights (default, fast) "
+                         "or 'dantzig' legacy block pricing")
     p_synth.set_defaults(func=cmd_synthesize)
 
     p_sweep = sub.add_parser("sweep", help="enumerate all non-inferior designs")
@@ -638,6 +719,9 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="strong_branching", metavar="K",
                          help="root strong-branching candidate limit; 0 disables "
                          "(default: 8)")
+    p_sweep.add_argument("--pricing", choices=("devex", "dantzig"), default="devex",
+                         help="revised-simplex pricing rule (bozo solver); "
+                         "see 'synthesize --pricing'")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_paper = sub.add_parser("paper", help="regenerate a paper table/figure")
@@ -690,6 +774,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot.add_argument("--cost-cap", type=float, default=None)
     p_dot.add_argument("--output", help="write DOT here instead of stdout")
     p_dot.set_defaults(func=cmd_dot)
+
+    p_bench = sub.add_parser(
+        "bench", help="quick kernel benchmark (pivots/sec, wall) on the "
+        "standard models"
+    )
+    p_bench.add_argument("--pricing", choices=("devex", "dantzig"),
+                         default="devex",
+                         help="revised-simplex pricing rule to benchmark")
+    p_bench.add_argument("--profile", metavar="FILE", default=None,
+                         help="capture the run under cProfile and dump the "
+                         "stats artifact here (inspect with python -m pstats)")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_serve = sub.add_parser(
         "serve", help="run the synthesis job service (JSON over HTTP)"

@@ -83,6 +83,17 @@ class SolveStats:
             re-solved the relaxation.
         strong_branch_probes: Budgeted strong-branching LP probes run at
             the root to initialize pseudocosts.
+        bound_flips: Revised-simplex nonbasic bound-to-bound moves
+            (dual ratio-test flips plus primal full-box steps) that
+            avoided a pivot, summed over every LP solve.
+        devex_resets: Devex reference-framework resets across every LP
+            solve (zero under ``pricing="dantzig"``).
+        ftran_sparsity: Entering-column FTRAN results whose nonzero count
+            stayed at or below half the basis rows — the hypersparse
+            regime — summed over every LP solve.
+        refactorizations: Basis factorizations rebuilt from scratch
+            across every LP solve (cold starts, cadence/fill policy, and
+            drift recoveries).
         root_gap_closed: Relative root-bound improvement from the cut
             loop, ``(bound_after - bound_before) / max(1, |bound_before|)``
             over the first and last separation round (see
@@ -111,6 +122,10 @@ class SolveStats:
     cuts_added: int = 0
     cut_rounds: int = 0
     strong_branch_probes: int = 0
+    bound_flips: int = 0
+    devex_resets: int = 0
+    ftran_sparsity: int = 0
+    refactorizations: int = 0
     root_gap_closed: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -144,6 +159,10 @@ class SolveStats:
         self.cuts_added += other.cuts_added
         self.cut_rounds += other.cut_rounds
         self.strong_branch_probes += other.strong_branch_probes
+        self.bound_flips += other.bound_flips
+        self.devex_resets += other.devex_resets
+        self.ftran_sparsity += other.ftran_sparsity
+        self.refactorizations += other.refactorizations
         self.root_gap_closed += other.root_gap_closed
         for name, seconds in other.phase_seconds.items():
             self.add_phase(name, seconds)
@@ -169,6 +188,10 @@ class SolveStats:
             "cuts_added": self.cuts_added,
             "cut_rounds": self.cut_rounds,
             "strong_branch_probes": self.strong_branch_probes,
+            "bound_flips": self.bound_flips,
+            "devex_resets": self.devex_resets,
+            "ftran_sparsity": self.ftran_sparsity,
+            "refactorizations": self.refactorizations,
             "root_gap_closed": self.root_gap_closed,
             "phase_seconds": dict(self.phase_seconds),
         }
@@ -187,6 +210,8 @@ class SolveStats:
             "subtrees_dispatched", "subtrees_stolen", "worker_idle_waits",
             "incumbent_broadcasts", "seeded_incumbent", "rc_fixed_bounds",
             "cuts_added", "cut_rounds", "strong_branch_probes",
+            "bound_flips", "devex_resets", "ftran_sparsity",
+            "refactorizations",
         ):
             setattr(stats, name, int(data.get(name, 0)))
         stats.root_gap_closed = float(data.get("root_gap_closed", 0.0))

@@ -86,6 +86,12 @@ def _counters_for_worker(events: List[TraceEvent]) -> SolveStats:
                     stats.warm_start_hits += 1
             if event.data["fallback"]:
                 stats.fallbacks += 1
+            # Kernel counters ride as optional extras (absent when the
+            # dense oracle answered, exactly as the solver absorbs them).
+            stats.bound_flips += int(event.data.get("bound_flips", 0))
+            stats.devex_resets += int(event.data.get("devex_resets", 0))
+            stats.ftran_sparsity += int(event.data.get("ftran_sparsity", 0))
+            stats.refactorizations += int(event.data.get("refactorizations", 0))
             stats.add_phase("lp", float(event.data["seconds"]))
         elif event.type == "phase":
             stats.add_phase(str(event.data["name"]), float(event.data["seconds"]))

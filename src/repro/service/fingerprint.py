@@ -68,6 +68,10 @@ _SOLVER_FIELDS = (
     "cut_rounds",
     "strong_branching",
     "rc_fixing",
+    # The pricing rule is optimum-preserving but steers the simplex to a
+    # different vertex among alternative LP optima, which cascades into
+    # branching and the returned solution.
+    "pricing",
     "seed",
 )
 

@@ -135,11 +135,19 @@ class SolverOptions:
             Like ``trace``/``on_progress`` it never crosses a process
             boundary: parallel subtree workers run with it stripped, and
             the driving process polls it between pool operations.
+        pricing: Revised-simplex pricing rule (Bozo only).  ``"devex"``
+            (default) maintains deterministic devex reference-framework
+            weights — the fast path; ``"dantzig"`` restores the legacy
+            partial-Dantzig block pricing for byte-identity against
+            pre-devex oracles.  Both rules are deterministic, so
+            serial/parallel identity holds under either; the optimum
+            never changes.
         pricing_block_size: Partial-pricing block width for the revised
-            simplex (Bozo only).  ``0`` picks automatically: one block
-            (classic full Dantzig pricing) for small models, fixed blocks
-            of 256 columns above 512 columns.  Pricing is deterministic
-            for any block size; the optimum never changes.
+            simplex (Bozo only, ``pricing="dantzig"``).  ``0`` picks
+            automatically: one block (classic full Dantzig pricing) for
+            small models, fixed blocks of 256 columns above 512 columns.
+            Pricing is deterministic for any block size; the optimum
+            never changes.
         clamp_workers: Cap effective ``workers`` at ``os.cpu_count()``
             (default on).  Requesting more processes than cores makes
             parallel tree search *slower* than serial — the clamp falls
@@ -173,6 +181,7 @@ class SolverOptions:
     on_progress: Optional[Callable[[ProgressUpdate], None]] = None
     progress_interval: float = 1.0
     should_stop: Optional[Callable[[], bool]] = None
+    pricing: str = "devex"
     pricing_block_size: int = 0
     clamp_workers: bool = True
 

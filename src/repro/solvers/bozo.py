@@ -71,6 +71,12 @@ from repro.solvers.simplex import LPResult, LPStatus, solve_lp
 #: allowed to trigger the expensive dense fallback.
 STRONG_BRANCH_ITERATIONS = 150
 
+#: Relative root-gap closure below which a separation round counts as
+#: stalled.  Once any round clears this threshold, a later sub-threshold
+#: round ends the cut loop early (``reason="tailing_off"`` on its
+#: ``cut_round`` event) instead of paying for more rows in every node LP.
+CUT_STALL_EPS = 1e-6
+
 
 @dataclass(order=True)
 class _Node:
@@ -152,15 +158,27 @@ class _LPBackend:
         sf: Optional[StandardFormLP] = None,
         tracer: Optional[Tracer] = None,
         pricing_block_size: int = 0,
+        pricing: str = "devex",
     ) -> None:
         self.form = form
         self.stats = stats
         self.tracer = tracer
         self.pricing_block_size = pricing_block_size
+        self.pricing = pricing
         if sf is not None:
             self.sf: Optional[StandardFormLP] = sf
         else:
             self.sf = StandardFormLP.from_matrix_form(form) if warm_start else None
+
+    def _absorb_counters(self, counters) -> None:
+        """Fold one solve's kernel counters into the run's SolveStats."""
+        if counters is None:
+            return
+        stats = self.stats
+        stats.bound_flips += counters.bound_flips
+        stats.devex_resets += counters.devex_resets
+        stats.ftran_sparsity += counters.ftran_sparsity
+        stats.refactorizations += counters.refactorizations
 
     def _trace_lp(
         self, result: LPResult, warm: bool, fallback: bool, seconds: float
@@ -196,6 +214,7 @@ class _LPBackend:
                 lb, ub, c0=form.c0,
             )
             self.stats.lp_pivots += result.iterations
+            self._absorb_counters(result.counters)
             elapsed = time.monotonic() - start
             self.stats.add_phase("lp", elapsed)
             self._trace_lp(result, warm=False, fallback=False, seconds=elapsed)
@@ -208,8 +227,10 @@ class _LPBackend:
             basis,
             pricing_block_size=self.pricing_block_size,
             want_reduced_costs=want_reduced_costs,
+            pricing=self.pricing,
         )
         self.stats.lp_pivots += result.iterations
+        self._absorb_counters(result.counters)
         if fell_back:
             self.stats.fallbacks += 1
         elif basis is not None:
@@ -249,8 +270,10 @@ class _LPBackend:
         revised = solve_revised(
             self.sf, basis, max_iterations=max_iterations,
             pricing_block_size=self.pricing_block_size,
+            pricing=self.pricing,
         )
         self.stats.lp_pivots += revised.iterations
+        self._absorb_counters(revised.counters)
         elapsed = time.monotonic() - start
         self.stats.add_phase("lp", elapsed)
         if self.tracer is not None:
@@ -543,12 +566,13 @@ class _TreeSearch:
             if cutoff is not None and lp_obj > cutoff + 1e-9 * max(1.0, abs(cutoff)):
                 continue
 
-            fractional = [
-                (j, result.x[j] - math.floor(result.x[j] + tol))
-                for j in self.integral
-                if min(result.x[j] - math.floor(result.x[j]),
-                       math.ceil(result.x[j]) - result.x[j]) > tol
-            ]
+            xi = result.x[self.integral]
+            dist = np.minimum(xi - np.floor(xi), np.ceil(xi) - xi)
+            frac_mask = dist > tol
+            fractional = list(zip(
+                self.integral[frac_mask].tolist(),
+                (xi[frac_mask] - np.floor(xi[frac_mask] + tol)).tolist(),
+            ))
             if not fractional:
                 x = result.x.copy()
                 x[self.integral] = np.round(x[self.integral])
@@ -727,6 +751,17 @@ class _TreeSearch:
         rebuild).  The augmented form is inherited by every tree node —
         and, in a parallel solve, shipped to the workers via shared
         memory.  Deterministic end to end: same model, same cuts.
+
+        Separation stops early when it *tails off*: once some round has
+        closed at least :data:`CUT_STALL_EPS` of relative root gap, a
+        later round closing less than that abandons the loop (reason
+        ``"tailing_off"`` on its ``cut_round`` event) — the remaining
+        rounds would buy bound noise at the price of extra rows in every
+        tree-node LP.  Instances whose rounds never move the root bound
+        at all (degenerate 0/1 models like market split, where Gomory
+        rows still prune by cutting fractional vertices off the tree's
+        LPs) are a different regime: there the bounded ``cut_rounds``
+        budget is the cost cap, and the loop runs it in full.
         """
         options = self.options
         sf = self.lp.sf
@@ -739,6 +774,7 @@ class _TreeSearch:
         total_added = 0
         total_gomory = 0
         total_cover = 0
+        progressed = False  # some round closed >= CUT_STALL_EPS of gap
         for round_index in range(1, max(options.cut_rounds, 0) + 1):
             x = result.x
             if result.status is not LPStatus.OPTIMAL or x is None:
@@ -786,7 +822,12 @@ class _TreeSearch:
             if rounds_run == 1:
                 first_bound = bound_before
             last_bound = bound_after
+            round_closed = root_gap_closed(bound_before, bound_after)
+            tailing_off = progressed and round_closed < CUT_STALL_EPS
+            if round_closed >= CUT_STALL_EPS:
+                progressed = True
             if self.tracer is not None:
+                extra = {"reason": "tailing_off"} if tailing_off else {}
                 self.tracer.emit(
                     "cut_round",
                     round=round_index,
@@ -794,7 +835,10 @@ class _TreeSearch:
                     added=len(chosen),
                     bound_before=bound_before,
                     bound_after=bound_after,
+                    **extra,
                 )
+            if tailing_off:
+                break
         if rounds_run:
             stats = self.lp.stats
             stats.cuts_added += total_added
@@ -1024,6 +1068,7 @@ class BozoSolver(Solver):
         lp = _LPBackend(
             form, self.options.warm_start, stats, tracer=tracer,
             pricing_block_size=self.options.pricing_block_size,
+            pricing=self.options.pricing,
         )
         engine = _TreeSearch(
             self.options, form, lp, start=start, tracer=tracer, reporter=reporter

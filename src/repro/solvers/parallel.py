@@ -183,6 +183,7 @@ def solve_parallel(
     lp = _LPBackend(
         form, options.warm_start, stats, tracer=tracer,
         pricing_block_size=options.pricing_block_size,
+        pricing=options.pricing,
     )
     ramp = _TreeSearch(
         options, form, lp, start=start, tracer=tracer, reporter=reporter

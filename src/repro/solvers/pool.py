@@ -155,6 +155,7 @@ def solve_lease(
     lp = _LPBackend(
         form, options.warm_start, stats, sf=sf, tracer=tracer,
         pricing_block_size=options.pricing_block_size,
+        pricing=options.pricing,
     )
     # Each lease re-tightens reduced-cost bounds from its own incumbents
     # only, starting from the bounds the ramp derived — copied, so no

@@ -20,6 +20,16 @@ before branch and bound:
 The reductions never remove feasible integer points, so solving the
 presolved model is equivalent — a property the test suite checks against
 both backends.
+
+Each sweep is split into a **vectorized screen** and an **exact pass**:
+one whole-matrix evaluation of the tightening conditions (start-of-sweep
+bounds) flags the rows that can possibly change, and only flagged rows
+run the element-wise update, which sees bound changes made by earlier
+rows in the same sweep.  A row the screen skips would have produced no
+change under the screened bounds; if an earlier row's update makes it
+productive after all, the next sweep's screen picks it up, so the
+iteration reaches the same fixpoint while per-sweep cost stays at a few
+matrix operations instead of one Python loop iteration per row.
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +69,222 @@ class PresolveResult:
     rounds: int = 0
 
 
+class _Propagator:
+    """One presolve run: bounds, rows, and the screened sweeps."""
+
+    def __init__(self, form: MatrixForm, tol: float) -> None:
+        self.tol = tol
+        self.lb = form.lb.copy()
+        self.ub = form.ub.copy()
+        self.integral_idx = np.nonzero(np.asarray(form.integrality, dtype=bool))[0]
+        self.a_ub = form.a_ub.copy() if form.a_ub.size else form.a_ub
+        self.b_ub = form.b_ub.copy() if form.b_ub.size else form.b_ub
+        self.a_eq = form.a_eq
+        self.b_eq = form.b_eq
+        self.n_ub = self.a_ub.shape[0] if self.a_ub.size else 0
+        self.n_eq = self.a_eq.shape[0] if self.a_eq.size else 0
+        self.tightened = 0
+        self.coef_tightened = 0
+        self.infeasible = False
+
+    # -- vectorized screens --------------------------------------------------
+    def _activity_products(self, a) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-entry min/max activity contributions, zeros neutralized.
+
+        ``0 * inf`` is nan, and a zero coefficient contributes nothing, so
+        zero entries are forced to exactly 0 in both product matrices.
+        """
+        zero = a == 0.0
+        prod_lo = a * self.lb[None, :]
+        prod_hi = a * self.ub[None, :]
+        prod_lo[zero] = 0.0
+        prod_hi[zero] = 0.0
+        return np.minimum(prod_lo, prod_hi), np.maximum(prod_lo, prod_hi)
+
+    def screen_bounds(self, a, b, equality: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """Flag rows whose activity can tighten a bound or prove infeasibility.
+
+        Evaluates the element-wise tightening conditions over the whole
+        block at start-of-sweep bounds; returns ``(tighten_rows,
+        infeasible_rows)`` boolean masks.  Conservative in the right
+        direction: every row the exact pass would change *under these
+        bounds* is flagged.
+        """
+        cmin, cmax = self._activity_products(a)
+        min_act = cmin.sum(axis=1)
+        infeas = min_act > b + 1e-7
+        pos = a > 0
+        neg = a < 0
+        rest_min = min_act[:, None] - cmin
+        finite = np.isfinite(rest_min)
+        cand = (b[:, None] - rest_min) / a
+        hit = finite & (
+            (pos & (cand < self.ub[None, :] - 1e-9))
+            | (neg & (cand > self.lb[None, :] + 1e-9))
+        )
+        if equality:
+            max_act = cmax.sum(axis=1)
+            infeas |= max_act < b - 1e-7
+            rest_max = max_act[:, None] - cmax
+            finite2 = np.isfinite(rest_max)
+            cand2 = (b[:, None] - rest_max) / a
+            hit |= finite2 & (
+                (pos & (cand2 > self.lb[None, :] + 1e-9))
+                | (neg & (cand2 < self.ub[None, :] - 1e-9))
+            )
+        return hit.any(axis=1), infeas
+
+    def screen_coefficients(self, binary: np.ndarray) -> np.ndarray:
+        """Flag ``<=`` rows holding at least one reducible binary coefficient."""
+        tol = self.tol
+        a, b = self.a_ub, self.b_ub
+        _, cmax = self._activity_products(a)
+        max_act = cmax.sum(axis=1)
+        rest_max = max_act[:, None] - cmax
+        finite = np.isfinite(rest_max)
+        slack = b[:, None] - rest_max
+        unit_box = binary & (self.ub - self.lb == 1.0) & (self.lb == 0.0)
+        pos_hit = (a > 0) & (slack > tol) & (a > slack + tol)
+        neg_hit = (a < 0) & (-slack > tol) & (rest_max < b[:, None] - a - tol)
+        return (finite & unit_box[None, :] & (pos_hit | neg_hit)).any(axis=1)
+
+    # -- exact element-wise passes -------------------------------------------
+    def round_integral(self) -> bool:
+        """Snap integral variables' bounds inward to integers."""
+        tol, idx = self.tol, self.integral_idx
+        if idx.size == 0:
+            return False
+        lb_i, ub_i = self.lb[idx], self.ub[idx]
+        snapped_lo = np.ceil(lb_i - tol)
+        snapped_hi = np.floor(ub_i + tol)
+        up_lo = np.isfinite(lb_i) & (snapped_lo > lb_i + tol)
+        dn_hi = np.isfinite(ub_i) & (snapped_hi < ub_i - tol)
+        if not up_lo.any() and not dn_hi.any():
+            return False
+        self.lb[idx[up_lo]] = snapped_lo[up_lo]
+        self.ub[idx[dn_hi]] = snapped_hi[dn_hi]
+        self.tightened += int(np.sum(up_lo)) + int(np.sum(dn_hi))
+        return True
+
+    def tighten_row(self, coefficients, rhs: float, is_equality: bool) -> bool:
+        """Activity-based bound tightening of one row; True if bounds moved.
+
+        Vectorized over the row's support: every candidate bound uses the
+        row activity computed at entry (the per-variable updates of the
+        classic element-wise sweep are mutually independent within a
+        row), with equality rows running a second pass against the
+        maximum activity for the opposite-side bound.
+        """
+        nz = np.nonzero(coefficients)[0]
+        if nz.size == 0:
+            if rhs < -self.tol or (is_equality and abs(rhs) > self.tol):
+                self.infeasible = True
+            return False
+        coef = coefficients[nz]
+        lb_nz, ub_nz = self.lb[nz], self.ub[nz]
+        pos = coef > 0
+        contribution_min = np.where(pos, coef * lb_nz, coef * ub_nz)
+        contribution_max = np.where(pos, coef * ub_nz, coef * lb_nz)
+        min_activity = float(np.sum(contribution_min))
+        max_activity = float(np.sum(contribution_max))
+        if min_activity > rhs + 1e-7 or (is_equality and max_activity < rhs - 1e-7):
+            self.infeasible = True
+            return False
+
+        changed = False
+        # a_j x_j <= rhs - rest_min  (equality rows give both sides).
+        rest_min = min_activity - contribution_min
+        cand = (rhs - rest_min) / coef
+        finite = np.isfinite(rest_min)
+        upd_ub = finite & pos & (cand < ub_nz - 1e-9)
+        upd_lb = finite & ~pos & (cand > lb_nz + 1e-9)
+        if upd_ub.any():
+            self.ub[nz[upd_ub]] = cand[upd_ub]
+            changed = True
+        if upd_lb.any():
+            self.lb[nz[upd_lb]] = cand[upd_lb]
+            changed = True
+        self.tightened += int(np.sum(upd_ub)) + int(np.sum(upd_lb))
+        if is_equality:
+            # Opposite side, against current (possibly just-updated)
+            # bounds: a_j x_j >= rhs - rest_max.
+            lb_cur, ub_cur = self.lb[nz], self.ub[nz]
+            rest_max = max_activity - np.where(pos, coef * ub_cur, coef * lb_cur)
+            cand2 = (rhs - rest_max) / coef
+            finite2 = np.isfinite(rest_max)
+            upd2_lb = finite2 & pos & (cand2 > lb_cur + 1e-9)
+            upd2_ub = finite2 & ~pos & (cand2 < ub_cur - 1e-9)
+            if upd2_lb.any():
+                self.lb[nz[upd2_lb]] = cand2[upd2_lb]
+                changed = True
+            if upd2_ub.any():
+                self.ub[nz[upd2_ub]] = cand2[upd2_ub]
+                changed = True
+            self.tightened += int(np.sum(upd2_lb)) + int(np.sum(upd2_ub))
+        return changed
+
+    def reduce_row_coefficients(self, i: int, binary: np.ndarray) -> bool:
+        """Coefficient reduction on ``<=`` row ``i`` for binary variables.
+
+        On ``a_j x_j + R <= b`` with x_j in {0, 1}: whenever the rest of
+        the row can never use the full slack (Rmax < b for a_j > 0),
+        shrinking ``a_j`` to ``a_j - (b - Rmax)`` and ``b`` to ``Rmax``
+        leaves both integer assignments of x_j exactly as constrained as
+        before, while every fractional x_j is constrained harder.  The
+        rest-of-row maximum activity is maintained as a running total so
+        the pass is linear in the support size.
+        """
+        tol = self.tol
+        row = self.a_ub[i]
+        nz = np.nonzero(row)[0]
+        if nz.size == 0:
+            return False
+        lb_nz, ub_nz = self.lb[nz], self.ub[nz]
+        contrib = np.where(row[nz] > 0, row[nz] * ub_nz, row[nz] * lb_nz)
+        total = float(np.sum(contrib))
+        changed = False
+        for k, j in enumerate(nz):
+            if not binary[j] or self.ub[j] - self.lb[j] != 1.0 or self.lb[j] != 0.0:
+                continue
+            a = float(row[j])
+            if a == 0.0:
+                continue
+            rest_max = total - float(contrib[k])
+            if not math.isfinite(rest_max):
+                continue
+            b = float(self.b_ub[i])
+            if a > 0 and b - rest_max > tol and a > b - rest_max + tol:
+                new_a = a - (b - rest_max)
+                row[j] = new_a
+                self.b_ub[i] = rest_max
+                total += new_a - a  # a binary's contribution is a*1 = a
+                contrib[k] = new_a
+                self.coef_tightened += 1
+                changed = True
+            elif a < 0 and rest_max > b + tol and rest_max < b - a - tol:
+                # Complemented form of the same reduction: the new
+                # coefficient is ``b - rest_max`` (< 0), rhs unchanged.
+                row[j] = b - rest_max
+                # a < 0 contributes a*lb = 0 for a 0/1 variable: total
+                # and contrib[k] stay 0 under the new (negative) value.
+                self.coef_tightened += 1
+                changed = True
+        return changed
+
+    def drop_redundant_rows(self) -> int:
+        """Remove ``<=`` rows that can never bind under the final bounds."""
+        if not self.n_ub:
+            return 0
+        _, cmax = self._activity_products(self.a_ub)
+        max_activity = cmax.sum(axis=1)
+        keep = ~(np.isfinite(max_activity) & (max_activity <= self.b_ub + self.tol))
+        redundant = int(self.n_ub - np.sum(keep))
+        if redundant:
+            self.a_ub = self.a_ub[keep]
+            self.b_ub = self.b_ub[keep]
+        return redundant
+
+
 def presolve(form: MatrixForm, max_rounds: int = 20, tol: float = 1e-9) -> PresolveResult:
     """Tighten variable bounds and ``<=``-row coefficients by propagation.
 
@@ -67,191 +293,61 @@ def presolve(form: MatrixForm, max_rounds: int = 20, tol: float = 1e-9) -> Preso
         max_rounds: Maximum propagation sweeps.
         tol: Numerical tolerance.
     """
-    lb = form.lb.copy()
-    ub = form.ub.copy()
-    integrality = form.integrality
-    tightened = 0
+    prop = _Propagator(form, tol)
 
     # Integral variables start on integer bounds.
-    tightened += _round_integral_bounds(lb, ub, integrality, tol)
-    if np.any(lb > ub + tol):
-        return PresolveResult(form=None, proven_infeasible=True, tightened_bounds=tightened)
-
-    a_ub = form.a_ub.copy() if form.a_ub.size else form.a_ub
-    b_ub = form.b_ub.copy() if form.b_ub.size else form.b_ub
-    n_ub = a_ub.shape[0] if a_ub.size else 0
-    coef_tightened = 0
+    prop.round_integral()
+    if np.any(prop.lb > prop.ub + tol):
+        return PresolveResult(
+            form=None, proven_infeasible=True, tightened_bounds=prop.tightened
+        )
     binary = (
-        np.asarray(integrality, dtype=bool)
-        & np.isfinite(lb) & np.isfinite(ub)
+        np.asarray(form.integrality, dtype=bool)
+        & np.isfinite(prop.lb) & np.isfinite(prop.ub)
     )
+
+    def infeasible(rounds: int) -> PresolveResult:
+        return PresolveResult(
+            form=None, proven_infeasible=True,
+            tightened_bounds=prop.tightened,
+            coefficients_tightened=prop.coef_tightened, rounds=rounds,
+        )
 
     rounds = 0
-    for _ in range(max_rounds):
-        rounds += 1
-        changed = False
-        rows = []
-        for i in range(n_ub):
-            rows.append((a_ub[i], b_ub[i], False))
-        if form.a_eq.size:
-            for i in range(form.a_eq.shape[0]):
-                rows.append((form.a_eq[i], form.b_eq[i], True))
-        for coefficients, rhs, is_equality in rows:
-            nonzero = np.nonzero(coefficients)[0]
-            if nonzero.size == 0:
-                if rhs < -tol or (is_equality and abs(rhs) > tol):
-                    return PresolveResult(
-                        form=None, proven_infeasible=True,
-                        tightened_bounds=tightened,
-                        coefficients_tightened=coef_tightened, rounds=rounds,
-                    )
-                continue
-            # Activity bounds of the whole row, over nonzero entries only
-            # (a zero coefficient times an infinite bound would be nan).
-            nz_coef = coefficients[nonzero]
-            contribution_min = np.where(
-                nz_coef > 0, nz_coef * lb[nonzero], nz_coef * ub[nonzero]
-            )
-            contribution_max = np.where(
-                nz_coef > 0, nz_coef * ub[nonzero], nz_coef * lb[nonzero]
-            )
-            min_activity = float(np.sum(contribution_min))
-            max_activity = float(np.sum(contribution_max))
-            if min_activity > rhs + 1e-7:
-                return PresolveResult(
-                    form=None, proven_infeasible=True,
-                    tightened_bounds=tightened,
-                    coefficients_tightened=coef_tightened, rounds=rounds,
-                )
-            if is_equality and max_activity < rhs - 1e-7:
-                return PresolveResult(
-                    form=None, proven_infeasible=True,
-                    tightened_bounds=tightened,
-                    coefficients_tightened=coef_tightened, rounds=rounds,
-                )
-            for j in nonzero:
-                # Python-float arithmetic: ``inf - inf`` is a silent nan,
-                # caught by the isfinite guards below.
-                a = float(coefficients[j])
-                # Row without j's contribution.
-                rest_min = min_activity - min(a * float(lb[j]), a * float(ub[j]))
-                if not math.isfinite(rest_min):
+    with np.errstate(invalid="ignore", divide="ignore"):
+        for _ in range(max_rounds):
+            rounds += 1
+            changed = False
+            for a, b, equality in (
+                (prop.a_ub, prop.b_ub, False),
+                (prop.a_eq, prop.b_eq, True),
+            ):
+                if not a.size:
                     continue
-                # a * x_j <= rhs - rest_min  (for <=; equality gives both sides)
-                slack = rhs - rest_min
-                if a > 0:
-                    new_ub = slack / a
-                    if new_ub < ub[j] - 1e-9:
-                        ub[j] = new_ub
-                        changed = True
-                        tightened += 1
-                else:
-                    new_lb = slack / a
-                    if new_lb > lb[j] + 1e-9:
-                        lb[j] = new_lb
-                        changed = True
-                        tightened += 1
-                if is_equality:
-                    rest_max = max_activity - max(a * float(lb[j]), a * float(ub[j]))
-                    if math.isfinite(rest_max):
-                        slack_low = rhs - rest_max  # a * x_j >= slack_low
-                        if a > 0:
-                            new_lb = slack_low / a
-                            if new_lb > lb[j] + 1e-9:
-                                lb[j] = new_lb
-                                changed = True
-                                tightened += 1
-                        else:
-                            new_ub = slack_low / a
-                            if new_ub < ub[j] - 1e-9:
-                                ub[j] = new_ub
-                                changed = True
-                                tightened += 1
-        # Coefficient reduction on <= rows for binary variables.  On
-        # ``a_j x_j + R <= b`` with x_j in {0, 1}: whenever the rest of
-        # the row can never use the full slack (Rmax < b for a_j > 0),
-        # shrinking ``a_j`` to ``a_j - (b - Rmax)`` and ``b`` to ``Rmax``
-        # leaves both integer assignments of x_j exactly as constrained
-        # as before, while every fractional x_j is constrained harder.
-        for i in range(n_ub):
-            row = a_ub[i]
-            nz = np.nonzero(row)[0]
-            if nz.size == 0:
-                continue
-            for j in nz:
-                if not binary[j] or ub[j] - lb[j] != 1.0 or lb[j] != 0.0:
-                    continue
-                a = row[j]
-                rest = nz[nz != j]
-                rest_max = float(np.sum(np.where(
-                    row[rest] > 0, row[rest] * ub[rest], row[rest] * lb[rest]
-                )))
-                if not math.isfinite(rest_max):
-                    continue
-                b = float(b_ub[i])
-                if a > 0 and b - rest_max > tol and a > b - rest_max + tol:
-                    a_ub[i, j] = a - (b - rest_max)
-                    b_ub[i] = rest_max
-                    coef_tightened += 1
-                    changed = True
-                elif a < 0 and rest_max > b + tol and rest_max < b - a - tol:
-                    # Complemented form of the same reduction: the new
-                    # coefficient is ``b - rest_max`` (< 0), rhs unchanged.
-                    a_ub[i, j] = b - rest_max
-                    coef_tightened += 1
-                    changed = True
-        tightened += _round_integral_bounds(lb, ub, integrality, tol)
-        if np.any(lb > ub + 1e-7):
-            return PresolveResult(
-                form=None, proven_infeasible=True,
-                tightened_bounds=tightened,
-                coefficients_tightened=coef_tightened, rounds=rounds,
-            )
-        if not changed:
-            break
+                hit, infeas = prop.screen_bounds(a, b, equality)
+                for i in np.nonzero(hit | infeas)[0]:
+                    changed |= prop.tighten_row(a[i], float(b[i]), equality)
+                    if prop.infeasible:
+                        return infeasible(rounds)
+            if prop.n_ub:
+                for i in np.nonzero(prop.screen_coefficients(binary))[0]:
+                    changed |= prop.reduce_row_coefficients(int(i), binary)
+            changed |= prop.round_integral()
+            if np.any(prop.lb > prop.ub + 1e-7):
+                return infeasible(rounds)
+            if not changed:
+                break
 
-    # Drop <= rows that can never bind under the final bounds.
-    redundant = 0
-    if n_ub:
-        keep = np.ones(n_ub, dtype=bool)
-        for i in range(n_ub):
-            row = a_ub[i]
-            nz = np.nonzero(row)[0]
-            max_activity = float(np.sum(np.where(
-                row[nz] > 0, row[nz] * ub[nz], row[nz] * lb[nz]
-            )))
-            if math.isfinite(max_activity) and max_activity <= b_ub[i] + tol:
-                keep[i] = False
-                redundant += 1
-        if redundant:
-            a_ub = a_ub[keep]
-            b_ub = b_ub[keep]
-
-    reduced = dataclasses.replace(form, a_ub=a_ub, b_ub=b_ub, lb=lb, ub=ub)
-    fixed = int(np.sum(np.isfinite(lb) & np.isfinite(ub) & (ub - lb <= tol)))
+        redundant = prop.drop_redundant_rows()
+    reduced = dataclasses.replace(
+        form, a_ub=prop.a_ub, b_ub=prop.b_ub, lb=prop.lb, ub=prop.ub
+    )
+    fixed = int(np.sum(
+        np.isfinite(prop.lb) & np.isfinite(prop.ub) & (prop.ub - prop.lb <= tol)
+    ))
     return PresolveResult(
         form=reduced, fixed_variables=fixed,
-        tightened_bounds=tightened,
-        coefficients_tightened=coef_tightened,
+        tightened_bounds=prop.tightened,
+        coefficients_tightened=prop.coef_tightened,
         redundant_rows=redundant, rounds=rounds,
     )
-
-
-def _round_integral_bounds(
-    lb: np.ndarray, ub: np.ndarray, integrality: np.ndarray, tol: float
-) -> int:
-    """Snap integral variables' bounds inward to integers; returns changes."""
-    changes = 0
-    idx = np.nonzero(integrality)[0]
-    for j in idx:
-        if math.isfinite(lb[j]):
-            snapped = math.ceil(lb[j] - tol)
-            if snapped > lb[j] + tol:
-                lb[j] = float(snapped)
-                changes += 1
-        if math.isfinite(ub[j]):
-            snapped = math.floor(ub[j] + tol)
-            if snapped < ub[j] - tol:
-                ub[j] = float(snapped)
-                changes += 1
-    return changes

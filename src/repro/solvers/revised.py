@@ -27,21 +27,42 @@ scratch on every call; this module instead keeps one
   returns :attr:`RevisedStatus.NEEDS_FALLBACK` so callers can re-solve with
   the dense tableau oracle.  :func:`solve_with_fallback` packages that
   policy; correctness never depends on the incremental path.
-* **Sparse kernel** — the basis is factorized with
-  ``scipy.sparse.linalg.splu`` on the CSC form of the constraint matrix
-  and kept current between refactorizations by an eta file of pivot
-  updates (:class:`_SparseLUFactor`).  The SOS scheduling MILPs are a few
-  nonzeros per row, so the LU of a basis is far cheaper than the dense
-  explicit inverse it replaces; when SciPy is unavailable the engine
-  silently degrades to the old explicit-inverse kernel
-  (:class:`_DenseFactor`) with identical pivoting behavior.
-* **Partial pricing** — entering columns are priced over fixed,
-  index-ordered column blocks scanned from a rotating block pointer, so
-  per-pivot pricing cost stops scaling with the full column count on
-  large models.  Models at or below ``PRICING_SINGLE_BLOCK`` columns use
-  one block, which is exactly classic full Dantzig pricing; block order
-  and in-block argmax tie-breaks are fixed, so pricing stays
-  deterministic for any block size.
+* **Two basis kernels** — bases above :data:`DENSE_KERNEL_MAX` rows are
+  factorized with ``scipy.sparse.linalg.splu`` on the CSC form of the
+  constraint matrix and kept current between refactorizations by an eta
+  file of pivot updates whose vectors are stored on their nonzero support
+  (:class:`_SparseLUFactor`).  Small bases — the few-row LPs that
+  dominate branch-and-bound node throughput — use the explicit dense
+  inverse (:class:`_DenseFactor`), which both factorizes and solves
+  several times faster below roughly a hundred rows and answers BTRANs of
+  unit vectors by a plain row read.  When SciPy is unavailable every size
+  runs on the dense kernel.
+* **Refactorization policy** — instead of a fixed pivot cadence, the
+  sparse kernel refactorizes when the eta file's accumulated fill
+  (:data:`ETA_FILL_FACTOR` nonzeros per row) or length
+  (:data:`ETA_MAX_UPDATES`) makes applying it costlier than a fresh
+  factorization, and either kernel refactorizes immediately when the
+  pivot element seen from the row (BTRAN) and column (FTRAN) sides
+  drifts — a direct numerical-error signal.
+* **Pricing** — the default rule is devex reference-framework pricing
+  (``SolverOptions.pricing="devex"``): the dual loop picks the leaving
+  row by weighted violation and the primal loop maintains the full
+  reduced-cost vector incrementally, choosing the entering column by
+  ``d^2 / weight`` with deterministic (lowest-index) tie-breaks.  Weight
+  updates use only quantities the pivot already computes.  The previous
+  partial-Dantzig block pricing is retained under ``pricing="dantzig"``:
+  entering columns are priced over fixed, index-ordered column blocks
+  scanned from a rotating block pointer (models at or below
+  :data:`PRICING_SINGLE_BLOCK` columns use one block, which is exactly
+  classic full Dantzig pricing).  Both rules are deterministic, so
+  serial/parallel byte-identity holds under either.
+* **Bound-flipping dual ratio test** — the dual loop walks the sorted
+  ratio-test breakpoints and *flips* every boxed candidate whose flip
+  keeps the dual slope positive, entering only at the blocking
+  breakpoint.  On 0/1 scheduling MILPs most candidates sit on a bound,
+  so a single dual pivot absorbs what would otherwise be a chain of
+  degenerate pivots; flipped columns are folded into one aggregated
+  FTRAN.
 """
 
 from __future__ import annotations
@@ -73,16 +94,40 @@ FEAS_TOL = 1e-7
 DUAL_TOL = 1e-7
 #: Smallest pivot magnitude accepted without refactorizing first.
 PIVOT_TOL = 1e-8
-#: Pivots between periodic refactorizations of the basis inverse.
+#: Dense-kernel pivot cadence (the explicit inverse accumulates rank-one
+#: update error, so it refactorizes on a fixed schedule).
 REFACTOR_EVERY = 64
 #: Consecutive non-improving pivots before switching to Bland's rule.
 STALL_LIMIT = 64
-#: Column counts up to this threshold are priced as one block (classic
-#: full Dantzig pricing); larger models default to blocks of
-#: :data:`PRICING_BLOCK` columns.
+#: Column counts up to this threshold are priced as one block in dantzig
+#: mode (classic full Dantzig pricing); larger models default to blocks
+#: of :data:`PRICING_BLOCK` columns.
 PRICING_SINGLE_BLOCK = 512
 #: Default pricing block width for models above the single-block cutoff.
 PRICING_BLOCK = 256
+#: Bases at or below this many rows use the explicit dense inverse; the
+#: crossover where ``splu`` beats ``np.linalg.inv`` (and LU solves beat
+#: dense matvecs) sits near one hundred rows on SOS-shaped bases.
+DENSE_KERNEL_MAX = 96
+#: Sparse kernel: refactorize when the eta file holds this many updates.
+ETA_MAX_UPDATES = 128
+#: Sparse kernel: refactorize when accumulated eta nonzeros exceed this
+#: many multiples of the row count — the point where applying the eta
+#: file rivals the cost of a fresh factorization.
+ETA_FILL_FACTOR = 6
+#: Relative row-vs-column pivot disagreement that forces a refactorization.
+DRIFT_TOL = 1e-7
+#: Devex weights above this trigger a reference-framework reset.
+DEVEX_RESET_LIMIT = 1e8
+#: Bases at or below this many rows take the scalar micro kernel for warm
+#: repairs: at a handful of rows every numpy call costs more than the
+#: arithmetic it performs, so the hot branch-and-bound path runs on plain
+#: Python floats and falls back to the vector engine for anything it
+#: cannot certify.
+MICRO_KERNEL_MAX = 16
+#: Pivot budget of one micro-kernel repair; exhausting it hands the basis
+#: to the general engine (same role as the dual loop's crawl budget).
+MICRO_BUDGET = 100
 
 #: Nonbasic at lower bound.
 AT_LB = 0
@@ -140,12 +185,23 @@ class PivotCounters:
         phase1_pivots: Pivots spent restoring primal feasibility.
         primal_pivots: Pivots spent in the optimizing primal loop.
         refactorizations: Times the basis inverse was rebuilt from scratch.
+        bound_flips: Nonbasic bound-to-bound moves (dual ratio-test flips
+            plus primal/phase-1 full-box steps) that avoided a pivot.
+        devex_resets: Devex reference-framework resets, counting the
+            initialization of each loop's weights (zero under dantzig
+            pricing).
+        ftran_sparsity: Entering-column FTRAN results whose nonzero count
+            stayed at or below half the row count — the hypersparse
+            regime where eta updates touch only a slice of the basis.
     """
 
     dual_pivots: int = 0
     phase1_pivots: int = 0
     primal_pivots: int = 0
     refactorizations: int = 0
+    bound_flips: int = 0
+    devex_resets: int = 0
+    ftran_sparsity: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain mapping form (what the trace event embeds)."""
@@ -154,6 +210,9 @@ class PivotCounters:
             "phase1_pivots": self.phase1_pivots,
             "primal_pivots": self.primal_pivots,
             "refactorizations": self.refactorizations,
+            "bound_flips": self.bound_flips,
+            "devex_resets": self.devex_resets,
+            "ftran_sparsity": self.ftran_sparsity,
         }
 
 
@@ -394,26 +453,197 @@ def extend_basis(basis: Basis, sf: StandardFormLP, added: int) -> Basis:
     return Basis(basic, status)
 
 
+def _pick_factor(sf: StandardFormLP):
+    """Kernel selection: dense inverse for small bases, sparse LU above."""
+    if HAVE_SPARSE and sf.m > DENSE_KERNEL_MAX:
+        return _SparseLUFactor(sf)
+    return _DenseFactor(sf)
+
+
+def _row_times_matrix(y: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """``y @ a`` exploiting a sparse ``y``: sum only its nonzero rows.
+
+    BTRANs of unit vectors are frequently hypersparse; when fewer than a
+    quarter of the entries are nonzero, restricting the product to those
+    rows beats the full dense GEMV.
+    """
+    nz = np.flatnonzero(y)
+    if nz.size * 4 <= y.shape[0]:
+        return y[nz] @ a[nz]
+    return y @ a
+
+
+class _DenseFactor:
+    """Explicit-inverse basis kernel for small bases (and SciPy-less runs).
+
+    Keeps ``B^{-1}`` as a dense matrix and applies the classic
+    product-form update after each pivot.  Below roughly a hundred rows
+    this both refactorizes and solves faster than the sparse LU — and a
+    BTRAN of a unit vector is a plain row read of the inverse, which the
+    dual loop and the cut separator lean on heavily.
+    """
+
+    def __init__(self, sf: StandardFormLP) -> None:
+        self.sf = sf
+        self.b_inv: Optional[np.ndarray] = None
+        self.updates = 0
+
+    def refactor(self, basic: np.ndarray) -> bool:
+        """Rebuild the inverse from scratch; ``False`` if singular."""
+        self.updates = 0
+        try:
+            self.b_inv = np.linalg.inv(self.sf.a[:, basic])
+        except np.linalg.LinAlgError:
+            return False
+        return bool(np.all(np.isfinite(self.b_inv)))
+
+    def ftran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``B x = rhs``."""
+        return self.b_inv @ rhs
+
+    def ftran_column(self, j: int) -> np.ndarray:
+        """Solve ``B x = A[:, j]`` (the entering-column FTRAN)."""
+        return self.b_inv @ self.sf.a[:, j]
+
+    def btran(self, u: np.ndarray) -> np.ndarray:
+        """Solve ``y B = u`` (equivalently ``B^T y^T = u^T``)."""
+        return u @ self.b_inv
+
+    def btran_unit(self, i: int) -> np.ndarray:
+        """Solve ``y B = e_i`` — row ``i`` of the explicit inverse."""
+        return self.b_inv[i]
+
+    def update(self, row: int, w: np.ndarray) -> None:
+        """Product-form update after ``w = ftran(entering column)`` pivots
+        into ``row``."""
+        pivot = w[row]
+        self.b_inv[row] /= pivot
+        others = w.copy()
+        others[row] = 0.0
+        self.b_inv -= np.outer(others, self.b_inv[row])
+        self.updates += 1
+
+    def should_refactor(self) -> bool:
+        """Fixed cadence: rank-one updates accumulate error linearly."""
+        return self.updates >= REFACTOR_EVERY
+
+
+class _SparseLUFactor:
+    """Sparse-LU basis kernel: ``splu`` of the CSC basis plus an eta file.
+
+    A refactorization slices the basic columns out of the form's cached
+    CSC matrix and LU-factorizes them.  Each pivot appends one eta vector
+    stored on its nonzero support — ``(row, support, values, w[row])``
+    with ``w = ftran(entering column)`` captured *before* the update — so
+    applying an eta touches only the rows the pivot actually changed.
+    FTRAN applies the etas oldest-first after the LU solve, BTRAN
+    newest-first before the transposed solve.  :meth:`should_refactor`
+    bounds the eta file by accumulated fill rather than a fixed count:
+    hypersparse pivots let the file grow long, dense ones force an early
+    rebuild.
+    """
+
+    def __init__(self, sf: StandardFormLP) -> None:
+        self.sf = sf
+        self.lu = None
+        self.etas: List[Tuple[int, np.ndarray, np.ndarray, float]] = []
+        self.fill = 0
+        self._rhs_scratch = np.zeros(sf.m)
+
+    def refactor(self, basic: np.ndarray) -> bool:
+        """Factorize the basis from scratch; ``False`` means singular."""
+        self.etas.clear()
+        self.fill = 0
+        try:
+            self.lu = _splu(self.sf.a_csc()[:, basic].tocsc())
+        except RuntimeError:  # "Factor is exactly singular"
+            return False
+        probe = self.lu.solve(np.ones(self.sf.m))
+        return bool(np.all(np.isfinite(probe)))
+
+    def ftran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``B x = rhs`` through the LU factors, then the eta file."""
+        x = self.lu.solve(np.asarray(rhs, dtype=float))
+        for row, support, values, w_row in self.etas:
+            pivot = x[row] / w_row
+            if pivot != 0.0:
+                x[support] -= values * pivot
+                x[row] = pivot
+        return x
+
+    def ftran_column(self, j: int) -> np.ndarray:
+        """Solve ``B x = A[:, j]`` from the CSC column, allocation-light.
+
+        The unit-ish RHS is scattered into a preallocated scratch vector
+        (zeroed on its previous support), so fetching a column never
+        materializes a dense slice of ``A``.
+        """
+        csc = self.sf.a_csc()
+        start, stop = csc.indptr[j], csc.indptr[j + 1]
+        rows = csc.indices[start:stop]
+        scratch = self._rhs_scratch
+        scratch[rows] = csc.data[start:stop]
+        x = self.lu.solve(scratch)
+        scratch[rows] = 0.0
+        for row, support, values, w_row in self.etas:
+            pivot = x[row] / w_row
+            if pivot != 0.0:
+                x[support] -= values * pivot
+                x[row] = pivot
+        return x
+
+    def btran(self, u: np.ndarray) -> np.ndarray:
+        """Solve ``y B = u``: eta file newest-first, then ``L U`` transposed."""
+        u = np.array(u, dtype=float)
+        for row, support, values, w_row in reversed(self.etas):
+            u[row] += (u[row] - u[support] @ values) / w_row
+        return self.lu.solve(u, trans="T")
+
+    def btran_unit(self, i: int) -> np.ndarray:
+        """Solve ``y B = e_i`` through a scattered unit scratch vector."""
+        scratch = self._rhs_scratch
+        scratch[i] = 1.0
+        u = scratch.copy()
+        scratch[i] = 0.0
+        for row, support, values, w_row in reversed(self.etas):
+            u[row] += (u[row] - u[support] @ values) / w_row
+        return self.lu.solve(u, trans="T")
+
+    def update(self, row: int, w: np.ndarray) -> None:
+        """Append one eta vector (on its nonzero support) for the pivot of
+        ``w`` into ``row``."""
+        support = np.flatnonzero(w)
+        self.etas.append((row, support, w[support].copy(), float(w[row])))
+        self.fill += support.size
+
+    def should_refactor(self) -> bool:
+        """Fill-driven policy: rebuild when applying the eta file rivals
+        the cost of a fresh factorization."""
+        return (
+            len(self.etas) >= ETA_MAX_UPDATES
+            or self.fill >= ETA_FILL_FACTOR * self.sf.m
+        )
+
+
 class TableauAccess:
     """Read rows of the simplex tableau ``B^{-1} A`` at a given basis.
 
     The Gomory separator needs the tableau row of each fractional basic
     variable.  This refactorizes the basis once (reusing the engine's
-    sparse-LU / dense kernels) and answers each row with one BTRAN plus a
-    pricing-style product — no simplex state is touched.
+    dense/sparse kernels) and answers each row with one unit-vector BTRAN
+    plus a sparsity-aware pricing product — no simplex state is touched,
+    and every row in a cut round rides the same factorization.
     """
 
     def __init__(self, sf: StandardFormLP, basis: Basis) -> None:
         self.sf = sf
         self.basis = basis
-        self.factor = _SparseLUFactor(sf) if HAVE_SPARSE else _DenseFactor(sf)
+        self.factor = _pick_factor(sf)
         self.ok = self.factor.refactor(basis.basic)
 
     def row(self, i: int) -> np.ndarray:
         """Tableau row ``i`` over all columns: ``(B^{-1} A)[i, :]``."""
-        e = np.zeros(self.sf.m)
-        e[i] = 1.0
-        return self.factor.btran(e) @ self.sf.a
+        return _row_times_matrix(self.factor.btran_unit(i), self.sf.a)
 
     def basic_values(self) -> np.ndarray:
         """``x_B = B^{-1}(b - N x_N)`` under the basis's nonbasic statuses."""
@@ -424,12 +654,341 @@ class TableauAccess:
         return self.factor.ftran(sf.b - sf.a @ x)
 
 
+def _micro_lists(sf: StandardFormLP):
+    """Row- and column-major Python lists of ``A``, cached on the form.
+
+    The cache key is the column count: :meth:`StandardFormLP.append_ub_rows`
+    is the only way the matrix changes and it always grows ``ncols``, so a
+    stale cache can never be returned.  Bounds and objective mutate freely
+    without touching the matrix, which is why they are *not* cached here.
+    """
+    cached = getattr(sf, "_micro_cache", None)
+    if cached is not None and cached[0] == sf.ncols:
+        return cached[1], cached[2]
+    rows = sf.a.tolist()
+    cols = sf.a.T.tolist()
+    sf._micro_cache = (sf.ncols, rows, cols)
+    return rows, cols
+
+
+def _solve_micro(
+    sf: StandardFormLP, basis: Basis, max_iterations: int
+) -> Optional[RevisedResult]:
+    """Scalar warm repair for tiny bases; ``None`` means take the general path.
+
+    A warm branch-and-bound re-solve on a basis of a few rows spends an
+    order of magnitude more time in numpy call dispatch than in arithmetic,
+    so this kernel runs the same bounded-variable dual simplex — worst
+    bound violation out, bound-flipping ratio test, product-form inverse
+    update — on plain Python floats.  It is deliberately narrow: it only
+    accepts a dual-feasible start with no free columns, and anything it
+    cannot certify (budget exhausted, tiny pivot, residual or optimality
+    check failure at the end) returns ``None`` so the vector engine redoes
+    the solve from the same input basis.  The input ``sf``/``basis`` are
+    never mutated.
+    """
+    m, n, ncols = sf.m, sf.n, sf.ncols
+    status = basis.status.tolist()
+    if AT_FREE in status:
+        return None
+    basic = basis.basic.tolist()
+    lo = sf.lo.tolist()
+    up = sf.up.tolist()
+    cost = sf.cost.tolist()
+    rows_l, cols = _micro_lists(sf)
+    try:
+        binv = np.linalg.inv(sf.a[:, basis.basic]).tolist()
+    except np.linalg.LinAlgError:
+        return None
+    refactors = 1
+
+    # x_B = B^{-1} (b - N x_N) with every nonbasic at its status bound.
+    r = sf.b.tolist()
+    for j in range(ncols):
+        s = status[j]
+        if s == BASIC:
+            continue
+        v = up[j] if s == AT_UB else lo[j]
+        if v != 0.0:
+            cj = cols[j]
+            for i in range(m):
+                r[i] -= v * cj[i]
+    xb = [0.0] * m
+    for i in range(m):
+        bi = binv[i]
+        acc = 0.0
+        for k in range(m):
+            acc += bi[k] * r[k]
+        xb[i] = acc
+
+    # Reduced costs d = c - (c_B B^{-1}) A, plus the dual-feasibility gate:
+    # a start the dual simplex cannot repair goes to the general engine.
+    y = [0.0] * m
+    for i in range(m):
+        cb = cost[basic[i]]
+        if cb != 0.0:
+            bi = binv[i]
+            for k in range(m):
+                y[k] += cb * bi[k]
+    d = [0.0] * ncols
+    for j in range(ncols):
+        cj = cols[j]
+        acc = 0.0
+        for k in range(m):
+            acc += y[k] * cj[k]
+        dj = cost[j] - acc
+        d[j] = dj
+        s = status[j]
+        if s == BASIC or up[j] - lo[j] <= FEAS_TOL:
+            continue
+        if s == AT_LB:
+            if dj < -DUAL_TOL:
+                return None
+        elif dj > DUAL_TOL:
+            return None
+
+    iters = 0
+    flips_total = 0
+    ftran_sparse = 0
+    budget = min(max_iterations, MICRO_BUDGET)
+    while True:
+        # Leaving row: worst absolute bound violation (first max wins).
+        row = -1
+        worst = FEAS_TOL
+        row_below = False
+        for i in range(m):
+            xi = xb[i]
+            bj = basic[i]
+            v = lo[bj] - xi
+            if v > worst:
+                worst = v
+                row = i
+                row_below = True
+            v = xi - up[bj]
+            if v > worst:
+                worst = v
+                row = i
+                row_below = False
+        if row < 0:
+            break  # primal feasible — certify optimality below
+        if iters >= budget:
+            return None  # crawling: the general engine takes over
+
+        # Tableau row alpha = (row of B^{-1}) A over the movable nonbasics;
+        # eligible candidates keep d sign-feasible after the pivot.
+        yr = binv[row]
+        alphas: List[Tuple[int, float]] = []
+        cand: List[Tuple[float, int, float]] = []
+        for j in range(ncols):
+            s = status[j]
+            if s == BASIC or up[j] - lo[j] <= FEAS_TOL:
+                continue
+            cj = cols[j]
+            aj = 0.0
+            for k in range(m):
+                aj += yr[k] * cj[k]
+            alphas.append((j, aj))
+            dirj = -aj if row_below else aj
+            if s == AT_LB:
+                if dirj > PIVOT_TOL:
+                    cand.append((abs(d[j]) / dirj, j, dirj))
+            elif dirj < -PIVOT_TOL:
+                cand.append((abs(d[j]) / -dirj, j, dirj))
+        if not cand:
+            return RevisedResult(
+                RevisedStatus.INFEASIBLE, None, math.nan, iters, None,
+                counters=PivotCounters(
+                    dual_pivots=iters, refactorizations=refactors,
+                    bound_flips=flips_total, ftran_sparsity=ftran_sparse,
+                ),
+            )
+        cand.sort(key=lambda t: t[0])
+
+        # Bound-flipping ratio test: flip boxed candidates while the dual
+        # slope stays positive; the first blocker enters.
+        slope = worst
+        flips: List[int] = []
+        entering = -1
+        for ratio, j, dirj in cand:
+            gain = dirj if dirj > 0.0 else -dirj
+            gain *= up[j] - lo[j]
+            if math.isfinite(gain) and slope - gain > FEAS_TOL:
+                flips.append(j)
+                slope -= gain
+            else:
+                entering = j
+                break
+        if entering == -1:
+            return RevisedResult(
+                RevisedStatus.INFEASIBLE, None, math.nan, iters, None,
+                counters=PivotCounters(
+                    dual_pivots=iters, refactorizations=refactors,
+                    bound_flips=flips_total, ftran_sparsity=ftran_sparse,
+                ),
+            )
+
+        # Entering column w = B^{-1} A_q and the pivot element.
+        ce = cols[entering]
+        w = [0.0] * m
+        nnz = 0
+        for i in range(m):
+            bi = binv[i]
+            acc = 0.0
+            for k in range(m):
+                acc += bi[k] * ce[k]
+            w[i] = acc
+            if acc != 0.0:
+                nnz += 1
+        if 2 * nnz <= m:
+            ftran_sparse += 1
+        wr = w[row]
+        if -PIVOT_TOL < wr < PIVOT_TOL:
+            return None  # tiny pivot: let the vector engine sort it out
+
+        if flips:
+            # Status swaps plus the rhs shift of each flipped column.
+            for j in flips:
+                span = up[j] - lo[j]
+                if status[j] == AT_LB:
+                    status[j] = AT_UB
+                    delta = span
+                else:
+                    status[j] = AT_LB
+                    delta = -span
+                cj = cols[j]
+                for i in range(m):
+                    bi = binv[i]
+                    acc = 0.0
+                    for k in range(m):
+                        acc += bi[k] * cj[k]
+                    xb[i] -= delta * acc
+            flips_total += len(flips)
+
+        leaving = basic[row]
+        # Dual step: d stays current through one scalar AXPY over the
+        # movable nonbasics; the leaving column lands on -theta exactly.
+        theta = d[entering] / wr
+        if theta != 0.0:
+            for j, aj in alphas:
+                if aj != 0.0:
+                    d[j] -= theta * aj
+        d[entering] = 0.0
+        d[leaving] = -theta
+
+        # Primal step: leaving travels to its violated bound.
+        target = lo[leaving] if row_below else up[leaving]
+        v_ent = up[entering] if status[entering] == AT_UB else lo[entering]
+        t_primal = (xb[row] - target) / wr
+        if t_primal != 0.0:
+            for i in range(m):
+                xb[i] -= w[i] * t_primal
+        xb[row] = v_ent + t_primal
+
+        status[entering] = BASIC
+        status[leaving] = AT_LB if row_below else AT_UB
+        basic[row] = entering
+
+        # Product-form inverse update.
+        brow = binv[row]
+        for k in range(m):
+            brow[k] /= wr
+        for i in range(m):
+            if i == row:
+                continue
+            wi = w[i]
+            if wi != 0.0:
+                bi = binv[i]
+                for k in range(m):
+                    bi[k] -= wi * brow[k]
+        iters += 1
+        if iters % REFACTOR_EVERY == 0:
+            # Same safeguard cadence as the dense kernel; at this size a
+            # fresh inverse costs a few microseconds.
+            try:
+                binv = np.linalg.inv(sf.a[:, basic]).tolist()
+            except np.linalg.LinAlgError:
+                return None
+            refactors += 1
+
+    # Certify: recompute reduced costs from scratch and require dual
+    # feasibility (any improving column means primal work remains — the
+    # general engine finishes it), then verify the assembled point.
+    y = [0.0] * m
+    for i in range(m):
+        cb = cost[basic[i]]
+        if cb != 0.0:
+            bi = binv[i]
+            for k in range(m):
+                y[k] += cb * bi[k]
+    for j in range(ncols):
+        s = status[j]
+        if s == BASIC or up[j] - lo[j] <= FEAS_TOL:
+            continue
+        cj = cols[j]
+        acc = 0.0
+        for k in range(m):
+            acc += y[k] * cj[k]
+        dj = cost[j] - acc
+        if s == AT_LB:
+            if dj < -DUAL_TOL:
+                return None
+        elif dj > DUAL_TOL:
+            return None
+
+    xs = [0.0] * ncols
+    for j in range(ncols):
+        xs[j] = up[j] if status[j] == AT_UB else lo[j]
+    for i in range(m):
+        xs[basic[i]] = xb[i]
+    scale = 1.0
+    for v in sf.b.tolist():
+        av = -v if v < 0.0 else v
+        if av + 1.0 > scale:
+            scale = av + 1.0
+    tol = 1e-6 * scale
+    bl = sf.b.tolist()
+    for i in range(m):
+        ar = rows_l[i]
+        acc = 0.0
+        for j in range(ncols):
+            xj = xs[j]
+            if xj != 0.0:
+                acc += ar[j] * xj
+        if not (-tol <= acc - bl[i] <= tol):
+            return None
+    for j in range(ncols):
+        xj = xs[j]
+        if xj < lo[j] - 1e-6 or xj > up[j] + 1e-6:
+            return None
+
+    objective = sf.c0
+    for j in range(n):
+        cj = cost[j]
+        if cj != 0.0:
+            objective += cj * xs[j]
+    return RevisedResult(
+        RevisedStatus.OPTIMAL,
+        np.array(xs[:n]),
+        float(objective),
+        iters,
+        Basis(
+            np.array(basic, dtype=basis.basic.dtype),
+            np.array(status, dtype=basis.status.dtype),
+        ),
+        counters=PivotCounters(
+            dual_pivots=iters, refactorizations=refactors,
+            bound_flips=flips_total, ftran_sparsity=ftran_sparse,
+        ),
+    )
+
+
 def solve_revised(
     sf: StandardFormLP,
     basis: Optional[Basis] = None,
     max_iterations: int = 20_000,
     pricing_block_size: int = 0,
     want_reduced_costs: bool = False,
+    pricing: str = "devex",
 ) -> RevisedResult:
     """Solve ``sf``, optionally warm-starting from a previous basis.
 
@@ -439,12 +998,14 @@ def solve_revised(
             input is copied, never mutated.  ``None`` means cold start
             from the all-logical basis.
         max_iterations: Pivot budget; exceeding it yields NEEDS_FALLBACK.
-        pricing_block_size: Partial-pricing block width; ``0`` picks
-            automatically (single block at or below
+        pricing_block_size: Partial-pricing block width in dantzig mode;
+            ``0`` picks automatically (single block at or below
             :data:`PRICING_SINGLE_BLOCK` columns, :data:`PRICING_BLOCK`
             above).
         want_reduced_costs: Capture structural reduced costs on the
             optimal result (costs one extra BTRAN + pricing product).
+        pricing: ``"devex"`` (default) for reference-framework pricing or
+            ``"dantzig"`` for the legacy partial-Dantzig blocks.
 
     Returns:
         A :class:`RevisedResult`; on OPTIMAL its ``basis`` warm-starts the
@@ -455,12 +1016,17 @@ def solve_revised(
     if sf.m == 0:
         return RevisedResult(RevisedStatus.NEEDS_FALLBACK, None, math.nan, 0, None)
     warm = basis is not None
+    if warm and not want_reduced_costs and sf.m <= MICRO_KERNEL_MAX:
+        micro = _solve_micro(sf, basis, max_iterations)
+        if micro is not None:
+            return micro
     if basis is None:
         basis = sf.logical_basis()
     engine = _Engine(
         sf, basis.copy(), max_iterations, warm=warm,
         pricing_block_size=pricing_block_size,
         want_reduced_costs=want_reduced_costs,
+        pricing=pricing,
     )
     return engine.run()
 
@@ -471,6 +1037,7 @@ def solve_with_fallback(
     max_iterations: int = 20_000,
     pricing_block_size: int = 0,
     want_reduced_costs: bool = False,
+    pricing: str = "devex",
 ) -> Tuple[LPResult, Optional[Basis], bool]:
     """Solve via the revised path, falling back to the dense tableau.
 
@@ -491,6 +1058,7 @@ def solve_with_fallback(
         sf, basis, max_iterations=max_iterations,
         pricing_block_size=pricing_block_size,
         want_reduced_costs=want_reduced_costs,
+        pricing=pricing,
     )
     if revised.status is not RevisedStatus.NEEDS_FALLBACK:
         status = {
@@ -521,95 +1089,8 @@ def solve_with_fallback(
     return dense, None, True
 
 
-class _DenseFactor:
-    """Explicit-inverse basis kernel — the SciPy-less fallback.
-
-    Keeps ``B^{-1}`` as a dense matrix and applies the classic
-    product-form update after each pivot; exactly the representation the
-    engine used before the sparse kernel existed.
-    """
-
-    def __init__(self, sf: StandardFormLP) -> None:
-        self.sf = sf
-        self.b_inv: Optional[np.ndarray] = None
-
-    def refactor(self, basic: np.ndarray) -> bool:
-        """Rebuild the inverse from scratch; ``False`` if singular."""
-        try:
-            self.b_inv = np.linalg.inv(self.sf.a[:, basic])
-        except np.linalg.LinAlgError:
-            return False
-        return bool(np.all(np.isfinite(self.b_inv)))
-
-    def ftran(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``B x = rhs``."""
-        return self.b_inv @ rhs
-
-    def btran(self, u: np.ndarray) -> np.ndarray:
-        """Solve ``y B = u`` (equivalently ``B^T y^T = u^T``)."""
-        return u @ self.b_inv
-
-    def update(self, row: int, w: np.ndarray) -> None:
-        """Product-form update after ``w = ftran(entering column)`` pivots
-        into ``row``."""
-        pivot = w[row]
-        self.b_inv[row] /= pivot
-        others = w.copy()
-        others[row] = 0.0
-        self.b_inv -= np.outer(others, self.b_inv[row])
-
-
-class _SparseLUFactor:
-    """Sparse-LU basis kernel: ``splu`` of the CSC basis plus an eta file.
-
-    A refactorization slices the basic columns out of the form's cached
-    CSC matrix and LU-factorizes them (orders of magnitude cheaper than
-    the dense explicit inverse on sparse SOS models).  Each pivot appends
-    one eta vector ``(row, w)`` with ``w = ftran(entering column)``
-    captured *before* the update; FTRAN applies the etas oldest-first
-    after the LU solve, BTRAN newest-first before the transposed solve.
-    The engine's ``REFACTOR_EVERY`` cadence bounds the eta file, so
-    per-solve cost never creeps.
-    """
-
-    def __init__(self, sf: StandardFormLP) -> None:
-        self.sf = sf
-        self.lu = None
-        self.etas: List[Tuple[int, np.ndarray]] = []
-
-    def refactor(self, basic: np.ndarray) -> bool:
-        """Factorize the basis from scratch; ``False`` means singular."""
-        self.etas.clear()
-        try:
-            self.lu = _splu(self.sf.a_csc()[:, basic].tocsc())
-        except RuntimeError:  # "Factor is exactly singular"
-            return False
-        probe = self.lu.solve(np.ones(self.sf.m))
-        return bool(np.all(np.isfinite(probe)))
-
-    def ftran(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``B x = rhs`` through the LU factors, then the eta file."""
-        x = self.lu.solve(np.asarray(rhs, dtype=float))
-        for row, w in self.etas:
-            pivot = x[row] / w[row]
-            x -= w * pivot
-            x[row] = pivot
-        return x
-
-    def btran(self, u: np.ndarray) -> np.ndarray:
-        """Solve ``y B = u``: eta file newest-first, then ``L U`` transposed."""
-        u = np.array(u, dtype=float)
-        for row, w in reversed(self.etas):
-            u[row] += (u[row] - u @ w) / w[row]
-        return self.lu.solve(u, trans="T")
-
-    def update(self, row: int, w: np.ndarray) -> None:
-        """Append one eta vector for the pivot of ``w`` into ``row``."""
-        self.etas.append((row, w.copy()))
-
-
 class _Engine:
-    """One revised-simplex solve: state, pivots, and the two pivot rules."""
+    """One revised-simplex solve: state, pivots, and the pivot rules."""
 
     def __init__(
         self,
@@ -619,6 +1100,7 @@ class _Engine:
         warm: bool = False,
         pricing_block_size: int = 0,
         want_reduced_costs: bool = False,
+        pricing: str = "devex",
     ) -> None:
         self.sf = sf
         self.basic = basis.basic
@@ -628,7 +1110,15 @@ class _Engine:
         self.want_reduced_costs = want_reduced_costs
         self.iterations = 0
         self.counters = PivotCounters()
-        self.factor = _SparseLUFactor(sf) if HAVE_SPARSE else _DenseFactor(sf)
+        self.factor = _pick_factor(sf)
+        self.devex = pricing != "dantzig"
+        # Dual devex row weights engage only on bases large enough for the
+        # reference framework to mature: weights reset at every dual loop,
+        # so on the few-pivot warm repairs of small bases they never move
+        # far from 1 and only add noise to the (otherwise max-violation)
+        # row choice.  The primal loop keeps devex at every size — cold
+        # starts run long enough for the framework to pay off.
+        self.devex_rows = self.devex and sf.m > DENSE_KERNEL_MAX
         self.x_basic: Optional[np.ndarray] = None
         # Columns that can never move: fixed boxes (includes eq artificials).
         self.fixed = np.isfinite(sf.lo) & np.isfinite(sf.up) & (sf.up - sf.lo <= FEAS_TOL)
@@ -643,6 +1133,11 @@ class _Engine:
             for start in range(0, sf.ncols, width)
         ]
         self._pblock = 0  # rotating pointer: block where pricing starts
+        # Preallocated scratch: the per-pivot ratio test and devex weights
+        # reuse these for the life of the solve.
+        self._steps = np.empty(sf.m)
+        self._row_weights = np.ones(sf.m)
+        self._col_weights = np.ones(sf.ncols)
 
     # -- linear algebra -----------------------------------------------------
     def refactor(self) -> bool:
@@ -667,13 +1162,20 @@ class _Engine:
     def reduced_costs(self) -> np.ndarray:
         """d = c - c_B B^{-1} A over all columns."""
         y = self.factor.btran(self.sf.cost[self.basic])
-        return self.sf.cost - y @ self.sf.a
+        return self.sf.cost - _row_times_matrix(y, self.sf.a)
+
+    def entering_column(self, j: int) -> np.ndarray:
+        """FTRAN of column ``j``, tracking the hypersparsity counter."""
+        w = self.factor.ftran_column(j)
+        if 2 * np.count_nonzero(w) <= self.sf.m:
+            self.counters.ftran_sparsity += 1
+        return w
 
     # -- pricing ------------------------------------------------------------
     def _price(
         self, y: np.ndarray, phase1: bool, use_bland: bool
     ) -> Optional[Tuple[int, float]]:
-        """Deterministic partial pricing: pick the entering column.
+        """Deterministic partial pricing (dantzig mode): entering column.
 
         Scans the fixed, index-ordered column blocks and returns
         ``(entering, d_entering)`` from the first block holding an
@@ -716,6 +1218,20 @@ class _Engine:
             return start + local, float(d[local])
         return None
 
+    def _improving_mask(self, d: np.ndarray) -> np.ndarray:
+        """Columns whose reduced cost improves the objective (full scan)."""
+        stat = self.status
+        return ~self.fixed & (
+            ((stat == AT_LB) & (d < -DUAL_TOL))
+            | ((stat == AT_UB) & (d > DUAL_TOL))
+            | ((stat == AT_FREE) & (np.abs(d) > DUAL_TOL))
+        )
+
+    def reset_col_weights(self) -> None:
+        """Start a fresh devex reference framework over the columns."""
+        self._col_weights.fill(1.0)
+        self.counters.devex_resets += 1
+
     # -- feasibility checks -------------------------------------------------
     def primal_violations(self) -> np.ndarray:
         """Signed bound violation of each basic variable (0 when feasible)."""
@@ -757,12 +1273,14 @@ class _Engine:
         violations = self.primal_violations()
         counters = self.counters
         if np.any(np.abs(violations) > FEAS_TOL):
-            if self.warm and self.dual_feasible(self.reduced_costs()):
-                before = self.iterations
-                status = self.dual_loop()
-                counters.dual_pivots += self.iterations - before
-                if status is not None:
-                    return status
+            if self.warm:
+                d = self.reduced_costs()
+                if self.dual_feasible(d):
+                    before = self.iterations
+                    status = self.dual_loop(d)
+                    counters.dual_pivots += self.iterations - before
+                    if status is not None:
+                        return status
             # Phase 1 is a no-op when the dual loop already restored
             # feasibility; it takes over when the start was not dual
             # feasible or the dual loop gave up its budget mid-repair.
@@ -808,42 +1326,65 @@ class _Engine:
         )
 
     # -- dual simplex -------------------------------------------------------
-    def dual_loop(self) -> Optional[RevisedResult]:
+    def dual_loop(self, d: np.ndarray) -> Optional[RevisedResult]:
         """Pivot until every basic variable is inside its box.
 
-        Requires a dual-feasible start; preserves dual feasibility, so on
-        exit (primal feasible too) the basis is optimal.  A warm repair
-        normally takes a handful of pivots, so the loop runs on a short
-        budget: exhausting it means the start was degenerate enough to
-        crawl, and the engine abandons the dual route mid-repair (the
-        basis stays valid) and lets primal phase 1 finish the job.
-        Returns a final result only on infeasibility or trouble; ``None``
-        means "continue with the primal machinery".
+        Requires a dual-feasible start (reduced costs ``d`` at entry);
+        preserves dual feasibility, so on exit (primal feasible too) the
+        basis is optimal.  The reduced-cost vector and the basic values
+        are maintained *incrementally* — one AXPY each per pivot against
+        the tableau row/column the ratio test already computed — instead
+        of being recomputed from scratch every iteration, and both are
+        refreshed whenever the factorization is rebuilt.
+
+        The ratio test is the bound-flipping (long-step) variant: sorted
+        by ratio, every boxed candidate whose flip keeps the dual slope
+        positive is flipped in place (status swap, one aggregated FTRAN
+        for the right-hand-side shift) and the entering column is the
+        first blocking breakpoint.  Leaving-row choice is devex-weighted
+        violation on bases past the dense-kernel threshold, worst
+        absolute violation on small bases and in dantzig mode.
+
+        A warm repair normally takes a handful of pivots, so the loop
+        runs on a short budget: exhausting it means the start was
+        degenerate enough to crawl, and the engine abandons the dual
+        route mid-repair (the basis stays valid) and lets primal phase 1
+        finish the job.  Returns a final result only on infeasibility or
+        trouble; ``None`` means "continue with the primal machinery".
         """
         sf = self.sf
-        since_refactor = 0
+        counters = self.counters
+        weights = self._row_weights
+        if self.devex_rows:
+            weights.fill(1.0)
+            counters.devex_resets += 1
         budget = self.iterations + min(self.max_iterations, max(sf.m // 2, 100))
         while True:
-            violations = self.primal_violations()
-            worst = int(np.argmax(np.abs(violations)))
-            if abs(violations[worst]) <= FEAS_TOL:
+            lo_b = sf.lo[self.basic]
+            up_b = sf.up[self.basic]
+            violations = (
+                np.minimum(self.x_basic - lo_b, 0.0)
+                + np.maximum(self.x_basic - up_b, 0.0)
+            )
+            absviol = np.abs(violations)
+            if self.devex_rows:
+                score = np.where(absviol > FEAS_TOL, absviol * absviol / weights, -1.0)
+                row = int(np.argmax(score))
+            else:
+                row = int(np.argmax(absviol))
+            if absviol[row] <= FEAS_TOL:
                 return None
             if self.iterations >= self.max_iterations:
                 return self._bail()
             if self.iterations >= budget:
                 return None  # crawling — hand the basis to phase 1
 
-            row = worst
             leaving = self.basic[row]
             below = violations[row] < 0  # leaving variable returns to its lb
-            e_row = np.zeros(sf.m)
-            e_row[row] = 1.0
-            alpha = self.factor.btran(e_row) @ sf.a
+            alpha = _row_times_matrix(self.factor.btran_unit(row), sf.a)
             # Entering candidates must keep d sign-feasible after the pivot.
             direction = -alpha if below else alpha
-            d = self.reduced_costs()
-            movable = ~self.fixed & (self.status != BASIC)
-            eligible = movable & (
+            eligible = ~self.fixed & (self.status != BASIC) & (
                 ((self.status == AT_LB) & (direction > PIVOT_TOL))
                 | ((self.status == AT_UB) & (direction < -PIVOT_TOL))
                 | ((self.status == AT_FREE) & (np.abs(direction) > PIVOT_TOL))
@@ -853,29 +1394,105 @@ class _Engine:
                 return RevisedResult(
                     RevisedStatus.INFEASIBLE, None, math.nan, self.iterations, None
                 )
-            ratios = np.abs(d[idx]) / np.abs(direction[idx])
-            best = float(ratios.min())
-            entering = int(idx[ratios <= best + DUAL_TOL].min())
+            dir_idx = direction[idx]
+            ratios = np.abs(d[idx]) / np.abs(dir_idx)
 
-            w = self.factor.ftran(sf.a[:, entering])
-            if abs(w[row]) < PIVOT_TOL:
+            # Bound-flipping ratio test: walk breakpoints in ratio order,
+            # flipping boxed candidates while the dual slope stays
+            # positive; the first blocking candidate enters.
+            order = np.argsort(ratios, kind="stable")
+            slope = float(absviol[row])
+            flips: List[int] = []
+            entering = -1
+            for k in order:
+                j = int(idx[k])
+                span = sf.up[j] - sf.lo[j]
+                gain = abs(float(dir_idx[k])) * span
+                if math.isfinite(gain) and slope - gain > FEAS_TOL:
+                    flips.append(j)
+                    slope -= gain
+                else:
+                    entering = j
+                    break
+            if entering == -1:
+                # Every breakpoint flipped and the slope never hit zero:
+                # the dual is unbounded, so the primal is infeasible.
+                return RevisedResult(
+                    RevisedStatus.INFEASIBLE, None, math.nan, self.iterations, None
+                )
+
+            w = self.entering_column(entering)
+            alpha_q = float(alpha[entering])
+            if abs(w[row]) < PIVOT_TOL or abs(w[row] - alpha_q) > DRIFT_TOL * (
+                1.0 + abs(alpha_q)
+            ):
+                # Tiny or drifting pivot: rebuild and retry the iteration
+                # from refreshed state.
                 if not self.refactor():
                     return self._bail()
                 self.recompute_basics()
-                w = self.factor.ftran(sf.a[:, entering])
+                d = self.reduced_costs()
+                w = self.entering_column(entering)
                 if abs(w[row]) < PIVOT_TOL:
                     return self._bail()
+
+            # Apply the accumulated bound flips: statuses swap and the
+            # basic values absorb one aggregated FTRAN of the shifted
+            # right-hand side.
+            if flips:
+                shift = np.empty(len(flips))
+                for t, j in enumerate(flips):
+                    span_j = sf.up[j] - sf.lo[j]
+                    if self.status[j] == AT_LB:
+                        self.status[j] = AT_UB
+                        shift[t] = span_j
+                    else:
+                        self.status[j] = AT_LB
+                        shift[t] = -span_j
+                self.x_basic -= self.factor.ftran(sf.a[:, flips] @ shift)
+                counters.bound_flips += len(flips)
+
+            # Dual step: one AXPY keeps d current (d[leaving] lands on
+            # -theta automatically since the leaving column's tableau row
+            # entry is 1).
+            theta = float(d[entering]) / w[row]
+            if theta != 0.0:
+                d -= theta * alpha
+            d[entering] = 0.0
+
+            # Primal step: the leaving variable travels to its violated
+            # bound; every other basic moves along the entering column.
+            target = lo_b[row] if below else up_b[row]
+            v_entering = (
+                sf.up[entering] if self.status[entering] == AT_UB else
+                0.0 if self.status[entering] == AT_FREE else sf.lo[entering]
+            )
+            t_primal = (float(self.x_basic[row]) - target) / w[row]
+            if t_primal != 0.0:
+                self.x_basic -= w * t_primal
+            self.x_basic[row] = v_entering + t_primal
+
+            if self.devex_rows:
+                # Reference-framework update from the entering column the
+                # pivot already computed: w_i/w_r is the tableau ratio.
+                gamma_r = float(weights[row])
+                ratio2 = (w / w[row]) ** 2
+                np.maximum(weights, ratio2 * gamma_r, out=weights)
+                weights[row] = max(gamma_r / (w[row] * w[row]), 1.0)
+                if float(weights.max()) > DEVEX_RESET_LIMIT:
+                    weights.fill(1.0)
+                    counters.devex_resets += 1
+
             self.status[entering] = BASIC
             self.status[leaving] = AT_LB if below else AT_UB
             self.basic[row] = entering
             self.factor.update(row, w)
             self.iterations += 1
-            since_refactor += 1
-            if since_refactor >= REFACTOR_EVERY:
+            if self.factor.should_refactor():
                 if not self.refactor():
                     return self._bail()
-                since_refactor = 0
-            self.recompute_basics()
+                self.recompute_basics()
+                d = self.reduced_costs()
 
     # -- primal phase 1 -----------------------------------------------------
     def phase1_loop(self) -> Optional[RevisedResult]:
@@ -883,15 +1500,17 @@ class _Engine:
 
         Bounded-variable composite phase 1: minimize the sum of bound
         violations of the basic variables, whose gradient is ``-1`` for a
-        basic below its lower bound and ``+1`` above its upper.  Pivots are
-        short-step — the entering variable blocks at the first breakpoint,
-        which includes an infeasible basic *reaching* its violated bound
-        (it leaves the basis feasible).  Returns ``None`` once primal
-        feasible; a local optimum with residual infeasibility yields
-        NEEDS_FALLBACK so the dense oracle delivers the verdict.
+        basic below its lower bound and ``+1`` above its upper.  The
+        gradient changes with every pivot, so the phase-1 reduced costs
+        are recomputed per iteration through the block pricer (a devex
+        reference framework has nothing stable to reference here).
+        Pivots are short-step — the entering variable blocks at the first
+        breakpoint, which includes an infeasible basic *reaching* its
+        violated bound (it leaves the basis feasible).  Returns ``None``
+        once primal feasible; a local optimum with residual infeasibility
+        yields NEEDS_FALLBACK so the dense oracle delivers the verdict.
         """
         sf = self.sf
-        since_refactor = 0
         stall = 0
         use_bland = False
         last_infeas = math.inf
@@ -924,13 +1543,14 @@ class _Engine:
             else:
                 sign = 1.0
 
-            w = self.factor.ftran(sf.a[:, entering])
+            w = self.entering_column(entering)
             delta = sign * w  # basic variables move by -delta per unit step
             lo_b = sf.lo[self.basic]
             up_b = sf.up[self.basic]
             inside = ~below & ~above
             xv = self.x_basic
-            steps = np.full(sf.m, np.inf)
+            steps = self._steps
+            steps.fill(np.inf)
             dec = delta > PIVOT_TOL  # basic decreases as the step grows
             inc = delta < -PIVOT_TOL  # basic increases
             # Breakpoints: a feasible basic blocks at the bound it would
@@ -955,6 +1575,7 @@ class _Engine:
                 self.x_basic = self.x_basic - delta * step
                 self.status[entering] = AT_UB if sign > 0 else AT_LB
                 self.iterations += 1
+                self.counters.bound_flips += 1
             else:
                 blocking = np.nonzero(steps <= step + FEAS_TOL)[0]
                 if use_bland:
@@ -983,12 +1604,10 @@ class _Engine:
                 self.basic[row] = entering
                 self.factor.update(row, w)
                 self.iterations += 1
-                since_refactor += 1
-                if since_refactor >= REFACTOR_EVERY:
+                if self.factor.should_refactor():
                     if not self.refactor():
                         return self._bail()
                     self.recompute_basics()
-                    since_refactor = 0
 
             if infeas < last_infeas - FEAS_TOL:
                 stall = 0
@@ -1002,23 +1621,46 @@ class _Engine:
     def primal_loop(self) -> Optional[RevisedResult]:
         """Pivot from a primal-feasible basis until no column improves.
 
-        Dantzig pricing with a switch to Bland's rule after a stall (the
-        classic anti-cycling safeguard).  Returns a final result only on
-        unboundedness or trouble; ``None`` means "optimal, go finish".
+        Devex mode (the default) maintains the full reduced-cost vector
+        across pivots — pricing is a vectorized argmax of ``d^2/weight``
+        with no per-iteration BTRAN — and updates the reference-framework
+        weights from the pivot row it computes for the reduced-cost AXPY.
+        Dantzig mode reprices blocks from scratch each iteration exactly
+        as the legacy engine did.  Both switch to Bland's rule after a
+        stall (the classic anti-cycling safeguard).  Returns a final
+        result only on unboundedness or trouble; ``None`` means "optimal,
+        go finish".
         """
         sf = self.sf
-        since_refactor = 0
         stall = 0
         use_bland = False
         last_objective = math.inf
+        d: Optional[np.ndarray] = None
+        weights = self._col_weights
+        if self.devex:
+            d = self.reduced_costs()
+            self.reset_col_weights()
         while True:
             if self.iterations >= self.max_iterations:
                 return self._bail()
-            y = self.factor.btran(sf.cost[self.basic])
-            candidate = self._price(y, phase1=False, use_bland=use_bland)
-            if candidate is None:
-                return None
-            entering, d_entering = candidate
+            if self.devex:
+                improving = np.nonzero(self._improving_mask(d))[0]
+                if improving.size == 0:
+                    return None
+                if use_bland:
+                    entering = int(improving[0])
+                else:
+                    d_imp = d[improving]
+                    entering = int(improving[int(np.argmax(
+                        d_imp * d_imp / weights[improving]
+                    ))])
+                d_entering = float(d[entering])
+            else:
+                y = self.factor.btran(sf.cost[self.basic])
+                candidate = self._price(y, phase1=False, use_bland=use_bland)
+                if candidate is None:
+                    return None
+                entering, d_entering = candidate
             # Direction of travel: increase from lb (or free with d<0),
             # decrease from ub (or free with d>0).
             if self.status[entering] == AT_UB or (
@@ -1028,12 +1670,13 @@ class _Engine:
             else:
                 sign = 1.0
 
-            w = self.factor.ftran(sf.a[:, entering])
+            w = self.entering_column(entering)
             delta = sign * w  # basic variables move by -delta per unit step
-            lo_b = self.sf.lo[self.basic]
-            up_b = self.sf.up[self.basic]
+            lo_b = sf.lo[self.basic]
+            up_b = sf.up[self.basic]
             # Blocking step for each basic variable.
-            steps = np.full(sf.m, np.inf)
+            steps = self._steps
+            steps.fill(np.inf)
             decreasing = delta > PIVOT_TOL
             increasing = delta < -PIVOT_TOL
             steps[decreasing] = (self.x_basic[decreasing] - lo_b[decreasing]) / delta[decreasing]
@@ -1048,10 +1691,12 @@ class _Engine:
             step = max(step, 0.0)
 
             if span <= limit:
-                # Bound flip: the entering variable crosses its whole box.
+                # Bound flip: the entering variable crosses its whole box
+                # — no basis change, so d and the weights are untouched.
                 self.x_basic = self.x_basic - delta * step
                 self.status[entering] = AT_UB if sign > 0 else AT_LB
                 self.iterations += 1
+                self.counters.bound_flips += 1
             else:
                 blocking = np.nonzero(steps <= step + FEAS_TOL)[0]
                 if use_bland:
@@ -1063,12 +1708,35 @@ class _Engine:
                     if not self.refactor():
                         return self._bail()
                     self.recompute_basics()
+                    if self.devex:
+                        d = self.reduced_costs()
                     continue
                 entering_value = (
                     (sf.up[entering] if self.status[entering] == AT_UB else
                      0.0 if self.status[entering] == AT_FREE else sf.lo[entering])
                     + sign * step
                 )
+                if self.devex:
+                    # One unit BTRAN + sparsity-aware product per pivot
+                    # keeps d current and feeds the weight update.
+                    alpha_r = _row_times_matrix(self.factor.btran_unit(row), sf.a)
+                    alpha_rq = float(alpha_r[entering])
+                    if abs(alpha_rq - w[row]) > DRIFT_TOL * (1.0 + abs(w[row])):
+                        if not self.refactor():
+                            return self._bail()
+                        self.recompute_basics()
+                        d = self.reduced_costs()
+                        continue
+                    theta = float(d[entering]) / alpha_rq
+                    if theta != 0.0:
+                        d -= theta * alpha_r
+                    d[entering] = 0.0
+                    gamma_q = float(weights[entering])
+                    ratio2 = (alpha_r / alpha_rq) ** 2
+                    np.maximum(weights, ratio2 * gamma_q, out=weights)
+                    weights[leaving] = max(gamma_q / (alpha_rq * alpha_rq), 1.0)
+                    if float(weights.max()) > DEVEX_RESET_LIMIT:
+                        self.reset_col_weights()
                 self.x_basic = self.x_basic - delta * step
                 self.x_basic[row] = entering_value
                 self.status[entering] = BASIC
@@ -1078,12 +1746,12 @@ class _Engine:
                 self.basic[row] = entering
                 self.factor.update(row, w)
                 self.iterations += 1
-                since_refactor += 1
-                if since_refactor >= REFACTOR_EVERY:
+                if self.factor.should_refactor():
                     if not self.refactor():
                         return self._bail()
                     self.recompute_basics()
-                    since_refactor = 0
+                    if self.devex:
+                        d = self.reduced_costs()
 
             objective = float(sf.cost[self.basic] @ self.x_basic)
             if objective < last_objective - DUAL_TOL:

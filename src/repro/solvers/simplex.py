@@ -1,9 +1,15 @@
 """A from-scratch dense two-phase primal simplex solver.
 
-This is the LP engine underneath :mod:`repro.solvers.bozo` (the
-branch-and-bound reimplementation of Hafer's *Bozo*, which the paper used
-through the commercial XLP simplex).  It is deliberately a classic
-textbook tableau method, vectorized with numpy:
+This is the correctness oracle and fallback path underneath
+:mod:`repro.solvers.bozo` (the branch-and-bound reimplementation of
+Hafer's *Bozo*, which the paper used through the commercial XLP
+simplex).  The production hot path is the incremental revised simplex in
+:mod:`repro.solvers.revised`; this tableau engine re-solves anything the
+incremental path declines to certify, runs every node when
+``SolverOptions(warm_start=False)`` restores the original per-node
+engine, and serves as the ground truth the revised engine is
+property-tested against.  It is deliberately a classic textbook tableau
+method, vectorized with numpy:
 
 * variables are shifted/split so every column is nonnegative,
 * finite upper bounds become explicit rows,
@@ -23,8 +29,6 @@ import math
 from typing import Optional, Tuple
 
 import numpy as np
-
-from repro.errors import SolverError
 
 #: Feasibility / pivot tolerance used throughout the tableau method.
 EPS = 1e-9
@@ -369,9 +373,3 @@ def _simplex_core(
                 use_bland = True
 
     return LPStatus.ITERATION_LIMIT, iterations
-
-
-def assert_finite(array: np.ndarray, label: str) -> None:
-    """Raise :class:`SolverError` when an array contains NaN/inf."""
-    if not np.all(np.isfinite(array)):
-        raise SolverError(f"{label} contains non-finite entries")

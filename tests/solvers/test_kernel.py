@@ -1,0 +1,352 @@
+"""Property tests for the PR-10 kernel work: pricing, flips, micro kernel.
+
+Four claims the rebuilt hot path makes, each checked against the dense
+tableau oracle or against the solver's own alternative code path:
+
+* **Pricing is a speed knob, not a semantics knob** — devex and dantzig
+  must land on the same optimal objective on every LP and MILP, paper
+  examples included.
+* **The bound-flipping ratio test is exact** — long dual steps through
+  boxed columns must reproduce the oracle objective while actually
+  flipping (the counter proves the path is exercised).
+* **The scalar micro kernel is invisible** — on tiny warm re-solves it
+  must agree with the vector engine, decline anything it cannot certify
+  (free columns), never mutate its inputs, and leave the branch-and-bound
+  tree byte-identical to the general path.
+* **The cut loop knows when to stop** — once cuts stop closing root gap
+  the loop exits early with ``reason="tailing_off"`` on its trace event.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.milp.model import Model, VarType
+from repro.obs import MemoryTraceSink
+from repro.solvers import revised
+from repro.solvers.base import SolverOptions
+from repro.solvers.bozo import BozoSolver
+from repro.solvers.revised import (
+    AT_FREE,
+    Basis,
+    RevisedStatus,
+    StandardFormLP,
+    _solve_micro,
+    solve_revised,
+)
+from repro.solvers.simplex import solve_lp
+from tests.solvers.test_parallel import market_split
+from tests.solvers.test_revised import (
+    OBJECTIVE_TOL,
+    assert_matches_oracle,
+    random_sos_like_lp,
+)
+
+
+def branch_chain(rng, sf, lb, ub, steps=6):
+    """Yield B&B-style bound mutations: floor an upper or ceil a lower."""
+    cur_lb, cur_ub = lb.copy(), ub.copy()
+    for _ in range(steps):
+        j = int(rng.integers(0, sf.n))
+        if rng.random() < 0.5:
+            cur_ub = cur_ub.copy()
+            cur_ub[j] = max(cur_lb[j], np.floor(cur_ub[j] * rng.random()))
+        else:
+            cur_lb = cur_lb.copy()
+            cur_lb[j] = min(cur_ub[j], np.ceil(cur_lb[j] + rng.random()))
+        yield cur_lb, cur_ub
+
+
+class TestPricingEquivalence:
+    def test_devex_matches_dantzig_on_random_lps(self):
+        """Both pricing rules find the same optimum on ~40 cold LPs."""
+        rng = np.random.default_rng(31)
+        agreed = 0
+        for _ in range(40):
+            c, a_ub, b_ub, a_eq, b_eq, lb, ub = random_sos_like_lp(rng)
+            devex = solve_revised(
+                StandardFormLP(c, a_ub, b_ub, a_eq, b_eq, lb, ub),
+                pricing="devex",
+            )
+            dantzig = solve_revised(
+                StandardFormLP(c, a_ub, b_ub, a_eq, b_eq, lb, ub),
+                pricing="dantzig",
+            )
+            if RevisedStatus.NEEDS_FALLBACK in (devex.status, dantzig.status):
+                continue
+            assert devex.status == dantzig.status
+            if devex.status is RevisedStatus.OPTIMAL:
+                scale = 1.0 + abs(dantzig.objective)
+                assert abs(devex.objective - dantzig.objective) <= (
+                    OBJECTIVE_TOL * scale
+                )
+                agreed += 1
+        assert agreed >= 30
+
+    def test_devex_matches_dantzig_on_warm_chains(self):
+        """Pricing must not change warm-start answers along branch chains."""
+        rng = np.random.default_rng(32)
+        chains = 0
+        for _ in range(10):
+            c, a_ub, b_ub, a_eq, b_eq, lb, ub = random_sos_like_lp(rng)
+            sf_d = StandardFormLP(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            sf_z = StandardFormLP(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            root_d = solve_revised(sf_d, pricing="devex")
+            root_z = solve_revised(sf_z, pricing="dantzig")
+            if RevisedStatus.OPTIMAL not in (root_d.status,):
+                continue
+            if root_z.status is not RevisedStatus.OPTIMAL:
+                continue
+            chains += 1
+            basis_d, basis_z = root_d.basis, root_z.basis
+            for cur_lb, cur_ub in branch_chain(rng, sf_d, lb, ub):
+                sf_d.set_bounds(cur_lb, cur_ub)
+                sf_z.set_bounds(cur_lb, cur_ub)
+                warm_d = solve_revised(sf_d, basis_d, pricing="devex")
+                warm_z = solve_revised(sf_z, basis_z, pricing="dantzig")
+                fallback = RevisedStatus.NEEDS_FALLBACK
+                if fallback in (warm_d.status, warm_z.status):
+                    continue
+                assert warm_d.status == warm_z.status
+                if warm_d.status is RevisedStatus.OPTIMAL:
+                    scale = 1.0 + abs(warm_z.objective)
+                    assert abs(warm_d.objective - warm_z.objective) <= (
+                        OBJECTIVE_TOL * scale
+                    )
+                    basis_d, basis_z = warm_d.basis, warm_z.basis
+        assert chains >= 6
+
+    def test_devex_matches_dantzig_end_to_end(self):
+        """Full MILP solves agree: same optimum under either pricing."""
+        model = market_split(3, 10, 0)
+        objectives = {}
+        for pricing in ("devex", "dantzig"):
+            solution = BozoSolver(
+                SolverOptions(pricing=pricing, branching="most_fractional")
+            ).solve(model)
+            objectives[pricing] = solution.objective
+        assert objectives["devex"] == pytest.approx(objectives["dantzig"])
+
+
+class TestBoundFlips:
+    def test_flips_happen_and_answers_match_oracle(self):
+        """Tight boxes force long dual steps: the flip counter must move
+        while every warm answer still matches the dense tableau."""
+        rng = np.random.default_rng(41)
+        flips = 0
+        checked = 0
+        for _ in range(20):
+            c, a_ub, b_ub, a_eq, b_eq, lb, ub = random_sos_like_lp(rng)
+            ub = np.minimum(ub, 1.0)  # tight boxes: flips become likely
+            sf = StandardFormLP(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            root = solve_revised(sf)
+            if root.status is not RevisedStatus.OPTIMAL:
+                continue
+            basis = root.basis
+            for cur_lb, cur_ub in branch_chain(rng, sf, lb, ub):
+                sf.set_bounds(cur_lb, cur_ub)
+                warm = solve_revised(sf, basis)
+                if warm.counters is not None:
+                    flips += warm.counters.bound_flips
+                if warm.status is RevisedStatus.NEEDS_FALLBACK:
+                    continue
+                dense = solve_lp(c, a_ub, b_ub, a_eq, b_eq, cur_lb, cur_ub)
+                assert_matches_oracle(warm, dense)
+                checked += 1
+                if warm.status is RevisedStatus.OPTIMAL:
+                    basis = warm.basis
+        assert checked >= 40
+        assert flips > 0
+
+    def test_all_columns_boxed_at_bound(self):
+        """Every structural at a bound with a unit box: the ratio test has
+        only flip candidates until the last one enters."""
+        c = np.array([-1.0, -2.0, -3.0])
+        a_ub = np.array([[1.0, 1.0, 1.0]])
+        b_ub = np.array([1.5])
+        sf = StandardFormLP(
+            c, a_ub, b_ub, np.zeros((0, 3)), np.zeros(0),
+            np.zeros(3), np.ones(3),
+        )
+        root = solve_revised(sf)
+        assert root.status is RevisedStatus.OPTIMAL
+        assert root.objective == pytest.approx(-4.0)  # x3=1, x2 split
+        # Child: fix x2 to zero; the re-solve must flip its way back.
+        sf.set_bounds(np.zeros(3), np.array([1.0, 1.0, 0.0]))
+        warm = solve_revised(sf, root.basis)
+        assert warm.status is RevisedStatus.OPTIMAL
+        assert warm.objective == pytest.approx(-2.5)
+
+    def test_free_variable_lp_still_answers(self):
+        """Free columns (no finite bound either side) take the general
+        path and must match the oracle."""
+        c = np.array([1.0, 1.0])
+        a_eq = np.array([[1.0, -1.0]])
+        b_eq = np.array([0.25])
+        sf = StandardFormLP(
+            c, np.zeros((0, 2)), np.zeros(0), a_eq, b_eq,
+            np.array([-np.inf, 0.0]), np.array([np.inf, 2.0]),
+        )
+        result = solve_revised(sf)
+        dense = solve_lp(
+            c, np.zeros((0, 2)), np.zeros(0), a_eq, b_eq,
+            np.array([-np.inf, 0.0]), np.array([np.inf, 2.0]),
+        )
+        if result.status is not RevisedStatus.NEEDS_FALLBACK:
+            assert_matches_oracle(result, dense)
+
+
+class TestDegeneracy:
+    def test_degenerate_ties_solve_under_both_pricings(self):
+        """Massively degenerate LP (duplicate rows, tied costs): the stall
+        detector must hand over to Bland's rule rather than cycle."""
+        n = 6
+        c = np.ones(n)
+        row = np.ones((1, n))
+        a_ub = np.vstack([row, row, row, 2 * row])  # duplicates + scaling
+        b_ub = np.array([3.0, 3.0, 3.0, 6.0])
+        for pricing in ("devex", "dantzig"):
+            sf = StandardFormLP(
+                c, a_ub, b_ub, np.zeros((0, n)), np.zeros(0),
+                np.zeros(n), np.ones(n),
+            )
+            result = solve_revised(sf, pricing=pricing)
+            assert result.status is RevisedStatus.OPTIMAL
+            assert result.objective == pytest.approx(0.0)
+
+
+class TestMicroKernel:
+    def _warm_pairs(self, seed, cases=15):
+        """(sf, basis, lb, ub) tuples whose next solve is micro-eligible."""
+        rng = np.random.default_rng(seed)
+        for _ in range(cases):
+            c, a_ub, b_ub, a_eq, b_eq, lb, ub = random_sos_like_lp(rng)
+            sf = StandardFormLP(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            if sf.m > revised.MICRO_KERNEL_MAX:
+                continue
+            root = solve_revised(sf)
+            if root.status is not RevisedStatus.OPTIMAL:
+                continue
+            yield rng, sf, root.basis, lb, ub, (c, a_ub, b_ub, a_eq, b_eq)
+
+    def test_micro_agrees_with_general_engine(self):
+        """Wherever the micro kernel answers, the vector engine (forced
+        via want_reduced_costs) must produce the same status/objective."""
+        answered = 0
+        for rng, sf, basis, lb, ub, data in self._warm_pairs(51):
+            c, a_ub, b_ub, a_eq, b_eq = data
+            for cur_lb, cur_ub in branch_chain(rng, sf, lb, ub):
+                sf.set_bounds(cur_lb, cur_ub)
+                micro = _solve_micro(sf, basis, 20_000)
+                general = solve_revised(sf, basis, want_reduced_costs=True)
+                if micro is None:
+                    continue
+                answered += 1
+                assert micro.status == general.status
+                if micro.status is RevisedStatus.OPTIMAL:
+                    scale = 1.0 + abs(general.objective)
+                    assert abs(micro.objective - general.objective) <= (
+                        OBJECTIVE_TOL * scale
+                    )
+                    dense = solve_lp(
+                        c, a_ub, b_ub, a_eq, b_eq, cur_lb, cur_ub
+                    )
+                    assert_matches_oracle(micro, dense)
+                    basis = micro.basis
+        assert answered >= 25  # the kernel must actually engage
+
+    def test_micro_declines_free_columns(self):
+        """A basis carrying AT_FREE is outside the kernel's contract."""
+        c = np.array([1.0, 1.0])
+        sf = StandardFormLP(
+            c, np.array([[1.0, 1.0]]), np.array([1.5]),
+            np.zeros((0, 2)), np.zeros(0),
+            np.array([-np.inf, 0.0]), np.array([np.inf, 1.0]),
+        )
+        basis = sf.logical_basis()
+        assert AT_FREE in basis.status.tolist()
+        assert _solve_micro(sf, basis, 20_000) is None
+
+    def test_micro_never_mutates_inputs(self):
+        """The input form and basis must survive a micro solve untouched
+        (branch-and-bound children share a parent's basis)."""
+        c = np.array([1.0, 2.0])
+        sf = StandardFormLP(
+            c, np.array([[1.0, 1.0]]), np.array([1.5]),
+            np.zeros((0, 2)), np.zeros(0), np.zeros(2), np.ones(2),
+        )
+        root = solve_revised(sf)
+        assert root.status is RevisedStatus.OPTIMAL
+        snapshot = Basis(root.basis.basic.copy(), root.basis.status.copy())
+        lo, up = sf.lo.copy(), sf.up.copy()
+        sf.set_bounds(np.zeros(2), np.array([1.0, 0.0]))
+        lo2, up2 = sf.lo.copy(), sf.up.copy()
+        result = _solve_micro(sf, root.basis, 20_000)
+        assert result is not None
+        assert np.array_equal(root.basis.basic, snapshot.basic)
+        assert np.array_equal(root.basis.status, snapshot.status)
+        assert np.array_equal(sf.lo, lo2) and np.array_equal(sf.up, up2)
+
+    def test_micro_keeps_the_tree_byte_identical(self, monkeypatch):
+        """Disabling the micro kernel must not change the search at all:
+        same objective, same node count, same pivot count."""
+        model = market_split(3, 10, 0)
+        options = SolverOptions(branching="most_fractional", cuts="off")
+        with_micro = BozoSolver(options).solve(model)
+        monkeypatch.setattr(revised, "MICRO_KERNEL_MAX", 0)
+        without = BozoSolver(options).solve(model)
+        assert with_micro.objective == pytest.approx(without.objective)
+        assert with_micro.stats.nodes == without.stats.nodes
+        assert with_micro.stats.lp_pivots == without.stats.lp_pivots
+
+
+def tailing_model(cycle=5, binaries=8, seed=0):
+    """An odd antihole plus a market-split block: round one of cuts closes
+    real root gap (the cycle), later rounds generate cuts that cannot move
+    the bound (the balance rows) — the tailing-off exit's home turf."""
+    rng = random.Random(seed)
+    m = Model(f"tailing_{cycle}_{binaries}_{seed}")
+    x = [m.add_var(f"x{j}", vtype=VarType.BINARY) for j in range(cycle)]
+    for i in range(cycle):
+        m.add(2.0 * x[i] + 2.0 * x[(i + 1) % cycle] <= 3.0, name=f"edge{i}")
+    y = [m.add_var(f"y{j}", vtype=VarType.BINARY) for j in range(binaries)]
+    surplus = [m.add_var(f"sp{i}", lb=0) for i in range(2)]
+    deficit = [m.add_var(f"sm{i}", lb=0) for i in range(2)]
+    for i in range(2):
+        weights = [rng.randrange(100) for _ in range(binaries)]
+        m.add(
+            sum(w * yj for w, yj in zip(weights, y))
+            + surplus[i] - deficit[i] == sum(weights) // 2,
+            name=f"row{i}",
+        )
+    m.minimize(sum(-1.0 * v for v in x) + sum(surplus) + sum(deficit))
+    return m
+
+
+class TestCutTailingOff:
+    def test_cut_loop_exits_early_with_reason(self):
+        """The loop stops as soon as a progressed round closes nothing,
+        stamping ``reason="tailing_off"`` on the final cut_round event."""
+        sink = MemoryTraceSink()
+        solution = BozoSolver(
+            SolverOptions(cuts="auto", cut_rounds=8, trace=sink)
+        ).solve(tailing_model())
+        rounds = [e for e in sink.events if e.type == "cut_round"]
+        assert 0 < len(rounds) < 8  # exited before the budget
+        assert rounds[-1].data.get("reason") == "tailing_off"
+        assert all(e.data.get("reason") is None for e in rounds[:-1])
+        assert solution.stats.cut_rounds == len(rounds)
+
+    def test_stalled_from_the_start_runs_no_extra_rounds(self):
+        """Pure market split: the bound never moves, so no round ever
+        'progresses' and the loop must not claim tailing-off — cuts here
+        earn their keep by pruning nodes, not by moving the root bound."""
+        sink = MemoryTraceSink()
+        BozoSolver(
+            SolverOptions(cuts="auto", cut_rounds=3, trace=sink)
+        ).solve(market_split(3, 10, 0))
+        rounds = [e for e in sink.events if e.type == "cut_round"]
+        assert all(e.data.get("reason") is None for e in rounds)
